@@ -1,0 +1,33 @@
+"""Ablation benchmark: Algorithm 3 vs the rejected avoidance policies.
+
+Regenerates the policy-comparison table on the randomized hold-and-wait
+workload and records each policy's throughput as extra info.
+"""
+
+import pytest
+
+from benchmarks.conftest import bench_once
+from repro.experiments import ablation_policies
+
+
+@pytest.mark.parametrize("policy", sorted(ablation_policies.POLICIES))
+def test_bench_policy(benchmark, policy):
+    row = bench_once(benchmark, ablation_policies.run_policy, policy,
+                     ticks=800)
+    assert row.deadlocked_ticks == 0
+    benchmark.extra_info["row"] = {
+        "policy": row.policy,
+        "jobs": row.jobs_completed,
+        "p1_jobs": row.jobs_highest_priority,
+        "giveups": row.giveups_obeyed,
+        "denials": row.denials,
+        "livelock_flags": row.livelock_flags,
+    }
+
+
+def test_bench_policy_ablation_table(benchmark):
+    result = bench_once(benchmark, ablation_policies.run, 1200)
+    rows = {row.policy: row for row in result.rows}
+    assert (rows["algorithm3"].jobs_completed
+            > 5 * rows["deny-retry"].jobs_completed)
+    benchmark.extra_info["table"] = result.render()

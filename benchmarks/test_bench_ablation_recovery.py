@@ -1,0 +1,14 @@
+"""Ablation benchmark: recovery victim-selection strategies."""
+
+from benchmarks.conftest import bench_once
+from repro.experiments import ablation_recovery
+
+
+def test_bench_recovery_strategies(benchmark):
+    result = bench_once(benchmark, ablation_recovery.run, 80)
+    rows = {row.strategy: row for row in result.rows}
+    # The trade-off the experiment documents:
+    assert rows["lowest-priority"].top_priority_victimized == 0
+    assert (rows["fewest-resources"].mean_work_lost
+            <= rows["lowest-priority"].mean_work_lost)
+    benchmark.extra_info["table"] = result.render()

@@ -1,0 +1,53 @@
+"""Benchmarks: the figure regenerations (Figures 7, 11-12, 15-17, 20).
+
+Figures 15-17 are the event-RAG timelines of the three scenario
+applications; their regeneration benches live with Tables 4/6/8 here.
+"""
+
+from benchmarks.conftest import bench_once
+from repro.experiments import (
+    fig7_top_generation,
+    fig11_matrix_example,
+    fig20_trace,
+    table4_event_sequence,
+    table6_gdl_sequence,
+    table8_rdl_sequence,
+)
+
+
+def test_bench_fig7_top_generation(benchmark):
+    result = bench_once(benchmark, fig7_top_generation.run)
+    assert result.num_pe_instances == 3 and result.has_soclc
+    benchmark.extra_info["top_v_lines"] = len(
+        result.top_verilog.splitlines())
+
+
+def test_bench_fig11_matrix_example(benchmark):
+    result = bench_once(benchmark, fig11_matrix_example.run)
+    assert list(result.terminal_rows) == ["q2", "q3"]
+    assert list(result.terminal_columns) == ["p2", "p4", "p6"]
+    benchmark.extra_info["figure"] = result.render()
+
+
+def test_bench_table4_fig15_sequence(benchmark):
+    result = bench_once(benchmark, table4_event_sequence.run)
+    assert result.deadlock_detected_at > 0
+    benchmark.extra_info["figure"] = result.render()
+
+
+def test_bench_table6_fig16_sequence(benchmark):
+    result = bench_once(benchmark, table6_gdl_sequence.run)
+    assert result.idct_went_to == "p3"
+    benchmark.extra_info["figure"] = result.render()
+
+
+def test_bench_table8_fig17_sequence(benchmark):
+    result = bench_once(benchmark, table8_rdl_sequence.run)
+    assert result.giveup_asked_of == "p2"
+    benchmark.extra_info["figure"] = result.render()
+
+
+def test_bench_fig20_trace(benchmark):
+    result = bench_once(benchmark, fig20_trace.run)
+    assert "task3" in result.gantt_rtos6
+    benchmark.extra_info["figure"] = result.render()

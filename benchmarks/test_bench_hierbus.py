@@ -1,0 +1,12 @@
+"""Ablation benchmark: flat vs hierarchical bus locality sweep."""
+
+from benchmarks.conftest import bench_once
+from repro.experiments import ablation_hierbus
+
+
+def test_bench_hierbus_sweep(benchmark):
+    result = bench_once(benchmark, ablation_hierbus.run, 4, 150)
+    rows = {row.locality: row for row in result.rows}
+    assert rows[0.95].speedup > 1.5
+    assert abs(rows[0.0].speedup - 1.0) < 0.05
+    benchmark.extra_info["table"] = result.render()

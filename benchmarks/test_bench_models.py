@@ -1,0 +1,90 @@
+"""Benchmarks: the model-validation suites.
+
+* exhaustive enumeration of every legal small state (the strongest
+  PDDA/DDU validation);
+* the clocked FSM DAU (Table 2's step accounting) under random load;
+* the pooled-resource service end to end.
+"""
+
+from benchmarks.conftest import bench_once
+from repro.deadlock.dau_fsm import FSMDAU
+from repro.experiments import exhaustive_bound
+
+
+def test_bench_exhaustive_small_states(benchmark):
+    result = bench_once(benchmark, exhaustive_bound.run,
+                        ((2, 2), (2, 3), (3, 3)))
+    for row in result.rows:
+        assert row.oracle_disagreements == 0
+        assert row.structural_disagreements == 0
+    worst = {(row.m, row.n): row.max_iterations for row in result.rows}
+    assert worst[(2, 3)] == 2          # Table 1's anomalous-looking row
+    benchmark.extra_info["table"] = result.render()
+
+
+def test_bench_fsm_dau_step_accounting(benchmark):
+    import random
+
+    def drive():
+        names = [f"p{i}" for i in range(1, 6)]
+        resources = [f"q{i}" for i in range(1, 6)]
+        fsm = FSMDAU(names, resources,
+                     {p: i for i, p in enumerate(names, 1)})
+        rng = random.Random(5)
+        for _ in range(200):
+            process = rng.choice(names)
+            held = fsm.core.rag.held_by(process)
+            if held and rng.random() < 0.45:
+                fsm.write_command("PE1", "release", process,
+                                  rng.choice(held))
+            else:
+                options = [q for q in resources
+                           if fsm.core.rag.holder_of(q) != process
+                           and q not in fsm.core.rag.requests_of(process)]
+                if options:
+                    fsm.write_command("PE1", "request", process,
+                                      rng.choice(options))
+        return fsm
+
+    fsm = bench_once(benchmark, drive)
+    assert fsm.max_steps_seen <= fsm.worst_case_steps == 38
+    benchmark.extra_info["mean_steps"] = round(fsm.mean_steps, 2)
+    benchmark.extra_info["max_steps"] = fsm.max_steps_seen
+
+
+def test_bench_multiunit_pool_service(benchmark):
+    from repro.deadlock.multiunit_avoidance import MultiUnitAvoider
+    from repro.framework.builder import build_system
+    from repro.rtos.resources import MultiUnitResourceService
+
+    def run_pool_workload():
+        system = build_system("RTOS5")
+        avoider = MultiUnitAvoider(
+            ["p1", "p2", "p3"], {"DMA": 2, "SPM": 1},
+            {"p1": 1, "p2": 2, "p3": 3})
+        service = MultiUnitResourceService(system.kernel, avoider)
+        system.kernel.attach_resource_service(service)
+
+        def make(units, offset):
+            def body(ctx):
+                if offset:
+                    yield from ctx.sleep(offset)
+                for _ in range(4):
+                    outcome = yield from ctx.request("DMA", units=units)
+                    if not outcome.granted:
+                        yield from ctx.wait_grant("DMA")
+                    yield from ctx.compute(400)
+                    yield from ctx.release_resource("DMA")
+                    yield from ctx.sleep(120)
+            return body
+
+        system.kernel.create_task(make(2, 0), "p1", 1, "PE1")
+        system.kernel.create_task(make(1, 150), "p2", 2, "PE2")
+        system.kernel.create_task(make(1, 300), "p3", 3, "PE3")
+        system.kernel.run()
+        return system, service
+
+    system, service = bench_once(benchmark, run_pool_workload)
+    assert system.kernel.finished()
+    assert service.core.system.available("DMA") == 2
+    benchmark.extra_info["invocations"] = service.stats.invocations

@@ -1,0 +1,23 @@
+"""Benchmarks: the complexity survey and the latency profile.
+
+Regenerate both measured-claim experiments under the benchmark harness
+so their tables ship with the benchmark report.
+"""
+
+from benchmarks.conftest import bench_once
+from repro.experiments import complexity_survey, latency_profile
+
+
+def test_bench_complexity_survey(benchmark):
+    result = bench_once(benchmark, complexity_survey.run)
+    growth = result.growth_factors()
+    assert growth["leibfried"] > growth["holt"] > growth["ddu"]
+    benchmark.extra_info["table"] = result.render()
+
+
+def test_bench_latency_profile(benchmark):
+    result = bench_once(benchmark, latency_profile.run)
+    hw, sw = result.rows
+    assert hw.maximum <= hw.bound
+    assert sw.median > 100 * hw.median
+    benchmark.extra_info["table"] = result.render()

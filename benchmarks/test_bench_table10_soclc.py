@@ -1,0 +1,34 @@
+"""Benchmark: Table 10 — the robot application, SoCLC vs software PI.
+
+Also regenerates the Figure 20 execution-trace comparison (the IPCP
+no-preemption property) as extra info.
+"""
+
+import pytest
+
+from benchmarks.conftest import bench_once
+from repro.apps.robot import run_robot_app
+from repro.experiments import table10_soclc_robot
+
+
+@pytest.mark.parametrize("config", ["RTOS5", "RTOS6"])
+def test_bench_robot_app(benchmark, config):
+    result = bench_once(benchmark, run_robot_app, config)
+    assert result.completed
+    assert result.deadline_misses == 0
+    benchmark.extra_info["table10_column"] = {
+        "config": config,
+        "lock_latency": result.lock_latency,
+        "lock_delay": result.lock_delay,
+        "overall_cycles": result.overall_cycles,
+        "contended": result.contended,
+    }
+
+
+def test_bench_table10_comparison(benchmark):
+    result = bench_once(benchmark, table10_soclc_robot.run)
+    sw, hw = result.software, result.hardware
+    assert sw.lock_latency / hw.lock_latency > 1.7     # paper: 1.79X
+    assert sw.lock_delay > hw.lock_delay               # paper: 1.75X
+    assert sw.overall_cycles > hw.overall_cycles       # paper: 1.43X
+    benchmark.extra_info["table"] = result.render()

@@ -1,0 +1,38 @@
+"""Benchmark: Table 1 — DDU detection across the published sizes.
+
+Regenerates the Table 1 rows and measures the hardware model's
+detection run on each published size's worst-case chain, confirming
+the O(min(m, n)) behaviour at benchmark time.
+"""
+
+import pytest
+
+from benchmarks.conftest import bench_once
+from repro.deadlock.ddu import DDU
+from repro.deadlock.synthesis import DDU_PUBLISHED, ddu_synthesis
+from repro.experiments import table1_ddu_synthesis
+from repro.rag.generate import worst_case_state
+
+
+@pytest.mark.parametrize("size", sorted(DDU_PUBLISHED))
+def test_bench_ddu_detect_worst_case(benchmark, size):
+    processes, resources = size
+    unit = DDU(resources, processes)
+    unit.load(worst_case_state(resources, processes))
+    result = bench_once(benchmark, unit.detect)
+    estimate = ddu_synthesis(processes, resources)
+    assert result.iterations <= estimate.worst_iterations
+    benchmark.extra_info["table1_row"] = {
+        "size": f"{processes}x{resources}",
+        "lines_of_verilog": estimate.lines_of_verilog,
+        "area_nand2": estimate.area_nand2,
+        "worst_iterations": estimate.worst_iterations,
+        "measured_iterations": result.iterations,
+    }
+
+
+def test_bench_table1_regeneration(benchmark):
+    result = bench_once(benchmark, table1_ddu_synthesis.run)
+    for row in result.rows:
+        assert (row.lines, row.area) == (row.paper_lines, row.paper_area)
+    benchmark.extra_info["table"] = result.render()

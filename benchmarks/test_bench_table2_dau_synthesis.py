@@ -1,0 +1,31 @@
+"""Benchmark: Table 2 — DAU synthesis summary and decision latency."""
+
+from benchmarks.conftest import bench_once
+from repro.deadlock.dau import DAU
+from repro.experiments import table2_dau_synthesis
+
+
+def test_bench_table2_regeneration(benchmark):
+    result = bench_once(benchmark, table2_dau_synthesis.run)
+    assert result.total_area == 1836
+    assert result.avoidance_steps == 38
+    assert result.measured_max_decision_cycles <= result.avoidance_steps
+    benchmark.extra_info["table"] = result.render()
+
+
+def test_bench_dau_decision_latency(benchmark):
+    """Wall-clock of one DAU request decision on a loaded 5x5 unit."""
+    processes = [f"p{i}" for i in range(1, 6)]
+    resources = [f"q{i}" for i in range(1, 6)]
+
+    def one_decision():
+        dau = DAU(processes, resources,
+                  {p: i for i, p in enumerate(processes, 1)})
+        dau.request("p1", "q1")
+        dau.request("p2", "q2")
+        dau.request("p2", "q1")
+        return dau.request("p1", "q2")   # the R-dl decision
+
+    decision = bench_once(benchmark, one_decision)
+    assert decision.deadlock_kind.value == "R-dl"
+    benchmark.extra_info["modelled_cycles"] = decision.cycles

@@ -1,0 +1,33 @@
+"""Benchmark: Table 5 — the Jini deadlock-detection application.
+
+Two benchmarks (RTOS1 software PDDA, RTOS2 DDU) regenerate the Table 5
+rows; the comparison benchmark asserts the paper's shape: the DDU wins
+on both the algorithm time (orders of magnitude) and the application
+time (tens of percent).
+"""
+
+import pytest
+
+from benchmarks.conftest import bench_once
+from repro.apps.jini import run_jini_app
+from repro.experiments import table5_ddu_vs_pdda
+
+
+@pytest.mark.parametrize("config", ["RTOS1", "RTOS2"])
+def test_bench_jini_app(benchmark, config):
+    result = bench_once(benchmark, run_jini_app, config)
+    assert result.deadlock_detected
+    benchmark.extra_info["table5_row"] = {
+        "implementation": ("PDDA in software" if config == "RTOS1"
+                           else "DDU (hardware)"),
+        "algorithm_cycles": result.mean_algorithm_cycles,
+        "application_cycles": result.app_cycles,
+        "invocations": result.detection_invocations,
+    }
+
+
+def test_bench_table5_comparison(benchmark):
+    result = bench_once(benchmark, table5_ddu_vs_pdda.run)
+    assert result.app_speedup_percent > 20          # paper: 46%
+    assert result.algorithm_speedup > 100           # paper: ~1408X
+    benchmark.extra_info["table"] = result.render()

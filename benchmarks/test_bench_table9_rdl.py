@@ -1,0 +1,28 @@
+"""Benchmark: Table 9 — the request-deadlock avoidance application."""
+
+import pytest
+
+from benchmarks.conftest import bench_once
+from repro.apps.request_deadlock import run_rdl_app
+from repro.experiments import table9_rdl
+
+
+@pytest.mark.parametrize("config", ["RTOS3", "RTOS4"])
+def test_bench_rdl_app(benchmark, config):
+    result = bench_once(benchmark, run_rdl_app, config)
+    assert result.completed
+    assert result.rdl_events >= 1
+    benchmark.extra_info["table9_row"] = {
+        "implementation": ("DAA in software" if config == "RTOS3"
+                           else "DAU (hardware)"),
+        "algorithm_cycles": result.mean_algorithm_cycles,
+        "application_cycles": result.app_cycles,
+        "invocations": result.avoidance_invocations,
+    }
+
+
+def test_bench_table9_comparison(benchmark):
+    result = bench_once(benchmark, table9_rdl.run)
+    assert result.app_speedup_percent > 20          # paper: 44%
+    assert result.algorithm_speedup > 100           # paper: 294X
+    benchmark.extra_info["table"] = result.render()

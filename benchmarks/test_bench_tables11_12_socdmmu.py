@@ -1,0 +1,43 @@
+"""Benchmarks: Tables 11 and 12 — SPLASH-2 memory management.
+
+One benchmark per (kernel, heap) pair regenerates that row; the two
+comparison benchmarks regenerate the full tables and assert the
+reductions the paper reports.
+"""
+
+import pytest
+
+from benchmarks.conftest import bench_once
+from repro.apps.splash import SPLASH_BENCHMARKS, run_splash
+from repro.experiments import table11_malloc, table12_socdmmu
+
+
+@pytest.mark.parametrize("name", sorted(SPLASH_BENCHMARKS))
+@pytest.mark.parametrize("config", ["RTOS5", "RTOS7"])
+def test_bench_splash(benchmark, name, config):
+    result = bench_once(benchmark, run_splash, name, config)
+    benchmark.extra_info["row"] = {
+        "benchmark": name,
+        "heap": "glibc-style" if config == "RTOS5" else "SoCDMMU",
+        "total_cycles": result.total_cycles,
+        "mm_cycles": result.mm_cycles,
+        "mm_percent": round(result.mm_percent, 2),
+    }
+    if config == "RTOS7":
+        assert result.mm_percent < 1.5     # Table 12: all under 1.1%
+
+
+def test_bench_table11_regeneration(benchmark):
+    result = bench_once(benchmark, table11_malloc.run)
+    shares = {run.benchmark: run.mm_percent for run in result.runs}
+    # Table 11 ordering: FFT (27%) > RADIX (20%) > LU (10%).
+    assert shares["FFT"] > shares["RADIX"] > shares["LU"]
+    benchmark.extra_info["table"] = result.render()
+
+
+def test_bench_table12_regeneration(benchmark):
+    result = bench_once(benchmark, table12_socdmmu.run)
+    for row in result.rows:
+        assert row.mm_reduction_percent > 90       # paper: 95-97%
+        assert row.exe_reduction_percent > 5       # paper: 9.4-26.3%
+    benchmark.extra_info["table"] = result.render()

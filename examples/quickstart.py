@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Quickstart: build a DAU-equipped MPSoC and avoid a deadlock.
+
+Builds the RTOS4 configuration (four MPC755-class PEs, the VI / IDCT /
+DSP / WI resources, and the Deadlock Avoidance Unit), runs two tasks
+whose requests would deadlock a naive system, and prints what the DAU
+decided.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import build_system
+
+
+def task_a(ctx):
+    """Holds the IDCT, then wants the WI."""
+    yield from ctx.request("IDCT")
+    yield from ctx.compute(1_000)
+    outcome = yield from ctx.request("WI")
+    if not outcome.granted:
+        yield from ctx.wait_grant("WI")
+    yield from ctx.use_peripheral("IDCT", 2_000)
+    yield from ctx.use_peripheral("WI", 1_000)
+    yield from ctx.release_resource("IDCT")
+    yield from ctx.release_resource("WI")
+
+
+def task_b(ctx):
+    """Holds the WI, then wants the IDCT — the classic hold-and-wait."""
+    yield from ctx.request("WI")
+    yield from ctx.compute(1_200)
+    # This request would close the cycle; the DAU detects the R-dl and,
+    # because task_a has the higher priority... actually task_b does
+    # here, so the DAU tells *us* how the conflict resolves.
+    outcome = yield from ctx.request("IDCT")
+    if outcome.must_give_up:
+        # Obey the give-up demand: release, back off, retry.
+        for _proc, resource in outcome.decision.ask_release:
+            yield from ctx.release_resource(resource)
+        yield from ctx.sleep(4_000)
+        yield from ctx.request("WI")
+        outcome = yield from ctx.request("IDCT")
+    if not outcome.granted:
+        yield from ctx.wait_grant("IDCT")
+    yield from ctx.use_peripheral("WI", 800)
+    yield from ctx.release_resource("IDCT")
+    yield from ctx.release_resource("WI")
+
+
+def main():
+    system = build_system("RTOS4")
+    kernel = system.kernel
+    kernel.create_task(task_a, "p1", 1, "PE1")   # priority 1 = highest
+    kernel.create_task(task_b, "p2", 2, "PE2")
+    end = kernel.run()
+
+    print(f"simulation finished at t={end:.0f} bus cycles")
+    print(f"all tasks completed: {kernel.finished()}")
+    stats = system.resource_service.core.stats
+    print(f"DAU invocations: {stats.invocations}, "
+          f"mean decision latency: {stats.mean_cycles:.1f} cycles")
+    print(f"request deadlocks avoided: {stats.rdl_events}, "
+          f"grant deadlocks avoided: {stats.gdl_events}")
+    print("\nresource event timeline:")
+    for rec in system.soc.trace.filter(
+            predicate=lambda r: r.kind.startswith("resource")
+            or r.kind == "asked_to_release"):
+        print(f"  {rec.describe()}")
+    print("\ngenerated HDL top file starts with:")
+    print("  " + system.top_verilog.splitlines()[0])
+
+
+if __name__ == "__main__":
+    main()

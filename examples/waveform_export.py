@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Export a simulation's execution trace as waveforms and tables.
+
+The paper's team debugged these systems in an HDL waveform viewer; this
+example produces the equivalent artifacts from our simulator for a
+two-period robot run under RTOS6:
+
+* ``robot_trace.vcd`` — open in GTKWave: one ``_run``/``_blocked``
+  signal pair per task;
+* ``robot_trace.csv`` — the raw event table for spreadsheet analysis;
+* an ASCII Gantt chart (the Figure 20 view) printed to stdout.
+
+Run with::
+
+    python examples/waveform_export.py [output-directory]
+"""
+
+import sys
+from pathlib import Path
+
+from repro.apps.robot import run_robot_app
+from repro.framework.builder import build_system
+from repro.sim.vcd import write_vcd
+
+
+def main():
+    out_dir = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(".")
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    system = build_system("RTOS6")
+    result = run_robot_app("RTOS6", periods=2, system=system)
+    trace = system.soc.trace
+    tasks = [f"task{i}" for i in range(1, 6)]
+
+    vcd_path = out_dir / "robot_trace.vcd"
+    write_vcd(trace, str(vcd_path), actors=tasks)
+    print(f"wrote {vcd_path} "
+          f"({len(vcd_path.read_text().splitlines())} lines) — "
+          "open with GTKWave")
+
+    csv_path = out_dir / "robot_trace.csv"
+    csv_path.write_text(trace.to_csv(
+        kinds=["run_start", "run_end", "block_start", "block_end",
+               "lock_acquired", "lock_released"]))
+    print(f"wrote {csv_path} "
+          f"({len(csv_path.read_text().splitlines())} rows)")
+
+    print()
+    print("ASCII execution trace (the Figure 20 view):")
+    print(trace.gantt(actors=("task1", "task2", "task3")))
+    print()
+    print(f"run summary: {result.describe()}")
+
+
+if __name__ == "__main__":
+    main()

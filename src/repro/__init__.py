@@ -1,0 +1,73 @@
+"""repro — Hardware/Software Partitioning of Operating Systems.
+
+A Python reproduction of Lee & Mooney, "Hardware/Software Partitioning
+of Operating Systems: Focus on Deadlock Detection and Avoidance"
+(DATE 2003): the delta RTOS/MPSoC design framework with its hardware
+RTOS components — the Deadlock Detection Unit (DDU), the Deadlock
+Avoidance Unit (DAU), the SoC Lock Cache (SoCLC) and the SoC Dynamic
+Memory Management Unit (SoCDMMU) — plus the software baselines they are
+compared against, all running on a cycle-accounted MPSoC simulator.
+
+Quick start::
+
+    from repro import build_system
+    system = build_system("RTOS4")          # DAU-equipped MPSoC
+    # ... create tasks on system.kernel and system.kernel.run()
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record of every table and figure.
+"""
+
+from repro.errors import (
+    AllocationError,
+    ConfigurationError,
+    DeadlockError,
+    GenerationError,
+    ReproError,
+    ResourceProtocolError,
+    RTOSError,
+    SimulationError,
+)
+from repro.rag import RAG, StateMatrix
+from repro.deadlock import (
+    DAU,
+    DDU,
+    Decision,
+    SoftwareDAA,
+    dau_synthesis,
+    ddu_synthesis,
+    pdda_detect,
+)
+from repro.mpsoc import MPSoC, SoCConfig
+from repro.rtos import Kernel, TaskContext
+from repro.framework import RTOS_PRESETS, SystemConfig, build_system
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "RAG",
+    "StateMatrix",
+    "pdda_detect",
+    "DDU",
+    "DAU",
+    "SoftwareDAA",
+    "Decision",
+    "ddu_synthesis",
+    "dau_synthesis",
+    "MPSoC",
+    "SoCConfig",
+    "Kernel",
+    "TaskContext",
+    "build_system",
+    "SystemConfig",
+    "RTOS_PRESETS",
+    "ReproError",
+    "ConfigurationError",
+    "SimulationError",
+    "DeadlockError",
+    "ResourceProtocolError",
+    "AllocationError",
+    "RTOSError",
+    "GenerationError",
+    "__version__",
+]

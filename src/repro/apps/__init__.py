@@ -1,0 +1,36 @@
+"""The applications of the paper's evaluation (Section 5).
+
+* :mod:`repro.apps.jini` — the Jini-lookup-inspired application whose
+  request/grant sequence leads to deadlock (Table 4, Figure 15);
+* :mod:`repro.apps.grant_deadlock` — application example I: the G-dl
+  scenario the DAU resolves by granting to a lower-priority process
+  (Table 6, Figure 16);
+* :mod:`repro.apps.request_deadlock` — application example II: the R-dl
+  scenario the DAU resolves by asking a lower-priority owner to give up
+  a resource (Table 8, Figure 17);
+* :mod:`repro.apps.robot` — the robot-control + MPEG-decoder task set
+  used for the SoCLC comparison (Figures 19-20, Table 10);
+* :mod:`repro.apps.splash` — SPLASH-2-style kernels (LU, FFT, RADIX)
+  with dynamic allocation, used for the SoCDMMU comparison (Tables
+  11-12).
+"""
+
+from repro.apps.jini import JiniRun, run_jini_app
+from repro.apps.grant_deadlock import GdlRun, run_gdl_app
+from repro.apps.request_deadlock import RdlRun, run_rdl_app
+from repro.apps.robot import RobotRun, run_robot_app
+from repro.apps.splash import SPLASH_BENCHMARKS, SplashRun, run_splash
+
+__all__ = [
+    "run_jini_app",
+    "JiniRun",
+    "run_gdl_app",
+    "GdlRun",
+    "run_rdl_app",
+    "RdlRun",
+    "run_robot_app",
+    "RobotRun",
+    "run_splash",
+    "SplashRun",
+    "SPLASH_BENCHMARKS",
+]

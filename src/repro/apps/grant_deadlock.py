@@ -1,0 +1,120 @@
+"""Application example I: grant deadlock avoidance (Section 5.4.1).
+
+The Table 6 sequence on resources q1=VI, q2=IDCT, q4=WI:
+
+* t1 — p1 requests q1 and q2; granted; p1 streams and IDCT-processes;
+* t2 — p3 requests q2 (pending) and q4 (granted);
+* t3 — p2 requests q2 and q4 (both pending);
+* t4 — p1 releases q1 and q2;
+* t5 — granting q2 to p2 (highest-priority waiter) would close the
+  cycle p2-q4-p3-q2: **grant deadlock**.  The avoidance logic grants q2
+  to the *lower-priority* p3 instead (Algorithm 3 line 19);
+* t6 — p3 uses and releases q2 and q4;
+* t7 — q2 and q4 go to p2;
+* t8 — p2 finishes; the application ends.
+
+Unlike the detection scenario, the application *completes* — that is
+the point of avoidance.  The run measures Table 7: mean algorithm time
+over the 12 invocations (6 requests + 6 releases) and the application
+run time to completion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro import calibration
+from repro.errors import ConfigurationError
+from repro.framework.builder import BuiltSystem, build_system
+from repro.rtos.kernel import TaskContext
+
+
+@dataclass(frozen=True)
+class GdlRun:
+    """Measurements of one G-dl app run (one Table 7 row)."""
+
+    config: str
+    avoidance_invocations: int
+    mean_algorithm_cycles: float
+    total_algorithm_cycles: float
+    app_cycles: float
+    gdl_events: int
+    completed: bool
+    grant_order: tuple
+
+    def describe(self) -> str:
+        return (f"{self.config}: algorithm={self.mean_algorithm_cycles:.1f} "
+                f"cycles (mean of {self.avoidance_invocations}), "
+                f"application={self.app_cycles:.0f} cycles, "
+                f"G-dl avoided {self.gdl_events}x")
+
+
+def _p1(ctx: TaskContext, stagger: float):
+    # t1: request q1 (VI) and q2 (IDCT); both granted immediately.
+    yield from ctx.request("VI")
+    yield from ctx.request("IDCT")
+    yield from ctx.use_peripheral("VI", calibration.VI_FRAME_CYCLES)
+    yield from ctx.use_peripheral("IDCT", calibration.IDCT_FRAME_CYCLES)
+    # t4: release both.
+    yield from ctx.release_resource("VI")
+    yield from ctx.release_resource("IDCT")
+
+
+def _p2(ctx: TaskContext, stagger: float):
+    # t3: request q2 and q4; both pending.
+    yield from ctx.sleep(2 * stagger)
+    yield from ctx.request("IDCT")
+    yield from ctx.request("WI")
+    yield from ctx.wait_grant("IDCT")
+    yield from ctx.wait_grant("WI")
+    # t7-t8: convert and transmit, then finish.
+    yield from ctx.use_peripheral("IDCT", calibration.APP_LOCAL_COMPUTE_CYCLES * 4)
+    yield from ctx.use_peripheral("WI", calibration.WI_SEND_CYCLES)
+    yield from ctx.release_resource("IDCT")
+    yield from ctx.release_resource("WI")
+
+
+def _p3(ctx: TaskContext, stagger: float):
+    # t2: request q2 (pending) and q4 (granted).
+    yield from ctx.sleep(stagger)
+    yield from ctx.request("IDCT")
+    yield from ctx.request("WI")
+    yield from ctx.wait_grant("IDCT")
+    # t5-t6: the DAU avoided G-dl by granting q2 here despite p2's
+    # higher priority; convert the frame, send it, release everything.
+    yield from ctx.use_peripheral("IDCT", calibration.APP_LOCAL_COMPUTE_CYCLES * 4)
+    yield from ctx.use_peripheral("WI", calibration.WI_SEND_CYCLES)
+    yield from ctx.release_resource("IDCT")
+    yield from ctx.release_resource("WI")
+
+
+def run_gdl_app(config: str = "RTOS4", stagger: float = 1200.0,
+                system: Optional[BuiltSystem] = None) -> GdlRun:
+    """Run the Table 6 scenario under RTOS3 or RTOS4; measure Table 7."""
+    if system is None:
+        system = build_system(config)
+    if system.config.deadlock not in ("RTOS3", "RTOS4"):
+        raise ConfigurationError(
+            "the G-dl app needs an avoidance configuration (RTOS3/RTOS4)")
+    kernel = system.kernel
+    kernel.create_task(lambda ctx: _p1(ctx, stagger), "p1", 1, "PE1")
+    kernel.create_task(lambda ctx: _p2(ctx, stagger), "p2", 2, "PE2")
+    kernel.create_task(lambda ctx: _p3(ctx, stagger), "p3", 3, "PE3")
+    kernel.run()
+
+    core = system.resource_service.core
+    stats = core.stats
+    grant_order = tuple(
+        (rec.actor, rec.details["resource"], rec.time)
+        for rec in kernel.trace.filter(kind="resource_granted"))
+    return GdlRun(
+        config=system.name,
+        avoidance_invocations=stats.invocations,
+        mean_algorithm_cycles=stats.mean_cycles,
+        total_algorithm_cycles=stats.total_cycles,
+        app_cycles=kernel.engine.now,
+        gdl_events=stats.gdl_events,
+        completed=kernel.finished("p1", "p2", "p3"),
+        grant_order=grant_order,
+    )

@@ -1,0 +1,124 @@
+"""The deadlock-detection application (Section 5.3, Table 4, Figure 15).
+
+An application inspired by the Jini lookup-service system: clients
+request services (the VI, IDCT and WI peripherals) through the RTOS.
+One process runs on each PE, prioritized p1 (highest) .. p4 (lowest).
+The request/grant sequence of Table 4 unavoidably leads to deadlock:
+
+* t1 — p1 requests IDCT and VI; both granted; p1 streams a frame in
+  through the VI and runs IDCT over it (~23600 cycles for the 64x64
+  test frame);
+* t2 — p3 requests IDCT (busy -> pending) and WI (granted);
+* t3 — p2 requests IDCT and WI (both pending);
+* t4 — p1 releases IDCT;
+* t5 — IDCT goes to p2 (higher priority than p3) -> cycle p2-WI-p3-IDCT:
+  deadlock, which the detection service (PDDA in software for RTOS1,
+  the DDU for RTOS2) reports.
+
+The run measures the Table 5 quantities: mean algorithm run time,
+invocation count, and the application run time from start to the
+detection of the deadlock (the application cannot finish).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro import calibration
+from repro.errors import ConfigurationError
+from repro.framework.builder import BuiltSystem, build_system
+from repro.rtos.kernel import TaskContext
+
+
+@dataclass(frozen=True)
+class JiniRun:
+    """Measurements of one jini-app run (one Table 5 row)."""
+
+    config: str
+    detection_invocations: int
+    mean_algorithm_cycles: float
+    total_algorithm_cycles: float
+    app_cycles: float
+    deadlock_detected: bool
+    deadlocked_processes: tuple
+
+    def describe(self) -> str:
+        return (f"{self.config}: algorithm={self.mean_algorithm_cycles:.1f} "
+                f"cycles (mean of {self.detection_invocations}), "
+                f"application={self.app_cycles:.0f} cycles to detection")
+
+
+def _p1(ctx: TaskContext, stagger: float):
+    # t1: request IDCT and VI; both granted immediately.
+    yield from ctx.request("IDCT")
+    yield from ctx.request("VI")
+    # Receive the video stream, then IDCT-process the test frame.
+    yield from ctx.use_peripheral("VI", calibration.VI_FRAME_CYCLES)
+    yield from ctx.use_peripheral("IDCT", calibration.IDCT_FRAME_CYCLES)
+    # t4: release the IDCT (keeps streaming on the VI).
+    yield from ctx.release_resource("IDCT")
+    yield from ctx.compute(calibration.APP_LOCAL_COMPUTE_CYCLES)
+
+
+def _p2(ctx: TaskContext, stagger: float):
+    # t3: request IDCT and WI; both are held -> pending, p2 blocks.
+    yield from ctx.sleep(2 * stagger)
+    yield from ctx.request("IDCT")
+    yield from ctx.request("WI")
+    yield from ctx.wait_grant("IDCT")
+    yield from ctx.wait_grant("WI")   # never arrives: deadlock
+
+
+def _p3(ctx: TaskContext, stagger: float):
+    # t2: request IDCT (pending) and WI (granted).
+    yield from ctx.sleep(stagger)
+    yield from ctx.request("IDCT")
+    yield from ctx.request("WI")
+    yield from ctx.wait_grant("IDCT")  # never arrives: deadlock
+    yield from ctx.use_peripheral("WI", calibration.WI_SEND_CYCLES)
+
+
+def _p4(ctx: TaskContext, stagger: float):
+    # Unrelated lowest-priority work on the DSP (not in the cycle).
+    yield from ctx.request("DSP")
+    yield from ctx.use_peripheral("DSP", calibration.DSP_WORK_CYCLES)
+    yield from ctx.release_resource("DSP")
+
+
+def run_jini_app(config: str = "RTOS2", stagger: float = 1200.0,
+                 system: Optional[BuiltSystem] = None) -> JiniRun:
+    """Run the Table 4 scenario under RTOS1 or RTOS2; measure Table 5.
+
+    ``stagger`` spaces the t1/t2/t3 request waves.  The simulation is
+    stopped a little after detection (deadlocked tasks never finish).
+    """
+    if system is None:
+        system = build_system(config)
+    if system.config.deadlock not in ("RTOS1", "RTOS2"):
+        raise ConfigurationError(
+            "the jini app needs a detection configuration (RTOS1/RTOS2)")
+    kernel = system.kernel
+    kernel.create_task(lambda ctx: _p1(ctx, stagger), "p1", 1, "PE1")
+    kernel.create_task(lambda ctx: _p2(ctx, stagger), "p2", 2, "PE2")
+    kernel.create_task(lambda ctx: _p3(ctx, stagger), "p3", 3, "PE3")
+    kernel.create_task(lambda ctx: _p4(ctx, stagger), "p4", 4, "PE4")
+    kernel.run()
+
+    service = system.resource_service
+    stats = service.stats
+    detected_at = stats.deadlock_found_at
+    residual = []
+    if hasattr(service, "rag"):
+        from repro.deadlock.pdda import pdda_detect
+        result = pdda_detect(service.rag)
+        residual = result.deadlocked_processes()
+    return JiniRun(
+        config=system.name,
+        detection_invocations=stats.invocations,
+        mean_algorithm_cycles=stats.mean_algorithm_cycles,
+        total_algorithm_cycles=stats.total_algorithm_cycles,
+        app_cycles=detected_at if detected_at is not None else kernel.engine.now,
+        deadlock_detected=detected_at is not None,
+        deadlocked_processes=tuple(residual),
+    )

@@ -1,0 +1,136 @@
+"""Application example II: request deadlock avoidance (Section 5.4.3).
+
+The Table 8 sequence on q1=VI, q2=IDCT, q3=DSP with processes needing
+(q1,q2), (q2,q3) and (q3,q1) respectively:
+
+* t1-t3 — p1 gets q1, p2 gets q2, p3 gets q3;
+* t4 — p2 requests q3 -> pending (no R-dl yet);
+* t5 — p3 requests q1 -> pending (no R-dl yet);
+* t6 — p1 requests q2: that request would close the cycle — **request
+  deadlock**.  The avoidance logic pends the request and asks the
+  lower-priority owner p2 to give q2 up (Algorithm 3 lines 6-8);
+* t7 — p2 releases q2 (and will re-request it); q2 goes to p1;
+* t8 — p1 uses q1+q2 and releases both: q1 to p3, q2 back to p2;
+* t9 — p3 uses q1+q3 and releases both: q3 to p2;
+* t10 — p2 finishes; the application ends.
+
+The 14 algorithm invocations of Table 9 = 7 requests (p1: 2, p2: 3
+including the re-request, p3: 2) + 7 releases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro import calibration
+from repro.errors import ConfigurationError
+from repro.framework.builder import BuiltSystem, build_system
+from repro.rtos.kernel import TaskContext
+from repro.rtos.resources import NotificationKind
+
+
+@dataclass(frozen=True)
+class RdlRun:
+    """Measurements of one R-dl app run (one Table 9 row)."""
+
+    config: str
+    avoidance_invocations: int
+    mean_algorithm_cycles: float
+    total_algorithm_cycles: float
+    app_cycles: float
+    rdl_events: int
+    giveup_events: int
+    completed: bool
+
+    def describe(self) -> str:
+        return (f"{self.config}: algorithm={self.mean_algorithm_cycles:.1f} "
+                f"cycles (mean of {self.avoidance_invocations}), "
+                f"application={self.app_cycles:.0f} cycles, "
+                f"R-dl avoided {self.rdl_events}x")
+
+
+def _p1(ctx: TaskContext, stagger: float):
+    # t1: acquire q1 (VI) immediately.
+    yield from ctx.request("VI")
+    yield from ctx.compute(5 * stagger)
+    # t6: request q2 (IDCT): triggers the R-dl; the DAU pends us and
+    # asks p2 to give the IDCT up, so the grant arrives shortly.
+    outcome = yield from ctx.request("IDCT")
+    if not outcome.granted:
+        yield from ctx.wait_grant("IDCT")
+    # t8: do the (VI, IDCT) work and release both.
+    yield from ctx.use_peripheral("VI", calibration.VI_FRAME_CYCLES)
+    yield from ctx.use_peripheral("IDCT", calibration.IDCT_FRAME_CYCLES // 4)
+    yield from ctx.release_resource("VI")
+    yield from ctx.release_resource("IDCT")
+
+
+def _p2(ctx: TaskContext, stagger: float):
+    # t2: acquire q2 (IDCT).
+    yield from ctx.sleep(stagger)
+    yield from ctx.request("IDCT")
+    yield from ctx.compute(2 * stagger)
+    # t4: request q3 (DSP) -> pending.
+    yield from ctx.request("DSP")
+    # While waiting we may be asked to give the IDCT up (t6-t7).
+    while True:
+        note = yield from ctx.wait_notification()
+        if note.kind is NotificationKind.GIVE_UP:
+            yield from ctx.release_resource(note.resource)
+            # "a moment later, p2 requests q2 again" (Table 8, t7).
+            yield from ctx.compute(calibration.APP_LOCAL_COMPUTE_CYCLES)
+            yield from ctx.request(note.resource)
+        held = set(ctx.task.held_resources)
+        if {"IDCT", "DSP"} <= held:
+            break
+    # t10: both resources in hand; finish the (q2, q3) job.
+    yield from ctx.use_peripheral("IDCT", calibration.IDCT_FRAME_CYCLES // 4)
+    yield from ctx.use_peripheral("DSP", calibration.DSP_WORK_CYCLES // 2)
+    yield from ctx.release_resource("IDCT")
+    yield from ctx.release_resource("DSP")
+
+
+def _p3(ctx: TaskContext, stagger: float):
+    # t3: acquire q3 (DSP).
+    yield from ctx.sleep(2 * stagger)
+    yield from ctx.request("DSP")
+    yield from ctx.compute(2 * stagger)
+    # t5: request q1 (VI) -> pending until p1 releases at t8.
+    outcome = yield from ctx.request("VI")
+    if not outcome.granted:
+        yield from ctx.wait_grant("VI")
+    # t9: do the (q3, q1) work and release both.
+    yield from ctx.use_peripheral("DSP", calibration.DSP_WORK_CYCLES // 2)
+    yield from ctx.use_peripheral("VI", calibration.VI_FRAME_CYCLES)
+    yield from ctx.release_resource("DSP")
+    yield from ctx.release_resource("VI")
+
+
+def run_rdl_app(config: str = "RTOS4", stagger: float = 1000.0,
+                system: Optional[BuiltSystem] = None) -> RdlRun:
+    """Run the Table 8 scenario under RTOS3 or RTOS4; measure Table 9."""
+    if system is None:
+        system = build_system(config)
+    if system.config.deadlock not in ("RTOS3", "RTOS4"):
+        raise ConfigurationError(
+            "the R-dl app needs an avoidance configuration (RTOS3/RTOS4)")
+    kernel = system.kernel
+    kernel.create_task(lambda ctx: _p1(ctx, stagger), "p1", 1, "PE1")
+    kernel.create_task(lambda ctx: _p2(ctx, stagger), "p2", 2, "PE2")
+    kernel.create_task(lambda ctx: _p3(ctx, stagger), "p3", 3, "PE3")
+    kernel.run()
+
+    core = system.resource_service.core
+    stats = core.stats
+    giveups = kernel.trace.count("asked_to_release")
+    return RdlRun(
+        config=system.name,
+        avoidance_invocations=stats.invocations,
+        mean_algorithm_cycles=stats.mean_cycles,
+        total_algorithm_cycles=stats.total_cycles,
+        app_cycles=kernel.engine.now,
+        rdl_events=stats.rdl_events,
+        giveup_events=giveups,
+        completed=kernel.finished("p1", "p2", "p3"),
+    )

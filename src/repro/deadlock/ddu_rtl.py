@@ -1,0 +1,203 @@
+"""Structural (cell-level) DDU model — Figure 13, cell by cell.
+
+The behavioural model (:class:`repro.deadlock.ddu.DDU`) computes whole
+rows/columns at once.  This module builds the unit the way the RTL
+does: an array of :class:`MatrixCell` objects, one :class:`RowWeightCell`
+per row and :class:`ColumnWeightCell` per column (each computing its
+``(tau, phi)`` pair from the cells' wired-OR outputs), and one
+:class:`DecideCell`.  Each :meth:`StructuralDDU.step` evaluates one
+hardware clock:
+
+1. every weight cell samples its row/column's wired-OR of the cells'
+   ``r``/``g`` outputs (Equation 3) and latches tau = r XOR g
+   (Equation 4) and phi = r AND g (Equation 6);
+2. every matrix cell looks at *its own* row and column weight lines
+   and clears itself when either says "terminal" (Definition 12) —
+   purely local logic, which is what makes the unit O(min(m, n));
+3. the decide cell ORs the tau lines into T_iter (Equation 5) and,
+   once T_iter drops to 0, latches D from the phi lines (Equation 7).
+
+The property suite drives this model and the behavioural one on the
+same states and requires identical verdicts, iteration counts, and
+residual matrices — the cross-validation a real RTL team would run
+between their architectural and RTL models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.errors import ConfigurationError
+from repro.rag.graph import RAG
+from repro.rag.matrix import CellState, StateMatrix
+
+
+class MatrixCell:
+    """One alpha_st cell: a 2-bit register with local clear logic."""
+
+    __slots__ = ("r", "g")
+
+    def __init__(self) -> None:
+        self.r = 0
+        self.g = 0
+
+    def load(self, state: CellState) -> None:
+        self.r = state.r_bit
+        self.g = state.g_bit
+
+    def value(self) -> CellState:
+        if self.r:
+            return CellState.REQUEST
+        if self.g:
+            return CellState.GRANT
+        return CellState.EMPTY
+
+    def clear_if(self, row_terminal: bool, column_terminal: bool) -> bool:
+        """Local reduction logic: clear when either weight line says
+        terminal.  Returns True when an edge was actually removed."""
+        if (row_terminal or column_terminal) and (self.r or self.g):
+            self.r = 0
+            self.g = 0
+            return True
+        return False
+
+
+@dataclass
+class WeightSignals:
+    """The latched (tau, phi) outputs of one weight cell."""
+
+    terminal: bool = False
+    connect: bool = False
+
+
+class RowWeightCell:
+    """w_rs: wired-OR over the row's cells, then XOR / AND."""
+
+    def __init__(self, cells: list) -> None:
+        self._cells = cells
+        self.out = WeightSignals()
+
+    def evaluate(self) -> None:
+        r_or = 0
+        g_or = 0
+        for cell in self._cells:
+            r_or |= cell.r
+            g_or |= cell.g
+        self.out.terminal = bool(r_or ^ g_or)
+        self.out.connect = bool(r_or & g_or)
+
+
+class ColumnWeightCell(RowWeightCell):
+    """w_ct: identical logic over a column's cells."""
+
+
+class DecideCell:
+    """T_iter / D logic at the corner of the array (Equations 5 and 7)."""
+
+    def __init__(self, row_weights: list, column_weights: list) -> None:
+        self._rows = row_weights
+        self._cols = column_weights
+        self.t_iter = False
+        self.deadlock = False
+        self.done = False
+
+    def evaluate(self) -> None:
+        self.t_iter = (any(w.out.terminal for w in self._rows)
+                       or any(w.out.terminal for w in self._cols))
+        if not self.t_iter:
+            self.deadlock = (any(w.out.connect for w in self._rows)
+                             or any(w.out.connect for w in self._cols))
+            self.done = True
+
+
+@dataclass(frozen=True)
+class StructuralDetection:
+    deadlock: bool
+    iterations: int
+    passes: int
+    residual: StateMatrix
+
+
+class StructuralDDU:
+    """The Figure 13 array, steppable one hardware clock at a time."""
+
+    def __init__(self, num_resources: int, num_processes: int) -> None:
+        if num_resources < 1 or num_processes < 1:
+            raise ConfigurationError("DDU needs at least a 1x1 matrix")
+        self.m = num_resources
+        self.n = num_processes
+        self.cells = [[MatrixCell() for _t in range(self.n)]
+                      for _s in range(self.m)]
+        self.row_weights = [RowWeightCell(self.cells[s])
+                            for s in range(self.m)]
+        self.column_weights = [
+            ColumnWeightCell([self.cells[s][t] for s in range(self.m)])
+            for t in range(self.n)]
+        self.decide = DecideCell(self.row_weights, self.column_weights)
+
+    # -- loading -----------------------------------------------------------------
+
+    def load(self, source: Union[RAG, StateMatrix]) -> None:
+        matrix = (StateMatrix.from_rag(source)
+                  if isinstance(source, RAG) else source)
+        if (matrix.m, matrix.n) != (self.m, self.n):
+            raise ConfigurationError(
+                f"state is {matrix.m}x{matrix.n}, unit is "
+                f"{self.m}x{self.n}")
+        for s in range(self.m):
+            for t in range(self.n):
+                self.cells[s][t].load(matrix.get(s, t))
+        self.decide.done = False
+        self.decide.deadlock = False
+
+    def snapshot(self) -> StateMatrix:
+        matrix = StateMatrix(self.m, self.n)
+        for s in range(self.m):
+            for t in range(self.n):
+                value = self.cells[s][t].value()
+                if value is CellState.REQUEST:
+                    matrix.set_request(s, t)
+                elif value is CellState.GRANT:
+                    matrix.set_grant(s, t)
+        return matrix
+
+    # -- clocking -----------------------------------------------------------------
+
+    def step(self) -> bool:
+        """One hardware clock; returns True while still running."""
+        for weight in self.row_weights:
+            weight.evaluate()
+        for weight in self.column_weights:
+            weight.evaluate()
+        self.decide.evaluate()
+        if self.decide.done:
+            return False
+        # Reduction phase of the same clock: each cell clears itself
+        # from its own two weight lines only.
+        for s in range(self.m):
+            row_terminal = self.row_weights[s].out.terminal
+            for t in range(self.n):
+                self.cells[s][t].clear_if(
+                    row_terminal, self.column_weights[t].out.terminal)
+        return True
+
+    def detect(self, max_steps: Optional[int] = None) -> StructuralDetection:
+        """Clock the array until the decide cell latches."""
+        limit = max_steps if max_steps is not None else 2 * (self.m
+                                                             + self.n) + 4
+        passes = 0
+        iterations = 0
+        while True:
+            passes += 1
+            if passes > limit:
+                raise ConfigurationError(
+                    f"structural DDU did not settle in {limit} steps")
+            if not self.step():
+                break
+            iterations += 1
+        return StructuralDetection(
+            deadlock=self.decide.deadlock,
+            iterations=iterations,
+            passes=passes,
+            residual=self.snapshot())

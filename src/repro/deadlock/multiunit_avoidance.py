@@ -1,0 +1,230 @@
+"""Deadlock avoidance over multi-unit resource classes (extension).
+
+The DAU of the paper handles single-unit resources; its conclusion
+points at MPSoCs with "ten to a hundred resources", many of which come
+as interchangeable units (DMA channels, buffer pools).  This module
+extends Algorithm 3's structure to the counting model of
+:class:`repro.rag.multiunit.MultiUnitSystem`:
+
+``request(p, q, units)``
+  * fully available -> grant immediately (no deadlock can *exist*
+    merely from granting available units);
+  * otherwise the request goes outstanding and the counting detector
+    runs: if the new wait closes a Coffman-style deadlock, the conflict
+    resolves as in Algorithm 3 — a higher-priority requester pends and
+    the lowest-priority *holder* of the contested class is asked to
+    release; a lower-priority requester is told to give up its
+    holdings (with the same bounded-retry livelock escape).
+
+``release(p, q, units)``
+  * returned units are offered to outstanding requests in priority
+    order; each candidate satisfaction is tentatively applied and
+    checked, skipping any that would leave a deadlock (the G-dl
+    fallback, line 19's analog).
+
+Decisions reuse :class:`repro.deadlock.daa.Decision`, so the service
+layer and reporting work unchanged.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, Mapping, Optional
+
+from repro.deadlock.daa import Action, AvoidanceStats, Decision, DeadlockKind
+from repro.errors import ResourceProtocolError
+from repro.rag.multiunit import MultiUnitSystem
+
+
+class MultiUnitAvoider:
+    """Algorithm-3-style avoidance on counting-model resources."""
+
+    def __init__(self, processes: Iterable[str],
+                 resources: Mapping[str, int],
+                 priorities: Mapping[str, int],
+                 livelock_threshold: int = 3) -> None:
+        self.system = MultiUnitSystem(processes, resources)
+        self.priorities = dict(priorities)
+        missing = set(self.system.processes) - set(self.priorities)
+        if missing:
+            raise ResourceProtocolError(
+                f"processes without priority: {sorted(missing)}")
+        if livelock_threshold < 1:
+            raise ResourceProtocolError("livelock_threshold must be >= 1")
+        self.livelock_threshold = livelock_threshold
+        self._giveup_counts: dict = {}
+        self.stats = AvoidanceStats()
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _held_pairs(self, process: str) -> tuple:
+        return tuple(
+            (process, q) for q in self.system.resources
+            if self.system.allocation_of(process, q) > 0)
+
+    def _finish(self, decision: Decision) -> Decision:
+        # Cost model: one software pass per detection run over the
+        # allocation table (m x n cells), as in the software DAA.
+        from repro import calibration
+        m = len(self.system.resources)
+        n = len(self.system.processes)
+        cycles = (calibration.SW_DAA_OVERHEAD_CYCLES
+                  + (decision.detection_runs + 1) * m * n
+                  * calibration.SW_PDDA_CELL_CYCLES)
+        final = dataclasses.replace(decision, cycles=cycles)
+        self.stats.note(final)
+        return final
+
+    # -- requests -------------------------------------------------------------------
+
+    def request(self, process: str, resource: str,
+                units: int = 1) -> Decision:
+        if units <= self.system.available(resource):
+            # Tentatively grant and check.  Unlike the single-unit
+            # model, granting *available* units can close a deadlock
+            # here: the grant may starve a waiter that needs more
+            # units than remain — a G-dl at request time.  The unit
+            # "avoids deadlock by not allowing any grant or request
+            # that leads to a deadlock" (Section 4.3).
+            self.system.request(process, resource, units)
+            self.system.grant(process, resource, units)
+            if not self.system.detect().deadlock:
+                self._giveup_counts.pop((process, resource), None)
+                return self._finish(Decision(
+                    event="request", process=process, resource=resource,
+                    action=Action.GRANTED, detection_runs=1))
+            # Undo the grant; keep the request outstanding and resolve
+            # below like any other conflicted request.
+            self.system.release(process, resource, units)
+            self.system.request(process, resource, units)
+            detection = self.system.detect()
+        else:
+            # Not fully available: the request goes outstanding.
+            self.system.request(process, resource, units)
+            detection = self.system.detect()
+        if not detection.deadlock:
+            return self._finish(Decision(
+                event="request", process=process, resource=resource,
+                action=Action.PENDING, detection_runs=1))
+
+        # The new wait closes a deadlock (which may tangle processes
+        # beyond the requester — a multi-unit subtlety absent from the
+        # single-unit model).  Plan the victim set whose releases
+        # provably break *every* knot, preferring low-priority victims.
+        demands, runs, _complete = self._plan_victims()
+        key = (process, resource)
+        requester_is_victim = any(victim == process
+                                  for victim, _q in demands)
+        if not requester_is_victim:
+            return self._finish(Decision(
+                event="request", process=process, resource=resource,
+                action=Action.PENDING,
+                deadlock_kind=DeadlockKind.REQUEST,
+                ask_release=demands,
+                detection_runs=1 + runs))
+        retries = self._giveup_counts.get(key, 0)
+        if retries + 1 >= self.livelock_threshold:
+            # Livelock escape: spare the starved requester this time —
+            # re-plan with the requester excluded from candidacy; only
+            # usable when that plan still breaks every knot.
+            others, other_runs, complete = self._plan_victims(
+                exclude={process})
+            runs += other_runs
+            if complete and others:
+                self._giveup_counts.pop(key, None)
+                return self._finish(Decision(
+                    event="request", process=process, resource=resource,
+                    action=Action.PENDING,
+                    deadlock_kind=DeadlockKind.REQUEST,
+                    livelock=True,
+                    ask_release=others,
+                    detection_runs=1 + runs))
+        self.system.withdraw(process, resource, units)
+        self._giveup_counts[key] = retries + 1
+        return self._finish(Decision(
+            event="request", process=process, resource=resource,
+            action=Action.GIVE_UP,
+            deadlock_kind=DeadlockKind.REQUEST,
+            ask_release=self._held_pairs(process),
+            detection_runs=1 + runs))
+
+    def _plan_victims(self, exclude: Optional[set] = None) -> tuple:
+        """Compute (victim, resource) demands that break every knot.
+
+        Works on a scratch copy: repeatedly pick the lowest-priority
+        deadlocked process (outside ``exclude``), release its holdings,
+        and re-check; at most one round per process.  Returns
+        ``(demands, detection_runs, complete)`` where ``complete`` says
+        the final scratch state is deadlock-free.
+        """
+        excluded = exclude if exclude is not None else set()
+        scratch = self.system.copy()
+        demands: list = []
+        victimized: set = set()
+        runs = 0
+        complete = False
+        while True:
+            detection = scratch.detect()
+            runs += 1
+            if not detection.deadlock:
+                complete = True
+                break
+            candidates = [p for p in detection.deadlocked_processes
+                          if p not in victimized and p not in excluded]
+            if not candidates:
+                break
+            victim = max(candidates, key=lambda p: self.priorities[p])
+            victimized.add(victim)
+            for q in scratch.resources:
+                held = scratch.allocation_of(victim, q)
+                if held:
+                    scratch.release(victim, q, held)
+                    demands.append((victim, q))
+        return tuple(demands), runs, complete
+
+    # -- releases ---------------------------------------------------------------------
+
+    def release(self, process: str, resource: str,
+                units: int = 1) -> Decision:
+        self.system.release(process, resource, units)
+        runs = 0
+        granted_to: Optional[str] = None
+        skipped_higher = False
+        waiters = sorted(
+            (p for p in self.system.processes
+             if self.system.outstanding_request(p, resource) > 0),
+            key=lambda p: self.priorities[p])
+        for candidate in waiters:
+            wanted = self.system.outstanding_request(candidate, resource)
+            grantable = min(wanted, self.system.available(resource))
+            if grantable == 0:
+                break
+            self.system.grant(candidate, resource, grantable)
+            runs += 1
+            if self.system.detect().deadlock:
+                # Undo: take the units back and restore the request.
+                self.system.release(candidate, resource, grantable)
+                self.system.request(candidate, resource, grantable)
+                skipped_higher = True
+                continue
+            granted_to = candidate
+            self._giveup_counts.pop((candidate, resource), None)
+            break
+        if granted_to is not None:
+            kind = (DeadlockKind.GRANT if skipped_higher
+                    else DeadlockKind.NONE)
+            return self._finish(Decision(
+                event="release", process=process, resource=resource,
+                action=Action.HANDED_OFF, deadlock_kind=kind,
+                granted_to=granted_to, detection_runs=runs))
+        if skipped_higher and waiters:
+            victim = waiters[-1]
+            return self._finish(Decision(
+                event="release", process=process, resource=resource,
+                action=Action.RELEASED,
+                deadlock_kind=DeadlockKind.GRANT, livelock=True,
+                ask_release=self._held_pairs(victim),
+                detection_runs=runs))
+        return self._finish(Decision(
+            event="release", process=process, resource=resource,
+            action=Action.RELEASED, detection_runs=runs))

@@ -1,0 +1,117 @@
+"""The two deadlock-avoidance approaches the paper rejected.
+
+Section 4.3.1: "We initially considered two other deadlock avoidance
+approaches but found Algorithm 3 to be better because it resolves
+livelock more actively and efficiently than two other approaches [28]."
+Reference [28] describes them as (i) a *requester-always-yields* policy
+and (ii) a plain *deny-and-retry* policy.  Both are implemented here so
+the design choice can be ablated (see
+``benchmarks/test_bench_ablation_policies.py`` and
+``repro.experiments.ablation_policies``):
+
+* :class:`RequesterYieldsDAA` — on R-dl the requester *always* gives up
+  its held resources, regardless of priorities, and no lower-priority
+  grant fallback is attempted on G-dl (the released resource simply
+  stays idle).  Starvation-prone: a low-priority process can be forced
+  to yield forever, and a high-priority process wastes its own held
+  work.
+* :class:`DenyRetryDAA` — on R-dl the request is denied outright (the
+  requester keeps what it holds and must retry later); on G-dl the
+  resource is left idle.  Deadlock-free but passive: conflicts are
+  never actively resolved, so the same denial can repeat indefinitely —
+  the livelock Definition 2 describes.
+
+Both subclasses inherit the full detection machinery (and hence cost
+models) from :class:`~repro.deadlock.daa.AvoidanceCore`; only the
+conflict-resolution hooks differ, which is exactly the comparison the
+paper made.
+"""
+
+from __future__ import annotations
+
+from repro.deadlock.daa import (
+    Action,
+    AvoidanceCore,
+    Decision,
+    DeadlockKind,
+    SoftwareDAA,
+)
+
+
+class RequesterYieldsDAA(SoftwareDAA):
+    """Rejected approach (i): the requester always yields on R-dl."""
+
+    gdl_fallback = False
+
+    def _resolve_rdl(self, process: str, resource: str, owner: str,
+                     runs: int, passes: int) -> Decision:
+        # Roll the tentative request back and demand the requester's
+        # held resources — even when the requester outranks the owner.
+        self.rag.remove_request(process, resource)
+        key = (process, resource)
+        self._giveup_counts[key] = self._giveup_counts.get(key, 0) + 1
+        livelock = self._giveup_counts[key] >= self.livelock_threshold
+        held = self.rag.held_by(process)
+        return self._finish(Decision(
+            event="request", process=process, resource=resource,
+            action=Action.GIVE_UP,
+            deadlock_kind=DeadlockKind.REQUEST,
+            livelock=livelock,
+            ask_release=tuple((process, r) for r in held),
+            detection_runs=runs, detection_passes=passes,
+        ), waiters_scanned=0)
+
+    def _resolve_gdl_exhausted(self, process: str, resource: str,
+                               waiters: list, runs: int,
+                               passes: int) -> Decision:
+        # Leave the resource idle; waiters keep waiting.
+        return self._finish(Decision(
+            event="release", process=process, resource=resource,
+            action=Action.RELEASED,
+            deadlock_kind=DeadlockKind.GRANT,
+            detection_runs=runs, detection_passes=passes,
+        ), waiters_scanned=len(waiters))
+
+
+class DenyRetryDAA(SoftwareDAA):
+    """Rejected approach (ii): deny on R-dl; never demand releases."""
+
+    gdl_fallback = False
+
+    def _resolve_rdl(self, process: str, resource: str, owner: str,
+                     runs: int, passes: int) -> Decision:
+        # Roll back and deny: the requester keeps its holdings and must
+        # simply try again later.
+        self.rag.remove_request(process, resource)
+        key = (process, resource)
+        self._giveup_counts[key] = self._giveup_counts.get(key, 0) + 1
+        livelock = self._giveup_counts[key] >= self.livelock_threshold
+        return self._finish(Decision(
+            event="request", process=process, resource=resource,
+            action=Action.DENIED,
+            deadlock_kind=DeadlockKind.REQUEST,
+            livelock=livelock,
+            detection_runs=runs, detection_passes=passes,
+        ), waiters_scanned=0)
+
+    def _resolve_gdl_exhausted(self, process: str, resource: str,
+                               waiters: list, runs: int,
+                               passes: int) -> Decision:
+        return self._finish(Decision(
+            event="release", process=process, resource=resource,
+            action=Action.RELEASED,
+            deadlock_kind=DeadlockKind.GRANT,
+            detection_runs=runs, detection_passes=passes,
+        ), waiters_scanned=len(waiters))
+
+
+#: name -> policy class, for sweeps and the ablation experiment.
+POLICIES = {
+    "algorithm3": SoftwareDAA,
+    "requester-yields": RequesterYieldsDAA,
+    "deny-retry": DenyRetryDAA,
+}
+
+
+__all__ = ["RequesterYieldsDAA", "DenyRetryDAA", "POLICIES",
+           "AvoidanceCore"]

@@ -1,0 +1,222 @@
+"""Deadlock recovery for the detection configurations.
+
+Section 3.3.1: "Deadlock detection, however, usually requires a
+recovery once a deadlock is detected."  The paper's evaluation stops
+the detection experiment at the detection instant (Table 5); a system a
+user would actually deploy needs the recovery half, so this module
+provides it:
+
+* victim-selection strategies over the deadlocked sub-graph (the
+  irreducible residual PDDA leaves behind):
+
+  - ``lowest-priority`` — break the cycle at the least important
+    process (the conventional RTOS choice);
+  - ``fewest-resources`` — minimize the work thrown away by picking the
+    process holding the fewest resources;
+  - ``youngest-request`` — abort the request that closed the cycle
+    last (needs the service's event log).
+
+* :func:`plan_recovery` — compute which (process, resource) releases
+  break every cycle for a chosen victim;
+* :class:`RecoveryManager` — drives the plan through a
+  :class:`~repro.rtos.resources.DetectionResourceService`: the victim
+  is asked (Assumption 3) to release its resources and its pending
+  requests are withdrawn, after which the handoffs un-block the
+  surviving processes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.deadlock.pdda import pdda_detect
+from repro.errors import DeadlockError
+from repro.rag.graph import RAG
+
+#: strategy name -> key function factory (lower key = preferred victim).
+_STRATEGIES: dict = {}
+
+
+def _strategy(name: str) -> Callable:
+    def register(fn: Callable) -> Callable:
+        _STRATEGIES[name] = fn
+        return fn
+    return register
+
+
+@_strategy("lowest-priority")
+def _by_priority(rag: RAG, priorities: dict, candidates: Iterable[str]):
+    # Highest numeric priority value = least important task.
+    return lambda p: -priorities[p]
+
+
+@_strategy("fewest-resources")
+def _by_holdings(rag: RAG, priorities: dict, candidates: Iterable[str]):
+    return lambda p: (len(rag.held_by(p)), priorities[p])
+
+
+@_strategy("youngest-request")
+def _by_request_age(rag: RAG, priorities: dict, candidates: Iterable[str]):
+    # Without an event log the youngest request is approximated by the
+    # process with the most outstanding requests (it joined the tangle
+    # last in the scripted scenarios); priority breaks ties.
+    return lambda p: (-len(rag.requests_of(p)), priorities[p])
+
+
+def strategies() -> tuple:
+    return tuple(sorted(_STRATEGIES))
+
+
+@dataclass(frozen=True)
+class VictimStep:
+    """One victimized process and its undo set."""
+
+    victim: str
+    releases: tuple          # resources the victim must release
+    withdrawals: tuple       # pending requests of the victim to cancel
+
+
+@dataclass(frozen=True)
+class RecoveryPlan:
+    """What to undo to break *every* cycle.
+
+    A state can hold several disjoint cycles, so a plan is a sequence
+    of victim steps; single-cycle states (the common case) have exactly
+    one.  ``victim``/``releases``/``withdrawals`` expose the primary
+    step for convenience.
+    """
+
+    steps: tuple
+    strategy: str
+
+    @property
+    def victim(self) -> str:
+        return self.steps[0].victim
+
+    @property
+    def victims(self) -> tuple:
+        return tuple(step.victim for step in self.steps)
+
+    @property
+    def releases(self) -> tuple:
+        return self.steps[0].releases
+
+    @property
+    def withdrawals(self) -> tuple:
+        return self.steps[0].withdrawals
+
+    @property
+    def cost(self) -> int:
+        """Work units thrown away (held resources to be released)."""
+        return sum(len(step.releases) for step in self.steps)
+
+
+def deadlocked_processes(rag: RAG) -> tuple:
+    """Processes on a cycle (PDDA residual, Definition 13)."""
+    result = pdda_detect(rag)
+    if not result.deadlock:
+        return ()
+    return tuple(result.deadlocked_processes())
+
+
+def plan_recovery(rag: RAG, priorities: dict,
+                  strategy: str = "lowest-priority") -> RecoveryPlan:
+    """Choose victims until every cycle is broken.
+
+    Works on a scratch copy: a state may hold several disjoint cycles,
+    so victims are selected (one per remaining tangle) until the
+    residual is clean.  Raises :class:`DeadlockError` when the state
+    has no deadlock.
+    """
+    try:
+        key_factory = _STRATEGIES[strategy]
+    except KeyError:
+        raise DeadlockError(
+            f"unknown recovery strategy {strategy!r}; available: "
+            f"{strategies()}") from None
+    if not deadlocked_processes(rag):
+        raise DeadlockError("no deadlock to recover from")
+    scratch = rag.copy()
+    steps: list = []
+    while True:
+        candidates = deadlocked_processes(scratch)
+        if not candidates:
+            break
+        key = key_factory(scratch, priorities, candidates)
+        victim = min(sorted(candidates), key=key)
+        releases = scratch.held_by(victim)
+        withdrawals = scratch.requests_of(victim)
+        for resource in withdrawals:
+            scratch.remove_request(victim, resource)
+        for resource in releases:
+            scratch.release(victim, resource)
+        steps.append(VictimStep(victim=victim, releases=releases,
+                                withdrawals=withdrawals))
+    return RecoveryPlan(steps=tuple(steps), strategy=strategy)
+
+
+def apply_plan(rag: RAG, plan: RecoveryPlan) -> None:
+    """Execute a plan directly on a RAG (used by tests and tools).
+
+    The service-level path is :class:`RecoveryManager`.
+    """
+    for step in plan.steps:
+        for resource in step.withdrawals:
+            rag.remove_request(step.victim, resource)
+        for resource in step.releases:
+            rag.release(step.victim, resource)
+    if pdda_detect(rag).deadlock:
+        raise DeadlockError(
+            f"recovery plan ({plan.victims}) did not break every cycle")
+
+
+@dataclass
+class RecoveryRecord:
+    """One executed recovery, for reporting."""
+
+    time: float
+    plan: RecoveryPlan
+
+
+class RecoveryManager:
+    """Drives recovery through a detection resource service.
+
+    Attach to a :class:`~repro.rtos.resources.DetectionResourceService`
+    and call :meth:`recover` from a supervisor task once the service's
+    ``deadlock_event`` fires; the victim task receives give-up
+    notifications for its held resources (Assumption 3) and its pending
+    requests are withdrawn so its ``wait_grant`` calls can be abandoned.
+    """
+
+    def __init__(self, service, priorities: dict,
+                 strategy: str = "lowest-priority") -> None:
+        self.service = service
+        self.priorities = dict(priorities)
+        self.strategy = strategy
+        self.recoveries: list = []
+
+    def recover(self, supervisor_ctx) -> "RecoveryPlan":
+        """Plan and execute one recovery; returns the plan."""
+        rag = self.service.rag
+        plan = plan_recovery(rag, self.priorities, self.strategy)
+        kernel = self.service.kernel
+        for step in plan.steps:
+            # Withdraw the victim's pending requests so the cycle
+            # breaks even before the releases land.
+            for resource in step.withdrawals:
+                rag.remove_request(step.victim, resource)
+                kernel.trace.record(kernel.engine.now, step.victim,
+                                    "request_withdrawn",
+                                    resource=resource)
+            # Demand the releases; the victim task performs them itself.
+            self.service._ask_release(
+                tuple((step.victim, resource)
+                      for resource in step.releases),
+                on_behalf_of="recovery")
+        self.recoveries.append(
+            RecoveryRecord(kernel.engine.now, plan))
+        kernel.trace.record(kernel.engine.now, "recovery", "recovery_plan",
+                            victims=",".join(plan.victims),
+                            strategy=plan.strategy)
+        return plan

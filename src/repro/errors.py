@@ -1,0 +1,46 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so
+callers can catch library failures with a single ``except`` clause while
+still distinguishing configuration mistakes from runtime protocol
+violations.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigurationError(ReproError):
+    """A system/unit configuration is invalid (bad sizes, widths, names)."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class DeadlockError(ReproError):
+    """A deadlock-protocol violation (not the detection of a deadlock)."""
+
+
+class ResourceProtocolError(ReproError):
+    """A resource request/grant/release violated the protocol.
+
+    Examples: releasing a resource the process does not hold (violates
+    Assumption 2 of the paper), double-granting a resource, or a request
+    from an unknown process.
+    """
+
+
+class AllocationError(ReproError):
+    """Dynamic memory allocation failed (out of blocks / heap)."""
+
+
+class RTOSError(ReproError):
+    """An RTOS service was used incorrectly (bad task state, bad id)."""
+
+
+class GenerationError(ReproError):
+    """HDL/architecture generation failed (unknown component, bad size)."""

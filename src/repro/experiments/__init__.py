@@ -1,0 +1,12 @@
+"""Experiment harnesses: one module per paper table/figure.
+
+Every module exposes ``run()`` returning a result object with a
+``render()`` (or the module provides ``render(result)``) producing the
+regenerated table as text, plus the paper's published values for
+side-by-side comparison.  ``repro.experiments.registry`` indexes them;
+``python -m repro.experiments`` runs everything.
+"""
+
+from repro.experiments.registry import EXPERIMENTS, run_all, run_experiment
+
+__all__ = ["EXPERIMENTS", "run_experiment", "run_all"]

@@ -1,0 +1,76 @@
+"""Run every experiment and print the regenerated tables/figures.
+
+Usage::
+
+    python -m repro.experiments                  # everything, to stdout
+    python -m repro.experiments table5 fig20     # a selection
+    python -m repro.experiments --markdown report.md   # one document
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+
+def _render_all(wanted: list) -> list:
+    sections = []
+    for exp_id in wanted:
+        description, _runner = EXPERIMENTS[exp_id]
+        sections.append((exp_id, description,
+                         run_experiment(exp_id).render()))
+    return sections
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.")
+    parser.add_argument("experiments", nargs="*",
+                        help="experiment ids (default: all)")
+    parser.add_argument("--list", action="store_true",
+                        help="list available experiments and exit")
+    parser.add_argument("--markdown", metavar="FILE",
+                        help="write a single markdown report")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for exp_id, (description, _runner) in EXPERIMENTS.items():
+            print(f"{exp_id:<20s} {description}")
+        return 0
+
+    wanted = args.experiments if args.experiments else list(EXPERIMENTS)
+    unknown = [exp for exp in wanted if exp not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {unknown}", file=sys.stderr)
+        print(f"available: {sorted(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+
+    sections = _render_all(wanted)
+    if args.markdown:
+        lines = ["# Regenerated evaluation",
+                 "",
+                 "Produced by `python -m repro.experiments --markdown`.",
+                 ""]
+        for exp_id, description, body in sections:
+            lines.append(f"## {exp_id}: {description}")
+            lines.append("")
+            lines.append("```")
+            lines.append(body)
+            lines.append("```")
+            lines.append("")
+        Path(args.markdown).write_text("\n".join(lines))
+        print(f"wrote {args.markdown} ({len(sections)} experiment(s))")
+        return 0
+
+    for exp_id, description, body in sections:
+        print(f"\n### {exp_id}: {description}\n")
+        print(body)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,129 @@
+"""Exhaustive verification of PDDA and the iteration bound.
+
+Random testing samples the state space; for small units we can do
+better — enumerate *every* legal system state and check, for each one:
+
+* PDDA's verdict equals the DFS cycle oracle (the proven iff of [29]);
+* the structural and behavioural DDU models agree;
+* the reduction iteration count never exceeds the bound
+  ``max(2, 2*min(m, n) - 3)``.
+
+State counts: a row with n processes has (n * 2^(n-1) + 2^n) legal
+configurations (a grant in one of n cells with any request pattern in
+the rest, or no grant at all), and rows are independent — 20 per row at
+n = 3, so a 3x3 unit has 8,000 states, all checked in well under a
+second.  This also recovers Table 1's "worst case # iterations" column
+*by measurement* for the sizes that are exhaustively enumerable.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.deadlock.ddu import DDU
+from repro.deadlock.ddu_rtl import StructuralDDU
+from repro.deadlock.pdda import pdda_detect
+from repro.experiments.report import render_table
+from repro.rag.matrix import CellState, StateMatrix
+
+
+def _row_configurations(n: int):
+    """Every legal row: at most one grant, any requests elsewhere."""
+    rows = []
+    for grant_at in range(-1, n):
+        free = [t for t in range(n) if t != grant_at]
+        for bits in itertools.product((0, 1), repeat=len(free)):
+            row = [CellState.EMPTY] * n
+            if grant_at >= 0:
+                row[grant_at] = CellState.GRANT
+            for t, bit in zip(free, bits):
+                if bit:
+                    row[t] = CellState.REQUEST
+            rows.append(tuple(row))
+    return rows
+
+
+def enumerate_states(m: int, n: int):
+    """Yield every legal m x n state matrix."""
+    rows = _row_configurations(n)
+    for combo in itertools.product(rows, repeat=m):
+        matrix = StateMatrix(m, n)
+        matrix._cells = [list(row) for row in combo]
+        yield matrix
+
+
+@dataclass(frozen=True)
+class ExhaustiveRow:
+    m: int
+    n: int
+    states: int
+    deadlocked_states: int
+    max_iterations: int
+    bound: int
+    oracle_disagreements: int
+    structural_disagreements: int
+
+
+@dataclass(frozen=True)
+class ExhaustiveResult:
+    rows: tuple
+
+    def render(self) -> str:
+        table = render_table(
+            ["size", "states", "deadlocked", "max iterations", "bound",
+             "oracle mismatches", "structural mismatches"],
+            [(f"{row.m}x{row.n}", row.states, row.deadlocked_states,
+              row.max_iterations, row.bound, row.oracle_disagreements,
+              row.structural_disagreements)
+             for row in self.rows],
+            title="Exhaustive verification over every legal state")
+        return (f"{table}\n"
+                "0 mismatches = PDDA === cycle oracle === structural "
+                "DDU on the full state space; the measured max "
+                "iterations are the true Table 1 worst cases for these "
+                "sizes.")
+
+
+def run(sizes: tuple = ((2, 2), (2, 3), (3, 2), (3, 3))
+        ) -> ExhaustiveResult:
+    rows = []
+    for m, n in sizes:
+        behavioural = DDU(m, n)
+        structural = StructuralDDU(m, n)
+        states = 0
+        deadlocked = 0
+        max_iterations = 0
+        oracle_bad = 0
+        structural_bad = 0
+        for matrix in enumerate_states(m, n):
+            states += 1
+            software = pdda_detect(matrix)
+            oracle = matrix.to_rag().has_cycle()
+            if software.deadlock != oracle:
+                oracle_bad += 1
+            behavioural.load(matrix)
+            hw = behavioural.detect()
+            structural.load(matrix)
+            cells = structural.detect()
+            if (hw.deadlock, hw.iterations) != (cells.deadlock,
+                                                cells.iterations):
+                structural_bad += 1
+            if software.deadlock:
+                deadlocked += 1
+            max_iterations = max(max_iterations, software.iterations)
+        rows.append(ExhaustiveRow(
+            m=m, n=n, states=states, deadlocked_states=deadlocked,
+            max_iterations=max_iterations,
+            bound=behavioural.iteration_bound,
+            oracle_disagreements=oracle_bad,
+            structural_disagreements=structural_bad))
+    return ExhaustiveResult(rows=tuple(rows))
+
+
+def main() -> None:
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

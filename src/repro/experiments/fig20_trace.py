@@ -1,0 +1,64 @@
+"""Figure 20: execution trace of tasks 1-3 under IPCP.
+
+Runs a short robot-application window under RTOS6 and renders the
+run/block timeline of task1, task2 and task3 — the paper's point being
+that with the SoCLC's immediate priority ceiling protocol, task3 runs
+at the ceiling inside its critical section, so task2 cannot preempt it;
+task3 completes the CS and then yields PE2 to task2.  The same window
+under RTOS5 shows task2's preemption of task3 mid-CS (the inversion).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.robot import run_robot_app
+from repro.framework.builder import build_system
+
+
+@dataclass(frozen=True)
+class Fig20Result:
+    gantt_rtos6: str
+    gantt_rtos5: str
+    rtos5_preemptions_task3: int
+    rtos6_preemptions_task3: int
+
+    def render(self) -> str:
+        return "\n".join([
+            "Figure 20: execution trace, RTOS6 (SoCLC + IPCP)",
+            "=" * 52,
+            self.gantt_rtos6,
+            "",
+            "Same window, RTOS5 (software PI) — note task3 preempted:",
+            self.gantt_rtos5,
+            "",
+            f"task3 preemptions: RTOS5={self.rtos5_preemptions_task3} "
+            f"vs RTOS6={self.rtos6_preemptions_task3}",
+        ])
+
+
+def _run_window(config: str):
+    system = build_system(config)
+    run_robot_app(config, periods=2, system=system)
+    gantt = system.soc.trace.gantt(actors=("task1", "task2", "task3"))
+    task3 = system.kernel.tasks["task3"]
+    return gantt, task3.stats.preemptions
+
+
+def run() -> Fig20Result:
+    gantt6, preempt6 = _run_window("RTOS6")
+    gantt5, preempt5 = _run_window("RTOS5")
+    return Fig20Result(
+        gantt_rtos6=gantt6,
+        gantt_rtos5=gantt5,
+        rtos5_preemptions_task3=preempt5,
+        rtos6_preemptions_task3=preempt6,
+    )
+
+
+def main() -> None:
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

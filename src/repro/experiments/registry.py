@@ -1,0 +1,98 @@
+"""Index of every regenerated table and figure."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.experiments import (
+    ablation_policies,
+    ablation_recovery,
+    ablation_hierbus,
+    complexity_survey,
+    diagrams,
+    exhaustive_bound,
+    latency_profile,
+    fig7_top_generation,
+    fig11_matrix_example,
+    fig20_trace,
+    table1_ddu_synthesis,
+    table2_dau_synthesis,
+    table3_configurations,
+    table4_event_sequence,
+    table5_ddu_vs_pdda,
+    table6_gdl_sequence,
+    table7_gdl,
+    table8_rdl_sequence,
+    table9_rdl,
+    table10_soclc_robot,
+    table11_malloc,
+    table12_socdmmu,
+)
+
+#: experiment id -> (description, run callable).
+EXPERIMENTS: dict[str, tuple[str, Callable]] = {
+    "table1": ("DDU synthesis results (LoC / NAND2 area / worst "
+               "iterations)", table1_ddu_synthesis.run),
+    "table2": ("DAU synthesis results (.005% of the MPSoC)",
+               table2_dau_synthesis.run),
+    "table3": ("the configured RTOS/MPSoCs, regenerated from the "
+               "live presets", table3_configurations.run),
+    "table4": ("event sequence leading to deadlock + Figure 15 RAG",
+               table4_event_sequence.run),
+    "table5": ("DDU vs PDDA-in-software: algorithm + application time",
+               table5_ddu_vs_pdda.run),
+    "table6": ("G-dl sequence under the DAU + Figure 16",
+               table6_gdl_sequence.run),
+    "table7": ("DAU vs DAA-in-software on the G-dl application",
+               table7_gdl.run),
+    "table8": ("R-dl sequence under the DAU + Figure 17",
+               table8_rdl_sequence.run),
+    "table9": ("DAU vs DAA-in-software on the R-dl application",
+               table9_rdl.run),
+    "table10": ("SoCLC + IPCP vs software PI on the robot application",
+                table10_soclc_robot.run),
+    "table11": ("SPLASH-2 with glibc-style malloc/free",
+                table11_malloc.run),
+    "table12": ("SPLASH-2 with the SoCDMMU",
+                table12_socdmmu.run),
+    "fig7": ("Archi_gen Top.v generation (Example 1)",
+             fig7_top_generation.run),
+    "fig11": ("state-matrix representation + one reduction step "
+              "(Examples 3-4, Figures 11-12)", fig11_matrix_example.run),
+    "fig20": ("robot execution trace, IPCP vs PI", fig20_trace.run),
+    "ablation_policies": ("Algorithm 3 vs the two rejected avoidance "
+                          "policies (Section 4.3.1)",
+                          ablation_policies.run),
+    "ablation_recovery": ("recovery victim-selection strategies on "
+                          "random deadlocks", ablation_recovery.run),
+    "ablation_hierbus": ("flat vs hierarchical bus under a locality "
+                         "sweep (refs [7-9])", ablation_hierbus.run),
+    "complexity_survey": ("prior-work complexity survey, measured "
+                          "(Section 3.3)", complexity_survey.run),
+    "latency_profile": ("detection latency distribution: hardware "
+                        "bound vs software tail", latency_profile.run),
+    "exhaustive_bound": ("exhaustive verification over every legal "
+                         "small state (PDDA === oracle === structural "
+                         "DDU; true worst-case iterations)",
+                         exhaustive_bound.run),
+    "diagrams": ("architecture block diagrams (Figures 1, 2, 8-10, "
+                 "13-14, 18-19) rendered from the live objects",
+                 diagrams.run),
+}
+
+
+def run_experiment(experiment_id: str):
+    """Run one experiment by id; returns its result object."""
+    try:
+        _description, runner = EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; available: "
+            f"{sorted(EXPERIMENTS)}") from None
+    return runner()
+
+
+def run_all() -> dict:
+    """Run every experiment; returns {id: result}."""
+    return {exp_id: runner()
+            for exp_id, (_desc, runner) in EXPERIMENTS.items()}

@@ -1,0 +1,17 @@
+"""Plain-text table rendering shared by the experiment harnesses.
+
+The implementation lives in :mod:`repro.textutils` (a leaf module with
+no package dependencies) so non-experiment code — e.g.
+:mod:`repro.rtos.report` — can use it without importing the experiment
+registry; this module re-exports it under the historical name.
+"""
+
+from repro.textutils import (
+    format_value,
+    render_table,
+    speedup_factor,
+    speedup_percent,
+)
+
+__all__ = ["render_table", "format_value", "speedup_percent",
+           "speedup_factor"]

@@ -1,0 +1,60 @@
+"""Table 10: simulation results of the robot application.
+
+Runs the robot-control + MPEG task set under RTOS5 (Atalanta with
+software priority inheritance) and RTOS6 (SoCLC with IPCP in hardware)
+and reports the three published rows: lock latency, lock delay and
+overall execution time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.robot import RobotRun, run_robot_app
+from repro.experiments.report import render_table, speedup_factor
+
+PAPER_TABLE_10 = {
+    "lock_latency": (570, 318, 1.79),
+    "lock_delay": (6_701, 3_834, 1.75),
+    "overall": (112_170, 78_226, 1.43),
+}
+
+
+@dataclass(frozen=True)
+class Table10Result:
+    software: RobotRun
+    hardware: RobotRun
+
+    def render(self) -> str:
+        rows = []
+        measured = {
+            "Lock Latency": (self.software.lock_latency,
+                             self.hardware.lock_latency),
+            "Lock Delay": (self.software.lock_delay,
+                           self.hardware.lock_delay),
+            "Overall Execution": (self.software.overall_cycles,
+                                  self.hardware.overall_cycles),
+        }
+        paper_keys = ("lock_latency", "lock_delay", "overall")
+        for (label, (sw, hw)), key in zip(measured.items(), paper_keys):
+            paper_sw, paper_hw, paper_x = PAPER_TABLE_10[key]
+            rows.append((label, sw, hw,
+                         f"{speedup_factor(sw, hw):.2f}X",
+                         paper_sw, paper_hw, f"{paper_x:.2f}X"))
+        return render_table(
+            ["(cycles)", "RTOS5", "RTOS6", "speedup",
+             "paper RTOS5", "paper RTOS6", "paper speedup"],
+            rows, title="Table 10: robot application, SoCLC vs software PI")
+
+
+def run() -> Table10Result:
+    return Table10Result(software=run_robot_app("RTOS5"),
+                         hardware=run_robot_app("RTOS6"))
+
+
+def main() -> None:
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

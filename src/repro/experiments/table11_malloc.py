@@ -1,0 +1,50 @@
+"""Table 11: SPLASH-2 benchmarks with glibc-style malloc()/free().
+
+Runs the LU / FFT / RADIX kernels on the software heap (RTOS5) and
+reports total execution time, memory-management time and the percentage
+spent in memory management.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.splash import SPLASH_BENCHMARKS, run_splash
+from repro.experiments.report import render_table
+
+PAPER_TABLE_11 = {
+    "LU": (318_307, 31_512, 9.90),
+    "FFT": (375_988, 101_998, 27.13),
+    "RADIX": (694_333, 141_491, 20.38),
+}
+
+
+@dataclass(frozen=True)
+class Table11Result:
+    runs: tuple
+
+    def render(self) -> str:
+        rows = []
+        for run_ in self.runs:
+            paper = PAPER_TABLE_11[run_.benchmark]
+            rows.append((run_.benchmark, run_.total_cycles, run_.mm_cycles,
+                         f"{run_.mm_percent:.2f}%",
+                         paper[0], paper[1], f"{paper[2]:.2f}%"))
+        return render_table(
+            ["benchmark", "total", "mm cycles", "mm %",
+             "paper total", "paper mm", "paper mm %"],
+            rows,
+            title="Table 11: SPLASH-2 with glibc-style malloc()/free()")
+
+
+def run() -> Table11Result:
+    return Table11Result(runs=tuple(
+        run_splash(name, "RTOS5") for name in SPLASH_BENCHMARKS))
+
+
+def main() -> None:
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""Table 12: SPLASH-2 benchmarks with the SoCDMMU.
+
+Runs the same kernels as Table 11 but with the hardware memory manager
+(RTOS7) and additionally reports the two reduction columns the paper
+derives: the reduction in memory-management time and the reduction in
+benchmark execution time versus the Table 11 run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.splash import SPLASH_BENCHMARKS, run_splash
+from repro.experiments.report import render_table
+
+PAPER_TABLE_12 = {
+    "LU": (288_271, 1_476, 0.51, 95.31, 9.44),
+    "FFT": (276_941, 2_951, 1.07, 97.10, 26.34),
+    "RADIX": (558_347, 5_505, 0.99, 96.10, 19.59),
+}
+
+
+@dataclass(frozen=True)
+class Table12Row:
+    benchmark: str
+    total: float
+    mm_cycles: float
+    mm_percent: float
+    mm_reduction_percent: float
+    exe_reduction_percent: float
+
+
+@dataclass(frozen=True)
+class Table12Result:
+    rows: tuple
+
+    def render(self) -> str:
+        table_rows = []
+        for row in self.rows:
+            paper = PAPER_TABLE_12[row.benchmark]
+            table_rows.append((
+                row.benchmark, row.total, row.mm_cycles,
+                f"{row.mm_percent:.2f}%",
+                f"{row.mm_reduction_percent:.2f}%",
+                f"{row.exe_reduction_percent:.2f}%",
+                paper[0], paper[1], f"{paper[3]:.2f}%", f"{paper[4]:.2f}%"))
+        return render_table(
+            ["benchmark", "total", "mm", "mm %", "mm reduction",
+             "exe reduction", "paper total", "paper mm",
+             "paper mm red", "paper exe red"],
+            table_rows, title="Table 12: SPLASH-2 with the SoCDMMU")
+
+
+def run() -> Table12Result:
+    rows = []
+    for name in SPLASH_BENCHMARKS:
+        software = run_splash(name, "RTOS5")
+        hardware = run_splash(name, "RTOS7")
+        mm_reduction = 100.0 * (1 - hardware.mm_cycles / software.mm_cycles)
+        exe_reduction = 100.0 * (1 - hardware.total_cycles
+                                 / software.total_cycles)
+        rows.append(Table12Row(
+            benchmark=name,
+            total=hardware.total_cycles,
+            mm_cycles=hardware.mm_cycles,
+            mm_percent=hardware.mm_percent,
+            mm_reduction_percent=mm_reduction,
+            exe_reduction_percent=exe_reduction))
+    return Table12Result(rows=tuple(rows))
+
+
+def main() -> None:
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

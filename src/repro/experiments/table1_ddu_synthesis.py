@@ -1,0 +1,82 @@
+"""Table 1: synthesis results of the DDU.
+
+Regenerates the five published rows (lines of Verilog, NAND2 area,
+worst-case iterations) from the synthesis model, and *measures* the
+worst-case iteration count by actually running each DDU size on its
+longest reducible chain — demonstrating the hardware model respects the
+published bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.deadlock.ddu import DDU
+from repro.deadlock.synthesis import DDU_PUBLISHED, ddu_synthesis
+from repro.experiments.report import render_table
+from repro.rag.generate import worst_case_state
+
+#: Published Table 1 rows for side-by-side comparison.
+PAPER_TABLE_1 = {
+    (2, 3): (49, 186, 2),
+    (5, 5): (73, 364, 6),
+    (7, 7): (102, 455, 10),
+    (10, 10): (162, 622, 16),
+    (50, 50): (2682, 14142, 96),
+}
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    processes: int
+    resources: int
+    lines: int
+    area: int
+    worst_iterations: int
+    measured_chain_iterations: int
+    paper_lines: int
+    paper_area: int
+    paper_worst: int
+
+
+@dataclass(frozen=True)
+class Table1Result:
+    rows: tuple
+
+    def render(self) -> str:
+        return render_table(
+            ["size", "lines", "area", "worst iter",
+             "measured chain iter", "paper lines", "paper area",
+             "paper worst"],
+            [(f"{row.processes}x{row.resources}", row.lines, row.area,
+              row.worst_iterations, row.measured_chain_iterations,
+              row.paper_lines, row.paper_area, row.paper_worst)
+             for row in self.rows],
+            title="Table 1: synthesis results of DDU")
+
+
+def run() -> Table1Result:
+    rows = []
+    for (p, r) in sorted(DDU_PUBLISHED):
+        estimate = ddu_synthesis(p, r)
+        unit = DDU(r, p)
+        unit.load(worst_case_state(r, p))
+        measured = unit.detect().iterations
+        paper = PAPER_TABLE_1[(p, r)]
+        rows.append(Table1Row(
+            processes=p, resources=r,
+            lines=estimate.lines_of_verilog,
+            area=estimate.area_nand2,
+            worst_iterations=estimate.worst_iterations,
+            measured_chain_iterations=measured,
+            paper_lines=paper[0], paper_area=paper[1],
+            paper_worst=paper[2]))
+    return Table1Result(rows=tuple(rows))
+
+
+def main() -> None:
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Table 5: deadlock detection time and application execution time.
+
+Runs the Table 4 scenario (the Jini-inspired application) under RTOS1
+(PDDA in software) and RTOS2 (DDU in hardware) and reports the paper's
+two headline numbers: the mean algorithm run time and the application
+run time from start to deadlock detection, with the speed-up computed
+by the Hennessy-Patterson formula the paper cites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.jini import JiniRun, run_jini_app
+from repro.experiments.report import (render_table, speedup_factor,
+                                      speedup_percent)
+
+#: Published Table 5 values: (algorithm run time, application run time).
+PAPER_TABLE_5 = {"RTOS2": (1.3, 27_714), "RTOS1": (1_830, 40_523)}
+PAPER_APP_SPEEDUP_PERCENT = 46
+PAPER_ALGORITHM_SPEEDUP = 1408
+
+
+@dataclass(frozen=True)
+class Table5Result:
+    hardware: JiniRun
+    software: JiniRun
+
+    @property
+    def app_speedup_percent(self) -> float:
+        return speedup_percent(self.software.app_cycles,
+                               self.hardware.app_cycles)
+
+    @property
+    def algorithm_speedup(self) -> float:
+        return speedup_factor(self.software.mean_algorithm_cycles,
+                              self.hardware.mean_algorithm_cycles)
+
+    def render(self) -> str:
+        rows = [
+            ("DDU (hardware)", self.hardware.mean_algorithm_cycles,
+             self.hardware.app_cycles,
+             PAPER_TABLE_5["RTOS2"][0], PAPER_TABLE_5["RTOS2"][1]),
+            ("PDDA in software", self.software.mean_algorithm_cycles,
+             self.software.app_cycles,
+             PAPER_TABLE_5["RTOS1"][0], PAPER_TABLE_5["RTOS1"][1]),
+        ]
+        table = render_table(
+            ["implementation", "algo cycles", "app cycles",
+             "paper algo", "paper app"],
+            rows, title="Table 5: DDU vs PDDA-in-software")
+        return (f"{table}\n"
+                f"application speed-up: {self.app_speedup_percent:.0f}% "
+                f"(paper: {PAPER_APP_SPEEDUP_PERCENT}%)\n"
+                f"algorithm speed-up: {self.algorithm_speedup:.0f}X "
+                f"(paper: ~{PAPER_ALGORITHM_SPEEDUP}X)\n"
+                f"invocations: hw={self.hardware.detection_invocations} "
+                f"sw={self.software.detection_invocations} (paper: 10)")
+
+
+def run() -> Table5Result:
+    return Table5Result(hardware=run_jini_app("RTOS2"),
+                        software=run_jini_app("RTOS1"))
+
+
+def main() -> None:
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Table 7: execution time comparison on the G-dl application.
+
+Runs the Table 6 scenario under RTOS3 (DAA in software) and RTOS4 (DAU)
+and reports the mean avoidance-algorithm run time and the application
+run time to completion — the application *finishes* because the G-dl is
+avoided by granting the contested IDCT to the lower-priority process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.grant_deadlock import GdlRun, run_gdl_app
+from repro.experiments.report import (render_table, speedup_factor,
+                                      speedup_percent)
+
+PAPER_TABLE_7 = {"RTOS4": (7, 34_791), "RTOS3": (2_188, 47_704)}
+PAPER_APP_SPEEDUP_PERCENT = 37
+PAPER_ALGORITHM_SPEEDUP = 312
+
+
+@dataclass(frozen=True)
+class Table7Result:
+    hardware: GdlRun
+    software: GdlRun
+
+    @property
+    def app_speedup_percent(self) -> float:
+        return speedup_percent(self.software.app_cycles,
+                               self.hardware.app_cycles)
+
+    @property
+    def algorithm_speedup(self) -> float:
+        return speedup_factor(self.software.mean_algorithm_cycles,
+                              self.hardware.mean_algorithm_cycles)
+
+    def render(self) -> str:
+        rows = [
+            ("DAU (hardware)", self.hardware.mean_algorithm_cycles,
+             self.hardware.app_cycles,
+             PAPER_TABLE_7["RTOS4"][0], PAPER_TABLE_7["RTOS4"][1]),
+            ("DAA in software", self.software.mean_algorithm_cycles,
+             self.software.app_cycles,
+             PAPER_TABLE_7["RTOS3"][0], PAPER_TABLE_7["RTOS3"][1]),
+        ]
+        table = render_table(
+            ["implementation", "algo cycles", "app cycles",
+             "paper algo", "paper app"],
+            rows, title="Table 7: execution time comparison (G-dl)")
+        return (f"{table}\n"
+                f"application speed-up: {self.app_speedup_percent:.0f}% "
+                f"(paper: {PAPER_APP_SPEEDUP_PERCENT}%)\n"
+                f"algorithm speed-up: {self.algorithm_speedup:.0f}X "
+                f"(paper: {PAPER_ALGORITHM_SPEEDUP}X)\n"
+                f"invocations: hw={self.hardware.avoidance_invocations} "
+                f"sw={self.software.avoidance_invocations} (paper: 12)")
+
+
+def run() -> Table7Result:
+    return Table7Result(hardware=run_gdl_app("RTOS4"),
+                        software=run_gdl_app("RTOS3"))
+
+
+def main() -> None:
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

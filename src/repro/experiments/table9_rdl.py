@@ -1,0 +1,69 @@
+"""Table 9: execution time comparison on the R-dl application.
+
+Runs the Table 8 scenario under RTOS3 (DAA in software) and RTOS4
+(DAU).  The R-dl is avoided by asking the lower-priority owner to give
+up the contested IDCT (Algorithm 3 lines 6-8); the application
+completes in both configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.request_deadlock import RdlRun, run_rdl_app
+from repro.experiments.report import (render_table, speedup_factor,
+                                      speedup_percent)
+
+PAPER_TABLE_9 = {"RTOS4": (7.14, 38_508), "RTOS3": (2_102, 55_627)}
+PAPER_APP_SPEEDUP_PERCENT = 44
+PAPER_ALGORITHM_SPEEDUP = 294
+
+
+@dataclass(frozen=True)
+class Table9Result:
+    hardware: RdlRun
+    software: RdlRun
+
+    @property
+    def app_speedup_percent(self) -> float:
+        return speedup_percent(self.software.app_cycles,
+                               self.hardware.app_cycles)
+
+    @property
+    def algorithm_speedup(self) -> float:
+        return speedup_factor(self.software.mean_algorithm_cycles,
+                              self.hardware.mean_algorithm_cycles)
+
+    def render(self) -> str:
+        rows = [
+            ("DAU (hardware)", self.hardware.mean_algorithm_cycles,
+             self.hardware.app_cycles,
+             PAPER_TABLE_9["RTOS4"][0], PAPER_TABLE_9["RTOS4"][1]),
+            ("DAA in software", self.software.mean_algorithm_cycles,
+             self.software.app_cycles,
+             PAPER_TABLE_9["RTOS3"][0], PAPER_TABLE_9["RTOS3"][1]),
+        ]
+        table = render_table(
+            ["implementation", "algo cycles", "app cycles",
+             "paper algo", "paper app"],
+            rows, title="Table 9: execution time comparison (R-dl)")
+        return (f"{table}\n"
+                f"application speed-up: {self.app_speedup_percent:.0f}% "
+                f"(paper: {PAPER_APP_SPEEDUP_PERCENT}%)\n"
+                f"algorithm speed-up: {self.algorithm_speedup:.0f}X "
+                f"(paper: {PAPER_ALGORITHM_SPEEDUP}X)\n"
+                f"invocations: hw={self.hardware.avoidance_invocations} "
+                f"sw={self.software.avoidance_invocations} (paper: 14)")
+
+
+def run() -> Table9Result:
+    return Table9Result(hardware=run_rdl_app("RTOS4"),
+                        software=run_rdl_app("RTOS3"))
+
+
+def main() -> None:
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

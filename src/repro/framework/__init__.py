@@ -1,0 +1,50 @@
+"""The delta hardware/software RTOS design framework (Section 2.2).
+
+The framework configures and generates RTOS/MPSoC systems: pick the
+hardware RTOS components (SoCLC, SoCDMMU, DDU or DAU), size them, and
+get back a simulatable system plus the generated HDL top file — the
+programmatic equivalent of the paper's GUI (Figure 3).
+
+* :mod:`repro.framework.config` — configuration dataclasses and the
+  Table 3 presets RTOS1..RTOS7;
+* :mod:`repro.framework.builder` — :func:`build_system` assembles a
+  runnable :class:`BuiltSystem` from a configuration;
+* :mod:`repro.framework.busgen` — hierarchical bus-system generation
+  (Figures 4-6);
+* :mod:`repro.framework.archi_gen` — the Verilog top-file generator
+  Archi_gen (Example 1, Figure 7);
+* :mod:`repro.framework.explorer` — design-space exploration sweeps.
+"""
+
+from repro.framework.config import (
+    BusSubsystemConfig,
+    BusSystemConfig,
+    MemoryConfig,
+    RTOS_PRESETS,
+    SystemConfig,
+)
+from repro.framework.builder import BuiltSystem, build_system
+from repro.framework.busgen import GeneratedBus, generate_bus_system
+from repro.framework.archi_gen import (
+    DESCRIPTION_LIBRARY,
+    SystemDescription,
+    generate_top,
+)
+from repro.framework.explorer import DesignSpaceExplorer, ExplorationRow
+
+__all__ = [
+    "SystemConfig",
+    "RTOS_PRESETS",
+    "BusSystemConfig",
+    "BusSubsystemConfig",
+    "MemoryConfig",
+    "build_system",
+    "BuiltSystem",
+    "generate_bus_system",
+    "GeneratedBus",
+    "generate_top",
+    "SystemDescription",
+    "DESCRIPTION_LIBRARY",
+    "DesignSpaceExplorer",
+    "ExplorationRow",
+]

@@ -1,0 +1,112 @@
+"""Command-line front-end to the delta framework.
+
+The headless equivalent of the paper's GUI (Figure 3): pick a Table 3
+preset or load a saved configuration, and the tool generates the design
+artifacts — the Archi_gen ``Top.v``, the bus system, and the selected
+hardware RTOS components' module skeletons.
+
+Usage::
+
+    python -m repro.framework --preset RTOS6 --out build/
+    python -m repro.framework --config my_soc.json --out build/
+    python -m repro.framework --preset RTOS4 --dump-config rtos4.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.errors import ReproError
+from repro.framework.archi_gen import generate_top_for_config
+from repro.framework.busgen import generate_bus_system
+from repro.framework.config import (
+    RTOS_PRESETS,
+    config_from_dict,
+    config_to_dict,
+    preset,
+)
+from repro.soclc.generator import generate_soclc
+from repro.socdmmu.generator import generate_socdmmu
+
+
+def _load_config(args: argparse.Namespace):
+    if args.config is not None:
+        data = json.loads(Path(args.config).read_text())
+        return config_from_dict(data)
+    return preset(args.preset)
+
+
+def _write(out_dir: Path, name: str, text: str, written: list) -> None:
+    path = out_dir / name
+    path.write_text(text)
+    written.append(path)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.framework",
+        description="Generate RTOS/MPSoC design artifacts (delta "
+                    "framework).")
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument("--preset", choices=sorted(RTOS_PRESETS),
+                        help="one of the Table 3 configurations")
+    source.add_argument("--config", metavar="FILE",
+                        help="a saved JSON configuration")
+    parser.add_argument("--out", metavar="DIR",
+                        help="directory to write the generated HDL into")
+    parser.add_argument("--dump-config", metavar="FILE",
+                        help="write the resolved configuration as JSON")
+    args = parser.parse_args(argv)
+
+    try:
+        config = _load_config(args)
+    except (ReproError, OSError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.dump_config:
+        Path(args.dump_config).write_text(
+            json.dumps(config_to_dict(config), indent=2, sort_keys=True)
+            + "\n")
+        print(f"wrote {args.dump_config}")
+
+    if args.out:
+        out_dir = Path(args.out)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        written: list = []
+        _write(out_dir, "Top.v", generate_top_for_config(config), written)
+        bus = generate_bus_system(config.bus)
+        _write(out_dir, "bus_system.v", bus.verilog, written)
+        if config.soclc:
+            soclc = generate_soclc(config.soclc_short_locks,
+                                   config.soclc_long_locks,
+                                   config.soclc_ipcp)
+            _write(out_dir, "soclc.v", soclc.verilog, written)
+        if config.socdmmu:
+            socdmmu = generate_socdmmu(config.socdmmu_blocks,
+                                       config.socdmmu_block_bytes,
+                                       config.num_pes)
+            _write(out_dir, "socdmmu.v", socdmmu.verilog, written)
+        if config.deadlock in ("RTOS2", "RTOS4"):
+            from repro.deadlock.generator import generate_dau, generate_ddu
+            census = (config.num_pes, len(config.peripherals))
+            if config.deadlock == "RTOS2":
+                unit = generate_ddu(*census)
+                _write(out_dir, "ddu.v", unit.verilog, written)
+            else:
+                unit = generate_dau(*census)
+                _write(out_dir, "dau.v", unit.verilog, written)
+        for path in written:
+            print(f"wrote {path}")
+
+    if not args.out and not args.dump_config:
+        # No output requested: print the top file to stdout.
+        print(generate_top_for_config(config))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,247 @@
+"""Configuration dataclasses and the Table 3 presets.
+
+A :class:`SystemConfig` captures everything the delta framework GUI
+collects (Figure 3): the target architecture (PEs, resources, bus), and
+which hardware RTOS components to include with what parameters.  The
+``RTOS_PRESETS`` table reproduces Table 3's seven configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from repro.errors import ConfigurationError
+
+#: Deadlock-management choices (Table 3 rows 1-4).
+DEADLOCK_CHOICES = ("none", "RTOS1", "RTOS2", "RTOS3", "RTOS4")
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    """One memory in a bus subsystem (Figure 5)."""
+
+    memory_type: str = "SRAM"
+    address_bus_width: int = 21
+    data_bus_width: int = 64
+
+    def validate(self) -> None:
+        if self.memory_type not in ("SRAM", "SDRAM", "DRAM", "FLASH"):
+            raise ConfigurationError(
+                f"unknown memory type {self.memory_type!r}")
+        if not 8 <= self.address_bus_width <= 64:
+            raise ConfigurationError("address bus width out of range")
+        if self.data_bus_width not in (8, 16, 32, 64, 128):
+            raise ConfigurationError("data bus width must be a power of "
+                                     "two between 8 and 128")
+
+
+@dataclass(frozen=True)
+class BusSubsystemConfig:
+    """One bus-attached node (BAN) subsystem (Figure 6)."""
+
+    cpu_type: str = "MPC755"
+    non_cpu_type: str = "None"
+    num_global_memory: int = 1
+    num_local_memory: int = 0
+    memories: tuple = (MemoryConfig(),)
+
+    def validate(self) -> None:
+        if self.num_global_memory < 0 or self.num_local_memory < 0:
+            raise ConfigurationError("memory counts must be non-negative")
+        expected = self.num_global_memory + self.num_local_memory
+        if expected and len(self.memories) != expected:
+            raise ConfigurationError(
+                f"subsystem declares {expected} memories but configures "
+                f"{len(self.memories)}")
+        for memory in self.memories:
+            memory.validate()
+
+
+@dataclass(frozen=True)
+class BusSystemConfig:
+    """Hierarchical bus system parameters (Figure 4)."""
+
+    num_bans: int = 2
+    address_bus_width: int = 32
+    data_bus_width: int = 64
+    subsystems: tuple = ()
+
+    def validate(self) -> None:
+        if self.num_bans < 1:
+            raise ConfigurationError("need at least one BAN")
+        if self.address_bus_width not in (16, 24, 32, 40, 48, 64):
+            raise ConfigurationError("unsupported address bus width")
+        if self.data_bus_width not in (8, 16, 32, 64, 128):
+            raise ConfigurationError("unsupported data bus width")
+        if self.subsystems and len(self.subsystems) != self.num_bans:
+            raise ConfigurationError(
+                f"{self.num_bans} BANs declared but "
+                f"{len(self.subsystems)} subsystems configured")
+        for subsystem in self.subsystems:
+            subsystem.validate()
+
+    def with_default_subsystems(self) -> "BusSystemConfig":
+        """Fill in one default subsystem per BAN when none were given."""
+        if self.subsystems:
+            return self
+        return replace(self, subsystems=tuple(
+            BusSubsystemConfig() for _ in range(self.num_bans)))
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """A full RTOS/MPSoC configuration (the GUI's collected state)."""
+
+    name: str = "BASE"
+    num_pes: int = 4
+    pe_type: str = "MPC755"
+    peripherals: tuple = ("VI", "IDCT", "DSP", "WI")
+    bus: BusSystemConfig = field(default_factory=BusSystemConfig)
+    #: Deadlock management: "none" or one of RTOS1..RTOS4 (Table 3).
+    deadlock: str = "none"
+    #: Include the SoCLC (RTOS6) with this many short/long locks.
+    soclc: bool = False
+    soclc_short_locks: int = 8
+    soclc_long_locks: int = 8
+    soclc_ipcp: bool = True
+    #: Include the SoCDMMU (RTOS7).
+    socdmmu: bool = False
+    socdmmu_blocks: int = 256
+    socdmmu_block_bytes: int = 64 * 1024
+    #: Software priority-inheritance support (RTOS5 baseline).
+    priority_inheritance: bool = True
+    #: Scheduler parameters.
+    quantum: int = 200
+    round_robin: bool = False
+
+    def validate(self) -> None:
+        if self.num_pes < 1:
+            raise ConfigurationError("need at least one PE")
+        if self.deadlock not in DEADLOCK_CHOICES:
+            raise ConfigurationError(
+                f"deadlock must be one of {DEADLOCK_CHOICES}")
+        if self.soclc and self.soclc_short_locks + self.soclc_long_locks < 1:
+            raise ConfigurationError("SoCLC enabled with zero locks")
+        if self.socdmmu and self.socdmmu_blocks < 1:
+            raise ConfigurationError("SoCDMMU enabled with zero blocks")
+        self.bus.validate()
+
+    @property
+    def uses_hardware_deadlock_unit(self) -> bool:
+        return self.deadlock in ("RTOS2", "RTOS4")
+
+
+#: Table 3: the configured RTOS/MPSoCs of the evaluation.
+RTOS_PRESETS: dict[str, SystemConfig] = {
+    # PDDA (Algorithms 1 and 2) in software.
+    "RTOS1": SystemConfig(name="RTOS1", deadlock="RTOS1"),
+    # DDU in hardware.
+    "RTOS2": SystemConfig(name="RTOS2", deadlock="RTOS2"),
+    # DAA (Algorithm 3) in software.
+    "RTOS3": SystemConfig(name="RTOS3", deadlock="RTOS3"),
+    # DAU in hardware.
+    "RTOS4": SystemConfig(name="RTOS4", deadlock="RTOS4"),
+    # Pure software RTOS with priority-inheritance support.
+    "RTOS5": SystemConfig(name="RTOS5", priority_inheritance=True),
+    # SoCLC with the immediate priority ceiling protocol in hardware.
+    "RTOS6": SystemConfig(name="RTOS6", soclc=True, soclc_ipcp=True),
+    # SoCDMMU in hardware.
+    "RTOS7": SystemConfig(name="RTOS7", socdmmu=True),
+}
+
+
+def preset(name: str) -> SystemConfig:
+    """Look up a Table 3 preset by name (case-insensitive)."""
+    try:
+        return RTOS_PRESETS[name.upper()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown preset {name!r}; choose from "
+            f"{sorted(RTOS_PRESETS)}") from None
+
+
+# -- persistence (what the GUI would save/load, Figure 3) -------------------------
+
+def config_to_dict(config: SystemConfig) -> dict:
+    """JSON-safe snapshot of a full system configuration."""
+    bus = config.bus
+    return {
+        "name": config.name,
+        "num_pes": config.num_pes,
+        "pe_type": config.pe_type,
+        "peripherals": list(config.peripherals),
+        "deadlock": config.deadlock,
+        "soclc": config.soclc,
+        "soclc_short_locks": config.soclc_short_locks,
+        "soclc_long_locks": config.soclc_long_locks,
+        "soclc_ipcp": config.soclc_ipcp,
+        "socdmmu": config.socdmmu,
+        "socdmmu_blocks": config.socdmmu_blocks,
+        "socdmmu_block_bytes": config.socdmmu_block_bytes,
+        "priority_inheritance": config.priority_inheritance,
+        "quantum": config.quantum,
+        "round_robin": config.round_robin,
+        "bus": {
+            "num_bans": bus.num_bans,
+            "address_bus_width": bus.address_bus_width,
+            "data_bus_width": bus.data_bus_width,
+            "subsystems": [
+                {
+                    "cpu_type": sub.cpu_type,
+                    "non_cpu_type": sub.non_cpu_type,
+                    "num_global_memory": sub.num_global_memory,
+                    "num_local_memory": sub.num_local_memory,
+                    "memories": [
+                        {
+                            "memory_type": mem.memory_type,
+                            "address_bus_width": mem.address_bus_width,
+                            "data_bus_width": mem.data_bus_width,
+                        } for mem in sub.memories],
+                } for sub in bus.subsystems],
+        },
+    }
+
+
+def config_from_dict(data: dict) -> SystemConfig:
+    """Rebuild (and validate) a configuration from its snapshot."""
+    try:
+        bus_data = data.get("bus", {})
+        subsystems = tuple(
+            BusSubsystemConfig(
+                cpu_type=sub.get("cpu_type", "MPC755"),
+                non_cpu_type=sub.get("non_cpu_type", "None"),
+                num_global_memory=sub.get("num_global_memory", 1),
+                num_local_memory=sub.get("num_local_memory", 0),
+                memories=tuple(
+                    MemoryConfig(
+                        memory_type=mem.get("memory_type", "SRAM"),
+                        address_bus_width=mem.get("address_bus_width", 21),
+                        data_bus_width=mem.get("data_bus_width", 64))
+                    for mem in sub.get("memories", ())))
+            for sub in bus_data.get("subsystems", ()))
+        bus = BusSystemConfig(
+            num_bans=bus_data.get("num_bans", 2),
+            address_bus_width=bus_data.get("address_bus_width", 32),
+            data_bus_width=bus_data.get("data_bus_width", 64),
+            subsystems=subsystems)
+        config = SystemConfig(
+            name=data.get("name", "CUSTOM"),
+            num_pes=data.get("num_pes", 4),
+            pe_type=data.get("pe_type", "MPC755"),
+            peripherals=tuple(data.get("peripherals",
+                                       ("VI", "IDCT", "DSP", "WI"))),
+            bus=bus,
+            deadlock=data.get("deadlock", "none"),
+            soclc=data.get("soclc", False),
+            soclc_short_locks=data.get("soclc_short_locks", 8),
+            soclc_long_locks=data.get("soclc_long_locks", 8),
+            soclc_ipcp=data.get("soclc_ipcp", True),
+            socdmmu=data.get("socdmmu", False),
+            socdmmu_blocks=data.get("socdmmu_blocks", 256),
+            socdmmu_block_bytes=data.get("socdmmu_block_bytes", 64 * 1024),
+            priority_inheritance=data.get("priority_inheritance", True),
+            quantum=data.get("quantum", 200),
+            round_robin=data.get("round_robin", False))
+    except (TypeError, AttributeError) as exc:
+        raise ConfigurationError(f"malformed configuration: {exc}") from exc
+    config.validate()
+    return config

@@ -1,0 +1,94 @@
+"""Design-space exploration (the delta framework's purpose, Section 2.2).
+
+"The delta framework is specifically designed to provide a solution to
+rapid RTOS/MPSoC design space exploration so that the user can easily
+and quickly find a few optimal RTOS/MPSoC architectures."
+
+:class:`DesignSpaceExplorer` runs the same workload on a list of
+configurations and tabulates the metrics each run reports, so a user
+can compare e.g. RTOS3 against RTOS4 on their own application before
+committing to hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping, Optional, Union
+
+from repro.framework.builder import BuiltSystem, build_system
+from repro.framework.config import SystemConfig
+
+#: A workload: receives a freshly built system, runs it, returns metrics.
+Workload = Callable[[BuiltSystem], Mapping[str, float]]
+
+
+@dataclass(frozen=True)
+class ExplorationRow:
+    """Metrics of one configuration under the workload."""
+
+    config_name: str
+    metrics: Mapping[str, float]
+
+
+@dataclass
+class ExplorationResult:
+    rows: list = field(default_factory=list)
+
+    def best(self, metric: str, minimize: bool = True) -> ExplorationRow:
+        """The configuration optimizing one metric."""
+        candidates = [row for row in self.rows if metric in row.metrics]
+        if not candidates:
+            raise KeyError(f"no configuration reported metric {metric!r}")
+        chooser = min if minimize else max
+        return chooser(candidates, key=lambda row: row.metrics[metric])
+
+    def render(self) -> str:
+        """Plain-text comparison table."""
+        if not self.rows:
+            return "(no configurations explored)"
+        metrics: list[str] = []
+        for row in self.rows:
+            for key in row.metrics:
+                if key not in metrics:
+                    metrics.append(key)
+        header = ["config"] + metrics
+        table = [header]
+        for row in self.rows:
+            table.append([row.config_name] + [
+                _fmt(row.metrics.get(metric)) for metric in metrics])
+        widths = [max(len(line[col]) for line in table)
+                  for col in range(len(header))]
+        lines = []
+        for index, line in enumerate(table):
+            lines.append("  ".join(
+                cell.ljust(widths[col]) for col, cell in enumerate(line)))
+            if index == 0:
+                lines.append("  ".join("-" * w for w in widths))
+        return "\n".join(lines)
+
+
+def _fmt(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:.2f}"
+    return str(int(value))
+
+
+class DesignSpaceExplorer:
+    """Run one workload across many configurations."""
+
+    def __init__(self, workload: Workload,
+                 build: Callable[..., BuiltSystem] = build_system) -> None:
+        self.workload = workload
+        self.build = build
+
+    def explore(self, configs: Iterable[Union[str, SystemConfig]],
+                **build_kwargs) -> ExplorationResult:
+        """Build + run every configuration; collect the metric rows."""
+        result = ExplorationResult()
+        for config in configs:
+            system = self.build(config, **build_kwargs)
+            metrics = dict(self.workload(system))
+            result.rows.append(ExplorationRow(system.name, metrics))
+        return result

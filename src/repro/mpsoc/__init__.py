@@ -1,0 +1,30 @@
+"""The MPSoC hardware substrate (Sections 2.1 and 5.1).
+
+Models the paper's base system: four MPC755-class processing elements
+with L1 caches, a shared bus with an arbiter running at 100 MHz, a
+memory controller in front of 16 MB of shared L2 memory, four peripheral
+resources (VI, IDCT, DSP, WI) with timers and interrupt generation, and
+an interrupt controller.
+"""
+
+from repro.mpsoc.bus import BusTiming, SystemBus
+from repro.mpsoc.cache import CacheStats, L1Cache
+from repro.mpsoc.memory import MemoryController, SharedMemory
+from repro.mpsoc.processor import ProcessingElement
+from repro.mpsoc.peripheral import Peripheral
+from repro.mpsoc.interrupt import InterruptController
+from repro.mpsoc.soc import MPSoC, SoCConfig
+
+__all__ = [
+    "SystemBus",
+    "BusTiming",
+    "L1Cache",
+    "CacheStats",
+    "SharedMemory",
+    "MemoryController",
+    "ProcessingElement",
+    "Peripheral",
+    "InterruptController",
+    "MPSoC",
+    "SoCConfig",
+]

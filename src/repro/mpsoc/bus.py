@@ -1,0 +1,84 @@
+"""The shared system bus with arbitration (Section 5.1).
+
+One transaction holds the bus for ``first-word + (words - 1) * burst``
+cycles: 3 cycles including arbitration for the first word, then 1 cycle
+per successive burst word (Section 5.5).  Masters contend through a
+pluggable arbiter (FIFO by default, as in the base system).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Optional
+
+from repro import calibration
+from repro.errors import ConfigurationError
+from repro.sim.engine import Engine
+from repro.sim.process import Arbiter, SimResource
+
+
+@dataclass(frozen=True)
+class BusTiming:
+    """Cycle cost parameters of one bus."""
+
+    first_word_cycles: int = calibration.MEM_FIRST_WORD_CYCLES
+    burst_word_cycles: int = calibration.MEM_BURST_WORD_CYCLES
+
+    def transaction_cycles(self, words: int) -> int:
+        if words < 1:
+            raise ConfigurationError("a transaction moves at least one word")
+        return (self.first_word_cycles
+                + (words - 1) * self.burst_word_cycles)
+
+
+class SystemBus:
+    """A single shared bus: masters acquire, transfer, release.
+
+    Statistics (``total_transactions``, ``busy_cycles``,
+    ``contention_cycles``) feed the experiment reports.
+    """
+
+    def __init__(self, engine: Engine, name: str = "bus",
+                 timing: Optional[BusTiming] = None,
+                 arbiter: Optional[Arbiter] = None) -> None:
+        self.engine = engine
+        self.name = name
+        self.timing = timing if timing is not None else BusTiming()
+        self._port = SimResource(engine, f"{name}.port", capacity=1,
+                                 arbiter=arbiter)
+        self.total_transactions = 0
+        self.busy_cycles = 0
+        self.contention_cycles = 0.0
+
+    def transaction(self, master: str, words: int = 1,
+                    priority: int = 0) -> Generator:
+        """Perform one bus transaction; suspends for its full duration."""
+        cost = self.timing.transaction_cycles(words)
+        requested_at = self.engine.now
+        yield from self._port.acquire(master, priority=priority)
+        self.contention_cycles += self.engine.now - requested_at
+        yield cost
+        self._port.release(master)
+        self.total_transactions += 1
+        self.busy_cycles += cost
+
+    def read_word(self, master: str, priority: int = 0) -> Generator:
+        """Single-word read (e.g. polling a unit's status register)."""
+        yield from self.transaction(master, words=1, priority=priority)
+
+    def write_word(self, master: str, priority: int = 0) -> Generator:
+        """Single-word write (e.g. a command to a hardware unit)."""
+        yield from self.transaction(master, words=1, priority=priority)
+
+    def burst(self, master: str,
+              words: int = calibration.DEFAULT_BURST_WORDS,
+              priority: int = 0) -> Generator:
+        """Cache-line sized burst transaction."""
+        yield from self.transaction(master, words=words, priority=priority)
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of elapsed simulated time the bus was transferring."""
+        if self.engine.now == 0:
+            return 0.0
+        return self.busy_cycles / self.engine.now

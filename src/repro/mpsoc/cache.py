@@ -1,0 +1,115 @@
+"""L1 cache model for the processing elements (Section 5.1).
+
+Each MPC755-class PE has separate 32 KB instruction and data L1 caches.
+The experiments only see cache behaviour through its cycle cost — a hit
+stays on-PE, a miss burns a bus burst for the line fill — so the model
+is a set-associative LRU tag store with a write-through, write-allocate
+policy (stores also post a single-word bus write, the traffic the SoCLC
+discussion cares about).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Generator
+
+from repro.errors import ConfigurationError
+from repro.mpsoc.bus import SystemBus
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    write_throughs: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+class L1Cache:
+    """Set-associative LRU cache with cycle-costed accesses."""
+
+    def __init__(self, bus: SystemBus, owner: str, size_kb: int = 32,
+                 line_bytes: int = 32, associativity: int = 4,
+                 hit_cycles: int = 1) -> None:
+        if size_kb <= 0 or line_bytes <= 0 or associativity <= 0:
+            raise ConfigurationError("cache geometry must be positive")
+        size_bytes = size_kb * 1024
+        if size_bytes % (line_bytes * associativity):
+            raise ConfigurationError(
+                "cache size must divide into line_bytes * associativity")
+        self.bus = bus
+        self.owner = owner
+        self.line_bytes = line_bytes
+        self.associativity = associativity
+        self.num_sets = size_bytes // (line_bytes * associativity)
+        self.hit_cycles = hit_cycles
+        self.line_words = line_bytes // 4
+        # One LRU-ordered tag store per set: OrderedDict tag -> None,
+        # most recently used last.
+        self._sets: list = [OrderedDict() for _ in range(self.num_sets)]
+        self.stats = CacheStats()
+
+    # -- geometry --------------------------------------------------------------
+
+    def _locate(self, address: int) -> tuple[int, int]:
+        line = address // self.line_bytes
+        return line % self.num_sets, line // self.num_sets
+
+    def contains(self, address: int) -> bool:
+        set_index, tag = self._locate(address)
+        return tag in self._sets[set_index]
+
+    @property
+    def resident_lines(self) -> int:
+        return sum(len(tags) for tags in self._sets)
+
+    # -- accesses ---------------------------------------------------------------
+
+    def access(self, address: int, write: bool = False) -> Generator:
+        """One load/store; returns True on hit.
+
+        A miss fills the line over the bus (one burst of
+        ``line_words``); a store additionally posts a write-through
+        word regardless of hit/miss.
+        """
+        if address < 0:
+            raise ConfigurationError("negative address")
+        set_index, tag = self._locate(address)
+        tags = self._sets[set_index]
+        if tag in tags:
+            tags.move_to_end(tag)
+            self.stats.hits += 1
+            hit = True
+            yield self.hit_cycles
+        else:
+            self.stats.misses += 1
+            hit = False
+            yield from self.bus.transaction(self.owner,
+                                            words=self.line_words)
+            if len(tags) >= self.associativity:
+                tags.popitem(last=False)       # evict LRU
+                self.stats.evictions += 1
+            tags[tag] = None
+        if write:
+            self.stats.write_throughs += 1
+            yield from self.bus.write_word(self.owner)
+        return hit
+
+    def flush(self) -> None:
+        """Invalidate every line (e.g. on a context's address-space
+        change)."""
+        for tags in self._sets:
+            tags.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<L1Cache {self.owner} {self.num_sets}x"
+                f"{self.associativity} lines={self.resident_lines}>")

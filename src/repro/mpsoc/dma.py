@@ -1,0 +1,143 @@
+"""DMA controller (the kind of IP core the paper's MPSoC integrates).
+
+Section 3.1 names "direct memory access hardware" as one of the custom
+resources embedded systems already share.  The controller owns a set of
+channels; a PE programs a channel (source, destination, length) and
+either polls or sleeps until the completion interrupt.  Transfers move
+cache-line bursts over the shared bus, so DMA traffic genuinely
+contends with the PEs — which is what makes the DMA a shareable,
+deadlock-relevant resource.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Optional
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.mpsoc.bus import SystemBus
+from repro.mpsoc.interrupt import InterruptController
+from repro.sim.engine import Engine, SimEvent
+
+
+@dataclass
+class DMATransfer:
+    """One programmed transfer."""
+
+    channel: int
+    owner: str
+    source: int
+    destination: int
+    words: int
+    programmed_at: float
+    completed_at: Optional[float] = None
+
+    @property
+    def done(self) -> bool:
+        return self.completed_at is not None
+
+
+class DMAChannel:
+    __slots__ = ("index", "busy", "transfer", "_done_event")
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.busy = False
+        self.transfer: Optional[DMATransfer] = None
+        self._done_event: Optional[SimEvent] = None
+
+
+class DMAController:
+    """Multi-channel DMA engine with burst-granular bus usage."""
+
+    def __init__(self, engine: Engine, bus: SystemBus,
+                 interrupts: Optional[InterruptController] = None,
+                 num_channels: int = 2, burst_words: int = 8,
+                 setup_cycles: int = 12,
+                 irq_line: str = "irq.DMA") -> None:
+        if num_channels < 1:
+            raise ConfigurationError("need at least one DMA channel")
+        if burst_words < 1:
+            raise ConfigurationError("burst must move at least one word")
+        self.engine = engine
+        self.bus = bus
+        self.interrupts = interrupts
+        self.irq_line = irq_line
+        if interrupts is not None and irq_line not in interrupts.lines:
+            interrupts.add_line(irq_line)
+        self.burst_words = burst_words
+        self.setup_cycles = setup_cycles
+        self.channels = [DMAChannel(i) for i in range(num_channels)]
+        self.transfers: list = []
+
+    # -- channel allocation -------------------------------------------------------
+
+    def idle_channel(self) -> Optional[DMAChannel]:
+        for channel in self.channels:
+            if not channel.busy:
+                return channel
+        return None
+
+    @property
+    def busy_channels(self) -> int:
+        return sum(1 for channel in self.channels if channel.busy)
+
+    # -- programming ---------------------------------------------------------------
+
+    def start(self, owner: str, source: int, destination: int,
+              words: int) -> DMATransfer:
+        """Program an idle channel; the transfer runs in the background.
+
+        Returns the transfer record; wait on it with :meth:`wait`.
+        """
+        if words < 1:
+            raise ConfigurationError("transfer must move at least a word")
+        channel = self.idle_channel()
+        if channel is None:
+            raise SimulationError("all DMA channels busy")
+        transfer = DMATransfer(channel=channel.index, owner=owner,
+                               source=source, destination=destination,
+                               words=words,
+                               programmed_at=self.engine.now)
+        channel.busy = True
+        channel.transfer = transfer
+        channel._done_event = self.engine.event(
+            name=f"dma.ch{channel.index}.done")
+        self.transfers.append(transfer)
+        self.engine.spawn(self._run(channel), name=f"dma.ch{channel.index}")
+        return transfer
+
+    def _run(self, channel: DMAChannel) -> Generator:
+        transfer = channel.transfer
+        assert transfer is not None
+        yield self.setup_cycles
+        remaining = transfer.words
+        while remaining > 0:
+            chunk = min(remaining, self.burst_words)
+            # Read burst + write burst per chunk.
+            yield from self.bus.transaction(f"DMA{channel.index}",
+                                            words=chunk)
+            yield from self.bus.transaction(f"DMA{channel.index}",
+                                            words=chunk)
+            remaining -= chunk
+        transfer.completed_at = self.engine.now
+        channel.busy = False
+        event, channel._done_event = channel._done_event, None
+        channel.transfer = None
+        if event is not None:
+            event.set(transfer)
+        if self.interrupts is not None:
+            self.interrupts.raise_irq(self.irq_line, payload=transfer)
+
+    # -- waiting --------------------------------------------------------------------
+
+    def wait(self, transfer: DMATransfer) -> Generator:
+        """Suspend until the given transfer completes."""
+        if transfer.done:
+            return transfer
+        channel = self.channels[transfer.channel]
+        if channel.transfer is not transfer or channel._done_event is None:
+            # Completed between the check and now.
+            return transfer
+        result = yield channel._done_event
+        return result

@@ -1,0 +1,141 @@
+"""Runtime hierarchical bus (the bus-generation line of work, [7-9]).
+
+:mod:`repro.framework.busgen` emits the HDL for a hierarchical bus; this
+module is its *simulatable* counterpart: per-subsystem local buses plus
+one global bus behind bridges.  A local transaction costs only local
+cycles; a global transaction pays the local bus, the bridge forwarding
+latency, and the global bus — so traffic that stays inside a subsystem
+never contends with the other subsystems, which is the whole point of
+the hierarchy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator
+
+from repro.errors import ConfigurationError
+from repro.mpsoc.bus import BusTiming, SystemBus
+from repro.sim.engine import Engine
+
+
+@dataclass
+class BridgeStats:
+    forwarded: int = 0
+    forward_cycles: float = 0.0
+
+
+class BusBridge:
+    """Connects one local bus to the global bus."""
+
+    def __init__(self, engine: Engine, name: str, local: SystemBus,
+                 global_bus: SystemBus, forward_cycles: int = 2) -> None:
+        if forward_cycles < 0:
+            raise ConfigurationError("negative bridge latency")
+        self.engine = engine
+        self.name = name
+        self.local = local
+        self.global_bus = global_bus
+        self.forward_cycles = forward_cycles
+        self.stats = BridgeStats()
+
+    def forward(self, master: str, words: int) -> Generator:
+        """A local master's transaction to a global target."""
+        # Occupy the local bus for the request phase, cross the bridge,
+        # then perform the global transaction.
+        yield from self.local.transaction(master, words=1)
+        yield self.forward_cycles
+        yield from self.global_bus.transaction(f"{self.name}:{master}",
+                                               words=words)
+        self.stats.forwarded += 1
+        self.stats.forward_cycles += self.forward_cycles
+
+
+class BridgedBusPort:
+    """A master port on a local bus with bridged global access.
+
+    Exposes the :class:`~repro.mpsoc.bus.SystemBus` surface the rest of
+    the stack uses, so a :class:`~repro.mpsoc.processor.ProcessingElement`
+    can be constructed over it unchanged.  Plain transactions (memory,
+    memory-mapped units) are *global* — they pay local + bridge +
+    global; :meth:`local_transaction` stays inside the subsystem.
+    """
+
+    def __init__(self, hier: "HierarchicalBus", subsystem: int) -> None:
+        self.hier = hier
+        self.subsystem = subsystem
+        self.local = hier.subsystem(subsystem)
+        self.timing = hier.global_bus.timing
+
+    def transaction(self, master: str, words: int = 1,
+                    priority: int = 0) -> Generator:
+        yield from self.hier.global_transaction(self.subsystem, master,
+                                                words=words)
+
+    def read_word(self, master: str, priority: int = 0) -> Generator:
+        yield from self.transaction(master, words=1)
+
+    def write_word(self, master: str, priority: int = 0) -> Generator:
+        yield from self.transaction(master, words=1)
+
+    def burst(self, master: str, words: int = 8,
+              priority: int = 0) -> Generator:
+        yield from self.transaction(master, words=words)
+
+    def local_transaction(self, master: str, words: int = 1) -> Generator:
+        """Subsystem-local traffic: never touches the global bus."""
+        yield from self.local.transaction(master, words=words)
+
+    @property
+    def total_transactions(self) -> int:
+        return self.local.total_transactions
+
+    @property
+    def utilization(self) -> float:
+        return self.local.utilization
+
+
+class HierarchicalBus:
+    """N local buses bridged onto one global bus."""
+
+    def __init__(self, engine: Engine, num_subsystems: int = 2,
+                 local_timing: BusTiming = None,
+                 global_timing: BusTiming = None,
+                 bridge_cycles: int = 2) -> None:
+        if num_subsystems < 1:
+            raise ConfigurationError("need at least one subsystem")
+        self.engine = engine
+        self.global_bus = SystemBus(engine, name="bus.global",
+                                    timing=global_timing)
+        self.locals: list = []
+        self.bridges: list = []
+        for index in range(num_subsystems):
+            local = SystemBus(engine, name=f"bus.local{index + 1}",
+                              timing=local_timing)
+            self.locals.append(local)
+            self.bridges.append(BusBridge(
+                engine, f"bridge{index + 1}", local, self.global_bus,
+                forward_cycles=bridge_cycles))
+
+    def subsystem(self, index: int) -> SystemBus:
+        try:
+            return self.locals[index]
+        except IndexError:
+            raise ConfigurationError(
+                f"no subsystem {index} (have {len(self.locals)})") from None
+
+    def local_transaction(self, subsystem: int, master: str,
+                          words: int = 1) -> Generator:
+        """Traffic that stays inside one subsystem."""
+        yield from self.subsystem(subsystem).transaction(master,
+                                                         words=words)
+
+    def global_transaction(self, subsystem: int, master: str,
+                           words: int = 1) -> Generator:
+        """Traffic that crosses the bridge to a global target."""
+        bridge = self.bridges[subsystem]
+        yield from bridge.forward(master, words)
+
+    @property
+    def global_utilization(self) -> float:
+        return self.global_bus.utilization

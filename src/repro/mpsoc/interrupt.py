@@ -1,0 +1,53 @@
+"""Interrupt controller for the base MPSoC (Section 5.1).
+
+Peripherals and hardware RTOS units raise interrupt lines; PEs (or the
+kernel on their behalf) wait on a line.  Each ``raise_irq`` wakes every
+waiter registered at that moment — a level-triggered simplification
+sufficient for the lock-handoff and resource-grant notifications the
+experiments need.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.errors import ConfigurationError
+from repro.sim.engine import Engine, SimEvent
+
+
+class InterruptController:
+    """Named interrupt lines with waitable delivery."""
+
+    def __init__(self, engine: Engine, lines: tuple = ()) -> None:
+        self.engine = engine
+        self._waiters: dict[str, list[SimEvent]] = {
+            line: [] for line in lines}
+        self.raised_counts: dict[str, int] = {line: 0 for line in lines}
+
+    def add_line(self, line: str) -> None:
+        if line in self._waiters:
+            raise ConfigurationError(f"interrupt line {line!r} exists")
+        self._waiters[line] = []
+        self.raised_counts[line] = 0
+
+    @property
+    def lines(self) -> tuple:
+        return tuple(self._waiters)
+
+    def raise_irq(self, line: str, payload: Any = None) -> None:
+        """Fire a line; wakes everyone currently waiting on it."""
+        if line not in self._waiters:
+            raise ConfigurationError(f"unknown interrupt line {line!r}")
+        self.raised_counts[line] += 1
+        waiters, self._waiters[line] = self._waiters[line], []
+        for event in waiters:
+            event.set(payload)
+
+    def wait_irq(self, line: str) -> Generator:
+        """Suspend until the line fires; returns the payload."""
+        if line not in self._waiters:
+            raise ConfigurationError(f"unknown interrupt line {line!r}")
+        event = self.engine.event(name=f"irq.{line}")
+        self._waiters[line].append(event)
+        payload = yield event
+        return payload

@@ -1,0 +1,89 @@
+"""Shared L2 memory and its controller (Section 2.1).
+
+:class:`SharedMemory` is word-addressable storage with simple bounds
+checking — enough to back the RTOS's shared kernel structures and the
+SoCDMMU's block map.  :class:`MemoryController` pairs the storage with
+the bus so accesses cost real cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.mpsoc.bus import SystemBus
+
+WORD_BYTES = 4
+
+
+class SharedMemory:
+    """Word-addressable shared memory (default 16 MB, Section 5.1)."""
+
+    def __init__(self, size_bytes: int = 16 * 1024 * 1024) -> None:
+        if size_bytes <= 0 or size_bytes % WORD_BYTES:
+            raise ConfigurationError("memory size must be a positive "
+                                     "multiple of the word size")
+        self.size_bytes = size_bytes
+        self.num_words = size_bytes // WORD_BYTES
+        self._words: dict[int, int] = {}
+
+    def _check(self, word_address: int) -> None:
+        if not 0 <= word_address < self.num_words:
+            raise SimulationError(
+                f"address {word_address} outside memory "
+                f"(0..{self.num_words - 1})")
+
+    def peek(self, word_address: int) -> int:
+        """Zero-time debug read (no bus cycles)."""
+        self._check(word_address)
+        return self._words.get(word_address, 0)
+
+    def poke(self, word_address: int, value: int) -> None:
+        """Zero-time debug write (no bus cycles)."""
+        self._check(word_address)
+        if value:
+            self._words[word_address] = value
+        else:
+            self._words.pop(word_address, None)
+
+
+class MemoryController:
+    """Front-end that charges bus cycles for memory traffic."""
+
+    def __init__(self, bus: SystemBus, memory: Optional[SharedMemory] = None
+                 ) -> None:
+        self.bus = bus
+        self.memory = memory if memory is not None else SharedMemory()
+        self.reads = 0
+        self.writes = 0
+
+    def read(self, master: str, word_address: int,
+             priority: int = 0) -> Generator:
+        """Read one word; the generator returns the value."""
+        yield from self.bus.read_word(master, priority=priority)
+        self.reads += 1
+        return self.memory.peek(word_address)
+
+    def write(self, master: str, word_address: int, value: int,
+              priority: int = 0) -> Generator:
+        """Write one word."""
+        yield from self.bus.write_word(master, priority=priority)
+        self.memory.poke(word_address, value)
+        self.writes += 1
+
+    def read_burst(self, master: str, word_address: int, words: int,
+                   priority: int = 0) -> Generator:
+        """Burst read; the generator returns the list of values."""
+        yield from self.bus.transaction(master, words=words,
+                                        priority=priority)
+        self.reads += words
+        return [self.memory.peek(word_address + i) for i in range(words)]
+
+    def write_burst(self, master: str, word_address: int,
+                    values: list, priority: int = 0) -> Generator:
+        """Burst write."""
+        yield from self.bus.transaction(master, words=len(values),
+                                        priority=priority)
+        for i, value in enumerate(values):
+            self.memory.poke(word_address + i, value)
+        self.writes += len(values)

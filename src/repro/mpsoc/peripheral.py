@@ -1,0 +1,81 @@
+"""Peripheral resources of the base MPSoC (Sections 3.2.2 and 5.1).
+
+The four resources — a Video Interface (VI), an MPEG/IDCT unit, a DSP
+and a Wireless Interface (WI) — are the ``q1..q4`` of the deadlock
+experiments.  Each has a service-time model, a timer, and an interrupt
+generator, matching the paper's description ("these four resources have
+timers, interrupt generators and input/output ports").
+
+Mutual exclusion on a peripheral is *not* enforced here: ownership is
+the job of the deadlock-managed resource layer
+(:mod:`repro.rtos.resources`); the peripheral checks that callers only
+use it while they are the registered owner, which catches protocol bugs
+in the layers above.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.errors import ResourceProtocolError
+from repro.mpsoc.interrupt import InterruptController
+from repro.sim.engine import Engine
+
+
+class Peripheral:
+    """One hardware resource with a service-time model."""
+
+    def __init__(self, engine: Engine, name: str,
+                 interrupt_controller: Optional[InterruptController] = None,
+                 irq_line: Optional[str] = None) -> None:
+        self.engine = engine
+        self.name = name
+        self.interrupts = interrupt_controller
+        self.irq_line = irq_line
+        if self.interrupts is not None and irq_line is not None:
+            if irq_line not in self.interrupts.lines:
+                self.interrupts.add_line(irq_line)
+        self.owner: Optional[str] = None
+        self.busy_cycles = 0.0
+        self.service_count = 0
+
+    # -- ownership (driven by the resource-management layer) -------------------
+
+    def assign(self, owner: str) -> None:
+        if self.owner is not None:
+            raise ResourceProtocolError(
+                f"{self.name} assigned to {owner} while owned by "
+                f"{self.owner}")
+        self.owner = owner
+
+    def unassign(self, owner: str) -> None:
+        if self.owner != owner:
+            raise ResourceProtocolError(
+                f"{owner} unassigned {self.name} owned by {self.owner}")
+        self.owner = None
+
+    # -- service ------------------------------------------------------------
+
+    def serve(self, owner: str, cycles: float,
+              raise_irq_when_done: bool = False) -> Generator:
+        """Run the device for ``cycles`` on behalf of ``owner``."""
+        if self.owner != owner:
+            raise ResourceProtocolError(
+                f"{owner} used {self.name} without owning it "
+                f"(owner={self.owner})")
+        if cycles < 0:
+            raise ResourceProtocolError("negative service time")
+        yield cycles
+        self.busy_cycles += cycles
+        self.service_count += 1
+        if raise_irq_when_done and self.interrupts and self.irq_line:
+            self.interrupts.raise_irq(self.irq_line, payload=self.name)
+
+    @property
+    def utilization(self) -> float:
+        if self.engine.now == 0:
+            return 0.0
+        return self.busy_cycles / self.engine.now
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Peripheral {self.name} owner={self.owner}>"

@@ -1,0 +1,93 @@
+"""Assembly of the base MPSoC for experimentation (Section 5.1).
+
+``MPSoC.base_system()`` builds the paper's testbed: four MPC755-class
+PEs, a 100 MHz shared bus, a memory controller with 16 MB of shared
+memory, an interrupt controller, and the four peripheral resources
+VI / IDCT / DSP / WI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.mpsoc.bus import BusTiming, SystemBus
+from repro.mpsoc.interrupt import InterruptController
+from repro.mpsoc.memory import MemoryController, SharedMemory
+from repro.mpsoc.peripheral import Peripheral
+from repro.mpsoc.processor import ProcessingElement
+from repro.sim.engine import Engine
+from repro.sim.trace import Trace
+
+#: The base system's resource census (Example 2 / Section 5.1).
+BASE_PERIPHERALS = ("VI", "IDCT", "DSP", "WI")
+
+
+@dataclass
+class SoCConfig:
+    """Parameters of an MPSoC instance."""
+
+    num_pes: int = 4
+    pe_type: str = "MPC755"
+    l1_icache_kb: int = 32
+    l1_dcache_kb: int = 32
+    memory_bytes: int = 16 * 1024 * 1024
+    bus_timing: BusTiming = field(default_factory=BusTiming)
+    peripherals: tuple = BASE_PERIPHERALS
+
+    def validate(self) -> None:
+        if self.num_pes < 1:
+            raise ConfigurationError("need at least one PE")
+        if len(set(self.peripherals)) != len(self.peripherals):
+            raise ConfigurationError("duplicate peripheral names")
+
+
+class MPSoC:
+    """A simulatable MPSoC: engine + bus + memory + PEs + peripherals."""
+
+    def __init__(self, config: Optional[SoCConfig] = None) -> None:
+        self.config = config if config is not None else SoCConfig()
+        self.config.validate()
+        self.engine = Engine()
+        self.trace = Trace()
+        self.bus = SystemBus(self.engine, timing=self.config.bus_timing)
+        self.memory = SharedMemory(self.config.memory_bytes)
+        self.memory_controller = MemoryController(self.bus, self.memory)
+        self.interrupts = InterruptController(self.engine)
+        self.pes: list[ProcessingElement] = [
+            ProcessingElement(self.engine, self.bus, f"PE{i + 1}",
+                              l1_icache_kb=self.config.l1_icache_kb,
+                              l1_dcache_kb=self.config.l1_dcache_kb)
+            for i in range(self.config.num_pes)]
+        self.peripherals: dict[str, Peripheral] = {}
+        for name in self.config.peripherals:
+            self.peripherals[name] = Peripheral(
+                self.engine, name,
+                interrupt_controller=self.interrupts,
+                irq_line=f"irq.{name}")
+
+    @classmethod
+    def base_system(cls) -> "MPSoC":
+        """The paper's four-PE / four-resource testbed."""
+        return cls(SoCConfig())
+
+    def pe(self, name: str) -> ProcessingElement:
+        for pe in self.pes:
+            if pe.name == name:
+                return pe
+        raise ConfigurationError(f"unknown PE {name!r}")
+
+    def peripheral(self, name: str) -> Peripheral:
+        try:
+            return self.peripherals[name]
+        except KeyError:
+            raise ConfigurationError(f"unknown peripheral {name!r}") from None
+
+    @property
+    def now(self) -> float:
+        return self.engine.now
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<MPSoC {len(self.pes)}x{self.config.pe_type} "
+                f"peripherals={list(self.peripherals)}>")

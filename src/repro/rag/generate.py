@@ -1,0 +1,132 @@
+"""Random and structured RAG state generators for tests and benchmarks.
+
+All generators return :class:`~repro.rag.graph.RAG` instances obeying
+the single-unit protocol, so every produced state is reachable by some
+legal request/grant sequence.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.rag.graph import RAG
+
+
+def _names(m: int, n: int) -> tuple[list[str], list[str]]:
+    if m < 1 or n < 1:
+        raise ConfigurationError("need at least one resource and process")
+    return ([f"p{t + 1}" for t in range(n)], [f"q{s + 1}" for s in range(m)])
+
+
+def empty_state(num_resources: int, num_processes: int) -> RAG:
+    """A RAG with no edges."""
+    processes, resources = _names(num_resources, num_processes)
+    return RAG(processes, resources)
+
+
+def random_state(num_resources: int, num_processes: int,
+                 grant_fraction: float = 0.6,
+                 request_fraction: float = 0.3,
+                 rng: Optional[random.Random] = None) -> RAG:
+    """A random legal state.
+
+    ``grant_fraction`` of resources get a random holder;
+    ``request_fraction`` of the remaining (process, resource) pairs get a
+    request edge.  Both deadlocked and deadlock-free states occur.
+    """
+    rng = rng if rng is not None else random.Random()
+    rag = empty_state(num_resources, num_processes)
+    for q in rag.resources:
+        if rng.random() < grant_fraction:
+            rag.grant(q, rng.choice(rag.processes))
+    for p in rag.processes:
+        for q in rag.resources:
+            if rag.holder_of(q) == p:
+                continue
+            if rng.random() < request_fraction:
+                rag.add_request(p, q)
+    return rag
+
+
+def cycle_state(length: int) -> RAG:
+    """A minimal deadlocked state: a cycle through ``length`` processes.
+
+    p1 holds q1 and requests q2; p2 holds q2 and requests q3; ...;
+    p_length holds q_length and requests q1.
+    """
+    if length < 2:
+        raise ConfigurationError("a deadlock cycle needs at least 2 processes")
+    rag = empty_state(length, length)
+    for i in range(length):
+        holder = rag.processes[i]
+        held = rag.resources[i]
+        wanted = rag.resources[(i + 1) % length]
+        rag.grant(held, holder)
+    for i in range(length):
+        rag.add_request(rag.processes[i], rag.resources[(i + 1) % length])
+    return rag
+
+
+def chain_state(length: int) -> RAG:
+    """A deadlock-free blocking chain (the cycle minus its closing edge).
+
+    Every process but the last is blocked, yet the state is reducible —
+    the worst case for reduction-based detectors, because only one
+    terminal node is exposed per iteration.
+    """
+    if length < 2:
+        raise ConfigurationError("a chain needs at least 2 processes")
+    rag = empty_state(length, length)
+    for i in range(length):
+        rag.grant(rag.resources[i], rag.processes[i])
+    for i in range(length - 1):
+        rag.add_request(rag.processes[i], rag.resources[i + 1])
+    return rag
+
+
+def worst_case_state(num_resources: int, num_processes: int) -> RAG:
+    """The longest reducible chain that fits in an m x n matrix.
+
+    Exercises the DDU's worst-case iteration count (Table 1's
+    "worst case # iterations" column is derived from states like this).
+    """
+    k = min(num_resources, num_processes)
+    rag = empty_state(num_resources, num_processes)
+    for i in range(k):
+        rag.grant(rag.resources[i], rag.processes[i])
+    for i in range(k - 1):
+        rag.add_request(rag.processes[i], rag.resources[i + 1])
+    return rag
+
+
+def deadlock_free_state(num_resources: int, num_processes: int,
+                        rng: Optional[random.Random] = None) -> RAG:
+    """A random state guaranteed deadlock-free.
+
+    Grants and requests are only added "downhill" in a fixed global
+    ordering of resources (each process requests only resources ordered
+    after everything it holds), which makes cycles impossible — the
+    classic resource-ordering prevention argument.
+    """
+    rng = rng if rng is not None else random.Random()
+    rag = empty_state(num_resources, num_processes)
+    highest_held: dict[str, int] = {}
+    order = list(range(num_resources))
+    for s in order:
+        q = rag.resources[s]
+        if rng.random() < 0.6:
+            p = rng.choice(rag.processes)
+            if highest_held.get(p, -1) < s:
+                rag.grant(q, p)
+                highest_held[p] = s
+    for p in rag.processes:
+        floor = highest_held.get(p, -1)
+        for s in range(floor + 1, num_resources):
+            q = rag.resources[s]
+            if rag.holder_of(q) == p:
+                continue
+            if rng.random() < 0.3:
+                rag.add_request(p, q)
+    return rag

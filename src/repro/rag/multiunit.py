@@ -1,0 +1,204 @@
+"""Multi-unit resource systems (the paper's future-MPSoC direction).
+
+The DDU/DAU operate on the single-unit model (one grant edge per
+resource).  The paper's motivation — "future chips may have five to
+twenty (or more) processors and ten to a hundred resources" — also
+covers resource *classes* with multiple interchangeable units (DMA
+channels, scratchpad banks), where a cycle in the RAG is necessary but
+no longer sufficient for deadlock.  This module provides the classic
+counting-model machinery for that case:
+
+* :class:`MultiUnitSystem` — allocation/request bookkeeping with
+  protocol enforcement;
+* :meth:`MultiUnitSystem.detect` — Coffman-style detection by graph
+  reduction: repeatedly mark processes whose outstanding requests fit
+  in the available units, release their allocations, and report
+  whatever cannot be marked as deadlocked;
+* :meth:`MultiUnitSystem.to_rag` — projection to the single-unit RAG
+  when every class has one unit, which must (and, property-tested,
+  does) agree with PDDA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.errors import ResourceProtocolError
+from repro.rag.graph import RAG
+
+
+@dataclass(frozen=True)
+class MultiUnitDetection:
+    """Outcome of one detection run."""
+
+    deadlock: bool
+    deadlocked_processes: tuple
+    reduction_order: tuple        # processes marked finishable, in order
+    operations: int
+
+
+class MultiUnitSystem:
+    """Counting-model resource allocation state."""
+
+    def __init__(self, processes: Iterable[str],
+                 resources: Mapping[str, int]) -> None:
+        self._processes = tuple(processes)
+        if len(set(self._processes)) != len(self._processes):
+            raise ResourceProtocolError("duplicate process names")
+        self._total: dict = {}
+        for name, units in resources.items():
+            if units < 1:
+                raise ResourceProtocolError(
+                    f"resource {name!r} must have at least one unit")
+            self._total[name] = units
+        self._allocation: dict = {
+            p: {q: 0 for q in self._total} for p in self._processes}
+        self._requests: dict = {
+            p: {q: 0 for q in self._total} for p in self._processes}
+
+    # -- accessors ------------------------------------------------------------
+
+    @property
+    def processes(self) -> tuple:
+        return self._processes
+
+    @property
+    def resources(self) -> tuple:
+        return tuple(self._total)
+
+    def total_units(self, resource: str) -> int:
+        self._check_resource(resource)
+        return self._total[resource]
+
+    def available(self, resource: str) -> int:
+        self._check_resource(resource)
+        used = sum(alloc[resource] for alloc in self._allocation.values())
+        return self._total[resource] - used
+
+    def allocation_of(self, process: str, resource: str) -> int:
+        self._check(process, resource)
+        return self._allocation[process][resource]
+
+    def outstanding_request(self, process: str, resource: str) -> int:
+        self._check(process, resource)
+        return self._requests[process][resource]
+
+    # -- protocol -----------------------------------------------------------------
+
+    def request(self, process: str, resource: str, units: int = 1) -> None:
+        """Record an outstanding request for ``units`` more units."""
+        self._check(process, resource)
+        if units < 1:
+            raise ResourceProtocolError("units must be positive")
+        wanted = (self._allocation[process][resource]
+                  + self._requests[process][resource] + units)
+        if wanted > self._total[resource]:
+            raise ResourceProtocolError(
+                f"{process} would hold+want {wanted} of {resource} "
+                f"({self._total[resource]} exist)")
+        self._requests[process][resource] += units
+
+    def grant(self, process: str, resource: str, units: int = 1) -> None:
+        """Satisfy part of an outstanding request."""
+        self._check(process, resource)
+        if units < 1:
+            raise ResourceProtocolError("units must be positive")
+        if units > self._requests[process][resource]:
+            raise ResourceProtocolError(
+                f"{process} has no outstanding request for {units} "
+                f"unit(s) of {resource}")
+        if units > self.available(resource):
+            raise ResourceProtocolError(
+                f"only {self.available(resource)} unit(s) of "
+                f"{resource} available")
+        self._requests[process][resource] -= units
+        self._allocation[process][resource] += units
+
+    def release(self, process: str, resource: str, units: int = 1) -> None:
+        self._check(process, resource)
+        if units < 1:
+            raise ResourceProtocolError("units must be positive")
+        if units > self._allocation[process][resource]:
+            raise ResourceProtocolError(
+                f"{process} holds only "
+                f"{self._allocation[process][resource]} of {resource}")
+        self._allocation[process][resource] -= units
+
+    def withdraw(self, process: str, resource: str, units: int = 1) -> None:
+        """Cancel part of an outstanding request."""
+        self._check(process, resource)
+        if units > self._requests[process][resource]:
+            raise ResourceProtocolError(
+                f"{process} has no such outstanding request")
+        self._requests[process][resource] -= units
+
+    # -- detection -----------------------------------------------------------------
+
+    def detect(self) -> MultiUnitDetection:
+        """Coffman-style detection on the current (expedient) state.
+
+        A process is *unblocked* when every outstanding request fits in
+        the currently available units; unblocked processes are assumed
+        to finish and release.  Anything left waiting is deadlocked.
+        """
+        work = {q: self.available(q) for q in self._total}
+        finished: list = []
+        remaining = set(self._processes)
+        operations = 0
+        progress = True
+        while progress and remaining:
+            progress = False
+            for process in sorted(remaining):
+                operations += 1
+                requests = self._requests[process]
+                operations += len(self._total)
+                if all(requests[q] <= work[q] for q in self._total):
+                    for q in self._total:
+                        work[q] += self._allocation[process][q]
+                    finished.append(process)
+                    remaining.discard(process)
+                    progress = True
+        deadlocked = tuple(sorted(
+            p for p in remaining
+            if any(self._requests[p][q] > 0 for q in self._total)))
+        return MultiUnitDetection(
+            deadlock=bool(deadlocked),
+            deadlocked_processes=deadlocked,
+            reduction_order=tuple(finished),
+            operations=operations)
+
+    def copy(self) -> "MultiUnitSystem":
+        clone = MultiUnitSystem(self._processes, self._total)
+        for p in self._processes:
+            clone._allocation[p] = dict(self._allocation[p])
+            clone._requests[p] = dict(self._requests[p])
+        return clone
+
+    # -- projection to the single-unit model --------------------------------------------
+
+    def to_rag(self) -> RAG:
+        """Project to a RAG; requires every class to have one unit."""
+        multi = [q for q, units in self._total.items() if units != 1]
+        if multi:
+            raise ResourceProtocolError(
+                f"not single-unit: {sorted(multi)}")
+        rag = RAG(self._processes, self._total)
+        for process in self._processes:
+            for resource in self._total:
+                if self._allocation[process][resource]:
+                    rag.grant(resource, process)
+                if self._requests[process][resource]:
+                    rag.add_request(process, resource)
+        return rag
+
+    # -- validation ---------------------------------------------------------------------
+
+    def _check(self, process: str, resource: str) -> None:
+        if process not in self._allocation:
+            raise ResourceProtocolError(f"unknown process {process!r}")
+        self._check_resource(resource)
+
+    def _check_resource(self, resource: str) -> None:
+        if resource not in self._total:
+            raise ResourceProtocolError(f"unknown resource {resource!r}")

@@ -1,0 +1,105 @@
+"""Serialization of RAG states and matrices.
+
+System states travel between tools (the framework's exploration sweeps,
+trace dumps, regression fixtures), so both representations round-trip
+through plain dictionaries (JSON-safe) and compact text.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Union
+
+from repro.errors import ResourceProtocolError
+from repro.rag.graph import RAG
+from repro.rag.matrix import CellState, StateMatrix
+
+
+def rag_to_dict(rag: RAG) -> dict:
+    """JSON-safe snapshot of a RAG state."""
+    return {
+        "processes": list(rag.processes),
+        "resources": list(rag.resources),
+        "grants": [[q, p] for q, p in rag.grant_edges()],
+        "requests": [[p, q] for p, q in rag.request_edges()],
+    }
+
+
+def rag_from_dict(data: dict) -> RAG:
+    """Rebuild a RAG from :func:`rag_to_dict` output (validated)."""
+    try:
+        rag = RAG(data["processes"], data["resources"])
+        for q, p in data["grants"]:
+            rag.grant(q, p)
+        for p, q in data["requests"]:
+            rag.add_request(p, q)
+    except KeyError as missing:
+        raise ResourceProtocolError(
+            f"missing field {missing} in RAG snapshot") from None
+    return rag
+
+
+def rag_to_json(rag: RAG, indent: int = None) -> str:
+    """Serialize a RAG state to a JSON document."""
+    return json.dumps(rag_to_dict(rag), indent=indent, sort_keys=True)
+
+
+def rag_from_json(text: str) -> RAG:
+    """Rebuild a RAG state from :func:`rag_to_json` output."""
+    return rag_from_dict(json.loads(text))
+
+
+_SYMBOLS = {CellState.EMPTY: ".", CellState.GRANT: "g",
+            CellState.REQUEST: "r"}
+
+
+def matrix_to_rows(matrix: StateMatrix) -> list:
+    """Compact text rows accepted by :meth:`StateMatrix.from_rows`."""
+    return [" ".join(_SYMBOLS[matrix.get(s, t)] for t in range(matrix.n))
+            for s in range(matrix.m)]
+
+
+def matrix_to_dict(matrix: StateMatrix) -> dict:
+    return {
+        "resource_names": list(matrix.resource_names),
+        "process_names": list(matrix.process_names),
+        "rows": matrix_to_rows(matrix),
+    }
+
+
+def matrix_from_dict(data: dict) -> StateMatrix:
+    try:
+        matrix = StateMatrix.from_rows(data["rows"])
+        names_r = data.get("resource_names")
+        names_p = data.get("process_names")
+    except KeyError as missing:
+        raise ResourceProtocolError(
+            f"missing field {missing} in matrix snapshot") from None
+    if names_r is not None:
+        if len(names_r) != matrix.m:
+            raise ResourceProtocolError("resource_names length mismatch")
+        matrix.resource_names = list(names_r)
+    if names_p is not None:
+        if len(names_p) != matrix.n:
+            raise ResourceProtocolError("process_names length mismatch")
+        matrix.process_names = list(names_p)
+    return matrix
+
+
+def snapshot(state: Union[RAG, StateMatrix]) -> dict:
+    """Uniform snapshot entry point for either representation."""
+    if isinstance(state, RAG):
+        return {"kind": "rag", **rag_to_dict(state)}
+    if isinstance(state, StateMatrix):
+        return {"kind": "matrix", **matrix_to_dict(state)}
+    raise ResourceProtocolError(f"cannot snapshot {type(state).__name__}")
+
+
+def restore(data: dict) -> Union[RAG, StateMatrix]:
+    """Inverse of :func:`snapshot`: rebuild either representation."""
+    kind = data.get("kind")
+    if kind == "rag":
+        return rag_from_dict(data)
+    if kind == "matrix":
+        return matrix_from_dict(data)
+    raise ResourceProtocolError(f"unknown snapshot kind {kind!r}")

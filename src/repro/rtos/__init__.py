@@ -1,0 +1,76 @@
+"""The Atalanta-like shared-memory multiprocessor RTOS (Section 2.1).
+
+A small configurable kernel in the spirit of Atalanta v0.3: all PEs
+execute the same kernel code and share kernel structures.  Supported
+services mirror the paper's list — priority scheduling with priority
+inheritance as well as round-robin; task management; IPC primitives
+(semaphores, mutexes, mailboxes, queues and events); memory management;
+and interrupts.
+
+The kernel is parameterized by pluggable back-ends, which is exactly the
+hardware/software partitioning axis of the paper:
+
+* lock manager — software priority inheritance
+  (:class:`repro.rtos.sync.SoftwareLockManager`) vs the SoCLC
+  (:class:`repro.soclc.lockcache.SoCLC`);
+* resource manager — software PDDA/DAA vs the DDU/DAU
+  (:mod:`repro.rtos.resources`);
+* heap — software allocator (:class:`repro.rtos.memory.SoftwareHeap`)
+  vs the SoCDMMU (:mod:`repro.socdmmu`).
+"""
+
+from repro.rtos.task import Task, TaskState, TaskStats
+from repro.rtos.scheduler import PEScheduler
+from repro.rtos.kernel import Kernel, TaskContext
+from repro.rtos.sync import SoftwareLockManager, Semaphore, Spinlock
+from repro.rtos.ipc import Mailbox, MessageQueue, EventFlags
+from repro.rtos.memory import SoftwareHeap, HeapStats
+from repro.rtos.watchdog import Watchdog, WatchdogTimeout
+from repro.rtos.api import AtalantaAPI
+from repro.rtos.report import system_report
+from repro.rtos.periodic import OverrunPolicy, PeriodicTask
+from repro.rtos.analysis import (
+    AnalyzedTask,
+    blocking_term,
+    liu_layland_bound,
+    response_time_analysis,
+    utilization,
+)
+from repro.rtos.resources import (
+    GrantOutcome,
+    ResourceNotification,
+    ResourceService,
+    make_resource_service,
+)
+
+__all__ = [
+    "Kernel",
+    "TaskContext",
+    "Task",
+    "TaskState",
+    "TaskStats",
+    "PEScheduler",
+    "SoftwareLockManager",
+    "Semaphore",
+    "Spinlock",
+    "Mailbox",
+    "MessageQueue",
+    "EventFlags",
+    "SoftwareHeap",
+    "HeapStats",
+    "Watchdog",
+    "WatchdogTimeout",
+    "AtalantaAPI",
+    "system_report",
+    "PeriodicTask",
+    "OverrunPolicy",
+    "AnalyzedTask",
+    "response_time_analysis",
+    "blocking_term",
+    "utilization",
+    "liu_layland_bound",
+    "ResourceService",
+    "ResourceNotification",
+    "GrantOutcome",
+    "make_resource_service",
+]

@@ -1,0 +1,160 @@
+"""Atalanta-flavoured RTOS API façade.
+
+Atalanta [5] exposes a C API (``asc_task_create``, ``asc_sema_wait``,
+...).  This module provides the same surface over the kernel so code
+ported from an Atalanta-style RTOS maps one-to-one; it is also the
+most convenient way to use the RTOS without touching kernel internals.
+
+Handle-based: creation calls return small integer ids, the service
+calls take them — as the C API does.  All blocking calls are generator
+sub-protocols (``yield from api.sema_wait(ctx, sid)``) like the rest of
+the task-context API.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Generator, Optional
+
+from repro.errors import RTOSError
+from repro.rtos.ipc import EventFlags, Mailbox, MessageQueue
+from repro.rtos.kernel import Kernel, TaskContext
+from repro.rtos.sync import Semaphore
+
+
+class AtalantaAPI:
+    """Handle-based façade over one kernel instance."""
+
+    def __init__(self, kernel: Kernel) -> None:
+        self.kernel = kernel
+        self._ids = itertools.count(1)
+        self._semaphores: dict = {}
+        self._mailboxes: dict = {}
+        self._queues: dict = {}
+        self._flags: dict = {}
+
+    # -- task management -----------------------------------------------------
+
+    def task_create(self, fn: Callable, name: str, priority: int,
+                    pe: str, start_time: float = 0.0) -> str:
+        """asc_task_create: returns the task name (its handle)."""
+        self.kernel.create_task(fn, name, priority, pe,
+                                start_time=start_time)
+        return name
+
+    def task_suspend(self, name: str) -> None:
+        """asc_task_suspend."""
+        self.kernel.suspend_task(name)
+
+    def task_resume(self, name: str) -> None:
+        """asc_task_resume."""
+        self.kernel.resume_task(name)
+
+    def task_priority_change(self, name: str, priority: int) -> None:
+        """asc_task_priority_change."""
+        self.kernel.set_task_priority(name, priority)
+
+    def task_delay(self, ctx: TaskContext, cycles: float) -> Generator:
+        """asc_task_delay: sleep the calling task."""
+        yield from ctx.sleep(cycles)
+
+    # -- semaphores ---------------------------------------------------------------
+
+    def sema_create(self, initial: int = 0,
+                    name: Optional[str] = None) -> int:
+        handle = next(self._ids)
+        self._semaphores[handle] = Semaphore(
+            self.kernel, name or f"sema{handle}", initial=initial)
+        return handle
+
+    def sema_wait(self, ctx: TaskContext, handle: int) -> Generator:
+        yield from self._get(self._semaphores, handle, "semaphore"
+                             ).wait(ctx)
+
+    def sema_signal(self, ctx: TaskContext, handle: int) -> Generator:
+        yield from self._get(self._semaphores, handle, "semaphore"
+                             ).signal(ctx)
+
+    # -- mutex-style locks (the lock manager's long locks) --------------------------
+
+    def lock(self, ctx: TaskContext, lock_id: str) -> Generator:
+        """asc_mutex_lock (priority inheritance / IPCP per build)."""
+        yield from ctx.lock(lock_id)
+
+    def unlock(self, ctx: TaskContext, lock_id: str) -> Generator:
+        yield from ctx.unlock(lock_id)
+
+    # -- mailboxes --------------------------------------------------------------------
+
+    def mbox_create(self, name: Optional[str] = None) -> int:
+        handle = next(self._ids)
+        self._mailboxes[handle] = Mailbox(
+            self.kernel, name or f"mbox{handle}")
+        return handle
+
+    def mbox_post(self, ctx: TaskContext, handle: int,
+                  message) -> Generator:
+        yield from self._get(self._mailboxes, handle, "mailbox"
+                             ).post(ctx, message)
+
+    def mbox_pend(self, ctx: TaskContext, handle: int) -> Generator:
+        message = yield from self._get(self._mailboxes, handle,
+                                       "mailbox").pend(ctx)
+        return message
+
+    # -- message queues ------------------------------------------------------------------
+
+    def queue_create(self, capacity: int = 8,
+                     name: Optional[str] = None) -> int:
+        handle = next(self._ids)
+        self._queues[handle] = MessageQueue(
+            self.kernel, name or f"queue{handle}", capacity=capacity)
+        return handle
+
+    def queue_send(self, ctx: TaskContext, handle: int,
+                   item) -> Generator:
+        yield from self._get(self._queues, handle, "queue"
+                             ).send(ctx, item)
+
+    def queue_receive(self, ctx: TaskContext, handle: int) -> Generator:
+        item = yield from self._get(self._queues, handle, "queue"
+                                    ).receive(ctx)
+        return item
+
+    # -- event flags ----------------------------------------------------------------------
+
+    def flag_create(self, name: Optional[str] = None) -> int:
+        handle = next(self._ids)
+        self._flags[handle] = EventFlags(
+            self.kernel, name or f"flags{handle}")
+        return handle
+
+    def flag_set(self, ctx: TaskContext, handle: int,
+                 mask: int) -> Generator:
+        yield from self._get(self._flags, handle, "flag group"
+                             ).set(ctx, mask)
+
+    def flag_wait(self, ctx: TaskContext, handle: int, mask: int,
+                  wait_all: bool = False) -> Generator:
+        value = yield from self._get(self._flags, handle, "flag group"
+                                     ).wait(ctx, mask, wait_all=wait_all)
+        return value
+
+    # -- memory management -------------------------------------------------------------------
+
+    def mem_alloc(self, ctx: TaskContext, size_bytes: int) -> Generator:
+        """asc_mem_alloc: software heap or SoCDMMU per the build."""
+        address = yield from ctx.malloc(size_bytes)
+        return address
+
+    def mem_free(self, ctx: TaskContext, address: int) -> Generator:
+        yield from ctx.free(address)
+
+    # -- helpers ---------------------------------------------------------------------------------
+
+    @staticmethod
+    def _get(table: dict, handle: int, kind: str):
+        try:
+            return table[handle]
+        except KeyError:
+            raise RTOSError(f"unknown {kind} handle {handle}") from None

@@ -1,0 +1,152 @@
+"""Inter-process communication primitives (Section 2.1).
+
+Atalanta provides "various IPC primitives such as semaphores, mutexes,
+mailboxes, queues and events".  Semaphores and mutexes live in
+:mod:`repro.rtos.sync`; this module adds:
+
+* :class:`Mailbox` — a single-slot message rendezvous;
+* :class:`MessageQueue` — a bounded FIFO with blocking send/receive;
+* :class:`EventFlags` — a bit-mask event group with wait-any/wait-all.
+
+All primitives charge the kernel service overhead and block through the
+kernel so waiting tasks release their PE.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Generator, Optional
+
+from repro.errors import RTOSError
+from repro.rtos.kernel import Kernel, TaskContext
+
+
+class Mailbox:
+    """Single-message mailbox: post fails over to blocking when full."""
+
+    def __init__(self, kernel: Kernel, name: str) -> None:
+        self.kernel = kernel
+        self.name = name
+        self._message: Any = None
+        self._full = False
+        self._receivers: list = []
+        self._senders: list = []
+
+    def post(self, ctx: TaskContext, message: Any) -> Generator:
+        """Deposit a message; blocks while the mailbox is full."""
+        yield from ctx.service_overhead()
+        while self._full:
+            gate = self.kernel.engine.event(name=f"mbox.{self.name}.send")
+            self._senders.append(gate)
+            yield from self.kernel.block_on(ctx.task, gate)
+        if self._receivers:
+            grant = self._receivers.pop(0)
+            grant.set(message)
+            return
+        self._message = message
+        self._full = True
+
+    def pend(self, ctx: TaskContext) -> Generator:
+        """Receive a message; blocks while the mailbox is empty."""
+        yield from ctx.service_overhead()
+        if self._full:
+            message = self._message
+            self._message = None
+            self._full = False
+            if self._senders:
+                self._senders.pop(0).set(None)
+            return message
+        grant = self.kernel.engine.event(name=f"mbox.{self.name}.recv")
+        self._receivers.append(grant)
+        message = yield from self.kernel.block_on(ctx.task, grant)
+        return message
+
+    def peek(self) -> Optional[Any]:
+        """Non-blocking, zero-cost look at the stored message."""
+        return self._message if self._full else None
+
+
+class MessageQueue:
+    """Bounded FIFO queue with blocking send and receive."""
+
+    def __init__(self, kernel: Kernel, name: str, capacity: int = 8) -> None:
+        if capacity < 1:
+            raise RTOSError("queue capacity must be at least 1")
+        self.kernel = kernel
+        self.name = name
+        self.capacity = capacity
+        self._items: deque = deque()
+        self._receivers: list = []
+        self._senders: list = []
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def send(self, ctx: TaskContext, item: Any) -> Generator:
+        yield from ctx.service_overhead()
+        while len(self._items) >= self.capacity and not self._receivers:
+            gate = self.kernel.engine.event(name=f"queue.{self.name}.send")
+            self._senders.append(gate)
+            yield from self.kernel.block_on(ctx.task, gate)
+        if self._receivers:
+            self._receivers.pop(0).set(item)
+            return
+        self._items.append(item)
+
+    def receive(self, ctx: TaskContext) -> Generator:
+        yield from ctx.service_overhead()
+        if self._items:
+            item = self._items.popleft()
+            if self._senders:
+                self._senders.pop(0).set(None)
+            return item
+        grant = self.kernel.engine.event(name=f"queue.{self.name}.recv")
+        self._receivers.append(grant)
+        item = yield from self.kernel.block_on(ctx.task, grant)
+        return item
+
+
+class EventFlags:
+    """A 32-bit event-flag group with wait-any / wait-all semantics."""
+
+    def __init__(self, kernel: Kernel, name: str) -> None:
+        self.kernel = kernel
+        self.name = name
+        self.flags = 0
+        self._waiters: list = []   # [(mask, wait_all, event), ...]
+
+    def set(self, ctx: TaskContext, mask: int) -> Generator:
+        """Set flag bits; wakes every waiter whose condition now holds."""
+        if mask < 0:
+            raise RTOSError("mask must be non-negative")
+        yield from ctx.service_overhead()
+        self.flags |= mask
+        still_waiting = []
+        for wanted, wait_all, event in self._waiters:
+            if self._satisfied(wanted, wait_all):
+                event.set(self.flags)
+            else:
+                still_waiting.append((wanted, wait_all, event))
+        self._waiters = still_waiting
+
+    def clear(self, ctx: TaskContext, mask: int) -> Generator:
+        yield from ctx.service_overhead()
+        self.flags &= ~mask
+
+    def wait(self, ctx: TaskContext, mask: int,
+             wait_all: bool = False) -> Generator:
+        """Block until the masked bits are set (any or all)."""
+        if mask == 0:
+            raise RTOSError("cannot wait on an empty mask")
+        yield from ctx.service_overhead()
+        if self._satisfied(mask, wait_all):
+            return self.flags
+        event = self.kernel.engine.event(name=f"flags.{self.name}")
+        self._waiters.append((mask, wait_all, event))
+        flags = yield from self.kernel.block_on(ctx.task, event)
+        return flags
+
+    def _satisfied(self, mask: int, wait_all: bool) -> bool:
+        if wait_all:
+            return (self.flags & mask) == mask
+        return bool(self.flags & mask)

@@ -1,0 +1,430 @@
+"""The kernel: task lifecycle, CPU arbitration, and the service API.
+
+All application code runs inside tasks; a task body is a generator
+function ``fn(ctx)`` that uses the :class:`TaskContext` services
+(``compute``, ``lock``/``unlock``, ``request``/``release_resource``,
+``malloc``/``free``, IPC).  The kernel charges cycle costs for services
+on the calling task's PE, implements bounded-latency preemption at
+quantum boundaries, and exposes pluggable back-ends for locks, deadlock
+management and dynamic memory (the hardware/software partitioning axis).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Optional
+
+from repro import calibration
+from repro.errors import RTOSError
+from repro.mpsoc.soc import MPSoC
+from repro.rtos.scheduler import PEScheduler
+from repro.rtos.task import Task, TaskState
+from repro.sim.engine import SimEvent
+
+
+class Kernel:
+    """A shared-kernel multiprocessor RTOS instance on one MPSoC."""
+
+    def __init__(self, soc: MPSoC, quantum: int = 200,
+                 round_robin: bool = False,
+                 service_overhead: int = calibration.RTOS_SERVICE_OVERHEAD_CYCLES,
+                 context_switch_cycles: int = calibration.RTOS_CONTEXT_SWITCH_CYCLES,
+                 strict_leak_check: bool = False,
+                 ) -> None:
+        if quantum < 1:
+            raise RTOSError("quantum must be at least one cycle")
+        self.strict_leak_check = strict_leak_check
+        #: (task name, leaked resource names) per finished-while-holding.
+        self.leaks: list = []
+        #: When True, an exception escaping a task body marks the task
+        #: FAILED and the system keeps running (fault isolation); when
+        #: False (default) the failure surfaces at Kernel.run().
+        self.isolate_task_failures = False
+        #: (task name, exception) per isolated failure.
+        self.task_failures: list = []
+        self.soc = soc
+        self.engine = soc.engine
+        self.trace = soc.trace
+        self.quantum = quantum
+        self.service_overhead = service_overhead
+        self.context_switch_cycles = context_switch_cycles
+        self.schedulers: dict[str, PEScheduler] = {
+            pe.name: PEScheduler(self.engine, pe.name, self.trace,
+                                 round_robin=round_robin)
+            for pe in soc.pes}
+        self.tasks: dict[str, Task] = {}
+        self._procs = []
+        # Pluggable back-ends (attached by the framework builder).
+        self.lock_manager = None
+        self.resource_service = None
+        self.heap_service = None
+
+    # -- configuration ------------------------------------------------------------
+
+    def attach_lock_manager(self, manager: Any) -> None:
+        self.lock_manager = manager
+
+    def attach_resource_service(self, service: Any) -> None:
+        self.resource_service = service
+
+    def attach_heap_service(self, service: Any) -> None:
+        self.heap_service = service
+
+    # -- task management ------------------------------------------------------------
+
+    def create_task(self, fn: Callable, name: str, priority: int,
+                    pe: str, start_time: float = 0.0) -> Task:
+        """Register a task; it activates at ``start_time``."""
+        if name in self.tasks:
+            raise RTOSError(f"duplicate task name {name!r}")
+        if pe not in self.schedulers:
+            raise RTOSError(f"unknown PE {pe!r}")
+        task = Task(name, fn, priority, pe, start_time)
+        self.tasks[name] = task
+        proc = self.engine.spawn(self._task_body(task), name=f"task.{name}")
+        self._procs.append(proc)
+        return task
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run the simulation; returns the final simulated time."""
+        return self.engine.run(until=until)
+
+    def finished(self, *names: str) -> bool:
+        wanted = names if names else tuple(self.tasks)
+        return all(self.tasks[n].state is TaskState.FINISHED for n in wanted)
+
+    # -- task lifecycle (engine process per task) ----------------------------------------
+
+    def _task_body(self, task: Task) -> Generator:
+        if task.start_time > 0:
+            yield task.start_time
+        task.stats.activation_time = self.engine.now
+        self.trace.record(self.engine.now, task.name, "activate",
+                          pe=task.pe_name, priority=task.priority)
+        scheduler = self.schedulers[task.pe_name]
+        scheduler.activate(task)
+        yield from self._wait_for_cpu(task)
+        task.stats.first_run_time = self.engine.now
+        ctx = TaskContext(self, task)
+        try:
+            yield from task.fn(ctx)
+        except Exception as exc:
+            if not self.isolate_task_failures:
+                raise
+            # Fault isolation: record, release the leaked resources so
+            # the rest of the system can continue, mark FAILED.
+            self.task_failures.append((task.name, exc))
+            self.trace.record(self.engine.now, task.name, "task_failed",
+                              error=type(exc).__name__)
+            if (self.resource_service is not None
+                    and task.held_resources):
+                for resource in list(task.held_resources):
+                    yield from self.resource_service.release(
+                        ctx, resource)
+            scheduler.yield_running(task, TaskState.FAILED)
+            task.stats.finish_time = self.engine.now
+            return
+        finally:
+            # The finally clause also runs when a forever-blocked task's
+            # generator is garbage-collected at interpreter shutdown; in
+            # that case the task is not on the CPU and there is nothing
+            # to hand back.  Isolated failures were fully handled above.
+            if task.state is TaskState.FAILED:
+                pass
+            elif scheduler.running is task:
+                scheduler.yield_running(task, TaskState.FINISHED)
+                task.stats.finish_time = self.engine.now
+                self.trace.record(self.engine.now, task.name, "finish",
+                                  pe=task.pe_name)
+                self._check_leaks(task)
+            else:
+                task.state = TaskState.FINISHED
+
+    def _check_leaks(self, task: Task) -> None:
+        """A finished task still holding resources leaked them."""
+        if not task.held_resources:
+            return
+        leaked = tuple(task.held_resources)
+        self.leaks.append((task.name, leaked))
+        self.trace.record(self.engine.now, task.name, "resource_leak",
+                          resources=",".join(leaked))
+        if self.strict_leak_check:
+            raise RTOSError(
+                f"task {task.name!r} finished holding {leaked}")
+
+    def _wait_for_cpu(self, task: Task) -> Generator:
+        scheduler = self.schedulers[task.pe_name]
+        while scheduler.running is not task:
+            task._grant = self.engine.event(name=f"cpu.{task.name}")
+            yield task._grant
+        if task._needs_context_switch:
+            task._needs_context_switch = False
+            task.stats.context_switches += 1
+            yield self.context_switch_cycles
+
+    def preemption_point(self, task: Task) -> Generator:
+        """Yield the CPU if a better candidate is ready (quantum boundary)."""
+        scheduler = self.schedulers[task.pe_name]
+        if task.suspend_pending:
+            # Park until resume_task() re-activates us; _wait_for_cpu
+            # sleeps on a dispatch grant that only activation can fire.
+            task.suspend_pending = False
+            self.trace.record(self.engine.now, task.name, "suspended",
+                              pe=task.pe_name)
+            scheduler.yield_running(task, TaskState.SUSPENDED)
+            yield from self._wait_for_cpu(task)
+            return
+        if task.preempt_pending or scheduler.should_preempt(task):
+            task.stats.preemptions += 1
+            self.trace.record(self.engine.now, task.name, "preempted",
+                              pe=task.pe_name)
+            scheduler.yield_running(task, TaskState.READY)
+            yield from self._wait_for_cpu(task)
+        else:
+            task.preempt_pending = False
+
+    def block_on(self, task: Task, event: SimEvent) -> Generator:
+        """Block the running task until ``event`` fires; returns payload."""
+        scheduler = self.schedulers[task.pe_name]
+        scheduler.yield_running(task, TaskState.BLOCKED)
+        self.trace.record(self.engine.now, task.name, "block_start",
+                          pe=task.pe_name)
+        blocked_at = self.engine.now
+        payload = yield event
+        task.stats.blocked_cycles += self.engine.now - blocked_at
+        self.trace.record(self.engine.now, task.name, "block_end",
+                          pe=task.pe_name)
+        if task.suspend_pending:
+            # A suspension arrived while blocked: park instead of
+            # re-joining the ready queue (deferred suspension).
+            task.suspend_pending = False
+            task.state = TaskState.SUSPENDED
+            self.trace.record(self.engine.now, task.name, "suspended",
+                              pe=task.pe_name)
+        else:
+            scheduler.activate(task)
+        yield from self._wait_for_cpu(task)
+        return payload
+
+    # -- task management services (Section 2.1: "task creation,
+    # suspension and resumption") ------------------------------------------------
+
+    def _task_by_name(self, name: str) -> Task:
+        try:
+            return self.tasks[name]
+        except KeyError:
+            raise RTOSError(f"unknown task {name!r}") from None
+
+    def suspend_task(self, name: str) -> None:
+        """Suspend a task: immediately if READY, at its next safe point
+        if RUNNING, deferred past the wake-up if BLOCKED."""
+        task = self._task_by_name(name)
+        scheduler = self.schedulers[task.pe_name]
+        if task.state is TaskState.READY:
+            scheduler.ready.remove(task)
+            task.state = TaskState.SUSPENDED
+            self.trace.record(self.engine.now, task.name, "suspended",
+                              pe=task.pe_name)
+        elif task.state in (TaskState.RUNNING, TaskState.BLOCKED,
+                            TaskState.NEW):
+            task.suspend_pending = True
+        elif task.state is TaskState.SUSPENDED:
+            pass
+        else:
+            raise RTOSError(f"cannot suspend {name!r} "
+                            f"(state {task.state.value})")
+
+    def resume_task(self, name: str) -> None:
+        """Resume a suspended task (or cancel a pending suspension)."""
+        task = self._task_by_name(name)
+        if task.state is TaskState.SUSPENDED:
+            self.trace.record(self.engine.now, task.name, "resumed",
+                              pe=task.pe_name)
+            self.schedulers[task.pe_name].activate(task)
+        elif task.suspend_pending:
+            task.suspend_pending = False
+        # Resuming a task that is not suspended is a no-op, as in most
+        # RTOS APIs.
+
+    def set_task_priority(self, name: str, new_priority: int) -> None:
+        """Change a task's base priority (not while PI/IPCP-boosted)."""
+        task = self._task_by_name(name)
+        if new_priority < 0:
+            raise RTOSError("priority must be non-negative")
+        if task.is_boosted:
+            raise RTOSError(
+                f"cannot reprioritize {name!r} while priority-boosted")
+        task.base_priority = new_priority
+        task.priority = new_priority
+        scheduler = self.schedulers[task.pe_name]
+        if task.state is TaskState.READY:
+            scheduler.requeue_priority(task)
+        elif (scheduler.running is task and task.state is TaskState.RUNNING
+              and scheduler.should_preempt(task)):
+            task.preempt_pending = True
+
+    def notify_task(self, task: Task, notification: Any) -> None:
+        """Deliver an asynchronous notification (resource give-up etc.)."""
+        task.notifications.append(notification)
+        if task._notify_event is not None:
+            event, task._notify_event = task._notify_event, None
+            event.set(notification)
+
+    def priority_changed(self, task: Task) -> None:
+        """Re-evaluate scheduling after a PI/IPCP priority change."""
+        self.schedulers[task.pe_name].requeue_priority(task)
+
+
+class TaskContext:
+    """The service API visible to application task code."""
+
+    def __init__(self, kernel: Kernel, task: Task) -> None:
+        self.kernel = kernel
+        self.task = task
+        self.pe = kernel.soc.pe(task.pe_name)
+
+    @property
+    def now(self) -> float:
+        return self.kernel.engine.now
+
+    @property
+    def name(self) -> str:
+        return self.task.name
+
+    # -- CPU time ------------------------------------------------------------
+
+    def compute(self, cycles: float) -> Generator:
+        """Local computation, preemptible at quantum boundaries."""
+        remaining = cycles
+        while remaining > 0:
+            quantum = min(remaining, self.kernel.quantum)
+            yield from self.pe.execute(quantum)
+            remaining -= quantum
+            yield from self.kernel.preemption_point(self.task)
+
+    def service_overhead(self) -> Generator:
+        """Kernel entry/exit cost for one service call."""
+        yield from self.pe.execute(self.kernel.service_overhead)
+
+    def sleep(self, cycles: float) -> Generator:
+        """Sleep without occupying the CPU."""
+        if cycles < 0:
+            raise RTOSError("negative sleep")
+        timer = self.kernel.engine.event(name=f"timer.{self.task.name}")
+        self.kernel.engine.schedule(cycles, timer.set, None)
+        yield from self.kernel.block_on(self.task, timer)
+
+    # -- locks ------------------------------------------------------------------
+
+    def lock(self, lock_id: str) -> Generator:
+        if self.kernel.lock_manager is None:
+            raise RTOSError("no lock manager attached")
+        yield from self.kernel.lock_manager.acquire(self, lock_id)
+
+    def unlock(self, lock_id: str) -> Generator:
+        if self.kernel.lock_manager is None:
+            raise RTOSError("no lock manager attached")
+        yield from self.kernel.lock_manager.release(self, lock_id)
+
+    # -- deadlock-managed resources ------------------------------------------------
+
+    def request(self, resource: str, units: int = 1) -> Generator:
+        """Issue a resource request; returns the service outcome.
+
+        ``units`` is only meaningful for pooled (multi-unit) resource
+        services; single-unit services accept only the default 1.
+        """
+        if self.kernel.resource_service is None:
+            raise RTOSError("no resource service attached")
+        if units == 1:
+            outcome = yield from self.kernel.resource_service.request(
+                self, resource)
+        else:
+            outcome = yield from self.kernel.resource_service.request(
+                self, resource, units=units)
+        return outcome
+
+    def release_resource(self, resource: str, units: int = 0) -> Generator:
+        """Release a resource (for pools: ``units``, 0 = everything)."""
+        if self.kernel.resource_service is None:
+            raise RTOSError("no resource service attached")
+        if units == 0:
+            outcome = yield from self.kernel.resource_service.release(
+                self, resource)
+        else:
+            outcome = yield from self.kernel.resource_service.release(
+                self, resource, units=units)
+        return outcome
+
+    def wait_grant(self, resource: str) -> Generator:
+        """Block until a pending request for ``resource`` is granted."""
+        yield from self.kernel.resource_service.wait_grant(self, resource)
+
+    def withdraw_request(self, resource: str) -> Generator:
+        """Cancel a pending request (abort a multi-resource acquire)."""
+        if self.kernel.resource_service is None:
+            raise RTOSError("no resource service attached")
+        outcome = yield from self.kernel.resource_service.withdraw(
+            self, resource)
+        return outcome
+
+    def acquire(self, resource: str, retry_backoff: float = 500.0
+                ) -> Generator:
+        """Request-until-held convenience loop.
+
+        Handles the three avoidance outcomes: GRANTED returns at once;
+        PENDING blocks for the grant; GIVE_UP releases everything this
+        task holds, backs off, re-acquires what it gave up and retries —
+        the recovery behaviour the paper's scenarios script by hand.
+        """
+        service = self.kernel.resource_service
+        while True:
+            outcome = yield from service.request(self, resource)
+            if outcome.granted:
+                return
+            if outcome.must_give_up:
+                gave_up = list(self.task.held_resources)
+                for held in gave_up:
+                    yield from service.release(self, held)
+                yield from self.sleep(retry_backoff)
+                for held in gave_up:
+                    yield from self.acquire(held, retry_backoff)
+                continue
+            yield from service.wait_grant(self, resource)
+            return
+
+    # -- peripherals --------------------------------------------------------------
+
+    def use_peripheral(self, name: str, cycles: float) -> Generator:
+        """Run an owned peripheral for ``cycles`` (ownership enforced)."""
+        peripheral = self.kernel.soc.peripheral(name)
+        yield from peripheral.serve(self.task.name, cycles)
+
+    # -- dynamic memory --------------------------------------------------------------
+
+    def malloc(self, size_bytes: int) -> Generator:
+        if self.kernel.heap_service is None:
+            raise RTOSError("no heap service attached")
+        address = yield from self.kernel.heap_service.malloc(
+            self, size_bytes)
+        return address
+
+    def free(self, address: int) -> Generator:
+        if self.kernel.heap_service is None:
+            raise RTOSError("no heap service attached")
+        yield from self.kernel.heap_service.free(self, address)
+
+    # -- notifications ----------------------------------------------------------------
+
+    def pop_notifications(self) -> list:
+        """Drain this task's pending notifications."""
+        notes, self.task.notifications = self.task.notifications, []
+        return notes
+
+    def wait_notification(self) -> Generator:
+        """Block until a notification arrives; returns the first one."""
+        if self.task.notifications:
+            return self.task.notifications.pop(0)
+        self.task._notify_event = self.kernel.engine.event(
+            name=f"notify.{self.task.name}")
+        yield from self.kernel.block_on(self.task, self.task._notify_event)
+        return self.task.notifications.pop(0)

@@ -1,0 +1,157 @@
+"""Software dynamic memory management (the glibc-like baseline).
+
+:class:`SoftwareHeap` is a first-fit free-list allocator over a region
+of the shared L2 memory with the cycle-cost model calibrated to Table
+11: a malloc costs a base amount plus a per-free-list-entry walk, a free
+costs coalescing work.  The allocator actually maintains the free list,
+so fragmentation genuinely lengthens the walk — the behaviour that makes
+software memory management non-deterministic, which is the paper's
+argument for the SoCDMMU.
+
+Heap operations from different PEs serialize on a heap mutex, as glibc's
+arena lock does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator
+
+from repro import calibration
+from repro.errors import AllocationError
+from repro.rtos.kernel import Kernel, TaskContext
+from repro.sim.process import SimResource
+
+
+@dataclass
+class HeapStats:
+    """Memory-management cycle accounting (Tables 11-12)."""
+
+    malloc_calls: int = 0
+    free_calls: int = 0
+    mm_cycles: float = 0.0
+    peak_in_use: int = 0
+    failed_allocations: int = 0
+    walk_lengths: list = field(default_factory=list)
+
+    @property
+    def calls(self) -> int:
+        return self.malloc_calls + self.free_calls
+
+
+_HEADER_BYTES = 8   # allocation header, as in a dlmalloc-style heap
+_ALIGN = 8
+
+
+class SoftwareHeap:
+    """First-fit free-list allocator with calibrated cycle costs."""
+
+    def __init__(self, kernel: Kernel, base: int = 0x10_0000,
+                 size_bytes: int = 4 * 1024 * 1024) -> None:
+        if size_bytes <= 0:
+            raise AllocationError("heap size must be positive")
+        self.kernel = kernel
+        self.base = base
+        self.size_bytes = size_bytes
+        # Free list of (address, size) sorted by address.
+        self._free: list[tuple[int, int]] = [(base, size_bytes)]
+        self._allocated: dict[int, int] = {}
+        self._in_use = 0
+        self._mutex = SimResource(kernel.engine, "heap.mutex")
+        self.stats = HeapStats()
+
+    # -- allocator mechanics (zero simulated time; costs charged by callers) --
+
+    def _find_block(self, size: int) -> tuple[int, int]:
+        """First-fit search; returns (free-list index, walked entries)."""
+        for index, (_addr, block_size) in enumerate(self._free):
+            if block_size >= size:
+                return index, index + 1
+        return -1, len(self._free)
+
+    def _carve(self, index: int, size: int) -> int:
+        address, block_size = self._free[index]
+        if block_size == size:
+            self._free.pop(index)
+        else:
+            self._free[index] = (address + size, block_size - size)
+        self._allocated[address] = size
+        self._in_use += size
+        self.stats.peak_in_use = max(self.stats.peak_in_use, self._in_use)
+        return address
+
+    def _coalesce(self, address: int, size: int) -> None:
+        self._free.append((address, size))
+        self._free.sort()
+        merged: list[tuple[int, int]] = []
+        for addr, sz in self._free:
+            if merged and merged[-1][0] + merged[-1][1] == addr:
+                prev_addr, prev_sz = merged[-1]
+                merged[-1] = (prev_addr, prev_sz + sz)
+            else:
+                merged.append((addr, sz))
+        self._free = merged
+
+    @staticmethod
+    def _padded(size_bytes: int) -> int:
+        size = size_bytes + _HEADER_BYTES
+        return (size + _ALIGN - 1) // _ALIGN * _ALIGN
+
+    # -- the service API -------------------------------------------------------
+
+    def malloc(self, ctx: TaskContext, size_bytes: int) -> Generator:
+        """Allocate; returns the block address.  Charges Table 11 costs."""
+        if size_bytes <= 0:
+            raise AllocationError("allocation size must be positive")
+        task = ctx.task.name
+        yield from self._mutex.acquire(task)
+        size = self._padded(size_bytes)
+        index, walked = self._find_block(size)
+        cost = (calibration.SW_MALLOC_BASE_CYCLES
+                + walked * calibration.SW_MALLOC_WALK_CYCLES
+                + (size // 1024) * calibration.SW_MALLOC_SIZE_CYCLES_PER_KB)
+        yield from ctx.pe.execute(cost)
+        self.stats.mm_cycles += cost
+        self.stats.malloc_calls += 1
+        self.stats.walk_lengths.append(walked)
+        if index < 0:
+            self.stats.failed_allocations += 1
+            self._mutex.release(task)
+            raise AllocationError(
+                f"heap exhausted: {size_bytes} bytes requested")
+        address = self._carve(index, size)
+        self._mutex.release(task)
+        return address
+
+    def free(self, ctx: TaskContext, address: int) -> Generator:
+        """Release a block back to the free list."""
+        task = ctx.task.name
+        yield from self._mutex.acquire(task)
+        if address not in self._allocated:
+            self._mutex.release(task)
+            raise AllocationError(f"free of unallocated address {address:#x}")
+        cost = calibration.SW_FREE_CYCLES
+        yield from ctx.pe.execute(cost)
+        self.stats.mm_cycles += cost
+        self.stats.free_calls += 1
+        size = self._allocated.pop(address)
+        self._in_use -= size
+        self._coalesce(address, size)
+        self._mutex.release(task)
+
+    @property
+    def in_use_bytes(self) -> int:
+        return self._in_use
+
+    @property
+    def free_bytes(self) -> int:
+        return sum(size for _addr, size in self._free)
+
+    @property
+    def fragmentation(self) -> float:
+        """1 - (largest free block / total free): 0 when unfragmented."""
+        if not self._free:
+            return 0.0
+        total = self.free_bytes
+        largest = max(size for _addr, size in self._free)
+        return 1.0 - largest / total if total else 0.0

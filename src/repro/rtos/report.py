@@ -1,0 +1,118 @@
+"""System-state reporting: a 'ps' for the simulated RTOS/MPSoC.
+
+Call :func:`system_report` on a built system after (or during) a run to
+get a text snapshot a developer would actually read: per-PE utilization
+and bus statistics, the task table with states/priorities/response
+times, lock statistics, heap statistics and the deadlock service's
+counters.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.textutils import render_table
+from repro.rtos.kernel import Kernel
+
+
+def task_table(kernel: Kernel) -> str:
+    rows = []
+    for task in kernel.tasks.values():
+        stats = task.stats
+        rows.append((
+            task.name, task.pe_name, task.state.value,
+            task.priority, task.base_priority,
+            stats.response_time if stats.response_time is not None else "-",
+            round(stats.blocked_cycles),
+            stats.preemptions, stats.context_switches,
+            ",".join(task.held_resources) or "-"))
+    return render_table(
+        ["task", "pe", "state", "prio", "base", "response",
+         "blocked", "preempt", "cs", "holding"],
+        rows, title="Task table")
+
+
+def pe_table(kernel: Kernel) -> str:
+    rows = []
+    for pe in kernel.soc.pes:
+        scheduler = kernel.schedulers[pe.name]
+        rows.append((
+            pe.name, round(pe.busy_cycles),
+            f"{100 * pe.utilization:.1f}%",
+            pe.bus_accesses,
+            scheduler.dispatch_count,
+            scheduler.running.name if scheduler.running else "-",
+            len(scheduler.ready)))
+    return render_table(
+        ["pe", "busy", "util", "bus ops", "dispatches", "running",
+         "ready"],
+        rows, title="Processing elements")
+
+
+def bus_summary(kernel: Kernel) -> str:
+    bus = kernel.soc.bus
+    return (f"bus: {bus.total_transactions} transaction(s), "
+            f"{bus.busy_cycles} busy cycle(s), "
+            f"utilization {100 * bus.utilization:.1f}%, "
+            f"contention {bus.contention_cycles:.0f} cycle(s)")
+
+
+def service_summary(system) -> Optional[str]:
+    service = system.resource_service
+    if service is None:
+        return None
+    stats = service.stats
+    line = (f"deadlock service ({system.config.deadlock}): "
+            f"{stats.invocations} invocation(s), mean "
+            f"{stats.mean_algorithm_cycles:.1f} cycle(s)")
+    if stats.deadlock_found_at is not None:
+        line += f", deadlock detected at t={stats.deadlock_found_at:.0f}"
+    core = getattr(service, "core", None)
+    if core is not None:
+        line += (f", R-dl {core.stats.rdl_events}, "
+                 f"G-dl {core.stats.gdl_events}, "
+                 f"livelock {core.stats.livelock_events}")
+    return line
+
+
+def lock_summary(system) -> Optional[str]:
+    manager = system.lock_manager
+    stats = getattr(manager, "stats", None)
+    if stats is None or stats.acquisitions == 0:
+        return None
+    return (f"locks: {stats.acquisitions} acquisition(s), "
+            f"{stats.contended_acquisitions} contended, mean latency "
+            f"{stats.mean_latency:.0f}, mean delay {stats.mean_delay:.0f}")
+
+
+def heap_summary(system) -> Optional[str]:
+    heap = system.heap
+    stats = getattr(heap, "stats", None)
+    if stats is None or stats.calls == 0:
+        return None
+    return (f"heap: {stats.malloc_calls} malloc / {stats.free_calls} "
+            f"free, {stats.mm_cycles:.0f} management cycle(s), "
+            f"{stats.failed_allocations} failure(s)")
+
+
+def system_report(system) -> str:
+    """Full snapshot of a built system."""
+    kernel = system.kernel
+    sections = [
+        f"=== {system.name} at t={kernel.engine.now:g} ===",
+        pe_table(kernel),
+        "",
+        task_table(kernel),
+        "",
+        bus_summary(kernel),
+    ]
+    for extra in (service_summary(system), lock_summary(system),
+                  heap_summary(system)):
+        if extra is not None:
+            sections.append(extra)
+    if kernel.leaks:
+        sections.append(f"RESOURCE LEAKS: {kernel.leaks}")
+    if kernel.task_failures:
+        names = [name for name, _exc in kernel.task_failures]
+        sections.append(f"FAILED TASKS: {names}")
+    return "\n".join(sections)

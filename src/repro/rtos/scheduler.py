@@ -1,0 +1,123 @@
+"""Per-PE preemptive priority scheduler with optional round-robin.
+
+One scheduler instance per processing element.  Dispatching is
+synchronous bookkeeping; the *running* task's generator advances through
+the kernel, which calls :meth:`PEScheduler.preemption_point` at quantum
+boundaries and service calls — so preemption latency is bounded by the
+kernel's quantum, as on a real cooperative-kernel RTOS tick.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import RTOSError
+from repro.rtos.task import Task, TaskState
+from repro.sim.engine import Engine
+from repro.sim.trace import Trace
+
+
+class PEScheduler:
+    """Ready queue + running slot for one PE."""
+
+    def __init__(self, engine: Engine, pe_name: str, trace: Trace,
+                 round_robin: bool = False) -> None:
+        self.engine = engine
+        self.pe_name = pe_name
+        self.trace = trace
+        self.round_robin = round_robin
+        self.ready: list[Task] = []
+        self.running: Optional[Task] = None
+        self._arrival_counter = 0
+        self._arrival_order: dict[str, int] = {}
+        self.dispatch_count = 0
+
+    # -- queue management -------------------------------------------------------
+
+    def _sort_key(self, task: Task) -> tuple:
+        return (task.priority, self._arrival_order.get(task.name, 0))
+
+    def activate(self, task: Task) -> None:
+        """A task became runnable (released, unblocked, or preempted out)."""
+        if task.pe_name != self.pe_name:
+            raise RTOSError(
+                f"{task.name} activated on wrong PE {self.pe_name}")
+        if task in self.ready:
+            raise RTOSError(f"{task.name} already ready")
+        task.state = TaskState.READY
+        self._arrival_order[task.name] = self._arrival_counter
+        self._arrival_counter += 1
+        self.ready.append(task)
+        if self.running is None:
+            self.dispatch()
+        elif task.priority < self.running.priority:
+            # Higher-priority arrival: ask the running task to yield at
+            # its next preemption point.
+            self.running.preempt_pending = True
+
+    def best_ready(self) -> Optional[Task]:
+        if not self.ready:
+            return None
+        return min(self.ready, key=self._sort_key)
+
+    def dispatch(self) -> Optional[Task]:
+        """Fill an empty running slot from the ready queue."""
+        if self.running is not None:
+            raise RTOSError(f"{self.pe_name}: dispatch while running "
+                            f"{self.running.name}")
+        task = self.best_ready()
+        if task is None:
+            return None
+        self.ready.remove(task)
+        task.state = TaskState.RUNNING
+        task.preempt_pending = False
+        self.running = task
+        self.dispatch_count += 1
+        task._needs_context_switch = True
+        if task._grant is not None:
+            grant, task._grant = task._grant, None
+            grant.set(task)
+        self.trace.record(self.engine.now, task.name, "run_start",
+                          pe=self.pe_name, priority=task.priority)
+        return task
+
+    # -- transitions driven by the kernel ---------------------------------------
+
+    def yield_running(self, task: Task, new_state: TaskState) -> None:
+        """The running task leaves the CPU (block, preempt, or finish)."""
+        if self.running is not task:
+            raise RTOSError(
+                f"{task.name} yielded {self.pe_name} but "
+                f"{self.running and self.running.name} is running")
+        self.running = None
+        task.preempt_pending = False
+        self.trace.record(self.engine.now, task.name, "run_end",
+                          pe=self.pe_name)
+        if new_state is TaskState.READY:
+            self.activate(task)
+        else:
+            task.state = new_state
+        if self.running is None:
+            self.dispatch()
+
+    def should_preempt(self, task: Task) -> bool:
+        """Does a better candidate exist at this preemption point?"""
+        best = self.best_ready()
+        if best is None:
+            return False
+        if best.priority < task.priority:
+            return True
+        if self.round_robin and best.priority == task.priority:
+            return True
+        return False
+
+    def requeue_priority(self, task: Task) -> None:
+        """Re-evaluate preemption after a priority change (PI/IPCP)."""
+        if (self.running is not None and task in self.ready
+                and task.priority < self.running.priority):
+            self.running.preempt_pending = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        running = self.running.name if self.running else None
+        return (f"<PEScheduler {self.pe_name} running={running} "
+                f"ready={[t.name for t in self.ready]}>")

@@ -1,0 +1,315 @@
+"""Lock-based synchronization in software (the RTOS5 configuration).
+
+:class:`SoftwareLockManager` implements Atalanta-style lock handling
+with the Priority Inheritance Protocol: when a task blocks on a lock,
+the holder inherits the blocked task's (higher) priority until release.
+Cycle costs are the calibrated Table 10 software figures — a software
+acquire walks shared kernel structures over the bus, so it is charged
+:data:`repro.calibration.SW_LOCK_LATENCY_CYCLES`.
+
+The manager records per-acquisition *latency* (service cost of the
+acquire itself) and *delay* (blocking time of contended acquires), the
+two quantities of Table 10.
+
+Also here: :class:`Semaphore` (counting, priority-queued waiters) and
+:class:`Spinlock` (busy-waiting on shared memory over the bus, used for
+short critical sections in the RTOS5 architecture).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, Optional
+
+from repro import calibration
+from repro.errors import RTOSError
+from repro.rtos.kernel import Kernel, TaskContext
+from repro.rtos.task import Task
+
+
+@dataclass
+class LockStats:
+    """Table 10 measurements, collected across all locks of a manager."""
+
+    acquisitions: int = 0
+    contended_acquisitions: int = 0
+    latencies: list = field(default_factory=list)
+    delays: list = field(default_factory=list)
+
+    @property
+    def mean_latency(self) -> float:
+        return (sum(self.latencies) / len(self.latencies)
+                if self.latencies else 0.0)
+
+    @property
+    def mean_delay(self) -> float:
+        return sum(self.delays) / len(self.delays) if self.delays else 0.0
+
+
+class _LockRecord:
+    __slots__ = ("name", "holder", "waiters", "ceiling", "boosts")
+
+    def __init__(self, name: str, ceiling: Optional[int]) -> None:
+        self.name = name
+        self.holder: Optional[Task] = None
+        self.waiters: list = []       # [(task, grant_event), ...]
+        self.ceiling = ceiling
+        self.boosts = 0               # priority pushes to undo on release
+
+
+class SoftwareLockManager:
+    """Blocking locks with the Priority Inheritance Protocol in software."""
+
+    def __init__(self, kernel: Kernel,
+                 acquire_cycles: int = calibration.SW_LOCK_LATENCY_CYCLES,
+                 release_cycles: int = calibration.SW_LOCK_RELEASE_CYCLES,
+                 waiter_cycles: int = calibration.SW_LOCK_WAITER_CYCLES,
+                 ) -> None:
+        self.kernel = kernel
+        self.acquire_cycles = acquire_cycles
+        self.release_cycles = release_cycles
+        self.waiter_cycles = waiter_cycles
+        self._locks: dict[str, _LockRecord] = {}
+        self.stats = LockStats()
+
+    def register_lock(self, lock_id: str,
+                      ceiling: Optional[int] = None) -> None:
+        if lock_id in self._locks:
+            raise RTOSError(f"lock {lock_id!r} already registered")
+        self._locks[lock_id] = _LockRecord(lock_id, ceiling)
+
+    def _lock(self, lock_id: str) -> _LockRecord:
+        if lock_id not in self._locks:
+            self.register_lock(lock_id)
+        return self._locks[lock_id]
+
+    # -- acquire -----------------------------------------------------------------
+
+    def acquire(self, ctx: TaskContext, lock_id: str) -> Generator:
+        task = ctx.task
+        requested_at = ctx.now
+        # The software acquire path: kernel entry, then a test-and-set
+        # sequence plus PI bookkeeping on *shared-memory* kernel
+        # structures — the on-chip traffic the SoCLC exists to remove
+        # (Section 2.3.1).  Six single-word transactions ride the bus;
+        # the rest of the budget is local kernel code.
+        bus_ops = 6
+        bus_cost = bus_ops * self.kernel.soc.bus.timing.transaction_cycles(1)
+        for _ in range(bus_ops):
+            yield from ctx.pe.bus_read()
+        yield from ctx.pe.execute(max(0, self.acquire_cycles - bus_cost))
+        lock = self._lock(lock_id)
+        contended = False
+        while lock.holder is not None and lock.holder is not task:
+            contended = True
+            # Atalanta's hybrid path: spin on the shared-memory lock
+            # word for a bounded budget (each poll is a bus read) in
+            # the hope of a quick hand-off, then fall back to blocking.
+            spin_deadline = ctx.now + calibration.SW_LOCK_SPIN_BUDGET_CYCLES
+            while ctx.now < spin_deadline and lock.holder is not None \
+                    and lock.holder is not task:
+                yield from ctx.pe.bus_read()
+                yield calibration.SW_SPIN_POLL_BACKOFF_CYCLES
+            if lock.holder is None or lock.holder is task:
+                break
+            # Walk the waiter queue / update PI structures; the holder
+            # may release during this window, so re-check afterwards.
+            yield from ctx.pe.execute(self.waiter_cycles)
+            if lock.holder is None:
+                break
+            if task.priority < lock.holder.priority:
+                lock.holder.push_priority(task.priority)
+                lock.boosts += 1
+                self.kernel.priority_changed(lock.holder)
+                self.kernel.trace.record(
+                    ctx.now, lock.holder.name, "priority_inherited",
+                    lock=lock_id, inherited_from=task.name,
+                    priority=lock.holder.priority)
+            grant = self.kernel.engine.event(
+                name=f"lock.{lock_id}.{task.name}")
+            lock.waiters.append((task, grant))
+            lock.waiters.sort(key=lambda entry: entry[0].priority)
+            self.kernel.trace.record(ctx.now, task.name, "lock_blocked",
+                                     lock=lock_id, holder=lock.holder.name)
+            yield from self.kernel.block_on(task, grant)
+            # Kernel re-entry on wake: reschedule + lock-word re-check.
+            yield from ctx.pe.execute(calibration.SW_LOCK_WAKE_CYCLES)
+            break   # the releasing task handed the lock to us
+        if lock.holder is None:
+            lock.holder = task
+        if lock.holder is not task:
+            raise RTOSError(f"lock {lock_id!r} handoff failed")
+        self.stats.acquisitions += 1
+        self.stats.latencies.append(self.acquire_cycles)
+        if contended:
+            delay = ctx.now - requested_at
+            task.stats.lock_wait_cycles += delay
+            self.stats.contended_acquisitions += 1
+            self.stats.delays.append(delay)
+        self.kernel.trace.record(ctx.now, task.name, "lock_acquired",
+                                 lock=lock_id, contended=contended)
+
+    # -- release ------------------------------------------------------------------
+
+    def release(self, ctx: TaskContext, lock_id: str) -> Generator:
+        task = ctx.task
+        lock = self._lock(lock_id)
+        if lock.holder is not task:
+            raise RTOSError(
+                f"{task.name} released lock {lock_id!r} held by "
+                f"{lock.holder and lock.holder.name}")
+        # Release: write the lock word and waiter queue in shared memory;
+        # the PI queue walk costs extra per blocked waiter.
+        bus_ops = 3
+        bus_cost = bus_ops * self.kernel.soc.bus.timing.transaction_cycles(1)
+        for _ in range(bus_ops):
+            yield from ctx.pe.bus_write()
+        yield from ctx.pe.execute(max(0, self.release_cycles - bus_cost)
+                                  + len(lock.waiters) * self.waiter_cycles)
+        # Undo any inheritance applied while this task held the lock.
+        while lock.boosts:
+            task.pop_priority()
+            lock.boosts -= 1
+        self.kernel.trace.record(ctx.now, task.name, "lock_released",
+                                 lock=lock_id, priority=task.priority)
+        if lock.waiters:
+            next_task, grant = lock.waiters.pop(0)
+            lock.holder = next_task
+            grant.set(lock_id)
+        else:
+            lock.holder = None
+        # Releasing may deboost below a ready task's priority.
+        yield from self.kernel.preemption_point(task)
+
+    def holder_name(self, lock_id: str) -> Optional[str]:
+        lock = self._lock(lock_id)
+        return lock.holder.name if lock.holder else None
+
+    # -- short critical sections (kernel-structure guard) -----------------------
+
+    def short_lock(self, ctx: TaskContext) -> Generator:
+        """Enter a short CS: spin on a shared-memory kernel lock word.
+
+        This is Atalanta's short-CS path in RTOS5 — every poll is a bus
+        transaction, so contention congests the whole chip.
+        """
+        while True:
+            yield from ctx.pe.bus_read()
+            if getattr(self, "_short_holder", None) is None:
+                # The test-and-set is atomic: claim at test time, then
+                # pay for the lock-word write-back.
+                self._short_holder = ctx.task.name
+                yield from ctx.pe.bus_write()
+                yield from ctx.pe.execute(
+                    calibration.SW_SHORT_LOCK_CYCLES)
+                return
+            yield calibration.SW_SPIN_POLL_BACKOFF_CYCLES
+
+    def short_unlock(self, ctx: TaskContext) -> Generator:
+        if getattr(self, "_short_holder", None) != ctx.task.name:
+            raise RTOSError(
+                f"{ctx.task.name} left a short CS it never entered")
+        yield from ctx.pe.bus_write()
+        self._short_holder = None
+
+
+def enter_kernel_cs(kernel: Kernel, ctx: TaskContext) -> Generator:
+    """Guard a shared kernel structure with the short-CS mechanism.
+
+    Dispatches to the attached lock manager's short-lock path (software
+    spin-lock under RTOS5, SoCLC short-lock cell under RTOS6); a no-op
+    when the manager has no short-CS support.
+    """
+    manager = kernel.lock_manager
+    if manager is not None and hasattr(manager, "short_lock"):
+        yield from manager.short_lock(ctx)
+
+
+def leave_kernel_cs(kernel: Kernel, ctx: TaskContext) -> Generator:
+    manager = kernel.lock_manager
+    if manager is not None and hasattr(manager, "short_unlock"):
+        yield from manager.short_unlock(ctx)
+
+
+class Semaphore:
+    """Counting semaphore with priority-ordered waiters."""
+
+    def __init__(self, kernel: Kernel, name: str, initial: int = 0) -> None:
+        if initial < 0:
+            raise RTOSError("semaphore count must be non-negative")
+        self.kernel = kernel
+        self.name = name
+        self.count = initial
+        self._waiters: list = []
+
+    def _enter_kernel_cs(self, ctx: TaskContext) -> Generator:
+        """Guard the semaphore's kernel structure with a short CS."""
+        yield from enter_kernel_cs(self.kernel, ctx)
+
+    def _leave_kernel_cs(self, ctx: TaskContext) -> Generator:
+        yield from leave_kernel_cs(self.kernel, ctx)
+
+    def wait(self, ctx: TaskContext) -> Generator:
+        """P(): decrement or block."""
+        yield from ctx.service_overhead()
+        yield from self._enter_kernel_cs(ctx)
+        if self.count > 0:
+            self.count -= 1
+            yield from self._leave_kernel_cs(ctx)
+            return
+        grant = self.kernel.engine.event(name=f"sem.{self.name}")
+        self._waiters.append((ctx.task, grant))
+        self._waiters.sort(key=lambda entry: entry[0].priority)
+        # Leave the kernel CS *before* sleeping.
+        yield from self._leave_kernel_cs(ctx)
+        yield from self.kernel.block_on(ctx.task, grant)
+
+    def signal(self, ctx: TaskContext) -> Generator:
+        """V(): wake one waiter or increment."""
+        yield from ctx.service_overhead()
+        yield from self._enter_kernel_cs(ctx)
+        if self._waiters:
+            _task, grant = self._waiters.pop(0)
+            grant.set(self.name)
+        else:
+            self.count += 1
+        yield from self._leave_kernel_cs(ctx)
+
+    @property
+    def waiting(self) -> int:
+        return len(self._waiters)
+
+
+class Spinlock:
+    """A busy-wait lock living in shared memory (short-CS software path).
+
+    Each poll is a bus transaction, so spinning congests the bus — the
+    behaviour the SoCLC exists to remove.
+    """
+
+    def __init__(self, kernel: Kernel, name: str,
+                 poll_interval: int = 12) -> None:
+        self.kernel = kernel
+        self.name = name
+        self.poll_interval = poll_interval
+        self.holder: Optional[str] = None
+        self.spin_polls = 0
+
+    def acquire(self, ctx: TaskContext) -> Generator:
+        while True:
+            yield from ctx.pe.bus_read()
+            self.spin_polls += 1
+            if self.holder is None:
+                # Atomic test-and-set: claim at test time, then pay for
+                # the lock-word write-back.
+                self.holder = ctx.task.name
+                yield from ctx.pe.bus_write()
+                return
+            yield self.poll_interval
+
+    def release(self, ctx: TaskContext) -> Generator:
+        if self.holder != ctx.task.name:
+            raise RTOSError(
+                f"{ctx.task.name} released spinlock held by {self.holder}")
+        yield from ctx.pe.bus_write()
+        self.holder = None

@@ -1,0 +1,103 @@
+"""Task control blocks.
+
+A task is a generator function ``fn(ctx)`` plus scheduling metadata.
+Priorities follow the RTOS convention: *smaller number = higher
+priority* (the paper's "p1 highest" ordering is priority 1..4).
+
+``priority`` is the *effective* priority — raised by priority
+inheritance or the immediate priority ceiling protocol — while
+``base_priority`` is the assigned one.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.errors import RTOSError
+
+
+class TaskState(enum.Enum):
+    """Lifecycle states of a task."""
+
+    NEW = "new"
+    READY = "ready"
+    RUNNING = "running"
+    BLOCKED = "blocked"
+    SUSPENDED = "suspended"
+    FINISHED = "finished"
+    FAILED = "failed"
+
+
+@dataclass
+class TaskStats:
+    """Per-task measurements consumed by the experiment harnesses."""
+
+    activation_time: Optional[float] = None
+    first_run_time: Optional[float] = None
+    finish_time: Optional[float] = None
+    blocked_cycles: float = 0.0
+    lock_wait_cycles: float = 0.0
+    preemptions: int = 0
+    context_switches: int = 0
+
+    @property
+    def response_time(self) -> Optional[float]:
+        if self.activation_time is None or self.finish_time is None:
+            return None
+        return self.finish_time - self.activation_time
+
+
+class Task:
+    """One schedulable task."""
+
+    def __init__(self, name: str, fn: Callable, priority: int,
+                 pe_name: str, start_time: float = 0.0) -> None:
+        if priority < 0:
+            raise RTOSError("priority must be non-negative")
+        if start_time < 0:
+            raise RTOSError("start_time must be non-negative")
+        self.name = name
+        self.fn = fn
+        self.base_priority = priority
+        self.priority = priority
+        self.pe_name = pe_name
+        self.start_time = start_time
+        self.state = TaskState.NEW
+        self.stats = TaskStats()
+        #: Set when a higher-priority task wants this task's PE.
+        self.preempt_pending = False
+        #: Set when the task should park itself at its next safe point.
+        self.suspend_pending = False
+        #: Scheduler grant event while waiting for the CPU.
+        self._grant = None
+        #: True right after a dispatch that switched tasks (charge a CS).
+        self._needs_context_switch = False
+        #: Inbox of resource-manager notifications (grants, give-ups).
+        self.notifications: list = []
+        self._notify_event = None
+        #: Resources currently held (kept in sync by the resource layer).
+        self.held_resources: list[str] = []
+        #: Priority-inheritance bookkeeping: stack of inherited values.
+        self._priority_stack: list[int] = []
+
+    # -- effective-priority manipulation (PI / IPCP) ---------------------------
+
+    def push_priority(self, new_priority: int) -> None:
+        """Raise (never lower) the effective priority, remembering the old."""
+        self._priority_stack.append(self.priority)
+        self.priority = min(self.priority, new_priority)
+
+    def pop_priority(self) -> None:
+        if not self._priority_stack:
+            raise RTOSError(f"{self.name}: priority stack underflow")
+        self.priority = self._priority_stack.pop()
+
+    @property
+    def is_boosted(self) -> bool:
+        return self.priority != self.base_priority
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<Task {self.name} prio={self.priority} "
+                f"state={self.state.value} pe={self.pe_name}>")

@@ -1,0 +1,132 @@
+"""Watchdog / deadline-monitor service.
+
+Real-time claims (the robot's 250/300/600 us WCRTs, Section 5.5) need a
+mechanism that *notices* a missed deadline, not just post-hoc analysis.
+The watchdog arms a one-shot (or periodic, via :meth:`kick`) timer per
+monitored activity; if the timer fires before :meth:`kick`/:meth:`disarm`,
+the miss is recorded, traced, and an optional callback runs (e.g. to
+suspend the offender or trigger a mode change).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.errors import RTOSError
+from repro.rtos.kernel import Kernel
+
+
+@dataclass(frozen=True)
+class WatchdogTimeout:
+    """One recorded deadline miss."""
+
+    watch_id: int
+    name: str
+    armed_at: float
+    deadline: float
+    fired_at: float
+
+
+@dataclass
+class _Watch:
+    watch_id: int
+    name: str
+    deadline_cycles: float
+    armed_at: float
+    deadline: float
+    on_timeout: Optional[Callable]
+    active: bool = True
+    generation: int = 0
+
+
+class Watchdog:
+    """Deadline monitoring over the kernel's engine clock."""
+
+    def __init__(self, kernel: Kernel) -> None:
+        self.kernel = kernel
+        self._watches: dict = {}
+        self._ids = itertools.count(1)
+        self.timeouts: list = []
+
+    # -- arming -----------------------------------------------------------------
+
+    def arm(self, name: str, deadline_cycles: float,
+            on_timeout: Optional[Callable] = None) -> int:
+        """Start watching; returns the watch id."""
+        if deadline_cycles <= 0:
+            raise RTOSError("deadline must be positive")
+        watch_id = next(self._ids)
+        watch = _Watch(
+            watch_id=watch_id,
+            name=name,
+            deadline_cycles=deadline_cycles,
+            armed_at=self.kernel.engine.now,
+            deadline=self.kernel.engine.now + deadline_cycles,
+            on_timeout=on_timeout)
+        self._watches[watch_id] = watch
+        self._schedule(watch)
+        return watch_id
+
+    def _schedule(self, watch: _Watch) -> None:
+        generation = watch.generation
+        self.kernel.engine.schedule(
+            watch.deadline - self.kernel.engine.now,
+            self._expire, watch.watch_id, generation)
+
+    def _expire(self, watch_id: int, generation: int) -> None:
+        watch = self._watches.get(watch_id)
+        if watch is None or not watch.active:
+            return
+        if watch.generation != generation:
+            return                      # kicked since this was scheduled
+        watch.active = False
+        timeout = WatchdogTimeout(
+            watch_id=watch_id,
+            name=watch.name,
+            armed_at=watch.armed_at,
+            deadline=watch.deadline,
+            fired_at=self.kernel.engine.now)
+        self.timeouts.append(timeout)
+        self.kernel.trace.record(self.kernel.engine.now, watch.name,
+                                 "deadline_missed",
+                                 watch_id=watch_id,
+                                 deadline=watch.deadline)
+        if watch.on_timeout is not None:
+            watch.on_timeout(timeout)
+
+    # -- servicing ----------------------------------------------------------------
+
+    def kick(self, watch_id: int) -> None:
+        """Service the watchdog: restart the deadline window."""
+        watch = self._require(watch_id)
+        if not watch.active:
+            raise RTOSError(
+                f"watch {watch_id} already expired; re-arm instead")
+        watch.generation += 1
+        watch.armed_at = self.kernel.engine.now
+        watch.deadline = self.kernel.engine.now + watch.deadline_cycles
+        self._schedule(watch)
+
+    def disarm(self, watch_id: int) -> bool:
+        """Stop watching; returns False when the deadline already hit."""
+        watch = self._require(watch_id)
+        was_active = watch.active
+        watch.active = False
+        del self._watches[watch_id]
+        return was_active
+
+    def is_active(self, watch_id: int) -> bool:
+        watch = self._watches.get(watch_id)
+        return bool(watch and watch.active)
+
+    @property
+    def miss_count(self) -> int:
+        return len(self.timeouts)
+
+    def _require(self, watch_id: int) -> _Watch:
+        try:
+            return self._watches[watch_id]
+        except KeyError:
+            raise RTOSError(f"unknown watch id {watch_id}") from None

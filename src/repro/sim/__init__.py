@@ -1,0 +1,36 @@
+"""Discrete-event simulation kernel.
+
+This is the substrate every hardware/RTOS model in the package runs on.
+It provides a cycle-granular event queue (:class:`~repro.sim.engine.Engine`),
+generator-coroutine processes (:class:`~repro.sim.engine.SimProcess`),
+one-shot events, counting resources with pluggable arbitration
+(:mod:`repro.sim.process`) and timestamped tracing
+(:mod:`repro.sim.trace`).
+
+Processes are plain generator functions.  A process may yield:
+
+* an ``int``/``float`` — advance simulated time by that many cycles;
+* a :class:`~repro.sim.engine.SimEvent` — suspend until the event is set
+  (the ``yield`` evaluates to the event payload);
+* another :class:`~repro.sim.engine.SimProcess` — join it;
+* ``None`` — yield the current time slot (resume after pending events).
+"""
+
+from repro.sim.engine import Engine, SimEvent, SimProcess
+from repro.sim.process import Arbiter, FifoArbiter, PriorityArbiter, SimResource
+from repro.sim.trace import Trace, TraceRecord
+from repro.sim.vcd import trace_to_vcd, write_vcd
+
+__all__ = [
+    "Engine",
+    "SimEvent",
+    "SimProcess",
+    "SimResource",
+    "Arbiter",
+    "FifoArbiter",
+    "PriorityArbiter",
+    "Trace",
+    "TraceRecord",
+    "trace_to_vcd",
+    "write_vcd",
+]

@@ -1,0 +1,217 @@
+"""Event queue, one-shot events and generator-coroutine processes."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from repro.errors import SimulationError
+
+#: Type of the generators that implement simulation processes.
+ProcessGenerator = Generator[Any, Any, Any]
+
+
+class SimEvent:
+    """A one-shot event processes can wait on.
+
+    ``set(payload)`` wakes every waiter; late waiters resume immediately
+    with the same payload.  Setting an event twice is an error — reuse
+    requires a fresh event, which keeps causality easy to reason about.
+    """
+
+    __slots__ = ("engine", "name", "_payload", "_is_set", "_waiters")
+
+    def __init__(self, engine: "Engine", name: str = "") -> None:
+        self.engine = engine
+        self.name = name
+        self._payload: Any = None
+        self._is_set = False
+        self._waiters: list[SimProcess] = []
+
+    @property
+    def is_set(self) -> bool:
+        return self._is_set
+
+    @property
+    def payload(self) -> Any:
+        return self._payload
+
+    def set(self, payload: Any = None) -> None:
+        """Fire the event, waking all waiting processes this cycle."""
+        if self._is_set:
+            raise SimulationError(f"event {self.name!r} set twice")
+        self._is_set = True
+        self._payload = payload
+        waiters, self._waiters = self._waiters, []
+        for proc in waiters:
+            self.engine.schedule(0, proc._resume, payload)
+
+    def _add_waiter(self, proc: "SimProcess") -> None:
+        if self._is_set:
+            self.engine.schedule(0, proc._resume, self._payload)
+        else:
+            self._waiters.append(proc)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "set" if self._is_set else "pending"
+        return f"<SimEvent {self.name!r} {state}>"
+
+
+class SimProcess:
+    """Drives one generator coroutine inside an :class:`Engine`."""
+
+    __slots__ = ("engine", "name", "_gen", "_done", "_result", "_failure")
+
+    def __init__(self, engine: "Engine", gen: ProcessGenerator, name: str) -> None:
+        self.engine = engine
+        self.name = name
+        self._gen = gen
+        self._done = SimEvent(engine, name=f"{name}.done")
+        self._result: Any = None
+        self._failure: Optional[BaseException] = None
+
+    @property
+    def is_alive(self) -> bool:
+        return not self._done.is_set
+
+    @property
+    def result(self) -> Any:
+        """Return value of the generator; raises if it failed."""
+        if self.is_alive:
+            raise SimulationError(f"process {self.name!r} still running")
+        if self._failure is not None:
+            raise self._failure
+        return self._result
+
+    @property
+    def done_event(self) -> SimEvent:
+        return self._done
+
+    def _resume(self, value: Any = None) -> None:
+        if not self.is_alive:
+            return
+        try:
+            command = self._gen.send(value)
+        except StopIteration as stop:
+            self._result = stop.value
+            self._done.set(stop.value)
+            return
+        except BaseException as exc:  # propagate at Engine.run()
+            self._failure = exc
+            self._done.set(None)
+            self.engine._report_failure(self, exc)
+            return
+        self._dispatch(command)
+
+    def _dispatch(self, command: Any) -> None:
+        if command is None:
+            self.engine.schedule(0, self._resume, None)
+        elif isinstance(command, (int, float)):
+            if command < 0:
+                self._fail(SimulationError(
+                    f"process {self.name!r} yielded negative delay {command}"))
+                return
+            self.engine.schedule(command, self._resume, None)
+        elif isinstance(command, SimEvent):
+            command._add_waiter(self)
+        elif isinstance(command, SimProcess):
+            command._done._add_waiter(self)
+        else:
+            self._fail(SimulationError(
+                f"process {self.name!r} yielded unsupported command "
+                f"{command!r}"))
+
+    def _fail(self, exc: BaseException) -> None:
+        self._failure = exc
+        self._done.set(None)
+        self.engine._report_failure(self, exc)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "alive" if self.is_alive else "done"
+        return f"<SimProcess {self.name!r} {state}>"
+
+
+class Engine:
+    """Cycle-granular discrete-event scheduler.
+
+    Time is an integer or float cycle count starting at zero.  Events at
+    the same timestamp run in scheduling order (FIFO), which makes
+    same-cycle hardware sequencing deterministic.
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0
+        self._queue: list[tuple[float, int, Callable[..., None], tuple]] = []
+        self._sequence = itertools.count()
+        self._processes: list[SimProcess] = []
+        self._failures: list[tuple[SimProcess, BaseException]] = []
+
+    # -- scheduling --------------------------------------------------------
+
+    def schedule(self, delay: float, fn: Callable[..., None], *args: Any) -> None:
+        """Run ``fn(*args)`` after ``delay`` cycles."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        heapq.heappush(
+            self._queue, (self.now + delay, next(self._sequence), fn, args))
+
+    def event(self, name: str = "") -> SimEvent:
+        return SimEvent(self, name=name)
+
+    def spawn(self, gen: ProcessGenerator, name: str = "proc") -> SimProcess:
+        """Register a generator as a process; it starts on the next tick."""
+        proc = SimProcess(self, gen, name)
+        self._processes.append(proc)
+        self.schedule(0, proc._resume, None)
+        return proc
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self, until: Optional[float] = None,
+            max_events: int = 10_000_000) -> float:
+        """Drain the event queue; return the final simulated time.
+
+        ``until`` bounds simulated time; ``max_events`` bounds work so a
+        livelocked model fails loudly instead of spinning forever.
+        """
+        events_run = 0
+        while self._queue:
+            when, _seq, fn, args = self._queue[0]
+            if until is not None and when > until:
+                self.now = until
+                break
+            heapq.heappop(self._queue)
+            self.now = when
+            fn(*args)
+            self._raise_failures()
+            events_run += 1
+            if events_run > max_events:
+                raise SimulationError(
+                    f"exceeded {max_events} events at t={self.now}; "
+                    "model is probably livelocked")
+        return self.now
+
+    def run_until_complete(self, procs: Iterable[SimProcess],
+                           until: Optional[float] = None) -> float:
+        """Run until every process in ``procs`` has finished."""
+        procs = list(procs)
+        final = self.run(until=until)
+        still_running = [p.name for p in procs if p.is_alive]
+        if still_running:
+            raise SimulationError(
+                f"processes never finished: {still_running} (t={final})")
+        return final
+
+    # -- failure propagation ------------------------------------------------
+
+    def _report_failure(self, proc: SimProcess, exc: BaseException) -> None:
+        self._failures.append((proc, exc))
+
+    def _raise_failures(self) -> None:
+        if not self._failures:
+            return
+        proc, exc = self._failures[0]
+        self._failures.clear()
+        raise SimulationError(
+            f"process {proc.name!r} failed at t={self.now}") from exc

@@ -1,0 +1,122 @@
+"""Shared-resource primitives built on the event engine.
+
+:class:`SimResource` models anything with finite concurrent capacity —
+the system bus, a hardware unit's command port, a peripheral.  Waiting
+requesters are ordered by a pluggable :class:`Arbiter`, mirroring the
+bus-arbiter choice in the paper's MPSoC (Section 5.1).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Generator, Optional
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine
+
+
+class Arbiter:
+    """Ordering policy for waiting requesters."""
+
+    def push(self, entry: tuple) -> None:
+        raise NotImplementedError
+
+    def pop(self) -> tuple:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+
+class FifoArbiter(Arbiter):
+    """First-come first-served arbitration."""
+
+    def __init__(self) -> None:
+        self._queue: deque[tuple] = deque()
+
+    def push(self, entry: tuple) -> None:
+        self._queue.append(entry)
+
+    def pop(self) -> tuple:
+        return self._queue.popleft()
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+
+class PriorityArbiter(Arbiter):
+    """Lowest numeric priority value wins; FIFO among equals."""
+
+    def __init__(self) -> None:
+        self._queue: list[tuple] = []
+        self._counter = 0
+
+    def push(self, entry: tuple) -> None:
+        # entry = (priority, requester, event); stable-sort by arrival.
+        self._queue.append((entry[0], self._counter) + entry[1:])
+        self._counter += 1
+        self._queue.sort(key=lambda item: (item[0], item[1]))
+
+    def pop(self) -> tuple:
+        prio, _arrival, *rest = self._queue.pop(0)
+        return (prio, *rest)
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+
+class SimResource:
+    """A counting resource with arbitration.
+
+    Usage inside a process generator::
+
+        grant = yield from bus.acquire(owner="PE1")
+        yield transfer_cycles
+        bus.release(owner="PE1")
+    """
+
+    def __init__(self, engine: Engine, name: str, capacity: int = 1,
+                 arbiter: Optional[Arbiter] = None) -> None:
+        if capacity < 1:
+            raise SimulationError(f"resource {name!r}: capacity must be >= 1")
+        self.engine = engine
+        self.name = name
+        self.capacity = capacity
+        self._arbiter = arbiter if arbiter is not None else FifoArbiter()
+        self._holders: list[Any] = []
+
+    @property
+    def holders(self) -> tuple:
+        return tuple(self._holders)
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._arbiter)
+
+    def acquire(self, owner: Any, priority: int = 0,
+                ) -> Generator[Any, Any, Any]:
+        """Generator sub-protocol: suspend until the resource is granted."""
+        if len(self._holders) < self.capacity and len(self._arbiter) == 0:
+            self._holders.append(owner)
+            return owner
+        grant = self.engine.event(name=f"{self.name}.grant")
+        self._arbiter.push((priority, owner, grant))
+        yield grant
+        return owner
+
+    def release(self, owner: Any) -> None:
+        """Release one unit held by ``owner``; hand off to the arbiter."""
+        try:
+            self._holders.remove(owner)
+        except ValueError:
+            raise SimulationError(
+                f"{owner!r} released {self.name!r} without holding it"
+            ) from None
+        if len(self._arbiter) and len(self._holders) < self.capacity:
+            _prio, next_owner, grant = self._arbiter.pop()
+            self._holders.append(next_owner)
+            grant.set(next_owner)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<SimResource {self.name!r} holders={self._holders} "
+                f"waiting={len(self._arbiter)}>")

@@ -1,0 +1,164 @@
+"""Timestamped trace recording.
+
+Every experiment in the paper reports either cycle counts or an event
+timeline (Tables 4, 6, 8; Figure 20).  :class:`Trace` collects
+``(time, actor, kind, details)`` records during a simulation and offers
+filtering plus a plain-text timeline renderer used by the experiment
+scripts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One timeline entry."""
+
+    time: float
+    actor: str
+    kind: str
+    details: dict = field(default_factory=dict)
+
+    def describe(self) -> str:
+        extras = " ".join(f"{k}={v}" for k, v in sorted(self.details.items()))
+        text = f"t={self.time:>8g}  {self.actor:<10s} {self.kind}"
+        return f"{text} [{extras}]" if extras else text
+
+
+class Trace:
+    """An append-only, queryable event timeline."""
+
+    def __init__(self) -> None:
+        self._records: list[TraceRecord] = []
+
+    def record(self, time: float, actor: str, kind: str, **details: Any) -> None:
+        self._records.append(TraceRecord(time, actor, kind, dict(details)))
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def __getitem__(self, index: int) -> TraceRecord:
+        return self._records[index]
+
+    # -- queries -----------------------------------------------------------
+
+    def filter(self, actor: Optional[str] = None, kind: Optional[str] = None,
+               predicate: Optional[Callable[[TraceRecord], bool]] = None,
+               ) -> list[TraceRecord]:
+        """Records matching every given criterion, in time order."""
+        out = []
+        for rec in self._records:
+            if actor is not None and rec.actor != actor:
+                continue
+            if kind is not None and rec.kind != kind:
+                continue
+            if predicate is not None and not predicate(rec):
+                continue
+            out.append(rec)
+        return out
+
+    def first(self, kind: str) -> Optional[TraceRecord]:
+        for rec in self._records:
+            if rec.kind == kind:
+                return rec
+        return None
+
+    def last(self, kind: str) -> Optional[TraceRecord]:
+        for rec in reversed(self._records):
+            if rec.kind == kind:
+                return rec
+        return None
+
+    def count(self, kind: str) -> int:
+        return sum(1 for rec in self._records if rec.kind == kind)
+
+    def actors(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for rec in self._records:
+            seen.setdefault(rec.actor, None)
+        return list(seen)
+
+    def span(self, kind_start: str, kind_end: str) -> float:
+        """Cycles between the first ``kind_start`` and last ``kind_end``."""
+        start = self.first(kind_start)
+        end = self.last(kind_end)
+        if start is None or end is None:
+            raise ValueError(
+                f"trace lacks {kind_start!r}...{kind_end!r} records")
+        return end.time - start.time
+
+    # -- rendering -----------------------------------------------------------
+
+    def render(self, kinds: Optional[Iterable[str]] = None) -> str:
+        """Plain-text timeline (one record per line)."""
+        wanted = set(kinds) if kinds is not None else None
+        lines = [rec.describe() for rec in self._records
+                 if wanted is None or rec.kind in wanted]
+        return "\n".join(lines)
+
+    def gantt(self, actors: Optional[Iterable[str]] = None,
+              width: int = 72) -> str:
+        """ASCII Gantt chart of ``run``/``block`` intervals per actor.
+
+        Used to render Figure 20-style execution traces.  Expects records
+        of kind ``run_start``/``run_end`` and ``block_start``/``block_end``.
+        """
+        chosen = list(actors) if actors is not None else self.actors()
+        if not self._records:
+            return "(empty trace)"
+        t_end = max(rec.time for rec in self._records)
+        t_end = max(t_end, 1)
+        scale = width / t_end
+        lines = []
+        for actor in chosen:
+            row = [" "] * width
+            self._paint(row, actor, "run_start", "run_end", "#", scale, width)
+            self._paint(row, actor, "block_start", "block_end", ".",
+                        scale, width)
+            lines.append(f"{actor:<10s}|{''.join(row)}|")
+        lines.append(f"{'':<10s}0{' ' * (width - len(str(int(t_end))) - 1)}"
+                     f"{int(t_end)}")
+        return "\n".join(lines)
+
+    def to_csv(self, kinds: Optional[Iterable[str]] = None) -> str:
+        """CSV export: time, actor, kind, then sorted detail columns.
+
+        The detail columns are the union across the exported records;
+        records lacking a column leave it empty.
+        """
+        wanted = set(kinds) if kinds is not None else None
+        records = [rec for rec in self._records
+                   if wanted is None or rec.kind in wanted]
+        detail_keys: list[str] = []
+        for rec in records:
+            for key in sorted(rec.details):
+                if key not in detail_keys:
+                    detail_keys.append(key)
+        header = ["time", "actor", "kind"] + detail_keys
+        lines = [",".join(header)]
+        for rec in records:
+            row = [f"{rec.time:g}", rec.actor, rec.kind]
+            row.extend(str(rec.details.get(key, "")) for key in detail_keys)
+            lines.append(",".join(cell.replace(",", ";") for cell in row))
+        return "\n".join(lines)
+
+    def _paint(self, row: list[str], actor: str, start_kind: str,
+               end_kind: str, char: str, scale: float, width: int) -> None:
+        open_at: Optional[float] = None
+        for rec in self._records:
+            if rec.actor != actor:
+                continue
+            if rec.kind == start_kind:
+                open_at = rec.time
+            elif rec.kind == end_kind and open_at is not None:
+                lo = int(open_at * scale)
+                hi = max(lo + 1, int(rec.time * scale))
+                for i in range(lo, min(hi, width)):
+                    row[i] = char
+                open_at = None

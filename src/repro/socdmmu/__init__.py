@@ -1,0 +1,13 @@
+"""The SoC Dynamic Memory Management Unit (Section 2.3.2).
+
+A hardware unit that allocates/deallocates the global L2 memory in
+fixed-size blocks with deterministic latency, replacing the software
+heap's malloc()/free() (the RTOS7 configuration, Tables 11-12).  The
+DX-Gt-style parameterized generator is in :mod:`repro.socdmmu.generator`.
+"""
+
+from repro.socdmmu.allocator import BlockAllocator
+from repro.socdmmu.dmmu import SoCDMMU
+from repro.socdmmu.generator import SoCDMMUConfig, generate_socdmmu
+
+__all__ = ["BlockAllocator", "SoCDMMU", "SoCDMMUConfig", "generate_socdmmu"]

@@ -1,0 +1,105 @@
+"""Block-level global memory allocation (the SoCDMMU's datapath).
+
+The SoCDMMU divides global (L2) memory into equal blocks and keeps a
+per-block owner table plus a per-PE virtual-to-physical mapping — the
+"PE address to physical address" conversion of Section 2.3.2.  All
+operations are O(1)-ish table updates in hardware; this class is the
+functional model the :class:`repro.socdmmu.dmmu.SoCDMMU` front-end
+charges deterministic cycles for.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import AllocationError, ConfigurationError
+
+
+class BlockAllocator:
+    """Fixed-census block allocator with per-PE virtual mapping."""
+
+    def __init__(self, num_blocks: int = 256,
+                 block_bytes: int = 64 * 1024) -> None:
+        if num_blocks < 1:
+            raise ConfigurationError("need at least one block")
+        if block_bytes < 1:
+            raise ConfigurationError("block size must be positive")
+        self.num_blocks = num_blocks
+        self.block_bytes = block_bytes
+        #: physical block -> owner id (None = free)
+        self._owner: list[Optional[str]] = [None] * num_blocks
+        #: owner id -> {virtual block -> physical block}
+        self._mappings: dict[str, dict[int, int]] = {}
+        #: owner id -> next virtual block number to hand out
+        self._next_virtual: dict[str, int] = {}
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def free_blocks(self) -> int:
+        return sum(1 for owner in self._owner if owner is None)
+
+    @property
+    def used_blocks(self) -> int:
+        return self.num_blocks - self.free_blocks
+
+    def blocks_for(self, size_bytes: int) -> int:
+        if size_bytes <= 0:
+            raise AllocationError("allocation size must be positive")
+        return -(-size_bytes // self.block_bytes)
+
+    def owner_of(self, physical_block: int) -> Optional[str]:
+        if not 0 <= physical_block < self.num_blocks:
+            raise AllocationError(f"bad block index {physical_block}")
+        return self._owner[physical_block]
+
+    def holdings(self, owner: str) -> list[int]:
+        """Physical blocks currently owned by ``owner``."""
+        return [b for b, who in enumerate(self._owner) if who == owner]
+
+    def translate(self, owner: str, virtual_block: int) -> int:
+        """PE (virtual) block number -> physical block number."""
+        try:
+            return self._mappings[owner][virtual_block]
+        except KeyError:
+            raise AllocationError(
+                f"{owner}: virtual block {virtual_block} not mapped"
+            ) from None
+
+    # -- commands (G_alloc / G_dealloc) ------------------------------------------
+
+    def allocate(self, owner: str, num_blocks: int) -> list[int]:
+        """G_alloc: claim ``num_blocks`` blocks; returns virtual numbers.
+
+        Allocation is all-or-nothing, as in the real unit.
+        """
+        if num_blocks < 1:
+            raise AllocationError("must allocate at least one block")
+        free = [b for b, who in enumerate(self._owner) if who is None]
+        if len(free) < num_blocks:
+            raise AllocationError(
+                f"only {len(free)} of {num_blocks} requested blocks free")
+        mapping = self._mappings.setdefault(owner, {})
+        virtuals = []
+        for physical in free[:num_blocks]:
+            self._owner[physical] = owner
+            virtual = self._next_virtual.get(owner, 0)
+            self._next_virtual[owner] = virtual + 1
+            mapping[virtual] = physical
+            virtuals.append(virtual)
+        return virtuals
+
+    def deallocate(self, owner: str, virtual_block: int) -> None:
+        """G_dealloc: return one block."""
+        physical = self.translate(owner, virtual_block)
+        self._owner[physical] = None
+        del self._mappings[owner][virtual_block]
+
+    def deallocate_all(self, owner: str) -> int:
+        """Release everything an owner holds; returns the block count."""
+        mapping = self._mappings.get(owner, {})
+        count = 0
+        for virtual in list(mapping):
+            self.deallocate(owner, virtual)
+            count += 1
+        return count

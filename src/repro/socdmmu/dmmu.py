@@ -1,0 +1,104 @@
+"""The SoCDMMU front-end: deterministic-latency malloc/free (RTOS7).
+
+Implements the kernel's heap-service interface so the framework can
+swap it for :class:`repro.rtos.memory.SoftwareHeap`.  A PE sends a
+command by writing the unit's port and reads back the result; the unit
+itself takes a handful of cycles regardless of heap state — that
+determinism (versus the software allocator's free-list walk) is what
+Tables 11-12 measure.
+
+Byte-sized requests are rounded up to whole blocks; the standard
+software API mapping ("porting SoCDMMU functionality to an RTOS so the
+user can access it using standard memory management APIs", Section
+2.3.2) is exactly this adapter.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro import calibration
+from repro.errors import AllocationError
+from repro.rtos.kernel import Kernel, TaskContext
+from repro.rtos.memory import HeapStats
+from repro.socdmmu.allocator import BlockAllocator
+from repro.sim.process import SimResource
+
+
+class SoCDMMU:
+    """Hardware dynamic memory manager with a command port."""
+
+    def __init__(self, kernel: Kernel, num_blocks: int = 256,
+                 block_bytes: int = 64 * 1024,
+                 alloc_cycles: int = calibration.SOCDMMU_ALLOC_CYCLES,
+                 dealloc_cycles: int = calibration.SOCDMMU_DEALLOC_CYCLES,
+                 ) -> None:
+        self.kernel = kernel
+        self.allocator = BlockAllocator(num_blocks, block_bytes)
+        self.alloc_cycles = alloc_cycles
+        self.dealloc_cycles = dealloc_cycles
+        self._port = SimResource(kernel.engine, "socdmmu.port")
+        self.stats = HeapStats()
+        #: handle -> (owner, virtual block numbers)
+        self._handles: dict[int, tuple[str, list[int]]] = {}
+        self._next_handle = 0x2000_0000
+
+    # -- the heap-service interface ------------------------------------------------
+
+    def malloc(self, ctx: TaskContext, size_bytes: int) -> Generator:
+        """G_alloc via the command port; returns an opaque handle."""
+        blocks = self.allocator.blocks_for(size_bytes)
+        owner = ctx.task.name
+        yield from self._port.acquire(owner)
+        # Command write, deterministic unit time, result read.
+        yield from ctx.pe.bus_write()
+        yield self.alloc_cycles
+        yield from ctx.pe.bus_read()
+        cost = (self.alloc_cycles
+                + 2 * self.kernel.soc.bus.timing.transaction_cycles(1))
+        self.stats.mm_cycles += cost
+        self.stats.malloc_calls += 1
+        try:
+            virtuals = self.allocator.allocate(owner, blocks)
+        except AllocationError:
+            self.stats.failed_allocations += 1
+            self._port.release(owner)
+            raise
+        self._port.release(owner)
+        handle = self._next_handle
+        self._next_handle += blocks * self.allocator.block_bytes
+        self._handles[handle] = (owner, virtuals)
+        in_use = self.allocator.used_blocks * self.allocator.block_bytes
+        self.stats.peak_in_use = max(self.stats.peak_in_use, in_use)
+        return handle
+
+    def free(self, ctx: TaskContext, handle: int) -> Generator:
+        """G_dealloc via the command port."""
+        if handle not in self._handles:
+            raise AllocationError(f"free of unknown handle {handle:#x}")
+        owner, virtuals = self._handles[handle]
+        if owner != ctx.task.name:
+            raise AllocationError(
+                f"{ctx.task.name} freed a handle owned by {owner}")
+        yield from self._port.acquire(owner)
+        yield from ctx.pe.bus_write()
+        yield self.dealloc_cycles
+        yield from ctx.pe.bus_read()
+        cost = (self.dealloc_cycles
+                + 2 * self.kernel.soc.bus.timing.transaction_cycles(1))
+        self.stats.mm_cycles += cost
+        self.stats.free_calls += 1
+        for virtual in virtuals:
+            self.allocator.deallocate(owner, virtual)
+        del self._handles[handle]
+        self._port.release(owner)
+
+    # -- introspection ------------------------------------------------------------
+
+    @property
+    def free_bytes(self) -> int:
+        return self.allocator.free_blocks * self.allocator.block_bytes
+
+    @property
+    def in_use_bytes(self) -> int:
+        return self.allocator.used_blocks * self.allocator.block_bytes

@@ -1,0 +1,13 @@
+"""The System-on-a-Chip Lock Cache (Section 2.3.1).
+
+A custom hardware unit that keeps lock variables out of shared memory:
+lock acquisition is a single read of the unit, hand-off is hardware-
+arbitrated, and the Immediate Priority Ceiling Protocol is applied in
+hardware (the RTOS6 configuration).  The parameterized generator
+(PARLAK, [10]) is modelled by :mod:`repro.soclc.generator`.
+"""
+
+from repro.soclc.lockcache import SoCLC
+from repro.soclc.generator import SoCLCConfig, generate_soclc
+
+__all__ = ["SoCLC", "SoCLCConfig", "generate_soclc"]

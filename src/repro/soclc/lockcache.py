@@ -1,0 +1,202 @@
+"""The SoCLC lock manager: hardware locks with IPCP (RTOS6).
+
+Differences from the software path (:class:`repro.rtos.sync.SoftwareLockManager`)
+that produce Table 10's speedups:
+
+* *latency*: an uncontended acquire is one bus read of the lock cache
+  plus the hardware ceiling update — 318 cycles end to end versus 570
+  for the software test-and-set + PI bookkeeping path;
+* *delay*: contended hand-off is arbitrated inside the unit and
+  signalled by interrupt, so no shared-memory queue walking happens on
+  the PEs;
+* *protocol*: the Immediate Priority Ceiling Protocol — the holder's
+  priority rises to the lock's ceiling at acquisition, so a
+  medium-priority task can never preempt a lock holder into causing
+  priority inversion (Figure 20's behaviour).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro import calibration
+from repro.errors import ConfigurationError, RTOSError
+from repro.rtos.kernel import Kernel, TaskContext
+from repro.rtos.sync import LockStats
+from repro.rtos.task import Task
+
+
+class _HardwareLock:
+    __slots__ = ("lock_id", "kind", "ceiling", "holder", "waiters",
+                 "boosted")
+
+    def __init__(self, lock_id: str, kind: str, ceiling: int) -> None:
+        self.lock_id = lock_id
+        self.kind = kind              # "short" | "long"
+        self.ceiling = ceiling
+        self.holder: Optional[Task] = None
+        self.waiters: list = []
+        self.boosted = False
+
+
+class SoCLC:
+    """The lock-cache unit: a fixed census of short and long locks."""
+
+    def __init__(self, kernel: Kernel, num_short_locks: int = 8,
+                 num_long_locks: int = 8,
+                 priority_inheritance: bool = True,
+                 acquire_cycles: int = calibration.SOCLC_LOCK_LATENCY_CYCLES,
+                 release_cycles: int = calibration.SOCLC_LOCK_RELEASE_CYCLES,
+                 ) -> None:
+        if num_short_locks < 0 or num_long_locks < 0:
+            raise ConfigurationError("lock counts must be non-negative")
+        if num_short_locks + num_long_locks == 0:
+            raise ConfigurationError("SoCLC needs at least one lock")
+        self.kernel = kernel
+        self.num_short_locks = num_short_locks
+        self.num_long_locks = num_long_locks
+        self.priority_inheritance = priority_inheritance
+        self.acquire_cycles = acquire_cycles
+        self.release_cycles = release_cycles
+        self._locks: dict[str, _HardwareLock] = {}
+        self.stats = LockStats()
+        self.interrupt_handoffs = 0
+
+    # -- configuration ------------------------------------------------------------
+
+    def register_lock(self, lock_id: str, kind: str = "long",
+                      ceiling: int = 0) -> None:
+        """Bind a named lock to one of the unit's lock cells.
+
+        ``ceiling`` is the IPCP priority ceiling (the priority of the
+        highest-priority task that ever takes this lock).
+        """
+        if kind not in ("short", "long"):
+            raise ConfigurationError(f"unknown lock kind {kind!r}")
+        if lock_id in self._locks:
+            raise ConfigurationError(f"lock {lock_id!r} already registered")
+        used = sum(1 for lock in self._locks.values() if lock.kind == kind)
+        capacity = (self.num_short_locks if kind == "short"
+                    else self.num_long_locks)
+        if used >= capacity:
+            raise ConfigurationError(
+                f"out of {kind} lock cells ({capacity} configured)")
+        self._locks[lock_id] = _HardwareLock(lock_id, kind, ceiling)
+
+    def _lock(self, lock_id: str) -> _HardwareLock:
+        try:
+            return self._locks[lock_id]
+        except KeyError:
+            raise RTOSError(f"lock {lock_id!r} not registered with the "
+                            "SoCLC") from None
+
+    # -- the lock-manager interface ----------------------------------------------------
+
+    def acquire(self, ctx: TaskContext, lock_id: str) -> Generator:
+        task = ctx.task
+        lock = self._lock(lock_id)
+        requested_at = ctx.now
+        # One read of the memory-mapped lock cell; the unit answers with
+        # grant-or-enqueue in the same transaction.
+        yield from ctx.pe.bus_read()
+        remainder = max(0, self.acquire_cycles
+                        - self.kernel.soc.bus.timing.transaction_cycles(1))
+        yield from ctx.pe.execute(remainder)
+        if lock.holder is None:
+            self._grant(lock, task)
+            self.stats.acquisitions += 1
+            self.stats.latencies.append(self.acquire_cycles)
+            self.kernel.trace.record(ctx.now, task.name, "lock_acquired",
+                                     lock=lock_id, unit="SoCLC")
+            return
+        # Enqueued in the unit; the PE sleeps until the grant interrupt.
+        grant = self.kernel.engine.event(name=f"soclc.{lock_id}.{task.name}")
+        lock.waiters.append((task, grant))
+        lock.waiters.sort(key=lambda entry: entry[0].priority)
+        self.kernel.trace.record(ctx.now, task.name, "lock_blocked",
+                                 lock=lock_id, holder=lock.holder.name,
+                                 unit="SoCLC")
+        yield from self.kernel.block_on(task, grant)
+        # Light wake-up on the unit's grant interrupt.
+        yield from ctx.pe.execute(calibration.SOCLC_LOCK_WAKE_CYCLES)
+        self.interrupt_handoffs += 1
+        delay = ctx.now - requested_at
+        task.stats.lock_wait_cycles += delay
+        self.stats.acquisitions += 1
+        self.stats.contended_acquisitions += 1
+        self.stats.latencies.append(self.acquire_cycles)
+        self.stats.delays.append(delay)
+        self.kernel.trace.record(ctx.now, task.name, "lock_acquired",
+                                 lock=lock_id, contended=True, unit="SoCLC")
+
+    def release(self, ctx: TaskContext, lock_id: str) -> Generator:
+        task = ctx.task
+        lock = self._lock(lock_id)
+        if lock.holder is not task:
+            raise RTOSError(
+                f"{task.name} released SoCLC lock {lock_id!r} held by "
+                f"{lock.holder and lock.holder.name}")
+        # A single write; hand-off happens inside the unit.
+        yield from ctx.pe.bus_write()
+        remainder = max(0, self.release_cycles
+                        - self.kernel.soc.bus.timing.transaction_cycles(1))
+        yield from ctx.pe.execute(remainder)
+        self._restore_priority(lock, task)
+        self.kernel.trace.record(ctx.now, task.name, "lock_released",
+                                 lock=lock_id, unit="SoCLC",
+                                 priority=task.priority)
+        if lock.waiters:
+            next_task, grant = lock.waiters.pop(0)
+            self._grant(lock, next_task)
+            grant.set(lock_id)
+        else:
+            lock.holder = None
+        yield from self.kernel.preemption_point(task)
+
+    # -- IPCP in hardware ---------------------------------------------------------------
+
+    def _grant(self, lock: _HardwareLock, task: Task) -> None:
+        lock.holder = task
+        if self.priority_inheritance and lock.ceiling < task.priority:
+            task.push_priority(lock.ceiling)
+            lock.boosted = True
+            self.kernel.priority_changed(task)
+            self.kernel.trace.record(
+                self.kernel.engine.now, task.name, "ceiling_raised",
+                lock=lock.lock_id, priority=task.priority)
+        else:
+            lock.boosted = False
+
+    def _restore_priority(self, lock: _HardwareLock, task: Task) -> None:
+        if lock.boosted:
+            task.pop_priority()
+            lock.boosted = False
+
+    def holder_name(self, lock_id: str) -> Optional[str]:
+        lock = self._lock(lock_id)
+        return lock.holder.name if lock.holder else None
+
+    # -- short critical sections via the unit's short-lock cells ----------------
+
+    def short_lock(self, ctx: TaskContext) -> Generator:
+        """Enter a short CS through a SoCLC short-lock cell.
+
+        One read of the unit both tests and takes the lock; contenders
+        re-poll the unit (not shared memory), so the bus sees a single
+        word per poll and the common case is a single transaction.
+        """
+        while True:
+            yield from ctx.pe.bus_read()
+            if getattr(self, "_short_holder", None) is None:
+                self._short_holder = ctx.task.name
+                yield from ctx.pe.execute(
+                    calibration.SOCLC_SHORT_LOCK_CYCLES)
+                return
+            yield calibration.SW_SPIN_POLL_BACKOFF_CYCLES
+
+    def short_unlock(self, ctx: TaskContext) -> Generator:
+        if getattr(self, "_short_holder", None) != ctx.task.name:
+            raise RTOSError(
+                f"{ctx.task.name} left a short CS it never entered")
+        yield from ctx.pe.bus_write()
+        self._short_holder = None

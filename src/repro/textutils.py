@@ -1,0 +1,55 @@
+"""Plain-text table rendering (leaf module, no dependencies)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+
+def format_value(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if abs(value) >= 1000 or value.is_integer():
+            return f"{value:,.0f}"
+        return f"{value:,.2f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence],
+                 title: Optional[str] = None) -> str:
+    """Render an aligned text table."""
+    body = [[format_value(cell) for cell in row] for row in rows]
+    table = [list(headers)] + body
+    widths = [max(len(row[col]) for row in table)
+              for col in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append("  ".join(
+        str(cell).ljust(widths[col]) for col, cell in enumerate(headers)))
+    lines.append("  ".join("-" * width for width in widths))
+    for row in body:
+        lines.append("  ".join(
+            cell.rjust(widths[col]) if _numericish(cell) else
+            cell.ljust(widths[col]) for col, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _numericish(cell: str) -> bool:
+    stripped = cell.replace(",", "").replace(".", "").replace("-", "")
+    stripped = stripped.replace("%", "").replace("X", "").replace("x", "")
+    return stripped.isdigit() and cell not in ("-",)
+
+
+def speedup_percent(slow: float, fast: float) -> float:
+    """The paper's Hennessy-Patterson speed-up formula, in percent."""
+    return 100.0 * (slow - fast) / fast
+
+
+def speedup_factor(slow: float, fast: float) -> float:
+    return slow / fast if fast else float("nan")

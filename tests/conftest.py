@@ -1,0 +1,16 @@
+"""Shared fixtures for the RTOS-level tests."""
+
+import pytest
+
+from repro.framework.builder import build_system
+
+
+@pytest.fixture
+def base_system():
+    """A plain RTOS5 system (software locks + heap, no deadlock unit)."""
+    return build_system("RTOS5")
+
+
+@pytest.fixture
+def kernel(base_system):
+    return base_system.kernel

@@ -1,0 +1,158 @@
+"""Tests for the Atalanta-style API façade and the system report."""
+
+import pytest
+
+from repro.errors import RTOSError
+from repro.framework.builder import build_system
+from repro.rtos.api import AtalantaAPI
+from repro.rtos.report import system_report
+
+
+@pytest.fixture
+def api(base_system):
+    return AtalantaAPI(base_system.kernel)
+
+
+def test_task_lifecycle_via_api(api, kernel):
+    done = []
+
+    def body(ctx):
+        yield from api.task_delay(ctx, 500)
+        done.append(ctx.now)
+
+    assert api.task_create(body, "worker", 2, "PE1") == "worker"
+    kernel.run()
+    assert done and done[0] >= 500
+
+
+def test_sema_via_api(api, kernel):
+    order = []
+    sid = api.sema_create(initial=0)
+
+    def consumer(ctx):
+        yield from api.sema_wait(ctx, sid)
+        order.append(("consumed", ctx.now))
+
+    def producer(ctx):
+        yield from ctx.compute(700)
+        yield from api.sema_signal(ctx, sid)
+
+    api.task_create(consumer, "consumer", 1, "PE1")
+    api.task_create(producer, "producer", 1, "PE2")
+    kernel.run()
+    assert order and order[0][1] >= 700
+
+
+def test_mbox_and_queue_via_api(api, kernel):
+    got = []
+    mid = api.mbox_create()
+    qid = api.queue_create(capacity=2)
+
+    def producer(ctx):
+        yield from api.mbox_post(ctx, mid, "letter")
+        yield from api.queue_send(ctx, qid, 1)
+        yield from api.queue_send(ctx, qid, 2)
+
+    def consumer(ctx):
+        yield from ctx.sleep(200)
+        got.append((yield from api.mbox_pend(ctx, mid)))
+        got.append((yield from api.queue_receive(ctx, qid)))
+        got.append((yield from api.queue_receive(ctx, qid)))
+
+    api.task_create(producer, "producer", 1, "PE1")
+    api.task_create(consumer, "consumer", 1, "PE2")
+    kernel.run()
+    assert got == ["letter", 1, 2]
+
+
+def test_flags_via_api(api, kernel):
+    woken = []
+    fid = api.flag_create()
+
+    def waiter(ctx):
+        value = yield from api.flag_wait(ctx, fid, 0b10)
+        woken.append(value)
+
+    def setter(ctx):
+        yield from ctx.compute(300)
+        yield from api.flag_set(ctx, fid, 0b10)
+
+    api.task_create(waiter, "waiter", 1, "PE1")
+    api.task_create(setter, "setter", 1, "PE2")
+    kernel.run()
+    assert woken and woken[0] & 0b10
+
+
+def test_locks_and_memory_via_api(api, kernel, base_system):
+    def body(ctx):
+        yield from api.lock(ctx, "L")
+        address = yield from api.mem_alloc(ctx, 256)
+        yield from api.mem_free(ctx, address)
+        yield from api.unlock(ctx, "L")
+
+    api.task_create(body, "worker", 1, "PE1")
+    kernel.run()
+    assert base_system.heap.stats.malloc_calls == 1
+    assert base_system.lock_manager.stats.acquisitions == 1
+
+
+def test_suspend_resume_priority_via_api(api, kernel):
+    api.task_create(lambda ctx: ctx.compute(3000), "runner", 2, "PE1")
+    kernel.run(until=500)
+    api.task_suspend("runner")
+    kernel.run(until=800)
+    api.task_resume("runner")
+    api.task_priority_change("runner", 1)
+    kernel.run()
+    assert kernel.finished("runner")
+    assert kernel.tasks["runner"].priority == 1
+
+
+def test_bad_handles_rejected(api, kernel):
+    def body(ctx):
+        yield from api.sema_wait(ctx, 999)
+
+    api.task_create(body, "bad", 1, "PE1")
+    with pytest.raises(Exception):
+        kernel.run()
+
+
+# -- system report --------------------------------------------------------------
+
+def test_system_report_contents():
+    system = build_system("RTOS4")
+    kernel = system.kernel
+
+    def body(ctx):
+        yield from ctx.request("DSP")
+        yield from ctx.use_peripheral("DSP", 500)
+        yield from ctx.release_resource("DSP")
+
+    kernel.create_task(body, "p1", 1, "PE1")
+    kernel.run()
+    report = system_report(system)
+    assert "Task table" in report
+    assert "Processing elements" in report
+    assert "p1" in report and "PE1" in report
+    assert "deadlock service (RTOS4)" in report
+    assert "bus:" in report
+
+
+def test_system_report_flags_leaks_and_failures():
+    system = build_system("RTOS4")
+    kernel = system.kernel
+    kernel.isolate_task_failures = True
+
+    def leaker(ctx):
+        yield from ctx.request("DSP")
+
+    def crasher(ctx):
+        yield from ctx.compute(10)
+        raise RuntimeError("boom")
+
+    kernel.create_task(leaker, "p1", 1, "PE1")
+    kernel.create_task(crasher, "p2", 2, "PE2")
+    kernel.run()
+    report = system_report(system)
+    assert "RESOURCE LEAKS" in report
+    assert "FAILED TASKS" in report

@@ -1,0 +1,133 @@
+"""Integration tests for the five evaluation applications."""
+
+import pytest
+
+from repro.apps.grant_deadlock import run_gdl_app
+from repro.apps.jini import run_jini_app
+from repro.apps.request_deadlock import run_rdl_app
+from repro.apps.robot import run_robot_app
+from repro.apps.splash import SPLASH_BENCHMARKS, run_splash
+from repro.errors import ConfigurationError
+
+
+# -- jini / detection -----------------------------------------------------------
+
+@pytest.mark.parametrize("config", ["RTOS1", "RTOS2"])
+def test_jini_app_reaches_deadlock(config):
+    result = run_jini_app(config)
+    assert result.deadlock_detected
+    # The cycle involves exactly p2 (holding IDCT, wanting WI) and p3
+    # (holding WI, wanting IDCT).
+    assert set(result.deadlocked_processes) == {"p2", "p3"}
+    assert result.detection_invocations > 0
+    assert result.app_cycles > 0
+
+
+def test_jini_hardware_beats_software():
+    hw = run_jini_app("RTOS2")
+    sw = run_jini_app("RTOS1")
+    assert hw.app_cycles < sw.app_cycles
+    assert hw.mean_algorithm_cycles * 100 < sw.mean_algorithm_cycles
+    assert hw.detection_invocations == sw.detection_invocations
+
+
+def test_jini_rejects_avoidance_configs():
+    with pytest.raises(ConfigurationError):
+        run_jini_app("RTOS3")
+
+
+# -- grant deadlock / avoidance ---------------------------------------------------
+
+@pytest.mark.parametrize("config", ["RTOS3", "RTOS4"])
+def test_gdl_app_completes_with_gdl_avoided(config):
+    result = run_gdl_app(config)
+    assert result.completed
+    assert result.gdl_events >= 1
+    assert result.avoidance_invocations == 12     # 6 requests + 6 releases
+
+
+def test_gdl_contested_idct_goes_to_lower_priority():
+    result = run_gdl_app("RTOS4")
+    idct_grants = [(actor, t) for actor, res, t in result.grant_order
+                   if res == "IDCT"]
+    # First to p1, then — avoiding the G-dl — to p3, finally to p2.
+    assert [actor for actor, _t in idct_grants] == ["p1", "p3", "p2"]
+
+
+def test_gdl_hardware_beats_software():
+    hw = run_gdl_app("RTOS4")
+    sw = run_gdl_app("RTOS3")
+    assert hw.app_cycles < sw.app_cycles
+    assert sw.mean_algorithm_cycles / hw.mean_algorithm_cycles > 100
+
+
+def test_gdl_rejects_detection_configs():
+    with pytest.raises(ConfigurationError):
+        run_gdl_app("RTOS1")
+
+
+# -- request deadlock / avoidance --------------------------------------------------
+
+@pytest.mark.parametrize("config", ["RTOS3", "RTOS4"])
+def test_rdl_app_completes_with_rdl_avoided(config):
+    result = run_rdl_app(config)
+    assert result.completed
+    assert result.rdl_events >= 1
+    assert result.giveup_events >= 1
+    assert result.avoidance_invocations == 14     # 7 requests + 7 releases
+
+
+def test_rdl_hardware_beats_software():
+    hw = run_rdl_app("RTOS4")
+    sw = run_rdl_app("RTOS3")
+    assert hw.app_cycles < sw.app_cycles
+    assert sw.mean_algorithm_cycles / hw.mean_algorithm_cycles > 100
+
+
+# -- robot / locks --------------------------------------------------------------------
+
+def test_robot_app_completes_both_configs():
+    for config in ("RTOS5", "RTOS6"):
+        result = run_robot_app(config, periods=3)
+        assert result.completed
+        assert result.acquisitions == 3 * 7   # 7 lock ops per period
+        assert result.deadline_misses == 0
+
+
+def test_robot_soclc_beats_software_pi():
+    sw = run_robot_app("RTOS5", periods=4)
+    hw = run_robot_app("RTOS6", periods=4)
+    assert hw.lock_latency < sw.lock_latency
+    assert hw.overall_cycles < sw.overall_cycles
+
+
+def test_robot_rejects_deadlock_configs():
+    with pytest.raises(ConfigurationError):
+        run_robot_app("RTOS4")
+
+
+# -- splash / memory management ----------------------------------------------------------
+
+@pytest.mark.parametrize("bench_name", sorted(SPLASH_BENCHMARKS))
+def test_splash_runs_on_both_heaps(bench_name):
+    sw = run_splash(bench_name, "RTOS5")
+    hw = run_splash(bench_name, "RTOS7")
+    spec = SPLASH_BENCHMARKS[bench_name]
+    assert sw.malloc_calls == hw.malloc_calls == spec.total_pairs
+    assert sw.free_calls == spec.total_pairs
+    # The SoCDMMU slashes memory-management time and total time.
+    assert hw.mm_cycles < sw.mm_cycles / 10
+    assert hw.total_cycles < sw.total_cycles
+    assert hw.mm_percent < 2.0
+
+
+def test_splash_mm_share_shape():
+    # FFT spends the largest share in memory management (Table 11).
+    shares = {name: run_splash(name, "RTOS5").mm_percent
+              for name in SPLASH_BENCHMARKS}
+    assert shares["FFT"] > shares["RADIX"] > shares["LU"]
+
+
+def test_splash_unknown_benchmark():
+    with pytest.raises(ConfigurationError):
+        run_splash("BARNES")

@@ -1,0 +1,67 @@
+"""Tests pinning the calibration's structural facts and relationships.
+
+These are the relationships DESIGN.md and docs/calibration.md promise;
+a recalibration that breaks one of them would silently change what the
+experiments mean.
+"""
+
+from repro import calibration
+from repro.experiments.table11_malloc import PAPER_TABLE_11
+from repro.experiments.table12_socdmmu import PAPER_TABLE_12
+
+
+def test_structural_bus_constants():
+    assert calibration.BUS_CLOCK_NS == 10           # 100 MHz
+    assert calibration.MEM_FIRST_WORD_CYCLES == 3
+    assert calibration.MEM_BURST_WORD_CYCLES == 1
+
+
+def test_idct_frame_matches_section_5_3():
+    assert calibration.IDCT_FRAME_CYCLES == 23_600
+
+
+def test_mpsoc_area_reference():
+    # Table 2: 4 x 1.7M PEs + 33.5M memory = 40.3M gates.
+    assert calibration.MPSOC_TOTAL_GATES == (
+        4 * calibration.MPC755_GATES + calibration.MEM_16MB_GATES)
+    assert 40_000_000 < calibration.MPSOC_TOTAL_GATES < 41_000_000
+
+
+def test_hardware_always_cheaper_than_software():
+    assert (calibration.DDU_CYCLES_PER_ITERATION
+            < calibration.SW_PDDA_CELL_CYCLES)
+    assert (calibration.SOCLC_LOCK_LATENCY_CYCLES
+            < calibration.SW_LOCK_LATENCY_CYCLES)
+    assert (calibration.SOCLC_LOCK_RELEASE_CYCLES
+            < calibration.SW_LOCK_RELEASE_CYCLES)
+    assert (calibration.SOCLC_SHORT_LOCK_CYCLES
+            < calibration.SW_SHORT_LOCK_CYCLES)
+    assert (calibration.SOCDMMU_ALLOC_CYCLES
+            < calibration.SW_MALLOC_BASE_CYCLES)
+    assert (calibration.SOCLC_LOCK_WAKE_CYCLES
+            < calibration.SW_LOCK_WAKE_CYCLES)
+
+
+def test_table_10_latency_anchors():
+    # The published 570 vs 318 latency row is taken as the direct
+    # per-primitive cost (1.79X).
+    ratio = (calibration.SW_LOCK_LATENCY_CYCLES
+             / calibration.SOCLC_LOCK_LATENCY_CYCLES)
+    assert abs(ratio - 1.79) < 0.01
+
+
+def test_splash_compute_is_paper_total_minus_paper_mm():
+    for name, (total, mm, _pct) in PAPER_TABLE_11.items():
+        assert calibration.SPLASH_COMPUTE_CYCLES[name] == total - mm
+    # ...and the same compute reconciles Table 12.
+    for name, row in PAPER_TABLE_12.items():
+        assert calibration.SPLASH_COMPUTE_CYCLES[name] == row[0] - row[1]
+
+
+def test_software_pdda_lands_near_published_mean():
+    # 2-4 passes at m=n=5 should straddle the paper's 1830-cycle mean.
+    low = (2 * 25 * calibration.SW_PDDA_CELL_CYCLES
+           + calibration.SW_PDDA_OVERHEAD_CYCLES)
+    high = (4 * 25 * calibration.SW_PDDA_CELL_CYCLES
+            + calibration.SW_PDDA_OVERHEAD_CYCLES)
+    assert low < 1_830 < high

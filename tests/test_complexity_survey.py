@@ -1,0 +1,31 @@
+"""Tests for the complexity-survey experiment."""
+
+from repro.experiments import complexity_survey
+
+
+def test_rows_cover_sizes():
+    result = complexity_survey.run(sizes=(4, 8))
+    assert [row.size for row in result.rows] == [4, 8]
+
+
+def test_survey_orders_the_algorithms():
+    result = complexity_survey.run()
+    growth = result.growth_factors()
+    # The Section 3.3 ordering: Leibfried's O(m^3) grows fastest,
+    # then the O(mn^2) reduction, then Holt's O(mn); the DDU's
+    # O(min(m,n)) grows slowest.
+    assert growth["leibfried"] > growth["reduction"] > growth["holt"]
+    assert growth["ddu"] < growth["holt"]
+
+
+def test_ddu_iterations_track_chain_length():
+    result = complexity_survey.run(sizes=(4, 16))
+    first, last = result.rows
+    assert last.ddu_iterations == 16      # chain of min(m, n)
+    assert first.ddu_iterations == 4
+
+
+def test_render_mentions_the_claim():
+    text = complexity_survey.run(sizes=(4, 8)).render()
+    assert "O(min(m, n))" in text
+    assert "Leibfried" in text

@@ -1,0 +1,140 @@
+"""Tests for Algorithm 3 (the deadlock avoidance core, software DAA)."""
+
+import pytest
+
+from repro.deadlock.daa import Action, DeadlockKind, SoftwareDAA
+from repro.errors import ResourceProtocolError
+
+
+def _core(livelock_threshold=3):
+    return SoftwareDAA(["p1", "p2", "p3"], ["q1", "q2", "q3"],
+                       {"p1": 1, "p2": 2, "p3": 3},
+                       livelock_threshold=livelock_threshold)
+
+
+def test_available_resource_granted_immediately():
+    core = _core()
+    decision = core.request("p1", "q1")
+    assert decision.action is Action.GRANTED
+    assert core.rag.holder_of("q1") == "p1"
+    assert decision.detection_runs == 0
+
+
+def test_busy_resource_without_deadlock_pends():
+    core = _core()
+    core.request("p1", "q1")
+    decision = core.request("p2", "q1")
+    assert decision.action is Action.PENDING
+    assert decision.deadlock_kind is DeadlockKind.NONE
+    assert "q1" in core.rag.requests_of("p2")
+    assert decision.detection_runs == 1
+
+
+def _setup_rdl(core):
+    """p1 holds q1, p2 holds q2; p2 waits for q1.  p1 requesting q2
+    closes the cycle -> R-dl."""
+    core.request("p1", "q1")
+    core.request("p2", "q2")
+    core.request("p2", "q1")
+
+
+def test_rdl_high_priority_requester_pends_and_owner_asked():
+    core = _core()
+    _setup_rdl(core)
+    decision = core.request("p1", "q2")
+    assert decision.action is Action.PENDING
+    assert decision.deadlock_kind is DeadlockKind.REQUEST
+    assert decision.ask_release == (("p2", "q2"),)
+    # The pending edge stays: the avoidance plan is that p2 releases.
+    assert "q2" in core.rag.requests_of("p1")
+
+
+def test_rdl_low_priority_requester_told_to_give_up():
+    core = _core()
+    core.request("p3", "q3")
+    core.request("p1", "q1")
+    core.request("p1", "q3")        # p1 waits on p3
+    decision = core.request("p3", "q1")   # would close the cycle
+    assert decision.action is Action.GIVE_UP
+    assert decision.deadlock_kind is DeadlockKind.REQUEST
+    assert ("p3", "q3") in decision.ask_release
+    # The request edge was rolled back.
+    assert "q1" not in core.rag.requests_of("p3")
+
+
+def test_release_with_no_waiters_frees_resource():
+    core = _core()
+    core.request("p1", "q1")
+    decision = core.release("p1", "q1")
+    assert decision.action is Action.RELEASED
+    assert core.rag.is_available("q1")
+
+
+def test_release_hands_off_to_highest_priority_waiter():
+    core = _core()
+    core.request("p3", "q1")
+    core.request("p2", "q1")
+    core.request("p1", "q1")
+    decision = core.release("p3", "q1")
+    assert decision.action is Action.HANDED_OFF
+    assert decision.granted_to == "p1"
+    assert decision.deadlock_kind is DeadlockKind.NONE
+
+
+def test_gdl_grant_goes_to_lower_priority_process():
+    """The Table 6 situation: granting to the best waiter would close a
+    cycle, so the grant falls through to the lower-priority waiter."""
+    core = _core()
+    core.request("p1", "q2")          # q2 -> p1 (the contested resource)
+    core.request("p3", "q2")          # p3 pends on q2
+    core.request("p3", "q1")          # q1 -> p3  (p3's second resource)
+    core.request("p2", "q2")          # p2 pends on q2
+    core.request("p2", "q1")          # p2 pends on q1 too
+    decision = core.release("p1", "q2")
+    # Granting q2 to p2 closes p2-q1-p3-q2; p3 is safe.
+    assert decision.granted_to == "p3"
+    assert decision.deadlock_kind is DeadlockKind.GRANT
+    assert decision.detection_runs == 2   # p2 tried, then p3
+
+
+def test_livelock_threshold_escalates_to_owner():
+    core = _core(livelock_threshold=2)
+    core.request("p3", "q3")
+    core.request("p1", "q1")
+    core.request("p1", "q3")
+    first = core.request("p3", "q1")
+    assert first.action is Action.GIVE_UP
+    # p3 retries the same request (still R-dl): threshold reached.
+    second = core.request("p3", "q1")
+    assert second.action is Action.PENDING
+    assert second.livelock
+    assert second.ask_release == (("p1", "q1"),)
+
+
+def test_stats_accumulate():
+    core = _core()
+    core.request("p1", "q1")
+    core.request("p2", "q1")
+    core.release("p1", "q1")
+    stats = core.stats
+    assert stats.invocations == 3
+    assert stats.total_cycles > 0
+    assert stats.mean_cycles > 0
+    assert len(stats.decisions) == 3
+
+
+def test_software_cycles_include_detection_cost():
+    core = _core()
+    granted = core.request("p1", "q1")          # no detection
+    pended = core.request("p2", "q1")           # one detection run
+    assert pended.cycles > granted.cycles
+
+
+def test_priorities_required_for_all_processes():
+    with pytest.raises(ResourceProtocolError):
+        SoftwareDAA(["p1", "p2"], ["q1"], {"p1": 1})
+
+
+def test_bad_livelock_threshold_rejected():
+    with pytest.raises(ResourceProtocolError):
+        _core(livelock_threshold=0)

@@ -1,0 +1,138 @@
+"""Tests for the DAU hardware model (command/status registers, FSM)."""
+
+import pytest
+
+from repro import calibration
+from repro.deadlock.dau import DAU
+from repro.deadlock.daa import Action, SoftwareDAA
+from repro.errors import ResourceProtocolError
+
+
+def _dau(**kwargs):
+    return DAU(["p1", "p2", "p3"], ["q1", "q2", "q3"],
+               {"p1": 1, "p2": 2, "p3": 3}, **kwargs)
+
+
+def test_embedded_ddu_sized_to_census():
+    dau = _dau()
+    assert dau.ddu.m == 3 and dau.ddu.n == 3
+
+
+def test_write_command_publishes_status():
+    dau = _dau()
+    dau.write_command("PE1", "request", "p1", "q1")
+    status = dau.read_status("p1")
+    assert status.done and not status.busy
+    assert status.successful
+    assert status.which_resource == "q1"
+    assert not status.pending and not status.give_up
+
+
+def test_pending_status_fields():
+    dau = _dau()
+    dau.write_command("PE1", "request", "p1", "q1")
+    dau.write_command("PE2", "request", "p2", "q1")
+    status = dau.read_status("p2")
+    assert status.pending and not status.successful
+    assert not status.r_dl
+
+
+def test_rdl_status_flags_and_ask_release():
+    dau = _dau()
+    dau.write_command("PE1", "request", "p1", "q1")
+    dau.write_command("PE2", "request", "p2", "q2")
+    dau.write_command("PE2", "request", "p2", "q1")
+    decision = dau.write_command("PE1", "request", "p1", "q2")
+    status = dau.read_status("p1")
+    assert status.r_dl
+    assert status.pending
+    assert status.ask_release == (("p2", "q2"),)
+    assert decision.deadlock_kind.value == "R-dl"
+
+
+def test_gdl_status_on_release():
+    dau = _dau()
+    dau.write_command("PE1", "request", "p1", "q2")
+    dau.write_command("PE3", "request", "p3", "q2")
+    dau.write_command("PE3", "request", "p3", "q1")
+    dau.write_command("PE2", "request", "p2", "q2")
+    dau.write_command("PE2", "request", "p2", "q1")
+    decision = dau.write_command("PE1", "release", "p1", "q2")
+    assert decision.granted_to == "p3"
+    status = dau.read_status("p1")
+    assert status.g_dl
+    assert status.which_process == "p3"
+
+
+def test_unknown_command_rejected():
+    dau = _dau()
+    with pytest.raises(ResourceProtocolError):
+        dau.write_command("PE1", "allocate", "p1", "q1")
+    with pytest.raises(ResourceProtocolError):
+        dau.write_command("PE1", "request", "p9", "q1")
+    with pytest.raises(ResourceProtocolError):
+        dau.read_status("p9")
+
+
+def test_hardware_latency_is_fsm_plus_ddu_passes():
+    dau = _dau()
+    granted = dau.request("p1", "q1")
+    assert granted.cycles == calibration.DAU_FSM_CYCLES
+    pended = dau.request("p2", "q1")
+    assert pended.cycles == (calibration.DAU_FSM_CYCLES
+                             + pended.detection_passes
+                             * calibration.DDU_CYCLES_PER_ITERATION)
+
+
+def test_hardware_is_orders_of_magnitude_faster_than_software():
+    script = [("request", "p1", "q1"), ("request", "p2", "q2"),
+              ("request", "p2", "q1"), ("request", "p1", "q2"),
+              ("release", "p2", "q2"), ("release", "p1", "q1")]
+
+    def drive(core):
+        for op, process, resource in script:
+            if op == "request":
+                core.request(process, resource)
+            else:
+                if core.rag.holder_of(resource) == process:
+                    core.release(process, resource)
+        return core.stats.mean_cycles
+
+    hw = drive(_dau())
+    sw = drive(SoftwareDAA(["p1", "p2", "p3"], ["q1", "q2", "q3"],
+                           {"p1": 1, "p2": 2, "p3": 3}))
+    assert sw / hw > 100
+
+
+def test_worst_case_steps_matches_table_2():
+    dau = DAU([f"p{i}" for i in range(1, 6)],
+              [f"q{i}" for i in range(1, 6)],
+              {f"p{i}": i for i in range(1, 6)})
+    assert dau.worst_case_steps == 38
+
+
+def test_decisions_agree_with_software_core():
+    """The DAU and the software DAA implement the same Algorithm 3 —
+    drive both with the same script and compare every decision."""
+    script = [("request", "p1", "q1"), ("request", "p2", "q2"),
+              ("request", "p3", "q3"), ("request", "p2", "q3"),
+              ("request", "p3", "q1"), ("request", "p1", "q2"),
+              ("release", "p2", "q2"), ("release", "p1", "q1"),
+              ("release", "p1", "q2")]
+    hw = _dau()
+    sw = SoftwareDAA(["p1", "p2", "p3"], ["q1", "q2", "q3"],
+                     {"p1": 1, "p2": 2, "p3": 3})
+    for op, process, resource in script:
+        if op == "request":
+            hw_decision = hw.request(process, resource)
+            sw_decision = sw.request(process, resource)
+        else:
+            if hw.rag.holder_of(resource) != process:
+                continue
+            hw_decision = hw.release(process, resource)
+            sw_decision = sw.release(process, resource)
+        assert hw_decision.action == sw_decision.action
+        assert hw_decision.granted_to == sw_decision.granted_to
+        assert hw_decision.deadlock_kind == sw_decision.deadlock_kind
+        assert hw_decision.ask_release == sw_decision.ask_release
+    assert hw.rag == sw.rag

@@ -1,0 +1,121 @@
+"""Tests for the clocked FSM DAU model (Table 2 step accounting)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.deadlock.dau import DAU
+from repro.deadlock.dau_fsm import FSMDAU
+from repro.errors import ResourceProtocolError
+
+
+def _fsm(n=3):
+    names = [f"p{i}" for i in range(1, n + 1)]
+    resources = [f"q{i}" for i in range(1, n + 1)]
+    return FSMDAU(names, resources,
+                  {p: i for i, p in enumerate(names, 1)})
+
+
+def test_immediate_grant_uses_fixed_states_only():
+    fsm = _fsm()
+    stepped = fsm.write_command("PE1", "request", "p1", "q1")
+    assert stepped.decision.action.value == "granted"
+    assert stepped.state_trace == ("DECODE", "CHECK_AVAIL",
+                                   "MATRIX_WRITE", "WRITE_STATUS")
+    assert stepped.steps == 4
+
+
+def test_pending_request_adds_detect_burst():
+    fsm = _fsm()
+    fsm.write_command("PE1", "request", "p1", "q1")
+    stepped = fsm.write_command("PE2", "request", "p2", "q1")
+    assert "DETECT" in stepped.state_trace
+    assert stepped.decision.action.value == "pending"
+
+
+def test_release_with_candidates_interleaves_resolve():
+    fsm = _fsm()
+    # Build the Table 6 shape so the grant search skips a candidate.
+    fsm.write_command("PE1", "request", "p1", "q2")
+    fsm.write_command("PE3", "request", "p3", "q2")
+    fsm.write_command("PE3", "request", "p3", "q1")
+    fsm.write_command("PE2", "request", "p2", "q2")
+    fsm.write_command("PE2", "request", "p2", "q1")
+    stepped = fsm.write_command("PE1", "release", "p1", "q2")
+    assert stepped.decision.granted_to == "p3"
+    assert "RESOLVE" in stepped.state_trace
+    assert stepped.decision.detection_runs == 2
+
+
+def test_steps_never_exceed_table_2_bound():
+    fsm = _fsm(5)
+    rng = random.Random(3)
+    processes = [f"p{i}" for i in range(1, 6)]
+    resources = [f"q{i}" for i in range(1, 6)]
+    for _ in range(400):
+        process = rng.choice(processes)
+        held = fsm.core.rag.held_by(process)
+        pending = fsm.core.rag.requests_of(process)
+        if held and rng.random() < 0.45:
+            fsm.write_command("PE1", "release", process,
+                              rng.choice(held))
+        else:
+            options = [q for q in resources
+                       if fsm.core.rag.holder_of(q) != process
+                       and q not in pending]
+            if options:
+                fsm.write_command("PE1", "request", process,
+                                  rng.choice(options))
+    assert fsm.commands > 100
+    assert fsm.max_steps_seen <= fsm.worst_case_steps == 38
+    assert 4 <= fsm.mean_steps <= 12
+
+
+def test_fsm_decisions_equal_behavioural_dau():
+    script = [("request", "p1", "q1"), ("request", "p2", "q2"),
+              ("request", "p2", "q1"), ("request", "p1", "q2"),
+              ("release", "p2", "q2"), ("release", "p1", "q1"),
+              ("release", "p1", "q2")]
+    fsm = _fsm()
+    plain = DAU(["p1", "p2", "p3"], ["q1", "q2", "q3"],
+                {"p1": 1, "p2": 2, "p3": 3})
+    for op, process, resource in script:
+        if op == "release" and plain.rag.holder_of(resource) != process:
+            continue
+        stepped = fsm.write_command("PE1", op, process, resource)
+        expected = plain.write_command("PE1", op, process, resource)
+        assert stepped.decision.action == expected.action
+        assert stepped.decision.granted_to == expected.granted_to
+    assert fsm.core.rag == plain.rag
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(ResourceProtocolError):
+        _fsm().write_command("PE1", "teleport", "p1", "q1")
+
+
+@given(st.lists(st.tuples(st.integers(1, 4), st.integers(1, 4),
+                          st.booleans()), min_size=1, max_size=40))
+@settings(max_examples=100, deadline=None)
+def test_property_step_bound_holds(script):
+    names = [f"p{i}" for i in range(1, 5)]
+    resources = [f"q{i}" for i in range(1, 5)]
+    fsm = FSMDAU(names, resources,
+                 {p: i for i, p in enumerate(names, 1)})
+    for p_index, q_index, prefer_release in script:
+        process = f"p{p_index}"
+        resource = f"q{q_index}"
+        held = fsm.core.rag.held_by(process)
+        if prefer_release and held:
+            fsm.write_command("PE1", "release", process, held[0])
+        elif (fsm.core.rag.holder_of(resource) != process
+              and resource not in fsm.core.rag.requests_of(process)):
+            stepped = fsm.write_command("PE1", "request", process,
+                                        resource)
+            # Obey give-ups so the protocol stays legal.
+            for target, res in stepped.decision.ask_release:
+                if fsm.core.rag.holder_of(res) == target:
+                    fsm.write_command("PE1", "release", target, res)
+    assert fsm.max_steps_seen <= fsm.worst_case_steps

@@ -1,0 +1,103 @@
+"""Tests for the structural (cell-level) DDU and its cross-validation
+against the behavioural model."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.deadlock.ddu import DDU
+from repro.deadlock.ddu_rtl import MatrixCell, StructuralDDU
+from repro.errors import ConfigurationError
+from repro.rag.generate import chain_state, cycle_state, random_state
+from repro.rag.matrix import CellState, StateMatrix
+
+
+def test_matrix_cell_encoding():
+    cell = MatrixCell()
+    cell.load(CellState.REQUEST)
+    assert (cell.r, cell.g) == (1, 0)
+    cell.load(CellState.GRANT)
+    assert (cell.r, cell.g) == (0, 1)
+    cell.load(CellState.EMPTY)
+    assert cell.value() is CellState.EMPTY
+
+
+def test_matrix_cell_local_clear():
+    cell = MatrixCell()
+    cell.load(CellState.GRANT)
+    assert cell.clear_if(False, False) is False
+    assert cell.clear_if(True, False) is True
+    assert cell.value() is CellState.EMPTY
+    assert cell.clear_if(True, True) is False      # already empty
+
+
+def test_structural_detects_cycle_in_one_pass():
+    unit = StructuralDDU(3, 3)
+    unit.load(cycle_state(3))
+    result = unit.detect()
+    assert result.deadlock
+    assert result.iterations == 0
+    assert result.residual.edge_count == 6
+
+
+def test_structural_reduces_chain_completely():
+    unit = StructuralDDU(4, 4)
+    unit.load(chain_state(4))
+    result = unit.detect()
+    assert not result.deadlock
+    assert result.residual.is_empty()
+
+
+def test_step_by_step_visibility():
+    unit = StructuralDDU(4, 4)
+    unit.load(chain_state(4))
+    edges = [unit.snapshot().edge_count]
+    while unit.step():
+        edges.append(unit.snapshot().edge_count)
+    # Monotone decrease to zero.
+    assert edges[0] == 7
+    assert all(a >= b for a, b in zip(edges, edges[1:]))
+    assert edges[-1] == 0
+
+
+def test_load_dimension_check():
+    unit = StructuralDDU(2, 2)
+    with pytest.raises(ConfigurationError):
+        unit.load(StateMatrix(3, 3))
+    with pytest.raises(ConfigurationError):
+        StructuralDDU(0, 1)
+
+
+def test_settle_guard():
+    unit = StructuralDDU(2, 2)
+    unit.load(chain_state(2))
+    with pytest.raises(ConfigurationError):
+        unit.detect(max_steps=0)
+
+
+@given(st.integers(0, 2**32 - 1), st.integers(2, 7), st.integers(2, 7))
+@settings(max_examples=200, deadline=None)
+def test_structural_equals_behavioural(seed, m, n):
+    """The architectural model and the cell-level model must agree on
+    verdict, iteration count, pass count and residual for any state."""
+    state = random_state(m, n, rng=random.Random(seed))
+    behavioural = DDU(m, n)
+    behavioural.load(state)
+    expected = behavioural.detect()
+    structural = StructuralDDU(m, n)
+    structural.load(state)
+    measured = structural.detect()
+    assert measured.deadlock == expected.deadlock
+    assert measured.iterations == expected.iterations
+    assert measured.passes == expected.passes
+    assert measured.residual == expected.residual
+
+
+def test_reusable_after_detection():
+    unit = StructuralDDU(3, 3)
+    unit.load(cycle_state(3))
+    assert unit.detect().deadlock
+    unit.load(chain_state(3))
+    assert not unit.detect().deadlock

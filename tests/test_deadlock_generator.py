@@ -1,0 +1,47 @@
+"""Tests for the DDU/DAU Verilog generators and their CLI wiring."""
+
+import pytest
+
+from repro.deadlock.generator import generate_dau, generate_ddu
+from repro.errors import GenerationError
+from repro.framework.__main__ import main as cli_main
+
+
+def test_ddu_generation_carries_table1_area():
+    config = generate_ddu(5, 5)
+    assert config.unit == "DDU"
+    assert config.gates == 364              # Table 1 anchor
+    assert config.worst_case_steps == 6
+    assert "module ddu" in config.verilog
+    assert "N_PROC = 5" in config.verilog
+
+
+def test_dau_generation_carries_table2_area():
+    config = generate_dau(5, 5)
+    assert config.gates == 1836             # Table 2 anchor
+    assert config.worst_case_steps == 38
+    assert "module dau" in config.verilog
+    assert "ddu #(" in config.verilog       # embedded detector
+
+
+def test_generation_scales_with_census():
+    small = generate_ddu(3, 3)
+    large = generate_ddu(20, 20)
+    assert large.gates > small.gates
+    assert large.worst_case_steps > small.worst_case_steps
+
+
+def test_generation_validation():
+    with pytest.raises(GenerationError):
+        generate_ddu(0, 5)
+    with pytest.raises(GenerationError):
+        generate_dau(5, 0)
+
+
+def test_cli_writes_deadlock_units(tmp_path):
+    out = tmp_path / "rtos2"
+    assert cli_main(["--preset", "RTOS2", "--out", str(out)]) == 0
+    assert (out / "ddu.v").exists()
+    out = tmp_path / "rtos4"
+    assert cli_main(["--preset", "RTOS4", "--out", str(out)]) == 0
+    assert "module dau" in (out / "dau.v").read_text()

@@ -1,0 +1,206 @@
+"""Edge-case coverage across the stack.
+
+Targets the paths the main suites exercise only incidentally: trace
+rendering on arbitrary records, scheduler round-robin interplay with
+suspension, arbiters under ties, SoCLC without IPCP, engine success
+paths, and explorer build-kwargs plumbing.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.framework.builder import build_system
+from repro.framework.explorer import DesignSpaceExplorer
+from repro.sim.engine import Engine
+from repro.sim.process import PriorityArbiter, SimResource
+from repro.sim.trace import Trace
+from repro.sim.vcd import trace_to_vcd
+from repro.rtos.task import TaskState
+
+
+# -- trace robustness (property) ------------------------------------------------
+
+kinds = st.sampled_from(["run_start", "run_end", "block_start",
+                         "block_end", "custom", "resource_granted"])
+actors = st.sampled_from(["a", "b", "c", "task with space"])
+
+
+@st.composite
+def traces(draw):
+    trace = Trace()
+    time = 0.0
+    for _ in range(draw(st.integers(0, 40))):
+        time += draw(st.floats(0, 100, allow_nan=False))
+        trace.record(time, draw(actors), draw(kinds),
+                     detail=draw(st.integers(0, 9)))
+    return trace
+
+
+@given(traces())
+@settings(max_examples=80, deadline=None)
+def test_trace_renderers_never_crash(trace):
+    assert isinstance(trace.render(), str)
+    assert isinstance(trace.gantt(), str)
+    csv = trace.to_csv()
+    assert csv.splitlines()[0].startswith("time,actor,kind")
+    if trace.actors():
+        vcd = trace_to_vcd(trace)
+        assert vcd.startswith("$date")
+        assert "," not in vcd.split("$enddefinitions")[0].split(
+            "$var", 1)[-1].splitlines()[0]
+
+
+# -- arbiter ties -----------------------------------------------------------------
+
+def test_priority_arbiter_fifo_among_equal_priorities():
+    engine = Engine()
+    resource = SimResource(engine, "r", arbiter=PriorityArbiter())
+    order = []
+
+    def requester(name):
+        def proc():
+            yield from resource.acquire(name, priority=3)
+            order.append(name)
+            yield 5
+            resource.release(name)
+        return proc()
+
+    engine.spawn(requester("first"))
+    engine.spawn(requester("second"))
+    engine.spawn(requester("third"))
+    engine.run()
+    assert order == ["first", "second", "third"]
+
+
+# -- scheduler: round-robin + suspension interplay ----------------------------------
+
+def test_suspended_task_skipped_by_round_robin():
+    system = build_system("RTOS5", quantum=100)
+    kernel = system.kernel
+    kernel.schedulers["PE1"].round_robin = True
+    slices = []
+
+    def make(name):
+        def body(ctx):
+            for _ in range(4):
+                yield from ctx.compute(100)
+                slices.append(name)
+        return body
+
+    kernel.create_task(make("a"), "a", 3, "PE1")
+    kernel.create_task(make("b"), "b", 3, "PE1")
+    kernel.run(until=250)
+    kernel.suspend_task("b")
+    kernel.run(until=2_000)
+    # After suspension only "a" makes progress.
+    tail = slices[-3:]
+    assert "b" not in tail
+    kernel.resume_task("b")
+    kernel.run()
+    assert kernel.finished()
+    assert slices.count("a") == 4 and slices.count("b") == 4
+
+
+def test_suspend_new_task_parks_it_at_first_quantum():
+    system = build_system("RTOS5")
+    kernel = system.kernel
+    progressed = []
+
+    def body(ctx):
+        yield from ctx.compute(1_000)
+        progressed.append(ctx.now)
+
+    task = kernel.create_task(body, "t", 1, "PE1", start_time=500)
+    kernel.suspend_task("t")            # while still NEW
+    kernel.run(until=5_000)
+    assert task.state is TaskState.SUSPENDED
+    assert progressed == []
+    kernel.resume_task("t")
+    kernel.run()
+    assert progressed
+
+
+# -- SoCLC without the IPCP option ----------------------------------------------------
+
+def test_soclc_without_ipcp_keeps_priorities():
+    from repro.framework.config import SystemConfig
+    config = SystemConfig(name="RTOS6-noPI", soclc=True,
+                          soclc_ipcp=False)
+    system = build_system(config)
+    system.lock_manager.register_lock("L", ceiling=1)
+    observed = {}
+
+    def body(ctx):
+        yield from ctx.lock("L")
+        observed["in_cs"] = ctx.task.priority
+        yield from ctx.unlock("L")
+
+    system.kernel.create_task(body, "t", 4, "PE1")
+    system.kernel.run()
+    assert observed["in_cs"] == 4      # no ceiling raise
+
+
+# -- engine success paths ----------------------------------------------------------------
+
+def test_run_until_complete_success():
+    engine = Engine()
+
+    def quick():
+        yield 10
+        return "done"
+
+    handle = engine.spawn(quick())
+    final = engine.run_until_complete([handle])
+    assert final == 10
+    assert handle.result == "done"
+
+
+def test_engine_interleaves_hundreds_of_processes():
+    engine = Engine()
+    results = []
+
+    def worker(index):
+        yield index % 7
+        results.append(index)
+
+    for index in range(300):
+        engine.spawn(worker(index))
+    engine.run()
+    assert len(results) == 300
+
+
+# -- explorer with build kwargs --------------------------------------------------------------
+
+def test_explorer_passes_build_kwargs():
+    def workload(system):
+        return {"quantum": system.kernel.quantum}
+
+    explorer = DesignSpaceExplorer(workload)
+    result = explorer.explore(["RTOS5"], quantum=333)
+    assert result.rows[0].metrics["quantum"] == 333
+
+
+# -- randomized smoke over presets --------------------------------------------------------------
+
+@pytest.mark.parametrize("seed", [1, 2])
+def test_random_compute_sleep_mix_on_every_preset(seed):
+    rng = random.Random(seed)
+    for preset in (f"RTOS{i}" for i in range(1, 8)):
+        system = build_system(preset)
+        kernel = system.kernel
+
+        def make(pe_index):
+            def body(ctx):
+                for _ in range(rng.randint(1, 3)):
+                    yield from ctx.compute(rng.randint(50, 400))
+                    yield from ctx.sleep(rng.randint(10, 100))
+            return body
+
+        for index in range(2):
+            kernel.create_task(make(index), f"p{index + 1}",
+                               index + 1, f"PE{index + 1}")
+        kernel.run()
+        assert kernel.finished()

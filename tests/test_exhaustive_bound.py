@@ -1,0 +1,48 @@
+"""Tests for the exhaustive small-state verification."""
+
+from repro.experiments.exhaustive_bound import (
+    enumerate_states,
+    _row_configurations,
+    run,
+)
+
+
+def test_row_configuration_count():
+    # n cells: grant in one of n positions x 2^(n-1) request patterns
+    # + no-grant x 2^n patterns.
+    assert len(_row_configurations(2)) == 2 * 2 + 4          # 8
+    assert len(_row_configurations(3)) == 3 * 4 + 8          # 20
+
+
+def test_enumeration_count_and_legality():
+    states = list(enumerate_states(2, 2))
+    assert len(states) == 64                                  # 8^2
+    for matrix in states:
+        # Single-grant rule holds per row.
+        for s in range(2):
+            grants = sum(1 for t in range(2)
+                         if matrix.get(s, t).name == "GRANT")
+            assert grants <= 1
+        # Every state is a legal RAG.
+        matrix.to_rag()
+
+
+def test_exhaustive_run_is_clean():
+    result = run(sizes=((2, 2), (2, 3)))
+    for row in result.rows:
+        assert row.oracle_disagreements == 0
+        assert row.structural_disagreements == 0
+        assert row.max_iterations <= row.bound
+
+
+def test_true_worst_cases_match_table_1():
+    result = run(sizes=((2, 3), (3, 3)))
+    worst = {(row.m, row.n): row.max_iterations for row in result.rows}
+    # Table 1's "2" for the 2x3 unit is the true exhaustive worst case.
+    assert worst[(2, 3)] == 2
+    assert worst[(3, 3)] == 3
+
+
+def test_render_reports_zero_mismatches():
+    text = run(sizes=((2, 2),)).render()
+    assert "0 mismatches" in text or "oracle mismatches" in text

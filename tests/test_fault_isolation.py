@@ -1,0 +1,102 @@
+"""Tests for task fault isolation and the latency-profile experiment."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.experiments import latency_profile
+from repro.framework.builder import build_system
+from repro.rtos.task import TaskState
+
+
+def test_default_propagates_task_failure():
+    system = build_system("RTOS5")
+    kernel = system.kernel
+
+    def bad(ctx):
+        yield from ctx.compute(100)
+        raise ValueError("application bug")
+
+    kernel.create_task(bad, "bad", 1, "PE1")
+    with pytest.raises(SimulationError):
+        kernel.run()
+
+
+def test_isolated_failure_keeps_system_running():
+    system = build_system("RTOS5")
+    kernel = system.kernel
+    kernel.isolate_task_failures = True
+    survived = []
+
+    def bad(ctx):
+        yield from ctx.compute(100)
+        raise ValueError("application bug")
+
+    def good(ctx):
+        yield from ctx.compute(2_000)
+        survived.append(ctx.now)
+
+    bad_task = kernel.create_task(bad, "bad", 1, "PE1")
+    kernel.create_task(good, "good", 2, "PE1")
+    kernel.run()
+    assert bad_task.state is TaskState.FAILED
+    assert survived                      # the other task completed
+    assert kernel.task_failures and kernel.task_failures[0][0] == "bad"
+    assert kernel.trace.count("task_failed") == 1
+
+
+def test_isolated_failure_releases_held_resources():
+    system = build_system("RTOS4")
+    kernel = system.kernel
+    kernel.isolate_task_failures = True
+    acquired = []
+
+    def bad(ctx):
+        yield from ctx.request("IDCT")
+        raise RuntimeError("crash while holding the IDCT")
+
+    def heir(ctx):
+        yield from ctx.sleep(1_000)
+        outcome = yield from ctx.request("IDCT")
+        if not outcome.granted:
+            yield from ctx.wait_grant("IDCT")
+        acquired.append(ctx.now)
+        yield from ctx.release_resource("IDCT")
+
+    kernel.create_task(bad, "p1", 1, "PE1")
+    kernel.create_task(heir, "p2", 2, "PE2")
+    kernel.run()
+    # The crashed task's IDCT was recovered and re-granted.
+    assert acquired
+    assert system.resource_service.holder_of("IDCT") is None
+
+
+def test_failed_task_not_counted_finished():
+    system = build_system("RTOS5")
+    kernel = system.kernel
+    kernel.isolate_task_failures = True
+
+    def bad(ctx):
+        yield from ctx.compute(10)
+        raise RuntimeError("boom")
+
+    kernel.create_task(bad, "bad", 1, "PE1")
+    kernel.run()
+    assert not kernel.finished("bad")
+
+
+# -- latency profile ----------------------------------------------------------
+
+def test_latency_profile_shapes():
+    result = latency_profile.run(samples=120)
+    hw, sw = result.rows
+    assert hw.implementation.startswith("DDU")
+    assert hw.maximum <= hw.bound            # the O(min) guarantee
+    assert sw.minimum > hw.maximum           # even sw best loses
+    assert sw.maximum > sw.median            # software has a tail
+    assert "latency profile" in result.render().lower()
+
+
+def test_latency_profile_deterministic():
+    a = latency_profile.run(samples=50, seed=7)
+    b = latency_profile.run(samples=50, seed=7)
+    assert a == b

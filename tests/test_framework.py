@@ -1,0 +1,216 @@
+"""Tests for the delta framework: config, busgen, archi_gen, builder,
+explorer."""
+
+import pytest
+
+from repro.errors import ConfigurationError, GenerationError
+from repro.framework.archi_gen import (
+    DESCRIPTION_LIBRARY,
+    generate_top,
+    generate_top_for_config,
+)
+from repro.framework.builder import build_system
+from repro.framework.busgen import generate_bus_system
+from repro.framework.config import (
+    BusSubsystemConfig,
+    BusSystemConfig,
+    MemoryConfig,
+    RTOS_PRESETS,
+    SystemConfig,
+    preset,
+)
+from repro.framework.explorer import DesignSpaceExplorer
+from repro.rtos.resources import (
+    AvoidanceResourceService,
+    DetectionResourceService,
+)
+from repro.rtos.sync import SoftwareLockManager
+from repro.soclc.lockcache import SoCLC
+from repro.socdmmu.dmmu import SoCDMMU
+from repro.rtos.memory import SoftwareHeap
+
+
+# -- configuration ---------------------------------------------------------------
+
+def test_presets_cover_table_3():
+    assert set(RTOS_PRESETS) == {f"RTOS{i}" for i in range(1, 8)}
+    assert RTOS_PRESETS["RTOS1"].deadlock == "RTOS1"
+    assert RTOS_PRESETS["RTOS6"].soclc
+    assert RTOS_PRESETS["RTOS7"].socdmmu
+    for config in RTOS_PRESETS.values():
+        config.validate()
+
+
+def test_preset_lookup_case_insensitive():
+    assert preset("rtos4").name == "RTOS4"
+    with pytest.raises(ConfigurationError):
+        preset("RTOS99")
+
+
+def test_config_validation():
+    with pytest.raises(ConfigurationError):
+        SystemConfig(num_pes=0).validate()
+    with pytest.raises(ConfigurationError):
+        SystemConfig(deadlock="banker").validate()
+    with pytest.raises(ConfigurationError):
+        SystemConfig(soclc=True, soclc_short_locks=0,
+                     soclc_long_locks=0).validate()
+
+
+def test_memory_config_validation():
+    MemoryConfig().validate()
+    with pytest.raises(ConfigurationError):
+        MemoryConfig(memory_type="MRAM").validate()
+    with pytest.raises(ConfigurationError):
+        MemoryConfig(data_bus_width=48).validate()
+
+
+def test_bus_config_validation_and_defaults():
+    config = BusSystemConfig(num_bans=3)
+    config.validate()
+    filled = config.with_default_subsystems()
+    assert len(filled.subsystems) == 3
+    with pytest.raises(ConfigurationError):
+        BusSystemConfig(num_bans=0).validate()
+    with pytest.raises(ConfigurationError):
+        BusSystemConfig(num_bans=2, subsystems=(
+            BusSubsystemConfig(),)).validate()
+
+
+# -- bus generation -----------------------------------------------------------------
+
+def test_bus_generation_counts_masters():
+    config = BusSystemConfig(num_bans=2, subsystems=(
+        BusSubsystemConfig(cpu_type="MPC755"),
+        BusSubsystemConfig(cpu_type="ARM920", non_cpu_type="DSP"),
+    ))
+    bus = generate_bus_system(config)
+    assert bus.num_masters == 3
+    assert bus.num_bridges == 2
+    assert "bus_bridge bridge_1" in bus.verilog
+    assert "ADDR_W = 32" in bus.verilog
+    assert "2 BAN(s)" in bus.summary
+
+
+def test_bus_generation_needs_a_master():
+    config = BusSystemConfig(num_bans=1, subsystems=(
+        BusSubsystemConfig(cpu_type="None", non_cpu_type="None",
+                           num_global_memory=0, num_local_memory=0,
+                           memories=()),))
+    with pytest.raises(GenerationError):
+        generate_bus_system(config)
+
+
+# -- Archi_gen -----------------------------------------------------------------------
+
+def test_description_library_entries():
+    assert {"Base", "LockCache", "DDU", "DAU", "DMMU"} <= set(
+        DESCRIPTION_LIBRARY)
+
+
+def test_generate_top_example_1():
+    top = generate_top("LockCache", num_pes=3,
+                       parameters={"N_SHORT": 8, "N_LONG": 8})
+    assert top.count("mpc755 pe") == 3
+    assert "soclc #(.N_SHORT(8), .N_LONG(8))" in top
+    assert "memory_controller" in top
+    assert "bus_arbiter" in top
+    assert "interrupt_controller" in top
+    assert "initial begin" in top
+    assert top.strip().endswith("endmodule")
+
+
+def test_generate_top_unknown_description():
+    with pytest.raises(GenerationError):
+        generate_top("Mystery")
+    with pytest.raises(GenerationError):
+        generate_top("Base", num_pes=0)
+
+
+def test_generate_top_for_each_preset():
+    expectations = {
+        "RTOS1": "Base", "RTOS2": "ddu", "RTOS3": "Base",
+        "RTOS4": "dau", "RTOS5": "Base", "RTOS6": "soclc",
+        "RTOS7": "socdmmu",
+    }
+    for name, marker in expectations.items():
+        top = generate_top_for_config(RTOS_PRESETS[name])
+        assert marker.lower() in top.lower()
+
+
+def test_generated_top_is_deterministic():
+    a = generate_top("DAU", num_pes=4)
+    b = generate_top("DAU", num_pes=4)
+    assert a == b
+
+
+# -- builder --------------------------------------------------------------------------
+
+def test_builder_wires_expected_backends():
+    rtos1 = build_system("RTOS1")
+    assert isinstance(rtos1.resource_service, DetectionResourceService)
+    assert not rtos1.resource_service.hardware
+    rtos4 = build_system("RTOS4")
+    assert isinstance(rtos4.resource_service, AvoidanceResourceService)
+    assert rtos4.resource_service.hardware
+    rtos5 = build_system("RTOS5")
+    assert rtos5.resource_service is None
+    assert isinstance(rtos5.lock_manager, SoftwareLockManager)
+    assert isinstance(rtos5.heap, SoftwareHeap)
+    rtos6 = build_system("RTOS6")
+    assert isinstance(rtos6.lock_manager, SoCLC)
+    rtos7 = build_system("RTOS7")
+    assert isinstance(rtos7.heap, SoCDMMU)
+
+
+def test_builder_custom_census():
+    system = build_system("RTOS4", processes=["a", "b"],
+                          resources=["r1", "r2", "r3"],
+                          priorities={"a": 1, "b": 2})
+    core = system.resource_service.core
+    assert core.rag.processes == ("a", "b")
+    assert core.rag.resources == ("r1", "r2", "r3")
+
+
+def test_builder_missing_priority_rejected():
+    with pytest.raises(ConfigurationError):
+        build_system("RTOS4", processes=["a", "b"],
+                     priorities={"a": 1})
+
+
+def test_built_system_run_delegates():
+    system = build_system("RTOS5")
+    system.kernel.create_task(lambda ctx: ctx.compute(50), "t", 1, "PE1")
+    assert system.run() > 0
+    assert system.name == "RTOS5"
+
+
+# -- explorer -------------------------------------------------------------------------
+
+def test_explorer_compares_configurations():
+    def workload(system):
+        kernel = system.kernel
+
+        def body(ctx):
+            yield from ctx.request("DSP")
+            yield from ctx.release_resource("DSP")
+
+        kernel.create_task(body, "p1", 1, "PE1")
+        kernel.run()
+        return {"algo_cycles":
+                system.resource_service.stats.mean_algorithm_cycles}
+
+    explorer = DesignSpaceExplorer(workload)
+    result = explorer.explore(["RTOS3", "RTOS4"])
+    assert len(result.rows) == 2
+    best = result.best("algo_cycles")
+    assert best.config_name == "RTOS4"
+    rendered = result.render()
+    assert "RTOS3" in rendered and "algo_cycles" in rendered
+
+
+def test_explorer_best_unknown_metric():
+    explorer = DesignSpaceExplorer(lambda system: {})
+    result = explorer.explore(["RTOS5"])
+    with pytest.raises(KeyError):
+        result.best("nope")

@@ -1,0 +1,87 @@
+"""Tests for configuration persistence and the framework CLI."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.framework.__main__ import main as cli_main
+from repro.framework.config import (
+    BusSubsystemConfig,
+    BusSystemConfig,
+    MemoryConfig,
+    RTOS_PRESETS,
+    SystemConfig,
+    config_from_dict,
+    config_to_dict,
+)
+
+
+def test_config_dict_round_trip_for_every_preset():
+    for config in RTOS_PRESETS.values():
+        rebuilt = config_from_dict(config_to_dict(config))
+        assert rebuilt == config
+
+
+def test_config_dict_round_trip_with_custom_bus():
+    config = SystemConfig(
+        name="CUSTOM", num_pes=3,
+        bus=BusSystemConfig(num_bans=2, subsystems=(
+            BusSubsystemConfig(cpu_type="ARM920",
+                               memories=(MemoryConfig("SRAM", 18, 32),)),
+            BusSubsystemConfig(),
+        )))
+    assert config_from_dict(config_to_dict(config)) == config
+
+
+def test_config_from_dict_validates():
+    with pytest.raises(ConfigurationError):
+        config_from_dict({"num_pes": 0})
+    with pytest.raises(ConfigurationError):
+        config_from_dict({"deadlock": "wishful-thinking"})
+
+
+def test_config_from_dict_defaults():
+    config = config_from_dict({})
+    assert config.num_pes == 4
+    assert config.name == "CUSTOM"
+
+
+def test_cli_generates_artifacts(tmp_path, capsys):
+    out = tmp_path / "build"
+    assert cli_main(["--preset", "RTOS6", "--out", str(out)]) == 0
+    top = (out / "Top.v").read_text()
+    assert "soclc" in top
+    assert (out / "bus_system.v").exists()
+    assert (out / "soclc.v").exists()
+    assert not (out / "socdmmu.v").exists()
+
+
+def test_cli_socdmmu_preset(tmp_path):
+    out = tmp_path / "build"
+    assert cli_main(["--preset", "RTOS7", "--out", str(out)]) == 0
+    assert (out / "socdmmu.v").exists()
+
+
+def test_cli_dump_and_reload_config(tmp_path, capsys):
+    dump = tmp_path / "rtos4.json"
+    assert cli_main(["--preset", "RTOS4", "--dump-config",
+                     str(dump)]) == 0
+    data = json.loads(dump.read_text())
+    assert data["deadlock"] == "RTOS4"
+    out = tmp_path / "build"
+    assert cli_main(["--config", str(dump), "--out", str(out)]) == 0
+    assert "dau" in (out / "Top.v").read_text()
+
+
+def test_cli_prints_top_without_out(capsys):
+    assert cli_main(["--preset", "RTOS2"]) == 0
+    captured = capsys.readouterr()
+    assert "ddu" in captured.out
+
+
+def test_cli_bad_config_file(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text("{\"num_pes\": 0}")
+    assert cli_main(["--config", str(bad)]) == 2
+    assert "error" in capsys.readouterr().err

@@ -1,0 +1,61 @@
+"""Tests for the bridged bus port and the flat-vs-hierarchical ablation."""
+
+from repro.experiments import ablation_hierbus
+from repro.mpsoc.hierbus import BridgedBusPort, HierarchicalBus
+from repro.mpsoc.processor import ProcessingElement
+from repro.sim.engine import Engine
+
+
+def test_bridged_port_drives_a_processing_element():
+    """A PE constructed over a bridged port routes its traffic through
+    local + bridge + global — unchanged PE code."""
+    engine = Engine()
+    hier = HierarchicalBus(engine, num_subsystems=2, bridge_cycles=2)
+    port = BridgedBusPort(hier, subsystem=0)
+    pe = ProcessingElement(engine, port, "PE1")
+
+    def work():
+        yield from pe.bus_read()
+
+    engine.spawn(work())
+    engine.run()
+    # local request phase (3) + bridge (2) + global word (3).
+    assert engine.now == 8
+    assert hier.global_bus.total_transactions == 1
+    assert hier.bridges[0].stats.forwarded == 1
+
+
+def test_bridged_port_local_traffic_stays_local():
+    engine = Engine()
+    hier = HierarchicalBus(engine, num_subsystems=2)
+    port = BridgedBusPort(hier, subsystem=1)
+
+    def work():
+        yield from port.local_transaction("M", words=4)
+
+    engine.spawn(work())
+    engine.run()
+    assert engine.now == 6                  # 3 + 3*1, no bridge
+    assert hier.global_bus.total_transactions == 0
+    assert port.total_transactions == 1
+
+
+def test_ablation_shape():
+    result = ablation_hierbus.run(masters=4, ops=120)
+    rows = {row.locality: row for row in result.rows}
+    # High locality: clear hierarchy win.
+    assert rows[0.95].speedup > 1.5
+    # Zero locality: throughput converges (within a few percent).
+    assert abs(rows[0.0].speedup - 1.0) < 0.05
+    # Speedup decreases monotonically as locality falls.
+    speedups = [row.speedup for row in result.rows]
+    assert all(a >= b - 0.05 for a, b in zip(speedups, speedups[1:]))
+    # Flat latency never beaten by hier at zero locality.
+    assert rows[0.0].hier_mean_latency >= rows[0.0].flat_mean_latency - 1
+    assert "hierarchical" in result.render()
+
+
+def test_ablation_deterministic():
+    a = ablation_hierbus.run(masters=2, ops=60, seed=4)
+    b = ablation_hierbus.run(masters=2, ops=60, seed=4)
+    assert a == b

@@ -1,0 +1,84 @@
+"""Tests for the kernel's resource-leak check and the experiment
+report CLI."""
+
+import pytest
+
+from repro.errors import RTOSError
+from repro.experiments.__main__ import main as experiments_main
+from repro.framework.builder import build_system
+from repro.mpsoc.soc import MPSoC
+from repro.rtos.kernel import Kernel
+
+
+def test_leak_recorded_on_finish():
+    system = build_system("RTOS4")
+    kernel = system.kernel
+
+    def leaker(ctx):
+        yield from ctx.request("DSP")
+        # ...and never releases it.
+
+    kernel.create_task(leaker, "p1", 1, "PE1")
+    kernel.run()
+    assert kernel.leaks == [("p1", ("DSP",))]
+    assert kernel.trace.count("resource_leak") == 1
+
+
+def test_strict_leak_check_raises():
+    system = build_system("RTOS4")
+    kernel = system.kernel
+    kernel.strict_leak_check = True
+
+    def leaker(ctx):
+        yield from ctx.request("DSP")
+
+    kernel.create_task(leaker, "p1", 1, "PE1")
+    with pytest.raises(Exception):
+        kernel.run()
+
+
+def test_clean_task_leaves_no_leak():
+    system = build_system("RTOS4")
+    kernel = system.kernel
+
+    def tidy(ctx):
+        yield from ctx.request("DSP")
+        yield from ctx.release_resource("DSP")
+
+    kernel.create_task(tidy, "p1", 1, "PE1")
+    kernel.run()
+    assert kernel.leaks == []
+
+
+def test_kernel_accepts_strict_flag():
+    kernel = Kernel(MPSoC.base_system(), strict_leak_check=True)
+    assert kernel.strict_leak_check
+
+
+# -- the experiments CLI -------------------------------------------------------
+
+def test_experiments_list(capsys):
+    assert experiments_main(["--list"]) == 0
+    out = capsys.readouterr().out
+    assert "table5" in out and "fig20" in out
+
+
+def test_experiments_unknown_id(capsys):
+    assert experiments_main(["tableX"]) == 2
+    assert "unknown" in capsys.readouterr().err
+
+
+def test_experiments_selection_stdout(capsys):
+    assert experiments_main(["fig7"]) == 0
+    out = capsys.readouterr().out
+    assert "Top.v" in out
+
+
+def test_experiments_markdown_report(tmp_path, capsys):
+    report = tmp_path / "report.md"
+    assert experiments_main(["fig7", "table1",
+                             "--markdown", str(report)]) == 0
+    text = report.read_text()
+    assert text.startswith("# Regenerated evaluation")
+    assert "## fig7" in text and "## table1" in text
+    assert "```" in text

@@ -1,0 +1,84 @@
+"""Tests for the system bus timing and arbitration."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mpsoc.bus import BusTiming, SystemBus
+from repro.sim.engine import Engine
+
+
+def test_transaction_cycles_formula():
+    timing = BusTiming()
+    assert timing.transaction_cycles(1) == 3
+    assert timing.transaction_cycles(8) == 10   # 3 + 7*1
+    with pytest.raises(ConfigurationError):
+        timing.transaction_cycles(0)
+
+
+def test_single_word_transaction_takes_three_cycles():
+    engine = Engine()
+    bus = SystemBus(engine)
+
+    def master():
+        yield from bus.read_word("PE1")
+        return engine.now
+
+    handle = engine.spawn(master())
+    engine.run()
+    assert handle.result == 3
+    assert bus.total_transactions == 1
+    assert bus.busy_cycles == 3
+
+
+def test_burst_transaction():
+    engine = Engine()
+    bus = SystemBus(engine)
+
+    def master():
+        yield from bus.burst("PE1", words=8)
+
+    engine.spawn(master())
+    engine.run()
+    assert engine.now == 10
+
+
+def test_contention_serializes_masters():
+    engine = Engine()
+    bus = SystemBus(engine)
+    finish = {}
+
+    def master(name):
+        yield from bus.read_word(name)
+        finish[name] = engine.now
+
+    engine.spawn(master("PE1"))
+    engine.spawn(master("PE2"))
+    engine.run()
+    assert sorted(finish.values()) == [3, 6]
+    assert bus.contention_cycles == 3
+
+
+def test_utilization():
+    engine = Engine()
+    bus = SystemBus(engine)
+
+    def master():
+        yield from bus.read_word("PE1")
+        yield 7   # idle bus
+
+    engine.spawn(master())
+    engine.run()
+    assert bus.utilization == pytest.approx(0.3)
+
+
+def test_custom_timing():
+    engine = Engine()
+    bus = SystemBus(engine, timing=BusTiming(first_word_cycles=5,
+                                             burst_word_cycles=2))
+
+    def master():
+        yield from bus.transaction("PE1", words=3)
+
+    engine.spawn(master())
+    engine.run()
+    assert engine.now == 9   # 5 + 2*2

@@ -1,0 +1,137 @@
+"""Tests for the L1 cache model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mpsoc.bus import SystemBus
+from repro.mpsoc.cache import L1Cache
+from repro.sim.engine import Engine
+
+
+def _cache(size_kb=1, line_bytes=32, associativity=2, engine=None):
+    engine = engine if engine is not None else Engine()
+    bus = SystemBus(engine)
+    return engine, bus, L1Cache(bus, "PE1.D", size_kb=size_kb,
+                                line_bytes=line_bytes,
+                                associativity=associativity)
+
+
+def _run(engine, gen):
+    handle = engine.spawn(gen)
+    engine.run()
+    return handle.result
+
+
+def test_geometry():
+    _engine, _bus, cache = _cache(size_kb=1, line_bytes=32, associativity=2)
+    assert cache.num_sets == 16
+    assert cache.line_words == 8
+
+
+def test_bad_geometry_rejected():
+    engine = Engine()
+    bus = SystemBus(engine)
+    with pytest.raises(ConfigurationError):
+        L1Cache(bus, "x", size_kb=0)
+    with pytest.raises(ConfigurationError):
+        L1Cache(bus, "x", size_kb=1, line_bytes=48, associativity=7)
+
+
+def test_miss_then_hit():
+    engine, _bus, cache = _cache()
+
+    def accesses():
+        first = yield from cache.access(0x100)
+        second = yield from cache.access(0x104)    # same line
+        return (first, second)
+
+    first, second = _run(engine, accesses())
+    assert (first, second) == (False, True)
+    assert cache.stats.misses == 1 and cache.stats.hits == 1
+    # Miss cost: one 8-word burst (10 cycles); hit cost: 1 cycle.
+    assert engine.now == 11
+
+
+def test_distinct_lines_miss_independently():
+    engine, _bus, cache = _cache()
+
+    def accesses():
+        yield from cache.access(0x000)
+        yield from cache.access(0x200)   # different set
+        yield from cache.access(0x000)   # still resident
+
+    _run(engine, accesses())
+    assert cache.stats.misses == 2 and cache.stats.hits == 1
+
+
+def test_lru_eviction_within_set():
+    engine, _bus, cache = _cache(size_kb=1, line_bytes=32, associativity=2)
+    set_stride = cache.num_sets * cache.line_bytes    # same set, new tag
+
+    def accesses():
+        yield from cache.access(0)                    # tag 0
+        yield from cache.access(set_stride)           # tag 1
+        yield from cache.access(0)                    # touch tag 0 (MRU)
+        yield from cache.access(2 * set_stride)       # evicts tag 1
+        hit_tag0 = yield from cache.access(0)
+        hit_tag1 = yield from cache.access(set_stride)
+        return (hit_tag0, hit_tag1)
+
+    hit_tag0, hit_tag1 = _run(engine, accesses())
+    assert hit_tag0 is True        # kept (was MRU)
+    assert hit_tag1 is False       # evicted (was LRU)
+    assert cache.stats.evictions >= 1
+
+
+def test_capacity_never_exceeded():
+    engine, _bus, cache = _cache(size_kb=1, line_bytes=32, associativity=2)
+    capacity = cache.num_sets * cache.associativity
+
+    def accesses():
+        for i in range(4 * capacity):
+            yield from cache.access(i * cache.line_bytes)
+
+    _run(engine, accesses())
+    assert cache.resident_lines <= capacity
+
+
+def test_write_through_posts_bus_word():
+    engine, bus, cache = _cache()
+
+    def accesses():
+        yield from cache.access(0x40, write=True)     # miss + write
+        yield from cache.access(0x40, write=True)     # hit + write
+
+    _run(engine, accesses())
+    assert cache.stats.write_throughs == 2
+    # burst (miss fill) + 2 single-word writes + 1 hit cycle
+    assert bus.total_transactions == 3
+
+
+def test_flush_invalidates():
+    engine, _bus, cache = _cache()
+
+    def accesses():
+        yield from cache.access(0x80)
+        cache.flush()
+        hit = yield from cache.access(0x80)
+        return hit
+
+    hit = _run(engine, accesses())
+    assert hit is False
+    assert cache.resident_lines == 1
+
+
+def test_pe_data_access_counts_bus_on_miss():
+    from repro.mpsoc.soc import MPSoC, SoCConfig
+    soc = MPSoC(SoCConfig(num_pes=1, peripherals=()))
+    pe = soc.pes[0]
+
+    def accesses():
+        yield from pe.data_access(0x1000)
+        yield from pe.data_access(0x1000)
+
+    soc.engine.spawn(accesses())
+    soc.engine.run()
+    assert pe.dcache.stats.hits == 1
+    assert pe.bus_accesses == 1

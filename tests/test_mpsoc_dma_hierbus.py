@@ -1,0 +1,163 @@
+"""Tests for the DMA controller and the runtime hierarchical bus."""
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.mpsoc.bus import BusTiming, SystemBus
+from repro.mpsoc.dma import DMAController
+from repro.mpsoc.hierbus import HierarchicalBus
+from repro.mpsoc.interrupt import InterruptController
+from repro.sim.engine import Engine
+
+
+# -- DMA ----------------------------------------------------------------------
+
+def _dma(num_channels=2):
+    engine = Engine()
+    bus = SystemBus(engine)
+    intc = InterruptController(engine)
+    return engine, bus, DMAController(engine, bus, interrupts=intc,
+                                      num_channels=num_channels)
+
+
+def test_dma_transfer_completes_and_costs_bus_time():
+    engine, bus, dma = _dma()
+
+    def pe():
+        transfer = dma.start("PE1", source=0, destination=0x1000,
+                             words=32)
+        result = yield from dma.wait(transfer)
+        return result
+
+    handle = engine.spawn(pe())
+    engine.run()
+    transfer = handle.result
+    assert transfer.done
+    # 32 words = 4 chunks x (read burst + write burst) = 8 bursts of
+    # 10 cycles each + 12 setup.
+    assert transfer.completed_at == 12 + 8 * 10
+    assert bus.total_transactions == 8
+
+
+def test_dma_completion_interrupt():
+    engine, _bus, dma = _dma()
+    fired = []
+
+    def watcher():
+        payload = yield from dma.interrupts.wait_irq("irq.DMA")
+        fired.append(payload)
+
+    engine.spawn(watcher())
+    dma.start("PE1", 0, 0x100, words=8)
+    engine.run()
+    assert fired and fired[0].owner == "PE1"
+
+
+def test_dma_channels_run_concurrently_but_share_the_bus():
+    engine, bus, dma = _dma(num_channels=2)
+    dma.start("PE1", 0, 0x100, words=8)
+    dma.start("PE2", 0, 0x200, words=8)
+    engine.run()
+    # Four bursts serialized on one bus: 12 setup + 4 * 10.
+    assert engine.now == 12 + 40
+    assert all(t.done for t in dma.transfers)
+
+
+def test_dma_exhausted_channels_raise():
+    _engine, _bus, dma = _dma(num_channels=1)
+    dma.start("PE1", 0, 0x100, words=800)
+    with pytest.raises(SimulationError):
+        dma.start("PE2", 0, 0x200, words=8)
+
+
+def test_dma_wait_on_finished_transfer_returns_immediately():
+    engine, _bus, dma = _dma()
+    transfer = dma.start("PE1", 0, 0x100, words=8)
+    engine.run()
+
+    def pe():
+        result = yield from dma.wait(transfer)
+        return result
+
+    handle = engine.spawn(pe())
+    engine.run()
+    assert handle.result.done
+
+
+def test_dma_validation():
+    engine = Engine()
+    bus = SystemBus(engine)
+    with pytest.raises(ConfigurationError):
+        DMAController(engine, bus, num_channels=0)
+    _engine, _bus, dma = _dma()
+    with pytest.raises(ConfigurationError):
+        dma.start("PE1", 0, 0x100, words=0)
+
+
+# -- hierarchical bus -----------------------------------------------------------
+
+def test_local_traffic_does_not_contend_across_subsystems():
+    engine = Engine()
+    hier = HierarchicalBus(engine, num_subsystems=2)
+    finish = {}
+
+    def master(subsystem, name):
+        def proc():
+            for _ in range(5):
+                yield from hier.local_transaction(subsystem, name)
+            finish[name] = engine.now
+        return proc()
+
+    engine.spawn(master(0, "A"))
+    engine.spawn(master(1, "B"))
+    engine.run()
+    # Both finish at 15 cycles (5 x 3): perfectly parallel locals.
+    assert finish == {"A": 15, "B": 15}
+
+
+def test_global_traffic_pays_bridge_and_contends():
+    engine = Engine()
+    hier = HierarchicalBus(engine, num_subsystems=2, bridge_cycles=2)
+    finish = {}
+
+    def master(subsystem, name):
+        def proc():
+            yield from hier.global_transaction(subsystem, name, words=1)
+            finish[name] = engine.now
+        return proc()
+
+    engine.spawn(master(0, "A"))
+    engine.spawn(master(1, "B"))
+    engine.run()
+    # Each pays local (3) + bridge (2) + global (3); the two global
+    # phases serialize, so the loser finishes 3 cycles later.
+    assert min(finish.values()) == 8
+    assert max(finish.values()) == 11
+    assert hier.global_bus.total_transactions == 2
+    assert hier.bridges[0].stats.forwarded == 1
+
+
+def test_custom_timings_respected():
+    engine = Engine()
+    hier = HierarchicalBus(
+        engine, num_subsystems=1,
+        local_timing=BusTiming(first_word_cycles=1, burst_word_cycles=1),
+        global_timing=BusTiming(first_word_cycles=5, burst_word_cycles=2),
+        bridge_cycles=0)
+
+    def master():
+        yield from hier.global_transaction(0, "A", words=3)
+
+    engine.spawn(master())
+    engine.run()
+    # local 1 + bridge 0 + global (5 + 2*2) = 10
+    assert engine.now == 10
+
+
+def test_hierbus_validation():
+    engine = Engine()
+    with pytest.raises(ConfigurationError):
+        HierarchicalBus(engine, num_subsystems=0)
+    hier = HierarchicalBus(engine)
+    with pytest.raises(ConfigurationError):
+        hier.subsystem(7)

@@ -1,0 +1,69 @@
+"""Tests for the shared memory and its controller."""
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.mpsoc.bus import SystemBus
+from repro.mpsoc.memory import MemoryController, SharedMemory
+from repro.sim.engine import Engine
+
+
+def test_memory_size_validation():
+    with pytest.raises(ConfigurationError):
+        SharedMemory(0)
+    with pytest.raises(ConfigurationError):
+        SharedMemory(6)   # not a word multiple
+
+
+def test_peek_poke():
+    memory = SharedMemory(1024)
+    memory.poke(10, 0xDEAD)
+    assert memory.peek(10) == 0xDEAD
+    assert memory.peek(11) == 0
+    memory.poke(10, 0)
+    assert memory.peek(10) == 0
+
+
+def test_bounds_check():
+    memory = SharedMemory(1024)
+    with pytest.raises(SimulationError):
+        memory.peek(memory.num_words)
+    with pytest.raises(SimulationError):
+        memory.poke(-1, 0)
+
+
+def test_controller_read_write_cost_cycles():
+    engine = Engine()
+    bus = SystemBus(engine)
+    controller = MemoryController(bus, SharedMemory(1024))
+
+    def master():
+        yield from controller.write("PE1", 4, 99)
+        value = yield from controller.read("PE1", 4)
+        return (value, engine.now)
+
+    handle = engine.spawn(master())
+    engine.run()
+    assert handle.result == (99, 6)    # two single-word transactions
+    assert controller.reads == 1 and controller.writes == 1
+
+
+def test_controller_burst_round_trip():
+    engine = Engine()
+    bus = SystemBus(engine)
+    controller = MemoryController(bus, SharedMemory(1024))
+
+    def master():
+        yield from controller.write_burst("PE1", 0, [1, 2, 3, 4])
+        values = yield from controller.read_burst("PE1", 0, 4)
+        return values
+
+    handle = engine.spawn(master())
+    engine.run()
+    assert handle.result == [1, 2, 3, 4]
+    assert engine.now == 12            # two 4-word bursts: 6 + 6
+
+
+def test_default_memory_is_16mb():
+    controller = MemoryController(SystemBus(Engine()))
+    assert controller.memory.size_bytes == 16 * 1024 * 1024

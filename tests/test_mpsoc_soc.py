@@ -1,0 +1,136 @@
+"""Tests for peripherals, interrupts, PEs and the MPSoC assembly."""
+
+import pytest
+
+from repro.errors import ConfigurationError, ResourceProtocolError
+from repro.mpsoc.interrupt import InterruptController
+from repro.mpsoc.peripheral import Peripheral
+from repro.mpsoc.soc import MPSoC, SoCConfig
+from repro.sim.engine import Engine
+
+
+# -- interrupt controller ------------------------------------------------------
+
+def test_irq_wakes_waiter_with_payload():
+    engine = Engine()
+    intc = InterruptController(engine, lines=("irq.VI",))
+    results = []
+
+    def waiter():
+        payload = yield from intc.wait_irq("irq.VI")
+        results.append((engine.now, payload))
+
+    engine.spawn(waiter())
+    engine.schedule(9, intc.raise_irq, "irq.VI", "frame")
+    engine.run()
+    assert results == [(9, "frame")]
+    assert intc.raised_counts["irq.VI"] == 1
+
+
+def test_unknown_line_rejected():
+    intc = InterruptController(Engine())
+    with pytest.raises(ConfigurationError):
+        intc.raise_irq("nope")
+    intc.add_line("x")
+    with pytest.raises(ConfigurationError):
+        intc.add_line("x")
+
+
+# -- peripheral ----------------------------------------------------------------
+
+def test_peripheral_ownership_enforced():
+    engine = Engine()
+    peripheral = Peripheral(engine, "IDCT")
+
+    def user():
+        yield from peripheral.serve("p1", 100)
+
+    engine.spawn(user())
+    with pytest.raises(Exception):
+        engine.run()
+
+
+def test_peripheral_serve_accounts_time():
+    engine = Engine()
+    peripheral = Peripheral(engine, "IDCT")
+    peripheral.assign("p1")
+
+    def user():
+        yield from peripheral.serve("p1", 250)
+
+    engine.spawn(user())
+    engine.run()
+    assert engine.now == 250
+    assert peripheral.busy_cycles == 250
+    assert peripheral.service_count == 1
+
+
+def test_peripheral_reassignment_rules():
+    peripheral = Peripheral(Engine(), "DSP")
+    peripheral.assign("p1")
+    with pytest.raises(ResourceProtocolError):
+        peripheral.assign("p2")
+    with pytest.raises(ResourceProtocolError):
+        peripheral.unassign("p2")
+    peripheral.unassign("p1")
+    peripheral.assign("p2")
+
+
+def test_peripheral_irq_on_completion():
+    engine = Engine()
+    intc = InterruptController(engine)
+    peripheral = Peripheral(engine, "VI", interrupt_controller=intc,
+                            irq_line="irq.VI")
+    peripheral.assign("p1")
+    fired = []
+
+    def watcher():
+        yield from intc.wait_irq("irq.VI")
+        fired.append(engine.now)
+
+    def user():
+        yield from peripheral.serve("p1", 40, raise_irq_when_done=True)
+
+    engine.spawn(watcher())
+    engine.spawn(user())
+    engine.run()
+    assert fired == [40]
+
+
+# -- the SoC -------------------------------------------------------------------
+
+def test_base_system_census():
+    soc = MPSoC.base_system()
+    assert len(soc.pes) == 4
+    assert set(soc.peripherals) == {"VI", "IDCT", "DSP", "WI"}
+    assert soc.pe("PE3").name == "PE3"
+    assert soc.peripheral("WI").name == "WI"
+    assert soc.memory.size_bytes == 16 * 1024 * 1024
+
+
+def test_unknown_lookups():
+    soc = MPSoC.base_system()
+    with pytest.raises(ConfigurationError):
+        soc.pe("PE99")
+    with pytest.raises(ConfigurationError):
+        soc.peripheral("GPU")
+
+
+def test_config_validation():
+    with pytest.raises(ConfigurationError):
+        MPSoC(SoCConfig(num_pes=0))
+    with pytest.raises(ConfigurationError):
+        MPSoC(SoCConfig(peripherals=("VI", "VI")))
+
+
+def test_pe_execute_accumulates_busy_cycles():
+    soc = MPSoC(SoCConfig(num_pes=1, peripherals=()))
+    pe = soc.pes[0]
+
+    def work():
+        yield from pe.execute(123)
+
+    soc.engine.spawn(work())
+    soc.engine.run()
+    assert pe.busy_cycles == 123
+    assert soc.now == 123

@@ -1,0 +1,139 @@
+"""Tests for the multi-unit avoidance extension."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.deadlock.daa import Action, DeadlockKind
+from repro.deadlock.multiunit_avoidance import MultiUnitAvoider
+from repro.errors import ResourceProtocolError
+
+
+def _avoider(dma_units=2):
+    return MultiUnitAvoider(
+        ["p1", "p2", "p3"], {"DMA": dma_units, "SPM": 1},
+        {"p1": 1, "p2": 2, "p3": 3})
+
+
+def test_available_units_granted_immediately():
+    avoider = _avoider()
+    decision = avoider.request("p1", "DMA", 2)
+    assert decision.action is Action.GRANTED
+    assert avoider.system.allocation_of("p1", "DMA") == 2
+
+
+def test_unavailable_units_pend_without_deadlock():
+    avoider = _avoider()
+    avoider.request("p1", "DMA", 2)
+    decision = avoider.request("p2", "DMA", 1)
+    assert decision.action is Action.PENDING
+    assert decision.deadlock_kind is DeadlockKind.NONE
+
+
+def _build_rdl(avoider):
+    """p1 holds both DMA units and waits on SPM; p2 holds the SPM.
+    p2 then requesting a DMA unit closes the deadlock."""
+    avoider.request("p1", "DMA", 2)
+    avoider.request("p2", "SPM", 1)
+    avoider.request("p1", "SPM", 1)      # pending behind p2
+
+
+def test_rdl_low_priority_requester_gives_up():
+    avoider = _avoider()
+    _build_rdl(avoider)
+    decision = avoider.request("p2", "DMA", 1)
+    # p2 (lower priority than holder p1) must give up its holdings.
+    assert decision.action is Action.GIVE_UP
+    assert ("p2", "SPM") in decision.ask_release
+    assert avoider.system.outstanding_request("p2", "DMA") == 0
+
+
+def test_rdl_high_priority_requester_pends_owner_asked():
+    avoider = MultiUnitAvoider(
+        ["p1", "p2"], {"DMA": 1, "SPM": 1}, {"p1": 1, "p2": 2})
+    avoider.request("p2", "DMA", 1)
+    avoider.request("p1", "SPM", 1)
+    avoider.request("p2", "SPM", 1)      # p2 waits on p1
+    decision = avoider.request("p1", "DMA", 1)   # closes the deadlock
+    assert decision.action is Action.PENDING
+    assert decision.deadlock_kind is DeadlockKind.REQUEST
+    assert decision.ask_release == (("p2", "DMA"),)
+
+
+def test_release_hands_units_to_best_waiter():
+    avoider = _avoider()
+    avoider.request("p1", "DMA", 2)
+    avoider.request("p3", "DMA", 1)
+    avoider.request("p2", "DMA", 1)
+    decision = avoider.release("p1", "DMA", 2)
+    assert decision.action is Action.HANDED_OFF
+    assert decision.granted_to == "p2"        # priority order
+    # p3's request is still outstanding (only one release event ran).
+    assert avoider.system.outstanding_request("p3", "DMA") == 1
+
+
+def test_livelock_threshold_escalates():
+    avoider = _avoider()
+    avoider.livelock_threshold = 2
+    _build_rdl(avoider)
+    first = avoider.request("p2", "DMA", 1)
+    assert first.action is Action.GIVE_UP
+    second = avoider.request("p2", "DMA", 1)
+    assert second.action is Action.PENDING
+    assert second.livelock
+
+
+def test_validation():
+    with pytest.raises(ResourceProtocolError):
+        MultiUnitAvoider(["p1"], {"A": 1}, {})
+    with pytest.raises(ResourceProtocolError):
+        MultiUnitAvoider(["p1"], {"A": 1}, {"p1": 1},
+                         livelock_threshold=0)
+
+
+@st.composite
+def scripts(draw):
+    length = draw(st.integers(1, 40))
+    return [(draw(st.integers(1, 3)), draw(st.integers(0, 1)),
+             draw(st.integers(1, 2)), draw(st.booleans()))
+            for _ in range(length)]
+
+
+@given(scripts())
+@settings(max_examples=150, deadline=None)
+def test_property_never_stays_deadlocked(script):
+    """With cooperative give-ups, the counting state never stays
+    deadlocked after a command resolves."""
+    avoider = MultiUnitAvoider(
+        ["p1", "p2", "p3"], {"A": 2, "B": 1},
+        {"p1": 1, "p2": 2, "p3": 3})
+    resources = ("A", "B")
+
+    def obey(decision):
+        queue = list(decision.ask_release)
+        hops = 0
+        while queue:
+            target, resource = queue.pop(0)
+            hops += 1
+            assert hops < 60
+            held = avoider.system.allocation_of(target, resource)
+            if held:
+                follow = avoider.release(target, resource, held)
+                queue.extend(follow.ask_release)
+
+    for p_index, q_index, units, prefer_release in script:
+        process = f"p{p_index}"
+        resource = resources[q_index]
+        held = avoider.system.allocation_of(process, resource)
+        outstanding = avoider.system.outstanding_request(process, resource)
+        if prefer_release and held:
+            decision = avoider.release(process, resource, held)
+        elif (held + outstanding + units
+              <= avoider.system.total_units(resource)):
+            decision = avoider.request(process, resource, units)
+        else:
+            continue
+        obey(decision)
+        assert not avoider.system.detect().deadlock

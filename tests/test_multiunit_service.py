@@ -1,0 +1,118 @@
+"""Integration tests: pooled resources through the kernel service."""
+
+import pytest
+
+from repro.deadlock.multiunit_avoidance import MultiUnitAvoider
+from repro.framework.builder import build_system
+from repro.rtos.resources import MultiUnitResourceService, NotificationKind
+
+
+def _pooled_system(pools=None, priorities=None):
+    system = build_system("RTOS5")
+    pools = pools or {"DMA": 2, "SPM": 1}
+    priorities = priorities or {"p1": 1, "p2": 2, "p3": 3}
+    avoider = MultiUnitAvoider(list(priorities), pools, priorities)
+    service = MultiUnitResourceService(system.kernel, avoider)
+    system.kernel.attach_resource_service(service)
+    return system, service
+
+
+def test_pool_grant_and_release_through_tasks():
+    system, service = _pooled_system()
+    kernel = system.kernel
+    log = []
+
+    def body(ctx):
+        outcome = yield from ctx.request("DMA", units=2)
+        log.append(("granted", outcome.granted, ctx.now))
+        yield from ctx.compute(500)
+        yield from ctx.release_resource("DMA")
+        log.append(("released", ctx.now))
+
+    kernel.create_task(body, "p1", 1, "PE1")
+    kernel.run()
+    assert log[0][1] is True
+    assert service.core.system.available("DMA") == 2
+    assert service.stats.invocations == 2
+
+
+def test_pool_handoff_wakes_waiter_when_fully_granted():
+    system, service = _pooled_system()
+    kernel = system.kernel
+    got = []
+
+    def hog(ctx):
+        yield from ctx.request("DMA", units=2)
+        yield from ctx.compute(2_000)
+        yield from ctx.release_resource("DMA")
+
+    def waiter(ctx):
+        yield from ctx.sleep(200)
+        outcome = yield from ctx.request("DMA", units=2)
+        if not outcome.granted:
+            yield from ctx.wait_grant("DMA")
+        got.append(ctx.now)
+        yield from ctx.release_resource("DMA")
+
+    kernel.create_task(hog, "p1", 1, "PE1")
+    kernel.create_task(waiter, "p2", 2, "PE2")
+    kernel.run()
+    assert got and got[0] >= 2_000
+    assert service.core.system.available("DMA") == 2
+
+
+def test_pool_deadlock_resolved_by_giveup_notification():
+    system, service = _pooled_system()
+    kernel = system.kernel
+    order = []
+
+    def p1(ctx):
+        yield from ctx.request("DMA", units=2)
+        yield from ctx.compute(600)
+        outcome = yield from ctx.request("SPM")
+        if not outcome.granted:
+            yield from ctx.wait_grant("SPM")
+        order.append("p1-complete")
+        yield from ctx.release_resource("SPM")
+        yield from ctx.release_resource("DMA")
+
+    def p2(ctx):
+        yield from ctx.request("SPM")
+        yield from ctx.compute(300)
+        outcome = yield from ctx.request("DMA")
+        if outcome.must_give_up:
+            for _target, resource in outcome.decision.ask_release:
+                yield from ctx.release_resource(resource)
+            order.append("p2-gave-up")
+        elif not outcome.granted:
+            while True:
+                note = yield from ctx.wait_notification()
+                if note.kind is NotificationKind.GIVE_UP:
+                    yield from ctx.release_resource(note.resource)
+                    order.append("p2-gave-up")
+                    break
+
+    kernel.create_task(p1, "p1", 1, "PE1")
+    kernel.create_task(p2, "p2", 2, "PE2")
+    kernel.run()
+    assert "p2-gave-up" in order
+    assert "p1-complete" in order
+    assert not service.core.system.detect().deadlock
+
+
+def test_single_unit_service_rejects_units_argument():
+    system = build_system("RTOS4")
+    kernel = system.kernel
+
+    def body(ctx):
+        yield from ctx.request("DSP", units=2)
+
+    kernel.create_task(body, "p1", 1, "PE1")
+    with pytest.raises(Exception):
+        kernel.run()
+
+
+def test_holder_of_not_defined_for_pools():
+    _system, service = _pooled_system()
+    with pytest.raises(NotImplementedError):
+        service.holder_of("DMA")

@@ -1,0 +1,103 @@
+"""Tests for PDDA (Algorithms 1-2) and its software cost model."""
+
+import random
+
+from repro import calibration
+from repro.deadlock.pdda import (
+    pdda_detect,
+    software_detection_cycles,
+    terminal_reduction,
+)
+from repro.rag.generate import (
+    chain_state,
+    cycle_state,
+    empty_state,
+    random_state,
+)
+from repro.rag.matrix import StateMatrix
+
+
+def test_empty_matrix_no_deadlock_one_pass():
+    result = pdda_detect(empty_state(3, 3))
+    assert not result.deadlock
+    assert result.iterations == 0
+    assert result.passes == 1
+
+
+def test_cycle_is_irreducible_immediately():
+    result = pdda_detect(cycle_state(3))
+    assert result.deadlock
+    assert result.iterations == 0
+    assert result.residual.edge_count == 6
+
+
+def test_chain_reduces_completely():
+    result = pdda_detect(chain_state(4))
+    assert not result.deadlock
+    assert result.residual.is_empty()
+    assert result.iterations >= 1
+
+
+def test_cycle_plus_tail_reduces_to_cycle():
+    # A cycle with a dangling request from an outside process: the tail
+    # edge is reducible, the cycle is not.
+    state = cycle_state(3)
+    # p1..p3, q1..q3 are taken; build a 4-process variant instead.
+    from repro.rag.graph import RAG
+    rag = RAG(["p1", "p2", "p3", "p4"], ["q1", "q2", "q3"])
+    rag.grant("q1", "p1")
+    rag.grant("q2", "p2")
+    rag.add_request("p1", "q2")
+    rag.add_request("p2", "q1")
+    rag.add_request("p4", "q1")       # the reducible tail
+    result = pdda_detect(rag)
+    assert result.deadlock
+    assert result.residual.edge_count == 4
+    assert result.deadlocked_processes() == ["p1", "p2"]
+    assert result.deadlocked_resources() == ["q1", "q2"]
+    assert state.has_cycle()          # sanity on the unused helper
+
+
+def test_terminal_reduction_is_idempotent_on_residual():
+    state = random_state(5, 5, rng=random.Random(11))
+    first = terminal_reduction(state)
+    second = terminal_reduction(first.matrix)
+    assert second.iterations == 0
+    assert second.matrix == first.matrix
+
+
+def test_reduction_never_increases_edges():
+    rng = random.Random(5)
+    for _ in range(30):
+        state = random_state(5, 5, rng=rng)
+        matrix = StateMatrix.from_rag(state)
+        before = matrix.edge_count
+        result = terminal_reduction(matrix)
+        assert result.matrix.edge_count <= before
+
+
+def test_matches_cycle_oracle_on_many_random_states():
+    rng = random.Random(2026)
+    for _ in range(300):
+        state = random_state(5, 5, rng=rng)
+        assert pdda_detect(state).deadlock == state.has_cycle()
+
+
+def test_detect_does_not_mutate_input_matrix():
+    matrix = StateMatrix.from_rag(chain_state(3))
+    before = matrix.copy()
+    pdda_detect(matrix)
+    assert matrix == before
+
+
+def test_software_cost_model_formula():
+    cycles = software_detection_cycles(5, 5, passes=4)
+    expected = (4 * 25 * calibration.SW_PDDA_CELL_CYCLES
+                + calibration.SW_PDDA_OVERHEAD_CYCLES)
+    assert cycles == expected
+
+
+def test_software_cycles_grow_with_passes():
+    shallow = pdda_detect(empty_state(5, 5))
+    deep = pdda_detect(chain_state(5))
+    assert deep.software_cycles > shallow.software_cycles

@@ -1,0 +1,203 @@
+"""Tests for the periodic executive and the response-time analysis."""
+
+import pytest
+
+from repro.errors import RTOSError
+from repro.framework.builder import build_system
+from repro.rtos.analysis import (
+    AnalyzedTask,
+    blocking_term,
+    liu_layland_bound,
+    response_time_analysis,
+    utilization,
+)
+from repro.rtos.periodic import OverrunPolicy, PeriodicTask
+from repro.rtos.watchdog import Watchdog
+
+
+# -- periodic executive ---------------------------------------------------------
+
+def _body(cycles):
+    def body(ctx):
+        yield from ctx.compute(cycles)
+    return body
+
+
+def test_periodic_releases_on_the_grid(kernel):
+    task = PeriodicTask(kernel, "tick", _body(300), priority=1,
+                        pe="PE1", period=1_000, activations=5)
+    kernel.run()
+    assert task.stats.activations == 5
+    releases = [record.release for record in task.stats.records]
+    assert releases == [0, 1_000, 2_000, 3_000, 4_000]
+    assert task.stats.deadline_misses == 0
+    assert task.stats.worst_response < 1_000
+
+
+def test_periodic_offset_shifts_the_grid(kernel):
+    task = PeriodicTask(kernel, "tick", _body(100), priority=1,
+                        pe="PE1", period=500, activations=3, offset=250)
+    kernel.run()
+    assert task.stats.records[0].release == 250
+
+
+def test_deadline_miss_counted_under_interference(kernel):
+    # A low-priority periodic task squeezed by a heavy high-priority
+    # one misses its tight deadline.
+    PeriodicTask(kernel, "hog", _body(1_500), priority=1, pe="PE1",
+                 period=2_000, activations=4)
+    victim = PeriodicTask(kernel, "victim", _body(400), priority=2,
+                          pe="PE1", period=2_000, deadline=700,
+                          activations=4)
+    kernel.run()
+    assert victim.stats.deadline_misses >= 1
+
+
+def test_overrun_skip_realigns(kernel):
+    # Body longer than the period: SKIP drops missed releases.
+    task = PeriodicTask(kernel, "slow", _body(1_700), priority=1,
+                        pe="PE1", period=1_000, activations=6,
+                        overrun_policy=OverrunPolicy.SKIP)
+    kernel.run()
+    assert task.stats.overruns >= 1
+    # Releases stay on the period grid despite the overruns.
+    for record in task.stats.records:
+        assert record.release % 1_000 == 0
+
+
+def test_overrun_catch_up_runs_back_to_back(kernel):
+    task = PeriodicTask(kernel, "slow", _body(1_700), priority=1,
+                        pe="PE1", period=1_000, activations=3,
+                        overrun_policy=OverrunPolicy.CATCH_UP)
+    kernel.run()
+    assert task.stats.activations == 3
+    assert task.stats.overruns >= 1
+
+
+def test_periodic_with_watchdog_records_misses(kernel):
+    watchdog = Watchdog(kernel)
+    PeriodicTask(kernel, "late", _body(700), priority=1, pe="PE1",
+                 period=1_000, deadline=500, activations=2,
+                 watchdog=watchdog)
+    kernel.run()
+    assert watchdog.miss_count == 2
+
+
+def test_periodic_validation(kernel):
+    with pytest.raises(RTOSError):
+        PeriodicTask(kernel, "bad", _body(1), 1, "PE1", period=0)
+    with pytest.raises(RTOSError):
+        PeriodicTask(kernel, "bad2", _body(1), 1, "PE1", period=10,
+                     deadline=0)
+
+
+# -- response-time analysis ---------------------------------------------------------
+
+def _robot_taskset():
+    """The Section 5.5 task set, in analysis form (cycles)."""
+    cs = 2_600
+    return [
+        AnalyzedTask("task1", 1, wcet=8_600, period=26_000,
+                     deadline=25_000, pe="PE1",
+                     critical_sections={"pos": cs}),
+        AnalyzedTask("task2", 2, wcet=5_600, period=26_000,
+                     deadline=30_000, pe="PE2",
+                     critical_sections={"pos": cs // 2}),
+        AnalyzedTask("task3", 3, wcet=5_200, period=26_000, pe="PE2",
+                     critical_sections={"pos": cs}),
+        AnalyzedTask("task4", 4, wcet=5_900, period=26_000,
+                     deadline=60_000, pe="PE3",
+                     critical_sections={"pos": cs // 2,
+                                        "rec": cs // 2}),
+        AnalyzedTask("task5", 5, wcet=4_300, period=26_000, pe="PE4",
+                     critical_sections={"rec": cs // 2}),
+    ]
+
+
+def test_utilization_and_bound():
+    tasks = _robot_taskset()
+    assert 0 < utilization(tasks, pe="PE2") < 1
+    assert liu_layland_bound(1) == pytest.approx(1.0)
+    assert liu_layland_bound(2) == pytest.approx(0.8284, abs=1e-3)
+    with pytest.raises(RTOSError):
+        liu_layland_bound(0)
+
+
+def test_blocking_pi_sums_per_lock_ipcp_takes_max():
+    tasks = _robot_taskset()
+    task1 = tasks[0]
+    # task1 uses only 'pos'; the longest lower-priority 'pos' CS is
+    # task3's 2600.
+    assert blocking_term(task1, tasks, "ipcp") == 2_600
+    assert blocking_term(task1, tasks, "pi") == 2_600
+    # task4 uses 'pos' and 'rec': PI can be hit once per lock.
+    task4 = tasks[3]
+    pi = blocking_term(task4, tasks, "pi")
+    ipcp = blocking_term(task4, tasks, "ipcp")
+    assert pi >= ipcp
+    assert pi == 1_300       # task5's 'rec' CS; no lower 'pos' holder
+    with pytest.raises(RTOSError):
+        blocking_term(task1, tasks, "fifo")
+
+
+def test_rta_declares_robot_set_schedulable():
+    results = response_time_analysis(_robot_taskset(), protocol="ipcp",
+                                     context_switch=180)
+    by_name = {result.task: result for result in results}
+    assert all(result.schedulable for result in results), by_name
+    # The highest-priority task's response is just cost + blocking.
+    task1 = by_name["task1"]
+    assert task1.interference == 0
+    assert task1.response_time == pytest.approx(8_600 + 360 + 2_600)
+
+
+def test_rta_interference_from_same_pe_only():
+    results = response_time_analysis(_robot_taskset())
+    by_name = {result.task: result for result in results}
+    # task3 shares PE2 with task2 and suffers its interference.
+    assert by_name["task3"].interference > 0
+    # task5 is alone on PE4: no interference.
+    assert by_name["task5"].interference == 0
+
+
+def test_rta_detects_overload():
+    overload = [
+        AnalyzedTask("a", 1, wcet=600, period=1_000, pe="PE1"),
+        AnalyzedTask("b", 2, wcet=600, period=1_000, pe="PE1"),
+    ]
+    results = response_time_analysis(overload)
+    assert not results[1].schedulable
+
+
+def test_rta_validation():
+    with pytest.raises(RTOSError):
+        response_time_analysis([
+            AnalyzedTask("x", 1, wcet=10, period=5)])
+    with pytest.raises(RTOSError):
+        response_time_analysis([
+            AnalyzedTask("x", 1, wcet=1, period=5),
+            AnalyzedTask("x", 2, wcet=1, period=5)])
+
+
+def test_rta_predicts_simulated_periodic_behaviour():
+    """Theory vs simulation: a two-task single-PE set — the simulated
+    worst response must not exceed the analytic bound (plus scheduler
+    quantum slack), and the analysis must call it schedulable."""
+    taskset = [
+        AnalyzedTask("high", 1, wcet=800, period=3_000, pe="PE1"),
+        AnalyzedTask("low", 2, wcet=1_200, period=6_000, pe="PE1"),
+    ]
+    results = response_time_analysis(taskset, context_switch=180)
+    bound = {result.task: result.response_time for result in results}
+    assert all(result.schedulable for result in results)
+
+    system = build_system("RTOS5", quantum=100)
+    kernel = system.kernel
+    high = PeriodicTask(kernel, "high", _body(800), priority=1,
+                        pe="PE1", period=3_000, activations=6)
+    low = PeriodicTask(kernel, "low", _body(1_200), priority=2,
+                       pe="PE1", period=6_000, activations=3)
+    kernel.run()
+    slack = 2 * 100 + 2 * 180          # quantum + context switches
+    assert high.stats.worst_response <= bound["high"] + slack
+    assert low.stats.worst_response <= bound["low"] + slack

@@ -1,0 +1,96 @@
+"""Tests for the rejected avoidance policies and the policy ablation."""
+
+import pytest
+
+from repro.deadlock.daa import Action, DeadlockKind, SoftwareDAA
+from repro.deadlock.policies import POLICIES, DenyRetryDAA, RequesterYieldsDAA
+from repro.experiments import ablation_policies
+
+
+def _setup_rdl(core):
+    """p1 holds q1; p2 holds q2 and waits for q1.  p1 requesting q2
+    closes the cycle."""
+    core.request("p1", "q1")
+    core.request("p2", "q2")
+    core.request("p2", "q1")
+
+
+def _make(policy_cls):
+    return policy_cls(["p1", "p2", "p3"], ["q1", "q2", "q3"],
+                      {"p1": 1, "p2": 2, "p3": 3})
+
+
+def test_policies_registry():
+    assert set(POLICIES) == {"algorithm3", "requester-yields",
+                             "deny-retry"}
+    assert POLICIES["algorithm3"] is SoftwareDAA
+
+
+def test_requester_yields_ignores_priority():
+    core = _make(RequesterYieldsDAA)
+    _setup_rdl(core)
+    decision = core.request("p1", "q2")
+    # Algorithm 3 would pend p1 (higher priority) and demand from p2;
+    # this policy makes even the top-priority requester give up.
+    assert decision.action is Action.GIVE_UP
+    assert decision.deadlock_kind is DeadlockKind.REQUEST
+    assert ("p1", "q1") in decision.ask_release
+    assert "q2" not in core.rag.requests_of("p1")
+
+
+def test_deny_retry_denies_without_demands():
+    core = _make(DenyRetryDAA)
+    _setup_rdl(core)
+    decision = core.request("p1", "q2")
+    assert decision.action is Action.DENIED
+    assert decision.ask_release == ()
+    # p1 keeps its holdings.
+    assert core.rag.held_by("p1") == ("q1",)
+
+
+def test_deny_retry_flags_livelock_after_repeats():
+    core = _make(DenyRetryDAA)
+    core.livelock_threshold = 2
+    _setup_rdl(core)
+    first = core.request("p1", "q2")
+    assert not first.livelock
+    second = core.request("p1", "q2")
+    assert second.livelock
+
+
+def test_no_fallback_policies_leave_resource_idle_on_gdl():
+    # Build the Table 6 shape; under the no-fallback policy the released
+    # q2 stays idle instead of going to the safe lower-priority waiter.
+    core = _make(RequesterYieldsDAA)
+    core.request("p1", "q2")
+    core.request("p3", "q2")
+    core.request("p3", "q1")
+    core.request("p2", "q2")
+    core.request("p2", "q1")
+    decision = core.release("p1", "q2")
+    assert decision.action is Action.RELEASED
+    assert decision.granted_to is None
+    assert core.rag.is_available("q2")
+
+
+def test_rejected_policies_also_avoid_deadlock():
+    # Whatever their other flaws, both rejected policies must keep the
+    # state deadlock-free (they are avoidance policies too).
+    for name in ("requester-yields", "deny-retry"):
+        row = ablation_policies.run_policy(name, ticks=400)
+        assert row.deadlocked_ticks == 0
+
+
+def test_ablation_algorithm3_wins():
+    result = ablation_policies.run(ticks=1200)
+    rows = {row.policy: row for row in result.rows}
+    alg3 = rows["algorithm3"]
+    assert alg3.jobs_completed >= rows["requester-yields"].jobs_completed
+    assert alg3.jobs_completed > 5 * rows["deny-retry"].jobs_completed
+    # Priority protection: p1 completes more under Algorithm 3.
+    assert (alg3.jobs_highest_priority
+            >= rows["requester-yields"].jobs_highest_priority)
+    # Deny-retry is the livelock-prone one.
+    assert rows["deny-retry"].livelock_flags > alg3.livelock_flags
+    assert alg3.deadlocked_ticks == 0
+    assert "ablation" in result.render().lower()

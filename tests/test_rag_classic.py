@@ -1,0 +1,115 @@
+"""Tests for the prior-work baselines (Holt, reduction, Leibfried,
+Banker's)."""
+
+import random
+
+import pytest
+
+from repro.errors import ResourceProtocolError
+from repro.rag.classic import (
+    BankersAvoider,
+    graph_reduction_detect,
+    holt_detect,
+    leibfried_detect,
+)
+from repro.rag.generate import (
+    chain_state,
+    cycle_state,
+    deadlock_free_state,
+    random_state,
+)
+
+DETECTORS = [holt_detect, graph_reduction_detect, leibfried_detect]
+
+
+@pytest.mark.parametrize("detect", DETECTORS)
+def test_detects_cycle(detect):
+    assert detect(cycle_state(3)).deadlock
+
+
+@pytest.mark.parametrize("detect", DETECTORS)
+def test_chain_is_clean(detect):
+    assert not detect(chain_state(4)).deadlock
+
+
+@pytest.mark.parametrize("detect", DETECTORS)
+def test_agrees_with_dfs_oracle_on_random_states(detect):
+    rng = random.Random(1234)
+    for _ in range(60):
+        state = random_state(4, 4, rng=rng)
+        assert detect(state).deadlock == state.has_cycle()
+
+
+@pytest.mark.parametrize("detect", DETECTORS)
+def test_ordered_states_never_deadlock(detect):
+    rng = random.Random(99)
+    for _ in range(40):
+        state = deadlock_free_state(5, 5, rng=rng)
+        assert not detect(state).deadlock
+
+
+def test_operation_counts_scale():
+    small = leibfried_detect(chain_state(3)).operations
+    large = leibfried_detect(chain_state(6)).operations
+    assert large > small > 0
+
+
+# -- Banker's algorithm -------------------------------------------------------
+
+def _bankers():
+    return BankersAvoider(
+        total={"A": 10, "B": 5},
+        claims={"p1": {"A": 7, "B": 2}, "p2": {"A": 5, "B": 3}})
+
+
+def test_bankers_grants_safe_request():
+    banker = _bankers()
+    assert banker.request("p1", "A", 3)
+    assert banker.allocation["p1"]["A"] == 3
+
+
+def test_bankers_denies_unsafe_request():
+    banker = BankersAvoider(
+        total={"A": 2},
+        claims={"p1": {"A": 2}, "p2": {"A": 2}})
+    assert banker.request("p1", "A", 1)
+    # Granting p2 one unit leaves no way for either to reach its claim.
+    assert not banker.request("p2", "A", 1)
+    # The denied request must not leak allocation.
+    assert banker.allocation["p2"]["A"] == 0
+
+
+def test_bankers_denies_when_unavailable():
+    banker = _bankers()
+    assert banker.request("p1", "A", 7)
+    # Only 3 units of A remain; p2's claim allows 5 but they are not
+    # available right now.
+    assert not banker.request("p2", "A", 5)
+
+
+def test_bankers_rejects_claim_violation():
+    banker = _bankers()
+    with pytest.raises(ResourceProtocolError):
+        banker.request("p1", "A", 8)
+
+
+def test_bankers_release_and_reuse():
+    banker = _bankers()
+    assert banker.request("p1", "A", 5)
+    banker.release("p1", "A", 5)
+    assert banker.available()["A"] == 10
+
+
+def test_bankers_release_more_than_held_rejected():
+    banker = _bankers()
+    with pytest.raises(ResourceProtocolError):
+        banker.release("p1", "A", 1)
+
+
+def test_bankers_rejects_overlarge_claim():
+    with pytest.raises(ResourceProtocolError):
+        BankersAvoider(total={"A": 1}, claims={"p1": {"A": 5}})
+
+
+def test_bankers_safe_initial_state():
+    assert _bankers().is_safe()

@@ -1,0 +1,138 @@
+"""Tests for the RAG protocol rules and cycle oracle."""
+
+import pytest
+
+from repro.errors import ResourceProtocolError
+from repro.rag.graph import RAG
+
+
+def _simple_rag():
+    return RAG(["p1", "p2", "p3"], ["q1", "q2", "q3"])
+
+
+def test_nodes_fixed_at_construction():
+    rag = _simple_rag()
+    assert rag.processes == ("p1", "p2", "p3")
+    assert rag.resources == ("q1", "q2", "q3")
+    assert rag.num_processes == 3
+    assert rag.num_resources == 3
+
+
+def test_duplicate_names_rejected():
+    with pytest.raises(ResourceProtocolError):
+        RAG(["p1", "p1"], ["q1"])
+    with pytest.raises(ResourceProtocolError):
+        RAG(["p1"], ["q1", "q1"])
+    with pytest.raises(ResourceProtocolError):
+        RAG(["x"], ["x"])
+
+
+def test_grant_and_holder():
+    rag = _simple_rag()
+    assert rag.is_available("q1")
+    rag.grant("q1", "p1")
+    assert rag.holder_of("q1") == "p1"
+    assert rag.held_by("p1") == ("q1",)
+    assert not rag.is_available("q1")
+
+
+def test_single_unit_rule():
+    rag = _simple_rag()
+    rag.grant("q1", "p1")
+    with pytest.raises(ResourceProtocolError):
+        rag.grant("q1", "p2")
+
+
+def test_request_held_resource_rejected():
+    rag = _simple_rag()
+    rag.grant("q1", "p1")
+    with pytest.raises(ResourceProtocolError):
+        rag.add_request("p1", "q1")
+
+
+def test_double_request_rejected():
+    rag = _simple_rag()
+    rag.add_request("p1", "q1")
+    with pytest.raises(ResourceProtocolError):
+        rag.add_request("p1", "q1")
+
+
+def test_grant_consumes_matching_request():
+    rag = _simple_rag()
+    rag.add_request("p1", "q1")
+    rag.grant("q1", "p1")
+    assert rag.requests_of("p1") == ()
+    assert rag.holder_of("q1") == "p1"
+
+
+def test_only_holder_may_release():
+    rag = _simple_rag()
+    rag.grant("q1", "p1")
+    with pytest.raises(ResourceProtocolError):
+        rag.release("p2", "q1")
+    rag.release("p1", "q1")
+    assert rag.is_available("q1")
+
+
+def test_waiters_and_requests():
+    rag = _simple_rag()
+    rag.grant("q1", "p1")
+    rag.add_request("p2", "q1")
+    rag.add_request("p3", "q1")
+    assert rag.waiters_for("q1") == ("p2", "p3")
+    assert rag.requests_of("p2") == ("q1",)
+
+
+def test_edge_iteration_and_count():
+    rag = _simple_rag()
+    rag.grant("q1", "p1")
+    rag.add_request("p2", "q1")
+    rag.add_request("p1", "q2")
+    assert set(rag.grant_edges()) == {("q1", "p1")}
+    assert set(rag.request_edges()) == {("p2", "q1"), ("p1", "q2")}
+    assert rag.edge_count == 3
+    assert not rag.is_empty()
+
+
+def test_copy_is_independent():
+    rag = _simple_rag()
+    rag.grant("q1", "p1")
+    clone = rag.copy()
+    clone.release("p1", "q1")
+    assert rag.holder_of("q1") == "p1"
+    assert clone.is_available("q1")
+
+
+def test_equality():
+    a = _simple_rag()
+    b = _simple_rag()
+    assert a == b
+    a.grant("q1", "p1")
+    assert a != b
+
+
+def test_has_cycle_detects_two_process_cycle():
+    rag = _simple_rag()
+    rag.grant("q1", "p1")
+    rag.grant("q2", "p2")
+    rag.add_request("p1", "q2")
+    rag.add_request("p2", "q1")
+    assert rag.has_cycle()
+
+
+def test_no_cycle_in_chain():
+    rag = _simple_rag()
+    rag.grant("q1", "p1")
+    rag.grant("q2", "p2")
+    rag.add_request("p1", "q2")
+    assert not rag.has_cycle()
+
+
+def test_unknown_node_errors():
+    rag = _simple_rag()
+    with pytest.raises(ResourceProtocolError):
+        rag.grant("q9", "p1")
+    with pytest.raises(ResourceProtocolError):
+        rag.add_request("p9", "q1")
+    with pytest.raises(ResourceProtocolError):
+        rag.successors("mystery")

@@ -1,0 +1,127 @@
+"""Tests for the state-matrix encoding (Definition 6, Equations 3-6)."""
+
+import pytest
+
+from repro.errors import ResourceProtocolError
+from repro.rag.graph import RAG
+from repro.rag.matrix import CellState, StateMatrix
+
+
+def test_cell_encoding_bits():
+    assert CellState.EMPTY.r_bit == 0 and CellState.EMPTY.g_bit == 0
+    assert CellState.GRANT.r_bit == 0 and CellState.GRANT.g_bit == 1
+    assert CellState.REQUEST.r_bit == 1 and CellState.REQUEST.g_bit == 0
+
+
+def test_from_rows_and_symbols():
+    matrix = StateMatrix.from_rows(["g r .", ". g r"])
+    assert matrix.m == 2 and matrix.n == 3
+    assert matrix.get(0, 0) is CellState.GRANT
+    assert matrix.get(0, 1) is CellState.REQUEST
+    assert matrix.get(1, 0) is CellState.EMPTY
+
+
+def test_from_rows_rejects_bad_input():
+    with pytest.raises(ResourceProtocolError):
+        StateMatrix.from_rows(["g x"])
+    with pytest.raises(ResourceProtocolError):
+        StateMatrix.from_rows(["g r", "g"])
+    with pytest.raises(ResourceProtocolError):
+        StateMatrix.from_rows([])
+
+
+def test_rag_round_trip():
+    rag = RAG(["p1", "p2"], ["q1", "q2"])
+    rag.grant("q1", "p1")
+    rag.add_request("p2", "q1")
+    rag.add_request("p1", "q2")
+    matrix = StateMatrix.from_rag(rag)
+    assert matrix.to_rag() == rag
+
+
+def test_single_grant_per_row_enforced():
+    matrix = StateMatrix(2, 2)
+    matrix.set_grant(0, 0)
+    with pytest.raises(ResourceProtocolError):
+        matrix.set_grant(0, 1)
+
+
+def test_request_promoted_to_grant_in_place():
+    matrix = StateMatrix(1, 2)
+    matrix.set_request(0, 1)
+    matrix.set_grant(0, 1)
+    assert matrix.get(0, 1) is CellState.GRANT
+
+
+def test_set_request_on_occupied_cell_rejected():
+    matrix = StateMatrix(1, 1)
+    matrix.set_request(0, 0)
+    with pytest.raises(ResourceProtocolError):
+        matrix.set_request(0, 0)
+
+
+def test_bwo_row_and_column():
+    matrix = StateMatrix.from_rows(["g r", ". r"])
+    assert matrix.row_bwo(0) == (1, 1)     # both kinds in row 0
+    assert matrix.row_bwo(1) == (1, 0)     # request only
+    assert matrix.column_bwo(0) == (0, 1)  # grant only
+    assert matrix.column_bwo(1) == (1, 0)  # requests only
+
+
+def test_terminal_flags_match_definitions():
+    # Row with only requests: terminal (Definition 7 case i).
+    only_requests = StateMatrix.from_rows(["r r ."])
+    assert only_requests.row_terminal(0)
+    # Row with a single grant: terminal (case ii).
+    single_grant = StateMatrix.from_rows([". g ."])
+    assert single_grant.row_terminal(0)
+    # Mixed row: connect, not terminal.
+    mixed = StateMatrix.from_rows(["g r ."])
+    assert not mixed.row_terminal(0)
+    assert mixed.row_connect(0)
+    # Empty row: neither.
+    empty = StateMatrix.from_rows([". . ."])
+    assert not empty.row_terminal(0)
+    assert not empty.row_connect(0)
+
+
+def test_terminal_sets_of_example_4():
+    # The Example 4 structure: q2, q3 terminal rows; p2, p4, p6 terminal
+    # columns (see repro.experiments.fig11_matrix_example).
+    from repro.experiments.fig11_matrix_example import example_rag
+    matrix = StateMatrix.from_rag(example_rag())
+    rows = [matrix.resource_names[s] for s in matrix.terminal_rows()]
+    cols = [matrix.process_names[t] for t in matrix.terminal_columns()]
+    assert rows == ["q2", "q3"]
+    assert cols == ["p2", "p4", "p6"]
+
+
+def test_clear_row_and_column():
+    matrix = StateMatrix.from_rows(["g r", "r g"])
+    matrix.clear_row(0)
+    assert matrix.row(0) == (CellState.EMPTY, CellState.EMPTY)
+    matrix.clear_column(1)
+    assert matrix.column(1) == (CellState.EMPTY, CellState.EMPTY)
+    assert matrix.edge_count == 1
+
+
+def test_copy_and_equality():
+    matrix = StateMatrix.from_rows(["g r", ". ."])
+    clone = matrix.copy()
+    assert clone == matrix
+    clone.clear(0, 0)
+    assert clone != matrix
+
+
+def test_render_contains_labels_and_symbols():
+    matrix = StateMatrix.from_rows(["g r"])
+    text = matrix.render()
+    assert "q1" in text and "p1" in text and "p2" in text
+    assert "g" in text and "r" in text
+
+
+def test_dimension_validation():
+    with pytest.raises(ResourceProtocolError):
+        StateMatrix(0, 1)
+    with pytest.raises(ResourceProtocolError):
+        StateMatrix(2, 2, resource_names=["a"])

@@ -1,0 +1,110 @@
+"""Tests for the multi-unit resource extension."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.deadlock.pdda import pdda_detect
+from repro.errors import ResourceProtocolError
+from repro.rag.generate import random_state
+from repro.rag.multiunit import MultiUnitSystem
+
+
+def _two_dma():
+    return MultiUnitSystem(["p1", "p2", "p3"], {"DMA": 2, "SPM": 1})
+
+
+def test_bookkeeping_and_availability():
+    system = _two_dma()
+    system.request("p1", "DMA", 1)
+    system.grant("p1", "DMA", 1)
+    assert system.available("DMA") == 1
+    assert system.allocation_of("p1", "DMA") == 1
+    system.release("p1", "DMA", 1)
+    assert system.available("DMA") == 2
+
+
+def test_protocol_violations_rejected():
+    system = _two_dma()
+    with pytest.raises(ResourceProtocolError):
+        system.grant("p1", "DMA")                 # no request outstanding
+    with pytest.raises(ResourceProtocolError):
+        system.release("p1", "DMA")               # holds nothing
+    with pytest.raises(ResourceProtocolError):
+        system.request("p1", "DMA", 3)            # exceeds total
+    with pytest.raises(ResourceProtocolError):
+        system.request("p1", "GPU")
+    with pytest.raises(ResourceProtocolError):
+        MultiUnitSystem(["p"], {"X": 0})
+
+
+def test_grant_limited_by_availability():
+    system = _two_dma()
+    system.request("p1", "DMA", 2)
+    system.grant("p1", "DMA", 2)
+    system.request("p2", "DMA", 1)
+    with pytest.raises(ResourceProtocolError):
+        system.grant("p2", "DMA", 1)
+
+
+def test_withdraw_cancels_request():
+    system = _two_dma()
+    system.request("p1", "SPM")
+    system.withdraw("p1", "SPM")
+    assert system.outstanding_request("p1", "SPM") == 0
+
+
+def test_cycle_with_spare_units_is_not_deadlock():
+    """The key multi-unit subtlety: a wait-for cycle through a class
+    with a spare unit is NOT a deadlock."""
+    system = MultiUnitSystem(["p1", "p2"], {"A": 2, "B": 1})
+    system.request("p1", "A"); system.grant("p1", "A")
+    system.request("p2", "B"); system.grant("p2", "B")
+    system.request("p1", "B")     # p1 waits on p2
+    system.request("p2", "A")     # p2 waits on... the spare A unit!
+    result = system.detect()
+    assert not result.deadlock
+    assert result.reduction_order[0] == "p2"
+
+
+def test_true_multiunit_deadlock():
+    system = MultiUnitSystem(["p1", "p2"], {"A": 2, "B": 1})
+    system.request("p1", "A"); system.grant("p1", "A")
+    system.request("p2", "A"); system.grant("p2", "A")   # A exhausted
+    system.request("p1", "B"); system.grant("p1", "B")   # B exhausted
+    system.request("p2", "B")     # p2 waits on p1
+    system.request("p1", "A")     # p1 waits on more A
+    result = system.detect()
+    assert result.deadlock
+    assert result.deadlocked_processes == ("p1", "p2")
+
+
+def test_idle_processes_never_reported():
+    system = _two_dma()
+    assert system.detect().deadlock is False
+    assert system.detect().deadlocked_processes == ()
+
+
+def test_to_rag_requires_single_unit():
+    with pytest.raises(ResourceProtocolError):
+        _two_dma().to_rag()
+
+
+@given(st.integers(0, 2**32 - 1), st.integers(2, 5), st.integers(2, 5))
+@settings(max_examples=150, deadline=None)
+def test_single_unit_projection_agrees_with_pdda(seed, m, n):
+    """On single-unit classes the counting detection and PDDA agree."""
+    state = random_state(m, n, rng=random.Random(seed))
+    system = MultiUnitSystem(state.processes,
+                             {q: 1 for q in state.resources})
+    for q, p in state.grant_edges():
+        system.request(p, q)
+        system.grant(p, q)
+    for p, q in state.request_edges():
+        system.request(p, q)
+    counting = system.detect()
+    matrix_based = pdda_detect(state)
+    assert counting.deadlock == matrix_based.deadlock
+    assert system.to_rag() == state

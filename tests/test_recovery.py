@@ -1,0 +1,124 @@
+"""Tests for deadlock recovery (victim selection + plan execution)."""
+
+import pytest
+
+from repro.deadlock.recovery import (
+    RecoveryManager,
+    apply_plan,
+    deadlocked_processes,
+    plan_recovery,
+    strategies,
+)
+from repro.errors import DeadlockError
+from repro.framework.builder import build_system
+from repro.rag.generate import cycle_state
+from repro.rag.graph import RAG
+from repro.rtos.resources import NotificationKind
+
+
+def _priorities(rag):
+    return {p: i + 1 for i, p in enumerate(rag.processes)}
+
+
+def test_strategies_registered():
+    assert strategies() == ("fewest-resources", "lowest-priority",
+                            "youngest-request")
+
+
+def test_deadlocked_processes_of_cycle():
+    state = cycle_state(3)
+    assert set(deadlocked_processes(state)) == {"p1", "p2", "p3"}
+    clean = RAG(["p1"], ["q1"])
+    assert deadlocked_processes(clean) == ()
+
+
+def test_plan_picks_lowest_priority_victim():
+    state = cycle_state(3)
+    plan = plan_recovery(state, _priorities(state))
+    assert plan.victim == "p3"         # numerically largest priority
+    assert plan.releases == ("q3",)
+    assert plan.withdrawals == ("q1",)
+    assert plan.cost == 1
+
+
+def test_plan_fewest_resources_strategy():
+    # p1 holds two resources, p2 holds one; both are on the cycle.
+    rag = RAG(["p1", "p2"], ["q1", "q2", "q3"])
+    rag.grant("q1", "p1")
+    rag.grant("q3", "p1")
+    rag.grant("q2", "p2")
+    rag.add_request("p1", "q2")
+    rag.add_request("p2", "q1")
+    plan = plan_recovery(rag, {"p1": 2, "p2": 1},
+                         strategy="fewest-resources")
+    assert plan.victim == "p2"
+    assert plan.cost == 1
+
+
+def test_plan_rejects_clean_state():
+    rag = RAG(["p1"], ["q1"])
+    with pytest.raises(DeadlockError):
+        plan_recovery(rag, {"p1": 1})
+
+
+def test_plan_rejects_unknown_strategy():
+    state = cycle_state(2)
+    with pytest.raises(DeadlockError):
+        plan_recovery(state, _priorities(state), strategy="coin-flip")
+
+
+def test_apply_plan_breaks_every_cycle():
+    state = cycle_state(4)
+    plan = plan_recovery(state, _priorities(state))
+    apply_plan(state, plan)
+    assert not state.has_cycle()
+    assert state.is_available("q4")
+
+
+def test_recovery_lets_the_jini_system_finish():
+    """End to end: the Table 4 deadlock happens under RTOS2; a
+    supervisor recovers; the surviving processes complete."""
+    system = build_system("RTOS2")
+    kernel = system.kernel
+    service = system.resource_service
+    priorities = {"p1": 1, "p2": 2, "p3": 3, "p4": 4}
+    manager = RecoveryManager(service, priorities)
+    completions = []
+
+    def p1(ctx):
+        yield from ctx.request("IDCT")
+        yield from ctx.use_peripheral("IDCT", 2_000)
+        yield from ctx.request("WI")           # pending behind p2
+        yield from ctx.wait_grant("WI")
+        yield from ctx.release_resource("WI")
+        yield from ctx.release_resource("IDCT")
+        completions.append("p1")
+
+    def p2(ctx):
+        yield from ctx.request("WI")
+        yield from ctx.compute(500)
+        outcome = yield from ctx.request("IDCT")   # closes the cycle
+        if not outcome.granted:
+            # Blocked in the deadlock; wait for the recovery demand
+            # (skipping stale grant notifications) and obey it — the
+            # victim's job is aborted, so it just cleans up.
+            while True:
+                note = yield from ctx.wait_notification()
+                if note.kind is NotificationKind.GIVE_UP:
+                    yield from ctx.release_resource(note.resource)
+                    break
+        completions.append("p2")
+
+    def supervisor(ctx):
+        yield from ctx.kernel.block_on(ctx.task, service.deadlock_event)
+        manager.recover(ctx)
+
+    kernel.create_task(p1, "p1", 1, "PE1")
+    kernel.create_task(p2, "p2", 2, "PE2")
+    kernel.create_task(supervisor, "supervisor", 0, "PE4")
+    kernel.run()
+    assert manager.recoveries
+    plan = manager.recoveries[0].plan
+    assert plan.victim == "p2"       # the lowest-priority cycle member
+    assert "p1" in completions and "p2" in completions
+    assert not service.rag.has_cycle()

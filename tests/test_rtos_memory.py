@@ -1,0 +1,138 @@
+"""Tests for the software heap (free list, costs, fragmentation)."""
+
+import pytest
+
+from repro import calibration
+from repro.errors import AllocationError
+from repro.rtos.memory import SoftwareHeap
+
+
+def _run_heap_task(kernel, heap, body):
+    kernel.attach_heap_service(heap)
+    result = {}
+
+    def task(ctx):
+        result["value"] = yield from body(ctx)
+
+    kernel.create_task(task, "heap-task", 1, "PE1")
+    kernel.run()
+    return result.get("value")
+
+
+def test_malloc_free_round_trip(kernel):
+    heap = SoftwareHeap(kernel, size_bytes=1 << 20)
+
+    def body(ctx):
+        address = yield from ctx.malloc(1024)
+        assert heap.in_use_bytes > 0
+        yield from ctx.free(address)
+        return address
+
+    address = _run_heap_task(kernel, heap, body)
+    assert address is not None
+    assert heap.in_use_bytes == 0
+    assert heap.free_bytes == 1 << 20
+    assert heap.stats.malloc_calls == 1
+    assert heap.stats.free_calls == 1
+    assert heap.stats.mm_cycles > 0
+
+
+def test_distinct_blocks_do_not_overlap(kernel):
+    heap = SoftwareHeap(kernel, size_bytes=1 << 20)
+
+    def body(ctx):
+        a = yield from ctx.malloc(4096)
+        b = yield from ctx.malloc(4096)
+        return (a, b)
+
+    a, b = _run_heap_task(kernel, heap, body)
+    assert abs(a - b) >= 4096
+
+
+def test_free_coalesces_adjacent_blocks(kernel):
+    heap = SoftwareHeap(kernel, size_bytes=1 << 20)
+
+    def body(ctx):
+        blocks = []
+        for _ in range(4):
+            blocks.append((yield from ctx.malloc(1000)))
+        for address in blocks:
+            yield from ctx.free(address)
+        return None
+
+    _run_heap_task(kernel, heap, body)
+    # Everything freed in order coalesces back to one region.
+    assert len(heap._free) == 1
+    assert heap.fragmentation == 0.0
+
+
+def test_fragmentation_metric_rises_with_holes(kernel):
+    heap = SoftwareHeap(kernel, size_bytes=1 << 20)
+
+    def body(ctx):
+        blocks = []
+        for _ in range(6):
+            blocks.append((yield from ctx.malloc(1000)))
+        # Free every other block: leaves holes.
+        for address in blocks[::2]:
+            yield from ctx.free(address)
+        return None
+
+    _run_heap_task(kernel, heap, body)
+    assert heap.fragmentation > 0.0
+
+
+def test_exhaustion_raises(kernel):
+    heap = SoftwareHeap(kernel, size_bytes=4096)
+
+    def body(ctx):
+        yield from ctx.malloc(10_000)
+
+    with pytest.raises(Exception):
+        _run_heap_task(kernel, heap, body)
+    assert heap.stats.failed_allocations == 1
+
+
+def test_double_free_rejected(kernel):
+    heap = SoftwareHeap(kernel, size_bytes=1 << 20)
+
+    def body(ctx):
+        address = yield from ctx.malloc(128)
+        yield from ctx.free(address)
+        yield from ctx.free(address)
+
+    with pytest.raises(Exception):
+        _run_heap_task(kernel, heap, body)
+
+
+def test_malloc_cost_includes_walk_and_size(kernel):
+    heap = SoftwareHeap(kernel, size_bytes=1 << 20)
+
+    def body(ctx):
+        yield from ctx.malloc(64 * 1024)
+        return None
+
+    _run_heap_task(kernel, heap, body)
+    expected_min = (calibration.SW_MALLOC_BASE_CYCLES
+                    + calibration.SW_MALLOC_WALK_CYCLES
+                    + 64 * calibration.SW_MALLOC_SIZE_CYCLES_PER_KB)
+    assert heap.stats.mm_cycles >= expected_min
+
+
+def test_zero_size_malloc_rejected(kernel):
+    heap = SoftwareHeap(kernel, size_bytes=1 << 20)
+
+    def body(ctx):
+        yield from ctx.malloc(0)
+
+    with pytest.raises(Exception):
+        _run_heap_task(kernel, heap, body)
+
+
+def test_bad_heap_size():
+    from repro.sim.engine import Engine
+    from repro.mpsoc.soc import MPSoC
+    from repro.rtos.kernel import Kernel
+    kernel = Kernel(MPSoC.base_system())
+    with pytest.raises(AllocationError):
+        SoftwareHeap(kernel, size_bytes=0)

@@ -1,0 +1,239 @@
+"""Tests for the deadlock-managed resource services (RTOS1-RTOS4)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.framework.builder import build_system
+from repro.rtos.resources import NotificationKind, make_resource_service
+
+
+def _system(config):
+    return build_system(config)
+
+
+# -- detection services (RTOS1/RTOS2) ---------------------------------------
+
+@pytest.mark.parametrize("config", ["RTOS1", "RTOS2"])
+def test_grant_and_release_flow(config):
+    system = _system(config)
+    kernel = system.kernel
+    outcomes = []
+
+    def body(ctx):
+        outcome = yield from ctx.request("IDCT")
+        outcomes.append(outcome)
+        yield from ctx.use_peripheral("IDCT", 100)
+        yield from ctx.release_resource("IDCT")
+
+    kernel.create_task(body, "p1", 1, "PE1")
+    kernel.run()
+    assert outcomes[0].granted
+    assert system.resource_service.holder_of("IDCT") is None
+    # Request with immediate grant = 2 detections; release = 1.
+    assert system.resource_service.stats.invocations == 3
+
+
+@pytest.mark.parametrize("config", ["RTOS1", "RTOS2"])
+def test_pending_request_waits_for_handoff(config):
+    system = _system(config)
+    kernel = system.kernel
+    log = []
+
+    def first(ctx):
+        yield from ctx.request("IDCT")
+        yield from ctx.use_peripheral("IDCT", 2000)
+        yield from ctx.release_resource("IDCT")
+
+    def second(ctx):
+        yield from ctx.compute(200)
+        outcome = yield from ctx.request("IDCT")
+        log.append(("outcome", outcome.pending))
+        yield from ctx.wait_grant("IDCT")
+        log.append(("granted", ctx.now))
+        yield from ctx.release_resource("IDCT")
+
+    kernel.create_task(first, "p1", 1, "PE1")
+    kernel.create_task(second, "p2", 2, "PE2")
+    kernel.run()
+    assert ("outcome", True) in log
+    granted_at = next(t for kind, t in log if kind == "granted")
+    assert granted_at >= 2000
+
+
+@pytest.mark.parametrize("config", ["RTOS1", "RTOS2"])
+def test_detection_fires_on_cycle(config):
+    system = _system(config)
+    kernel = system.kernel
+
+    def p1(ctx):
+        yield from ctx.request("IDCT")
+        yield from ctx.compute(500)
+        yield from ctx.request("WI")       # held by p2 -> pending
+
+    def p2(ctx):
+        yield from ctx.request("WI")
+        yield from ctx.compute(500)
+        yield from ctx.request("IDCT")     # closes the cycle
+
+    kernel.create_task(p1, "p1", 1, "PE1")
+    kernel.create_task(p2, "p2", 2, "PE2")
+    kernel.run()
+    stats = system.resource_service.stats
+    assert stats.deadlock_found_at is not None
+    assert system.resource_service.deadlock_event.is_set
+
+
+def test_detection_service_handoff_by_priority():
+    system = _system("RTOS2")
+    kernel = system.kernel
+    order = []
+
+    def holder(ctx):
+        yield from ctx.request("IDCT")
+        yield from ctx.compute(3000)
+        yield from ctx.release_resource("IDCT")
+
+    def make_waiter(name):
+        def body(ctx):
+            yield from ctx.compute(100)
+            yield from ctx.request("IDCT")
+            yield from ctx.wait_grant("IDCT")
+            order.append(name)
+            yield from ctx.release_resource("IDCT")
+        return body
+
+    kernel.create_task(holder, "p1", 1, "PE1")
+    kernel.create_task(make_waiter("p3"), "p3", 3, "PE3")
+    kernel.create_task(make_waiter("p2"), "p2", 2, "PE2")
+    kernel.run()
+    assert order == ["p2", "p3"]
+
+
+# -- avoidance services (RTOS3/RTOS4) -----------------------------------------
+
+@pytest.mark.parametrize("config", ["RTOS3", "RTOS4"])
+def test_avoidance_giveup_notification_resolves_rdl(config):
+    """The paper's R-dl triangle: p3 holds the IDCT and waits for the
+    WI; p1 holds the WI and then requests the IDCT — R-dl.  p1 is the
+    higher-priority requester, so the service asks p3 (the owner) to
+    give the IDCT up; p3 releases and the IDCT is handed to p1."""
+    system = _system(config)
+    kernel = system.kernel
+    notes = []
+    order = []
+
+    def owner(ctx):                      # p3, low priority
+        yield from ctx.request("IDCT")
+        yield from ctx.compute(300)
+        yield from ctx.request("WI")     # held by p1 -> pending
+        while True:
+            note = yield from ctx.wait_notification()
+            if note.kind is NotificationKind.GIVE_UP:
+                notes.append(note)
+                yield from ctx.release_resource(note.resource)
+                order.append("p3-gave-up")
+                break
+
+    def rival(ctx):                      # p1, high priority
+        yield from ctx.request("WI")
+        yield from ctx.compute(600)
+        outcome = yield from ctx.request("IDCT")   # triggers R-dl
+        if not outcome.granted:
+            yield from ctx.wait_grant("IDCT")
+        order.append("p1-got-idct")
+        yield from ctx.release_resource("IDCT")
+        yield from ctx.release_resource("WI")
+
+    kernel.create_task(owner, "p3", 3, "PE3")
+    kernel.create_task(rival, "p1", 1, "PE1")
+    kernel.run()
+    assert notes and notes[0].kind is NotificationKind.GIVE_UP
+    assert notes[0].resource == "IDCT"
+    assert order[0] == "p3-gave-up"
+    assert "p1-got-idct" in order
+    service = system.resource_service
+    assert service.core.rag.holder_of("IDCT") is None
+    assert service.core.stats.rdl_events >= 1
+
+
+@pytest.mark.parametrize("config", ["RTOS1", "RTOS2", "RTOS3", "RTOS4"])
+def test_withdraw_cancels_pending_request(config):
+    system = _system(config)
+    kernel = system.kernel
+    state = {}
+
+    def holder(ctx):
+        yield from ctx.request("IDCT")
+        yield from ctx.compute(3_000)
+        yield from ctx.release_resource("IDCT")
+
+    def impatient(ctx):
+        yield from ctx.compute(200)
+        outcome = yield from ctx.request("IDCT")
+        assert outcome.pending
+        yield from ctx.withdraw_request("IDCT")
+        state["withdrew_at"] = ctx.now
+        yield from ctx.compute(100)
+
+    kernel.create_task(holder, "p1", 1, "PE1")
+    kernel.create_task(impatient, "p2", 2, "PE2")
+    kernel.run()
+    assert kernel.finished()
+    service = system.resource_service
+    # The withdrawn request must not receive the handoff.
+    rag = getattr(service, "rag", None) or service.core.rag
+    assert rag.requests_of("p2") == ()
+    assert rag.is_available("IDCT")
+    assert kernel.trace.count("request_withdrawn") == 1
+    # No stale grant was ever delivered to the withdrawer.
+    assert "IDCT" not in kernel.tasks["p2"].held_resources
+
+
+def test_withdraw_is_idempotent():
+    system = _system("RTOS4")
+    kernel = system.kernel
+
+    def holder(ctx):
+        yield from ctx.request("IDCT")
+        yield from ctx.compute(2_000)
+        yield from ctx.release_resource("IDCT")
+
+    def withdrawer(ctx):
+        yield from ctx.compute(100)
+        yield from ctx.request("IDCT")
+        yield from ctx.withdraw_request("IDCT")
+        yield from ctx.withdraw_request("IDCT")   # no-op, no error
+
+    kernel.create_task(holder, "p1", 1, "PE1")
+    kernel.create_task(withdrawer, "p2", 2, "PE2")
+    kernel.run()
+    assert kernel.finished()
+
+
+def test_make_resource_service_rejects_unknown():
+    system = _system("RTOS5")
+    with pytest.raises(ConfigurationError):
+        make_resource_service(system.kernel, "RTOS9", ["p1"], ["q1"],
+                              {"p1": 1})
+
+
+def test_hardware_flag_set_correctly():
+    assert _system("RTOS2").resource_service.hardware
+    assert not _system("RTOS1").resource_service.hardware
+    assert _system("RTOS4").resource_service.hardware
+    assert not _system("RTOS3").resource_service.hardware
+
+
+def test_algorithm_cycles_tracked():
+    system = _system("RTOS4")
+    kernel = system.kernel
+
+    def body(ctx):
+        yield from ctx.request("DSP")
+        yield from ctx.release_resource("DSP")
+
+    kernel.create_task(body, "p1", 1, "PE1")
+    kernel.run()
+    stats = system.resource_service.stats
+    assert stats.invocations == 2
+    assert stats.mean_algorithm_cycles > 0

@@ -1,0 +1,220 @@
+"""Tests for software locks (PI), semaphores and spin-locks."""
+
+import pytest
+
+from repro import calibration
+from repro.errors import RTOSError
+from repro.rtos.sync import Semaphore, Spinlock
+
+
+def test_uncontended_lock_costs_latency(kernel, base_system):
+    times = {}
+
+    def body(ctx):
+        start = ctx.now
+        yield from ctx.lock("L")
+        times["latency"] = ctx.now - start
+        yield from ctx.unlock("L")
+
+    kernel.create_task(body, "t", 1, "PE1")
+    kernel.run()
+    assert times["latency"] >= calibration.SW_LOCK_LATENCY_CYCLES
+    stats = base_system.lock_manager.stats
+    assert stats.acquisitions == 1
+    assert stats.contended_acquisitions == 0
+    assert stats.mean_latency == calibration.SW_LOCK_LATENCY_CYCLES
+
+
+def test_contended_lock_blocks_and_hands_off(kernel, base_system):
+    order = []
+
+    def holder(ctx):
+        yield from ctx.lock("L")
+        yield from ctx.compute(5000)
+        yield from ctx.unlock("L")
+        order.append(("holder-unlocked", ctx.now))
+
+    def waiter(ctx):
+        yield from ctx.compute(100)
+        yield from ctx.lock("L")
+        order.append(("waiter-locked", ctx.now))
+        yield from ctx.unlock("L")
+
+    kernel.create_task(holder, "holder", 2, "PE1")
+    kernel.create_task(waiter, "waiter", 1, "PE2")
+    kernel.run()
+    assert order[0][0] == "holder-unlocked"
+    assert order[1][0] == "waiter-locked"
+    stats = base_system.lock_manager.stats
+    assert stats.contended_acquisitions == 1
+    assert stats.mean_delay > 0
+
+
+def test_priority_inheritance_boosts_holder(kernel, base_system):
+    observed = {}
+
+    def holder(ctx):
+        yield from ctx.lock("L")
+        yield from ctx.compute(4000)
+        observed["in_cs"] = ctx.task.priority
+        yield from ctx.unlock("L")
+        observed["after"] = ctx.task.priority
+
+    def contender(ctx):
+        yield from ctx.compute(200)
+        yield from ctx.lock("L")
+        yield from ctx.unlock("L")
+
+    kernel.create_task(holder, "holder", 5, "PE1")
+    kernel.create_task(contender, "contender", 1, "PE2")
+    kernel.run()
+    assert observed["in_cs"] == 1      # inherited
+    assert observed["after"] == 5      # restored
+
+
+def test_handoff_is_priority_ordered(kernel):
+    order = []
+
+    def holder(ctx):
+        yield from ctx.lock("L")
+        yield from ctx.compute(8000)
+        yield from ctx.unlock("L")
+
+    def make_waiter(name):
+        def body(ctx):
+            yield from ctx.compute(100)
+            yield from ctx.lock("L")
+            order.append(name)
+            yield from ctx.unlock("L")
+        return body
+
+    kernel.create_task(holder, "holder", 4, "PE1")
+    kernel.create_task(make_waiter("low"), "low", 3, "PE2")
+    kernel.create_task(make_waiter("high"), "high", 1, "PE3")
+    kernel.run()
+    assert order == ["high", "low"]
+
+
+def test_unlock_without_holding_is_error(kernel):
+    def body(ctx):
+        yield from ctx.unlock("L")
+
+    kernel.create_task(body, "t", 1, "PE1")
+    with pytest.raises(Exception):
+        kernel.run()
+
+
+def test_semaphore_signal_then_wait(kernel):
+    sem = Semaphore(kernel, "s", initial=1)
+    log = []
+
+    def body(ctx):
+        yield from sem.wait(ctx)
+        log.append("through")
+
+    kernel.create_task(body, "t", 1, "PE1")
+    kernel.run()
+    assert log == ["through"]
+    assert sem.count == 0
+
+
+def test_semaphore_blocks_until_signalled(kernel):
+    log = []
+    sem = Semaphore(kernel, "s")
+
+    def consumer(ctx):
+        yield from sem.wait(ctx)
+        log.append(("consumed", ctx.now))
+
+    def producer(ctx):
+        yield from ctx.compute(2000)
+        yield from sem.signal(ctx)
+
+    kernel.create_task(consumer, "consumer", 1, "PE1")
+    kernel.create_task(producer, "producer", 1, "PE2")
+    kernel.run()
+    assert log and log[0][1] >= 2000
+
+
+def test_semaphore_wakes_highest_priority_first(kernel):
+    sem = Semaphore(kernel, "s")
+    order = []
+
+    def make_waiter(name):
+        def body(ctx):
+            yield from sem.wait(ctx)
+            order.append(name)
+        return body
+
+    def producer(ctx):
+        yield from ctx.compute(500)
+        yield from sem.signal(ctx)
+        yield from sem.signal(ctx)
+
+    kernel.create_task(make_waiter("low"), "low", 5, "PE1")
+    kernel.create_task(make_waiter("high"), "high", 1, "PE2")
+    kernel.create_task(producer, "producer", 2, "PE3")
+    kernel.run()
+    assert order == ["high", "low"]
+
+
+def test_semaphore_negative_initial_rejected(kernel):
+    with pytest.raises(RTOSError):
+        Semaphore(kernel, "s", initial=-1)
+
+
+def test_spinlock_mutual_exclusion(kernel):
+    spin = Spinlock(kernel, "sl")
+    overlaps = []
+    holding = {"who": None}
+
+    def make(name):
+        def body(ctx):
+            yield from ctx.compute(10)
+            yield from spin.acquire(ctx)
+            if holding["who"] is not None:
+                overlaps.append((holding["who"], name))
+            holding["who"] = name
+            yield from ctx.compute(300)
+            holding["who"] = None
+            yield from spin.release(ctx)
+        return body
+
+    kernel.create_task(make("a"), "a", 1, "PE1")
+    kernel.create_task(make("b"), "b", 1, "PE2")
+    kernel.run()
+    assert overlaps == []
+    assert spin.spin_polls >= 2
+
+
+def test_spinlock_release_by_non_holder_is_error(kernel):
+    spin = Spinlock(kernel, "sl")
+
+    def body(ctx):
+        yield from spin.release(ctx)
+
+    kernel.create_task(body, "t", 1, "PE1")
+    with pytest.raises(Exception):
+        kernel.run()
+
+
+def test_short_cs_mutual_exclusion(kernel, base_system):
+    manager = base_system.lock_manager
+    trace = []
+
+    def make(name):
+        def body(ctx):
+            yield from manager.short_lock(ctx)
+            trace.append(("enter", name, ctx.now))
+            yield from ctx.compute(50)
+            trace.append(("leave", name, ctx.now))
+            yield from manager.short_unlock(ctx)
+        return body
+
+    kernel.create_task(make("a"), "a", 1, "PE1")
+    kernel.create_task(make("b"), "b", 1, "PE2")
+    kernel.run()
+    # Critical sections must not interleave.
+    sections = [entry for entry in trace]
+    assert sections[0][0] == "enter" and sections[1][0] == "leave"
+    assert sections[1][1] == sections[0][1]

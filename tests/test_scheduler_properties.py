@@ -1,0 +1,123 @@
+"""Property-based tests on the scheduler and the software heap.
+
+Random task sets and allocation scripts; the invariants checked are the
+ones an RTOS certifies: one running task per PE, priority-consistent
+dispatching, every task eventually finishes, and the heap's free list
+exactly covers the unallocated bytes at all times.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.framework.builder import build_system
+from repro.rtos.task import TaskState
+
+
+@st.composite
+def task_sets(draw):
+    count = draw(st.integers(1, 6))
+    tasks = []
+    for index in range(count):
+        tasks.append({
+            "name": f"t{index}",
+            "priority": draw(st.integers(1, 5)),
+            "pe": f"PE{draw(st.integers(1, 2))}",
+            "start": draw(st.integers(0, 2_000)),
+            "segments": draw(st.lists(
+                st.tuples(st.sampled_from(["compute", "sleep"]),
+                          st.integers(50, 1_500)),
+                min_size=1, max_size=4)),
+        })
+    return tasks
+
+
+@given(task_sets())
+@settings(max_examples=60, deadline=None)
+def test_scheduler_invariants_hold_for_random_task_sets(spec):
+    system = build_system("RTOS5")
+    kernel = system.kernel
+    violations = []
+
+    def make(segments):
+        def body(ctx):
+            for kind, cycles in segments:
+                if kind == "compute":
+                    yield from ctx.compute(cycles)
+                else:
+                    yield from ctx.sleep(cycles)
+        return body
+
+    for item in spec:
+        kernel.create_task(make(item["segments"]), item["name"],
+                           item["priority"], item["pe"],
+                           start_time=item["start"])
+
+    # Audit the dispatch decisions: whenever a task is dispatched, no
+    # strictly higher-priority task may be sitting READY on that PE.
+    for scheduler in kernel.schedulers.values():
+        original = scheduler.dispatch
+
+        def make_audited(sched, orig):
+            def audited_dispatch():
+                task = orig()
+                if task is not None:
+                    better = [ready for ready in sched.ready
+                              if ready.priority < task.priority]
+                    if better:
+                        violations.append((task.name,
+                                           [b.name for b in better]))
+                return task
+            return audited_dispatch
+        scheduler.dispatch = make_audited(scheduler, original)
+
+    kernel.run()
+    assert violations == []
+    # Everyone finished, and nobody is left on a CPU or a queue.
+    for task in kernel.tasks.values():
+        assert task.state is TaskState.FINISHED
+    for scheduler in kernel.schedulers.values():
+        assert scheduler.running is None
+        assert scheduler.ready == []
+
+
+@st.composite
+def heap_scripts(draw):
+    length = draw(st.integers(1, 25))
+    return [(draw(st.integers(16, 8_000)), draw(st.booleans()))
+            for _ in range(length)]
+
+
+@given(heap_scripts())
+@settings(max_examples=60, deadline=None)
+def test_heap_books_always_balance(script):
+    system = build_system("RTOS5")
+    kernel = system.kernel
+    heap = system.heap
+    total = heap.size_bytes
+
+    def body(ctx):
+        live = []
+        for size, prefer_free in script:
+            if prefer_free and live:
+                yield from ctx.free(live.pop(0))
+            else:
+                try:
+                    live.append((yield from ctx.malloc(size)))
+                except Exception:
+                    pass
+            # Invariant: allocated + free covers the region exactly.
+            assert heap.in_use_bytes + heap.free_bytes == total
+            # Free-list entries are disjoint and sorted.
+            previous_end = None
+            for address, block in heap._free:
+                if previous_end is not None:
+                    assert address > previous_end
+                previous_end = address + block
+        for address in live:
+            yield from ctx.free(address)
+
+    kernel.create_task(body, "heap-driver", 1, "PE1")
+    kernel.run()
+    assert kernel.finished("heap-driver")
+    assert heap.in_use_bytes == 0
+    assert len(heap._free) == 1

@@ -1,0 +1,214 @@
+"""Tests for the discrete-event engine, events and processes."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine
+
+
+def test_empty_engine_runs_to_time_zero():
+    engine = Engine()
+    assert engine.run() == 0
+
+
+def test_schedule_orders_by_time():
+    engine = Engine()
+    seen = []
+    engine.schedule(5, seen.append, "b")
+    engine.schedule(1, seen.append, "a")
+    engine.schedule(9, seen.append, "c")
+    engine.run()
+    assert seen == ["a", "b", "c"]
+    assert engine.now == 9
+
+
+def test_same_time_events_run_fifo():
+    engine = Engine()
+    seen = []
+    for tag in ("first", "second", "third"):
+        engine.schedule(3, seen.append, tag)
+    engine.run()
+    assert seen == ["first", "second", "third"]
+
+
+def test_negative_delay_rejected():
+    engine = Engine()
+    with pytest.raises(SimulationError):
+        engine.schedule(-1, lambda: None)
+
+
+def test_run_until_bounds_time():
+    engine = Engine()
+    seen = []
+    engine.schedule(10, seen.append, "late")
+    final = engine.run(until=5)
+    assert final == 5
+    assert seen == []
+    engine.run()
+    assert seen == ["late"]
+
+
+def test_process_delays_advance_time():
+    engine = Engine()
+
+    def proc():
+        yield 10
+        yield 5
+        return engine.now
+
+    handle = engine.spawn(proc(), name="delays")
+    engine.run()
+    assert handle.result == 15
+
+
+def test_process_yield_none_resumes_same_time():
+    engine = Engine()
+    times = []
+
+    def proc():
+        times.append(engine.now)
+        yield None
+        times.append(engine.now)
+
+    engine.spawn(proc())
+    engine.run()
+    assert times == [0, 0]
+
+
+def test_event_wakes_waiter_with_payload():
+    engine = Engine()
+    results = []
+
+    def waiter(event):
+        payload = yield event
+        results.append((engine.now, payload))
+
+    event = engine.event("ping")
+    engine.spawn(waiter(event))
+    engine.schedule(7, event.set, "hello")
+    engine.run()
+    assert results == [(7, "hello")]
+
+
+def test_event_set_twice_is_error():
+    engine = Engine()
+    event = engine.event()
+    event.set()
+    with pytest.raises(SimulationError):
+        event.set()
+
+
+def test_already_set_event_resumes_immediately():
+    engine = Engine()
+    event = engine.event()
+    event.set("early")
+
+    def waiter():
+        payload = yield event
+        return payload
+
+    handle = engine.spawn(waiter())
+    engine.run()
+    assert handle.result == "early"
+
+
+def test_event_wakes_all_waiters():
+    engine = Engine()
+    woken = []
+
+    def waiter(name, event):
+        yield event
+        woken.append(name)
+
+    event = engine.event()
+    for name in ("a", "b", "c"):
+        engine.spawn(waiter(name, event))
+    engine.schedule(1, event.set, None)
+    engine.run()
+    assert sorted(woken) == ["a", "b", "c"]
+
+
+def test_process_join():
+    engine = Engine()
+
+    def child():
+        yield 20
+        return "child-result"
+
+    def parent():
+        handle = engine.spawn(child(), name="child")
+        result = yield handle
+        return (engine.now, result)
+
+    handle = engine.spawn(parent(), name="parent")
+    engine.run()
+    assert handle.result == (20, "child-result")
+
+
+def test_process_failure_surfaces_at_run():
+    engine = Engine()
+
+    def bad():
+        yield 1
+        raise ValueError("boom")
+
+    engine.spawn(bad(), name="bad")
+    with pytest.raises(SimulationError):
+        engine.run()
+
+
+def test_result_of_running_process_is_error():
+    engine = Engine()
+
+    def proc():
+        yield 1
+
+    handle = engine.spawn(proc())
+    with pytest.raises(SimulationError):
+        _ = handle.result
+
+
+def test_unsupported_yield_command_fails():
+    engine = Engine()
+
+    def proc():
+        yield "what is this"
+
+    engine.spawn(proc(), name="weird")
+    with pytest.raises(SimulationError):
+        engine.run()
+
+
+def test_negative_yield_delay_fails():
+    engine = Engine()
+
+    def proc():
+        yield -5
+
+    engine.spawn(proc(), name="negative")
+    with pytest.raises(SimulationError):
+        engine.run()
+
+
+def test_max_events_guard_catches_livelock():
+    engine = Engine()
+
+    def spinner():
+        while True:
+            yield 1
+
+    engine.spawn(spinner(), name="spin")
+    with pytest.raises(SimulationError):
+        engine.run(max_events=100)
+
+
+def test_run_until_complete_raises_on_stuck_process():
+    engine = Engine()
+    never = engine.event()
+
+    def stuck():
+        yield never
+
+    handle = engine.spawn(stuck(), name="stuck")
+    with pytest.raises(SimulationError):
+        engine.run_until_complete([handle])

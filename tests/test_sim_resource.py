@@ -1,0 +1,88 @@
+"""Tests for SimResource arbitration (FIFO and priority)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine
+from repro.sim.process import FifoArbiter, PriorityArbiter, SimResource
+
+
+def _holder(engine, resource, name, hold, log, priority=0):
+    def proc():
+        yield from resource.acquire(name, priority=priority)
+        log.append(("acquired", name, engine.now))
+        yield hold
+        resource.release(name)
+        log.append(("released", name, engine.now))
+    return engine.spawn(proc(), name=name)
+
+
+def test_uncontended_acquire_is_immediate():
+    engine = Engine()
+    resource = SimResource(engine, "r")
+    log = []
+    _holder(engine, resource, "a", 5, log)
+    engine.run()
+    assert log == [("acquired", "a", 0), ("released", "a", 5)]
+
+
+def test_fifo_ordering():
+    engine = Engine()
+    resource = SimResource(engine, "r", arbiter=FifoArbiter())
+    log = []
+    for name in ("a", "b", "c"):
+        _holder(engine, resource, name, 10, log)
+    engine.run()
+    acquired = [entry[1] for entry in log if entry[0] == "acquired"]
+    assert acquired == ["a", "b", "c"]
+    assert engine.now == 30
+
+
+def test_priority_arbitration():
+    engine = Engine()
+    resource = SimResource(engine, "r", arbiter=PriorityArbiter())
+    log = []
+    # "a" grabs the resource; "low" then "high" queue while it holds.
+    _holder(engine, resource, "a", 10, log)
+    _holder(engine, resource, "low", 10, log, priority=5)
+    _holder(engine, resource, "high", 10, log, priority=1)
+    engine.run()
+    acquired = [entry[1] for entry in log if entry[0] == "acquired"]
+    assert acquired == ["a", "high", "low"]
+
+
+def test_capacity_two_admits_two_holders():
+    engine = Engine()
+    resource = SimResource(engine, "r", capacity=2)
+    log = []
+    for name in ("a", "b", "c"):
+        _holder(engine, resource, name, 10, log)
+    engine.run()
+    first_two = [entry for entry in log if entry[2] == 0]
+    assert len(first_two) == 2
+    assert engine.now == 20
+
+
+def test_release_without_holding_is_error():
+    engine = Engine()
+    resource = SimResource(engine, "r")
+    with pytest.raises(SimulationError):
+        resource.release("ghost")
+
+
+def test_zero_capacity_rejected():
+    engine = Engine()
+    with pytest.raises(SimulationError):
+        SimResource(engine, "r", capacity=0)
+
+
+def test_queue_length_visible():
+    engine = Engine()
+    resource = SimResource(engine, "r")
+    log = []
+    _holder(engine, resource, "a", 50, log)
+    _holder(engine, resource, "b", 1, log)
+    _holder(engine, resource, "c", 1, log)
+    engine.run(until=10)
+    assert resource.queue_length == 2
+    assert resource.holders == ("a",)

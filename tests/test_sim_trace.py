@@ -1,0 +1,82 @@
+"""Tests for trace recording, querying and rendering."""
+
+import pytest
+
+from repro.sim.trace import Trace
+
+
+def _sample_trace():
+    trace = Trace()
+    trace.record(0, "t1", "run_start", pe="PE1")
+    trace.record(10, "t1", "run_end", pe="PE1")
+    trace.record(10, "t2", "run_start", pe="PE1")
+    trace.record(12, "t1", "block_start")
+    trace.record(20, "t1", "block_end")
+    trace.record(25, "t2", "run_end", pe="PE1")
+    return trace
+
+
+def test_record_and_len():
+    trace = _sample_trace()
+    assert len(trace) == 6
+    assert trace[0].actor == "t1"
+
+
+def test_filter_by_actor_and_kind():
+    trace = _sample_trace()
+    assert len(trace.filter(actor="t1")) == 4
+    assert len(trace.filter(kind="run_start")) == 2
+    assert len(trace.filter(actor="t2", kind="run_end")) == 1
+    only_late = trace.filter(predicate=lambda rec: rec.time > 10)
+    assert all(rec.time > 10 for rec in only_late)
+
+
+def test_first_last_count():
+    trace = _sample_trace()
+    assert trace.first("run_start").time == 0
+    assert trace.last("run_end").time == 25
+    assert trace.count("run_start") == 2
+    assert trace.first("nonexistent") is None
+    assert trace.last("nonexistent") is None
+
+
+def test_actors_in_first_seen_order():
+    trace = _sample_trace()
+    assert trace.actors() == ["t1", "t2"]
+
+
+def test_span():
+    trace = _sample_trace()
+    assert trace.span("run_start", "run_end") == 25
+
+
+def test_span_missing_kind_raises():
+    trace = Trace()
+    trace.record(0, "x", "start")
+    with pytest.raises(ValueError):
+        trace.span("start", "end")
+
+
+def test_render_filters_kinds():
+    trace = _sample_trace()
+    text = trace.render(kinds=["run_start"])
+    assert text.count("run_start") == 2
+    assert "block_start" not in text
+
+
+def test_describe_includes_details():
+    trace = _sample_trace()
+    assert "pe=PE1" in trace[0].describe()
+
+
+def test_gantt_renders_rows_for_actors():
+    trace = _sample_trace()
+    chart = trace.gantt()
+    lines = chart.splitlines()
+    assert lines[0].startswith("t1")
+    assert "#" in lines[0]
+    assert lines[1].startswith("t2")
+
+
+def test_gantt_empty_trace():
+    assert Trace().gantt() == "(empty trace)"

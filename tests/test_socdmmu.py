@@ -1,0 +1,197 @@
+"""Tests for the SoCDMMU (allocator datapath + command front-end)."""
+
+import pytest
+
+from repro import calibration
+from repro.errors import AllocationError, ConfigurationError, GenerationError
+from repro.framework.builder import build_system
+from repro.socdmmu.allocator import BlockAllocator
+from repro.socdmmu.generator import generate_socdmmu
+
+
+# -- BlockAllocator ------------------------------------------------------------
+
+def test_allocate_and_translate():
+    allocator = BlockAllocator(num_blocks=8, block_bytes=1024)
+    virtuals = allocator.allocate("PE1", 3)
+    assert len(virtuals) == 3
+    assert allocator.free_blocks == 5
+    for virtual in virtuals:
+        physical = allocator.translate("PE1", virtual)
+        assert allocator.owner_of(physical) == "PE1"
+
+
+def test_allocation_is_all_or_nothing():
+    allocator = BlockAllocator(num_blocks=4, block_bytes=1024)
+    allocator.allocate("PE1", 3)
+    with pytest.raises(AllocationError):
+        allocator.allocate("PE2", 2)
+    assert allocator.free_blocks == 1     # nothing leaked
+
+
+def test_deallocate_returns_blocks():
+    allocator = BlockAllocator(num_blocks=4, block_bytes=1024)
+    virtuals = allocator.allocate("PE1", 2)
+    allocator.deallocate("PE1", virtuals[0])
+    assert allocator.free_blocks == 3
+    with pytest.raises(AllocationError):
+        allocator.translate("PE1", virtuals[0])
+
+
+def test_deallocate_all():
+    allocator = BlockAllocator(num_blocks=8, block_bytes=1024)
+    allocator.allocate("PE1", 3)
+    allocator.allocate("PE2", 2)
+    assert allocator.deallocate_all("PE1") == 3
+    assert allocator.free_blocks == 6
+    assert allocator.holdings("PE1") == []
+    assert len(allocator.holdings("PE2")) == 2
+
+
+def test_blocks_for_rounds_up():
+    allocator = BlockAllocator(num_blocks=8, block_bytes=1024)
+    assert allocator.blocks_for(1) == 1
+    assert allocator.blocks_for(1024) == 1
+    assert allocator.blocks_for(1025) == 2
+    with pytest.raises(AllocationError):
+        allocator.blocks_for(0)
+
+
+def test_allocator_validation():
+    with pytest.raises(ConfigurationError):
+        BlockAllocator(num_blocks=0)
+    with pytest.raises(AllocationError):
+        BlockAllocator(4, 1024).allocate("PE1", 0)
+    with pytest.raises(AllocationError):
+        BlockAllocator(4, 1024).owner_of(99)
+
+
+# -- SoCDMMU front-end -------------------------------------------------------------
+
+def _run_task(system, body):
+    result = {}
+
+    def task(ctx):
+        result["value"] = yield from body(ctx)
+
+    system.kernel.create_task(task, "bench", 1, "PE1")
+    system.kernel.run()
+    return result.get("value")
+
+
+def test_dmmu_malloc_free_round_trip():
+    system = build_system("RTOS7")
+
+    def body(ctx):
+        handle = yield from ctx.malloc(100 * 1024)
+        yield from ctx.free(handle)
+        return handle
+
+    handle = _run_task(system, body)
+    assert handle is not None
+    heap = system.heap
+    assert heap.in_use_bytes == 0
+    assert heap.stats.malloc_calls == 1
+    assert heap.stats.free_calls == 1
+
+
+def test_dmmu_cost_is_deterministic_and_small():
+    system = build_system("RTOS7")
+
+    def body(ctx):
+        t0 = ctx.now
+        a = yield from ctx.malloc(64 * 1024)
+        first = ctx.now - t0
+        t1 = ctx.now
+        b = yield from ctx.malloc(512 * 1024)     # 8x bigger
+        second = ctx.now - t1
+        yield from ctx.free(a)
+        yield from ctx.free(b)
+        return (first, second)
+
+    first, second = _run_task(system, body)
+    # Deterministic: cost independent of request size and heap state.
+    assert first == second
+    assert first < 100
+
+
+def test_dmmu_cost_beats_software_heap():
+    hw = build_system("RTOS7")
+    sw = build_system("RTOS5")
+
+    def body(ctx):
+        handle = yield from ctx.malloc(128 * 1024)
+        yield from ctx.free(handle)
+        return None
+
+    _run_task(hw, body)
+    _run_task(sw, body)
+    assert hw.heap.stats.mm_cycles < sw.heap.stats.mm_cycles / 5
+
+
+def test_dmmu_free_of_unknown_handle_rejected():
+    system = build_system("RTOS7")
+
+    def body(ctx):
+        yield from ctx.free(0xBAD)
+
+    with pytest.raises(Exception):
+        _run_task(system, body)
+
+
+def test_dmmu_free_by_wrong_owner_rejected():
+    system = build_system("RTOS7")
+    kernel = system.kernel
+    handles = []
+
+    def owner(ctx):
+        handles.append((yield from ctx.malloc(1024)))
+
+    def thief(ctx):
+        yield from ctx.sleep(500)
+        yield from ctx.free(handles[0])
+
+    kernel.create_task(owner, "owner", 1, "PE1")
+    kernel.create_task(thief, "thief", 1, "PE2")
+    with pytest.raises(Exception):
+        kernel.run()
+
+
+def test_dmmu_exhaustion():
+    system = build_system("RTOS7")
+    blocks = system.heap.allocator.num_blocks
+    size = system.heap.allocator.block_bytes
+
+    def body(ctx):
+        yield from ctx.malloc(blocks * size)      # everything
+        yield from ctx.malloc(1)                  # one more block
+
+    with pytest.raises(Exception):
+        _run_task(system, body)
+    assert system.heap.stats.failed_allocations == 1
+
+
+# -- the DX-Gt generator ---------------------------------------------------------
+
+def test_generator_emits_configured_verilog():
+    config = generate_socdmmu(num_blocks=128, block_bytes=32 * 1024,
+                              num_pes=4)
+    assert config.managed_bytes == 128 * 32 * 1024
+    assert "N_BLOCKS   = 128" in config.verilog
+    assert config.gates > 0
+
+
+def test_generator_crossbar_adds_area():
+    plain = generate_socdmmu(num_pes=4, with_crossbar=False)
+    xbar = generate_socdmmu(num_pes=4, with_crossbar=True)
+    assert xbar.gates > plain.gates
+    assert "crossbar" in xbar.verilog
+
+
+def test_generator_validation():
+    with pytest.raises(GenerationError):
+        generate_socdmmu(num_blocks=0)
+    with pytest.raises(GenerationError):
+        generate_socdmmu(block_bytes=3000)    # not a power of two
+    with pytest.raises(GenerationError):
+        generate_socdmmu(num_pes=0)

@@ -1,0 +1,83 @@
+"""Tests for the Table 1/2 synthesis models."""
+
+import pytest
+
+from repro import calibration
+from repro.deadlock.synthesis import (
+    DAU_SYNTHESIS,
+    DDU_PUBLISHED,
+    DDU_SYNTHESIS_TABLE,
+    dau_synthesis,
+    ddu_synthesis,
+    step_bound,
+    worst_case_iterations,
+)
+from repro.errors import ConfigurationError
+
+
+def test_published_points_reproduced_exactly():
+    for (p, r), (lines, area) in DDU_PUBLISHED.items():
+        estimate = ddu_synthesis(p, r)
+        assert estimate.lines_of_verilog == lines
+        assert estimate.area_nand2 == area
+        assert estimate.published
+
+
+def test_table_1_worst_iterations():
+    expected = {(2, 3): 2, (5, 5): 6, (7, 7): 10, (10, 10): 16,
+                (50, 50): 96}
+    for (p, r), worst in expected.items():
+        assert ddu_synthesis(p, r).worst_iterations == worst
+
+
+def test_step_bound_is_one_more_than_table_iterations():
+    # The tech-report bound 2*min-3 counts the final check pass too.
+    for (p, r) in ((5, 5), (7, 7), (10, 10), (50, 50)):
+        assert step_bound(p, r) == worst_case_iterations(p, r) + 1
+
+
+def test_interpolated_sizes_are_monotone():
+    small = ddu_synthesis(4, 4)
+    large = ddu_synthesis(20, 20)
+    assert not small.published and not large.published
+    assert large.area_nand2 > small.area_nand2
+    assert large.lines_of_verilog > small.lines_of_verilog
+
+
+def test_model_residuals_are_small():
+    # The cell-census fit stays within ~60 gates of every anchor.
+    for row in DDU_SYNTHESIS_TABLE:
+        assert abs(row.model_residual) < 60
+
+
+def test_degenerate_sizes():
+    assert worst_case_iterations(1, 5) == 1
+    with pytest.raises(ConfigurationError):
+        worst_case_iterations(0, 5)
+    with pytest.raises(ConfigurationError):
+        ddu_synthesis(0, 3)
+
+
+def test_dau_synthesis_matches_table_2():
+    synthesis = dau_synthesis()
+    assert synthesis.ddu_lines == 203
+    assert synthesis.ddu_area == 364
+    assert synthesis.other_lines == 344
+    assert synthesis.other_area == 1472
+    assert synthesis.total_lines == 547
+    assert synthesis.total_area == 1836
+    assert synthesis.worst_avoidance_steps == 38
+    assert synthesis.worst_detection_iterations == 6
+
+
+def test_dau_area_fraction_is_about_005_percent():
+    fraction = DAU_SYNTHESIS.area_fraction_of_mpsoc
+    assert 0.00003 < fraction < 0.00006      # ~.005% as a fraction
+    assert DAU_SYNTHESIS.mpsoc_gates == calibration.MPSOC_TOTAL_GATES
+
+
+def test_dau_scales_with_census():
+    small = dau_synthesis(3, 3)
+    large = dau_synthesis(10, 10)
+    assert large.total_area > small.total_area
+    assert large.worst_avoidance_steps > small.worst_avoidance_steps

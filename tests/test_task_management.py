@@ -1,0 +1,152 @@
+"""Tests for task suspension, resumption and priority changes."""
+
+import pytest
+
+from repro.errors import RTOSError
+from repro.rtos.task import TaskState
+
+
+def test_suspend_ready_task(kernel):
+    progress = []
+
+    def busy(ctx):
+        yield from ctx.compute(2000)
+        progress.append("busy-done")
+
+    def victim(ctx):
+        yield from ctx.compute(100)
+        progress.append("victim-done")
+
+    kernel.create_task(busy, "busy", 1, "PE1")
+    victim_task = kernel.create_task(victim, "victim", 2, "PE1")
+    # Let the system start; victim sits READY behind busy.
+    kernel.run(until=500)
+    assert victim_task.state is TaskState.READY
+    kernel.suspend_task("victim")
+    assert victim_task.state is TaskState.SUSPENDED
+    kernel.run(until=10_000)
+    assert progress == ["busy-done"]       # victim never ran
+    kernel.resume_task("victim")
+    kernel.run()
+    assert "victim-done" in progress
+
+
+def test_suspend_running_task_parks_at_next_point(kernel):
+    marks = []
+
+    def runner(ctx):
+        yield from ctx.compute(5000)
+        marks.append(ctx.now)
+
+    task = kernel.create_task(runner, "runner", 1, "PE1")
+    kernel.run(until=1000)
+    assert task.state is TaskState.RUNNING
+    kernel.suspend_task("runner")
+    kernel.run(until=20_000)
+    assert task.state is TaskState.SUSPENDED
+    assert marks == []
+    kernel.resume_task("runner")
+    kernel.run()
+    assert marks and task.state is TaskState.FINISHED
+
+
+def test_suspend_blocked_task_defers_past_wakeup(kernel):
+    marks = []
+
+    def sleeper(ctx):
+        yield from ctx.sleep(1000)
+        marks.append(("woke", ctx.now))
+
+    task = kernel.create_task(sleeper, "sleeper", 1, "PE1")
+    kernel.run(until=500)
+    assert task.state is TaskState.BLOCKED
+    kernel.suspend_task("sleeper")
+    kernel.run(until=5000)
+    # The timer fired at t=1000, but the task parked instead of running.
+    assert task.state is TaskState.SUSPENDED
+    assert marks == []
+    kernel.resume_task("sleeper")
+    kernel.run()
+    # The task finally ran, strictly after its timer fired at t=1180.
+    assert marks and marks[0][1] > 1180
+    assert task.state is TaskState.FINISHED
+
+
+def test_resume_cancels_pending_suspension(kernel):
+    done = []
+
+    def runner(ctx):
+        yield from ctx.compute(3000)
+        done.append(ctx.now)
+
+    kernel.create_task(runner, "runner", 1, "PE1")
+    kernel.run(until=500)
+    kernel.suspend_task("runner")
+    kernel.resume_task("runner")          # cancel before the next point
+    kernel.run()
+    assert done                            # ran to completion
+
+
+def test_resume_of_active_task_is_noop(kernel):
+    kernel.create_task(lambda ctx: ctx.compute(100), "t", 1, "PE1")
+    kernel.run(until=50)
+    kernel.resume_task("t")
+    kernel.run()
+    assert kernel.finished("t")
+
+
+def test_unknown_task_rejected(kernel):
+    with pytest.raises(RTOSError):
+        kernel.suspend_task("ghost")
+    with pytest.raises(RTOSError):
+        kernel.resume_task("ghost")
+    with pytest.raises(RTOSError):
+        kernel.set_task_priority("ghost", 1)
+
+
+def test_priority_change_triggers_preemption(kernel):
+    order = []
+
+    def make(name, cycles):
+        def body(ctx):
+            yield from ctx.compute(cycles)
+            order.append(name)
+        return body
+
+    kernel.create_task(make("a", 4000), "a", 2, "PE1")
+    b = kernel.create_task(make("b", 400), "b", 5, "PE1")
+    kernel.run(until=600)
+    assert b.state is TaskState.READY
+    # Promote b above the running task: it should preempt and finish first.
+    kernel.set_task_priority("b", 1)
+    kernel.run()
+    assert order[0] == "b"
+
+
+def test_priority_change_rejected_while_boosted(kernel, base_system):
+    observed = {}
+
+    def holder(ctx):
+        yield from ctx.lock("L")
+        yield from ctx.compute(4000)
+        try:
+            kernel.set_task_priority("holder", 9)
+        except RTOSError:
+            observed["rejected"] = True
+        yield from ctx.unlock("L")
+
+    def contender(ctx):
+        yield from ctx.compute(200)
+        yield from ctx.lock("L")
+        yield from ctx.unlock("L")
+
+    kernel.create_task(holder, "holder", 5, "PE1")
+    kernel.create_task(contender, "contender", 1, "PE2")
+    kernel.run()
+    assert observed.get("rejected")
+
+
+def test_negative_priority_rejected(kernel):
+    kernel.create_task(lambda ctx: ctx.compute(10), "t", 1, "PE1")
+    with pytest.raises(RTOSError):
+        kernel.set_task_priority("t", -1)

@@ -1,0 +1,85 @@
+"""Tests for the watchdog / deadline monitor."""
+
+import pytest
+
+from repro.errors import RTOSError
+from repro.rtos.watchdog import Watchdog
+
+
+def test_timeout_fires_and_records(kernel):
+    watchdog = Watchdog(kernel)
+    fired = []
+    watchdog.arm("ctl-loop", 1000,
+                 on_timeout=lambda t: fired.append(t))
+    kernel.create_task(lambda ctx: ctx.compute(5000), "busy", 1, "PE1")
+    kernel.run()
+    assert watchdog.miss_count == 1
+    assert fired and fired[0].name == "ctl-loop"
+    assert fired[0].fired_at == 1000
+    assert kernel.trace.count("deadline_missed") == 1
+
+
+def test_disarm_before_deadline_prevents_timeout(kernel):
+    watchdog = Watchdog(kernel)
+    watch_id = watchdog.arm("op", 1000)
+
+    def body(ctx):
+        yield from ctx.compute(500)
+        assert watchdog.disarm(watch_id) is True
+
+    kernel.create_task(body, "t", 1, "PE1")
+    kernel.run()
+    assert watchdog.miss_count == 0
+
+
+def test_kick_extends_the_deadline(kernel):
+    watchdog = Watchdog(kernel)
+    watch_id = watchdog.arm("loop", 1000)
+
+    def body(ctx):
+        for _ in range(4):
+            yield from ctx.compute(800)
+            watchdog.kick(watch_id)     # always inside the window
+
+    kernel.create_task(body, "t", 1, "PE1")
+    kernel.run(until=3600)
+    assert watchdog.miss_count == 0
+    kernel.run()                         # the final window expires
+    assert watchdog.miss_count == 1
+
+
+def test_missed_then_kick_rejected(kernel):
+    watchdog = Watchdog(kernel)
+    watch_id = watchdog.arm("late", 100)
+    kernel.create_task(lambda ctx: ctx.compute(1000), "t", 1, "PE1")
+    kernel.run()
+    assert watchdog.miss_count == 1
+    with pytest.raises(RTOSError):
+        watchdog.kick(watch_id)
+
+
+def test_disarm_after_miss_returns_false(kernel):
+    watchdog = Watchdog(kernel)
+    watch_id = watchdog.arm("late", 100)
+    kernel.create_task(lambda ctx: ctx.compute(500), "t", 1, "PE1")
+    kernel.run()
+    assert watchdog.disarm(watch_id) is False
+
+
+def test_validation(kernel):
+    watchdog = Watchdog(kernel)
+    with pytest.raises(RTOSError):
+        watchdog.arm("x", 0)
+    with pytest.raises(RTOSError):
+        watchdog.kick(999)
+    assert not watchdog.is_active(999)
+
+
+def test_trace_csv_export(kernel, base_system):
+    kernel.create_task(lambda ctx: ctx.compute(100), "t", 1, "PE1")
+    kernel.run()
+    csv = base_system.soc.trace.to_csv(kinds=["run_start", "finish"])
+    lines = csv.splitlines()
+    assert lines[0].startswith("time,actor,kind")
+    assert any(",t,run_start" in line for line in lines)
+    assert any(",t,finish" in line for line in lines)
