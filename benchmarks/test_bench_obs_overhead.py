@@ -1,0 +1,86 @@
+"""Benchmark guard: disabled instrumentation costs under 5% of a run.
+
+There is no uninstrumented build to compare against, so the guard is an
+extrapolation that over-counts on purpose:
+
+* ``N`` — how many instrumentation *events* an enabled Table 5 run
+  produces (metric updates plus span begin/end pairs).  Every one of
+  them sits behind an ``if obs.enabled:`` branch, so the disabled run
+  executes at most ``N`` guard evaluations on those sites.
+* ``c`` — the measured wall-clock cost of one disabled guard
+  (attribute load + falsy branch), timed over a large loop.
+
+The disabled-path overhead of the whole observability layer is then at
+most ``N * c``, which must stay below 5% of the disabled run's wall
+time.  A regression that puts work outside the guard (or makes the
+guard itself expensive) breaks this long before it reaches 5%.
+"""
+
+import time
+
+from benchmarks.conftest import bench_once
+from repro.apps.jini import run_jini_app
+from repro.framework.builder import build_system
+from repro.obs import Observability
+
+
+def _disabled_guard_cost(loops: int = 200_000) -> float:
+    """Seconds per ``if obs.enabled:`` evaluation on a disabled hub."""
+    obs = Observability(enabled=False)
+    counter = obs.metrics.counter("bench.guard")
+    start = time.perf_counter()
+    for _ in range(loops):
+        if obs.enabled:
+            counter.inc()
+    return (time.perf_counter() - start) / loops
+
+
+def _enabled_event_count() -> int:
+    """Instrumentation events of one fully-instrumented Table 5 run."""
+    system = build_system("RTOS2")
+    system.soc.obs.enable()
+    run_jini_app(system=system)
+    obs = system.soc.obs
+    spans = len(obs.tracer.all_spans())
+    return obs.metrics.total_updates + 2 * spans
+
+
+def test_bench_disabled_overhead_under_5_percent(benchmark):
+    # Wall time of the production path: instrumentation disabled.
+    def disabled_run():
+        start = time.perf_counter()
+        run_jini_app("RTOS2")
+        return time.perf_counter() - start
+
+    disabled_seconds = bench_once(benchmark, disabled_run)
+
+    events = _enabled_event_count()
+    guard_cost = _disabled_guard_cost()
+    overhead = events * guard_cost
+
+    assert events > 100          # the run is genuinely instrumented
+    assert overhead < 0.05 * disabled_seconds, (
+        f"estimated disabled-path overhead {overhead * 1e6:.0f}us "
+        f"({events} events x {guard_cost * 1e9:.1f}ns) exceeds 5% of "
+        f"the {disabled_seconds * 1e3:.1f}ms run")
+    benchmark.extra_info["obs_overhead"] = {
+        "guarded_events": events,
+        "guard_cost_ns": guard_cost * 1e9,
+        "estimated_overhead_us": overhead * 1e6,
+        "disabled_run_ms": disabled_seconds * 1e3,
+        "overhead_fraction": overhead / disabled_seconds,
+    }
+
+
+def test_bench_disabled_run_keeps_registry_silent(benchmark):
+    """The disabled run must perform zero metric updates and open no
+    spans — the other half of the zero-overhead contract."""
+    def run():
+        system = build_system("RTOS2")
+        run_jini_app(system=system)
+        return system.soc.obs
+
+    obs = bench_once(benchmark, run)
+    assert not obs.enabled
+    assert obs.metrics.total_updates == 0
+    assert obs.tracer.all_spans() == []

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Repository check gate: lint (when ruff is installed) + the tier-1 suite.
+#
+# Usage: scripts/check.sh [extra pytest args]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+if command -v ruff >/dev/null 2>&1; then
+    echo "== ruff =="
+    ruff check src tests benchmarks examples
+else
+    echo "== ruff not installed; skipping lint =="
+fi
+
+echo "== pytest =="
+PYTHONPATH=src python -m pytest -q "$@"

@@ -20,12 +20,13 @@ the FSM overhead) and the ~7-cycle averages of Tables 7 and 9.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping
+from typing import Iterable, Mapping, Optional
 
 from repro import calibration
 from repro.deadlock.daa import Action, AvoidanceCore, Decision, DeadlockKind
 from repro.deadlock.ddu import DDU
 from repro.errors import ResourceProtocolError
+from repro.obs import NULL_OBS, Observability
 from repro.rag.matrix import StateMatrix
 
 
@@ -70,13 +71,22 @@ class DAU(AvoidanceCore):
 
     def __init__(self, processes: Iterable[str], resources: Iterable[str],
                  priorities: Mapping[str, int],
-                 livelock_threshold: int = 3) -> None:
+                 livelock_threshold: int = 3,
+                 obs: Optional[Observability] = None) -> None:
         super().__init__(processes, resources, priorities,
                          livelock_threshold=livelock_threshold)
-        self.ddu = DDU(self.rag.num_resources, self.rag.num_processes)
+        self.obs = obs if obs is not None else NULL_OBS
+        self.ddu = DDU(self.rag.num_resources, self.rag.num_processes,
+                       obs=self.obs)
         self.status: dict[str, StatusRegister] = {
             p: StatusRegister() for p in self.rag.processes}
         self.command_log: list[CommandRecord] = []
+        metrics = self.obs.metrics
+        self._m_decisions = metrics.counter(
+            "dau.decisions", "FSM request/release decisions")
+        self._m_decision_cycles = metrics.histogram(
+            "dau.decision_cycles", "modelled FSM steps per decision",
+            bounds=(0, 2, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96))
 
     # -- detection backend: the embedded DDU -------------------------------------
 
@@ -107,6 +117,23 @@ class DAU(AvoidanceCore):
         ddu_worst = worst_case_iterations(self.rag.num_resources,
                                           self.rag.num_processes)
         return ddu_worst * self.rag.num_processes + calibration.DAU_FSM_CYCLES + 4
+
+    # -- instrumented AvoidanceCore API ----------------------------------------------
+
+    def request(self, process: str, resource: str) -> Decision:
+        decision = super().request(process, resource)
+        self._observe(decision)
+        return decision
+
+    def release(self, process: str, resource: str) -> Decision:
+        decision = super().release(process, resource)
+        self._observe(decision)
+        return decision
+
+    def _observe(self, decision: Decision) -> None:
+        if self.obs.enabled:
+            self._m_decisions.inc()
+            self._m_decision_cycles.observe(decision.cycles)
 
     # -- memory-mapped command interface --------------------------------------------
 

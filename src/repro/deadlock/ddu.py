@@ -21,6 +21,7 @@ from typing import Optional, Union
 
 from repro import calibration
 from repro.errors import ConfigurationError
+from repro.obs import NULL_OBS, Observability
 from repro.rag.graph import RAG
 from repro.rag.matrix import CellState, StateMatrix
 
@@ -58,7 +59,8 @@ class DDU:
     the register file from the reduction lattice.
     """
 
-    def __init__(self, num_resources: int, num_processes: int) -> None:
+    def __init__(self, num_resources: int, num_processes: int,
+                 obs: Optional[Observability] = None) -> None:
         if num_resources < 1 or num_processes < 1:
             raise ConfigurationError("DDU needs at least a 1x1 matrix")
         self.m = num_resources
@@ -68,6 +70,15 @@ class DDU:
         self.invocations = 0
         #: Total modelled busy cycles since construction.
         self.busy_cycles = 0.0
+        self.obs = obs if obs is not None else NULL_OBS
+        metrics = self.obs.metrics
+        self._m_invocations = metrics.counter(
+            "ddu.invocations", "detection runs")
+        self._m_iterations = metrics.histogram(
+            "ddu.iterations", "terminal-reduction iterations per run",
+            bounds=(0, 1, 2, 3, 4, 5, 6, 8, 10, 12, 16))
+        self._m_cycles = metrics.histogram(
+            "ddu.cycles", "modelled latency per detection run")
 
     # -- sizing -----------------------------------------------------------
 
@@ -162,6 +173,10 @@ class DDU:
                   + calibration.DDU_FIXED_CYCLES)
         self.invocations += 1
         self.busy_cycles += cycles
+        if self.obs.enabled:
+            self._m_invocations.inc()
+            self._m_iterations.observe(iterations)
+            self._m_cycles.observe(cycles)
         return HardwareDetection(
             deadlock=deadlock,
             iterations=iterations,

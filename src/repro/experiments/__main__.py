@@ -5,6 +5,7 @@ Usage::
     python -m repro.experiments                  # everything, to stdout
     python -m repro.experiments table5 fig20     # a selection
     python -m repro.experiments --markdown report.md   # one document
+    python -m repro.experiments table5 --metrics --trace-out /tmp/t.json
 """
 
 from __future__ import annotations
@@ -13,7 +14,9 @@ import argparse
 import sys
 from pathlib import Path
 
+from repro import obs as obs_module
 from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.obs import write_chrome_trace
 
 
 def _render_all(wanted: list) -> list:
@@ -35,6 +38,11 @@ def main(argv=None) -> int:
                         help="list available experiments and exit")
     parser.add_argument("--markdown", metavar="FILE",
                         help="write a single markdown report")
+    parser.add_argument("--metrics", action="store_true",
+                        help="print per-system metric summaries")
+    parser.add_argument("--trace-out", metavar="FILE",
+                        help="write a Chrome/Perfetto trace_event JSON "
+                             "covering every system the selection builds")
     args = parser.parse_args(argv)
 
     if args.list:
@@ -49,7 +57,17 @@ def main(argv=None) -> int:
         print(f"available: {sorted(EXPERIMENTS)}", file=sys.stderr)
         return 2
 
-    sections = _render_all(wanted)
+    observing = args.metrics or args.trace_out
+    if observing:
+        obs_module.clear_live_systems()
+        obs_module.set_default_enabled(True)
+    try:
+        sections = _render_all(wanted)
+    finally:
+        if observing:
+            obs_module.set_default_enabled(False)
+    systems = obs_module.live_systems() if observing else ()
+
     if args.markdown:
         lines = ["# Regenerated evaluation",
                  "",
@@ -64,11 +82,19 @@ def main(argv=None) -> int:
             lines.append("")
         Path(args.markdown).write_text("\n".join(lines))
         print(f"wrote {args.markdown} ({len(sections)} experiment(s))")
-        return 0
+    else:
+        for exp_id, description, body in sections:
+            print(f"\n### {exp_id}: {description}\n")
+            print(body)
 
-    for exp_id, description, body in sections:
-        print(f"\n### {exp_id}: {description}\n")
-        print(body)
+    if args.metrics:
+        for system in systems:
+            print(f"\n{system.summary()}")
+        if not systems:
+            print("\n(no instrumented systems were built)")
+    if args.trace_out:
+        write_chrome_trace(args.trace_out, systems)
+        print(f"\nwrote {args.trace_out} ({len(systems)} system(s))")
     return 0
 
 

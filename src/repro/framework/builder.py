@@ -72,6 +72,7 @@ def build_system(config: Union[str, SystemConfig],
     soc = MPSoC(SoCConfig(num_pes=config.num_pes,
                           pe_type=config.pe_type,
                           peripherals=tuple(config.peripherals)))
+    soc.obs.label = config.name
     kernel = Kernel(soc,
                     quantum=quantum if quantum is not None else config.quantum,
                     round_robin=config.round_robin)

@@ -13,6 +13,7 @@ from typing import Generator, Optional
 
 from repro import calibration
 from repro.errors import ConfigurationError
+from repro.obs import NULL_OBS, Observability
 from repro.sim.engine import Engine
 from repro.sim.process import Arbiter, SimResource
 
@@ -40,7 +41,8 @@ class SystemBus:
 
     def __init__(self, engine: Engine, name: str = "bus",
                  timing: Optional[BusTiming] = None,
-                 arbiter: Optional[Arbiter] = None) -> None:
+                 arbiter: Optional[Arbiter] = None,
+                 obs: Optional[Observability] = None) -> None:
         self.engine = engine
         self.name = name
         self.timing = timing if timing is not None else BusTiming()
@@ -49,6 +51,17 @@ class SystemBus:
         self.total_transactions = 0
         self.busy_cycles = 0
         self.contention_cycles = 0.0
+        self.obs = obs if obs is not None else NULL_OBS
+        metrics = self.obs.metrics
+        self._m_transactions = metrics.counter(
+            f"{name}.transactions", "completed bus transactions")
+        self._m_busy = metrics.counter(
+            f"{name}.busy_cycles", "cycles the bus spent transferring")
+        self._m_stall_cycles = metrics.counter(
+            f"{name}.stall_cycles", "cycles masters waited at the arbiter")
+        self._m_stalled = metrics.counter(
+            f"{name}.stalled_transactions",
+            "transactions that waited for the bus")
 
     def transaction(self, master: str, words: int = 1,
                     priority: int = 0) -> Generator:
@@ -56,11 +69,18 @@ class SystemBus:
         cost = self.timing.transaction_cycles(words)
         requested_at = self.engine.now
         yield from self._port.acquire(master, priority=priority)
-        self.contention_cycles += self.engine.now - requested_at
+        waited = self.engine.now - requested_at
+        self.contention_cycles += waited
         yield cost
         self._port.release(master)
         self.total_transactions += 1
         self.busy_cycles += cost
+        if self.obs.enabled:
+            self._m_transactions.inc()
+            self._m_busy.inc(cost)
+            if waited > 0:
+                self._m_stall_cycles.inc(waited)
+                self._m_stalled.inc()
 
     def read_word(self, master: str, priority: int = 0) -> Generator:
         """Single-word read (e.g. polling a unit's status register)."""

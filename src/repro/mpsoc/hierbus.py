@@ -12,10 +12,11 @@ the hierarchy.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Generator
+from typing import Generator, Optional
 
 from repro.errors import ConfigurationError
 from repro.mpsoc.bus import BusTiming, SystemBus
+from repro.obs import NULL_OBS, Observability
 from repro.sim.engine import Engine
 
 
@@ -29,7 +30,8 @@ class BusBridge:
     """Connects one local bus to the global bus."""
 
     def __init__(self, engine: Engine, name: str, local: SystemBus,
-                 global_bus: SystemBus, forward_cycles: int = 2) -> None:
+                 global_bus: SystemBus, forward_cycles: int = 2,
+                 obs: Optional[Observability] = None) -> None:
         if forward_cycles < 0:
             raise ConfigurationError("negative bridge latency")
         self.engine = engine
@@ -38,6 +40,9 @@ class BusBridge:
         self.global_bus = global_bus
         self.forward_cycles = forward_cycles
         self.stats = BridgeStats()
+        self.obs = obs if obs is not None else NULL_OBS
+        self._m_forwarded = self.obs.metrics.counter(
+            f"{name}.forwarded", "transactions crossing this bridge")
 
     def forward(self, master: str, words: int) -> Generator:
         """A local master's transaction to a global target."""
@@ -49,6 +54,8 @@ class BusBridge:
                                                words=words)
         self.stats.forwarded += 1
         self.stats.forward_cycles += self.forward_cycles
+        if self.obs.enabled:
+            self._m_forwarded.inc()
 
 
 class BridgedBusPort:
@@ -101,21 +108,23 @@ class HierarchicalBus:
     def __init__(self, engine: Engine, num_subsystems: int = 2,
                  local_timing: BusTiming = None,
                  global_timing: BusTiming = None,
-                 bridge_cycles: int = 2) -> None:
+                 bridge_cycles: int = 2,
+                 obs: Optional[Observability] = None) -> None:
         if num_subsystems < 1:
             raise ConfigurationError("need at least one subsystem")
         self.engine = engine
+        self.obs = obs if obs is not None else NULL_OBS
         self.global_bus = SystemBus(engine, name="bus.global",
-                                    timing=global_timing)
+                                    timing=global_timing, obs=self.obs)
         self.locals: list = []
         self.bridges: list = []
         for index in range(num_subsystems):
             local = SystemBus(engine, name=f"bus.local{index + 1}",
-                              timing=local_timing)
+                              timing=local_timing, obs=self.obs)
             self.locals.append(local)
             self.bridges.append(BusBridge(
                 engine, f"bridge{index + 1}", local, self.global_bus,
-                forward_cycles=bridge_cycles))
+                forward_cycles=bridge_cycles, obs=self.obs))
 
     def subsystem(self, index: int) -> SystemBus:
         try:

@@ -17,6 +17,7 @@ from repro.mpsoc.interrupt import InterruptController
 from repro.mpsoc.memory import MemoryController, SharedMemory
 from repro.mpsoc.peripheral import Peripheral
 from repro.mpsoc.processor import ProcessingElement
+from repro.obs import Observability
 from repro.sim.engine import Engine
 from repro.sim.trace import Trace
 
@@ -51,7 +52,12 @@ class MPSoC:
         self.config.validate()
         self.engine = Engine()
         self.trace = Trace()
-        self.bus = SystemBus(self.engine, timing=self.config.bus_timing)
+        #: The system's observability hub (disabled by default; flip
+        #: ``soc.obs.enabled`` to start collecting metrics and spans).
+        self.obs = Observability(engine=self.engine, label="mpsoc",
+                                 trace=self.trace)
+        self.bus = SystemBus(self.engine, timing=self.config.bus_timing,
+                             obs=self.obs)
         self.memory = SharedMemory(self.config.memory_bytes)
         self.memory_controller = MemoryController(self.bus, self.memory)
         self.interrupts = InterruptController(self.engine)

@@ -1,0 +1,197 @@
+"""Unified observability: metrics registry + span tracing + exporters.
+
+One :class:`Observability` instance rides along with each
+:class:`~repro.mpsoc.soc.MPSoC` (``soc.obs``); the kernel, the buses and
+the four hardware units register their metrics into it at construction
+and update them — and open spans around kernel service calls — only
+when it is *enabled*.  Disabled (the default) the whole layer costs one
+attribute load and branch per instrumentation site, which the
+``benchmarks/test_bench_obs_overhead.py`` guard holds under 5% of a
+Table 5 run.
+
+Enable per system::
+
+    system = build_system("RTOS2")
+    system.soc.obs.enabled = True
+    ...
+    print(summary_table(system.soc.obs))
+
+or process-wide for a CLI run (``python -m repro.experiments table5
+--metrics --trace-out /tmp/t.json``), which flips
+:func:`set_default_enabled` so every system built afterwards is born
+instrumented and registered with :func:`live_systems` for collection.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    HistogramState,
+    MetricsRegistry,
+    Snapshot,
+)
+from repro.obs.spans import Span, SpanTracer, wrap_generator
+from repro.obs.export import (
+    chrome_trace_document,
+    chrome_trace_events,
+    metrics_to_jsonl,
+    spans_to_jsonl,
+    summary_table,
+    write_chrome_trace,
+)
+from repro.sim.trace import Trace
+
+__all__ = [
+    "Observability",
+    "NULL_OBS",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramState",
+    "Snapshot",
+    "DEFAULT_BUCKETS",
+    "Span",
+    "SpanTracer",
+    "chrome_trace_document",
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "spans_to_jsonl",
+    "metrics_to_jsonl",
+    "summary_table",
+    "set_default_enabled",
+    "default_enabled",
+    "live_systems",
+    "clear_live_systems",
+]
+
+#: When True, every Observability constructed without an explicit
+#: ``enabled`` argument starts enabled and is registered for
+#: :func:`live_systems` collection (the CLI capture mode).
+_default_enabled = False
+_live: list = []
+
+
+def set_default_enabled(flag: bool) -> None:
+    """Process-wide capture mode for systems built from here on."""
+    global _default_enabled
+    _default_enabled = bool(flag)
+
+
+def default_enabled() -> bool:
+    """Is the process-wide capture mode currently on?"""
+    return _default_enabled
+
+
+def live_systems() -> tuple:
+    """Every instance captured while the default-enabled mode was on."""
+    return tuple(_live)
+
+
+def clear_live_systems() -> None:
+    """Forget previously captured instances (start of a CLI run)."""
+    _live.clear()
+
+
+class Observability:
+    """Metrics + spans + exporters for one simulated system."""
+
+    def __init__(self, engine: Optional[Any] = None,
+                 label: str = "system", trace: Optional[Trace] = None,
+                 enabled: Optional[bool] = None) -> None:
+        self.engine = engine
+        self.label = label
+        if enabled is None:
+            enabled = _default_enabled
+            if enabled:
+                _live.append(self)
+        self.enabled = bool(enabled)
+        self._frozen = False
+        self.metrics = MetricsRegistry()
+        self.tracer = SpanTracer(self.now, trace=trace)
+
+    # -- clock -------------------------------------------------------------
+
+    def now(self) -> float:
+        """The system clock (simulated cycles); 0 with no engine."""
+        engine = self.engine
+        return engine.now if engine is not None else 0.0
+
+    # -- enable / disable --------------------------------------------------
+
+    def enable(self) -> None:
+        if self._frozen:
+            raise SimulationError(
+                "the shared NULL_OBS sentinel cannot be enabled; give "
+                "the component its own Observability instance")
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    # -- spans -------------------------------------------------------------
+
+    def begin(self, actor: str, name: str, **attrs: Any) -> Optional[Span]:
+        """Open a span; returns None when disabled (guard end() on it)."""
+        if not self.enabled:
+            return None
+        return self.tracer.begin(actor, name, attrs or None)
+
+    def end(self, span: Optional[Span]) -> None:
+        if span is not None:
+            self.tracer.end(span)
+
+    def wrap(self, actor: str, name: str, gen: Any, **attrs: Any):
+        """Run a service-call generator inside a span.
+
+        When disabled this returns ``gen`` untouched — the only cost on
+        the disabled path is this call itself.
+        """
+        if not self.enabled:
+            return gen
+        return wrap_generator(self.tracer, actor, name, gen,
+                              attrs or None)
+
+    # -- snapshots ---------------------------------------------------------
+
+    def snapshot(self) -> Snapshot:
+        return self.metrics.snapshot(time=self.now())
+
+    # -- exports -----------------------------------------------------------
+
+    def summary(self, title: Optional[str] = None) -> str:
+        return summary_table(self, title=title
+                             if title is not None else self.label)
+
+    def chrome_trace(self) -> dict:
+        return chrome_trace_document(self)
+
+    def spans_jsonl(self) -> str:
+        return spans_to_jsonl(self)
+
+    def metrics_jsonl(self) -> str:
+        return metrics_to_jsonl(self.metrics)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "enabled" if self.enabled else "disabled"
+        return (f"<Observability {self.label!r} {state} "
+                f"metrics={len(self.metrics)} "
+                f"spans={len(self.tracer.all_spans())}>")
+
+
+def _make_null() -> Observability:
+    obs = Observability(enabled=False, label="null")
+    obs._frozen = True
+    return obs
+
+
+#: Shared disabled sentinel for components constructed without a system
+#: (a bare DDU in a unit test, a standalone HierarchicalBus).  Metrics
+#: registered on it are inert: the sentinel can never be enabled.
+NULL_OBS = _make_null()

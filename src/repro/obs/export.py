@@ -1,0 +1,169 @@
+"""Exporters: Chrome/Perfetto ``trace_event`` JSON, JSONL, summaries.
+
+The Chrome trace format (the ``traceEvents`` JSON consumed by
+``chrome://tracing`` and https://ui.perfetto.dev) maps cleanly onto
+this stack: each instrumented system becomes a *process*, each actor
+(task, service) becomes a *thread*, and each span becomes a complete
+(``"ph": "X"``) event with its begin cycle as ``ts`` and its length as
+``dur`` — one simulated cycle is exported as one microsecond, so the
+viewer's time axis reads directly in cycles.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Iterable, Optional, Union
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs import Observability
+
+
+# -- Chrome / Perfetto trace_event JSON -----------------------------------
+
+def chrome_trace_events(systems: Iterable["Observability"]) -> list:
+    """Flatten one or more instrumented systems into trace events.
+
+    Open spans (a deadlocked task's pending request, for example) are
+    exported up to the system's current time and tagged
+    ``"unfinished": true`` so they remain visible in the viewer.
+    """
+    events: list = []
+    for pid, obs in enumerate(systems, start=1):
+        events.append({
+            "ph": "M", "name": "process_name", "pid": pid, "ts": 0,
+            "args": {"name": obs.label},
+        })
+        tids: dict = {}
+        for actor in obs.tracer.actors():
+            tids[actor] = len(tids) + 1
+            events.append({
+                "ph": "M", "name": "thread_name", "pid": pid,
+                "tid": tids[actor], "ts": 0, "args": {"name": actor},
+            })
+        now = obs.now()
+        for span in obs.tracer.all_spans():
+            args = dict(span.attrs)
+            end = span.end
+            if end is None:
+                end = max(now, span.begin)
+                args["unfinished"] = True
+            events.append({
+                "ph": "X", "name": span.name, "cat": "service",
+                "ts": span.begin, "dur": end - span.begin,
+                "pid": pid, "tid": tids.get(span.actor, 0),
+                "args": args,
+            })
+    return events
+
+
+def chrome_trace_document(
+        systems: Union["Observability", Iterable["Observability"]]) -> dict:
+    """The complete JSON-object form of the trace_event format."""
+    from repro.obs import Observability
+    if isinstance(systems, Observability):
+        systems = [systems]
+    return {
+        "traceEvents": chrome_trace_events(systems),
+        "displayTimeUnit": "ns",
+        "otherData": {"producer": "repro.obs",
+                      "time_unit": "1 ts = 1 simulated cycle"},
+    }
+
+
+def write_chrome_trace(
+        path: str,
+        systems: Union["Observability", Iterable["Observability"]]) -> str:
+    """Write a Perfetto-loadable trace JSON to ``path``."""
+    with open(path, "w") as handle:
+        json.dump(chrome_trace_document(systems), handle, indent=1)
+        handle.write("\n")
+    return path
+
+
+# -- JSONL ----------------------------------------------------------------
+
+def spans_to_jsonl(obs: "Observability") -> str:
+    """One JSON object per span, begin-time ordered."""
+    lines = []
+    for span in sorted(obs.tracer.all_spans(),
+                       key=lambda s: (s.begin, s.depth)):
+        lines.append(json.dumps({
+            "actor": span.actor, "name": span.name,
+            "begin": span.begin, "end": span.end, "depth": span.depth,
+            "attrs": span.attrs,
+        }, sort_keys=True))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def metrics_to_jsonl(registry: MetricsRegistry) -> str:
+    """One JSON object per metric, registration-ordered."""
+    lines = []
+    for metric in registry:
+        if isinstance(metric, Counter):
+            payload = {"kind": "counter", "value": metric.value}
+        elif isinstance(metric, Gauge):
+            payload = {"kind": "gauge", "value": metric.value,
+                       "min": metric.min_value, "max": metric.max_value}
+        else:
+            payload = {"kind": "histogram", "count": metric.count,
+                       "total": metric.total, "mean": metric.mean,
+                       "min": metric.min_value, "max": metric.max_value,
+                       "bounds": list(metric.bounds),
+                       "counts": list(metric.counts)}
+        payload["name"] = metric.name
+        lines.append(json.dumps(payload, sort_keys=True))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# -- plain-text summary ---------------------------------------------------
+
+def _render_rows(header: list, rows: list) -> list:
+    widths = [max(len(str(cell)) for cell in column)
+              for column in zip(header, *rows)]
+    fmt = "  ".join(f"{{:<{w}}}" for w in widths)
+    lines = [fmt.format(*header), fmt.format(*("-" * w for w in widths))]
+    lines.extend(fmt.format(*(str(cell) for cell in row)) for row in rows)
+    return lines
+
+
+def _fmt(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float) and value != int(value):
+        return f"{value:.1f}"
+    return f"{int(value)}"
+
+
+def summary_table(obs_or_registry, title: Optional[str] = None) -> str:
+    """Human-readable metric summary (the ``--metrics`` CLI output)."""
+    registry = getattr(obs_or_registry, "metrics", obs_or_registry)
+    lines: list = []
+    if title:
+        lines.extend([title, "=" * len(title)])
+    counters = [m for m in registry if isinstance(m, Counter)]
+    gauges = [m for m in registry if isinstance(m, Gauge)]
+    histograms = [m for m in registry if isinstance(m, Histogram)]
+    if counters:
+        lines.extend(_render_rows(
+            ["counter", "value"],
+            [[m.name, _fmt(m.value)] for m in counters]))
+        lines.append("")
+    if gauges:
+        lines.extend(_render_rows(
+            ["gauge", "value", "min", "max"],
+            [[m.name, _fmt(m.value), _fmt(m.min_value),
+              _fmt(m.max_value)] for m in gauges]))
+        lines.append("")
+    if histograms:
+        lines.extend(_render_rows(
+            ["histogram", "count", "mean", "p50", "p95", "min", "max"],
+            [[m.name, m.count, f"{m.mean:.1f}",
+              _fmt(m.percentile(50)) if m.count else "-",
+              _fmt(m.percentile(95)) if m.count else "-",
+              _fmt(m.min_value), _fmt(m.max_value)]
+             for m in histograms]))
+    if not (counters or gauges or histograms):
+        lines.append("(no metrics registered)")
+    return "\n".join(lines).rstrip()

@@ -1,0 +1,276 @@
+"""Counters, gauges and fixed-bucket histograms behind one registry.
+
+Every quantity the paper tabulates is a count or a latency, so the
+registry speaks exactly three metric kinds:
+
+* :class:`Counter` — a monotonically increasing total (bus
+  transactions, context switches, DDU invocations);
+* :class:`Gauge` — a sampled level with min/max tracking (ready-queue
+  depth, heap bytes in use, free-list length);
+* :class:`Histogram` — fixed upper-bound buckets with sum/count/min/max
+  (lock acquire latency, DDU iterations, allocation sizes).
+
+Components *register* their metrics once at construction (cheap, even
+when observability is disabled) and *update* them only behind the
+``Observability.enabled`` guard, so the disabled hot path costs a single
+attribute load and branch.  :meth:`MetricsRegistry.snapshot` freezes the
+whole registry; :meth:`Snapshot.delta` subtracts an earlier snapshot so
+experiments can report per-phase numbers.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence, Union
+
+from repro.errors import ConfigurationError
+
+#: Default histogram upper bounds, sized for cycle-count distributions
+#: (sub-cycle up to a million cycles); the final overflow bucket is
+#: implicit.
+DEFAULT_BUCKETS: tuple = (
+    1, 2, 5, 10, 25, 50, 100, 250, 500,
+    1_000, 2_500, 5_000, 10_000, 25_000, 50_000,
+    100_000, 250_000, 500_000, 1_000_000,
+)
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("name", "help", "value", "updates")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value: float = 0.0
+        self.updates = 0
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        self.value += amount
+        self.updates += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Counter {self.name}={self.value:g}>"
+
+
+class Gauge:
+    """A sampled level; remembers the extremes it visited."""
+
+    __slots__ = ("name", "help", "value", "min_value", "max_value",
+                 "updates")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value: float = 0.0
+        self.min_value: Optional[float] = None
+        self.max_value: Optional[float] = None
+        self.updates = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        if self.min_value is None or value < self.min_value:
+            self.min_value = value
+        if self.max_value is None or value > self.max_value:
+            self.max_value = value
+        self.updates += 1
+
+    def inc(self, amount: float = 1) -> None:
+        self.set(self.value + amount)
+
+    def dec(self, amount: float = 1) -> None:
+        self.set(self.value - amount)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Gauge {self.name}={self.value:g}>"
+
+
+class Histogram:
+    """Fixed-bucket histogram: counts per upper bound plus an overflow.
+
+    ``bounds`` are inclusive upper bounds in increasing order; a sample
+    lands in the first bucket whose bound is >= the sample, or in the
+    overflow bucket past the last bound.
+    """
+
+    __slots__ = ("name", "help", "bounds", "counts", "count", "total",
+                 "min_value", "max_value", "updates")
+
+    def __init__(self, name: str, help: str = "",
+                 bounds: Sequence = DEFAULT_BUCKETS) -> None:
+        bounds = tuple(bounds)
+        if not bounds or any(b <= a for b, a in zip(bounds[1:], bounds)):
+            raise ConfigurationError(
+                f"histogram {name!r} bounds must increase: {bounds}")
+        self.name = name
+        self.help = help
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)   # +1 overflow bucket
+        self.count = 0
+        self.total = 0.0
+        self.min_value: Optional[float] = None
+        self.max_value: Optional[float] = None
+        self.updates = 0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if self.min_value is None or value < self.min_value:
+            self.min_value = value
+        if self.max_value is None or value > self.max_value:
+            self.max_value = value
+        self.updates += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Bucket-resolution percentile (0 < q <= 100).
+
+        Returns the upper bound of the bucket containing the q-th
+        sample; the overflow bucket reports the observed maximum.
+        """
+        if not 0 < q <= 100:
+            raise ValueError(f"percentile {q} out of (0, 100]")
+        if self.count == 0:
+            return 0.0
+        rank = q / 100.0 * self.count
+        seen = 0
+        for index, bucket_count in enumerate(self.counts):
+            seen += bucket_count
+            if seen >= rank and bucket_count:
+                if index < len(self.bounds):
+                    return float(self.bounds[index])
+                return float(self.max_value)
+        return float(self.max_value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<Histogram {self.name} n={self.count} "
+                f"mean={self.mean:.1f}>")
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+
+@dataclass(frozen=True)
+class HistogramState:
+    """Frozen histogram contents inside a :class:`Snapshot`."""
+
+    bounds: tuple
+    counts: tuple
+    count: int
+    total: float
+    min_value: Optional[float]
+    max_value: Optional[float]
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """An immutable copy of a registry at one instant."""
+
+    time: float
+    counters: dict
+    gauges: dict
+    histograms: dict
+
+    def delta(self, earlier: "Snapshot") -> "Snapshot":
+        """Per-phase difference: this snapshot minus an ``earlier`` one.
+
+        Counters and histogram contents are subtracted; gauges keep this
+        snapshot's (later) value — a level has no meaningful delta.
+        """
+        counters = {name: value - earlier.counters.get(name, 0.0)
+                    for name, value in self.counters.items()}
+        histograms = {}
+        for name, state in self.histograms.items():
+            base = earlier.histograms.get(name)
+            if base is None or base.bounds != state.bounds:
+                histograms[name] = state
+                continue
+            histograms[name] = HistogramState(
+                bounds=state.bounds,
+                counts=tuple(now - then for now, then
+                             in zip(state.counts, base.counts)),
+                count=state.count - base.count,
+                total=state.total - base.total,
+                min_value=state.min_value,
+                max_value=state.max_value,
+            )
+        return Snapshot(time=self.time, counters=counters,
+                        gauges=dict(self.gauges), histograms=histograms)
+
+
+class MetricsRegistry:
+    """Named metrics, get-or-create, insertion-ordered."""
+
+    def __init__(self) -> None:
+        self._metrics: dict = {}
+
+    def _get_or_create(self, name: str, kind: type, **kwargs) -> Metric:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = kind(name, **kwargs)
+            self._metrics[name] = metric
+            return metric
+        if not isinstance(metric, kind):
+            raise ConfigurationError(
+                f"metric {name!r} already registered as "
+                f"{type(metric).__name__}, not {kind.__name__}")
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(name, Counter, help=help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(name, Gauge, help=help)
+
+    def histogram(self, name: str, help: str = "",
+                  bounds: Sequence = DEFAULT_BUCKETS) -> Histogram:
+        return self._get_or_create(name, Histogram, help=help,
+                                   bounds=bounds)
+
+    def get(self, name: str) -> Metric:
+        try:
+            return self._metrics[name]
+        except KeyError:
+            raise KeyError(f"no metric {name!r} registered") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __iter__(self) -> Iterator[Metric]:
+        return iter(self._metrics.values())
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def names(self) -> list:
+        return list(self._metrics)
+
+    @property
+    def total_updates(self) -> int:
+        """Update events since construction (benchmark bookkeeping)."""
+        return sum(metric.updates for metric in self)
+
+    def snapshot(self, time: float = 0.0) -> Snapshot:
+        counters = {m.name: m.value for m in self
+                    if isinstance(m, Counter)}
+        gauges = {m.name: m.value for m in self if isinstance(m, Gauge)}
+        histograms = {
+            m.name: HistogramState(
+                bounds=m.bounds, counts=tuple(m.counts), count=m.count,
+                total=m.total, min_value=m.min_value,
+                max_value=m.max_value)
+            for m in self if isinstance(m, Histogram)}
+        return Snapshot(time=time, counters=counters, gauges=gauges,
+                        histograms=histograms)

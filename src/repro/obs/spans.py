@@ -1,0 +1,152 @@
+"""Span tracing: nested begin/end intervals per actor.
+
+A *span* covers one service episode — a lock acquire, a resource
+request, a malloc — from entry to return, including every cycle the
+task spent blocked inside it.  Spans nest per actor (each task keeps
+its own stack), so a whole deadlock-resolution episode — an
+``acquire`` wrapping a ``request`` wrapping a ``detect`` — reads as
+one tree, which is exactly how the Chrome/Perfetto exporter renders it.
+
+The tracer can mirror begin/end pairs into the system's
+:class:`repro.sim.trace.Trace` as ``span_begin``/``span_end`` records,
+so span boundaries are visible in the flat timeline renderers too.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Optional
+
+from repro.errors import SimulationError
+from repro.sim.trace import Trace
+
+
+class Span:
+    """One open or completed interval."""
+
+    __slots__ = ("actor", "name", "begin", "end", "depth", "attrs")
+
+    def __init__(self, actor: str, name: str, begin: float, depth: int,
+                 attrs: Optional[dict] = None) -> None:
+        self.actor = actor
+        self.name = name
+        self.begin = begin
+        self.end: Optional[float] = None
+        self.depth = depth
+        self.attrs: dict = attrs if attrs is not None else {}
+
+    @property
+    def is_open(self) -> bool:
+        return self.end is None
+
+    @property
+    def duration(self) -> Optional[float]:
+        return None if self.end is None else self.end - self.begin
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        end = "open" if self.end is None else f"{self.end:g}"
+        return (f"<Span {self.actor}/{self.name} "
+                f"[{self.begin:g}..{end}] depth={self.depth}>")
+
+
+class SpanTracer:
+    """Per-actor span stacks over a shared clock."""
+
+    def __init__(self, clock: Callable[[], float],
+                 trace: Optional[Trace] = None) -> None:
+        self._clock = clock
+        self._trace = trace
+        self._stacks: dict = {}       # actor -> [open spans]
+        self.completed: list = []     # in end-time order
+
+    def begin(self, actor: str, name: str,
+              attrs: Optional[dict] = None) -> Span:
+        stack = self._stacks.setdefault(actor, [])
+        span = Span(actor, name, self._clock(), len(stack), attrs)
+        stack.append(span)
+        if self._trace is not None:
+            self._trace.record(span.begin, actor, "span_begin",
+                               span=name, depth=span.depth)
+        return span
+
+    def end(self, span: Span) -> Span:
+        """Close a span.  Closing is lenient: still-open children are
+        closed first (a deadlocked task's abandoned generators unwind
+        outermost-first at garbage collection), and ending an
+        already-closed span is a no-op."""
+        if span.end is not None:
+            return span
+        stack = self._stacks.get(span.actor)
+        if stack is None or span not in stack:
+            raise SimulationError(
+                f"span {span.name!r} of {span.actor!r} was never begun "
+                "on this tracer")
+        while stack:
+            top = stack.pop()
+            top.end = self._clock()
+            self.completed.append(top)
+            if self._trace is not None:
+                self._trace.record(top.end, top.actor, "span_end",
+                                   span=top.name, depth=top.depth)
+            if top is span:
+                break
+        return span
+
+    # -- queries -----------------------------------------------------------
+
+    def open_spans(self) -> list:
+        """Every span still open, across all actors, outermost first."""
+        return [span for stack in self._stacks.values()
+                for span in stack]
+
+    def all_spans(self) -> list:
+        """Completed then open spans (export order)."""
+        return self.completed + self.open_spans()
+
+    def actors(self) -> list:
+        seen: dict = {}
+        for span in self.all_spans():
+            seen.setdefault(span.actor, None)
+        return list(seen)
+
+    def spans_of(self, actor: str, name: Optional[str] = None) -> list:
+        return [span for span in self.all_spans()
+                if span.actor == actor
+                and (name is None or span.name == name)]
+
+    # -- rendering ---------------------------------------------------------
+
+    def render_tree(self, actors: Optional[Iterable[str]] = None) -> str:
+        """Indented per-actor span tree, in begin-time order."""
+        chosen = list(actors) if actors is not None else self.actors()
+        lines = []
+        spans = sorted(self.all_spans(),
+                       key=lambda span: (span.begin, span.depth))
+        for actor in chosen:
+            lines.append(f"{actor}:")
+            for span in spans:
+                if span.actor != actor:
+                    continue
+                end = "..." if span.end is None else f"{span.end:g}"
+                extras = " ".join(f"{k}={v}" for k, v
+                                  in sorted(span.attrs.items()))
+                suffix = f" [{extras}]" if extras else ""
+                lines.append(f"  {'  ' * span.depth}{span.name} "
+                             f"{span.begin:g}..{end}{suffix}")
+        return "\n".join(lines) if lines else "(no spans)"
+
+
+def wrap_generator(tracer: SpanTracer, actor: str, name: str,
+                   gen: Any, attrs: Optional[dict] = None):
+    """Drive ``gen`` inside a span (service-call instrumentation).
+
+    Returns a generator delegating to ``gen``; the span closes when the
+    inner generator returns, raises, or is garbage-collected — so a
+    forever-blocked service call shows up as an *open* span rather than
+    a lost one only while it is genuinely still pending.
+    """
+    span = tracer.begin(actor, name, attrs)
+    try:
+        result = yield from gen
+    finally:
+        tracer.end(span)
+    return result

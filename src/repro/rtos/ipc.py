@@ -34,6 +34,11 @@ class Mailbox:
 
     def post(self, ctx: TaskContext, message: Any) -> Generator:
         """Deposit a message; blocks while the mailbox is full."""
+        return self.kernel.obs.wrap(ctx.task.name, "mbox.post",
+                                    self._post(ctx, message),
+                                    mailbox=self.name)
+
+    def _post(self, ctx: TaskContext, message: Any) -> Generator:
         yield from ctx.service_overhead()
         while self._full:
             gate = self.kernel.engine.event(name=f"mbox.{self.name}.send")
@@ -48,6 +53,10 @@ class Mailbox:
 
     def pend(self, ctx: TaskContext) -> Generator:
         """Receive a message; blocks while the mailbox is empty."""
+        return self.kernel.obs.wrap(ctx.task.name, "mbox.pend",
+                                    self._pend(ctx), mailbox=self.name)
+
+    def _pend(self, ctx: TaskContext) -> Generator:
         yield from ctx.service_overhead()
         if self._full:
             message = self._message
@@ -83,6 +92,10 @@ class MessageQueue:
         return len(self._items)
 
     def send(self, ctx: TaskContext, item: Any) -> Generator:
+        return self.kernel.obs.wrap(ctx.task.name, "queue.send",
+                                    self._send(ctx, item), queue=self.name)
+
+    def _send(self, ctx: TaskContext, item: Any) -> Generator:
         yield from ctx.service_overhead()
         while len(self._items) >= self.capacity and not self._receivers:
             gate = self.kernel.engine.event(name=f"queue.{self.name}.send")
@@ -94,6 +107,10 @@ class MessageQueue:
         self._items.append(item)
 
     def receive(self, ctx: TaskContext) -> Generator:
+        return self.kernel.obs.wrap(ctx.task.name, "queue.receive",
+                                    self._receive(ctx), queue=self.name)
+
+    def _receive(self, ctx: TaskContext) -> Generator:
         yield from ctx.service_overhead()
         if self._items:
             item = self._items.popleft()

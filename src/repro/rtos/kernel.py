@@ -34,7 +34,7 @@ class Kernel:
             raise RTOSError("quantum must be at least one cycle")
         self.strict_leak_check = strict_leak_check
         #: (task name, leaked resource names) per finished-while-holding.
-        self.leaks: list = []
+        self.leaks: list[tuple[str, list[str]]] = []
         #: When True, an exception escaping a task body marks the task
         #: FAILED and the system keeps running (fault isolation); when
         #: False (default) the failure surfaces at Kernel.run().
@@ -44,12 +44,22 @@ class Kernel:
         self.soc = soc
         self.engine = soc.engine
         self.trace = soc.trace
+        self.obs = soc.obs
         self.quantum = quantum
         self.service_overhead = service_overhead
         self.context_switch_cycles = context_switch_cycles
+        metrics = self.obs.metrics
+        self._m_context_switches = metrics.counter(
+            "kernel.context_switches", "context-switch charges paid")
+        self._m_preemptions = metrics.counter(
+            "kernel.preemptions", "quantum-boundary preemptions")
+        self._m_leaks = metrics.counter(
+            "kernel.leaks", "tasks that finished holding resources")
+        self._m_task_failures = metrics.counter(
+            "kernel.task_failures", "isolated task-body failures")
         self.schedulers: dict[str, PEScheduler] = {
             pe.name: PEScheduler(self.engine, pe.name, self.trace,
-                                 round_robin=round_robin)
+                                 round_robin=round_robin, obs=self.obs)
             for pe in soc.pes}
         self.tasks: dict[str, Task] = {}
         self._procs = []
@@ -115,6 +125,8 @@ class Kernel:
             self.task_failures.append((task.name, exc))
             self.trace.record(self.engine.now, task.name, "task_failed",
                               error=type(exc).__name__)
+            if self.obs.enabled:
+                self._m_task_failures.inc()
             if (self.resource_service is not None
                     and task.held_resources):
                 for resource in list(task.held_resources):
@@ -143,10 +155,12 @@ class Kernel:
         """A finished task still holding resources leaked them."""
         if not task.held_resources:
             return
-        leaked = tuple(task.held_resources)
+        leaked = list(task.held_resources)
         self.leaks.append((task.name, leaked))
         self.trace.record(self.engine.now, task.name, "resource_leak",
                           resources=",".join(leaked))
+        if self.obs.enabled:
+            self._m_leaks.inc()
         if self.strict_leak_check:
             raise RTOSError(
                 f"task {task.name!r} finished holding {leaked}")
@@ -159,6 +173,8 @@ class Kernel:
         if task._needs_context_switch:
             task._needs_context_switch = False
             task.stats.context_switches += 1
+            if self.obs.enabled:
+                self._m_context_switches.inc()
             yield self.context_switch_cycles
 
     def preemption_point(self, task: Task) -> Generator:
@@ -175,6 +191,8 @@ class Kernel:
             return
         if task.preempt_pending or scheduler.should_preempt(task):
             task.stats.preemptions += 1
+            if self.obs.enabled:
+                self._m_preemptions.inc()
             self.trace.record(self.engine.now, task.name, "preempted",
                               pe=task.pe_name)
             scheduler.yield_running(task, TaskState.READY)
@@ -313,17 +331,33 @@ class TaskContext:
         self.kernel.engine.schedule(cycles, timer.set, None)
         yield from self.kernel.block_on(self.task, timer)
 
+    # -- observability ---------------------------------------------------------
+
+    def span(self, name: str, gen: Generator, **attrs: Any) -> Generator:
+        """Run a service generator inside an observability span.
+
+        A pass-through when observability is disabled.  Application
+        code can use it too, to mark phases of a task body::
+
+            yield from ctx.span("phase1", ctx.compute(10_000))
+        """
+        return self.kernel.obs.wrap(self.task.name, name, gen, **attrs)
+
     # -- locks ------------------------------------------------------------------
 
     def lock(self, lock_id: str) -> Generator:
         if self.kernel.lock_manager is None:
             raise RTOSError("no lock manager attached")
-        yield from self.kernel.lock_manager.acquire(self, lock_id)
+        yield from self.span(
+            "lock", self.kernel.lock_manager.acquire(self, lock_id),
+            lock=lock_id)
 
     def unlock(self, lock_id: str) -> Generator:
         if self.kernel.lock_manager is None:
             raise RTOSError("no lock manager attached")
-        yield from self.kernel.lock_manager.release(self, lock_id)
+        yield from self.span(
+            "unlock", self.kernel.lock_manager.release(self, lock_id),
+            lock=lock_id)
 
     # -- deadlock-managed resources ------------------------------------------------
 
@@ -336,11 +370,12 @@ class TaskContext:
         if self.kernel.resource_service is None:
             raise RTOSError("no resource service attached")
         if units == 1:
-            outcome = yield from self.kernel.resource_service.request(
-                self, resource)
+            inner = self.kernel.resource_service.request(self, resource)
         else:
-            outcome = yield from self.kernel.resource_service.request(
+            inner = self.kernel.resource_service.request(
                 self, resource, units=units)
+        outcome = yield from self.span("request", inner,
+                                       resource=resource, units=units)
         return outcome
 
     def release_resource(self, resource: str, units: int = 0) -> Generator:
@@ -348,16 +383,20 @@ class TaskContext:
         if self.kernel.resource_service is None:
             raise RTOSError("no resource service attached")
         if units == 0:
-            outcome = yield from self.kernel.resource_service.release(
-                self, resource)
+            inner = self.kernel.resource_service.release(self, resource)
         else:
-            outcome = yield from self.kernel.resource_service.release(
+            inner = self.kernel.resource_service.release(
                 self, resource, units=units)
+        outcome = yield from self.span("release", inner,
+                                       resource=resource, units=units)
         return outcome
 
     def wait_grant(self, resource: str) -> Generator:
         """Block until a pending request for ``resource`` is granted."""
-        yield from self.kernel.resource_service.wait_grant(self, resource)
+        yield from self.span(
+            "wait_grant",
+            self.kernel.resource_service.wait_grant(self, resource),
+            resource=resource)
 
     def withdraw_request(self, resource: str) -> Generator:
         """Cancel a pending request (abort a multi-resource acquire)."""
@@ -376,20 +415,24 @@ class TaskContext:
         task holds, backs off, re-acquires what it gave up and retries —
         the recovery behaviour the paper's scenarios script by hand.
         """
-        service = self.kernel.resource_service
+        yield from self.span("acquire", self._acquire(resource,
+                                                      retry_backoff),
+                             resource=resource)
+
+    def _acquire(self, resource: str, retry_backoff: float) -> Generator:
         while True:
-            outcome = yield from service.request(self, resource)
+            outcome = yield from self.request(resource)
             if outcome.granted:
                 return
             if outcome.must_give_up:
                 gave_up = list(self.task.held_resources)
                 for held in gave_up:
-                    yield from service.release(self, held)
+                    yield from self.release_resource(held)
                 yield from self.sleep(retry_backoff)
                 for held in gave_up:
                     yield from self.acquire(held, retry_backoff)
                 continue
-            yield from service.wait_grant(self, resource)
+            yield from self.wait_grant(resource)
             return
 
     # -- peripherals --------------------------------------------------------------
@@ -397,21 +440,25 @@ class TaskContext:
     def use_peripheral(self, name: str, cycles: float) -> Generator:
         """Run an owned peripheral for ``cycles`` (ownership enforced)."""
         peripheral = self.kernel.soc.peripheral(name)
-        yield from peripheral.serve(self.task.name, cycles)
+        yield from self.span("use_peripheral",
+                             peripheral.serve(self.task.name, cycles),
+                             peripheral=name, cycles=cycles)
 
     # -- dynamic memory --------------------------------------------------------------
 
     def malloc(self, size_bytes: int) -> Generator:
         if self.kernel.heap_service is None:
             raise RTOSError("no heap service attached")
-        address = yield from self.kernel.heap_service.malloc(
-            self, size_bytes)
+        address = yield from self.span(
+            "malloc", self.kernel.heap_service.malloc(self, size_bytes),
+            bytes=size_bytes)
         return address
 
     def free(self, address: int) -> Generator:
         if self.kernel.heap_service is None:
             raise RTOSError("no heap service attached")
-        yield from self.kernel.heap_service.free(self, address)
+        yield from self.span(
+            "free", self.kernel.heap_service.free(self, address))
 
     # -- notifications ----------------------------------------------------------------
 

@@ -59,6 +59,20 @@ class SoftwareHeap:
         self._in_use = 0
         self._mutex = SimResource(kernel.engine, "heap.mutex")
         self.stats = HeapStats()
+        metrics = kernel.obs.metrics
+        self._m_mallocs = metrics.counter(
+            "heap.mallocs", "malloc calls served")
+        self._m_frees = metrics.counter(
+            "heap.frees", "free calls served")
+        self._m_failed = metrics.counter(
+            "heap.failed", "allocations refused (heap exhausted)")
+        self._m_walk = metrics.histogram(
+            "heap.walk_entries", "free-list entries walked per malloc",
+            bounds=(1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64))
+        self._m_alloc_bytes = metrics.histogram(
+            "heap.alloc_bytes", "padded bytes per allocation")
+        self._m_free_list = metrics.gauge(
+            "heap.free_list_entries", "free-list length")
 
     # -- allocator mechanics (zero simulated time; costs charged by callers) --
 
@@ -114,12 +128,20 @@ class SoftwareHeap:
         self.stats.mm_cycles += cost
         self.stats.malloc_calls += 1
         self.stats.walk_lengths.append(walked)
+        if self.kernel.obs.enabled:
+            self._m_walk.observe(walked)
         if index < 0:
             self.stats.failed_allocations += 1
+            if self.kernel.obs.enabled:
+                self._m_failed.inc()
             self._mutex.release(task)
             raise AllocationError(
                 f"heap exhausted: {size_bytes} bytes requested")
         address = self._carve(index, size)
+        if self.kernel.obs.enabled:
+            self._m_mallocs.inc()
+            self._m_alloc_bytes.observe(size)
+            self._m_free_list.set(len(self._free))
         self._mutex.release(task)
         return address
 
@@ -137,6 +159,9 @@ class SoftwareHeap:
         size = self._allocated.pop(address)
         self._in_use -= size
         self._coalesce(address, size)
+        if self.kernel.obs.enabled:
+            self._m_frees.inc()
+            self._m_free_list.set(len(self._free))
         self._mutex.release(task)
 
     @property

@@ -109,6 +109,13 @@ class ResourceService:
         self._delivered: set = set()
         #: Fires the first time a deadlock is detected (harness hook).
         self.deadlock_event = kernel.engine.event(name="deadlock.detected")
+        metrics = kernel.obs.metrics
+        self._m_invocations = metrics.counter(
+            "deadlock.invocations", "deadlock-algorithm runs")
+        self._m_algo_cycles = metrics.histogram(
+            "deadlock.algorithm_cycles", "modelled cycles per algorithm run")
+        self._m_detected = metrics.counter(
+            "deadlock.detected", "deadlocks reported by the algorithm")
 
     # -- to be provided by subclasses -------------------------------------------
 
@@ -197,8 +204,13 @@ class ResourceService:
     def _note_invocation(self, cycles: float) -> None:
         self.stats.invocations += 1
         self.stats.algorithm_cycles.append(cycles)
+        if self.kernel.obs.enabled:
+            self._m_invocations.inc()
+            self._m_algo_cycles.observe(cycles)
 
     def _note_deadlock(self, algorithm_cycles: float) -> None:
+        if self.kernel.obs.enabled:
+            self._m_detected.inc()
         if self.stats.deadlock_found_at is None:
             self.stats.deadlock_found_at = self.kernel.engine.now
             self.stats.deadlock_algorithm_cycles = algorithm_cycles
@@ -243,7 +255,8 @@ class DetectionResourceService(_WithdrawMixin, ResourceService):
         self.rag = RAG(processes, resources)
         self.priorities = dict(priorities)
         self.hardware = use_ddu
-        self.ddu = (DDU(self.rag.num_resources, self.rag.num_processes)
+        self.ddu = (DDU(self.rag.num_resources, self.rag.num_processes,
+                        obs=kernel.obs)
                     if use_ddu else None)
 
     def holder_of(self, resource: str) -> Optional[str]:
@@ -267,7 +280,12 @@ class DetectionResourceService(_WithdrawMixin, ResourceService):
         """One detection invocation: run, record, pay.  Returns deadlock."""
         deadlock, cycles = self._detect()
         self._note_invocation(cycles)
-        yield from self._charge(ctx, cycles)
+        span = self.kernel.obs.begin(ctx.task.name, "detect",
+                                     cycles=cycles, deadlock=deadlock)
+        try:
+            yield from self._charge(ctx, cycles)
+        finally:
+            self.kernel.obs.end(span)
         if deadlock:
             self._note_deadlock(cycles)
         return deadlock
@@ -481,7 +499,7 @@ def make_resource_service(kernel: Kernel, config: str,
         core = SoftwareDAA(processes, resources, priorities)
         return AvoidanceResourceService(kernel, core, hardware=False)
     if config == "RTOS4":
-        core = DAU(processes, resources, priorities)
+        core = DAU(processes, resources, priorities, obs=kernel.obs)
         return AvoidanceResourceService(kernel, core, hardware=True)
     raise ConfigurationError(
         f"unknown deadlock configuration {config!r} "

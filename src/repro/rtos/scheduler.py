@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.errors import RTOSError
+from repro.obs import NULL_OBS, Observability
 from repro.rtos.task import Task, TaskState
 from repro.sim.engine import Engine
 from repro.sim.trace import Trace
@@ -21,7 +22,8 @@ class PEScheduler:
     """Ready queue + running slot for one PE."""
 
     def __init__(self, engine: Engine, pe_name: str, trace: Trace,
-                 round_robin: bool = False) -> None:
+                 round_robin: bool = False,
+                 obs: Optional[Observability] = None) -> None:
         self.engine = engine
         self.pe_name = pe_name
         self.trace = trace
@@ -31,6 +33,13 @@ class PEScheduler:
         self._arrival_counter = 0
         self._arrival_order: dict[str, int] = {}
         self.dispatch_count = 0
+        self.obs = obs if obs is not None else NULL_OBS
+        # Shared across every PE of the system (get-or-create by name).
+        self._m_dispatches = self.obs.metrics.counter(
+            "sched.dispatches", "tasks placed on a CPU")
+        self._m_ready_depth = self.obs.metrics.histogram(
+            "sched.ready_depth", "ready-queue depth at dispatch",
+            bounds=(0, 1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64))
 
     # -- queue management -------------------------------------------------------
 
@@ -68,6 +77,9 @@ class PEScheduler:
         task = self.best_ready()
         if task is None:
             return None
+        if self.obs.enabled:
+            self._m_dispatches.inc()
+            self._m_ready_depth.observe(len(self.ready))
         self.ready.remove(task)
         task.state = TaskState.RUNNING
         task.preempt_pending = False

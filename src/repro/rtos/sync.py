@@ -47,7 +47,8 @@ class LockStats:
 
 
 class _LockRecord:
-    __slots__ = ("name", "holder", "waiters", "ceiling", "boosts")
+    __slots__ = ("name", "holder", "waiters", "ceiling", "boosts",
+                 "acquired_at")
 
     def __init__(self, name: str, ceiling: Optional[int]) -> None:
         self.name = name
@@ -55,6 +56,7 @@ class _LockRecord:
         self.waiters: list = []       # [(task, grant_event), ...]
         self.ceiling = ceiling
         self.boosts = 0               # priority pushes to undo on release
+        self.acquired_at = 0.0        # hold-time measurement anchor
 
 
 class SoftwareLockManager:
@@ -71,6 +73,17 @@ class SoftwareLockManager:
         self.waiter_cycles = waiter_cycles
         self._locks: dict[str, _LockRecord] = {}
         self.stats = LockStats()
+        metrics = kernel.obs.metrics
+        self._m_acquisitions = metrics.counter(
+            "lock.acquisitions", "lock grants")
+        self._m_contended = metrics.counter(
+            "lock.contended", "grants that had to wait")
+        self._m_latency = metrics.histogram(
+            "lock.acquire_latency", "service cost of one acquire")
+        self._m_delay = metrics.histogram(
+            "lock.acquire_delay", "blocking time of contended acquires")
+        self._m_hold = metrics.histogram(
+            "lock.hold_cycles", "cycles from grant to release")
 
     def register_lock(self, lock_id: str,
                       ceiling: Optional[int] = None) -> None:
@@ -139,13 +152,21 @@ class SoftwareLockManager:
             lock.holder = task
         if lock.holder is not task:
             raise RTOSError(f"lock {lock_id!r} handoff failed")
+        lock.acquired_at = ctx.now
         self.stats.acquisitions += 1
         self.stats.latencies.append(self.acquire_cycles)
+        delay = 0.0
         if contended:
             delay = ctx.now - requested_at
             task.stats.lock_wait_cycles += delay
             self.stats.contended_acquisitions += 1
             self.stats.delays.append(delay)
+        if self.kernel.obs.enabled:
+            self._m_acquisitions.inc()
+            self._m_latency.observe(self.acquire_cycles)
+            if contended:
+                self._m_contended.inc()
+                self._m_delay.observe(delay)
         self.kernel.trace.record(ctx.now, task.name, "lock_acquired",
                                  lock=lock_id, contended=contended)
 
@@ -170,6 +191,8 @@ class SoftwareLockManager:
         while lock.boosts:
             task.pop_priority()
             lock.boosts -= 1
+        if self.kernel.obs.enabled:
+            self._m_hold.observe(ctx.now - lock.acquired_at)
         self.kernel.trace.record(ctx.now, task.name, "lock_released",
                                  lock=lock_id, priority=task.priority)
         if lock.waiters:

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import time
 from typing import Any, Callable, Generator, Iterable, Optional
 
 from repro.errors import SimulationError
@@ -146,6 +147,13 @@ class Engine:
         self._sequence = itertools.count()
         self._processes: list[SimProcess] = []
         self._failures: list[tuple[SimProcess, BaseException]] = []
+        #: Events dispatched over the engine's lifetime (always on; the
+        #: count is accumulated per run() call, not per event).
+        self.events_processed = 0
+        #: When True, run() also accrues host wall-clock time so
+        #: profile_stats() can report wall time per simulated cycle.
+        self.profiling = False
+        self.wall_seconds = 0.0
 
     # -- scheduling --------------------------------------------------------
 
@@ -176,21 +184,44 @@ class Engine:
         livelocked model fails loudly instead of spinning forever.
         """
         events_run = 0
-        while self._queue:
-            when, _seq, fn, args = self._queue[0]
-            if until is not None and when > until:
-                self.now = until
-                break
-            heapq.heappop(self._queue)
-            self.now = when
-            fn(*args)
-            self._raise_failures()
-            events_run += 1
-            if events_run > max_events:
-                raise SimulationError(
-                    f"exceeded {max_events} events at t={self.now}; "
-                    "model is probably livelocked")
+        started_wall = time.perf_counter() if self.profiling else None
+        try:
+            while self._queue:
+                when, _seq, fn, args = self._queue[0]
+                if until is not None and when > until:
+                    self.now = until
+                    break
+                heapq.heappop(self._queue)
+                self.now = when
+                fn(*args)
+                self._raise_failures()
+                events_run += 1
+                if events_run > max_events:
+                    raise SimulationError(
+                        f"exceeded {max_events} events at t={self.now}; "
+                        "model is probably livelocked")
+        finally:
+            self.events_processed += events_run
+            if started_wall is not None:
+                self.wall_seconds += time.perf_counter() - started_wall
         return self.now
+
+    def profile_stats(self) -> dict:
+        """Profiling summary: event and wall-time accounting.
+
+        ``wall_seconds`` (and the derived per-cycle/per-event rates) are
+        only meaningful when :attr:`profiling` was on during run().
+        """
+        cycles = self.now
+        return {
+            "events_processed": self.events_processed,
+            "sim_cycles": cycles,
+            "wall_seconds": self.wall_seconds,
+            "events_per_cycle": (self.events_processed / cycles
+                                 if cycles else 0.0),
+            "wall_us_per_cycle": (self.wall_seconds * 1e6 / cycles
+                                  if cycles else 0.0),
+        }
 
     def run_until_complete(self, procs: Iterable[SimProcess],
                            until: Optional[float] = None) -> float:

@@ -9,6 +9,8 @@ scripts.
 
 from __future__ import annotations
 
+import json
+
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Iterator, Optional
 
@@ -22,9 +24,14 @@ class TraceRecord:
     kind: str
     details: dict = field(default_factory=dict)
 
-    def describe(self) -> str:
+    def describe(self, actor_width: int = 10) -> str:
+        """One-line rendering; the actor column is at least
+        ``actor_width`` wide and widens for longer names so the kind
+        column never collides (``Trace.render`` passes the widest actor
+        of the whole selection for global alignment)."""
+        width = max(actor_width, len(self.actor))
         extras = " ".join(f"{k}={v}" for k, v in sorted(self.details.items()))
-        text = f"t={self.time:>8g}  {self.actor:<10s} {self.kind}"
+        text = f"t={self.time:>8g}  {self.actor:<{width}s} {self.kind}"
         return f"{text} [{extras}]" if extras else text
 
 
@@ -98,8 +105,10 @@ class Trace:
     def render(self, kinds: Optional[Iterable[str]] = None) -> str:
         """Plain-text timeline (one record per line)."""
         wanted = set(kinds) if kinds is not None else None
-        lines = [rec.describe() for rec in self._records
-                 if wanted is None or rec.kind in wanted]
+        chosen = [rec for rec in self._records
+                  if wanted is None or rec.kind in wanted]
+        width = max((len(rec.actor) for rec in chosen), default=10)
+        lines = [rec.describe(actor_width=width) for rec in chosen]
         return "\n".join(lines)
 
     def gantt(self, actors: Optional[Iterable[str]] = None,
@@ -147,6 +156,29 @@ class Trace:
             row.extend(str(rec.details.get(key, "")) for key in detail_keys)
             lines.append(",".join(cell.replace(",", ";") for cell in row))
         return "\n".join(lines)
+
+    def to_jsonl(self, kinds: Optional[Iterable[str]] = None) -> str:
+        """JSONL export: one ``{time, actor, kind, details}`` per line."""
+        wanted = set(kinds) if kinds is not None else None
+        lines = [json.dumps({"time": rec.time, "actor": rec.actor,
+                             "kind": rec.kind, "details": rec.details},
+                            sort_keys=True)
+                 for rec in self._records
+                 if wanted is None or rec.kind in wanted]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    @classmethod
+    def from_jsonl(cls, text: str) -> "Trace":
+        """Rebuild a trace from :meth:`to_jsonl` output (round-trip)."""
+        trace = cls()
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            payload = json.loads(line)
+            trace.record(payload["time"], payload["actor"],
+                         payload["kind"], **payload.get("details", {}))
+        return trace
 
     def _paint(self, row: list[str], actor: str, start_kind: str,
                end_kind: str, char: str, scale: float, width: int) -> None:

@@ -42,6 +42,18 @@ class SoCDMMU:
         #: handle -> (owner, virtual block numbers)
         self._handles: dict[int, tuple[str, list[int]]] = {}
         self._next_handle = 0x2000_0000
+        metrics = kernel.obs.metrics
+        self._m_mallocs = metrics.counter(
+            "socdmmu.mallocs", "G_alloc commands served")
+        self._m_frees = metrics.counter(
+            "socdmmu.frees", "G_dealloc commands served")
+        self._m_failed = metrics.counter(
+            "socdmmu.failed", "allocations refused (unit full)")
+        self._m_blocks = metrics.histogram(
+            "socdmmu.alloc_blocks", "blocks per allocation",
+            bounds=(1, 2, 4, 8, 16, 32, 64, 128, 256))
+        self._m_in_use = metrics.gauge(
+            "socdmmu.in_use_bytes", "bytes currently allocated")
 
     # -- the heap-service interface ------------------------------------------------
 
@@ -62,6 +74,8 @@ class SoCDMMU:
             virtuals = self.allocator.allocate(owner, blocks)
         except AllocationError:
             self.stats.failed_allocations += 1
+            if self.kernel.obs.enabled:
+                self._m_failed.inc()
             self._port.release(owner)
             raise
         self._port.release(owner)
@@ -70,6 +84,10 @@ class SoCDMMU:
         self._handles[handle] = (owner, virtuals)
         in_use = self.allocator.used_blocks * self.allocator.block_bytes
         self.stats.peak_in_use = max(self.stats.peak_in_use, in_use)
+        if self.kernel.obs.enabled:
+            self._m_mallocs.inc()
+            self._m_blocks.observe(blocks)
+            self._m_in_use.set(in_use)
         return handle
 
     def free(self, ctx: TaskContext, handle: int) -> Generator:
@@ -92,6 +110,10 @@ class SoCDMMU:
             self.allocator.deallocate(owner, virtual)
         del self._handles[handle]
         self._port.release(owner)
+        if self.kernel.obs.enabled:
+            self._m_frees.inc()
+            self._m_in_use.set(
+                self.allocator.used_blocks * self.allocator.block_bytes)
 
     # -- introspection ------------------------------------------------------------
 

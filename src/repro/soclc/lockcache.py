@@ -28,7 +28,7 @@ from repro.rtos.task import Task
 
 class _HardwareLock:
     __slots__ = ("lock_id", "kind", "ceiling", "holder", "waiters",
-                 "boosted")
+                 "boosted", "acquired_at")
 
     def __init__(self, lock_id: str, kind: str, ceiling: int) -> None:
         self.lock_id = lock_id
@@ -37,6 +37,7 @@ class _HardwareLock:
         self.holder: Optional[Task] = None
         self.waiters: list = []
         self.boosted = False
+        self.acquired_at = 0.0        # hold-time measurement anchor
 
 
 class SoCLC:
@@ -61,6 +62,17 @@ class SoCLC:
         self._locks: dict[str, _HardwareLock] = {}
         self.stats = LockStats()
         self.interrupt_handoffs = 0
+        metrics = kernel.obs.metrics
+        self._m_acquisitions = metrics.counter(
+            "lock.acquisitions", "lock grants")
+        self._m_contended = metrics.counter(
+            "lock.contended", "grants that had to wait")
+        self._m_latency = metrics.histogram(
+            "lock.acquire_latency", "service cost of one acquire")
+        self._m_delay = metrics.histogram(
+            "lock.acquire_delay", "blocking time of contended acquires")
+        self._m_hold = metrics.histogram(
+            "lock.hold_cycles", "cycles from grant to release")
 
     # -- configuration ------------------------------------------------------------
 
@@ -106,6 +118,10 @@ class SoCLC:
             self._grant(lock, task)
             self.stats.acquisitions += 1
             self.stats.latencies.append(self.acquire_cycles)
+            lock.acquired_at = ctx.now
+            if self.kernel.obs.enabled:
+                self._m_acquisitions.inc()
+                self._m_latency.observe(self.acquire_cycles)
             self.kernel.trace.record(ctx.now, task.name, "lock_acquired",
                                      lock=lock_id, unit="SoCLC")
             return
@@ -126,6 +142,12 @@ class SoCLC:
         self.stats.contended_acquisitions += 1
         self.stats.latencies.append(self.acquire_cycles)
         self.stats.delays.append(delay)
+        lock.acquired_at = ctx.now
+        if self.kernel.obs.enabled:
+            self._m_acquisitions.inc()
+            self._m_contended.inc()
+            self._m_latency.observe(self.acquire_cycles)
+            self._m_delay.observe(delay)
         self.kernel.trace.record(ctx.now, task.name, "lock_acquired",
                                  lock=lock_id, contended=True, unit="SoCLC")
 
@@ -141,6 +163,8 @@ class SoCLC:
         remainder = max(0, self.release_cycles
                         - self.kernel.soc.bus.timing.transaction_cycles(1))
         yield from ctx.pe.execute(remainder)
+        if self.kernel.obs.enabled:
+            self._m_hold.observe(ctx.now - lock.acquired_at)
         self._restore_priority(lock, task)
         self.kernel.trace.record(ctx.now, task.name, "lock_released",
                                  lock=lock_id, unit="SoCLC",

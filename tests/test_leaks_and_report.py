@@ -20,7 +20,7 @@ def test_leak_recorded_on_finish():
 
     kernel.create_task(leaker, "p1", 1, "PE1")
     kernel.run()
-    assert kernel.leaks == [("p1", ("DSP",))]
+    assert kernel.leaks == [("p1", ["DSP"])]
     assert kernel.trace.count("resource_leak") == 1
 
 

@@ -1,0 +1,145 @@
+"""Tests for the exporters and the experiments CLI observability flags."""
+
+import json
+
+import pytest
+
+from repro import obs as obs_module
+from repro.experiments.__main__ import main as experiments_main
+from repro.framework.builder import build_system
+from repro.obs import (
+    Observability,
+    chrome_trace_document,
+    metrics_to_jsonl,
+    spans_to_jsonl,
+    summary_table,
+    write_chrome_trace,
+)
+
+
+def _instrumented_system():
+    system = build_system("RTOS2")
+    system.soc.obs.enable()
+    kernel = system.kernel
+
+    def body(ctx):
+        yield from ctx.request("DSP")
+        yield from ctx.use_peripheral("DSP", 50)
+        yield from ctx.release_resource("DSP")
+
+    kernel.create_task(body, "p1", 1, "PE1")
+    kernel.run()
+    return system
+
+
+# -- Chrome / Perfetto trace ---------------------------------------------------
+
+def test_chrome_trace_document_schema():
+    system = _instrumented_system()
+    doc = chrome_trace_document(system.soc.obs)
+    assert set(doc) == {"traceEvents", "displayTimeUnit", "otherData"}
+    events = doc["traceEvents"]
+    metas = [e for e in events if e["ph"] == "M"]
+    completes = [e for e in events if e["ph"] == "X"]
+    assert metas and completes
+    process_names = [e for e in metas if e["name"] == "process_name"]
+    assert process_names[0]["args"]["name"] == "RTOS2"
+    thread_names = {e["args"]["name"] for e in metas
+                    if e["name"] == "thread_name"}
+    assert "p1" in thread_names
+    for event in completes:
+        assert event["dur"] >= 0
+        assert isinstance(event["pid"], int)
+        assert isinstance(event["tid"], int)
+    # Round-trips through JSON.
+    json.loads(json.dumps(doc))
+
+
+def test_open_spans_exported_as_unfinished():
+    obs = Observability(enabled=True, label="sys")
+    obs.begin("t", "stuck")
+    events = chrome_trace_document(obs)["traceEvents"]
+    stuck = [e for e in events if e["ph"] == "X"][0]
+    assert stuck["args"]["unfinished"] is True
+
+
+def test_write_chrome_trace_merges_systems(tmp_path):
+    a = Observability(enabled=True, label="sysA")
+    b = Observability(enabled=True, label="sysB")
+    span = a.begin("t", "x")
+    a.end(span)
+    path = tmp_path / "trace.json"
+    write_chrome_trace(str(path), [a, b])
+    doc = json.loads(path.read_text())
+    pids = {e["pid"] for e in doc["traceEvents"]}
+    assert pids == {1, 2}
+
+
+# -- JSONL + summary -----------------------------------------------------------
+
+def test_spans_jsonl_round_trips():
+    system = _instrumented_system()
+    lines = system.soc.obs.spans_jsonl().splitlines()
+    assert lines
+    payloads = [json.loads(line) for line in lines]
+    assert all({"actor", "name", "begin", "end", "depth", "attrs"}
+               <= set(p) for p in payloads)
+    begins = [p["begin"] for p in payloads]
+    assert begins == sorted(begins)
+
+
+def test_metrics_jsonl_covers_every_metric():
+    system = _instrumented_system()
+    registry = system.soc.obs.metrics
+    payloads = [json.loads(line)
+                for line in metrics_to_jsonl(registry).splitlines()]
+    assert {p["name"] for p in payloads} == set(registry.names())
+    kinds = {p["kind"] for p in payloads}
+    assert kinds == {"counter", "gauge", "histogram"}
+
+
+def test_summary_table_renders_all_sections():
+    system = _instrumented_system()
+    text = summary_table(system.soc.obs, title="RTOS2")
+    assert text.splitlines()[0] == "RTOS2"
+    assert "counter" in text and "histogram" in text
+    assert "bus.transactions" in text
+    assert "(no metrics" not in text
+
+
+def test_summary_table_empty_registry():
+    assert "(no metrics registered)" in summary_table(
+        Observability(enabled=True))
+
+
+# -- the CLI flags -------------------------------------------------------------
+
+@pytest.fixture(autouse=True)
+def _reset_capture_mode():
+    yield
+    obs_module.set_default_enabled(False)
+    obs_module.clear_live_systems()
+
+
+def test_cli_metrics_flag_prints_summaries(capsys):
+    assert experiments_main(["table5", "--metrics"]) == 0
+    out = capsys.readouterr().out
+    assert "bus.transactions" in out
+    assert "ddu.invocations" in out
+    assert "kernel.context_switches" in out
+
+
+def test_cli_trace_out_writes_valid_json(tmp_path, capsys):
+    path = tmp_path / "t.json"
+    assert experiments_main(["table5", "--trace-out", str(path)]) == 0
+    doc = json.loads(path.read_text())
+    assert doc["traceEvents"]
+    names = {e["name"] for e in doc["traceEvents"] if e["ph"] == "X"}
+    assert "request" in names
+    assert f"wrote {path}" in capsys.readouterr().out
+
+
+def test_cli_without_flags_stays_uninstrumented(capsys):
+    assert experiments_main(["fig7"]) == 0
+    assert not obs_module.default_enabled()
+    assert obs_module.live_systems() == ()

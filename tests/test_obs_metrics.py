@@ -1,0 +1,277 @@
+"""Tests for the metrics registry and its wiring into the stack."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.framework.builder import build_system
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_OBS,
+    Observability,
+)
+from repro.sim.engine import Engine
+
+
+# -- metric primitives ---------------------------------------------------------
+
+def test_counter_monotonic():
+    counter = Counter("c")
+    counter.inc()
+    counter.inc(2.5)
+    assert counter.value == 3.5
+    assert counter.updates == 2
+    with pytest.raises(ValueError):
+        counter.inc(-1)
+
+
+def test_gauge_tracks_extremes():
+    gauge = Gauge("g")
+    gauge.set(5)
+    gauge.dec(7)
+    gauge.inc(1)
+    assert gauge.value == -1
+    assert gauge.min_value == -2
+    assert gauge.max_value == 5
+
+
+def test_histogram_buckets_and_stats():
+    hist = Histogram("h", bounds=(1, 10, 100))
+    for value in (0.5, 1, 7, 99, 5000):
+        hist.observe(value)
+    assert hist.count == 5
+    assert hist.counts == [2, 1, 1, 1]          # last bucket = overflow
+    assert hist.total == 5107.5
+    assert hist.min_value == 0.5
+    assert hist.max_value == 5000
+    assert hist.mean == pytest.approx(1021.5)
+    assert hist.percentile(50) == 10.0
+    assert hist.percentile(100) == 5000.0       # overflow reports the max
+    with pytest.raises(ValueError):
+        hist.percentile(0)
+
+
+def test_histogram_rejects_bad_bounds():
+    with pytest.raises(ConfigurationError):
+        Histogram("h", bounds=())
+    with pytest.raises(ConfigurationError):
+        Histogram("h", bounds=(1, 1, 2))
+    with pytest.raises(ConfigurationError):
+        Histogram("h", bounds=(3, 2))
+
+
+def test_registry_get_or_create_and_type_clash():
+    registry = MetricsRegistry()
+    a = registry.counter("x", "first")
+    b = registry.counter("x", "second")
+    assert a is b
+    assert "x" in registry and len(registry) == 1
+    with pytest.raises(ConfigurationError):
+        registry.gauge("x")
+    with pytest.raises(KeyError):
+        registry.get("missing")
+
+
+def test_snapshot_delta_subtracts_counters_and_histograms():
+    registry = MetricsRegistry()
+    counter = registry.counter("c")
+    hist = registry.histogram("h", bounds=(10, 100))
+    gauge = registry.gauge("g")
+    counter.inc(3)
+    hist.observe(5)
+    gauge.set(7)
+    before = registry.snapshot(time=100)
+    counter.inc(4)
+    hist.observe(50)
+    gauge.set(9)
+    after = registry.snapshot(time=200)
+    delta = after.delta(before)
+    assert delta.counters["c"] == 4
+    assert delta.histograms["h"].count == 1
+    assert delta.histograms["h"].counts == (0, 1, 0)
+    assert delta.gauges["g"] == 9          # levels keep the later value
+    assert registry.total_updates == 6
+
+
+# -- the zero-overhead-when-disabled contract ---------------------------------
+
+def test_disabled_obs_registers_but_never_updates():
+    system = build_system("RTOS2")
+    obs = system.soc.obs
+    assert not obs.enabled
+    assert "bus.transactions" in obs.metrics
+
+    def body(ctx):
+        yield from ctx.request("DSP")
+        yield from ctx.release_resource("DSP")
+
+    system.kernel.create_task(body, "p1", 1, "PE1")
+    system.kernel.run()
+    assert obs.metrics.total_updates == 0
+    assert obs.tracer.all_spans() == []
+
+
+def test_null_obs_cannot_be_enabled():
+    from repro.errors import SimulationError
+    with pytest.raises(SimulationError):
+        NULL_OBS.enable()
+
+
+# -- component coverage (the acceptance list) ---------------------------------
+
+def _run_enabled(config, body, *tasks):
+    system = build_system(config)
+    system.soc.obs.enable()
+    for name, priority, pe in tasks:
+        system.kernel.create_task(body, name, priority, pe)
+    system.kernel.run()
+    return system
+
+
+def test_bus_transactions_and_stalls_counted():
+    engine = Engine()
+    obs = Observability(engine=engine, enabled=True)
+    from repro.mpsoc.bus import SystemBus
+    bus = SystemBus(engine, obs=obs)
+
+    def master(name):
+        yield from bus.transaction(name, words=4)
+
+    engine.spawn(master("A"))
+    engine.spawn(master("B"))     # same cycle: must stall behind A
+    engine.run()
+    assert obs.metrics.get("bus.transactions").value == 2
+    assert obs.metrics.get("bus.busy_cycles").value > 0
+    assert obs.metrics.get("bus.stalled_transactions").value == 1
+    assert obs.metrics.get("bus.stall_cycles").value > 0
+
+
+def test_software_lock_latency_histogram():
+    system = build_system("RTOS5")
+    system.soc.obs.enable()
+    kernel = system.kernel
+
+    def holder(ctx):
+        yield from ctx.lock("L")
+        yield from ctx.compute(500)
+        yield from ctx.unlock("L")
+
+    def waiter(ctx):
+        yield from ctx.compute(10)
+        yield from ctx.lock("L")
+        yield from ctx.unlock("L")
+
+    kernel.create_task(holder, "holder", 2, "PE1")
+    kernel.create_task(waiter, "waiter", 1, "PE2")
+    kernel.run()
+    metrics = system.soc.obs.metrics
+    assert metrics.get("lock.acquisitions").value == 2
+    assert metrics.get("lock.contended").value == 1
+    latency = metrics.get("lock.acquire_latency")
+    assert latency.count == 2 and latency.mean > 0
+    assert metrics.get("lock.acquire_delay").max_value > 0
+    assert metrics.get("lock.hold_cycles").count == 2
+
+
+def test_soclc_lock_metrics():
+    system = build_system("RTOS6")
+    system.lock_manager.register_lock("L", kind="long", ceiling=1)
+    system.soc.obs.enable()
+    kernel = system.kernel
+
+    def holder(ctx):
+        yield from ctx.lock("L")
+        yield from ctx.compute(500)
+        yield from ctx.unlock("L")
+
+    def waiter(ctx):
+        yield from ctx.compute(10)
+        yield from ctx.lock("L")
+        yield from ctx.unlock("L")
+
+    kernel.create_task(holder, "holder", 2, "PE1")
+    kernel.create_task(waiter, "waiter", 1, "PE2")
+    kernel.run()
+    metrics = system.soc.obs.metrics
+    assert metrics.get("lock.acquisitions").value == 2
+    assert metrics.get("lock.contended").value == 1
+    assert metrics.get("lock.acquire_latency").count == 2
+    assert metrics.get("lock.hold_cycles").count == 2
+
+
+def test_ddu_iterations_histogram():
+    def body(ctx):
+        yield from ctx.request("DSP")
+        yield from ctx.release_resource("DSP")
+
+    system = _run_enabled("RTOS2", body, ("p1", 1, "PE1"))
+    metrics = system.soc.obs.metrics
+    assert metrics.get("ddu.invocations").value > 0
+    assert metrics.get("ddu.iterations").count > 0
+    assert metrics.get("deadlock.invocations").value > 0
+    assert metrics.get("deadlock.algorithm_cycles").count > 0
+
+
+def test_dau_decision_metrics():
+    def body(ctx):
+        yield from ctx.request("DSP")
+        yield from ctx.release_resource("DSP")
+
+    system = _run_enabled("RTOS4", body, ("p1", 1, "PE1"))
+    metrics = system.soc.obs.metrics
+    assert metrics.get("dau.decisions").value > 0
+    assert metrics.get("dau.decision_cycles").count > 0
+    # The embedded DDU reports through the same registry.
+    ddu = system.resource_service.core.ddu
+    assert metrics.get("ddu.invocations").value == ddu.invocations
+
+
+def test_socdmmu_allocation_metrics():
+    def body(ctx):
+        handle = yield from ctx.malloc(100_000)
+        yield from ctx.free(handle)
+
+    system = _run_enabled("RTOS7", body, ("p1", 1, "PE1"))
+    metrics = system.soc.obs.metrics
+    assert metrics.get("socdmmu.mallocs").value == 1
+    assert metrics.get("socdmmu.frees").value == 1
+    assert metrics.get("socdmmu.alloc_blocks").count == 1
+    in_use = metrics.get("socdmmu.in_use_bytes")
+    assert in_use.max_value >= 100_000
+    assert in_use.value == 0      # freed at the end
+
+
+def test_software_heap_metrics():
+    def body(ctx):
+        address = yield from ctx.malloc(4096)
+        yield from ctx.free(address)
+
+    system = _run_enabled("RTOS5", body, ("p1", 1, "PE1"))
+    metrics = system.soc.obs.metrics
+    assert metrics.get("heap.mallocs").value == 1
+    assert metrics.get("heap.frees").value == 1
+    assert metrics.get("heap.walk_entries").count == 1
+    assert metrics.get("heap.alloc_bytes").max_value >= 4096
+
+
+def test_context_switches_and_dispatches_counted():
+    def body(ctx):
+        yield from ctx.compute(100)
+
+    system = _run_enabled("RTOS5", body,
+                          ("p1", 1, "PE1"), ("p2", 2, "PE1"))
+    metrics = system.soc.obs.metrics
+    assert metrics.get("kernel.context_switches").value >= 2
+    assert metrics.get("sched.dispatches").value >= 2
+    assert metrics.get("sched.ready_depth").count >= 2
+
+
+def test_leak_counter_matches_kernel_leaks():
+    def leaker(ctx):
+        yield from ctx.request("DSP")
+
+    system = _run_enabled("RTOS4", leaker, ("p1", 1, "PE1"))
+    assert system.kernel.leaks == [("p1", ["DSP"])]
+    assert system.soc.obs.metrics.get("kernel.leaks").value == 1

@@ -1,0 +1,187 @@
+"""Tests for span tracing: nesting, lenient teardown, kernel wiring."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.framework.builder import build_system
+from repro.obs import Observability, Span, SpanTracer
+from repro.sim.trace import Trace
+
+
+class _Clock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+# -- the tracer alone ----------------------------------------------------------
+
+def test_spans_nest_per_actor():
+    clock = _Clock()
+    tracer = SpanTracer(clock)
+    outer = tracer.begin("t1", "acquire")
+    clock.now = 5
+    inner = tracer.begin("t1", "request")
+    other = tracer.begin("t2", "malloc")
+    assert (outer.depth, inner.depth, other.depth) == (0, 1, 0)
+    clock.now = 9
+    tracer.end(inner)
+    clock.now = 12
+    tracer.end(outer)
+    tracer.end(other)
+    assert inner.duration == 4
+    assert outer.duration == 12
+    assert tracer.open_spans() == []
+    assert [span.name for span in tracer.completed] == \
+        ["request", "acquire", "malloc"]
+
+
+def test_end_is_lenient_about_open_children_and_reentry():
+    clock = _Clock()
+    tracer = SpanTracer(clock)
+    outer = tracer.begin("t", "outer")
+    inner = tracer.begin("t", "inner")
+    clock.now = 3
+    tracer.end(outer)               # closes the abandoned child first
+    assert inner.end == 3 and outer.end == 3
+    tracer.end(outer)               # idempotent
+    assert len(tracer.completed) == 2
+
+
+def test_end_of_foreign_span_raises():
+    tracer = SpanTracer(_Clock())
+    foreign = Span("t", "x", 0.0, 0)
+    with pytest.raises(SimulationError):
+        tracer.end(foreign)
+
+
+def test_tracer_mirrors_into_trace():
+    clock = _Clock()
+    trace = Trace()
+    tracer = SpanTracer(clock, trace=trace)
+    span = tracer.begin("t", "lock")
+    clock.now = 7
+    tracer.end(span)
+    assert trace.count("span_begin") == 1
+    assert trace.count("span_end") == 1
+    assert trace.first("span_begin").details["span"] == "lock"
+
+
+def test_render_tree_indents_by_depth():
+    clock = _Clock()
+    tracer = SpanTracer(clock)
+    outer = tracer.begin("t", "acquire")
+    inner = tracer.begin("t", "request")
+    clock.now = 4
+    tracer.end(inner)
+    tracer.end(outer)
+    text = tracer.render_tree()
+    lines = text.splitlines()
+    assert lines[0] == "t:"
+    assert lines[1].startswith("  acquire")
+    assert lines[2].startswith("    request")
+
+
+def test_wrap_is_identity_when_disabled():
+    obs = Observability(enabled=False)
+
+    def gen():
+        yield 1
+
+    raw = gen()
+    assert obs.wrap("t", "x", raw) is raw
+    assert obs.begin("t", "x") is None
+    obs.end(None)                   # guarded no-op
+
+
+def test_wrap_closes_span_on_exception():
+    obs = Observability(enabled=True)
+
+    def boom():
+        yield 1
+        raise RuntimeError("bang")
+
+    wrapped = obs.wrap("t", "boom", boom())
+    next(wrapped)
+    with pytest.raises(RuntimeError):
+        next(wrapped)
+    spans = obs.tracer.spans_of("t", "boom")
+    assert len(spans) == 1 and not spans[0].is_open
+
+
+# -- kernel service calls become spans ----------------------------------------
+
+def test_service_calls_produce_nested_spans():
+    system = build_system("RTOS2")
+    system.soc.obs.enable()
+    kernel = system.kernel
+
+    def body(ctx):
+        yield from ctx.request("DSP")
+        yield from ctx.use_peripheral("DSP", 100)
+        yield from ctx.release_resource("DSP")
+        address = yield from ctx.malloc(256)
+        yield from ctx.free(address)
+
+    kernel.create_task(body, "p1", 1, "PE1")
+    kernel.run()
+    tracer = system.soc.obs.tracer
+    names = {span.name for span in tracer.spans_of("p1")}
+    assert {"request", "use_peripheral", "release",
+            "malloc", "free"} <= names
+    # The detection run nests inside the request span.
+    detects = tracer.spans_of("p1", "detect")
+    requests = tracer.spans_of("p1", "request")
+    assert detects and requests
+    assert all(span.depth > requests[0].depth for span in detects)
+    assert tracer.open_spans() == []
+
+
+def test_deadlocked_task_leaves_open_span():
+    system = build_system("RTOS2")
+    system.soc.obs.enable()
+    kernel = system.kernel
+
+    def stuck(ctx):
+        yield from ctx.request("DSP")   # granted
+        yield from ctx.request("VI")    # p2 holds VI: pends forever
+        yield from ctx.wait_grant("VI")
+
+    def blocker(ctx):
+        yield from ctx.request("VI")
+        yield from ctx.request("DSP")   # p1 holds DSP: pends forever
+        yield from ctx.wait_grant("DSP")
+
+    kernel.create_task(stuck, "p1", 1, "PE1")
+    kernel.create_task(blocker, "p2", 2, "PE2")
+    kernel.run(until=200_000)
+    open_names = {(span.actor, span.name)
+                  for span in system.soc.obs.tracer.open_spans()}
+    assert ("p1", "wait_grant") in open_names or \
+        ("p2", "wait_grant") in open_names
+
+
+def test_ipc_primitives_produce_spans():
+    from repro.rtos.ipc import Mailbox
+
+    system = build_system("RTOS5")
+    system.soc.obs.enable()
+    kernel = system.kernel
+    mailbox = Mailbox(kernel, "m")
+    received = {}
+
+    def producer(ctx):
+        yield from mailbox.post(ctx, "ping")
+
+    def consumer(ctx):
+        received["msg"] = yield from mailbox.pend(ctx)
+
+    kernel.create_task(producer, "prod", 2, "PE1")
+    kernel.create_task(consumer, "cons", 1, "PE2")
+    kernel.run()
+    assert received["msg"] == "ping"
+    tracer = system.soc.obs.tracer
+    assert tracer.spans_of("prod", "mbox.post")
+    assert tracer.spans_of("cons", "mbox.pend")

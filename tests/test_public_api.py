@@ -19,7 +19,7 @@ def test_top_level_all_resolves():
 @pytest.mark.parametrize("module", [
     "repro.sim", "repro.rag", "repro.deadlock", "repro.mpsoc",
     "repro.rtos", "repro.soclc", "repro.socdmmu", "repro.framework",
-    "repro.apps", "repro.experiments",
+    "repro.apps", "repro.experiments", "repro.obs",
 ])
 def test_subpackage_all_resolves(module):
     package = importlib.import_module(module)
@@ -45,7 +45,7 @@ def test_public_docstrings_exist():
 @pytest.mark.parametrize("module", [
     "repro.sim", "repro.rag", "repro.deadlock", "repro.mpsoc",
     "repro.rtos", "repro.soclc", "repro.socdmmu", "repro.framework",
-    "repro.apps",
+    "repro.apps", "repro.obs",
 ])
 def test_every_exported_item_is_documented(module):
     package = importlib.import_module(module)

@@ -212,3 +212,34 @@ def test_run_until_complete_raises_on_stuck_process():
     handle = engine.spawn(stuck(), name="stuck")
     with pytest.raises(SimulationError):
         engine.run_until_complete([handle])
+
+
+def test_profile_stats_counts_events():
+    engine = Engine()
+
+    def proc():
+        yield 5
+        yield 5
+
+    engine.spawn(proc(), name="p")
+    engine.run()
+    stats = engine.profile_stats()
+    assert stats["events_processed"] >= 2
+    assert stats["sim_cycles"] == 10
+    assert stats["events_per_cycle"] > 0
+    assert stats["wall_seconds"] == 0.0     # profiling was off
+
+
+def test_profiling_accumulates_wall_time():
+    engine = Engine()
+    engine.profiling = True
+
+    def proc():
+        for _ in range(100):
+            yield 1
+
+    engine.spawn(proc(), name="p")
+    engine.run()
+    stats = engine.profile_stats()
+    assert stats["wall_seconds"] > 0
+    assert stats["wall_us_per_cycle"] > 0

@@ -69,6 +69,48 @@ def test_describe_includes_details():
     assert "pe=PE1" in trace[0].describe()
 
 
+def test_describe_columns_align_for_long_actor_names():
+    trace = Trace()
+    trace.record(0, "p1", "run_start")
+    trace.record(5, "a_rather_long_task_name", "run_end")
+    text = trace.render()
+    lines = text.splitlines()
+    # The kind column starts at the same offset on every line, even
+    # when one actor name is far longer than the default width.
+    offsets = {line.index(kind) for line, kind
+               in zip(lines, ["run_start", "run_end"])}
+    assert len(offsets) == 1
+
+
+def test_describe_widens_for_own_actor():
+    trace = Trace()
+    trace.record(0, "a_very_long_actor_name", "tick")
+    line = trace[0].describe(actor_width=4)
+    assert "a_very_long_actor_name tick" in line
+
+
+def test_jsonl_round_trip():
+    trace = _sample_trace()
+    text = trace.to_jsonl()
+    assert text.endswith("\n")
+    rebuilt = Trace.from_jsonl(text)
+    assert len(rebuilt) == len(trace)
+    for original, copy in zip(trace, rebuilt):
+        assert (original.time, original.actor, original.kind,
+                original.details) == \
+            (copy.time, copy.actor, copy.kind, copy.details)
+
+
+def test_jsonl_kind_filter_and_blank_lines():
+    trace = _sample_trace()
+    text = trace.to_jsonl(kinds=["run_start"])
+    assert len(text.splitlines()) == 2
+    rebuilt = Trace.from_jsonl("\n" + text + "\n\n")
+    assert all(rec.kind == "run_start" for rec in rebuilt)
+    assert Trace.from_jsonl("").actors() == []
+    assert Trace().to_jsonl() == ""
+
+
 def test_gantt_renders_rows_for_actors():
     trace = _sample_trace()
     chart = trace.gantt()

@@ -1,0 +1,63 @@
+"""Golden-file test for the VCD exporter.
+
+The golden file pins the exact byte-level VCD output for a small
+deterministic two-task scenario; any change to header layout, identifier
+assignment, edge mapping or timestamp grouping shows up as a diff
+against ``tests/data/two_tasks.vcd``.
+
+To regenerate after an intentional format change::
+
+    PYTHONPATH=src python tests/test_vcd_golden.py
+"""
+
+from pathlib import Path
+
+from repro.framework.builder import build_system
+from repro.sim.vcd import trace_to_vcd
+
+GOLDEN = Path(__file__).parent / "data" / "two_tasks.vcd"
+
+
+def _two_task_trace():
+    system = build_system("RTOS5")
+    kernel = system.kernel
+
+    def worker(ctx):
+        yield from ctx.compute(50)
+        yield from ctx.sleep(20)
+        yield from ctx.compute(30)
+
+    def rival(ctx):
+        yield from ctx.compute(40)
+
+    kernel.create_task(worker, "p1", 1, "PE1")
+    kernel.create_task(rival, "p2", 2, "PE1")
+    kernel.run()
+    return kernel.trace
+
+
+def test_vcd_matches_golden_file():
+    document = trace_to_vcd(_two_task_trace(), actors=["p1", "p2"])
+    assert document == GOLDEN.read_text()
+
+
+def test_vcd_structure():
+    document = trace_to_vcd(_two_task_trace(), actors=["p1", "p2"])
+    lines = document.splitlines()
+    assert lines[0].startswith("$date")
+    assert any(line.startswith("$timescale") for line in lines)
+    assert sum(1 for line in lines if line.startswith("$var")) == 4
+    assert "$enddefinitions $end" in lines
+    # Every value-change line flips a declared identifier.
+    idents = {line.split()[3] for line in lines if line.startswith("$var")}
+    for line in lines[lines.index("$end") + 1:]:
+        if line.startswith("#"):
+            continue
+        assert line[0] in "01" and line[1:] in idents
+
+
+if __name__ == "__main__":   # regeneration helper
+    GOLDEN.parent.mkdir(exist_ok=True)
+    GOLDEN.write_text(trace_to_vcd(_two_task_trace(),
+                                   actors=["p1", "p2"]))
+    print(f"wrote {GOLDEN}")
