@@ -1,0 +1,93 @@
+"""Campaign benchmarks: scale, bit-for-bit determinism, speedup.
+
+Three guards on the campaign runner's contract:
+
+* the ``claims`` campaign (several hundred randomized scenarios against
+  the paper's oracles) completes clean at benchmark speed;
+* the result digest is identical across worker counts — the ≥200
+  scenario reproducibility acceptance check;
+* four workers beat one by at least 3x on a compute-bound campaign
+  (skipped on machines with fewer than four CPUs, where the speedup is
+  physically unavailable).
+"""
+
+import os
+import time
+
+import pytest
+
+from benchmarks.conftest import bench_once
+from repro.campaign import (
+    CampaignRunner,
+    CampaignSpec,
+    ScenarioSpec,
+    builtin_campaign,
+    results_digest,
+)
+
+_CPUS = os.cpu_count() or 1
+
+
+def _heavy_campaign(repeats: int) -> CampaignSpec:
+    """Compute-bound scenarios (~0.2s each) so process-pool overhead is
+    amortized and the speedup measurement is about real work."""
+    return CampaignSpec(name="heavy", scenarios=(
+        ScenarioSpec(name="dau", generator="census",
+                     checker="dau-invariants",
+                     params={"m": 6, "n": 6, "events": 400},
+                     repeats=repeats),))
+
+
+def test_bench_claims_campaign_completes_clean(benchmark):
+    spec = builtin_campaign("claims")
+    assert spec.count() >= 200
+
+    def run():
+        return CampaignRunner(spec, seed_root=42).run()
+
+    run = bench_once(benchmark, run)
+    assert len(run.results) == spec.count()
+    assert run.counts["pass"] == spec.count(), run.render_summary()
+    benchmark.extra_info["campaign"] = {
+        "scenarios": len(run.results),
+        "digest": results_digest(run.results),
+    }
+
+
+def test_bench_campaign_digest_is_reproducible(benchmark):
+    """≥200 scenarios, same seed root, different worker counts: the
+    timing-stripped result JSONL must be bit-for-bit identical."""
+    spec = builtin_campaign("claims")
+    assert spec.count() >= 200
+
+    def digest_with(workers: int) -> str:
+        run = CampaignRunner(spec, seed_root="soak",
+                             workers=workers).run()
+        return results_digest(run.results)
+
+    first = bench_once(benchmark, digest_with, 1)
+    second = digest_with(2)
+    assert first == second, "results depend on shard placement"
+    benchmark.extra_info["digest"] = first
+
+
+@pytest.mark.skipif(_CPUS < 4, reason=f"needs 4 CPUs, have {_CPUS}")
+def test_bench_four_workers_give_3x_speedup(benchmark):
+    spec = _heavy_campaign(repeats=32)
+
+    def timed(workers: int) -> float:
+        start = time.perf_counter()
+        run = CampaignRunner(spec, seed_root=7, workers=workers).run()
+        elapsed = time.perf_counter() - start
+        assert run.counts["pass"] == spec.count()
+        return elapsed
+
+    serial = timed(1)
+    parallel = bench_once(benchmark, timed, 4)
+    speedup = serial / parallel
+    assert speedup >= 3.0, (
+        f"4 workers only {speedup:.2f}x faster than 1 "
+        f"({serial:.2f}s -> {parallel:.2f}s)")
+    benchmark.extra_info["speedup"] = {
+        "serial_s": serial, "four_workers_s": parallel,
+        "speedup": speedup}

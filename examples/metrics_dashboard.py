@@ -9,15 +9,20 @@ detection unit, and then prints:
 2. a per-phase delta between two snapshots,
 3. the span tree of one task's service calls,
 
-and writes a Chrome/Perfetto trace next to this script.  Load the JSON
-at https://ui.perfetto.dev (or chrome://tracing) to see the same spans
-on a zoomable timeline.
+and writes a Chrome/Perfetto trace.  Load the JSON at
+https://ui.perfetto.dev (or chrome://tracing) to see the same spans on
+a zoomable timeline.
 
 Run with::
 
-    python examples/metrics_dashboard.py
+    python examples/metrics_dashboard.py [--out TRACE.json]
+
+The trace goes to a temporary directory unless ``--out`` says
+otherwise, so running the example never litters the working tree.
 """
 
+import argparse
+import tempfile
 from pathlib import Path
 
 from repro import build_system
@@ -44,7 +49,13 @@ def rival(ctx):
     yield from ctx.release_resource("IDCT")
 
 
-def main() -> None:
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", metavar="TRACE.json",
+                        help="where to write the Perfetto trace "
+                             "(default: a temporary directory)")
+    args = parser.parse_args(argv)
+
     system = build_system("RTOS2",
                           processes=("worker", "rival"),
                           priorities={"worker": 1, "rival": 2})
@@ -72,7 +83,11 @@ def main() -> None:
     print("\nworker's service-call spans:")
     print(obs.tracer.render_tree(actors=["worker"]))
 
-    out = Path(__file__).with_name("metrics_dashboard_trace.json")
+    if args.out:
+        out = Path(args.out)
+    else:
+        out = Path(tempfile.mkdtemp(prefix="repro_dashboard_")) \
+            / "metrics_dashboard_trace.json"
     write_chrome_trace(str(out), obs)
     print(f"\nwrote {out} — open it at https://ui.perfetto.dev")
 

@@ -2,6 +2,10 @@
 # Repository check gate: lint (when ruff is installed) + the tier-1 suite.
 #
 # Usage: scripts/check.sh [extra pytest args]
+#
+# Any ruff finding or test failure makes the script exit non-zero.
+# Set CHECK_BENCH=1 to also run the observability-overhead benchmark
+# guard (what CI does in its second job).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -9,9 +13,17 @@ cd "$(dirname "$0")/.."
 if command -v ruff >/dev/null 2>&1; then
     echo "== ruff =="
     ruff check src tests benchmarks examples
+elif python -c "import ruff" >/dev/null 2>&1; then
+    echo "== ruff (module) =="
+    python -m ruff check src tests benchmarks examples
 else
     echo "== ruff not installed; skipping lint =="
 fi
 
 echo "== pytest =="
 PYTHONPATH=src python -m pytest -q "$@"
+
+if [[ "${CHECK_BENCH:-0}" == "1" ]]; then
+    echo "== obs overhead guard =="
+    PYTHONPATH=src python -m pytest -q benchmarks/test_bench_obs_overhead.py
+fi

@@ -1,0 +1,438 @@
+"""Scenario generators and checkers (the campaign's registries).
+
+A *generator* builds the subject under test — a RAG, a multi-unit
+system, a process/resource census, or a whole built RTOS/MPSoC — from a
+scenario's parameter dict and its private seeded RNG.  A *checker*
+grinds the subject against one of the paper's claims and returns a
+:class:`CheckOutcome`.  Both registries are keyed by short stable names
+so scenarios serialize to JSON and replay anywhere.
+
+Every generator and checker takes ``(params, rng)`` /
+``(subject, params, rng)`` with a :class:`random.Random` owned by the
+scenario (seeded from the run's seed root, see
+:func:`repro.campaign.spec.derive_seed`); none touches the ambient
+``random`` module, which is what makes campaigns bit-for-bit
+replayable.
+
+The ``chaos.*`` checkers are deliberate fault injectors (hard process
+exit, hang) used to test — and demonstrate — the runner's worker-crash
+isolation and per-task timeout handling.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+from repro.deadlock.dau import DAU
+from repro.deadlock.ddu import DDU
+from repro.deadlock.pdda import pdda_detect
+from repro.deadlock.recovery import apply_plan, plan_recovery
+from repro.errors import ConfigurationError
+from repro.framework.builder import build_system
+from repro.rag.generate import (
+    chain_state,
+    cycle_state,
+    deadlock_free_state,
+    random_multiunit_state,
+    random_state,
+    worst_case_state,
+)
+
+#: name -> fn(params, rng) -> subject
+GENERATORS: dict[str, Callable] = {}
+#: name -> fn(subject, params, rng) -> CheckOutcome
+CHECKERS: dict[str, Callable] = {}
+
+
+def generator(name: str) -> Callable:
+    def register(fn: Callable) -> Callable:
+        GENERATORS[name] = fn
+        return fn
+    return register
+
+
+def checker(name: str) -> Callable:
+    def register(fn: Callable) -> Callable:
+        CHECKERS[name] = fn
+        return fn
+    return register
+
+
+def lookup(kind: str, name: str) -> Callable:
+    registry = GENERATORS if kind == "generator" else CHECKERS
+    try:
+        return registry[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown {kind} {name!r}; available: "
+            f"{sorted(registry)}") from None
+
+
+@dataclass(frozen=True)
+class CheckOutcome:
+    """What one checker concluded about one scenario."""
+
+    ok: bool
+    #: "pass" or "fail" — infrastructure verdicts ("error", "timeout",
+    #: "crash") are assigned by the runner, never by a checker.
+    verdict: str
+    #: Algorithm steps taken (reduction iterations, decisions, ...).
+    steps: int = 0
+    #: Modelled cost in bus cycles (hardware or software model).
+    cycles: float = 0.0
+    detail: str = ""
+
+
+def _passed(steps: int = 0, cycles: float = 0.0,
+            detail: str = "") -> CheckOutcome:
+    return CheckOutcome(ok=True, verdict="pass", steps=steps,
+                        cycles=cycles, detail=detail)
+
+
+def _failed(detail: str, steps: int = 0,
+            cycles: float = 0.0) -> CheckOutcome:
+    return CheckOutcome(ok=False, verdict="fail", steps=steps,
+                        cycles=cycles, detail=detail)
+
+
+# -- generators ---------------------------------------------------------------
+
+@generator("rag.random")
+def _gen_rag_random(params: Mapping[str, Any], rng: random.Random):
+    return random_state(int(params.get("m", 5)), int(params.get("n", 5)),
+                        grant_fraction=params.get("grant_fraction", 0.6),
+                        request_fraction=params.get("request_fraction", 0.3),
+                        rng=rng)
+
+
+@generator("rag.deadlock_free")
+def _gen_rag_free(params: Mapping[str, Any], rng: random.Random):
+    return deadlock_free_state(int(params.get("m", 5)),
+                               int(params.get("n", 5)), rng=rng)
+
+
+@generator("rag.cycle")
+def _gen_rag_cycle(params: Mapping[str, Any], rng: random.Random):
+    return cycle_state(int(params.get("length", 4)))
+
+
+@generator("rag.chain")
+def _gen_rag_chain(params: Mapping[str, Any], rng: random.Random):
+    return chain_state(int(params.get("length", 4)))
+
+
+@generator("rag.worst_case")
+def _gen_rag_worst(params: Mapping[str, Any], rng: random.Random):
+    return worst_case_state(int(params.get("m", 5)),
+                            int(params.get("n", 5)))
+
+
+@generator("multiunit.random")
+def _gen_multiunit(params: Mapping[str, Any], rng: random.Random):
+    return random_multiunit_state(
+        int(params.get("m", 4)), int(params.get("n", 4)),
+        max_units=int(params.get("max_units", 1)),
+        grant_fraction=params.get("grant_fraction", 0.6),
+        request_fraction=params.get("request_fraction", 0.3),
+        rng=rng)
+
+
+@generator("census")
+def _gen_census(params: Mapping[str, Any], rng: random.Random):
+    """Bare (processes, resources, priorities) names, no state."""
+    m = int(params.get("m", 5))
+    n = int(params.get("n", 5))
+    processes = tuple(f"p{t + 1}" for t in range(n))
+    resources = tuple(f"q{s + 1}" for s in range(m))
+    priorities = {p: i + 1 for i, p in enumerate(processes)}
+    return (processes, resources, priorities)
+
+
+@generator("preset")
+def _gen_preset(params: Mapping[str, Any], rng: random.Random):
+    """A built RTOS/MPSoC from a Table 3 preset (RTOS1..RTOS7)."""
+    return build_system(params.get("preset", "RTOS2"))
+
+
+# -- checkers: the paper's claims ---------------------------------------------
+
+def _iteration_bound(m: int, n: int) -> int:
+    smallest = min(m, n)
+    if smallest == 1:
+        return 1
+    return max(2, 2 * smallest - 3)
+
+
+@checker("pdda-vs-oracle")
+def _check_pdda(rag, params: Mapping[str, Any],
+                rng: random.Random) -> CheckOutcome:
+    """PDDA === structural cycle oracle, within the proven step bound."""
+    oracle = rag.has_cycle()
+    result = pdda_detect(rag)
+    bound = _iteration_bound(rag.num_resources, rag.num_processes)
+    if result.deadlock != oracle:
+        return _failed(f"PDDA says {result.deadlock}, oracle says "
+                       f"{oracle}", steps=result.iterations,
+                       cycles=result.software_cycles)
+    if result.iterations > bound:
+        return _failed(f"{result.iterations} iterations exceeds the "
+                       f"O(min(m,n)) bound {bound}",
+                       steps=result.iterations,
+                       cycles=result.software_cycles)
+    return _passed(steps=result.iterations,
+                   cycles=result.software_cycles,
+                   detail=f"deadlock={result.deadlock}")
+
+
+@checker("ddu-vs-structural")
+def _check_ddu(rag, params: Mapping[str, Any],
+               rng: random.Random) -> CheckOutcome:
+    """The DDU cycle model agrees with the oracle and with PDDA."""
+    ddu = DDU(rag.num_resources, rag.num_processes)
+    ddu.load(rag)
+    hw = ddu.detect()
+    oracle = rag.has_cycle()
+    sw = pdda_detect(rag)
+    if hw.deadlock != oracle:
+        return _failed(f"DDU says {hw.deadlock}, oracle says {oracle}",
+                       steps=hw.iterations, cycles=hw.cycles)
+    if hw.deadlock != sw.deadlock or hw.iterations != sw.iterations:
+        return _failed(
+            f"DDU ({hw.deadlock}, {hw.iterations} iters) disagrees with "
+            f"PDDA ({sw.deadlock}, {sw.iterations} iters)",
+            steps=hw.iterations, cycles=hw.cycles)
+    if hw.iterations > ddu.iteration_bound:
+        return _failed(f"{hw.iterations} iterations exceeds the unit "
+                       f"bound {ddu.iteration_bound}",
+                       steps=hw.iterations, cycles=hw.cycles)
+    return _passed(steps=hw.iterations, cycles=hw.cycles,
+                   detail=f"deadlock={hw.deadlock}")
+
+
+@checker("dau-invariants")
+def _check_dau(census, params: Mapping[str, Any],
+               rng: random.Random) -> CheckOutcome:
+    """Drive a DAU with random traffic from cooperative tasks.
+
+    Tasks honor every ``ask_release`` demand (Assumption 3), so after
+    each decision cascade the RAG must be deadlock-free again — the
+    paper's avoidance outcome — and every decision must respect the
+    Table 2 worst-case step bound and publish a coherent status
+    register.
+    """
+    processes, resources, priorities = census
+    dau = DAU(processes, resources, priorities)
+    events = int(params.get("events", 60))
+    max_cycles = 0.0
+    decisions = 0
+
+    def obey(decision) -> list:
+        return [(proc, res) for proc, res in decision.ask_release
+                if dau.rag.holder_of(res) == proc]
+
+    for step in range(events):
+        rag = dau.rag
+        ops: list = []
+        for p in processes:
+            held = set(rag.held_by(p))
+            pending = set(rag.requests_of(p))
+            ops.extend(("request", p, r) for r in resources
+                       if r not in held and r not in pending)
+            ops.extend(("release", p, r) for r in sorted(held))
+            ops.extend(("withdraw", p, r) for r in sorted(pending))
+        if not ops:
+            break
+        op, p, r = rng.choice(ops)
+        if op == "withdraw":
+            dau.withdraw(p, r)
+            continue
+        demands = [(op, p, r)]
+        cascade = 0
+        while demands:
+            cascade += 1
+            if cascade > 10 * len(processes) * len(resources):
+                return _failed("ask_release cascade did not converge",
+                               steps=decisions, cycles=max_cycles)
+            this_op, proc, res = demands.pop(0)
+            decision = dau.write_command(f"PE_{proc}", this_op, proc, res)
+            decisions += 1
+            max_cycles = max(max_cycles, decision.cycles)
+            if decision.cycles > dau.worst_case_steps:
+                return _failed(
+                    f"decision cost {decision.cycles} exceeds worst-case "
+                    f"bound {dau.worst_case_steps}",
+                    steps=decisions, cycles=max_cycles)
+            status = dau.read_status(proc)
+            if status.busy or not status.done:
+                return _failed(f"status register of {proc} not settled "
+                               "after a decision", steps=decisions,
+                               cycles=max_cycles)
+            flags = [status.successful, status.pending, status.give_up]
+            if sum(flags) != 1:
+                return _failed(
+                    f"incoherent status flags for {proc}: "
+                    f"successful={status.successful} "
+                    f"pending={status.pending} give_up={status.give_up}",
+                    steps=decisions, cycles=max_cycles)
+            demands.extend(("release", q_proc, q_res)
+                           for q_proc, q_res in obey(decision))
+        if pdda_detect(dau.rag).deadlock:
+            return _failed(
+                f"RAG deadlocked after event {step} with every "
+                "ask_release honored", steps=decisions, cycles=max_cycles)
+    return _passed(steps=decisions, cycles=max_cycles,
+                   detail=f"{decisions} decisions, max "
+                          f"{max_cycles:g} cycles")
+
+
+@checker("multiunit-vs-projection")
+def _check_multiunit(system, params: Mapping[str, Any],
+                     rng: random.Random) -> CheckOutcome:
+    """Coffman detection is deterministic; single-unit states must
+    agree with PDDA through the RAG projection."""
+    first = system.detect()
+    second = system.copy().detect()
+    if first != second:
+        return _failed("detection is not deterministic",
+                       steps=first.operations)
+    stuck = [p for p in first.deadlocked_processes
+             if not any(system.outstanding_request(p, q) > 0
+                        for q in system.resources)]
+    if stuck:
+        return _failed(f"deadlocked processes without outstanding "
+                       f"requests: {stuck}", steps=first.operations)
+    single_unit = all(system.total_units(q) == 1 for q in system.resources)
+    if single_unit:
+        sw = pdda_detect(system.to_rag())
+        if sw.deadlock != first.deadlock:
+            return _failed(
+                f"multi-unit detection says {first.deadlock}, PDDA on "
+                f"the projection says {sw.deadlock}",
+                steps=first.operations)
+    return _passed(steps=first.operations,
+                   detail=f"deadlock={first.deadlock} "
+                          f"single_unit={single_unit}")
+
+
+@checker("recovery-converges")
+def _check_recovery(rag, params: Mapping[str, Any],
+                    rng: random.Random) -> CheckOutcome:
+    """Recovery planning breaks every cycle, for every strategy."""
+    detection = pdda_detect(rag)
+    if not detection.deadlock:
+        return _passed(detail="no deadlock to recover from")
+    strategy = params.get("strategy", "lowest-priority")
+    priorities = {p: i + 1 for i, p in enumerate(rag.processes)}
+    plan = plan_recovery(rag, priorities, strategy)
+    scratch = rag.copy()
+    apply_plan(scratch, plan)          # raises if a cycle survives
+    if pdda_detect(scratch).deadlock:
+        return _failed(f"residual deadlock after plan {plan.victims}",
+                       steps=len(plan.steps), cycles=plan.cost)
+    return _passed(steps=len(plan.steps), cycles=plan.cost,
+                   detail=f"victims={','.join(plan.victims)}")
+
+
+def _ordered_worker(ctx, resources: tuple, work: float):
+    """Acquire in global order (deadlock-free), compute, release."""
+    for resource in resources:
+        yield from ctx.acquire(resource)
+    address = yield from ctx.malloc(4096)
+    yield from ctx.compute(work)
+    yield from ctx.free(address)
+    for resource in reversed(resources):
+        yield from ctx.release_resource(resource)
+
+
+def _lock_worker(ctx, lock_id: str, work: float):
+    """Lock/compute/unlock plus a malloc/free pair (RTOS5-7 configs)."""
+    yield from ctx.lock(lock_id)
+    address = yield from ctx.malloc(4096)
+    yield from ctx.compute(work)
+    yield from ctx.free(address)
+    yield from ctx.unlock(lock_id)
+
+
+@checker("sim-run-completes")
+def _check_sim(system, params: Mapping[str, Any],
+               rng: random.Random) -> CheckOutcome:
+    """A randomized full-system workload runs to completion.
+
+    One task per PE performs globally-ordered resource acquisition (so
+    the workload itself is deadlock-free), dynamic allocation and
+    computation; the run must finish every task before the horizon with
+    no leaked resources.
+    """
+    kernel = system.kernel
+    resources = tuple(system.config.peripherals)
+    processes = tuple(f"p{i + 1}" for i in range(system.config.num_pes))
+    horizon = float(params.get("horizon", 2_000_000))
+    if system.config.soclc:
+        # The SoCLC binds named locks to hardware cells up front;
+        # ceiling 1 = the highest task priority in this workload.
+        for i in range(4):
+            system.lock_manager.register_lock(f"L{i}", kind="long",
+                                              ceiling=1)
+    for index, name in enumerate(processes):
+        work = float(rng.randint(500, 3000))
+        pe = f"PE{index + 1}"
+        if system.resource_service is not None:
+            count = rng.randint(1, min(3, len(resources)))
+            chosen = tuple(sorted(rng.sample(resources, count),
+                                  key=resources.index))
+            kernel.create_task(
+                lambda ctx, c=chosen, w=work: _ordered_worker(ctx, c, w),
+                name, index + 1, pe)
+        else:
+            lock = f"L{rng.randint(0, 3)}"
+            kernel.create_task(
+                lambda ctx, lk=lock, w=work: _lock_worker(ctx, lk, w),
+                name, index + 1, pe)
+    end = kernel.run(until=horizon)
+    if not kernel.finished():
+        unfinished = [name for name in processes
+                      if not kernel.finished(name)]
+        return _failed(f"tasks never finished: {unfinished}",
+                       cycles=end)
+    if kernel.leaks:
+        return _failed(f"finished with leaks: {kernel.leaks}", cycles=end)
+    return _passed(steps=len(processes), cycles=end,
+                   detail=f"{system.name} finished at {end:g}")
+
+
+# -- chaos checkers (fault injection for the runner itself) -------------------
+
+@checker("chaos.crash")
+def _check_crash(subject, params: Mapping[str, Any],
+                 rng: random.Random) -> CheckOutcome:
+    """Kill the worker process outright (no Python unwinding)."""
+    os._exit(int(params.get("exit_code", 66)))
+
+
+@checker("chaos.crash_once")
+def _check_crash_once(subject, params: Mapping[str, Any],
+                      rng: random.Random) -> CheckOutcome:
+    """Crash the worker on the first run, pass on the retry.
+
+    Uses a marker file handed in via ``params["marker"]`` to remember
+    the first attempt across processes — exercises the runner's
+    crash-retry recovery path end to end.
+    """
+    marker = params.get("marker", "")
+    if marker and not os.path.exists(marker):
+        with open(marker, "w") as handle:
+            handle.write("crashed\n")
+        os._exit(int(params.get("exit_code", 66)))
+    return _passed(detail="survived the retry")
+
+
+@checker("chaos.hang")
+def _check_hang(subject, params: Mapping[str, Any],
+                rng: random.Random) -> CheckOutcome:
+    """Busy-hang long enough to trip any per-task timeout."""
+    time.sleep(float(params.get("seconds", 3600.0)))
+    return _failed("hang completed without a timeout")

@@ -1,0 +1,136 @@
+"""Manifest diffing: regression gating between two campaign runs.
+
+:func:`diff_manifests` compares the per-scenario summaries of two run
+manifests and classifies every change:
+
+* **new failures** — scenarios that passed in the baseline and no
+  longer do (including new errors/timeouts/crashes);
+* **step regressions** — passing scenarios whose algorithm step count
+  grew (the DDU/PDDA iteration bounds are monotone claims: more steps
+  for the same seeded scenario means the algorithm got worse);
+* **cycle drift** — passing scenarios whose modelled cycle cost moved
+  by more than ``cycle_drift_pct`` in either direction (drift both ways
+  is flagged: a silent 30% "improvement" is usually a broken model);
+* fixed / added / removed scenarios, reported but not gating.
+
+``has_regressions`` is the CI gate: new failures, step growth, or
+out-of-band cycle drift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class StepRegression:
+    scenario_id: str
+    baseline_steps: int
+    steps: int
+
+
+@dataclass(frozen=True)
+class CycleDrift:
+    scenario_id: str
+    baseline_cycles: float
+    cycles: float
+    drift_pct: float
+
+
+@dataclass(frozen=True)
+class ManifestDiff:
+    """The classified difference between two run manifests."""
+
+    baseline_campaign: str
+    campaign: str
+    same_spec: bool
+    cycle_drift_pct: float
+    new_failures: tuple
+    fixed: tuple
+    added: tuple
+    removed: tuple
+    step_regressions: tuple
+    cycle_drifts: tuple
+
+    @property
+    def has_regressions(self) -> bool:
+        return bool(self.new_failures or self.step_regressions
+                    or self.cycle_drifts)
+
+    def render(self) -> str:
+        lines = [f"baseline {self.baseline_campaign!r} vs "
+                 f"candidate {self.campaign!r}"
+                 + ("" if self.same_spec
+                    else "  [WARNING: different spec hashes]")]
+        if not self.has_regressions:
+            lines.append("no regressions")
+        for scenario_id in self.new_failures:
+            lines.append(f"  NEW FAILURE   {scenario_id}")
+        for item in self.step_regressions:
+            lines.append(f"  STEP GROWTH   {item.scenario_id}: "
+                         f"{item.baseline_steps} -> {item.steps}")
+        for item in self.cycle_drifts:
+            lines.append(f"  CYCLE DRIFT   {item.scenario_id}: "
+                         f"{item.baseline_cycles:g} -> {item.cycles:g} "
+                         f"({item.drift_pct:+.1f}%, band "
+                         f"±{self.cycle_drift_pct:g}%)")
+        for scenario_id in self.fixed:
+            lines.append(f"  fixed         {scenario_id}")
+        if self.added:
+            lines.append(f"  added: {len(self.added)} scenario(s)")
+        if self.removed:
+            lines.append(f"  removed: {len(self.removed)} scenario(s)")
+        return "\n".join(lines)
+
+
+def diff_manifests(baseline: Mapping, candidate: Mapping,
+                   cycle_drift_pct: float = 10.0) -> ManifestDiff:
+    """Classify per-scenario changes between two run manifests."""
+    if cycle_drift_pct <= 0:
+        raise ConfigurationError("cycle_drift_pct must be positive")
+    old = baseline.get("scenarios", {})
+    new = candidate.get("scenarios", {})
+    shared = sorted(set(old) & set(new))
+    new_failures = []
+    fixed = []
+    step_regressions = []
+    cycle_drifts = []
+    for scenario_id in shared:
+        before, after = old[scenario_id], new[scenario_id]
+        if before["ok"] and not after["ok"]:
+            new_failures.append(scenario_id)
+            continue
+        if not before["ok"] and after["ok"]:
+            fixed.append(scenario_id)
+            continue
+        if not (before["ok"] and after["ok"]):
+            continue
+        if after.get("steps", 0) > before.get("steps", 0):
+            step_regressions.append(StepRegression(
+                scenario_id=scenario_id,
+                baseline_steps=before.get("steps", 0),
+                steps=after.get("steps", 0)))
+        base_cycles = before.get("cycles", 0.0)
+        if base_cycles > 0:
+            drift = (after.get("cycles", 0.0) - base_cycles) \
+                / base_cycles * 100.0
+            if abs(drift) > cycle_drift_pct:
+                cycle_drifts.append(CycleDrift(
+                    scenario_id=scenario_id,
+                    baseline_cycles=base_cycles,
+                    cycles=after.get("cycles", 0.0),
+                    drift_pct=drift))
+    return ManifestDiff(
+        baseline_campaign=baseline.get("campaign", "?"),
+        campaign=candidate.get("campaign", "?"),
+        same_spec=(baseline.get("spec_hash") == candidate.get("spec_hash")),
+        cycle_drift_pct=cycle_drift_pct,
+        new_failures=tuple(new_failures),
+        fixed=tuple(fixed),
+        added=tuple(sorted(set(new) - set(old))),
+        removed=tuple(sorted(set(old) - set(new))),
+        step_regressions=tuple(step_regressions),
+        cycle_drifts=tuple(cycle_drifts))

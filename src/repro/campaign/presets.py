@@ -1,0 +1,109 @@
+"""Built-in campaigns: ready-made specs for the CLI and CI.
+
+* ``smoke`` — every checker once over small grids; seconds, not
+  minutes.  The default for ``python -m repro.campaign run``.
+* ``claims`` — the paper's three headline claims (PDDA === oracle,
+  DDU === structural, DAU avoidance outcomes) over several hundred
+  randomized states; the benchmark and soak substrate.
+* ``chaos`` — deliberately includes a crashing and a hanging scenario
+  among honest ones, to demonstrate worker isolation and timeouts.
+"""
+
+from __future__ import annotations
+
+from repro.campaign.spec import CampaignSpec, ScenarioSpec
+from repro.errors import ConfigurationError
+
+
+def _smoke() -> CampaignSpec:
+    return CampaignSpec(name="smoke", scenarios=(
+        ScenarioSpec(name="pdda-random", generator="rag.random",
+                     checker="pdda-vs-oracle",
+                     params={"m": [3, 5], "n": [3, 5]}, repeats=4),
+        ScenarioSpec(name="ddu-random", generator="rag.random",
+                     checker="ddu-vs-structural",
+                     params={"m": [4], "n": [4, 6]}, repeats=4),
+        ScenarioSpec(name="ddu-structured", generator="rag.chain",
+                     checker="ddu-vs-structural",
+                     params={"length": [2, 5, 9]}),
+        ScenarioSpec(name="dau-traffic", generator="census",
+                     checker="dau-invariants",
+                     params={"m": 5, "n": 5, "events": [40]}, repeats=4),
+        ScenarioSpec(name="multiunit", generator="multiunit.random",
+                     checker="multiunit-vs-projection",
+                     params={"m": 4, "n": 4, "max_units": [1, 3]},
+                     repeats=4),
+        ScenarioSpec(name="recovery", generator="rag.random",
+                     checker="recovery-converges",
+                     params={"m": 5, "n": 5, "grant_fraction": 0.85,
+                             "request_fraction": 0.5,
+                             "strategy": ["lowest-priority",
+                                          "fewest-resources"]},
+                     repeats=4),
+        ScenarioSpec(name="sim", generator="preset",
+                     checker="sim-run-completes",
+                     params={"preset": ["RTOS1", "RTOS2", "RTOS3",
+                                        "RTOS4", "RTOS5", "RTOS6",
+                                        "RTOS7"]}),
+    ))
+
+
+def _claims() -> CampaignSpec:
+    return CampaignSpec(name="claims", scenarios=(
+        ScenarioSpec(name="pdda-oracle", generator="rag.random",
+                     checker="pdda-vs-oracle",
+                     params={"m": [3, 5, 8], "n": [3, 5, 8],
+                             "grant_fraction": [0.5, 0.8]},
+                     repeats=8),
+        ScenarioSpec(name="pdda-free", generator="rag.deadlock_free",
+                     checker="pdda-vs-oracle",
+                     params={"m": [4, 6], "n": [4, 6]}, repeats=6),
+        ScenarioSpec(name="ddu-structural", generator="rag.random",
+                     checker="ddu-vs-structural",
+                     params={"m": [4, 6], "n": [4, 6],
+                             "grant_fraction": [0.6, 0.9]},
+                     repeats=6),
+        ScenarioSpec(name="dau-avoidance", generator="census",
+                     checker="dau-invariants",
+                     params={"m": [4, 5], "n": [4, 5],
+                             "events": [60]}, repeats=4),
+        ScenarioSpec(name="recovery", generator="rag.random",
+                     checker="recovery-converges",
+                     params={"m": [5, 7], "n": [5, 7],
+                             "grant_fraction": 0.85,
+                             "request_fraction": 0.5,
+                             "strategy": ["lowest-priority",
+                                          "fewest-resources",
+                                          "youngest-request"]},
+                     repeats=4),
+    ))
+
+
+def _chaos() -> CampaignSpec:
+    return CampaignSpec(name="chaos", scenarios=(
+        ScenarioSpec(name="honest", generator="rag.random",
+                     checker="pdda-vs-oracle",
+                     params={"m": 5, "n": 5}, repeats=6),
+        ScenarioSpec(name="crash", generator="census",
+                     checker="chaos.crash", params={"m": 2, "n": 2}),
+        ScenarioSpec(name="hang", generator="census",
+                     checker="chaos.hang",
+                     params={"m": 2, "n": 2, "seconds": 30.0}),
+    ))
+
+
+BUILTIN_CAMPAIGNS = {
+    "smoke": _smoke,
+    "claims": _claims,
+    "chaos": _chaos,
+}
+
+
+def builtin_campaign(name: str) -> CampaignSpec:
+    """Look up a built-in campaign by name."""
+    try:
+        return BUILTIN_CAMPAIGNS[name]()
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown built-in campaign {name!r}; available: "
+            f"{sorted(BUILTIN_CAMPAIGNS)}") from None

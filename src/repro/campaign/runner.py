@@ -1,0 +1,456 @@
+"""The sharded campaign runner.
+
+Scenarios are dealt round-robin onto ``workers`` shards; each shard is
+one ``multiprocessing`` worker process that executes its scenarios
+serially and streams one result record per scenario back through a
+shared queue.  Fault handling:
+
+* **per-task timeout** — each scenario is armed with a ``SIGALRM``
+  interval timer inside the worker; a scenario that overruns yields a
+  ``"timeout"`` verdict and the shard moves on;
+* **worker crash isolation** — a worker that dies mid-scenario (hard
+  ``os._exit``, segfault, OOM kill) loses only its *unreported*
+  scenarios; the parent notices the dead process, keeps every record
+  already streamed, and re-runs the missing scenarios one per fresh
+  process with bounded retry and exponential backoff.  Scenarios that
+  keep killing their process are recorded with verdict ``"crash"``;
+* **graceful partial results** — the result list is complete in every
+  case: one record per expanded scenario, sorted by scenario id.
+
+Verdicts and the steps/cycles measurements depend only on the spec and
+the seed root — never on worker count, shard layout, or wall-clock —
+so two runs of the same campaign produce identical result JSONL modulo
+the :data:`TIMING_FIELDS`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_module
+import random
+import signal
+import time
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional, Union
+
+from repro.campaign.checkers import lookup
+from repro.campaign.spec import CampaignSpec, Scenario
+from repro.errors import ReproError
+from repro.obs import Observability
+
+#: Record fields that carry wall-clock or placement information; strip
+#: them (see :func:`strip_timing`) before comparing two runs for
+#: reproducibility.
+TIMING_FIELDS = ("duration", "start", "shard", "attempts")
+
+#: Verdicts that count as scenario failures.
+FAILURE_VERDICTS = ("fail", "error", "timeout", "crash")
+
+
+def strip_timing(record: Mapping[str, Any]) -> dict:
+    """A record with placement/wall-clock fields removed."""
+    return {k: v for k, v in record.items() if k not in TIMING_FIELDS}
+
+
+@dataclass
+class ScenarioResult:
+    """One scenario's outcome, as stored in the result JSONL."""
+
+    scenario_id: str
+    seed: int
+    generator: str
+    checker: str
+    params: dict
+    verdict: str          # pass | fail | error | timeout | crash
+    ok: bool
+    steps: int = 0
+    cycles: float = 0.0
+    detail: str = ""
+    duration: float = 0.0   # wall seconds spent on the final attempt
+    start: float = 0.0      # wall seconds since campaign start
+    shard: int = 0
+    attempts: int = 1
+
+    def to_record(self) -> dict:
+        return {
+            "scenario_id": self.scenario_id,
+            "seed": self.seed,
+            "generator": self.generator,
+            "checker": self.checker,
+            "params": dict(self.params),
+            "verdict": self.verdict,
+            "ok": self.ok,
+            "steps": self.steps,
+            "cycles": self.cycles,
+            "detail": self.detail,
+            "duration": self.duration,
+            "start": self.start,
+            "shard": self.shard,
+            "attempts": self.attempts,
+        }
+
+    @classmethod
+    def from_record(cls, record: Mapping[str, Any]) -> "ScenarioResult":
+        return cls(**{k: record[k] for k in (
+            "scenario_id", "seed", "generator", "checker", "params",
+            "verdict", "ok", "steps", "cycles", "detail", "duration",
+            "start", "shard", "attempts")})
+
+
+class _ScenarioTimeout(Exception):
+    pass
+
+
+def _alarm_handler(signum, frame):  # pragma: no cover - fires in workers
+    raise _ScenarioTimeout()
+
+
+def execute_scenario(scenario: Scenario) -> ScenarioResult:
+    """Run one scenario in-process (the worker and replay path).
+
+    Builds the scenario's private RNG from its derived seed, runs
+    generator then checker, and maps any :class:`ReproError` (or other
+    exception) to an ``"error"`` verdict — a checker bug must not take
+    down a shard.
+    """
+    generate = lookup("generator", scenario.generator)
+    check = lookup("checker", scenario.checker)
+    rng = random.Random(scenario.seed)
+    try:
+        subject = generate(dict(scenario.params), rng)
+        outcome = check(subject, dict(scenario.params), rng)
+        verdict, ok = outcome.verdict, outcome.ok
+        steps, cycles, detail = (outcome.steps, outcome.cycles,
+                                 outcome.detail)
+    except _ScenarioTimeout:
+        raise
+    except ReproError as exc:
+        verdict, ok = "error", False
+        steps, cycles = 0, 0.0
+        detail = f"{type(exc).__name__}: {exc}"
+    except Exception as exc:  # noqa: BLE001 - shard must survive
+        verdict, ok = "error", False
+        steps, cycles = 0, 0.0
+        detail = f"{type(exc).__name__}: {exc}"
+    return ScenarioResult(
+        scenario_id=scenario.scenario_id, seed=scenario.seed,
+        generator=scenario.generator, checker=scenario.checker,
+        params=dict(scenario.params), verdict=verdict, ok=ok,
+        steps=steps, cycles=cycles, detail=detail)
+
+
+def _run_with_timeout(scenario: Scenario,
+                      timeout: Optional[float]) -> ScenarioResult:
+    if timeout is None:
+        return execute_scenario(scenario)
+    signal.signal(signal.SIGALRM, _alarm_handler)
+    signal.setitimer(signal.ITIMER_REAL, timeout)
+    try:
+        return execute_scenario(scenario)
+    except _ScenarioTimeout:
+        return ScenarioResult(
+            scenario_id=scenario.scenario_id, seed=scenario.seed,
+            generator=scenario.generator, checker=scenario.checker,
+            params=dict(scenario.params), verdict="timeout", ok=False,
+            detail=f"exceeded the per-task timeout of {timeout:g}s")
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+
+
+def _worker_main(shard: int, scenarios: list, timeout: Optional[float],
+                 out_queue, epoch: float) -> None:
+    """One shard: run scenarios serially, stream records, then a
+    sentinel.  Runs in a child process."""
+    for data in scenarios:
+        scenario = Scenario.from_dict(data)
+        started = time.time()
+        result = _run_with_timeout(scenario, timeout)
+        result.duration = time.time() - started
+        result.start = started - epoch
+        result.shard = shard
+        out_queue.put(("result", result.to_record()))
+    out_queue.put(("done", shard))
+
+
+class _WallClock:
+    """A settable ``engine``-shaped clock for replaying wall times into
+    the observability layer (``Observability`` reads ``engine.now``)."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+
+@dataclass
+class CampaignRun:
+    """Everything one campaign run produced."""
+
+    spec: CampaignSpec
+    seed_root: Union[int, str]
+    workers: int
+    task_timeout: Optional[float]
+    retries: int
+    results: list = field(default_factory=list)
+    shard_map: dict = field(default_factory=dict)
+    duration: float = 0.0
+    obs: Optional[Observability] = None
+
+    @property
+    def counts(self) -> dict:
+        out: dict = {"pass": 0, "fail": 0, "error": 0, "timeout": 0,
+                     "crash": 0}
+        for result in self.results:
+            out[result.verdict] = out.get(result.verdict, 0) + 1
+        return out
+
+    @property
+    def failures(self) -> list:
+        return [r for r in self.results if r.verdict in FAILURE_VERDICTS]
+
+    def manifest(self) -> dict:
+        """The run manifest: everything `replay` and `diff` need."""
+        return {
+            "campaign": self.spec.name,
+            "spec": self.spec.to_dict(),
+            "spec_hash": self.spec.spec_hash(),
+            "seed_root": self.seed_root,
+            "workers": self.workers,
+            "task_timeout": self.task_timeout,
+            "retries": self.retries,
+            "scenario_count": len(self.results),
+            "counts": self.counts,
+            "duration": self.duration,
+            "shard_map": dict(sorted(self.shard_map.items())),
+            "scenarios": {
+                r.scenario_id: {"verdict": r.verdict, "ok": r.ok,
+                                "steps": r.steps, "cycles": r.cycles,
+                                "duration": r.duration}
+                for r in self.results},
+        }
+
+    def render_summary(self) -> str:
+        counts = self.counts
+        total = len(self.results)
+        parts = [f"{counts[v]} {v}" for v in
+                 ("pass", "fail", "error", "timeout", "crash")
+                 if counts.get(v)]
+        lines = [f"campaign {self.spec.name!r}: {total} scenario(s) on "
+                 f"{self.workers} worker(s) in {self.duration:.2f}s — "
+                 + ", ".join(parts or ["nothing ran"])]
+        for result in self.failures[:20]:
+            lines.append(f"  {result.verdict.upper():<8s} "
+                         f"{result.scenario_id}  {result.detail}")
+        if len(self.failures) > 20:
+            lines.append(f"  ... and {len(self.failures) - 20} more")
+        return "\n".join(lines)
+
+
+def replay_scenario(manifest: Mapping[str, Any],
+                    scenario_id: str) -> ScenarioResult:
+    """Deterministically re-execute one scenario from a run manifest.
+
+    Rebuilds the campaign spec embedded in the manifest, re-expands it
+    under the recorded seed root (ids and seeds are placement-free, so
+    the scenario is byte-identical to the original), and runs it
+    in-process — the debugging path for a failure found at scale.
+    """
+    spec = CampaignSpec.from_dict(manifest["spec"])
+    for scenario in spec.expand(manifest["seed_root"]):
+        if scenario.scenario_id == scenario_id:
+            started = time.time()
+            result = execute_scenario(scenario)
+            result.duration = time.time() - started
+            return result
+    raise ReproError(
+        f"scenario {scenario_id!r} is not in campaign "
+        f"{manifest.get('campaign')!r}")
+
+
+class CampaignRunner:
+    """Expand a spec and grind it through a sharded worker pool."""
+
+    def __init__(self, spec: CampaignSpec,
+                 seed_root: Union[int, str] = 0,
+                 workers: int = 1,
+                 task_timeout: Optional[float] = None,
+                 retries: int = 1,
+                 backoff: float = 0.05,
+                 obs: Optional[Observability] = None) -> None:
+        if workers < 1:
+            raise ReproError("need at least one worker")
+        if retries < 0:
+            raise ReproError("retries must be non-negative")
+        spec.validate()
+        self.spec = spec
+        self.seed_root = seed_root
+        self.workers = workers
+        self.task_timeout = task_timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.obs = obs if obs is not None else Observability(
+            label=f"campaign:{spec.name}", enabled=False)
+        metrics = self.obs.metrics
+        self._m_scenarios = metrics.counter(
+            "campaign.scenarios", "scenarios executed")
+        self._m_verdicts = {
+            verdict: metrics.counter(f"campaign.{verdict}",
+                                     f"scenarios with verdict {verdict}")
+            for verdict in ("pass", "fail", "error", "timeout", "crash")}
+        self._m_retries = metrics.counter(
+            "campaign.retries", "crash-recovery re-executions")
+        self._m_duration = metrics.histogram(
+            "campaign.scenario_seconds", "wall seconds per scenario",
+            bounds=(0.001, 0.005, 0.02, 0.05, 0.1, 0.5, 1, 5, 30))
+
+    # -- public entry --------------------------------------------------------
+
+    def run(self) -> CampaignRun:
+        scenarios = self.spec.expand(self.seed_root)
+        for scenario in scenarios:   # fail fast on unknown names
+            lookup("generator", scenario.generator)
+            lookup("checker", scenario.checker)
+        shard_map = {scenario.scenario_id: index % self.workers
+                     for index, scenario in enumerate(scenarios)}
+        epoch = time.time()
+        records = self._run_sharded(scenarios, shard_map, epoch)
+        missing = [scenario for scenario in scenarios
+                   if scenario.scenario_id not in records]
+        for scenario in missing:
+            records[scenario.scenario_id] = self._retry_scenario(
+                scenario, shard_map[scenario.scenario_id], epoch)
+        results = [ScenarioResult.from_record(records[s.scenario_id])
+                   for s in sorted(scenarios,
+                                   key=lambda s: s.scenario_id)]
+        run = CampaignRun(
+            spec=self.spec, seed_root=self.seed_root,
+            workers=self.workers, task_timeout=self.task_timeout,
+            retries=self.retries, results=results, shard_map=shard_map,
+            duration=time.time() - epoch, obs=self.obs)
+        self._observe(run)
+        return run
+
+    # -- sharded execution ---------------------------------------------------
+
+    def _run_sharded(self, scenarios: list, shard_map: dict,
+                     epoch: float) -> dict:
+        """Run the shards; returns {scenario_id: record} for every
+        scenario whose worker survived long enough to report it."""
+        shards: dict = {s: [] for s in range(self.workers)}
+        for scenario in scenarios:
+            shards[shard_map[scenario.scenario_id]].append(
+                scenario.to_dict())
+        ctx = multiprocessing.get_context()
+        out_queue = ctx.Queue()
+        processes = []
+        for shard, work in shards.items():
+            process = ctx.Process(
+                target=_worker_main,
+                args=(shard, work, self.task_timeout, out_queue, epoch),
+                daemon=True)
+            process.start()
+            processes.append(process)
+
+        records: dict = {}
+        open_shards = set(shards)
+        while open_shards:
+            try:
+                kind, payload = out_queue.get(timeout=0.2)
+            except queue_module.Empty:
+                alive = {shard for shard, process in enumerate(processes)
+                         if process.is_alive()}
+                dead = open_shards - alive
+                if dead:
+                    # Crashed worker(s): they died without a sentinel.
+                    # Give the queue one final drain window, then hand
+                    # their unreported scenarios to the retry path.
+                    time.sleep(0.05)
+                    while True:
+                        try:
+                            kind, payload = out_queue.get_nowait()
+                        except queue_module.Empty:
+                            break
+                        if kind == "done":
+                            open_shards.discard(payload)
+                        else:
+                            records[payload["scenario_id"]] = payload
+                    open_shards -= dead
+                continue
+            if kind == "done":
+                open_shards.discard(payload)
+            else:
+                records[payload["scenario_id"]] = payload
+        for process in processes:
+            process.join(timeout=1.0)
+            if process.is_alive():  # pragma: no cover - defensive
+                process.terminate()
+        return records
+
+    def _retry_scenario(self, scenario: Scenario, shard: int,
+                        epoch: float) -> dict:
+        """Re-run a scenario whose worker died, in a fresh process per
+        attempt, with exponential backoff.  Returns its record (verdict
+        ``"crash"`` after the retry budget is exhausted)."""
+        ctx = multiprocessing.get_context()
+        for attempt in range(self.retries):
+            time.sleep(self.backoff * (2 ** attempt))
+            self._m_retries.inc()
+            retry_queue = ctx.Queue()
+            process = ctx.Process(
+                target=_worker_main,
+                args=(shard, [scenario.to_dict()], self.task_timeout,
+                      retry_queue, epoch),
+                daemon=True)
+            process.start()
+            record = None
+            try:
+                kind, payload = retry_queue.get(
+                    timeout=max(self.task_timeout or 0, 1.0) * 2 + 5.0)
+                if kind == "result":
+                    record = payload
+            except queue_module.Empty:
+                record = None
+            process.join(timeout=1.0)
+            if process.is_alive():  # pragma: no cover - defensive
+                process.terminate()
+            if record is not None:
+                record["attempts"] = attempt + 2
+                return record
+        return ScenarioResult(
+            scenario_id=scenario.scenario_id, seed=scenario.seed,
+            generator=scenario.generator, checker=scenario.checker,
+            params=dict(scenario.params), verdict="crash", ok=False,
+            detail=f"worker died; {self.retries} retry attempt(s) also "
+                   "crashed", start=time.time() - epoch, shard=shard,
+            attempts=self.retries + 1).to_record()
+
+    # -- observability -------------------------------------------------------
+
+    def _observe(self, run: CampaignRun) -> None:
+        """Merge per-worker timings into the runner's metrics + spans.
+
+        Workers are separate processes, so the parent replays their
+        reported start/duration into one shared timeline: each shard
+        becomes a span actor, each scenario one span — which is what
+        ``--trace-out`` exports as a single merged Perfetto trace.
+        """
+        if not self.obs.enabled:
+            return
+        clock = _WallClock()
+        # Observability.now (the tracer's clock) reads engine.now
+        # dynamically, so installing the wall clock as the engine lets
+        # the parent stamp spans at the workers' reported times.
+        self.obs.engine = clock
+        for result in sorted(run.results,
+                             key=lambda r: (r.shard, r.start)):
+            self._m_scenarios.inc()
+            self._m_verdicts[result.verdict].inc()
+            self._m_duration.observe(result.duration)
+            clock.now = result.start * 1e6   # seconds -> us (trace ts)
+            span = self.obs.begin(f"shard{result.shard}",
+                                  result.scenario_id,
+                                  verdict=result.verdict,
+                                  checker=result.checker,
+                                  steps=result.steps,
+                                  cycles=result.cycles)
+            clock.now = (result.start + result.duration) * 1e6
+            self.obs.end(span)
+        clock.now = run.duration * 1e6

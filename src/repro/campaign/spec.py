@@ -1,0 +1,218 @@
+"""Declarative scenario-campaign specifications.
+
+A *campaign* is a named bundle of :class:`ScenarioSpec` entries.  Each
+entry names a generator (which state/system to build), a checker (which
+invariant to grind it against), a parameter grid, and a repeat count;
+:meth:`CampaignSpec.expand` unrolls the grids into a flat, ordered list
+of concrete :class:`Scenario` instances, each with a stable per-scenario
+seed derived via :func:`derive_seed` — ``sha256(seed_root | id)``, never
+ambient ``random`` state — so any scenario can be replayed bit-for-bit
+from nothing but the run manifest.
+
+Specs round-trip through JSON (:meth:`CampaignSpec.to_json` /
+:meth:`CampaignSpec.from_json`), and :meth:`CampaignSpec.spec_hash`
+fingerprints the canonical JSON form so two manifests can prove they
+ran the same campaign before being diffed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping, Optional, Union
+
+from repro.errors import ConfigurationError
+
+
+def derive_seed(seed_root: Union[int, str], scenario_id: str) -> int:
+    """Stable 63-bit per-scenario seed: ``sha256(seed_root | id)``.
+
+    Depends only on the textual seed root and the scenario id, so the
+    same scenario gets the same seed in every shard layout, worker
+    count, and replay.
+    """
+    digest = hashlib.sha256(
+        f"{seed_root}|{scenario_id}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") >> 1
+
+
+def _canonical_json(data: Any) -> str:
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One concrete, runnable scenario (a grid point of a spec)."""
+
+    scenario_id: str
+    generator: str
+    checker: str
+    params: Mapping[str, Any]
+    seed: int
+
+    def to_dict(self) -> dict:
+        return {
+            "scenario_id": self.scenario_id,
+            "generator": self.generator,
+            "checker": self.checker,
+            "params": dict(self.params),
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Scenario":
+        return cls(scenario_id=data["scenario_id"],
+                   generator=data["generator"],
+                   checker=data["checker"],
+                   params=dict(data.get("params", {})),
+                   seed=int(data["seed"]))
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One family of scenarios: generator x checker x parameter grid.
+
+    ``params`` mixes scalars and axes: a list/tuple value fans out (its
+    elements become grid points, combined with every other axis in
+    sorted-key order), any other value is passed through unchanged.
+    ``repeats`` runs every grid point that many times under distinct
+    scenario ids (hence distinct derived seeds).
+    """
+
+    name: str
+    generator: str
+    checker: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+    repeats: int = 1
+
+    def validate(self) -> None:
+        if not self.name or "/" in self.name or "|" in self.name:
+            raise ConfigurationError(
+                f"scenario spec name {self.name!r} must be non-empty and "
+                "free of '/' and '|'")
+        if self.repeats < 1:
+            raise ConfigurationError(
+                f"{self.name}: repeats must be at least 1")
+
+    def grid_points(self) -> Iterator[dict]:
+        """Every concrete parameter dict, in deterministic order."""
+        axes = sorted(k for k, v in self.params.items()
+                      if isinstance(v, (list, tuple)))
+        scalars = {k: v for k, v in self.params.items()
+                   if not isinstance(v, (list, tuple))}
+        if not axes:
+            yield dict(scalars)
+            return
+        for values in itertools.product(
+                *(self.params[axis] for axis in axes)):
+            point = dict(scalars)
+            point.update(zip(axes, values))
+            yield point
+
+    def count(self) -> int:
+        return sum(1 for _ in self.grid_points()) * self.repeats
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "generator": self.generator,
+            "checker": self.checker,
+            "params": {k: (list(v) if isinstance(v, tuple) else v)
+                       for k, v in self.params.items()},
+            "repeats": self.repeats,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
+        try:
+            return cls(name=data["name"],
+                       generator=data["generator"],
+                       checker=data["checker"],
+                       params=dict(data.get("params", {})),
+                       repeats=int(data.get("repeats", 1)))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigurationError(
+                f"malformed scenario spec: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A named, ordered bundle of scenario specs."""
+
+    name: str
+    scenarios: tuple = ()
+
+    def validate(self) -> None:
+        if not self.name:
+            raise ConfigurationError("campaign needs a name")
+        if not self.scenarios:
+            raise ConfigurationError(f"campaign {self.name!r} is empty")
+        seen: set = set()
+        for spec in self.scenarios:
+            spec.validate()
+            if spec.name in seen:
+                raise ConfigurationError(
+                    f"duplicate scenario spec name {spec.name!r}")
+            seen.add(spec.name)
+
+    def count(self) -> int:
+        return sum(spec.count() for spec in self.scenarios)
+
+    def expand(self, seed_root: Union[int, str]) -> list:
+        """Unroll every spec into concrete scenarios, in stable order.
+
+        Scenario ids are ``<spec-name>/<index>`` with a zero-padded
+        per-spec index, so ids — and therefore seeds — are independent
+        of worker count and of the other specs in the campaign.
+        """
+        self.validate()
+        out: list = []
+        for spec in self.scenarios:
+            index = 0
+            for point in spec.grid_points():
+                for _repeat in range(spec.repeats):
+                    scenario_id = f"{spec.name}/{index:05d}"
+                    out.append(Scenario(
+                        scenario_id=scenario_id,
+                        generator=spec.generator,
+                        checker=spec.checker,
+                        params=point,
+                        seed=derive_seed(seed_root, scenario_id)))
+                    index += 1
+        return out
+
+    # -- persistence ---------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {"name": self.name,
+                "scenarios": [spec.to_dict() for spec in self.scenarios]}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CampaignSpec":
+        try:
+            scenarios = tuple(ScenarioSpec.from_dict(item)
+                              for item in data.get("scenarios", ()))
+            campaign = cls(name=data["name"], scenarios=scenarios)
+        except (KeyError, TypeError) as exc:
+            raise ConfigurationError(
+                f"malformed campaign spec: {exc}") from exc
+        campaign.validate()
+        return campaign
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "CampaignSpec":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"spec is not JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+    def spec_hash(self) -> str:
+        """sha256 fingerprint of the canonical JSON form."""
+        return hashlib.sha256(
+            _canonical_json(self.to_dict()).encode("utf-8")).hexdigest()

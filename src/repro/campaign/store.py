@@ -1,0 +1,99 @@
+"""Result persistence: JSONL records plus a JSON run manifest.
+
+A run directory holds exactly two files:
+
+* ``results.jsonl`` — one record per scenario, sorted by scenario id.
+  Records are reproducible modulo the runner's
+  :data:`~repro.campaign.runner.TIMING_FIELDS`;
+* ``manifest.json`` — the run manifest: the full campaign spec (so
+  ``replay`` needs nothing else), its hash, the seed root, the shard
+  map, and the per-scenario verdict/steps/cycles/duration summary that
+  ``diff`` consumes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Iterable, Union
+
+from repro.campaign.runner import CampaignRun, ScenarioResult, strip_timing
+from repro.errors import ConfigurationError
+
+RESULTS_NAME = "results.jsonl"
+MANIFEST_NAME = "manifest.json"
+
+
+def results_to_jsonl(results: Iterable[ScenarioResult]) -> str:
+    lines = [json.dumps(result.to_record(), sort_keys=True)
+             for result in sorted(results, key=lambda r: r.scenario_id)]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_run(out_dir: Union[str, Path], run: CampaignRun
+              ) -> tuple[Path, Path]:
+    """Persist a run; returns (results_path, manifest_path)."""
+    directory = Path(out_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    results_path = directory / RESULTS_NAME
+    manifest_path = directory / MANIFEST_NAME
+    results_path.write_text(results_to_jsonl(run.results))
+    manifest_path.write_text(
+        json.dumps(run.manifest(), indent=2, sort_keys=True) + "\n")
+    return results_path, manifest_path
+
+
+def load_manifest(path: Union[str, Path]) -> dict:
+    """Load a manifest from its file or its run directory."""
+    target = Path(path)
+    if target.is_dir():
+        target = target / MANIFEST_NAME
+    try:
+        data = json.loads(target.read_text())
+    except FileNotFoundError:
+        raise ConfigurationError(f"no manifest at {target}") from None
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(
+            f"{target} is not a JSON manifest: {exc}") from exc
+    for key in ("campaign", "spec", "spec_hash", "seed_root",
+                "scenarios"):
+        if key not in data:
+            raise ConfigurationError(
+                f"{target} is missing manifest key {key!r}")
+    return data
+
+
+def load_results(path: Union[str, Path]) -> list:
+    """Load result records from a JSONL file or a run directory."""
+    target = Path(path)
+    if target.is_dir():
+        target = target / RESULTS_NAME
+    try:
+        text = target.read_text()
+    except FileNotFoundError:
+        raise ConfigurationError(f"no results at {target}") from None
+    results = []
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            results.append(ScenarioResult.from_record(json.loads(line)))
+        except (json.JSONDecodeError, KeyError, TypeError) as exc:
+            raise ConfigurationError(
+                f"{target}:{line_number} is not a result record: "
+                f"{exc}") from exc
+    return results
+
+
+def results_digest(results: Iterable[ScenarioResult]) -> str:
+    """sha256 over the timing-stripped records (reproducibility check).
+
+    Two runs of the same campaign under the same seed root must produce
+    the same digest regardless of worker count or machine speed.
+    """
+    canonical = json.dumps(
+        [strip_timing(result.to_record())
+         for result in sorted(results, key=lambda r: r.scenario_id)],
+        sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

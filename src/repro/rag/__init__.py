@@ -24,10 +24,13 @@ from repro.rag.classic import (
     leibfried_detect,
 )
 from repro.rag.generate import (
+    DEFAULT_SEED,
     chain_state,
     cycle_state,
     deadlock_free_state,
+    random_multiunit_state,
     random_state,
+    resolve_rng,
     worst_case_state,
 )
 from repro.rag.multiunit import MultiUnitDetection, MultiUnitSystem
@@ -48,7 +51,10 @@ __all__ = [
     "graph_reduction_detect",
     "leibfried_detect",
     "BankersAvoider",
+    "DEFAULT_SEED",
+    "resolve_rng",
     "random_state",
+    "random_multiunit_state",
     "cycle_state",
     "chain_state",
     "deadlock_free_state",

@@ -3,15 +3,48 @@
 All generators return :class:`~repro.rag.graph.RAG` instances obeying
 the single-unit protocol, so every produced state is reachable by some
 legal request/grant sequence.
+
+Seeding contract
+----------------
+
+Every randomized generator takes both ``rng`` and ``seed``:
+
+* pass ``rng`` (a :class:`random.Random`) to share one stream across
+  several calls — the caller owns reproducibility;
+* pass ``seed`` to get a private ``random.Random(seed)`` for that call;
+* pass neither and the generator still behaves deterministically, using
+  :data:`DEFAULT_SEED` — no code path ever constructs an unseeded
+  ``random.Random()``, so two processes (or two campaign shards) that
+  make the same calls always see the same states.
+
+``rng`` wins when both are given.  The structured generators
+(:func:`cycle_state`, :func:`chain_state`, :func:`worst_case_state`) and
+the Verilog emitters in :mod:`repro.deadlock.generator` are pure
+functions of their arguments and need no seed at all.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Optional
+from typing import Mapping, Optional
 
 from repro.errors import ConfigurationError
 from repro.rag.graph import RAG
+from repro.rag.multiunit import MultiUnitSystem
+
+#: The seed used when a randomized generator is called with neither
+#: ``rng`` nor ``seed`` (the paper's publication year).  Deterministic
+#: by design: an ambient unseeded ``random.Random()`` would make
+#: campaign replays impossible.
+DEFAULT_SEED = 2003
+
+
+def resolve_rng(rng: Optional[random.Random] = None,
+                seed: Optional[int] = None) -> random.Random:
+    """The module's seeding contract as a helper: rng > seed > default."""
+    if rng is not None:
+        return rng
+    return random.Random(DEFAULT_SEED if seed is None else seed)
 
 
 def _names(m: int, n: int) -> tuple[list[str], list[str]]:
@@ -29,14 +62,16 @@ def empty_state(num_resources: int, num_processes: int) -> RAG:
 def random_state(num_resources: int, num_processes: int,
                  grant_fraction: float = 0.6,
                  request_fraction: float = 0.3,
-                 rng: Optional[random.Random] = None) -> RAG:
+                 rng: Optional[random.Random] = None,
+                 seed: Optional[int] = None) -> RAG:
     """A random legal state.
 
     ``grant_fraction`` of resources get a random holder;
     ``request_fraction`` of the remaining (process, resource) pairs get a
     request edge.  Both deadlocked and deadlock-free states occur.
+    Seeding follows the module contract (``rng`` > ``seed`` > default).
     """
-    rng = rng if rng is not None else random.Random()
+    rng = resolve_rng(rng, seed)
     rag = empty_state(num_resources, num_processes)
     for q in rag.resources:
         if rng.random() < grant_fraction:
@@ -101,16 +136,67 @@ def worst_case_state(num_resources: int, num_processes: int) -> RAG:
     return rag
 
 
+def random_multiunit_state(num_resources: int, num_processes: int,
+                           max_units: int = 1,
+                           units: Optional[Mapping[str, int]] = None,
+                           grant_fraction: float = 0.6,
+                           request_fraction: float = 0.3,
+                           rng: Optional[random.Random] = None,
+                           seed: Optional[int] = None
+                           ) -> MultiUnitSystem:
+    """A random legal counting-model state (multi-unit protocol).
+
+    Every state is built through the request→grant protocol, so it is
+    reachable by a legal sequence.  ``units`` fixes the unit count per
+    resource class explicitly; otherwise each class gets a random count
+    in ``1..max_units``.  With ``max_units=1`` (the default) the state
+    projects onto the single-unit RAG via
+    :meth:`~repro.rag.multiunit.MultiUnitSystem.to_rag`, which is what
+    the campaign's multiunit-vs-projection checker exercises.  Seeding
+    follows the module contract (``rng`` > ``seed`` > default).
+    """
+    rng = resolve_rng(rng, seed)
+    processes, resources = _names(num_resources, num_processes)
+    if units is None:
+        if max_units < 1:
+            raise ConfigurationError("max_units must be at least 1")
+        totals: dict[str, int] = {q: rng.randint(1, max_units)
+                                  for q in resources}
+    else:
+        totals = {q: int(units[q]) for q in resources}
+    system = MultiUnitSystem(processes, totals)
+    for q in resources:
+        while system.available(q) > 0 and rng.random() < grant_fraction:
+            p = rng.choice(processes)
+            headroom = min(system.available(q),
+                           totals[q] - system.allocation_of(p, q)
+                           - system.outstanding_request(p, q))
+            if headroom < 1:
+                break
+            take = rng.randint(1, headroom)
+            system.request(p, q, take)
+            system.grant(p, q, take)
+    for p in processes:
+        for q in resources:
+            headroom = (totals[q] - system.allocation_of(p, q)
+                        - system.outstanding_request(p, q))
+            if headroom > 0 and rng.random() < request_fraction:
+                system.request(p, q, rng.randint(1, headroom))
+    return system
+
+
 def deadlock_free_state(num_resources: int, num_processes: int,
-                        rng: Optional[random.Random] = None) -> RAG:
+                        rng: Optional[random.Random] = None,
+                        seed: Optional[int] = None) -> RAG:
     """A random state guaranteed deadlock-free.
 
     Grants and requests are only added "downhill" in a fixed global
     ordering of resources (each process requests only resources ordered
     after everything it holds), which makes cycles impossible — the
-    classic resource-ordering prevention argument.
+    classic resource-ordering prevention argument.  Seeding follows the
+    module contract (``rng`` > ``seed`` > default).
     """
-    rng = rng if rng is not None else random.Random()
+    rng = resolve_rng(rng, seed)
     rag = empty_state(num_resources, num_processes)
     highest_held: dict[str, int] = {}
     order = list(range(num_resources))

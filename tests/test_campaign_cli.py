@@ -1,0 +1,146 @@
+"""The ``python -m repro.campaign`` CLI: run, replay, diff, list."""
+
+import json
+
+import pytest
+
+from repro.campaign import CampaignSpec, ScenarioSpec
+from repro.campaign.__main__ import main
+
+
+@pytest.fixture()
+def tiny_spec_file(tmp_path):
+    spec = CampaignSpec(name="tiny", scenarios=(
+        ScenarioSpec(name="pdda", generator="rag.random",
+                     checker="pdda-vs-oracle",
+                     params={"m": 4, "n": 4}, repeats=3),
+        ScenarioSpec(name="recovery", generator="rag.random",
+                     checker="recovery-converges",
+                     params={"m": 4, "n": 4, "grant_fraction": 0.85},
+                     repeats=2),
+    ))
+    path = tmp_path / "tiny.json"
+    path.write_text(spec.to_json())
+    return path
+
+
+def _run(argv):
+    return main([str(arg) for arg in argv])
+
+
+def test_run_writes_results_and_manifest(tiny_spec_file, tmp_path,
+                                         capsys):
+    out = tmp_path / "run-a"
+    assert _run(["run", "--spec", tiny_spec_file, "--seed-root", "42",
+                 "--out", out]) == 0
+    printed = capsys.readouterr().out
+    assert "5 scenario(s)" in printed
+    assert "result digest:" in printed
+    assert (out / "results.jsonl").exists()
+    manifest = json.loads((out / "manifest.json").read_text())
+    assert manifest["campaign"] == "tiny"
+    assert manifest["counts"]["pass"] == 5
+
+
+def test_run_twice_same_digest(tiny_spec_file, capsys):
+    digests = []
+    for workers in ("1", "2"):
+        assert _run(["run", "--spec", tiny_spec_file, "--seed-root",
+                     "7", "--workers", workers]) == 0
+        out = capsys.readouterr().out
+        digests.append([line for line in out.splitlines()
+                        if line.startswith("result digest:")][0])
+    assert digests[0] == digests[1]
+
+
+def test_replay_matches(tiny_spec_file, tmp_path, capsys):
+    out = tmp_path / "run-a"
+    assert _run(["run", "--spec", tiny_spec_file, "--seed-root", "42",
+                 "--out", out]) == 0
+    capsys.readouterr()
+    assert _run(["replay", out, "pdda/00001"]) == 0
+    printed = capsys.readouterr().out
+    assert "replay matches the recorded outcome" in printed
+
+
+def test_replay_unknown_scenario_is_usage_error(tiny_spec_file,
+                                                tmp_path, capsys):
+    out = tmp_path / "run-a"
+    assert _run(["run", "--spec", tiny_spec_file, "--out", out]) == 0
+    capsys.readouterr()
+    assert _run(["replay", out, "pdda/99999"]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_diff_identical_runs_is_clean(tiny_spec_file, tmp_path, capsys):
+    for name in ("run-a", "run-b"):
+        assert _run(["run", "--spec", tiny_spec_file, "--seed-root",
+                     "42", "--out", tmp_path / name]) == 0
+    capsys.readouterr()
+    assert _run(["diff", tmp_path / "run-a", tmp_path / "run-b"]) == 0
+    assert "no regressions" in capsys.readouterr().out
+
+
+def test_diff_flags_injected_regression(tiny_spec_file, tmp_path,
+                                        capsys):
+    out = tmp_path / "run-a"
+    assert _run(["run", "--spec", tiny_spec_file, "--seed-root", "42",
+                 "--out", out]) == 0
+    manifest_path = out / "manifest.json"
+    manifest = json.loads(manifest_path.read_text())
+    manifest["scenarios"]["pdda/00000"].update(ok=False,
+                                               verdict="fail")
+    broken = tmp_path / "run-broken"
+    broken.mkdir()
+    (broken / "manifest.json").write_text(json.dumps(manifest))
+    capsys.readouterr()
+    assert _run(["diff", out, broken]) == 1
+    assert "NEW FAILURE" in capsys.readouterr().out
+
+
+def test_run_with_baseline_gate_passes_itself(tiny_spec_file, tmp_path,
+                                              capsys):
+    out = tmp_path / "run-a"
+    assert _run(["run", "--spec", tiny_spec_file, "--seed-root", "42",
+                 "--out", out]) == 0
+    assert _run(["run", "--spec", tiny_spec_file, "--seed-root", "42",
+                 "--baseline", out]) == 0
+    assert "no regressions" in capsys.readouterr().out
+
+
+def test_run_failure_exit_code(tmp_path, capsys):
+    spec = CampaignSpec(name="hangs", scenarios=(
+        ScenarioSpec(name="hang", generator="census",
+                     checker="chaos.hang",
+                     params={"m": 2, "n": 2, "seconds": 30.0}),))
+    path = tmp_path / "hangs.json"
+    path.write_text(spec.to_json())
+    assert _run(["run", "--spec", path, "--timeout", "0.3"]) == 1
+    assert "TIMEOUT" in capsys.readouterr().out
+
+
+def test_trace_out_merges_workers(tiny_spec_file, tmp_path, capsys):
+    trace = tmp_path / "trace.json"
+    assert _run(["run", "--spec", tiny_spec_file, "--workers", "2",
+                 "--metrics", "--trace-out", trace]) == 0
+    printed = capsys.readouterr().out
+    assert "campaign.scenarios" in printed
+    data = json.loads(trace.read_text())
+    events = data["traceEvents"] if isinstance(data, dict) else data
+    names = {e["args"]["name"] for e in events if e.get("ph") == "M"
+             and e["name"] == "thread_name"}
+    assert names == {"shard0", "shard1"}
+    assert sum(1 for e in events if e.get("ph") == "X") == 5
+
+
+def test_list_shows_registries(capsys):
+    assert _run(["list"]) == 0
+    printed = capsys.readouterr().out
+    for token in ("smoke", "claims", "chaos", "rag.random",
+                  "pdda-vs-oracle", "sim-run-completes"):
+        assert token in printed
+
+
+def test_missing_manifest_is_usage_error(tmp_path, capsys):
+    assert _run(["diff", tmp_path / "nope-a", tmp_path / "nope-b"]) == 2
+    assert "error:" in capsys.readouterr().err

@@ -1,0 +1,98 @@
+"""Manifest diffing and the regression gate."""
+
+import pytest
+
+from repro.campaign import diff_manifests
+from repro.errors import ConfigurationError
+
+
+def _manifest(scenarios, campaign="c", spec_hash="h"):
+    return {"campaign": campaign, "spec_hash": spec_hash,
+            "scenarios": scenarios}
+
+
+def _entry(ok=True, steps=3, cycles=100.0, verdict=None):
+    return {"ok": ok, "verdict": verdict or ("pass" if ok else "fail"),
+            "steps": steps, "cycles": cycles, "duration": 0.0}
+
+
+def test_identical_manifests_have_no_regressions():
+    manifest = _manifest({"a/00000": _entry(), "a/00001": _entry()})
+    diff = diff_manifests(manifest, manifest)
+    assert not diff.has_regressions
+    assert "no regressions" in diff.render()
+
+
+def test_new_failure_gates():
+    diff = diff_manifests(
+        _manifest({"a/00000": _entry(ok=True)}),
+        _manifest({"a/00000": _entry(ok=False, verdict="timeout")}))
+    assert diff.new_failures == ("a/00000",)
+    assert diff.has_regressions
+    assert "NEW FAILURE" in diff.render()
+
+
+def test_fixed_scenario_reported_but_not_gating():
+    diff = diff_manifests(
+        _manifest({"a/00000": _entry(ok=False)}),
+        _manifest({"a/00000": _entry(ok=True)}))
+    assert diff.fixed == ("a/00000",)
+    assert not diff.has_regressions
+
+
+def test_step_growth_gates_but_shrink_does_not():
+    grew = diff_manifests(_manifest({"a/00000": _entry(steps=3)}),
+                          _manifest({"a/00000": _entry(steps=5)}))
+    assert grew.step_regressions[0].steps == 5
+    assert grew.has_regressions
+    shrank = diff_manifests(_manifest({"a/00000": _entry(steps=5)}),
+                            _manifest({"a/00000": _entry(steps=3)}))
+    assert not shrank.has_regressions
+
+
+@pytest.mark.parametrize("cycles", [150.0, 50.0])
+def test_cycle_drift_flagged_in_both_directions(cycles):
+    diff = diff_manifests(
+        _manifest({"a/00000": _entry(cycles=100.0)}),
+        _manifest({"a/00000": _entry(cycles=cycles)}),
+        cycle_drift_pct=10.0)
+    assert len(diff.cycle_drifts) == 1
+    assert diff.has_regressions
+    assert "CYCLE DRIFT" in diff.render()
+
+
+def test_drift_within_band_is_quiet():
+    diff = diff_manifests(
+        _manifest({"a/00000": _entry(cycles=100.0)}),
+        _manifest({"a/00000": _entry(cycles=105.0)}),
+        cycle_drift_pct=10.0)
+    assert not diff.cycle_drifts
+
+
+def test_failing_scenarios_do_not_contribute_drift():
+    diff = diff_manifests(
+        _manifest({"a/00000": _entry(ok=False, cycles=100.0)}),
+        _manifest({"a/00000": _entry(ok=False, cycles=900.0)}))
+    assert not diff.has_regressions
+
+
+def test_added_and_removed_are_reported():
+    diff = diff_manifests(
+        _manifest({"a/00000": _entry(), "old/00000": _entry()}),
+        _manifest({"a/00000": _entry(), "new/00000": _entry()}))
+    assert diff.added == ("new/00000",)
+    assert diff.removed == ("old/00000",)
+    assert not diff.has_regressions
+
+
+def test_spec_hash_mismatch_is_surfaced():
+    diff = diff_manifests(
+        _manifest({"a/00000": _entry()}, spec_hash="x"),
+        _manifest({"a/00000": _entry()}, spec_hash="y"))
+    assert not diff.same_spec
+    assert "different spec hashes" in diff.render()
+
+
+def test_nonpositive_band_rejected():
+    with pytest.raises(ConfigurationError, match="positive"):
+        diff_manifests(_manifest({}), _manifest({}), cycle_drift_pct=0)

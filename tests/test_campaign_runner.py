@@ -1,0 +1,198 @@
+"""The sharded runner: determinism, fault isolation, retry, replay."""
+
+import pytest
+
+from repro.campaign import (
+    CampaignRunner,
+    CampaignSpec,
+    ScenarioSpec,
+    builtin_campaign,
+    execute_scenario,
+    load_manifest,
+    load_results,
+    replay_scenario,
+    results_digest,
+    strip_timing,
+    write_run,
+)
+from repro.errors import ReproError
+from repro.obs import Observability
+
+
+def _campaign(*specs, name="t") -> CampaignSpec:
+    return CampaignSpec(name=name, scenarios=tuple(specs))
+
+
+def _honest(name="honest", repeats=4, m=4, n=4) -> ScenarioSpec:
+    return ScenarioSpec(name=name, generator="rag.random",
+                        checker="pdda-vs-oracle",
+                        params={"m": m, "n": n}, repeats=repeats)
+
+
+class TestExecuteScenario:
+    def test_same_scenario_same_outcome(self):
+        scenario = builtin_campaign("smoke").expand(42)[0]
+        first = execute_scenario(scenario)
+        second = execute_scenario(scenario)
+        assert strip_timing(first.to_record()) == \
+            strip_timing(second.to_record())
+
+    def test_checker_exception_becomes_error_verdict(self):
+        spec = _campaign(ScenarioSpec(
+            name="bad", generator="rag.random",
+            checker="pdda-vs-oracle", params={"m": -1, "n": 3}))
+        result = execute_scenario(spec.expand(0)[0])
+        assert result.verdict == "error"
+        assert not result.ok
+        assert result.detail
+
+    def test_every_checker_in_smoke_passes(self):
+        for scenario in builtin_campaign("smoke").expand(7):
+            result = execute_scenario(scenario)
+            assert result.ok, (scenario.scenario_id, result.detail)
+
+
+class TestDeterminism:
+    def test_digest_is_placement_independent(self):
+        campaign = _campaign(_honest(repeats=6), _honest("b", repeats=3))
+        runs = [CampaignRunner(campaign, seed_root=42, workers=w).run()
+                for w in (1, 3)]
+        digests = {results_digest(run.results) for run in runs}
+        assert len(digests) == 1
+        assert all(len(r.results) == campaign.count() for r in runs)
+
+    def test_different_seed_roots_differ(self):
+        campaign = _campaign(_honest(repeats=8, m=6, n=6))
+        a = CampaignRunner(campaign, seed_root=1).run()
+        b = CampaignRunner(campaign, seed_root=2).run()
+        assert results_digest(a.results) != results_digest(b.results)
+
+    def test_results_sorted_by_scenario_id(self):
+        run = CampaignRunner(_campaign(_honest(repeats=5)),
+                             workers=2).run()
+        ids = [r.scenario_id for r in run.results]
+        assert ids == sorted(ids)
+
+
+class TestFaultIsolation:
+    def test_worker_crash_loses_nothing_else(self):
+        campaign = _campaign(
+            _honest(repeats=6),
+            ScenarioSpec(name="boom", generator="census",
+                         checker="chaos.crash", params={"m": 2, "n": 2}))
+        run = CampaignRunner(campaign, workers=2, retries=1,
+                             backoff=0.01).run()
+        assert len(run.results) == campaign.count()
+        by_id = {r.scenario_id: r for r in run.results}
+        assert by_id["boom/00000"].verdict == "crash"
+        assert by_id["boom/00000"].attempts == 2
+        honest = [r for r in run.results
+                  if r.scenario_id.startswith("honest/")]
+        assert all(r.verdict == "pass" for r in honest)
+
+    def test_crash_retry_recovers_flaky_scenario(self, tmp_path):
+        marker = tmp_path / "crashed-once"
+        campaign = _campaign(
+            _honest(repeats=2),
+            ScenarioSpec(name="flaky", generator="census",
+                         checker="chaos.crash_once",
+                         params={"m": 2, "n": 2,
+                                 "marker": str(marker)}))
+        run = CampaignRunner(campaign, workers=2, retries=2,
+                             backoff=0.01).run()
+        by_id = {r.scenario_id: r for r in run.results}
+        assert by_id["flaky/00000"].verdict == "pass"
+        assert by_id["flaky/00000"].attempts == 2
+        assert marker.exists()
+
+    def test_per_task_timeout_keeps_the_shard_going(self):
+        campaign = _campaign(
+            ScenarioSpec(name="hang", generator="census",
+                         checker="chaos.hang",
+                         params={"m": 2, "n": 2, "seconds": 30.0}),
+            _honest(repeats=3))
+        run = CampaignRunner(campaign, workers=1,
+                             task_timeout=0.3).run()
+        assert len(run.results) == campaign.count()
+        by_id = {r.scenario_id: r for r in run.results}
+        assert by_id["hang/00000"].verdict == "timeout"
+        assert all(by_id[f"honest/{i:05d}"].verdict == "pass"
+                   for i in range(3))
+
+    def test_counts_and_failures_reflect_verdicts(self):
+        campaign = _campaign(
+            _honest(repeats=2),
+            ScenarioSpec(name="hang", generator="census",
+                         checker="chaos.hang",
+                         params={"m": 2, "n": 2, "seconds": 30.0}))
+        run = CampaignRunner(campaign, task_timeout=0.3).run()
+        assert run.counts["pass"] == 2
+        assert run.counts["timeout"] == 1
+        assert [r.scenario_id for r in run.failures] == ["hang/00000"]
+
+
+class TestManifestAndReplay:
+    def test_replay_matches_recorded_outcome(self, tmp_path):
+        campaign = _campaign(_honest(repeats=4, m=5, n=5))
+        run = CampaignRunner(campaign, seed_root="soak-1",
+                             workers=2).run()
+        write_run(tmp_path, run)
+        manifest = load_manifest(tmp_path)
+        for scenario_id, summary in manifest["scenarios"].items():
+            replayed = replay_scenario(manifest, scenario_id)
+            assert replayed.verdict == summary["verdict"]
+            assert replayed.steps == summary["steps"]
+            assert replayed.cycles == summary["cycles"]
+
+    def test_replay_unknown_scenario_raises(self, tmp_path):
+        run = CampaignRunner(_campaign(_honest(repeats=1))).run()
+        write_run(tmp_path, run)
+        with pytest.raises(ReproError, match="not in campaign"):
+            replay_scenario(load_manifest(tmp_path), "honest/99999")
+
+    def test_store_round_trip_preserves_digest(self, tmp_path):
+        run = CampaignRunner(_campaign(_honest(repeats=5)),
+                             workers=2).run()
+        results_path, _manifest_path = write_run(tmp_path, run)
+        reloaded = load_results(results_path)
+        assert results_digest(reloaded) == results_digest(run.results)
+
+    def test_manifest_carries_spec_and_shard_map(self, tmp_path):
+        campaign = _campaign(_honest(repeats=4))
+        run = CampaignRunner(campaign, seed_root=3, workers=2).run()
+        manifest = run.manifest()
+        assert manifest["spec_hash"] == campaign.spec_hash()
+        assert manifest["seed_root"] == 3
+        assert set(manifest["shard_map"].values()) == {0, 1}
+        assert manifest["scenario_count"] == campaign.count()
+
+
+class TestObservability:
+    def test_metrics_and_spans_cover_every_scenario(self):
+        campaign = _campaign(_honest(repeats=5))
+        obs = Observability(label="campaign:test", enabled=True)
+        run = CampaignRunner(campaign, workers=2, obs=obs).run()
+        counters = obs.metrics.snapshot().counters
+        assert counters["campaign.scenarios"] == campaign.count()
+        assert counters["campaign.pass"] == campaign.count()
+        spans = obs.tracer.all_spans()
+        assert len(spans) == campaign.count()
+        assert {span.actor for span in spans} == {"shard0", "shard1"}
+        recorded = {span.name for span in spans}
+        assert recorded == {r.scenario_id for r in run.results}
+
+
+class TestArgumentValidation:
+    def test_zero_workers_rejected(self):
+        with pytest.raises(ReproError, match="worker"):
+            CampaignRunner(_campaign(_honest()), workers=0)
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ReproError, match="retries"):
+            CampaignRunner(_campaign(_honest()), retries=-1)
+
+    def test_unknown_checker_fails_before_spawning(self):
+        campaign = _campaign(ScenarioSpec(
+            name="x", generator="rag.random", checker="nope"))
+        with pytest.raises(ReproError, match="unknown checker"):
+            CampaignRunner(campaign).run()

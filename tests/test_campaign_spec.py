@@ -1,0 +1,146 @@
+"""Campaign specs: seeding, grid expansion, JSON round-trip, hashing."""
+
+import pytest
+
+from repro.campaign import (
+    CampaignSpec,
+    Scenario,
+    ScenarioSpec,
+    builtin_campaign,
+    derive_seed,
+)
+from repro.errors import ConfigurationError
+
+
+def _spec(**overrides) -> ScenarioSpec:
+    base = dict(name="s", generator="rag.random",
+                checker="pdda-vs-oracle", params={}, repeats=1)
+    base.update(overrides)
+    return ScenarioSpec(**base)
+
+
+class TestDeriveSeed:
+    def test_stable_across_calls(self):
+        assert derive_seed(42, "a/00001") == derive_seed(42, "a/00001")
+
+    def test_distinct_per_scenario_and_root(self):
+        seeds = {derive_seed(root, scenario_id)
+                 for root in (0, 1, "zork")
+                 for scenario_id in ("a/00000", "a/00001", "b/00000")}
+        assert len(seeds) == 9
+
+    def test_int_and_str_roots_with_same_text_agree(self):
+        # The manifest stores the root as JSON; 42 and "42" must not
+        # silently change every seed on reload.
+        assert derive_seed(42, "x/00000") == derive_seed("42", "x/00000")
+
+    def test_fits_in_63_bits(self):
+        for scenario_id in ("a/00000", "b/12345"):
+            assert 0 <= derive_seed(7, scenario_id) < 2 ** 63
+
+
+class TestGridExpansion:
+    def test_scalars_only_is_one_point(self):
+        spec = _spec(params={"m": 5, "n": 3})
+        assert list(spec.grid_points()) == [{"m": 5, "n": 3}]
+
+    def test_list_values_fan_out_as_axes(self):
+        spec = _spec(params={"m": [3, 5], "n": [2, 4], "frac": 0.5})
+        points = list(spec.grid_points())
+        assert len(points) == 4
+        assert all(p["frac"] == 0.5 for p in points)
+        assert {(p["m"], p["n"]) for p in points} == \
+            {(3, 2), (3, 4), (5, 2), (5, 4)}
+
+    def test_repeats_multiply_the_count(self):
+        assert _spec(params={"m": [3, 5]}, repeats=4).count() == 8
+
+    def test_expand_ids_are_per_spec_and_zero_padded(self):
+        campaign = CampaignSpec(name="c", scenarios=(
+            _spec(name="alpha", params={"m": [3, 5]}),
+            _spec(name="beta", repeats=2),
+        ))
+        ids = [s.scenario_id for s in campaign.expand(0)]
+        assert ids == ["alpha/00000", "alpha/00001",
+                       "beta/00000", "beta/00001"]
+
+    def test_expand_seeds_do_not_depend_on_sibling_specs(self):
+        solo = CampaignSpec(name="c", scenarios=(_spec(name="alpha"),))
+        both = CampaignSpec(name="c", scenarios=(
+            _spec(name="alpha"), _spec(name="beta")))
+        assert solo.expand(9)[0].seed == both.expand(9)[0].seed
+
+    def test_scenarios_carry_concrete_params(self):
+        campaign = CampaignSpec(name="c", scenarios=(
+            _spec(params={"m": [3, 5], "n": 2}),))
+        for scenario in campaign.expand(0):
+            assert isinstance(scenario, Scenario)
+            assert scenario.params["n"] == 2
+            assert scenario.params["m"] in (3, 5)
+
+
+class TestRoundTrip:
+    def test_json_round_trip_preserves_expansion(self):
+        campaign = builtin_campaign("smoke")
+        clone = CampaignSpec.from_json(campaign.to_json())
+        assert clone.spec_hash() == campaign.spec_hash()
+        original = campaign.expand(42)
+        reloaded = clone.expand(42)
+        assert [s.to_dict() for s in original] == \
+            [s.to_dict() for s in reloaded]
+
+    def test_scenario_dict_round_trip(self):
+        scenario = builtin_campaign("smoke").expand(1)[0]
+        assert Scenario.from_dict(scenario.to_dict()) == scenario
+
+    def test_spec_hash_changes_with_content(self):
+        a = CampaignSpec(name="c", scenarios=(_spec(),))
+        b = CampaignSpec(name="c",
+                         scenarios=(_spec(params={"m": 9}),))
+        assert a.spec_hash() != b.spec_hash()
+
+    def test_tuple_params_serialize_as_lists(self):
+        spec = _spec(params={"m": (3, 5)})
+        clone = ScenarioSpec.from_dict(spec.to_dict())
+        assert clone.params["m"] == [3, 5]
+        assert clone.count() == spec.count()
+
+    def test_malformed_json_raises(self):
+        with pytest.raises(ConfigurationError, match="not JSON"):
+            CampaignSpec.from_json("{nope")
+
+
+class TestValidation:
+    def test_empty_campaign_rejected(self):
+        with pytest.raises(ConfigurationError, match="empty"):
+            CampaignSpec(name="c").validate()
+
+    def test_duplicate_spec_names_rejected(self):
+        campaign = CampaignSpec(name="c",
+                                scenarios=(_spec(), _spec()))
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            campaign.validate()
+
+    @pytest.mark.parametrize("bad_name", ["", "a/b", "a|b"])
+    def test_reserved_characters_in_names_rejected(self, bad_name):
+        campaign = CampaignSpec(name="c",
+                                scenarios=(_spec(name=bad_name),))
+        with pytest.raises(ConfigurationError):
+            campaign.validate()
+
+    def test_zero_repeats_rejected(self):
+        with pytest.raises(ConfigurationError, match="repeats"):
+            _spec(repeats=0).validate()
+
+
+class TestBuiltins:
+    @pytest.mark.parametrize("name", ["smoke", "claims", "chaos"])
+    def test_builtin_campaigns_validate_and_expand(self, name):
+        campaign = builtin_campaign(name)
+        campaign.validate()
+        scenarios = campaign.expand(0)
+        assert len(scenarios) == campaign.count() > 0
+
+    def test_unknown_builtin_raises(self):
+        with pytest.raises(ConfigurationError, match="unknown built-in"):
+            builtin_campaign("nope")

@@ -1,0 +1,65 @@
+"""Smoke coverage for every experiment id in the registry.
+
+``tests/test_experiments.py`` asserts the *content* of the key tables;
+this module guarantees the registry itself never rots: every id runs,
+every result renders, and the ``--markdown`` report includes each
+section.  A new experiment wired into :data:`EXPERIMENTS` is covered
+here automatically.
+"""
+
+import pytest
+
+from repro.experiments import __main__ as experiments_cli
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+
+@pytest.mark.parametrize("experiment_id", sorted(EXPERIMENTS))
+def test_every_experiment_runs_and_renders(experiment_id):
+    result = run_experiment(experiment_id)
+    rendered = result.render()
+    assert isinstance(rendered, str)
+    assert rendered.strip(), f"{experiment_id} rendered nothing"
+
+
+def test_registry_descriptions_are_unique_and_nonempty():
+    descriptions = [desc for desc, _runner in EXPERIMENTS.values()]
+    assert all(desc.strip() for desc in descriptions)
+    assert len(set(descriptions)) == len(descriptions)
+
+
+def test_unknown_experiment_raises_with_listing():
+    with pytest.raises(KeyError, match="no-such-experiment"):
+        run_experiment("no-such-experiment")
+
+
+def test_cli_list_mentions_every_id(capsys):
+    assert experiments_cli.main(["--list"]) == 0
+    out = capsys.readouterr().out
+    for experiment_id in EXPERIMENTS:
+        assert experiment_id in out
+
+
+def test_cli_rejects_unknown_ids(capsys):
+    assert experiments_cli.main(["definitely-not-real"]) == 2
+    assert "definitely-not-real" in capsys.readouterr().err
+
+
+def test_cli_markdown_report_has_all_sections(tmp_path, capsys):
+    report = tmp_path / "report.md"
+    assert experiments_cli.main(["--markdown", str(report)]) == 0
+    capsys.readouterr()
+    text = report.read_text()
+    assert text.startswith("# Regenerated evaluation")
+    for experiment_id, (description, _runner) in EXPERIMENTS.items():
+        assert f"## {experiment_id}: {description}" in text
+
+
+def test_cli_markdown_selection(tmp_path, capsys):
+    report = tmp_path / "selection.md"
+    assert experiments_cli.main(
+        ["table5", "fig11", "--markdown", str(report)]) == 0
+    capsys.readouterr()
+    text = report.read_text()
+    assert "## table5:" in text
+    assert "## fig11:" in text
+    assert "## table10:" not in text
