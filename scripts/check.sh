@@ -4,8 +4,8 @@
 # Usage: scripts/check.sh [extra pytest args]
 #
 # Any ruff finding or test failure makes the script exit non-zero.
-# Set CHECK_BENCH=1 to also run the observability-overhead benchmark
-# guard (what CI does in its second job).
+# Set CHECK_BENCH=1 to also run the benchmark guards (observability
+# overhead + matrix-kernel throughput — what CI's benchmark job does).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -26,4 +26,6 @@ PYTHONPATH=src python -m pytest -q "$@"
 if [[ "${CHECK_BENCH:-0}" == "1" ]]; then
     echo "== obs overhead guard =="
     PYTHONPATH=src python -m pytest -q benchmarks/test_bench_obs_overhead.py
+    echo "== matrix kernel guard =="
+    PYTHONPATH=src python -m pytest -q benchmarks/test_bench_matrix_kernels.py
 fi

@@ -28,7 +28,7 @@ from repro.errors import (
     RTOSError,
     SimulationError,
 )
-from repro.rag import RAG, StateMatrix
+from repro.rag import RAG, BitMatrix, StateMatrix
 from repro.deadlock import (
     DAU,
     DDU,
@@ -47,6 +47,7 @@ __version__ = "1.0.0"
 __all__ = [
     "RAG",
     "StateMatrix",
+    "BitMatrix",
     "pdda_detect",
     "DDU",
     "DAU",

@@ -7,6 +7,10 @@
   randomized states; the benchmark and soak substrate.
 * ``chaos`` — deliberately includes a crashing and a hanging scenario
   among honest ones, to demonstrate worker isolation and timeouts.
+* ``kernels-large`` — 64x64-128x128 matrices through the bitmask fast
+  path (see :mod:`repro.rag.bitmatrix`): oracle agreement at every
+  size, plus backend-differential scenarios at 64x64, the largest size
+  where the per-cell reference matrix is still quick enough to re-run.
 """
 
 from __future__ import annotations
@@ -92,10 +96,45 @@ def _chaos() -> CampaignSpec:
     ))
 
 
+def _kernels_large() -> CampaignSpec:
+    return CampaignSpec(name="kernels-large", scenarios=(
+        ScenarioSpec(name="pdda-large-random", generator="rag.random",
+                     checker="pdda-vs-oracle",
+                     params={"m": [64, 96, 128], "n": [64, 96, 128],
+                             "grant_fraction": [0.6, 0.9],
+                             "request_fraction": 0.4},
+                     repeats=2),
+        ScenarioSpec(name="pdda-large-worst", generator="rag.worst_case",
+                     checker="pdda-vs-oracle",
+                     params={"m": [64, 128], "n": [64, 128]}),
+        ScenarioSpec(name="pdda-large-free", generator="rag.deadlock_free",
+                     checker="pdda-vs-oracle",
+                     params={"m": [96], "n": [96]}, repeats=2),
+        ScenarioSpec(name="ddu-large", generator="rag.random",
+                     checker="ddu-vs-structural",
+                     params={"m": [64, 128], "n": [64],
+                             "grant_fraction": [0.6, 0.9]},
+                     repeats=2),
+        ScenarioSpec(name="backends-random", generator="rag.random",
+                     checker="pdda-backends-agree",
+                     params={"m": [64], "n": [64],
+                             "grant_fraction": [0.5, 0.8],
+                             "request_fraction": 0.4},
+                     repeats=2),
+        ScenarioSpec(name="backends-worst", generator="rag.worst_case",
+                     checker="pdda-backends-agree",
+                     params={"m": [64], "n": [64]}),
+        ScenarioSpec(name="backends-free", generator="rag.deadlock_free",
+                     checker="pdda-backends-agree",
+                     params={"m": [64], "n": [64]}, repeats=2),
+    ))
+
+
 BUILTIN_CAMPAIGNS = {
     "smoke": _smoke,
     "claims": _claims,
     "chaos": _chaos,
+    "kernels-large": _kernels_large,
 }
 
 

@@ -44,8 +44,8 @@ from typing import Iterable, Mapping, Optional
 
 from repro import calibration
 from repro.errors import ResourceProtocolError
+from repro.rag.bitmatrix import AnyStateMatrix, matrix_from_rag
 from repro.rag.graph import RAG
-from repro.rag.matrix import StateMatrix
 from repro.deadlock.pdda import software_detection_cycles, terminal_reduction
 
 
@@ -154,7 +154,7 @@ class AvoidanceCore:
 
     # -- detection backend (overridden by hardware/software variants) -------
 
-    def _run_detection(self, matrix: StateMatrix) -> tuple[bool, int]:
+    def _run_detection(self, matrix: AnyStateMatrix) -> tuple[bool, int]:
         """Return (deadlock, passes) for the given state matrix."""
         reduction = terminal_reduction(matrix)
         return (not reduction.complete, reduction.passes)
@@ -170,7 +170,7 @@ class AvoidanceCore:
         return self.priorities[a] < self.priorities[b]
 
     def _detect_current(self) -> tuple[bool, int]:
-        return self._run_detection(StateMatrix.from_rag(self.rag))
+        return self._run_detection(matrix_from_rag(self.rag))
 
     def held_resources(self, process: str) -> tuple[str, ...]:
         return self.rag.held_by(process)

@@ -27,7 +27,7 @@ from repro.deadlock.daa import Action, AvoidanceCore, Decision, DeadlockKind
 from repro.deadlock.ddu import DDU
 from repro.errors import ResourceProtocolError
 from repro.obs import NULL_OBS, Observability
-from repro.rag.matrix import StateMatrix
+from repro.rag.bitmatrix import AnyStateMatrix
 
 
 @dataclass
@@ -90,7 +90,7 @@ class DAU(AvoidanceCore):
 
     # -- detection backend: the embedded DDU -------------------------------------
 
-    def _run_detection(self, matrix: StateMatrix) -> tuple[bool, int]:
+    def _run_detection(self, matrix: AnyStateMatrix) -> tuple[bool, int]:
         self.ddu.load(matrix)
         result = self.ddu.detect()
         return (result.deadlock, result.passes)

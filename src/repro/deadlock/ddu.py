@@ -22,8 +22,15 @@ from typing import Optional, Union
 from repro import calibration
 from repro.errors import ConfigurationError
 from repro.obs import NULL_OBS, Observability
+from repro.rag.bitmatrix import (
+    AnyStateMatrix,
+    BitMatrix,
+    as_backend_matrix,
+    matrix_class,
+    resolve_backend,
+)
 from repro.rag.graph import RAG
-from repro.rag.matrix import CellState, StateMatrix
+from repro.rag.matrix import CellState
 
 
 @dataclass(frozen=True)
@@ -45,7 +52,7 @@ class HardwareDetection:
     passes: int
     #: Modelled latency in bus cycles.
     cycles: float
-    residual: StateMatrix
+    residual: AnyStateMatrix
 
 
 class DDU:
@@ -60,12 +67,17 @@ class DDU:
     """
 
     def __init__(self, num_resources: int, num_processes: int,
-                 obs: Optional[Observability] = None) -> None:
+                 obs: Optional[Observability] = None,
+                 backend: Optional[str] = None) -> None:
         if num_resources < 1 or num_processes < 1:
             raise ConfigurationError("DDU needs at least a 1x1 matrix")
         self.m = num_resources
         self.n = num_processes
-        self.matrix = StateMatrix(num_resources, num_processes)
+        #: Matrix representation the register file and reductions use
+        #: (see :mod:`repro.rag.bitmatrix`).
+        self.backend = resolve_backend(backend)
+        self.matrix: AnyStateMatrix = matrix_class(self.backend)(
+            num_resources, num_processes)
         #: Detection invocations since construction (status counter).
         self.invocations = 0
         #: Total modelled busy cycles since construction.
@@ -79,6 +91,15 @@ class DDU:
             bounds=(0, 1, 2, 3, 4, 5, 6, 8, 10, 12, 16))
         self._m_cycles = metrics.histogram(
             "ddu.cycles", "modelled latency per detection run")
+        self._m_fast_detections = metrics.counter(
+            "matrix.fastpath.detections",
+            "detection runs executed on the bitmask kernel")
+        self._m_fast_passes = metrics.counter(
+            "matrix.fastpath.passes",
+            "bitmask evaluation passes (O(m+n) each)")
+        self._m_fast_cleared = metrics.counter(
+            "matrix.fastpath.cleared_edges",
+            "edges removed by bitmask terminal reduction")
 
     # -- sizing -----------------------------------------------------------
 
@@ -101,12 +122,9 @@ class DDU:
 
     # -- register-file interface ----------------------------------------------
 
-    def load(self, source: Union[RAG, StateMatrix]) -> None:
+    def load(self, source: Union[RAG, AnyStateMatrix]) -> None:
         """Latch a complete state into the register file."""
-        if isinstance(source, RAG):
-            matrix = StateMatrix.from_rag(source)
-        else:
-            matrix = source.copy()
+        matrix = as_backend_matrix(source, self.backend)
         if (matrix.m, matrix.n) != (self.m, self.n):
             raise ConfigurationError(
                 f"state is {matrix.m}x{matrix.n}, unit is {self.m}x{self.n}")
@@ -126,13 +144,14 @@ class DDU:
 
     # -- weight vectors (Part 2 of Figure 13) ------------------------------------
 
-    def row_weights(self, matrix: Optional[StateMatrix] = None) -> list[WeightCell]:
+    def row_weights(self, matrix: Optional[AnyStateMatrix] = None
+                    ) -> list[WeightCell]:
         """The row weight vector W^r of Equation 9."""
         matrix = matrix if matrix is not None else self.matrix
         return [WeightCell(matrix.row_terminal(s), matrix.row_connect(s))
                 for s in range(self.m)]
 
-    def column_weights(self, matrix: Optional[StateMatrix] = None
+    def column_weights(self, matrix: Optional[AnyStateMatrix] = None
                        ) -> list[WeightCell]:
         """The column weight vector W^c of Equation 8."""
         matrix = matrix if matrix is not None else self.matrix
@@ -150,25 +169,34 @@ class DDU:
         0 the decide cell latches D (Equation 7).
         """
         work = self.matrix.copy()
-        iterations = 0
-        passes = 0
-        while True:
-            passes += 1
-            rows = self.row_weights(work)
-            cols = self.column_weights(work)
-            t_iter = (any(w.terminal for w in rows)
-                      or any(w.terminal for w in cols))
-            if not t_iter:
-                deadlock = (any(w.connect for w in rows)
-                            or any(w.connect for w in cols))
-                break
-            for s, w in enumerate(rows):
-                if w.terminal:
-                    work.clear_row(s)
-            for t, w in enumerate(cols):
-                if w.terminal:
-                    work.clear_column(t)
-            iterations += 1
+        fastpath = isinstance(work, BitMatrix)
+        if fastpath:
+            # At the fixpoint no terminal flags remain, so the decide
+            # cell's OR-of-connect-flags is 1 iff any edge survived —
+            # deadlock reduces to a non-empty residual.
+            edges_before = work.edge_count
+            iterations, passes = work.reduce()
+            deadlock = not work.is_empty()
+        else:
+            iterations = 0
+            passes = 0
+            while True:
+                passes += 1
+                rows = self.row_weights(work)
+                cols = self.column_weights(work)
+                t_iter = (any(w.terminal for w in rows)
+                          or any(w.terminal for w in cols))
+                if not t_iter:
+                    deadlock = (any(w.connect for w in rows)
+                                or any(w.connect for w in cols))
+                    break
+                for s, w in enumerate(rows):
+                    if w.terminal:
+                        work.clear_row(s)
+                for t, w in enumerate(cols):
+                    if w.terminal:
+                        work.clear_column(t)
+                iterations += 1
         cycles = (passes * calibration.DDU_CYCLES_PER_ITERATION
                   + calibration.DDU_FIXED_CYCLES)
         self.invocations += 1
@@ -177,6 +205,10 @@ class DDU:
             self._m_invocations.inc()
             self._m_iterations.observe(iterations)
             self._m_cycles.observe(cycles)
+            if fastpath:
+                self._m_fast_detections.inc()
+                self._m_fast_passes.inc(passes)
+                self._m_fast_cleared.inc(edges_before - work.edge_count)
         return HardwareDetection(
             deadlock=deadlock,
             iterations=iterations,

@@ -20,20 +20,21 @@ there are no terminal edges left (line 7 of Algorithm 1).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Union
+from typing import Optional, Union
 
 from repro import calibration
+from repro.rag.bitmatrix import AnyStateMatrix, BitMatrix, as_backend_matrix
 from repro.rag.graph import RAG
 from repro.rag.matrix import StateMatrix
 
-MatrixSource = Union[RAG, StateMatrix]
+MatrixSource = Union[RAG, StateMatrix, BitMatrix]
 
 
 @dataclass(frozen=True)
 class ReductionResult:
     """Outcome of a full terminal reduction sequence (Algorithm 1)."""
 
-    matrix: StateMatrix
+    matrix: AnyStateMatrix
     iterations: int
     #: Scan passes over the matrix, including the final no-terminal pass.
     passes: int
@@ -54,7 +55,7 @@ class DetectionResult:
     #: Modelled software execution time in bus cycles.
     software_cycles: float
     #: The irreducible matrix; its surviving edges are the deadlock.
-    residual: StateMatrix
+    residual: AnyStateMatrix
 
     def deadlocked_processes(self) -> list[str]:
         """Process names with a surviving (cycle-involved) edge."""
@@ -75,20 +76,21 @@ class DetectionResult:
         return out
 
 
-def _as_matrix(source: MatrixSource) -> StateMatrix:
-    if isinstance(source, RAG):
-        return StateMatrix.from_rag(source)
-    return source.copy()
-
-
-def terminal_reduction(source: MatrixSource) -> ReductionResult:
+def terminal_reduction(source: MatrixSource,
+                       backend: Optional[str] = None) -> ReductionResult:
     """Algorithm 1: apply terminal reduction steps until irreducible.
 
     Each step finds all terminal rows and columns of the current matrix
     (lines 5-6), stops if there are none (line 7), otherwise clears them
-    all at once (lines 8-9).
+    all at once (lines 8-9).  ``backend`` picks the matrix representation
+    the reduction runs on (see :mod:`repro.rag.bitmatrix`); iteration and
+    pass counts are bit-identical across backends.
     """
-    matrix = _as_matrix(source)
+    matrix = as_backend_matrix(source, backend)
+    if isinstance(matrix, BitMatrix):
+        iterations, passes = matrix.reduce()
+        return ReductionResult(matrix=matrix, iterations=iterations,
+                               passes=passes)
     iterations = 0
     passes = 0
     while True:
@@ -111,16 +113,18 @@ def software_detection_cycles(m: int, n: int, passes: int) -> float:
             + calibration.SW_PDDA_OVERHEAD_CYCLES)
 
 
-def pdda_detect(source: MatrixSource) -> DetectionResult:
+def pdda_detect(source: MatrixSource,
+                backend: Optional[str] = None) -> DetectionResult:
     """Algorithm 2: build the matrix, reduce, report deadlock.
 
     Returns '1' (deadlock) iff the irreducible matrix still has edges —
     equivalently, iff the state graph contains a cycle (the paper's
     proven iff, reference [29]).
     """
-    matrix = _as_matrix(source)
-    reduction = terminal_reduction(matrix)
-    cycles = software_detection_cycles(matrix.m, matrix.n, reduction.passes)
+    reduction = terminal_reduction(source, backend)
+    residual = reduction.matrix
+    cycles = software_detection_cycles(residual.m, residual.n,
+                                       reduction.passes)
     return DetectionResult(
         deadlock=not reduction.complete,
         iterations=reduction.iterations,

@@ -11,6 +11,7 @@ than quoted.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.deadlock.ddu import DDU
 from repro.deadlock.pdda import pdda_detect
@@ -71,15 +72,16 @@ class SurveyResult:
         }
 
 
-def run(sizes: tuple = SIZES) -> SurveyResult:
+def run(sizes: tuple = SIZES,
+        backend: Optional[str] = None) -> SurveyResult:
     rows = []
     for size in sizes:
         state = worst_case_state(size, size)
         holt = holt_detect(state)
         reduction = graph_reduction_detect(state)
         leibfried = leibfried_detect(state)
-        pdda = pdda_detect(state)
-        unit = DDU(size, size)
+        pdda = pdda_detect(state, backend=backend)
+        unit = DDU(size, size, backend=backend)
         unit.load(state)
         hardware = unit.detect()
         assert (holt.deadlock == reduction.deadlock == leibfried.deadlock

@@ -48,9 +48,7 @@ def enumerate_states(m: int, n: int):
     """Yield every legal m x n state matrix."""
     rows = _row_configurations(n)
     for combo in itertools.product(rows, repeat=m):
-        matrix = StateMatrix(m, n)
-        matrix._cells = [list(row) for row in combo]
-        yield matrix
+        yield StateMatrix.from_cells(combo)
 
 
 @dataclass(frozen=True)

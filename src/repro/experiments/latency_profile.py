@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.deadlock.ddu import DDU
 from repro.deadlock.pdda import pdda_detect
@@ -69,9 +70,10 @@ def _percentile(values: list, fraction: float) -> float:
 
 
 def run(m: int = 5, n: int = 5, samples: int = 400,
-        seed: int = 42) -> LatencyProfileResult:
+        seed: int = 42,
+        backend: Optional[str] = None) -> LatencyProfileResult:
     rng = random.Random(seed)
-    unit = DDU(m, n)
+    unit = DDU(m, n, backend=backend)
     hw_latencies: list = []
     sw_latencies: list = []
     for _ in range(samples):
@@ -80,7 +82,8 @@ def run(m: int = 5, n: int = 5, samples: int = 400,
                              rng=rng)
         unit.load(state)
         hw_latencies.append(unit.detect().cycles)
-        sw_latencies.append(pdda_detect(state).software_cycles)
+        sw_latencies.append(
+            pdda_detect(state, backend=backend).software_cycles)
 
     def row(name: str, values: list, bound: float) -> LatencyRow:
         return LatencyRow(

@@ -8,6 +8,9 @@ a time (Section 3.2).  This package provides:
   enforcement (Assumptions 1-3 of the paper);
 * :class:`~repro.rag.matrix.StateMatrix` — the m x n matrix encoding of
   Definition 6 with the 2-bit cell encoding of Section 4.2.2;
+* :class:`~repro.rag.bitmatrix.BitMatrix` — the same matrix stored as
+  per-row/per-column integer bitmasks (the word-parallel fast path the
+  reduction kernels run on; ``REPRO_MATRIX_BACKEND`` selects);
 * :mod:`repro.rag.classic` — prior-work baselines (Holt-style cycle
   detection, graph reduction, Leibfried's adjacency-matrix method,
   Banker's algorithm);
@@ -17,6 +20,18 @@ a time (Section 3.2).  This package provides:
 
 from repro.rag.graph import RAG
 from repro.rag.matrix import CellState, StateMatrix
+from repro.rag.bitmatrix import (
+    BACKEND_ENV_VAR,
+    BACKENDS,
+    FAST_BACKEND,
+    REFERENCE_BACKEND,
+    BitMatrix,
+    as_backend_matrix,
+    default_backend,
+    matrix_class,
+    matrix_from_rag,
+    resolve_backend,
+)
 from repro.rag.classic import (
     BankersAvoider,
     graph_reduction_detect,
@@ -46,7 +61,17 @@ from repro.rag.serialize import (
 __all__ = [
     "RAG",
     "StateMatrix",
+    "BitMatrix",
     "CellState",
+    "BACKENDS",
+    "BACKEND_ENV_VAR",
+    "FAST_BACKEND",
+    "REFERENCE_BACKEND",
+    "as_backend_matrix",
+    "default_backend",
+    "matrix_class",
+    "matrix_from_rag",
+    "resolve_backend",
     "holt_detect",
     "graph_reduction_detect",
     "leibfried_detect",

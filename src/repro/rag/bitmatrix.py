@@ -1,0 +1,412 @@
+"""Bit-packed state matrix: the DDU's wide-OR lattice as Python ints.
+
+:class:`~repro.rag.matrix.StateMatrix` models Definition 6 one cell
+object at a time, which makes every Equation 3-6 reduction an O(m*n)
+Python loop.  The hardware evaluates those reductions *in parallel*
+each cycle — an m-wide / n-wide OR tree per row and column — and the
+closest software analogue is a word-parallel bitset: store each row's
+request plane and grant plane as one n-bit integer, keep the column
+transposes as m-bit integers, and the hardware reductions collapse to
+mask tests:
+
+* row/column bit-wise OR (Equation 3) — ``mask != 0``;
+* terminal flag tau (Equation 4)      — ``bool(r) ^ bool(g)``;
+* connect flag phi (Equation 6)       — ``bool(r) and bool(g)``;
+* clearing a terminal row/column (Definition 12) — zero two words and
+  patch the transposes of the set bits.
+
+The edge count is maintained incrementally from ``int.bit_count()``
+deltas, so ``is_empty()`` — consulted once per reduction pass — never
+rescans the plane.  A full terminal-reduction pass costs O(m + n)
+instead of O(m*n), which is what lets the campaign presets and scaling
+surveys run 64x64-128x128 matrices.
+
+:class:`BitMatrix` speaks the full :class:`StateMatrix` protocol
+(constructors, cell access, Equations 3-6, rendering, equality against
+either representation), so every consumer — PDDA, the DDU/DAU models,
+serialization, the experiments — can hold either type.  The *backend
+knob* at the bottom picks which one the hot paths build:
+``"bitmask"`` (the default) or ``"reference"``; set
+``REPRO_MATRIX_BACKEND=reference`` to force the cell-object oracle
+process-wide.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Optional, Union
+
+from repro.errors import ConfigurationError, ResourceProtocolError
+from repro.rag.graph import RAG
+from repro.rag.matrix import CellState, StateMatrix
+
+#: The word-parallel integer-bitmask backend (the fast path).
+FAST_BACKEND = "bitmask"
+#: The per-cell :class:`StateMatrix` oracle.
+REFERENCE_BACKEND = "reference"
+BACKENDS = (FAST_BACKEND, REFERENCE_BACKEND)
+#: Environment escape hatch: ``REPRO_MATRIX_BACKEND=reference``.
+BACKEND_ENV_VAR = "REPRO_MATRIX_BACKEND"
+
+
+class BitMatrix:
+    """An m x n state matrix stored as per-row/per-column bit vectors.
+
+    ``m`` is the number of resources (rows), ``n`` the number of
+    processes (columns) — the paper's ``M_ij`` layout, identical to
+    :class:`StateMatrix`.  Cell ``(s, t)`` is a request edge iff bit
+    ``t`` of ``_row_r[s]`` is set, a grant edge iff bit ``t`` of
+    ``_row_g[s]`` is set; the planes are disjoint by construction.
+    """
+
+    def __init__(self, num_resources: int, num_processes: int,
+                 resource_names: Optional[Iterable[str]] = None,
+                 process_names: Optional[Iterable[str]] = None) -> None:
+        if num_resources < 1 or num_processes < 1:
+            raise ResourceProtocolError(
+                "matrix dimensions must be at least 1x1")
+        self.m = num_resources
+        self.n = num_processes
+        self.resource_names = (list(resource_names) if resource_names
+                               else [f"q{s + 1}" for s in range(self.m)])
+        self.process_names = (list(process_names) if process_names
+                              else [f"p{t + 1}" for t in range(self.n)])
+        if len(self.resource_names) != self.m:
+            raise ResourceProtocolError("resource_names length != m")
+        if len(self.process_names) != self.n:
+            raise ResourceProtocolError("process_names length != n")
+        self._row_r: list[int] = [0] * self.m
+        self._row_g: list[int] = [0] * self.m
+        self._col_r: list[int] = [0] * self.n
+        self._col_g: list[int] = [0] * self.n
+        self._edges = 0
+
+    # -- constructors ----------------------------------------------------------
+
+    @classmethod
+    def from_rag(cls, rag: RAG) -> "BitMatrix":
+        """Map a RAG to its state matrix (lines 2-6 of Algorithm 2)."""
+        matrix = cls(rag.num_resources, rag.num_processes,
+                     resource_names=rag.resources,
+                     process_names=rag.processes)
+        for p, q in rag.request_edges():
+            matrix.set_request(rag.resource_index(q), rag.process_index(p))
+        for q, p in rag.grant_edges():
+            matrix.set_grant(rag.resource_index(q), rag.process_index(p))
+        return matrix
+
+    @classmethod
+    def from_rows(cls, rows: Iterable[str]) -> "BitMatrix":
+        """Build from compact text rows, e.g. ``["g r .", "r g ."]``."""
+        return cls.from_matrix(StateMatrix.from_rows(rows))
+
+    @classmethod
+    def from_matrix(cls, other: "AnyStateMatrix") -> "BitMatrix":
+        """Convert from anything speaking the cell protocol.
+
+        Writes the bit planes directly (no protocol checks), so even
+        degenerate states representable by :meth:`StateMatrix.from_rows`
+        convert faithfully.
+        """
+        matrix = cls(other.m, other.n,
+                     resource_names=other.resource_names,
+                     process_names=other.process_names)
+        for s in range(other.m):
+            sbit = 1 << s
+            for t in range(other.n):
+                cell = other.get(s, t)
+                if cell is CellState.REQUEST:
+                    matrix._row_r[s] |= 1 << t
+                    matrix._col_r[t] |= sbit
+                    matrix._edges += 1
+                elif cell is CellState.GRANT:
+                    matrix._row_g[s] |= 1 << t
+                    matrix._col_g[t] |= sbit
+                    matrix._edges += 1
+        return matrix
+
+    def to_rag(self) -> RAG:
+        """Inverse mapping back to a RAG (single-grant rule enforced)."""
+        rag = RAG(self.process_names, self.resource_names)
+        for s in range(self.m):
+            requests = self._row_r[s]
+            while requests:
+                low = requests & -requests
+                t = low.bit_length() - 1
+                rag.add_request(self.process_names[t],
+                                self.resource_names[s])
+                requests ^= low
+            grants = self._row_g[s]
+            while grants:
+                low = grants & -grants
+                t = low.bit_length() - 1
+                rag.grant(self.resource_names[s], self.process_names[t])
+                grants ^= low
+        return rag
+
+    def to_state_matrix(self) -> StateMatrix:
+        """Convert to the per-cell reference representation."""
+        return StateMatrix.from_matrix(self)
+
+    def copy(self) -> "BitMatrix":
+        clone = BitMatrix(self.m, self.n,
+                          resource_names=self.resource_names,
+                          process_names=self.process_names)
+        clone._row_r = list(self._row_r)
+        clone._row_g = list(self._row_g)
+        clone._col_r = list(self._col_r)
+        clone._col_g = list(self._col_g)
+        clone._edges = self._edges
+        return clone
+
+    # -- cell access -------------------------------------------------------------
+
+    def _span(self, index: int, size: int, axis: str) -> int:
+        if index < 0:
+            index += size
+        if not 0 <= index < size:
+            raise IndexError(f"{axis} index out of range")
+        return index
+
+    def get(self, s: int, t: int) -> CellState:
+        s = self._span(s, self.m, "row")
+        t = self._span(t, self.n, "column")
+        bit = 1 << t
+        if self._row_r[s] & bit:
+            return CellState.REQUEST
+        if self._row_g[s] & bit:
+            return CellState.GRANT
+        return CellState.EMPTY
+
+    def set_request(self, s: int, t: int) -> None:
+        s = self._span(s, self.m, "row")
+        t = self._span(t, self.n, "column")
+        existing = self.get(s, t)
+        if existing is not CellState.EMPTY:
+            raise ResourceProtocolError(
+                f"cell ({s},{t}) already {existing.name}")
+        self._row_r[s] |= 1 << t
+        self._col_r[t] |= 1 << s
+        self._edges += 1
+
+    def set_grant(self, s: int, t: int) -> None:
+        s = self._span(s, self.m, "row")
+        t = self._span(t, self.n, "column")
+        bit = 1 << t
+        grants = self._row_g[s]
+        if grants & bit:
+            raise ResourceProtocolError(f"cell ({s},{t}) already GRANT")
+        if grants:
+            holder = (grants & -grants).bit_length() - 1
+            raise ResourceProtocolError(
+                f"resource row {s} already granted to column {holder} "
+                "(single-unit rule)")
+        if self._row_r[s] & bit:
+            # A pending request may be promoted to a grant in place.
+            self._row_r[s] &= ~bit
+            self._col_r[t] &= ~(1 << s)
+        else:
+            self._edges += 1
+        self._row_g[s] |= bit
+        self._col_g[t] |= 1 << s
+
+    def clear(self, s: int, t: int) -> None:
+        s = self._span(s, self.m, "row")
+        t = self._span(t, self.n, "column")
+        bit = 1 << t
+        sbit = 1 << s
+        if (self._row_r[s] | self._row_g[s]) & bit:
+            self._edges -= 1
+        self._row_r[s] &= ~bit
+        self._row_g[s] &= ~bit
+        self._col_r[t] &= ~sbit
+        self._col_g[t] &= ~sbit
+
+    def row(self, s: int) -> tuple[CellState, ...]:
+        return tuple(self.get(s, t) for t in range(self.n))
+
+    def column(self, t: int) -> tuple[CellState, ...]:
+        return tuple(self.get(s, t) for s in range(self.m))
+
+    @property
+    def edge_count(self) -> int:
+        return self._edges
+
+    def is_empty(self) -> bool:
+        return self._edges == 0
+
+    # -- hardware reductions (Equations 3-6) ---------------------------------------
+
+    def row_bwo(self, s: int) -> tuple[int, int]:
+        """Bit-wise OR across row ``s``: (r_or, g_or)  (Equation 3)."""
+        return (1 if self._row_r[s] else 0, 1 if self._row_g[s] else 0)
+
+    def column_bwo(self, t: int) -> tuple[int, int]:
+        """Bit-wise OR down column ``t``: (r_or, g_or)  (Equation 3)."""
+        return (1 if self._col_r[t] else 0, 1 if self._col_g[t] else 0)
+
+    def row_terminal(self, s: int) -> bool:
+        """Terminal flag tau for row ``s`` (Equation 4 / Definition 7)."""
+        return (self._row_r[s] == 0) != (self._row_g[s] == 0)
+
+    def column_terminal(self, t: int) -> bool:
+        """Terminal flag tau for column ``t`` (Equation 4 / Definition 8)."""
+        return (self._col_r[t] == 0) != (self._col_g[t] == 0)
+
+    def row_connect(self, s: int) -> bool:
+        """Connect flag phi for row ``s`` (Equation 6)."""
+        return bool(self._row_r[s]) and bool(self._row_g[s])
+
+    def column_connect(self, t: int) -> bool:
+        """Connect flag phi for column ``t`` (Equation 6)."""
+        return bool(self._col_r[t]) and bool(self._col_g[t])
+
+    def terminal_rows(self) -> list[int]:
+        """On-set of terminal rows, the function T_r (Definition 9)."""
+        row_r, row_g = self._row_r, self._row_g
+        return [s for s in range(self.m)
+                if (row_r[s] == 0) != (row_g[s] == 0)]
+
+    def terminal_columns(self) -> list[int]:
+        """On-set of terminal columns, the function T_c (Definition 10)."""
+        col_r, col_g = self._col_r, self._col_g
+        return [t for t in range(self.n)
+                if (col_r[t] == 0) != (col_g[t] == 0)]
+
+    def clear_row(self, s: int) -> None:
+        bits = self._row_r[s] | self._row_g[s]
+        self._edges -= bits.bit_count()
+        keep = ~(1 << s)
+        col_r, col_g = self._col_r, self._col_g
+        while bits:
+            low = bits & -bits
+            t = low.bit_length() - 1
+            col_r[t] &= keep
+            col_g[t] &= keep
+            bits ^= low
+        self._row_r[s] = 0
+        self._row_g[s] = 0
+
+    def clear_column(self, t: int) -> None:
+        bits = self._col_r[t] | self._col_g[t]
+        self._edges -= bits.bit_count()
+        keep = ~(1 << t)
+        row_r, row_g = self._row_r, self._row_g
+        while bits:
+            low = bits & -bits
+            s = low.bit_length() - 1
+            row_r[s] &= keep
+            row_g[s] &= keep
+            bits ^= low
+        self._col_r[t] = 0
+        self._col_g[t] = 0
+
+    # -- whole-matrix reduction (Algorithm 1 on the fast path) ---------------------
+
+    def reduce(self) -> tuple[int, int]:
+        """Run the terminal reduction sequence in place (Algorithm 1).
+
+        Returns ``(iterations, passes)`` with the exact semantics of
+        :func:`repro.deadlock.pdda.terminal_reduction`: both terminal
+        on-sets are computed against the same pre-clear snapshot, every
+        flagged row/column is cleared at once, and the final pass that
+        finds no terminal edges is counted.  Each pass costs O(m + n)
+        mask tests plus O(edges cleared) transpose patches.
+        """
+        iterations = 0
+        passes = 0
+        while True:
+            passes += 1
+            term_rows = self.terminal_rows()
+            term_cols = self.terminal_columns()
+            if not term_rows and not term_cols:
+                break
+            for s in term_rows:
+                self.clear_row(s)
+            for t in term_cols:
+                self.clear_column(t)
+            iterations += 1
+        return iterations, passes
+
+    # -- comparisons / rendering -----------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, BitMatrix):
+            return ((self.m, self.n) == (other.m, other.n)
+                    and self._row_r == other._row_r
+                    and self._row_g == other._row_g)
+        if isinstance(other, StateMatrix):
+            if (self.m, self.n) != (other.m, other.n):
+                return False
+            return all(self.get(s, t) is other.get(s, t)
+                       for s in range(self.m) for t in range(self.n))
+        return NotImplemented
+
+    def render(self) -> str:
+        """Figure 11-style text rendering, identical to StateMatrix."""
+        col_width = max([len(p) for p in self.process_names] + [1])
+        header = " " * 6 + " ".join(
+            p.rjust(col_width) for p in self.process_names)
+        lines = [header]
+        for s in range(self.m):
+            cells = " ".join(self.get(s, t).symbol().rjust(col_width)
+                             for t in range(self.n))
+            lines.append(f"{self.resource_names[s]:<6s}{cells}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<BitMatrix {self.m}x{self.n} edges={self._edges}>"
+
+
+#: Either state-matrix representation; both speak the same protocol.
+AnyStateMatrix = Union[StateMatrix, BitMatrix]
+
+
+# -- backend knob -----------------------------------------------------------------
+
+def default_backend() -> str:
+    """The process default: ``REPRO_MATRIX_BACKEND`` or the fast path."""
+    value = os.environ.get(BACKEND_ENV_VAR, "").strip().lower()
+    if not value:
+        return FAST_BACKEND
+    if value not in BACKENDS:
+        raise ConfigurationError(
+            f"{BACKEND_ENV_VAR}={value!r} is not one of {sorted(BACKENDS)}")
+    return value
+
+
+def resolve_backend(backend: Optional[str] = None) -> str:
+    """Normalize a ``backend=`` argument (None -> process default)."""
+    if backend is None:
+        return default_backend()
+    if backend not in BACKENDS:
+        raise ConfigurationError(
+            f"unknown matrix backend {backend!r}; "
+            f"available: {sorted(BACKENDS)}")
+    return backend
+
+
+def matrix_class(backend: Optional[str] = None):
+    """The matrix type the given backend builds."""
+    return (BitMatrix if resolve_backend(backend) == FAST_BACKEND
+            else StateMatrix)
+
+
+def matrix_from_rag(rag: RAG, backend: Optional[str] = None) -> AnyStateMatrix:
+    """Build the backend's matrix straight from a RAG."""
+    return matrix_class(backend).from_rag(rag)
+
+
+def as_backend_matrix(source: Union[RAG, AnyStateMatrix],
+                      backend: Optional[str] = None) -> AnyStateMatrix:
+    """A fresh, safely-mutable matrix of the backend's type.
+
+    RAGs are mapped, same-type matrices are copied, and cross-type
+    matrices are converted — callers always own the result.
+    """
+    cls = matrix_class(backend)
+    if isinstance(source, RAG):
+        return cls.from_rag(source)
+    if isinstance(source, cls):
+        return source.copy()
+    return cls.from_matrix(source)

@@ -68,6 +68,13 @@ class StateMatrix:
             raise ResourceProtocolError("process_names length != n")
         self._cells: list[list[CellState]] = [
             [CellState.EMPTY] * self.n for _ in range(self.m)]
+        #: Non-empty cells, maintained incrementally by every mutator so
+        #: ``is_empty()`` — consulted once per reduction pass — is O(1).
+        self._edge_count = 0
+        #: Per-row grant columns (normally 0 or 1 entries; text-loaded
+        #: degenerate states may hold more), so ``set_grant`` enforces
+        #: the single-unit rule without an O(n) row scan.
+        self._grant_cols: list[set[int]] = [set() for _ in range(self.m)]
 
     # -- constructors ----------------------------------------------------------
 
@@ -105,12 +112,40 @@ class StateMatrix:
             parsed.append(cells)
         if not parsed:
             raise ResourceProtocolError("no rows given")
-        widths = {len(cells) for cells in parsed}
+        return cls.from_cells(parsed)
+
+    @classmethod
+    def from_cells(cls, cells: Iterable[Iterable[CellState]]) -> "StateMatrix":
+        """Build from an m x n grid of :class:`CellState` values."""
+        parsed = [list(row) for row in cells]
+        if not parsed:
+            raise ResourceProtocolError("no rows given")
+        widths = {len(row) for row in parsed}
         if len(widths) != 1:
             raise ResourceProtocolError("ragged rows")
         matrix = cls(len(parsed), widths.pop())
-        matrix._cells = parsed
+        matrix._install_cells(parsed)
         return matrix
+
+    @classmethod
+    def from_matrix(cls, other: "StateMatrix") -> "StateMatrix":
+        """Convert from anything speaking the cell protocol (e.g. a
+        :class:`~repro.rag.bitmatrix.BitMatrix`)."""
+        matrix = cls(other.m, other.n,
+                     resource_names=other.resource_names,
+                     process_names=other.process_names)
+        matrix._install_cells([[other.get(s, t) for t in range(other.n)]
+                               for s in range(other.m)])
+        return matrix
+
+    def _install_cells(self, cells: list[list[CellState]]) -> None:
+        """Adopt a cell grid wholesale, rebuilding the derived caches."""
+        self._cells = cells
+        self._edge_count = sum(1 for row in cells for cell in row
+                               if cell is not CellState.EMPTY)
+        self._grant_cols = [
+            {t for t, cell in enumerate(row) if cell is CellState.GRANT}
+            for row in cells]
 
     def to_rag(self) -> RAG:
         """Inverse mapping back to a RAG (single-grant rule enforced)."""
@@ -130,6 +165,8 @@ class StateMatrix:
                             resource_names=self.resource_names,
                             process_names=self.process_names)
         clone._cells = [list(row) for row in self._cells]
+        clone._edge_count = self._edge_count
+        clone._grant_cols = [set(cols) for cols in self._grant_cols]
         return clone
 
     # -- cell access -------------------------------------------------------------
@@ -142,18 +179,26 @@ class StateMatrix:
             raise ResourceProtocolError(
                 f"cell ({s},{t}) already {self._cells[s][t].name}")
         self._cells[s][t] = CellState.REQUEST
+        self._edge_count += 1
 
     def set_grant(self, s: int, t: int) -> None:
-        existing = self._cells[s][t]
-        if existing is CellState.GRANT:
+        grants = self._grant_cols[s]
+        if t in grants:
             raise ResourceProtocolError(f"cell ({s},{t}) already GRANT")
-        if any(self._cells[s][u] is CellState.GRANT for u in range(self.n)):
+        if grants:
             raise ResourceProtocolError(
-                f"resource row {s} already has a grant (single-unit rule)")
+                f"resource row {s} already granted to column {min(grants)} "
+                "(single-unit rule)")
+        if self._cells[s][t] is CellState.EMPTY:
+            self._edge_count += 1
         # A pending request may be promoted to a grant in place.
         self._cells[s][t] = CellState.GRANT
+        grants.add(t)
 
     def clear(self, s: int, t: int) -> None:
+        if self._cells[s][t] is not CellState.EMPTY:
+            self._edge_count -= 1
+            self._grant_cols[s].discard(t)
         self._cells[s][t] = CellState.EMPTY
 
     def row(self, s: int) -> tuple[CellState, ...]:
@@ -164,11 +209,10 @@ class StateMatrix:
 
     @property
     def edge_count(self) -> int:
-        return sum(1 for row in self._cells for cell in row
-                   if cell is not CellState.EMPTY)
+        return self._edge_count
 
     def is_empty(self) -> bool:
-        return self.edge_count == 0
+        return self._edge_count == 0
 
     # -- hardware reductions (Equations 3-6) ---------------------------------------
 
@@ -220,12 +264,19 @@ class StateMatrix:
                 if self.column_terminal(t) and self._column_nonempty(t)]
 
     def clear_row(self, s: int) -> None:
+        row = self._cells[s]
         for t in range(self.n):
-            self._cells[s][t] = CellState.EMPTY
+            if row[t] is not CellState.EMPTY:
+                self._edge_count -= 1
+                row[t] = CellState.EMPTY
+        self._grant_cols[s].clear()
 
     def clear_column(self, t: int) -> None:
         for s in range(self.m):
-            self._cells[s][t] = CellState.EMPTY
+            if self._cells[s][t] is not CellState.EMPTY:
+                self._edge_count -= 1
+                self._grant_cols[s].discard(t)
+                self._cells[s][t] = CellState.EMPTY
 
     def _row_nonempty(self, s: int) -> bool:
         return any(cell is not CellState.EMPTY for cell in self._cells[s])

@@ -56,6 +56,10 @@ class MultiUnitSystem:
             p: {q: 0 for q in self._total} for p in self._processes}
         self._requests: dict = {
             p: {q: 0 for q in self._total} for p in self._processes}
+        #: Free units per class, maintained on every grant/release so
+        #: :meth:`available` (queried inside detection's inner loop)
+        #: never re-sums the allocation table.
+        self._available: dict = dict(self._total)
 
     # -- accessors ------------------------------------------------------------
 
@@ -73,8 +77,7 @@ class MultiUnitSystem:
 
     def available(self, resource: str) -> int:
         self._check_resource(resource)
-        used = sum(alloc[resource] for alloc in self._allocation.values())
-        return self._total[resource] - used
+        return self._available[resource]
 
     def allocation_of(self, process: str, resource: str) -> int:
         self._check(process, resource)
@@ -114,6 +117,7 @@ class MultiUnitSystem:
                 f"{resource} available")
         self._requests[process][resource] -= units
         self._allocation[process][resource] += units
+        self._available[resource] -= units
 
     def release(self, process: str, resource: str, units: int = 1) -> None:
         self._check(process, resource)
@@ -124,6 +128,7 @@ class MultiUnitSystem:
                 f"{process} holds only "
                 f"{self._allocation[process][resource]} of {resource}")
         self._allocation[process][resource] -= units
+        self._available[resource] += units
 
     def withdraw(self, process: str, resource: str, units: int = 1) -> None:
         """Cancel part of an outstanding request."""
@@ -142,7 +147,7 @@ class MultiUnitSystem:
         the currently available units; unblocked processes are assumed
         to finish and release.  Anything left waiting is deadlocked.
         """
-        work = {q: self.available(q) for q in self._total}
+        work = dict(self._available)
         finished: list = []
         remaining = set(self._processes)
         operations = 0
@@ -173,6 +178,7 @@ class MultiUnitSystem:
         for p in self._processes:
             clone._allocation[p] = dict(self._allocation[p])
             clone._requests[p] = dict(self._requests[p])
+        clone._available = dict(self._available)
         return clone
 
     # -- projection to the single-unit model --------------------------------------------

@@ -35,7 +35,6 @@ from repro.deadlock.ddu import DDU
 from repro.deadlock.pdda import pdda_detect
 from repro.errors import ConfigurationError
 from repro.rag.graph import RAG
-from repro.rag.matrix import StateMatrix
 from repro.rtos.kernel import Kernel, TaskContext
 from repro.sim.process import SimResource
 
@@ -258,6 +257,9 @@ class DetectionResourceService(_WithdrawMixin, ResourceService):
         self.ddu = (DDU(self.rag.num_resources, self.rag.num_processes,
                         obs=kernel.obs)
                     if use_ddu else None)
+        self._m_sw_detections = kernel.obs.metrics.counter(
+            "matrix.fastpath.sw_detections",
+            "software PDDA runs (backend per REPRO_MATRIX_BACKEND)")
 
     def holder_of(self, resource: str) -> Optional[str]:
         return self.rag.holder_of(resource)
@@ -273,7 +275,9 @@ class DetectionResourceService(_WithdrawMixin, ResourceService):
             self.ddu.load(self.rag)
             result = self.ddu.detect()
             return result.deadlock, result.cycles
-        result = pdda_detect(StateMatrix.from_rag(self.rag))
+        if self.kernel.obs.enabled:
+            self._m_sw_detections.inc()
+        result = pdda_detect(self.rag)
         return result.deadlock, result.software_cycles
 
     def _detect_and_charge(self, ctx: TaskContext) -> Generator:
