@@ -1,0 +1,109 @@
+"""Benchmark guard: un-armed fault hooks cost under 5% of a run.
+
+Every hardware model carries ``if self.faults is not None:`` at its
+hook sites (matrix read, command write, bus transaction...).  Like the
+observability guard, there is no hook-free build to diff against, so
+the bound is an over-counting extrapolation:
+
+* ``N`` — hook-site visits of one Table 5 run, counted by installing an
+  *empty* :class:`FaultPlan` (the injector tallies ``visits`` even when
+  no spec ever matches).  A production run with no injector executes at
+  most ``N`` ``faults is None`` checks on those same sites.
+* ``c`` — the measured wall-clock cost of one such check.
+
+``N * c`` must stay below 5% of the uninstrumented run's wall time.  A
+regression that moves work outside the guard (building records, or
+consulting the plan before the ``None`` check) trips this long before
+it costs 5%.
+
+The record is written to ``BENCH_fault_overhead.json`` at the repo root
+(CI uploads it as an artifact).
+"""
+
+import json
+import time
+from pathlib import Path
+
+from benchmarks.conftest import bench_once
+from repro.apps.jini import run_jini_app
+from repro.faults import FaultPlan, install_fault_plan
+from repro.framework.builder import build_system
+
+RECORD_PATH = Path(__file__).resolve().parent.parent \
+    / "BENCH_fault_overhead.json"
+
+
+class _Hooked:
+    """Stand-in for a hardware model with no injector installed."""
+
+    def __init__(self):
+        self.faults = None
+
+
+def _disabled_guard_cost(loops: int = 200_000) -> float:
+    """Seconds per ``if self.faults is not None:`` evaluation."""
+    model = _Hooked()
+    sink = 0
+    start = time.perf_counter()
+    for _ in range(loops):
+        if model.faults is not None:
+            sink += 1
+    elapsed = time.perf_counter() - start
+    assert sink == 0
+    return elapsed / loops
+
+
+def _hook_visit_count() -> int:
+    """Hook-site visits of one Table 5 run, via an empty plan."""
+    system = build_system("RTOS2")
+    injector = install_fault_plan(system, FaultPlan(name="empty"))
+    run_jini_app(system=system)
+    assert not injector.records      # empty plan: nothing ever fired
+    return injector.visits
+
+
+def test_bench_unarmed_hooks_under_5_percent(benchmark):
+    # Wall time of the production path: no injector anywhere.
+    def clean_run():
+        start = time.perf_counter()
+        run_jini_app("RTOS2")
+        return time.perf_counter() - start
+
+    clean_seconds = bench_once(benchmark, clean_run)
+
+    visits = _hook_visit_count()
+    guard_cost = _disabled_guard_cost()
+    overhead = visits * guard_cost
+
+    assert visits > 50               # the run genuinely exercises hooks
+    assert overhead < 0.05 * clean_seconds, (
+        f"estimated un-armed hook overhead {overhead * 1e6:.0f}us "
+        f"({visits} visits x {guard_cost * 1e9:.1f}ns) exceeds 5% of "
+        f"the {clean_seconds * 1e3:.1f}ms run")
+
+    record = {
+        "benchmark": "fault_overhead",
+        "workload": "jini_rtos2",
+        "hook_visits": visits,
+        "guard_cost_ns": guard_cost * 1e9,
+        "estimated_overhead_us": overhead * 1e6,
+        "clean_run_ms": clean_seconds * 1e3,
+        "overhead_fraction": overhead / clean_seconds,
+        "bound": 0.05,
+    }
+    RECORD_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    benchmark.extra_info["fault_overhead"] = record
+
+
+def test_bench_clean_run_has_no_fault_state(benchmark):
+    """Without ``install_fault_plan`` the models carry no injector and
+    record nothing — the other half of the zero-overhead contract."""
+    def run():
+        system = build_system("RTOS2")
+        run_jini_app(system=system)
+        return system
+
+    system = bench_once(benchmark, run)
+    assert getattr(system, "fault_injector", None) is None
+    assert system.soc.bus.faults is None
+    assert system.resource_service.faults is None

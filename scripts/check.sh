@@ -5,7 +5,8 @@
 #
 # Any ruff finding or test failure makes the script exit non-zero.
 # Set CHECK_BENCH=1 to also run the benchmark guards (observability
-# overhead + matrix-kernel throughput — what CI's benchmark job does).
+# overhead + fault-hook overhead + matrix-kernel throughput — what
+# CI's benchmark job does).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -26,6 +27,8 @@ PYTHONPATH=src python -m pytest -q "$@"
 if [[ "${CHECK_BENCH:-0}" == "1" ]]; then
     echo "== obs overhead guard =="
     PYTHONPATH=src python -m pytest -q benchmarks/test_bench_obs_overhead.py
+    echo "== fault-hook overhead guard =="
+    PYTHONPATH=src python -m pytest -q benchmarks/test_bench_fault_overhead.py
     echo "== matrix kernel guard =="
     PYTHONPATH=src python -m pytest -q benchmarks/test_bench_matrix_kernels.py
 fi

@@ -106,6 +106,33 @@ RTOS_CONTEXT_SWITCH_CYCLES = 180
 RTOS_RESOURCE_API_CYCLES = 90
 
 # --------------------------------------------------------------------------
+# Fault handling / resilience (see repro.faults)
+# --------------------------------------------------------------------------
+# Structural choices, not paper calibration: the paper treats the units
+# as infallible, so these only shape *how fast* the resilient services
+# recover, never the fault-free numbers of Tables 4-12.
+
+#: Base backoff after a failed unit/bus interaction; attempt k waits k
+#: times this long before retrying.
+FAULT_RETRY_BACKOFF_CYCLES = 150
+
+#: Watchdog budget for one unit command round-trip; a unit that has not
+#: answered within this window is treated as hung.
+FAULT_UNIT_TIMEOUT_CYCLES = 2000
+
+#: Fixed unit-side cost of one scrub (register-file reload + parity
+#: sweep), on top of the probe detections it runs.
+FAULT_SCRUB_OVERHEAD_CYCLES = 64
+
+#: Waiter-side deadline on a SoCLC grant interrupt; a waiter whose lock
+#: cell already names it holder redelivers the lost interrupt at this
+#: deadline instead of sleeping forever.
+FAULT_LOCK_GRANT_TIMEOUT_CYCLES = 6000
+
+#: Unit cycles for one SoCDMMU allocation-table audit sweep.
+SOCDMMU_AUDIT_CYCLES = 18
+
+# --------------------------------------------------------------------------
 # Application workloads (Sections 5.3 and 5.4)
 # --------------------------------------------------------------------------
 

@@ -466,3 +466,448 @@ def _check_hang(subject, params: Mapping[str, Any],
     """Busy-hang long enough to trip any per-task timeout."""
     time.sleep(float(params.get("seconds", 3600.0)))
     return _failed("hang completed without a timeout")
+
+
+@checker("chaos.interrupt")
+def _check_interrupt(subject, params: Mapping[str, Any],
+                     rng: random.Random) -> CheckOutcome:
+    """Interrupt the shard worker (Ctrl-C / SIGTERM delivery).
+
+    With ``params["sigterm"]`` the worker signals itself (exercising
+    the runner's SIGTERM -> KeyboardInterrupt handler); otherwise the
+    checker raises KeyboardInterrupt directly.  Either way the runner
+    must record a retryable worker loss, not lose the campaign.
+    """
+    if params.get("sigterm"):
+        import signal as signal_module
+        os.kill(os.getpid(), signal_module.SIGTERM)
+        time.sleep(5.0)  # pragma: no cover - signal lands first
+    raise KeyboardInterrupt
+
+
+@checker("chaos.interrupt_once")
+def _check_interrupt_once(subject, params: Mapping[str, Any],
+                          rng: random.Random) -> CheckOutcome:
+    """Interrupt the worker on the first run, pass on the retry."""
+    marker = params.get("marker", "")
+    if marker and not os.path.exists(marker):
+        with open(marker, "w") as handle:
+            handle.write("interrupted\n")
+        raise KeyboardInterrupt
+    return _passed(detail="survived the interrupt retry")
+
+
+# -- fault-injection scenarios (the faults campaign) ---------------------------
+
+def _fault_specs(model: str, params: Mapping[str, Any],
+                 rng: random.Random, m: int, n: int) -> tuple:
+    """Build one named fault model's specs from the scenario's RNG.
+
+    ``cycle-storm`` is the guaranteed-anomaly model: four stuck cells
+    form the cycle ``q1 -> p_n -> q2 -> p1 -> q1`` in the unit's
+    reduction lattice.  A cycle is never terminal, so the hardware
+    verdict is *deadlock* regardless of the authoritative RAG — every
+    cross-check disagrees while the specs are active, which is what
+    deterministically drives failover (and, once the specs lapse,
+    scrub-probed fail-back).
+    """
+    from repro.faults import FaultSpec
+    at = int(params.get("at", 0))
+    duration = int(params.get("duration", 2))
+    unit = str(params.get("unit", "ddu"))
+    values = ("r", "g", ".")
+    if model == "matrix-transient":
+        return tuple(
+            FaultSpec("ddu.matrix", "transient", at=rng.randrange(24),
+                      params={"row": rng.randrange(m),
+                              "col": rng.randrange(n),
+                              "value": rng.choice(values)})
+            for _ in range(int(params.get("count", 6))))
+    if model == "matrix-stuck":
+        return (FaultSpec("ddu.matrix", "stuck", at=at, duration=duration,
+                          params={"row": rng.randrange(m),
+                                  "col": rng.randrange(n),
+                                  "value": rng.choice(values)}),)
+    if model == "cycle-storm":
+        if m < 2 or n < 2:
+            raise ConfigurationError("cycle-storm needs a 2x2 unit")
+        cells = (((0, n - 1), "g"), ((1, n - 1), "r"),
+                 ((1, 0), "g"), ((0, 0), "r"))
+        return tuple(
+            FaultSpec("ddu.matrix", "stuck", at=at, duration=duration,
+                      params={"row": row, "col": col, "value": value})
+            for (row, col), value in cells)
+    if model == "command-drop":
+        return (FaultSpec(f"{unit}.command", "drop", at=at,
+                          duration=duration),)
+    if model == "command-corrupt":
+        return (FaultSpec(f"{unit}.command", "corrupt", at=at,
+                          duration=duration,
+                          params={"row": rng.randrange(m),
+                                  "col": rng.randrange(n),
+                                  "value": rng.choice(("r", "g"))}),)
+    if model == "status-stale":
+        return (FaultSpec("ddu.status", "stale", at=at,
+                          duration=duration),)
+    if model == "unit-hang":
+        return (FaultSpec(f"{unit}.hang", "hang", at=at,
+                          duration=duration),)
+    if model == "unit-port":
+        return (FaultSpec(f"{unit}.port", "error", at=at,
+                          duration=duration),
+                FaultSpec(f"{unit}.port", "timeout",
+                          at=at + duration + 2,
+                          params={"extra_cycles": 32}))
+    if model == "soclc-drop":
+        return (FaultSpec("soclc.interrupt", "drop", at=at,
+                          duration=duration),)
+    if model == "socdmmu-leak":
+        return (FaultSpec("socdmmu.table", "leak", at=at,
+                          duration=duration,
+                          params={"block": rng.randrange(max(1, m))}),)
+    if model == "socdmmu-steal":
+        return (FaultSpec("socdmmu.table", "steal", at=at,
+                          duration=duration),)
+    raise ConfigurationError(f"unknown fault model {model!r}")
+
+
+@generator("preset.faulty")
+def _gen_preset_faulty(params: Mapping[str, Any], rng: random.Random):
+    """A built preset with a seeded fault plan installed.
+
+    Hooks are armed on every hardware model the preset has, and
+    resilience (cross-checks, health FSM, failover) is enabled with a
+    campaign-tuned policy: check every invocation, fail over after two
+    anomalies, scrub early, fail back after two clean probes.
+    """
+    from repro.faults import FaultPlan, ResiliencePolicy, install_fault_plan
+    system = build_system(params.get("preset", "RTOS2"))
+    model = str(params.get("model", "matrix-transient"))
+    plan = FaultPlan(
+        name=f"{system.name}-{model}",
+        specs=_fault_specs(model, params, rng,
+                           len(system.config.peripherals),
+                           system.config.num_pes))
+    policy = ResiliencePolicy(max_retries=2, sample_every=1,
+                              fail_threshold=2, recover_after=2,
+                              scrub_after=3)
+    install_fault_plan(system, plan, policy=policy)
+    return system
+
+
+def _mutate_rag(rag, rng: random.Random) -> None:
+    """One random legal RAG mutation (may create or clear deadlocks)."""
+    ops = []
+    for p in rag.processes:
+        held = set(rag.held_by(p))
+        pending = set(rag.requests_of(p))
+        for q in rag.resources:
+            if q in held:
+                ops.append(("release", p, q))
+            elif q in pending:
+                if rag.is_available(q):
+                    ops.append(("promote", p, q))
+                else:
+                    ops.append(("withdraw", p, q))
+            else:
+                ops.append(("request", p, q))
+    op, p, q = rng.choice(ops)
+    if op == "release":
+        rag.release(p, q)
+    elif op == "promote":
+        rag.remove_request(p, q)
+        rag.grant(q, p)
+    elif op == "withdraw":
+        rag.remove_request(p, q)
+    else:
+        rag.add_request(p, q)
+
+
+@checker("faults.detection-verdicts")
+def _check_fault_detection(census, params: Mapping[str, Any],
+                           rng: random.Random) -> CheckOutcome:
+    """Injected DDU faults cost latency, never a wrong verdict.
+
+    Drives a mutating RAG through a :class:`ResilientDetector` whose
+    DDU hosts the scenario's fault model; the published verdict must
+    match the software PDDA oracle on *every* invocation — before,
+    during and after failover/fail-back.
+    """
+    from repro.faults import (
+        FaultInjector,
+        FaultPlan,
+        ResiliencePolicy,
+        ResilientDetector,
+    )
+    from repro.rag.graph import RAG
+    processes, resources, priorities = census
+    rag = RAG(processes, resources)
+    model = str(params.get("model", "cycle-storm"))
+    ddu = DDU(len(resources), len(processes),
+              backend=params.get("backend"))
+    injector = FaultInjector(FaultPlan(
+        name=f"detect-{model}",
+        specs=_fault_specs(model, params, rng,
+                           len(resources), len(processes))))
+    ddu.faults = injector
+    detector = ResilientDetector(ddu, ResiliencePolicy(
+        max_retries=1, sample_every=1, fail_threshold=2,
+        recover_after=2, scrub_after=3))
+    events = int(params.get("events", 60))
+    for step in range(events):
+        _mutate_rag(rag, rng)
+        outcome = detector.detect(rag)
+        oracle = pdda_detect(rag).deadlock
+        if outcome.deadlock != oracle:
+            return _failed(
+                f"published verdict {outcome.deadlock} != oracle "
+                f"{oracle} at step {step} (mode={detector.mode})",
+                steps=step)
+    if not injector.records:
+        return _failed(f"fault model {model!r} never fired")
+    return _passed(
+        steps=events, cycles=float(detector.invocations),
+        detail=(f"{len(injector.records)} injections, "
+                f"{detector.failovers} failovers, "
+                f"{detector.failbacks} failbacks, "
+                f"mode={detector.mode}"))
+
+
+@checker("faults.avoidance-verdicts")
+def _check_fault_avoidance(census, params: Mapping[str, Any],
+                           rng: random.Random) -> CheckOutcome:
+    """Injected DAU faults never publish an unvalidated decision.
+
+    Random request/release traffic through a :class:`ResilientAvoider`
+    with every honored ``ask_release`` fed back (bounded cascade, as in
+    ``dau-invariants``); whichever core is authoritative after each
+    settled event, its RAG must be deadlock-free.
+    """
+    from repro.faults import (
+        FaultInjector,
+        FaultPlan,
+        ResiliencePolicy,
+        ResilientAvoider,
+    )
+    processes, resources, priorities = census
+    model = str(params.get("model", "command-corrupt"))
+    dau = DAU(processes, resources, priorities)
+    injector = FaultInjector(FaultPlan(
+        name=f"avoid-{model}",
+        specs=_fault_specs(model, {**dict(params), "unit": "dau"}, rng,
+                           len(resources), len(processes))))
+    dau.faults = injector
+    dau.ddu.faults = injector
+    avoider = ResilientAvoider(dau, ResiliencePolicy(
+        max_retries=2, sample_every=1, fail_threshold=2,
+        recover_after=2, scrub_after=3))
+    events = int(params.get("events", 60))
+    bound = 10 * len(processes) * len(resources)
+    decisions = 0
+    for step in range(events):
+        rag = avoider.active_core.rag
+        ops: list = []
+        for p in processes:
+            held = set(rag.held_by(p))
+            pending = set(rag.requests_of(p))
+            ops.extend(("request", p, r) for r in resources
+                       if r not in held and r not in pending)
+            ops.extend(("release", p, r) for r in sorted(held))
+        if not ops:
+            break
+        demands = [rng.choice(ops)]
+        cascade = 0
+        while demands:
+            cascade += 1
+            if cascade > bound:
+                return _failed("ask_release cascade did not converge",
+                               steps=decisions)
+            op, proc, res = demands.pop(0)
+            outcome = avoider.decide(f"PE_{proc}", op, proc, res)
+            decisions += 1
+            core = avoider.active_core
+            demands.extend(
+                ("release", q_proc, q_res)
+                for q_proc, q_res in outcome.decision.ask_release
+                if core.rag.holder_of(q_res) == q_proc)
+        if pdda_detect(avoider.active_core.rag).deadlock:
+            return _failed(
+                f"authoritative RAG deadlocked after event {step} "
+                f"(mode={avoider.mode})", steps=decisions)
+    if not injector.records:
+        return _failed(f"fault model {model!r} never fired")
+    return _passed(
+        steps=decisions, cycles=float(avoider.invocations),
+        detail=(f"{len(injector.records)} injections, "
+                f"{avoider.failovers} failovers, "
+                f"{avoider.failbacks} failbacks, "
+                f"mode={avoider.mode}"))
+
+
+@checker("faults.bus-retries")
+def _check_bus_retries(census, params: Mapping[str, Any],
+                       rng: random.Random) -> CheckOutcome:
+    """Bus error/timeout faults are survivable with bounded retry.
+
+    Two masters stream transactions over a faulted bus; every
+    ``BusError`` is retried with backoff, all traffic completes, and
+    both fault kinds (including a master-filtered one) must have fired.
+    """
+    from repro.errors import BusError
+    from repro.faults import FaultInjector, FaultPlan, FaultSpec
+    from repro.mpsoc.bus import SystemBus
+    from repro.sim.engine import Engine
+    engine = Engine()
+    bus = SystemBus(engine, name="bus.dut")
+    injector = FaultInjector(FaultPlan(name="bus-chaos", specs=(
+        FaultSpec("bus.dut", "error", at=1, duration=2),
+        FaultSpec("bus.dut", "timeout", at=5, duration=2,
+                  params={"extra_cycles": 32}),
+        FaultSpec("bus.dut", "error", at=4, duration=1, master="M2"),
+    )))
+    bus.faults = injector
+    transfers = int(params.get("transfers", 6))
+    completed: list = []
+    failed: list = []
+
+    def master(name: str):
+        for _ in range(transfers):
+            for attempt in range(4):
+                try:
+                    yield from bus.transaction(name, words=2)
+                    break
+                except BusError:
+                    yield 10.0 * (attempt + 1)
+            else:
+                failed.append(name)
+                return
+        completed.append(name)
+
+    engine.spawn(master("M1"), name="M1")
+    engine.spawn(master("M2"), name="M2")
+    engine.run()
+    if failed or sorted(completed) != ["M1", "M2"]:
+        return _failed(f"masters did not complete: done={completed} "
+                       f"failed={failed}", cycles=engine.now)
+    kinds = {record.kind for record in injector.records}
+    if kinds != {"error", "timeout"}:
+        return _failed(f"expected error+timeout injections, saw "
+                       f"{sorted(kinds)}", cycles=engine.now)
+    if not bus.error_transactions:
+        return _failed("no bus transaction ever errored")
+    return _passed(steps=bus.total_transactions, cycles=engine.now,
+                   detail=(f"{len(injector.records)} injections over "
+                           f"{bus.total_transactions} transactions"))
+
+
+def _degrade_resource_worker(ctx, resources: tuple, work: float,
+                             rounds: int):
+    """Globally-ordered full sweep, repeated — heavy detection/avoidance
+    traffic so failover *and* fail-back fit inside one scenario."""
+    for _ in range(rounds):
+        for resource in resources:
+            yield from ctx.acquire(resource)
+        yield from ctx.compute(work)
+        for resource in reversed(resources):
+            yield from ctx.release_resource(resource)
+
+
+def _degrade_lock_worker(ctx, lock_id: str, work: float, rounds: int):
+    """Repeated contention on one shared SoCLC lock (grant hand-offs)."""
+    for _ in range(rounds):
+        yield from ctx.lock(lock_id)
+        yield from ctx.compute(work)
+        yield from ctx.unlock(lock_id)
+
+
+def _degrade_heap_worker(ctx, work: float, rounds: int):
+    """Repeated malloc/compute/free through the (faulted) SoCDMMU."""
+    for _ in range(rounds):
+        address = yield from ctx.malloc(8192)
+        yield from ctx.compute(work)
+        yield from ctx.free(address)
+
+
+@checker("faults.degrades-gracefully")
+def _check_degrade(system, params: Mapping[str, Any],
+                   rng: random.Random) -> CheckOutcome:
+    """A faulted full system finishes a deadlock-free workload.
+
+    The fault plan installed by ``preset.faulty`` may cost retries,
+    watchdog waits, failovers and scrubs — but every task must finish,
+    nothing may leak, no wrong deadlock verdict may be published, and
+    the event kinds named in ``params["expect"]`` must all have been
+    observed (e.g. a full failover *and* fail-back).
+    """
+    kernel = system.kernel
+    rounds = int(params.get("rounds", 2))
+    horizon = float(params.get("horizon", 4_000_000))
+    resources = tuple(system.config.peripherals)
+    processes = tuple(f"p{i + 1}" for i in range(system.config.num_pes))
+    if system.config.soclc:
+        system.lock_manager.register_lock("L0", kind="long", ceiling=1)
+    for index, name in enumerate(processes):
+        work = float(rng.randint(300, 1200))
+        pe = f"PE{index + 1}"
+        if system.resource_service is not None:
+            kernel.create_task(
+                lambda ctx, w=work: _degrade_resource_worker(
+                    ctx, resources, w, rounds),
+                name, index + 1, pe)
+        elif system.config.soclc:
+            kernel.create_task(
+                lambda ctx, w=work: _degrade_lock_worker(
+                    ctx, "L0", w, rounds),
+                name, index + 1, pe)
+        else:
+            kernel.create_task(
+                lambda ctx, w=work: _degrade_heap_worker(ctx, w, rounds),
+                name, index + 1, pe)
+    end = kernel.run(until=horizon)
+    if not kernel.finished():
+        unfinished = [name for name in processes
+                      if not kernel.finished(name)]
+        return _failed(f"tasks never finished: {unfinished}", cycles=end)
+    if kernel.leaks:
+        return _failed(f"finished with leaks: {kernel.leaks}", cycles=end)
+    observed: set = set()
+    service = system.resource_service
+    if service is not None:
+        observed.update(event for _, event in service.fault_events)
+        if service.stats.deadlock_found_at is not None:
+            return _failed(
+                "an injected fault produced a deadlock verdict on a "
+                "deadlock-free workload", cycles=end)
+        resilient = getattr(service, "resilient", None)
+    else:
+        resilient = None
+    lock_manager = system.lock_manager
+    lost = getattr(lock_manager, "lost_interrupts", 0)
+    redelivered = getattr(lock_manager, "redelivered_interrupts", 0)
+    if lost:
+        observed.add("interrupt-lost")
+        if lost != redelivered:
+            return _failed(
+                f"{lost} grant interrupts lost but only {redelivered} "
+                "redelivered", cycles=end)
+    if redelivered:
+        observed.add("interrupt-redelivered")
+    if getattr(system.heap, "audit_repairs", 0):
+        observed.add("audit-repair")
+    injector = system.fault_injector
+    if injector is None or not injector.records:
+        return _failed("the fault plan never fired", cycles=end)
+    expect = set(params.get("expect", ()))
+    missing = expect - observed
+    if missing:
+        return _failed(
+            f"expected fault events missing: {sorted(missing)}; "
+            f"observed {sorted(observed)}", cycles=end)
+    if resilient is not None and "failback" in expect \
+            and resilient.mode != "hardware":
+        return _failed("unit never failed back to hardware", cycles=end)
+    return _passed(
+        steps=len(injector.records), cycles=end,
+        detail=(f"{system.name} finished at {end:g} with "
+                f"{len(injector.records)} injections; "
+                f"events={sorted(observed)}"))

@@ -130,10 +130,84 @@ def _kernels_large() -> CampaignSpec:
     ))
 
 
+def _faults() -> CampaignSpec:
+    """Hardware fault injection and graceful degradation.
+
+    Unit-level scenarios grind the never-a-wrong-verdict invariant per
+    fault model; the ``rtos*`` scenarios run faulted full systems and
+    assert the expected degradation events — including at least one
+    complete RTOS2 -> RTOS1 and RTOS4 -> RTOS3 failover *and* fail-back.
+    """
+    return CampaignSpec(name="faults", scenarios=(
+        ScenarioSpec(name="detect-storm", generator="census",
+                     checker="faults.detection-verdicts",
+                     params={"m": 4, "n": 4, "model": "cycle-storm",
+                             "duration": [4, 8], "events": 60},
+                     repeats=2),
+        ScenarioSpec(name="detect-upsets", generator="census",
+                     checker="faults.detection-verdicts",
+                     params={"m": 4, "n": 4, "events": 60,
+                             "model": ["matrix-transient", "matrix-stuck",
+                                       "command-drop", "command-corrupt",
+                                       "status-stale", "unit-hang"]},
+                     repeats=2),
+        ScenarioSpec(name="avoid-traffic", generator="census",
+                     checker="faults.avoidance-verdicts",
+                     params={"m": 4, "n": 4, "events": 60,
+                             "model": ["command-drop", "command-corrupt",
+                                       "unit-hang"]},
+                     repeats=2),
+        ScenarioSpec(name="bus-retries", generator="census",
+                     checker="faults.bus-retries",
+                     params={"m": 2, "n": 2, "transfers": [6, 10]}),
+        ScenarioSpec(name="rtos2-storm", generator="preset.faulty",
+                     checker="faults.degrades-gracefully",
+                     params={"preset": "RTOS2", "model": "cycle-storm",
+                             "duration": 4, "rounds": 2,
+                             "expect": [["anomaly:verdict", "failover",
+                                         "failback"]]}),
+        ScenarioSpec(name="rtos2-hang", generator="preset.faulty",
+                     checker="faults.degrades-gracefully",
+                     params={"preset": "RTOS2", "model": "unit-hang",
+                             "duration": 2, "rounds": 2,
+                             "expect": [["anomaly:hang", "failover",
+                                         "failback", "watchdog-trip"]]}),
+        ScenarioSpec(name="rtos2-port", generator="preset.faulty",
+                     checker="faults.degrades-gracefully",
+                     params={"preset": "RTOS2", "model": "unit-port",
+                             "duration": 2, "rounds": 2,
+                             "expect": [["anomaly:bus", "retry"]]}),
+        ScenarioSpec(name="rtos4-hang", generator="preset.faulty",
+                     checker="faults.degrades-gracefully",
+                     params={"preset": "RTOS4", "model": "unit-hang",
+                             "unit": "dau", "duration": 2, "rounds": 2,
+                             "expect": [["anomaly:hang", "failover",
+                                         "failback", "watchdog-trip"]]}),
+        ScenarioSpec(name="rtos4-corrupt", generator="preset.faulty",
+                     checker="faults.degrades-gracefully",
+                     params={"preset": "RTOS4", "model": "command-corrupt",
+                             "unit": "dau", "duration": 2, "rounds": 2,
+                             "expect": [["anomaly:verdict", "failover",
+                                         "failback"]]}),
+        ScenarioSpec(name="rtos6-interrupt", generator="preset.faulty",
+                     checker="faults.degrades-gracefully",
+                     params={"preset": "RTOS6", "model": "soclc-drop",
+                             "duration": 2, "rounds": 2,
+                             "expect": [["interrupt-lost",
+                                         "interrupt-redelivered"]]}),
+        ScenarioSpec(name="rtos7-table", generator="preset.faulty",
+                     checker="faults.degrades-gracefully",
+                     params={"preset": "RTOS7", "rounds": 3,
+                             "model": ["socdmmu-leak", "socdmmu-steal"],
+                             "expect": [["audit-repair"]]}),
+    ))
+
+
 BUILTIN_CAMPAIGNS = {
     "smoke": _smoke,
     "claims": _claims,
     "chaos": _chaos,
+    "faults": _faults,
     "kernels-large": _kernels_large,
 }
 

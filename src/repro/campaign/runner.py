@@ -14,6 +14,12 @@ shared queue.  Fault handling:
   already streamed, and re-runs the missing scenarios one per fresh
   process with bounded retry and exponential backoff.  Scenarios that
   keep killing their process are recorded with verdict ``"crash"``;
+* **interrupt / SIGTERM as worker loss** — a ``KeyboardInterrupt`` or
+  ``SIGTERM`` delivered to a shard worker (cluster preemption, operator
+  Ctrl-C reaching the process group) is not a scenario verdict: the
+  worker reports itself *lost* naming the scenario it was on, the loss
+  is recorded in the run manifest (``worker_losses``), and the
+  unreported scenarios go down the same retry path as a crash;
 * **graceful partial results** — the result list is complete in every
   case: one record per expanded scenario, sorted by scenario id.
 
@@ -157,19 +163,38 @@ def _run_with_timeout(scenario: Scenario,
         signal.setitimer(signal.ITIMER_REAL, 0)
 
 
+def _sigterm_handler(signum, frame):
+    """SIGTERM -> KeyboardInterrupt, so polite termination unwinds
+    through the same retryable worker-loss path as Ctrl-C."""
+    raise KeyboardInterrupt
+
+
 def _worker_main(shard: int, scenarios: list, timeout: Optional[float],
                  out_queue, epoch: float) -> None:
     """One shard: run scenarios serially, stream records, then a
-    sentinel.  Runs in a child process."""
-    for data in scenarios:
-        scenario = Scenario.from_dict(data)
-        started = time.time()
-        result = _run_with_timeout(scenario, timeout)
-        result.duration = time.time() - started
-        result.start = started - epoch
-        result.shard = shard
-        out_queue.put(("result", result.to_record()))
-    out_queue.put(("done", shard))
+    sentinel.  Runs in a child process.
+
+    ``KeyboardInterrupt``/``SystemExit`` (including SIGTERM, remapped
+    above) are *worker losses*, not verdicts: the shard reports which
+    scenario it was interrupted on and exits; the parent records the
+    loss and retries the unreported scenarios in fresh processes.
+    """
+    signal.signal(signal.SIGTERM, _sigterm_handler)
+    current: Optional[str] = None
+    try:
+        for data in scenarios:
+            scenario = Scenario.from_dict(data)
+            current = scenario.scenario_id
+            started = time.time()
+            result = _run_with_timeout(scenario, timeout)
+            result.duration = time.time() - started
+            result.start = started - epoch
+            result.shard = shard
+            out_queue.put(("result", result.to_record()))
+        out_queue.put(("done", shard))
+    except (KeyboardInterrupt, SystemExit):
+        out_queue.put(("lost", {"shard": shard, "scenario_id": current,
+                                "at": time.time() - epoch}))
 
 
 class _WallClock:
@@ -193,6 +218,10 @@ class CampaignRun:
     shard_map: dict = field(default_factory=dict)
     duration: float = 0.0
     obs: Optional[Observability] = None
+    #: One entry per interrupted/terminated worker (shard, scenario it
+    #: was on, seconds since campaign start) — losses are retried, but
+    #: the manifest keeps the evidence.
+    worker_losses: list = field(default_factory=list)
 
     @property
     def counts(self) -> dict:
@@ -219,6 +248,7 @@ class CampaignRun:
             "scenario_count": len(self.results),
             "counts": self.counts,
             "duration": self.duration,
+            "worker_losses": list(self.worker_losses),
             "shard_map": dict(sorted(self.shard_map.items())),
             "scenarios": {
                 r.scenario_id: {"verdict": r.verdict, "ok": r.ok,
@@ -297,6 +327,10 @@ class CampaignRunner:
             for verdict in ("pass", "fail", "error", "timeout", "crash")}
         self._m_retries = metrics.counter(
             "campaign.retries", "crash-recovery re-executions")
+        self._m_losses = metrics.counter(
+            "campaign.worker_losses",
+            "workers lost to interrupt/SIGTERM")
+        self._worker_losses: list = []
         self._m_duration = metrics.histogram(
             "campaign.scenario_seconds", "wall seconds per scenario",
             bounds=(0.001, 0.005, 0.02, 0.05, 0.1, 0.5, 1, 5, 30))
@@ -311,6 +345,7 @@ class CampaignRunner:
         shard_map = {scenario.scenario_id: index % self.workers
                      for index, scenario in enumerate(scenarios)}
         epoch = time.time()
+        self._worker_losses: list = []
         records = self._run_sharded(scenarios, shard_map, epoch)
         missing = [scenario for scenario in scenarios
                    if scenario.scenario_id not in records]
@@ -324,7 +359,8 @@ class CampaignRunner:
             spec=self.spec, seed_root=self.seed_root,
             workers=self.workers, task_timeout=self.task_timeout,
             retries=self.retries, results=results, shard_map=shard_map,
-            duration=time.time() - epoch, obs=self.obs)
+            duration=time.time() - epoch, obs=self.obs,
+            worker_losses=list(self._worker_losses))
         self._observe(run)
         return run
 
@@ -370,12 +406,21 @@ class CampaignRunner:
                             break
                         if kind == "done":
                             open_shards.discard(payload)
+                        elif kind == "lost":
+                            self._note_loss(payload)
+                            open_shards.discard(payload["shard"])
                         else:
                             records[payload["scenario_id"]] = payload
                     open_shards -= dead
                 continue
             if kind == "done":
                 open_shards.discard(payload)
+            elif kind == "lost":
+                # The worker was interrupted/terminated mid-scenario:
+                # record the loss and close the shard; its unreported
+                # scenarios take the crash-retry path.
+                self._note_loss(payload)
+                open_shards.discard(payload["shard"])
             else:
                 records[payload["scenario_id"]] = payload
         for process in processes:
@@ -406,6 +451,8 @@ class CampaignRunner:
                     timeout=max(self.task_timeout or 0, 1.0) * 2 + 5.0)
                 if kind == "result":
                     record = payload
+                elif kind == "lost":
+                    self._note_loss(payload)
             except queue_module.Empty:
                 record = None
             process.join(timeout=1.0)
@@ -418,9 +465,14 @@ class CampaignRunner:
             scenario_id=scenario.scenario_id, seed=scenario.seed,
             generator=scenario.generator, checker=scenario.checker,
             params=dict(scenario.params), verdict="crash", ok=False,
-            detail=f"worker died; {self.retries} retry attempt(s) also "
-                   "crashed", start=time.time() - epoch, shard=shard,
+            detail=f"worker died or was interrupted; {self.retries} "
+                   "retry attempt(s) also failed",
+            start=time.time() - epoch, shard=shard,
             attempts=self.retries + 1).to_record()
+
+    def _note_loss(self, payload: Mapping[str, Any]) -> None:
+        self._worker_losses.append(dict(payload))
+        self._m_losses.inc()
 
     # -- observability -------------------------------------------------------
 

@@ -81,6 +81,9 @@ class DAU(AvoidanceCore):
         self.status: dict[str, StatusRegister] = {
             p: StatusRegister() for p in self.rag.processes}
         self.command_log: list[CommandRecord] = []
+        #: Fault injector hook (:mod:`repro.faults`); installed on the
+        #: DAU and its embedded DDU together.
+        self.faults = None
         metrics = self.obs.metrics
         self._m_decisions = metrics.counter(
             "dau.decisions", "FSM request/release decisions")
@@ -137,12 +140,23 @@ class DAU(AvoidanceCore):
 
     # -- memory-mapped command interface --------------------------------------------
 
+    def respond(self) -> bool:
+        """Poll the unit's ready line (False = the FSM is hung)."""
+        if self.faults is not None:
+            for spec in self.faults.fire("dau.hang"):
+                if spec.kind == "hang":
+                    return False
+        return True
+
     def write_command(self, pe: str, op: str, process: str,
-                      resource: str) -> Decision:
+                      resource: str) -> Optional[Decision]:
         """Latch a command from a PE, run the FSM, publish status.
 
         ``pe`` is the issuing processing element's name (used only for
         status routing); ``op`` is ``"request"`` or ``"release"``.
+        Returns ``None`` when a ``dau.command`` *drop* fault eats the
+        write — the status register then never leaves *busy*, which is
+        how the RTOS notices.
         """
         if process not in self.status:
             raise ResourceProtocolError(f"unknown process {process!r}")
@@ -152,6 +166,20 @@ class DAU(AvoidanceCore):
         register = self.status[process]
         register.clear()
         register.busy = True
+        if self.faults is not None:
+            for spec in self.faults.fire("dau.command"):
+                if spec.kind == "drop":
+                    return None
+                if spec.kind == "corrupt":
+                    # A flipped bit in the command register's resource
+                    # field selects another (valid) resource index.
+                    resources = self.rag.resources
+                    wanted = spec.params.get("resource")
+                    if wanted in resources:
+                        resource = wanted
+                    elif resource in resources:
+                        index = resources.index(resource)
+                        resource = resources[(index + 1) % len(resources)]
         if op == "request":
             decision = self.request(process, resource)
         else:

@@ -78,6 +78,11 @@ class DDU:
         self.backend = resolve_backend(backend)
         self.matrix: AnyStateMatrix = matrix_class(self.backend)(
             num_resources, num_processes)
+        #: Fault injector hook (:mod:`repro.faults`); ``None`` keeps
+        #: every hook site to a single attribute test.
+        self.faults = None
+        #: Previous detection, re-published by a stale-status fault.
+        self._last_result: Optional[HardwareDetection] = None
         #: Detection invocations since construction (status counter).
         self.invocations = 0
         #: Total modelled busy cycles since construction.
@@ -128,7 +133,27 @@ class DDU:
         if (matrix.m, matrix.n) != (self.m, self.n):
             raise ConfigurationError(
                 f"state is {matrix.m}x{matrix.n}, unit is {self.m}x{self.n}")
+        if self.faults is not None:
+            from repro.faults.injector import force_cell
+            for spec in self.faults.fire("ddu.command"):
+                if spec.kind == "drop":
+                    # The command write is lost on the port; the
+                    # register file keeps whatever it held before.
+                    return
+                if spec.kind == "corrupt":
+                    force_cell(matrix,
+                               int(spec.params.get("row", 0)) % self.m,
+                               int(spec.params.get("col", 0)) % self.n,
+                               str(spec.params.get("value", "r")))
         self.matrix = matrix
+
+    def respond(self) -> bool:
+        """Poll the unit's ready line (False = the unit is hung)."""
+        if self.faults is not None:
+            for spec in self.faults.fire("ddu.hang"):
+                if spec.kind == "hang":
+                    return False
+        return True
 
     def set_request(self, resource: int, process: int) -> None:
         self.matrix.set_request(resource, process)
@@ -169,6 +194,15 @@ class DDU:
         0 the decide cell latches D (Equation 7).
         """
         work = self.matrix.copy()
+        if self.faults is not None:
+            from repro.faults.injector import force_cell
+            for spec in self.faults.fire("ddu.matrix"):
+                # transient and stuck differ only in duration: both
+                # upset one 2-bit cell of the reduction lattice.
+                force_cell(work,
+                           int(spec.params.get("row", 0)) % self.m,
+                           int(spec.params.get("col", 0)) % self.n,
+                           str(spec.params.get("value", "r")))
         fastpath = isinstance(work, BitMatrix)
         if fastpath:
             # At the fixpoint no terminal flags remain, so the decide
@@ -209,13 +243,21 @@ class DDU:
                 self._m_fast_detections.inc()
                 self._m_fast_passes.inc(passes)
                 self._m_fast_cleared.inc(edges_before - work.edge_count)
-        return HardwareDetection(
+        result = HardwareDetection(
             deadlock=deadlock,
             iterations=iterations,
             passes=passes,
             cycles=cycles,
             residual=work,
         )
+        if self.faults is not None:
+            for spec in self.faults.fire("ddu.status"):
+                if spec.kind == "stale" and self._last_result is not None:
+                    stale = self._last_result
+                    self._last_result = result
+                    return stale
+        self._last_result = result
+        return result
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"<DDU {self.m}x{self.n} edges={self.matrix.edge_count} "

@@ -21,6 +21,15 @@ class SimulationError(ReproError):
     """The discrete-event simulation reached an inconsistent state."""
 
 
+class BusError(ReproError):
+    """A bus transaction completed with an error response.
+
+    Raised by the bus models when a fault plan injects a transaction
+    error (see :mod:`repro.faults`); resilient masters retry, everyone
+    else propagates it as a hardware failure.
+    """
+
+
 class DeadlockError(ReproError):
     """A deadlock-protocol violation (not the detection of a deadlock)."""
 

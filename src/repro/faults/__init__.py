@@ -1,0 +1,43 @@
+"""Deterministic hardware fault injection and graceful degradation.
+
+``repro.faults`` models the *hardware* breaking — bit upsets in the
+DDU/DAU matrix cells, dropped command writes, stale status reads, bus
+errors, lost SoCLC grant interrupts, SoCDMMU table corruption — and the
+RTOS-side machinery that notices, retries, fails over to the software
+twins of Section 3 (RTOS2 -> RTOS1, RTOS4 -> RTOS3) and fails back
+after a clean scrub.  Contrast with ``chaos.*`` campaign scenarios,
+which kill the *runner* process, not the simulated hardware.
+
+Everything is seeded and replayable: a :class:`FaultPlan` is a JSON
+schedule keyed on hook-site visit counts, so the same plan on the same
+scenario produces byte-identical histories.
+"""
+
+from repro.faults.health import (HealthState, HealthTransition,
+                                 ResiliencePolicy, UnitHealth)
+from repro.faults.injector import FaultInjector, InjectionRecord, force_cell
+from repro.faults.install import install_fault_plan
+from repro.faults.plan import KNOWN_SITES, FaultPlan, FaultSpec
+from repro.faults.resilient import (ALGO_CHARGE_KINDS, AvoidOutcome, Charge,
+                                    DetectOutcome, ResilientAvoider,
+                                    ResilientDetector)
+
+__all__ = [
+    "ALGO_CHARGE_KINDS",
+    "AvoidOutcome",
+    "Charge",
+    "DetectOutcome",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "HealthState",
+    "HealthTransition",
+    "InjectionRecord",
+    "KNOWN_SITES",
+    "ResiliencePolicy",
+    "ResilientAvoider",
+    "ResilientDetector",
+    "UnitHealth",
+    "force_cell",
+    "install_fault_plan",
+]

@@ -1,0 +1,133 @@
+"""Per-unit health state machine and the resilience policy knobs.
+
+HEALTHY -> SUSPECT (first anomaly) -> FAILED (``fail_threshold``
+consecutive anomalies) -> RECOVERING (a scrub began) -> HEALTHY
+(``recover_after`` consecutive clean checks).  An anomaly during
+RECOVERING drops straight back to FAILED — a unit must prove itself
+clean before it gets traffic again.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro import calibration
+from repro.obs import NULL_OBS, Observability
+
+
+class HealthState(enum.Enum):
+    HEALTHY = "healthy"
+    SUSPECT = "suspect"
+    FAILED = "failed"
+    RECOVERING = "recovering"
+
+
+@dataclass(frozen=True)
+class HealthTransition:
+    """One state change of a unit's health FSM."""
+
+    at: float
+    previous: HealthState
+    state: HealthState
+    reason: str
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """Tuning for the resilient service wrappers (see docs/faults.md)."""
+
+    #: Bounded retry budget for unit/bus interactions (0 = no retry).
+    max_retries: int = 2
+    #: Base backoff cycles; attempt k backs off k * this.
+    retry_backoff_cycles: float = calibration.FAULT_RETRY_BACKOFF_CYCLES
+    #: Cross-check every Nth hardware verdict against software
+    #: (1 = every verdict, 0 = never).  SUSPECT units are always checked.
+    sample_every: int = 1
+    #: Consecutive anomalies before a unit is declared FAILED.
+    fail_threshold: int = 3
+    #: Consecutive clean checks before a unit returns to HEALTHY.
+    recover_after: int = 2
+    #: Software-fallback invocations between scrub attempts on a FAILED
+    #: unit.
+    scrub_after: int = 4
+    #: Watchdog budget for one unit command round-trip.
+    unit_timeout_cycles: float = calibration.FAULT_UNIT_TIMEOUT_CYCLES
+    #: Waiter-side deadline on a SoCLC grant interrupt.
+    lock_grant_timeout_cycles: float = \
+        calibration.FAULT_LOCK_GRANT_TIMEOUT_CYCLES
+    #: Audit the SoCDMMU table every Nth free (mallocs always audit).
+    audit_every: int = 1
+
+
+class UnitHealth:
+    """Health FSM for one hardware unit."""
+
+    def __init__(self, unit: str,
+                 clock: Optional[Callable[[], float]] = None,
+                 fail_threshold: int = 3, recover_after: int = 2,
+                 obs: Optional[Observability] = None) -> None:
+        self.unit = unit
+        self._clock = clock if clock is not None else (lambda: 0.0)
+        self.fail_threshold = max(1, fail_threshold)
+        self.recover_after = max(1, recover_after)
+        self.state = HealthState.HEALTHY
+        self.anomalies = 0
+        self._anomaly_streak = 0
+        self._clean_streak = 0
+        self.transitions: list[HealthTransition] = []
+        self.obs = obs if obs is not None else NULL_OBS
+        self._m_anomalies = self.obs.metrics.counter(
+            "faults.anomalies", "unit anomalies noticed by cross-checks")
+
+    # -- events -----------------------------------------------------------
+
+    def anomaly(self, reason: str) -> HealthState:
+        """A cross-check, parity sweep or timeout flagged the unit."""
+        self.anomalies += 1
+        self._anomaly_streak += 1
+        self._clean_streak = 0
+        if self.obs.enabled:
+            self._m_anomalies.inc()
+        if self.state is HealthState.RECOVERING:
+            self._move(HealthState.FAILED, reason)
+        elif self.state is HealthState.HEALTHY:
+            self._move(HealthState.SUSPECT, reason)
+        if (self.state is HealthState.SUSPECT
+                and self._anomaly_streak >= self.fail_threshold):
+            self._move(HealthState.FAILED, reason)
+        return self.state
+
+    def clean(self, reason: str = "clean-check") -> HealthState:
+        """A check agreed with the authoritative software answer."""
+        self._anomaly_streak = 0
+        self._clean_streak += 1
+        if (self.state in (HealthState.SUSPECT, HealthState.RECOVERING)
+                and self._clean_streak >= self.recover_after):
+            self._move(HealthState.HEALTHY, reason)
+        return self.state
+
+    def begin_recovery(self, reason: str = "scrub") -> HealthState:
+        if self.state is HealthState.FAILED:
+            self._clean_streak = 0
+            self._move(HealthState.RECOVERING, reason)
+        return self.state
+
+    # -- plumbing ---------------------------------------------------------
+
+    def _move(self, state: HealthState, reason: str) -> None:
+        if state is self.state:
+            return
+        self.transitions.append(HealthTransition(
+            at=self._clock(), previous=self.state, state=state,
+            reason=reason))
+        self.state = state
+
+    @property
+    def failed(self) -> bool:
+        return self.state is HealthState.FAILED
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<UnitHealth {self.unit} {self.state.value} "
+                f"anomalies={self.anomalies}>")

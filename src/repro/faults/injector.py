@@ -1,0 +1,106 @@
+"""The fault injector: visit counters, spec matching, injection log.
+
+One :class:`FaultInjector` is shared by every hardware model of a built
+system.  Each hook site calls :meth:`FaultInjector.fire` once per event
+and applies whatever specs come back; a model with no injector installed
+(``self.faults is None``) pays only the attribute check, mirroring the
+``if obs.enabled:`` zero-overhead idiom of the observability layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.obs import NULL_OBS, Observability
+from repro.rag.matrix import CellState
+
+
+@dataclass(frozen=True)
+class InjectionRecord:
+    """One fault activation, as it happened."""
+
+    site: str
+    kind: str
+    visit: int
+    key: Optional[str] = None
+
+
+class FaultInjector:
+    """Matches hook-site visits against a :class:`FaultPlan`."""
+
+    def __init__(self, plan: FaultPlan,
+                 obs: Optional[Observability] = None) -> None:
+        plan.validate()
+        self.plan = plan
+        self.obs = obs if obs is not None else NULL_OBS
+        self._specs_by_site: dict[str, tuple[FaultSpec, ...]] = {}
+        for spec in plan.specs:
+            existing = self._specs_by_site.get(spec.site, ())
+            self._specs_by_site[spec.site] = existing + (spec,)
+        #: (site, key) -> visits so far; key "" counts every visit.
+        self._counters: dict[tuple[str, str], int] = {}
+        #: Total hook-site visits (the disabled-overhead bench reads
+        #: this to bound the cost of the ``faults is None`` guards).
+        self.visits = 0
+        #: Every fault activation, in firing order.
+        self.records: list[InjectionRecord] = []
+        self._m_injected = self.obs.metrics.counter(
+            "faults.injected", "fault activations applied to hardware")
+
+    def fire(self, site: str, key: Optional[str] = None
+             ) -> tuple[FaultSpec, ...]:
+        """One event at ``site``; returns the specs active right now."""
+        self.visits += 1
+        specs = self._specs_by_site.get(site)
+        if not specs:
+            return ()
+        visit = self._counters.get((site, ""), 0)
+        self._counters[(site, "")] = visit + 1
+        keyed_visit = -1
+        if key is not None:
+            keyed_visit = self._counters.get((site, key), 0)
+            self._counters[(site, key)] = keyed_visit + 1
+        active = []
+        for spec in specs:
+            if spec.master is None:
+                hit = spec.active_at(visit)
+                hit_visit = visit
+            elif spec.master == key:
+                hit = spec.active_at(keyed_visit)
+                hit_visit = keyed_visit
+            else:
+                continue
+            if hit:
+                active.append(spec)
+                self.records.append(InjectionRecord(
+                    site=site, kind=spec.kind, visit=hit_visit, key=key))
+                if self.obs.enabled:
+                    self._m_injected.inc()
+        return tuple(active)
+
+    def visits_of(self, site: str) -> int:
+        return self._counters.get((site, ""), 0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<FaultInjector plan={self.plan.name!r} "
+                f"visits={self.visits} injected={len(self.records)}>")
+
+
+def force_cell(matrix, s: int, t: int, value: str) -> None:
+    """Force one matrix cell to a flipped value (both backends).
+
+    ``value`` is ``"r"`` (request), ``"g"`` (grant) or ``"."`` (empty).
+    Forcing a grant first clears any existing grant in the row — a
+    flipped bit *moves* the grant rather than violating the single-unit
+    encoding, which is what a real 2-bit cell upset does.
+    """
+    matrix.clear(s, t)
+    if value == "r":
+        matrix.set_request(s, t)
+    elif value == "g":
+        for col in range(matrix.n):
+            if matrix.get(s, col) is CellState.GRANT:
+                matrix.clear(s, col)
+        matrix.set_grant(s, t)

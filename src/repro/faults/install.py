@@ -1,0 +1,61 @@
+"""Wire a :class:`FaultPlan` into a built system.
+
+:func:`install_fault_plan` is duck-typed on the hardware models'
+``faults`` attribute so it works for any :class:`BuiltSystem` shape:
+whichever units the configuration instantiated get the shared injector,
+and — when a :class:`ResiliencePolicy` is given — whichever services
+know how to degrade get their resilience enabled.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.faults.health import ResiliencePolicy
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+
+
+def install_fault_plan(system, plan: FaultPlan,
+                       policy: Optional[ResiliencePolicy] = None
+                       ) -> FaultInjector:
+    """Install ``plan`` into every fault-capable model of ``system``.
+
+    With ``policy`` given, also arms the resilient paths: resource
+    services gain cross-checking/failover, the SoCLC gains interrupt
+    watchdogs, the SoCDMMU gains table audits.  Without it the faults
+    hit an unprotected system — useful for demonstrating the failure,
+    not for surviving it.
+    """
+    injector = FaultInjector(plan, obs=system.soc.obs)
+
+    bus = getattr(system.soc, "bus", None)
+    if bus is not None and hasattr(bus, "faults"):
+        bus.faults = injector
+
+    service = system.resource_service
+    if service is not None:
+        if hasattr(service, "faults"):
+            service.faults = injector
+        unit = getattr(service, "ddu", None)
+        if unit is not None:
+            unit.faults = injector
+        core = getattr(service, "core", None)
+        if core is not None and hasattr(core, "faults"):
+            core.faults = injector
+            embedded = getattr(core, "ddu", None)
+            if embedded is not None:
+                embedded.faults = injector
+        if (policy is not None and getattr(service, "hardware", False)
+                and hasattr(service, "enable_resilience")):
+            service.enable_resilience(policy)
+
+    for unit in (system.lock_manager, system.heap):
+        if unit is not None and hasattr(unit, "faults"):
+            unit.faults = injector
+            if policy is not None and hasattr(unit, "enable_resilience"):
+                unit.enable_resilience(policy)
+
+    system.fault_injector = injector
+    system.fault_plan = plan
+    return injector

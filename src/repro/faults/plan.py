@@ -1,0 +1,183 @@
+"""Seeded fault plans: *what* breaks, *where*, and *when*.
+
+A :class:`FaultPlan` is a deterministic schedule of hardware faults for
+one simulated system, mirroring :class:`repro.campaign.spec.ScenarioSpec`
+in spirit: it round-trips through JSON, hashes canonically, and carries
+no ambient state — a campaign builds one from the scenario's seeded RNG,
+so the same seed always produces the same fault history.
+
+Time is counted in *visits*: every hardware model that hosts a hook
+calls :meth:`repro.faults.injector.FaultInjector.fire` once per event at
+its site (one detection run, one bus transaction, one command write...),
+and a spec is active for visits ``at <= v < at + duration`` of its site.
+Counting events instead of cycles keeps plans placement-independent:
+the fault hits "the third detection", wherever in simulated time that
+lands.
+
+Known sites (the hooks compiled into the hardware models):
+
+=================  =====================  ==============================
+Site               Kinds                  Params
+=================  =====================  ==============================
+``ddu.matrix``     transient, stuck       row, col, value ("r"/"g"/".")
+``ddu.command``    drop, corrupt          row, col, value
+``ddu.status``     stale                  —
+``ddu.hang``       hang                   —
+``ddu.port``       error, timeout         extra_cycles
+``dau.command``    drop, corrupt          resource
+``dau.hang``       hang                   —
+``dau.port``       error, timeout         extra_cycles
+``bus.<name>``     error, timeout         extra_cycles (master filters)
+``soclc.interrupt``  drop                 —
+``socdmmu.table``  leak, steal            block
+=================  =====================  ==============================
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional
+
+from repro.errors import ConfigurationError
+
+#: site (or site prefix ending in ".") -> allowed fault kinds.
+KNOWN_SITES: dict[str, tuple[str, ...]] = {
+    "ddu.matrix": ("transient", "stuck"),
+    "ddu.command": ("drop", "corrupt"),
+    "ddu.status": ("stale",),
+    "ddu.hang": ("hang",),
+    "ddu.port": ("error", "timeout"),
+    "dau.command": ("drop", "corrupt"),
+    "dau.hang": ("hang",),
+    "dau.port": ("error", "timeout"),
+    "bus.": ("error", "timeout"),
+    "soclc.interrupt": ("drop",),
+    "socdmmu.table": ("leak", "steal"),
+}
+
+
+def _allowed_kinds(site: str) -> Optional[tuple[str, ...]]:
+    kinds = KNOWN_SITES.get(site)
+    if kinds is not None:
+        return kinds
+    for prefix, kinds in KNOWN_SITES.items():
+        if prefix.endswith(".") and site.startswith(prefix):
+            return kinds
+    return None
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault at one hook site."""
+
+    site: str
+    kind: str
+    #: First active visit of the site (0-based).
+    at: int = 0
+    #: Number of consecutive visits the fault stays active.  Stuck
+    #: faults are long durations — they still lift deterministically,
+    #: which is what lets fail-back happen within a scenario.
+    duration: int = 1
+    #: Optional key filter: only visits fired with this key (a bus
+    #: master name, a port operation...) count and match.
+    master: Optional[str] = None
+    #: Kind-specific knobs (row/col/value, extra_cycles, resource...).
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def validate(self) -> None:
+        if not self.site:
+            raise ConfigurationError("fault spec needs a site")
+        if self.at < 0:
+            raise ConfigurationError(f"{self.site}: at must be >= 0")
+        if self.duration < 1:
+            raise ConfigurationError(
+                f"{self.site}: duration must be >= 1")
+        kinds = _allowed_kinds(self.site)
+        if kinds is None:
+            raise ConfigurationError(
+                f"unknown fault site {self.site!r}; known: "
+                f"{sorted(KNOWN_SITES)}")
+        if self.kind not in kinds:
+            raise ConfigurationError(
+                f"site {self.site!r} supports kinds {kinds}, "
+                f"not {self.kind!r}")
+
+    def active_at(self, visit: int) -> bool:
+        return self.at <= visit < self.at + self.duration
+
+    def to_dict(self) -> dict:
+        return {
+            "site": self.site,
+            "kind": self.kind,
+            "at": self.at,
+            "duration": self.duration,
+            "master": self.master,
+            "params": dict(self.params),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultSpec":
+        try:
+            spec = cls(site=data["site"], kind=data["kind"],
+                       at=int(data.get("at", 0)),
+                       duration=int(data.get("duration", 1)),
+                       master=data.get("master"),
+                       params=dict(data.get("params", {})))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigurationError(
+                f"malformed fault spec: {exc}") from exc
+        spec.validate()
+        return spec
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A named, ordered bundle of fault specs (may be empty)."""
+
+    name: str
+    specs: tuple = ()
+
+    def validate(self) -> None:
+        if not self.name:
+            raise ConfigurationError("fault plan needs a name")
+        for spec in self.specs:
+            spec.validate()
+
+    def sites(self) -> tuple[str, ...]:
+        return tuple(sorted({spec.site for spec in self.specs}))
+
+    def to_dict(self) -> dict:
+        return {"name": self.name,
+                "specs": [spec.to_dict() for spec in self.specs]}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultPlan":
+        try:
+            plan = cls(name=data["name"],
+                       specs=tuple(FaultSpec.from_dict(item)
+                                   for item in data.get("specs", ())))
+        except (KeyError, TypeError) as exc:
+            raise ConfigurationError(
+                f"malformed fault plan: {exc}") from exc
+        plan.validate()
+        return plan
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(
+                f"fault plan is not JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+    def plan_hash(self) -> str:
+        """sha256 fingerprint of the canonical JSON form."""
+        canonical = json.dumps(self.to_dict(), sort_keys=True,
+                               separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

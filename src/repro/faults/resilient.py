@@ -1,0 +1,497 @@
+"""Resilient wrappers around the DDU and DAU (failover machinery).
+
+These classes are deliberately kernel-free: they run the hardware unit,
+cross-check sampled verdicts against the software algorithms, drive the
+health FSM, and *describe* what the invocation cost as a sequence of
+:class:`Charge` segments — the resource services (or a unit-level test
+harness) then pay those segments in whatever time model they own.
+
+Failover semantics (the paper's partitioning as a runtime mechanism):
+
+* ``ResilientDetector`` — RTOS2's DDU with software PDDA as the twin.
+  Detection is stateless (the register file is reloaded from the
+  kernel's authoritative RAG every run), so failover is just "stop
+  asking the unit"; a scrub reloads the matrix and re-qualifies the
+  unit with cross-checked probe detections.
+* ``ResilientAvoider`` — RTOS4's DAU with a :class:`SoftwareDAA` twin.
+  Avoidance state lives *in* the unit, so failover copies the RAG and
+  give-up counters into the twin (RTOS4 -> RTOS3) and fail-back copies
+  them back after the scrub's probes come back clean (RTOS3 -> RTOS4).
+
+Published verdicts are always correct by construction: whenever a
+cross-check disagrees, the software answer wins and the disagreement
+only counts against the unit's health.  Faults cost latency, never
+wrong answers — the invariant the ``faults`` campaign grinds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro import calibration
+from repro.deadlock.daa import Decision, SoftwareDAA
+from repro.deadlock.ddu import DDU
+from repro.deadlock.pdda import pdda_detect
+from repro.faults.health import HealthState, ResiliencePolicy, UnitHealth
+from repro.obs import NULL_OBS, Observability
+from repro.rag.graph import RAG
+
+#: Charge kinds that count as algorithm cycles (bus segments are paid
+#: with the payer's own bus timing and carry no cycle value here;
+#: ``bus_burst`` carries a word count in ``cycles``).
+ALGO_CHARGE_KINDS = ("unit", "software", "backoff", "timeout")
+
+
+@dataclass(frozen=True)
+class Charge:
+    """One cost segment of a resilient invocation.
+
+    ``kind`` is one of ``bus_write``, ``bus_read``, ``bus_burst``
+    (cycles = words to move), ``unit`` (unit busy cycles), ``software``
+    (PE executes), ``backoff`` (PE executes) or ``timeout`` (the caller
+    arms a watchdog and waits out the budget).
+    """
+
+    kind: str
+    cycles: float
+
+
+@dataclass(frozen=True)
+class DetectOutcome:
+    """What one resilient detection invocation produced."""
+
+    deadlock: bool
+    #: True when the published verdict came from the hardware unit.
+    hardware: bool
+    #: Algorithm cycles (unit + software + recovery waits).
+    cycles: float
+    charges: tuple
+    events: tuple
+
+
+@dataclass(frozen=True)
+class AvoidOutcome:
+    """What one resilient avoidance command produced."""
+
+    decision: Decision
+    hardware: bool
+    cycles: float
+    charges: tuple
+    events: tuple
+
+
+def _scrub_words(m: int, n: int) -> float:
+    """Burst words to reload an m x n register file of 2-bit cells."""
+    return float(max(1, -(-(m * n) // 16)))
+
+
+class _ResilientBase:
+    """Shared scratch/bookkeeping for the two wrappers."""
+
+    unit_name = "unit"
+
+    def __init__(self, policy: ResiliencePolicy,
+                 obs: Optional[Observability] = None) -> None:
+        self.policy = policy
+        self.obs = obs if obs is not None else NULL_OBS
+        self.health = UnitHealth(
+            self.unit_name, fail_threshold=policy.fail_threshold,
+            recover_after=policy.recover_after, obs=self.obs)
+        self.mode = "hardware"
+        self.invocations = 0
+        self.crosschecks = 0
+        self.failovers = 0
+        self.failbacks = 0
+        self.scrubs = 0
+        #: Flat history of every event string, across invocations.
+        self.event_log: list[str] = []
+        self._sw_runs = 0
+        self._charges: list[Charge] = []
+        self._events: list[str] = []
+        metrics = self.obs.metrics
+        self._m_crosschecks = metrics.counter(
+            "faults.crosschecks", "hardware verdicts checked vs software")
+        self._m_failovers = metrics.counter(
+            "faults.failovers", "hardware->software failovers")
+        self._m_failbacks = metrics.counter(
+            "faults.failbacks", "software->hardware fail-backs")
+        self._m_scrubs = metrics.counter(
+            "faults.scrubs", "unit scrub attempts")
+        self._m_retries = metrics.counter(
+            "faults.retries", "retried unit interactions")
+
+    # -- scratch ----------------------------------------------------------
+
+    def _begin(self) -> None:
+        self.invocations += 1
+        self._charges = []
+        self._events = []
+
+    def _charge(self, kind: str, cycles: float) -> None:
+        self._charges.append(Charge(kind, cycles))
+
+    def _event(self, kind: str) -> None:
+        self._events.append(kind)
+
+    def _cycles(self) -> float:
+        return sum(c.cycles for c in self._charges
+                   if c.kind in ALGO_CHARGE_KINDS)
+
+    def _finish_events(self) -> tuple:
+        events = tuple(self._events)
+        self.event_log.extend(events)
+        return events
+
+    def _should_crosscheck(self) -> bool:
+        if not self.policy.sample_every:
+            return False
+        if self.health.state is not HealthState.HEALTHY:
+            return True
+        return self.invocations % self.policy.sample_every == 0
+
+    def _anomaly(self, reason: str) -> None:
+        self.health.anomaly(reason)
+        if self.health.failed and self.mode == "hardware":
+            self._fail_over(reason)
+
+    def _note_failover(self) -> None:
+        self.mode = "software"
+        self._sw_runs = 0
+        self.failovers += 1
+        self._event("failover")
+        if self.obs.enabled:
+            self._m_failovers.inc()
+
+    def _note_failback(self) -> None:
+        self.mode = "hardware"
+        self.failbacks += 1
+        self._event("failback")
+        if self.obs.enabled:
+            self._m_failbacks.inc()
+
+    def _note_retry(self, attempt: int) -> None:
+        self._charge("backoff", self.policy.retry_backoff_cycles * attempt)
+        self._event("retry")
+        if self.obs.enabled:
+            self._m_retries.inc()
+
+    def note_bus_error(self) -> None:
+        """A unit-port bus transaction errored (reported by the payer)."""
+        self._anomaly("bus")
+
+    def _fail_over(self, reason: str) -> None:
+        raise NotImplementedError
+
+
+class ResilientDetector(_ResilientBase):
+    """RTOS2's DDU behind retry, cross-check, scrub and failover."""
+
+    unit_name = "ddu"
+
+    def __init__(self, ddu: DDU, policy: Optional[ResiliencePolicy] = None,
+                 obs: Optional[Observability] = None) -> None:
+        super().__init__(policy if policy is not None
+                         else ResiliencePolicy(), obs=obs)
+        self.ddu = ddu
+
+    # -- the one entry point ----------------------------------------------
+
+    def detect(self, rag: RAG) -> DetectOutcome:
+        """One detection over the authoritative RAG."""
+        self._begin()
+        if self.mode == "software":
+            self._sw_runs += 1
+            if self._sw_runs >= self.policy.scrub_after:
+                self._sw_runs = 0
+                self._scrub(rag)
+        if self.mode == "hardware":
+            result = self._try_hardware(rag)
+            if result is None:
+                # The unit gave no usable answer this invocation;
+                # detection is stateless, so a one-off software run is
+                # safe whether or not the health FSM tripped failover.
+                result = (self._software_verdict(rag), False)
+        else:
+            result = (self._software_verdict(rag), False)
+        deadlock, hardware = result
+        return DetectOutcome(
+            deadlock=deadlock, hardware=hardware, cycles=self._cycles(),
+            charges=tuple(self._charges), events=self._finish_events())
+
+    def force_failover(self, reason: str = "forced") -> None:
+        """Operator override: stop trusting the unit immediately."""
+        while not self.health.failed:
+            self.health.anomaly(reason)
+        if self.mode == "hardware":
+            self._note_failover()
+            self.event_log.append("failover")
+
+    # -- hardware path -----------------------------------------------------
+
+    def _try_hardware(self, rag: RAG):
+        for attempt in range(self.policy.max_retries + 1):
+            if attempt:
+                self._note_retry(attempt)
+            self._charge("bus_write", 0.0)
+            if not self.ddu.respond():
+                self._charge("timeout", self.policy.unit_timeout_cycles)
+                self._event("anomaly:hang")
+                self._anomaly("hang")
+                if self.mode == "software":
+                    return None
+                continue
+            self.ddu.load(rag)
+            result = self.ddu.detect()
+            self._charge("unit", result.cycles)
+            self._charge("bus_read", 0.0)
+            verdict = result.deadlock
+            if self._should_crosscheck():
+                sw = pdda_detect(rag)
+                self._charge("software", sw.software_cycles)
+                self._event("crosscheck")
+                self.crosschecks += 1
+                if self.obs.enabled:
+                    self._m_crosschecks.inc()
+                if sw.deadlock != verdict:
+                    # Software is authoritative; the unit lied.
+                    self._event("anomaly:verdict")
+                    self._anomaly("verdict")
+                    return (sw.deadlock, False)
+                self.health.clean("crosscheck")
+            return (verdict, True)
+        return None
+
+    def _fail_over(self, reason: str) -> None:
+        self._note_failover()
+
+    def _software_verdict(self, rag: RAG) -> bool:
+        sw = pdda_detect(rag)
+        self._charge("software", sw.software_cycles)
+        self._event("fallback-run")
+        return sw.deadlock
+
+    # -- scrub / fail-back -------------------------------------------------
+
+    def _scrub(self, rag: RAG) -> None:
+        self._event("scrub")
+        self.scrubs += 1
+        if self.obs.enabled:
+            self._m_scrubs.inc()
+        self.health.begin_recovery()
+        self._charge("bus_burst", _scrub_words(self.ddu.m, self.ddu.n))
+        self._charge("unit", calibration.FAULT_SCRUB_OVERHEAD_CYCLES)
+        for _probe in range(self.policy.recover_after):
+            if not self.ddu.respond():
+                self._charge("timeout", self.policy.unit_timeout_cycles)
+                self._event("anomaly:hang")
+                self.health.anomaly("hang")
+                self._event("scrub-failed")
+                return
+            self.ddu.load(rag)
+            result = self.ddu.detect()
+            self._charge("unit", result.cycles)
+            sw = pdda_detect(rag)
+            self._charge("software", sw.software_cycles)
+            if result.deadlock != sw.deadlock:
+                self._event("anomaly:verdict")
+                self.health.anomaly("verdict")
+                self._event("scrub-failed")
+                return
+            self.health.clean("scrub-probe")
+        if self.health.state is HealthState.HEALTHY:
+            self._note_failback()
+
+
+class ResilientAvoider(_ResilientBase):
+    """RTOS4's DAU behind cross-check, failover to a SoftwareDAA twin."""
+
+    unit_name = "dau"
+
+    def __init__(self, dau, policy: Optional[ResiliencePolicy] = None,
+                 obs: Optional[Observability] = None) -> None:
+        super().__init__(policy if policy is not None
+                         else ResiliencePolicy(), obs=obs)
+        self.dau = dau
+        #: The RTOS3 twin; exists only while failed over.
+        self.twin: Optional[SoftwareDAA] = None
+
+    @property
+    def active_core(self):
+        """Whose RAG is authoritative right now (for holder_of etc.)."""
+        if self.mode == "software" and self.twin is not None:
+            return self.twin
+        return self.dau
+
+    # -- the one entry point ----------------------------------------------
+
+    def decide(self, pe: str, op: str, process: str,
+               resource: str) -> AvoidOutcome:
+        """One request/release command through the resilient path."""
+        self._begin()
+        if self.mode == "software":
+            self._sw_runs += 1
+            if self._sw_runs >= self.policy.scrub_after:
+                self._sw_runs = 0
+                self._scrub()
+        if self.mode == "hardware":
+            result = self._try_hardware(pe, op, process, resource)
+            if result is None:
+                # Unlike detection, avoidance state lives in the unit:
+                # a decision the unit never saw must move authority to
+                # the twin, or the two states diverge.
+                if self.mode == "hardware":
+                    self._fail_over("retries-exhausted")
+                result = (self._software(op, process, resource), False)
+        else:
+            result = (self._software(op, process, resource), False)
+        decision, hardware = result
+        return AvoidOutcome(
+            decision=decision, hardware=hardware, cycles=self._cycles(),
+            charges=tuple(self._charges), events=self._finish_events())
+
+    def force_failover(self, reason: str = "forced") -> None:
+        while not self.health.failed:
+            self.health.anomaly(reason)
+        if self.mode == "hardware":
+            self._make_twin()
+            self._note_failover()
+            self.event_log.append("failover")
+
+    # -- hardware path -----------------------------------------------------
+
+    def _try_hardware(self, pe: str, op: str, process: str, resource: str):
+        from repro.errors import ResourceProtocolError
+        for attempt in range(self.policy.max_retries + 1):
+            if attempt:
+                self._note_retry(attempt)
+            snap_rag = self.dau.rag.copy()
+            snap_giveups = dict(self.dau._giveup_counts)
+            self._charge("bus_write", 0.0)
+            if not self.dau.respond():
+                self._charge("timeout", self.policy.unit_timeout_cycles)
+                self._event("anomaly:hang")
+                self._anomaly("hang")
+                if self.mode == "software":
+                    return None
+                continue
+            try:
+                decision = self.dau.write_command(pe, op, process, resource)
+            except ResourceProtocolError:
+                # A corrupted command drove the FSM into an illegal
+                # transition; restore the pre-command state and retry.
+                self.dau.rag = snap_rag
+                self.dau._giveup_counts = snap_giveups
+                self._event("anomaly:command")
+                self._anomaly("command")
+                if self.mode == "software":
+                    return None
+                continue
+            if decision is None:
+                # Command write dropped on the port: the status register
+                # never leaves busy, so the RTOS re-polls and re-sends.
+                self._charge("bus_read", 0.0)
+                self._event("anomaly:command")
+                self._anomaly("command")
+                if self.mode == "software":
+                    return None
+                continue
+            self._charge("unit", decision.cycles)
+            self._charge("bus_read", 0.0)
+            if self._should_crosscheck():
+                reference = self._reference(snap_rag, snap_giveups)
+                ref_decision = (reference.request(process, resource)
+                                if op == "request"
+                                else reference.release(process, resource))
+                self._charge("software", ref_decision.cycles)
+                self._event("crosscheck")
+                self.crosschecks += 1
+                if self.obs.enabled:
+                    self._m_crosschecks.inc()
+                if not self._decisions_agree(decision, ref_decision):
+                    # The unit faulted mid-decision: adopt the software
+                    # outcome and its post-decision state wholesale.
+                    self.dau.rag = reference.rag
+                    self.dau._giveup_counts = dict(
+                        reference._giveup_counts)
+                    self.dau._publish(self.dau.status[process],
+                                      ref_decision)
+                    self._event("anomaly:verdict")
+                    self._anomaly("verdict")
+                    return (ref_decision, False)
+                self.health.clean("crosscheck")
+            return (decision, True)
+        return None
+
+    @staticmethod
+    def _decisions_agree(a: Decision, b: Decision) -> bool:
+        return ((a.action, a.granted_to, a.resource, a.livelock,
+                 tuple(sorted(a.ask_release)))
+                == (b.action, b.granted_to, b.resource, b.livelock,
+                    tuple(sorted(b.ask_release))))
+
+    def _reference(self, rag: RAG, giveups: dict) -> SoftwareDAA:
+        reference = SoftwareDAA(
+            rag.processes, rag.resources, self.dau.priorities,
+            livelock_threshold=self.dau.livelock_threshold)
+        reference.rag = rag
+        reference._giveup_counts = dict(giveups)
+        return reference
+
+    # -- software twin ------------------------------------------------------
+
+    def _make_twin(self) -> None:
+        self.twin = self._reference(self.dau.rag.copy(),
+                                    self.dau._giveup_counts)
+
+    def _fail_over(self, reason: str) -> None:
+        self._make_twin()
+        self._note_failover()
+
+    def _software(self, op: str, process: str, resource: str) -> Decision:
+        assert self.twin is not None
+        decision = (self.twin.request(process, resource)
+                    if op == "request"
+                    else self.twin.release(process, resource))
+        self._charge("software", decision.cycles)
+        self._event("fallback-run")
+        return decision
+
+    # -- scrub / fail-back ---------------------------------------------------
+
+    def _scrub(self) -> None:
+        assert self.twin is not None
+        self._event("scrub")
+        self.scrubs += 1
+        if self.obs.enabled:
+            self._m_scrubs.inc()
+        self.health.begin_recovery()
+        # Reload the unit from the twin's authoritative state, then
+        # re-qualify it with cross-checked probe detections.
+        self.dau.rag = self.twin.rag.copy()
+        self.dau._giveup_counts = dict(self.twin._giveup_counts)
+        rag = self.dau.rag
+        self._charge("bus_burst", _scrub_words(rag.num_resources,
+                                               rag.num_processes))
+        self._charge("unit", calibration.FAULT_SCRUB_OVERHEAD_CYCLES)
+        for _probe in range(self.policy.recover_after):
+            if not self.dau.respond():
+                self._charge("timeout", self.policy.unit_timeout_cycles)
+                self._event("anomaly:hang")
+                self.health.anomaly("hang")
+                self._event("scrub-failed")
+                return
+            deadlock, passes = self.dau._detect_current()
+            self._charge("unit",
+                         passes * calibration.DDU_CYCLES_PER_ITERATION)
+            sw = pdda_detect(self.dau.rag)
+            self._charge("software", sw.software_cycles)
+            if deadlock != sw.deadlock:
+                self._event("anomaly:verdict")
+                self.health.anomaly("verdict")
+                self._event("scrub-failed")
+                return
+            self.health.clean("scrub-probe")
+        if self.health.state is HealthState.HEALTHY:
+            self.twin = None
+            self._note_failback()

@@ -36,6 +36,9 @@ class BuiltSystem:
     heap: Union[SoftwareHeap, SoCDMMU, None]
     #: The generated HDL top file for this configuration (Example 1).
     top_verilog: str
+    #: Set by :func:`repro.faults.install_fault_plan`.
+    fault_injector: Optional[object] = None
+    fault_plan: Optional[object] = None
 
     @property
     def name(self) -> str:

@@ -12,7 +12,7 @@ from dataclasses import dataclass
 from typing import Generator, Optional
 
 from repro import calibration
-from repro.errors import ConfigurationError
+from repro.errors import BusError, ConfigurationError
 from repro.obs import NULL_OBS, Observability
 from repro.sim.engine import Engine
 from repro.sim.process import Arbiter, SimResource
@@ -51,6 +51,12 @@ class SystemBus:
         self.total_transactions = 0
         self.busy_cycles = 0
         self.contention_cycles = 0.0
+        #: Fault injector hook (:mod:`repro.faults`); the site is the
+        #: bus name under the ``bus.`` prefix.
+        self.faults = None
+        self.fault_site = (name if name.startswith("bus.")
+                           else f"bus.{name}")
+        self.error_transactions = 0
         self.obs = obs if obs is not None else NULL_OBS
         metrics = self.obs.metrics
         self._m_transactions = metrics.counter(
@@ -67,6 +73,15 @@ class SystemBus:
                     priority: int = 0) -> Generator:
         """Perform one bus transaction; suspends for its full duration."""
         cost = self.timing.transaction_cycles(words)
+        error = False
+        if self.faults is not None:
+            for spec in self.faults.fire(self.fault_site, key=master):
+                if spec.kind == "timeout":
+                    # The slave answers late: the bus is held for the
+                    # extra wait states, then the transfer completes.
+                    cost += int(spec.params.get("extra_cycles", 16))
+                elif spec.kind == "error":
+                    error = True
         requested_at = self.engine.now
         yield from self._port.acquire(master, priority=priority)
         waited = self.engine.now - requested_at
@@ -81,6 +96,11 @@ class SystemBus:
             if waited > 0:
                 self._m_stall_cycles.inc(waited)
                 self._m_stalled.inc()
+        if error:
+            # An ERROR response still occupied the bus for the full
+            # transfer; the master decides whether to retry.
+            self.error_transactions += 1
+            raise BusError(f"{self.name}: error response to {master}")
 
     def read_word(self, master: str, priority: int = 0) -> Generator:
         """Single-word read (e.g. polling a unit's status register)."""

@@ -126,6 +126,12 @@ class HierarchicalBus:
                 engine, f"bridge{index + 1}", local, self.global_bus,
                 forward_cycles=bridge_cycles, obs=self.obs))
 
+    def install_faults(self, injector) -> None:
+        """Share one fault injector across the global and local buses."""
+        self.global_bus.faults = injector
+        for local in self.locals:
+            local.faults = injector
+
     def subsystem(self, index: int) -> SystemBus:
         try:
             return self.locals[index]

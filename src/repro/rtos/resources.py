@@ -91,6 +91,9 @@ class ResourceService:
 
     #: True when the algorithm runs in a hardware unit.
     hardware = False
+    #: Fault-injection site of the unit's command/status port (set by
+    #: the hardware-backed subclasses).
+    port_site: Optional[str] = None
 
     def __init__(self, kernel: Kernel, resources: Iterable[str],
                  api_cycles: int = calibration.RTOS_RESOURCE_API_CYCLES
@@ -99,6 +102,13 @@ class ResourceService:
         self.resources = tuple(resources)
         self.api_cycles = api_cycles
         self.stats = ServiceStats()
+        #: Fault injector hook for the unit-port sites (repro.faults).
+        self.faults = None
+        #: Resilient wrapper; None = the fault-free fast path.
+        self.resilient = None
+        self.watchdog = None
+        #: (engine time, event string) history of the resilient path.
+        self.fault_events: list = []
         self._gate = SimResource(kernel.engine, "resource.gate")
         self._grant_waits: dict[tuple[str, str], object] = {}
         # Grants *delivered* to tasks.  The algorithm core's state is
@@ -200,6 +210,80 @@ class ResourceService:
             # The calling PE runs the algorithm itself.
             yield from ctx.pe.execute(cycles)
 
+    # -- resilient charging (active only when enable_resilience ran) -------------
+
+    def _fault_event(self, event: str) -> None:
+        self.fault_events.append((self.kernel.engine.now, event))
+
+    def _log_fault_events(self, events: Iterable[str]) -> None:
+        now = self.kernel.engine.now
+        for event in events:
+            self.fault_events.append((now, event))
+
+    def _unit_bus(self, ctx: TaskContext, op: str) -> Generator:
+        """One transaction on the unit's port, with bounded retry.
+
+        Port faults (``ddu.port`` / ``dau.port``) hit only the
+        service's own command/status traffic, never the workload's
+        memory transactions.  An ERROR response is retried with
+        backoff; exhausting the budget costs latency only — the next
+        cross-check still validates the verdict itself.
+        """
+        policy = self.resilient.policy
+        for attempt in range(policy.max_retries + 1):
+            if attempt:
+                self._fault_event("retry")
+                yield from ctx.pe.execute(
+                    policy.retry_backoff_cycles * attempt)
+            error = False
+            if self.faults is not None:
+                for spec in self.faults.fire(self.port_site, key=op):
+                    if spec.kind == "timeout":
+                        yield int(spec.params.get("extra_cycles", 16))
+                    elif spec.kind == "error":
+                        error = True
+            if op == "write":
+                yield from ctx.pe.bus_write()
+            else:
+                yield from ctx.pe.bus_read()
+            if not error:
+                return
+            self._fault_event("anomaly:bus")
+            mode_before = self.resilient.mode
+            self.resilient.note_bus_error()
+            if self.resilient.mode != mode_before:
+                self._fault_event("failover")
+        self._fault_event("bus-unreachable")
+
+    def _await_timeout(self, ctx: TaskContext, budget: float) -> Generator:
+        """Wait out a hung unit under a watchdog."""
+        if self.watchdog is None:
+            yield budget
+            return
+        watch = self.watchdog.arm(f"{self.port_site}.{ctx.task.name}",
+                                  budget)
+        yield budget + 1
+        if not self.watchdog.disarm(watch):
+            self._fault_event("watchdog-trip")
+
+    def _pay(self, ctx: TaskContext, outcome) -> Generator:
+        """Pay a resilient invocation's charge segments in order."""
+        for charge in outcome.charges:
+            kind = charge.kind
+            if kind == "bus_write":
+                yield from self._unit_bus(ctx, "write")
+            elif kind == "bus_read":
+                yield from self._unit_bus(ctx, "read")
+            elif kind == "bus_burst":
+                yield from ctx.pe.bus_burst(words=max(1, int(charge.cycles)))
+            elif kind == "unit":
+                yield charge.cycles
+            elif kind == "timeout":
+                yield from self._await_timeout(ctx, charge.cycles)
+            else:
+                # software / backoff both run on the calling PE.
+                yield from ctx.pe.execute(charge.cycles)
+
     def _note_invocation(self, cycles: float) -> None:
         self.stats.invocations += 1
         self.stats.algorithm_cycles.append(cycles)
@@ -261,6 +345,26 @@ class DetectionResourceService(_WithdrawMixin, ResourceService):
             "matrix.fastpath.sw_detections",
             "software PDDA runs (backend per REPRO_MATRIX_BACKEND)")
 
+    port_site = "ddu.port"
+
+    def enable_resilience(self, policy=None):
+        """Arm cross-checking, retry and DDU->software failover.
+
+        Only meaningful for RTOS2: RTOS1 already *is* the software
+        path.  Returns the :class:`ResilientDetector` for inspection.
+        """
+        if self.ddu is None:
+            raise ConfigurationError(
+                "resilience wraps the DDU; RTOS1 has no unit to fail")
+        from repro.faults.health import ResiliencePolicy
+        from repro.faults.resilient import ResilientDetector
+        from repro.rtos.watchdog import Watchdog
+        policy = policy if policy is not None else ResiliencePolicy()
+        self.resilient = ResilientDetector(self.ddu, policy,
+                                           obs=self.kernel.obs)
+        self.watchdog = Watchdog(self.kernel)
+        return self.resilient
+
     def holder_of(self, resource: str) -> Optional[str]:
         return self.rag.holder_of(resource)
 
@@ -282,6 +386,21 @@ class DetectionResourceService(_WithdrawMixin, ResourceService):
 
     def _detect_and_charge(self, ctx: TaskContext) -> Generator:
         """One detection invocation: run, record, pay.  Returns deadlock."""
+        if self.resilient is not None:
+            outcome = self.resilient.detect(self.rag)
+            self._note_invocation(outcome.cycles)
+            self._log_fault_events(outcome.events)
+            span = self.kernel.obs.begin(ctx.task.name, "detect",
+                                         cycles=outcome.cycles,
+                                         deadlock=outcome.deadlock,
+                                         hardware=outcome.hardware)
+            try:
+                yield from self._pay(ctx, outcome)
+            finally:
+                self.kernel.obs.end(span)
+            if outcome.deadlock:
+                self._note_deadlock(outcome.cycles)
+            return outcome.deadlock
         deadlock, cycles = self._detect()
         self._note_invocation(cycles)
         span = self.kernel.obs.begin(ctx.task.name, "detect",
@@ -342,22 +461,81 @@ class AvoidanceResourceService(_WithdrawMixin, ResourceService):
     notifications (Assumption 3's mechanism).
     """
 
+    port_site = "dau.port"
+
     def __init__(self, kernel: Kernel, core: AvoidanceCore,
                  hardware: bool = False) -> None:
         super().__init__(kernel, core.rag.resources)
         self.core = core
         self.hardware = hardware
 
+    def enable_resilience(self, policy=None):
+        """Arm cross-checking and DAU -> SoftwareDAA twin failover.
+
+        Only meaningful for RTOS4: RTOS3's core is already software.
+        Returns the :class:`ResilientAvoider` for inspection.
+        """
+        if not self.hardware:
+            raise ConfigurationError(
+                "resilience wraps the DAU; RTOS3 has no unit to fail")
+        from repro.faults.health import ResiliencePolicy
+        from repro.faults.resilient import ResilientAvoider
+        from repro.rtos.watchdog import Watchdog
+        policy = policy if policy is not None else ResiliencePolicy()
+        self.resilient = ResilientAvoider(self.core, policy,
+                                          obs=self.kernel.obs)
+        self.watchdog = Watchdog(self.kernel)
+        return self.resilient
+
+    @property
+    def _active_core(self):
+        if self.resilient is not None:
+            return self.resilient.active_core
+        return self.core
+
     def holder_of(self, resource: str) -> Optional[str]:
-        return self.core.rag.holder_of(resource)
+        return self._active_core.rag.holder_of(resource)
 
     def _do_withdraw(self, process: str, resource: str) -> None:
-        if resource in self.core.rag.requests_of(process):
-            self.core.withdraw(process, resource)
+        core = self._active_core
+        if resource in core.rag.requests_of(process):
+            core.withdraw(process, resource)
+
+    def _decide_and_pay(self, ctx: TaskContext, op: str,
+                        resource: str) -> Generator:
+        """Resilient path: decide via the wrapper, pay its charges."""
+        outcome = self.resilient.decide(ctx.pe.name, op, ctx.task.name,
+                                        resource)
+        self._note_invocation(outcome.cycles)
+        self._log_fault_events(outcome.events)
+        span = self.kernel.obs.begin(ctx.task.name, f"avoid.{op}",
+                                     cycles=outcome.cycles,
+                                     hardware=outcome.hardware)
+        try:
+            yield from self._pay(ctx, outcome)
+        finally:
+            self.kernel.obs.end(span)
+        return outcome.decision
 
     def request(self, ctx: TaskContext, resource: str) -> Generator:
         yield from ctx.pe.execute(self.api_cycles)
         yield from self._gate.acquire(ctx.task.name)
+        if self.resilient is not None:
+            decision = yield from self._decide_and_pay(ctx, "request",
+                                                       resource)
+            if decision.action is Action.GRANTED:
+                self._deliver_grant(ctx.task.name, resource)
+            if (decision.ask_release
+                    and decision.action is not Action.GIVE_UP):
+                self._ask_release(decision.ask_release,
+                                  on_behalf_of=ctx.task.name,
+                                  livelock=decision.livelock)
+            self._gate.release(ctx.task.name)
+            return GrantOutcome(
+                granted=decision.action is Action.GRANTED,
+                pending=decision.action is Action.PENDING,
+                must_give_up=decision.action is Action.GIVE_UP,
+                decision=decision)
         decision = self.core.request(ctx.task.name, resource)
         self._note_invocation(decision.cycles)
         yield from self._charge(ctx, decision.cycles)
@@ -377,6 +555,18 @@ class AvoidanceResourceService(_WithdrawMixin, ResourceService):
     def release(self, ctx: TaskContext, resource: str) -> Generator:
         yield from ctx.pe.execute(self.api_cycles)
         yield from self._gate.acquire(ctx.task.name)
+        if self.resilient is not None:
+            decision = yield from self._decide_and_pay(ctx, "release",
+                                                       resource)
+            self._record_release(ctx.task.name, resource)
+            if decision.granted_to is not None:
+                self._deliver_grant(decision.granted_to, resource)
+            if decision.ask_release:
+                self._ask_release(decision.ask_release,
+                                  on_behalf_of=ctx.task.name,
+                                  livelock=decision.livelock)
+            self._gate.release(ctx.task.name)
+            return GrantOutcome(granted=True, decision=decision)
         decision = self.core.release(ctx.task.name, resource)
         self._note_invocation(decision.cycles)
         self._record_release(ctx.task.name, resource)

@@ -46,9 +46,9 @@ class Watchdog:
 
     def __init__(self, kernel: Kernel) -> None:
         self.kernel = kernel
-        self._watches: dict = {}
+        self._watches: dict[int, _Watch] = {}
         self._ids = itertools.count(1)
-        self.timeouts: list = []
+        self.timeouts: list[WatchdogTimeout] = []
 
     # -- arming -----------------------------------------------------------------
 

@@ -66,6 +66,34 @@ class BlockAllocator:
                 f"{owner}: virtual block {virtual_block} not mapped"
             ) from None
 
+    # -- fault backdoor / audit ---------------------------------------------------
+
+    def corrupt(self, physical_block: int, owner: Optional[str]) -> None:
+        """Flip one owner-table entry (fault injection backdoor)."""
+        if not 0 <= physical_block < self.num_blocks:
+            raise AllocationError(f"bad block index {physical_block}")
+        self._owner[physical_block] = owner
+
+    def audit(self) -> int:
+        """Rebuild the owner table from the mapping RAM; returns repairs.
+
+        The per-owner virtual-to-physical mapping is the authoritative
+        copy (it is what translation reads); the flat owner table is
+        the derived bitmap that upsets corrupt.  An audit sweep makes
+        the table agree with the mappings again.
+        """
+        owned: dict[int, str] = {}
+        for owner, mapping in self._mappings.items():
+            for physical in mapping.values():
+                owned[physical] = owner
+        repairs = 0
+        for block in range(self.num_blocks):
+            want = owned.get(block)
+            if self._owner[block] != want:
+                self._owner[block] = want
+                repairs += 1
+        return repairs
+
     # -- commands (G_alloc / G_dealloc) ------------------------------------------
 
     def allocate(self, owner: str, num_blocks: int) -> list[int]:

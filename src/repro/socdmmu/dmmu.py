@@ -39,6 +39,11 @@ class SoCDMMU:
         self.dealloc_cycles = dealloc_cycles
         self._port = SimResource(kernel.engine, "socdmmu.port")
         self.stats = HeapStats()
+        #: Fault injector hook (:mod:`repro.faults`).
+        self.faults = None
+        self.resilience = None
+        self.audits = 0
+        self.audit_repairs = 0
         #: handle -> (owner, virtual block numbers)
         self._handles: dict[int, tuple[str, list[int]]] = {}
         self._next_handle = 0x2000_0000
@@ -55,6 +60,42 @@ class SoCDMMU:
         self._m_in_use = metrics.gauge(
             "socdmmu.in_use_bytes", "bytes currently allocated")
 
+    # -- resilience ---------------------------------------------------------------
+
+    def enable_resilience(self, policy=None) -> None:
+        """Audit the owner table against the mapping RAM on commands."""
+        from repro.faults.health import ResiliencePolicy
+        self.resilience = policy if policy is not None else ResiliencePolicy()
+
+    def _apply_table_faults(self) -> None:
+        num_blocks = self.allocator.num_blocks
+        for spec in self.faults.fire("socdmmu.table"):
+            start = int(spec.params.get("block", 0)) % num_blocks
+            if spec.kind == "leak":
+                # An owned entry flips to free: the mapping RAM still
+                # references the block, so without an audit a later
+                # G_alloc can hand it out a second time.
+                wanted, ghost = (lambda who: who is not None), None
+            else:  # steal
+                # A free entry flips to owned-by-nobody: the pool
+                # silently shrinks until an audit reclaims it.
+                wanted, ghost = (lambda who: who is None), "<ghost>"
+            for offset in range(num_blocks):
+                block = (start + offset) % num_blocks
+                if wanted(self.allocator.owner_of(block)):
+                    self.allocator.corrupt(block, ghost)
+                    break
+
+    def _audit(self) -> Generator:
+        self.audits += 1
+        yield calibration.SOCDMMU_AUDIT_CYCLES
+        self.stats.mm_cycles += calibration.SOCDMMU_AUDIT_CYCLES
+        repairs = self.allocator.audit()
+        if repairs:
+            self.audit_repairs += repairs
+            self.kernel.trace.record(self.kernel.engine.now, "socdmmu",
+                                     "table_repaired", repairs=repairs)
+
     # -- the heap-service interface ------------------------------------------------
 
     def malloc(self, ctx: TaskContext, size_bytes: int) -> Generator:
@@ -62,6 +103,10 @@ class SoCDMMU:
         blocks = self.allocator.blocks_for(size_bytes)
         owner = ctx.task.name
         yield from self._port.acquire(owner)
+        if self.faults is not None:
+            self._apply_table_faults()
+            if self.resilience is not None:
+                yield from self._audit()
         # Command write, deterministic unit time, result read.
         yield from ctx.pe.bus_write()
         yield self.alloc_cycles
@@ -99,6 +144,12 @@ class SoCDMMU:
             raise AllocationError(
                 f"{ctx.task.name} freed a handle owned by {owner}")
         yield from self._port.acquire(owner)
+        if self.faults is not None:
+            self._apply_table_faults()
+            if (self.resilience is not None
+                    and self.stats.free_calls
+                    % max(1, self.resilience.audit_every) == 0):
+                yield from self._audit()
         yield from ctx.pe.bus_write()
         yield self.dealloc_cycles
         yield from ctx.pe.bus_read()

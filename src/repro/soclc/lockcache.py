@@ -62,6 +62,13 @@ class SoCLC:
         self._locks: dict[str, _HardwareLock] = {}
         self.stats = LockStats()
         self.interrupt_handoffs = 0
+        #: Fault injector hook (:mod:`repro.faults`).
+        self.faults = None
+        #: Waiter-side interrupt watchdog (armed by enable_resilience).
+        self.watchdog = None
+        self.resilience = None
+        self.lost_interrupts = 0
+        self.redelivered_interrupts = 0
         metrics = kernel.obs.metrics
         self._m_acquisitions = metrics.counter(
             "lock.acquisitions", "lock grants")
@@ -75,6 +82,20 @@ class SoCLC:
             "lock.hold_cycles", "cycles from grant to release")
 
     # -- configuration ------------------------------------------------------------
+
+    def enable_resilience(self, policy=None) -> None:
+        """Arm waiter-side watchdogs against lost grant interrupts.
+
+        The unit's lock cell is authoritative: when a waiter's deadline
+        fires and the cell already names it holder, the interrupt was
+        lost in flight and the watchdog redelivers it; otherwise the
+        waiter is still legitimately queued and the watch re-arms.
+        """
+        from repro.faults.health import ResiliencePolicy
+        from repro.rtos.watchdog import Watchdog
+        self.resilience = policy if policy is not None else ResiliencePolicy()
+        if self.watchdog is None:
+            self.watchdog = Watchdog(self.kernel)
 
     def register_lock(self, lock_id: str, kind: str = "long",
                       ceiling: int = 0) -> None:
@@ -132,7 +153,12 @@ class SoCLC:
         self.kernel.trace.record(ctx.now, task.name, "lock_blocked",
                                  lock=lock_id, holder=lock.holder.name,
                                  unit="SoCLC")
+        watch = None
+        if self.watchdog is not None:
+            watch = self._arm_grant_watch(lock, task, grant)
         yield from self.kernel.block_on(task, grant)
+        if watch is not None and self.watchdog.is_active(watch["id"]):
+            self.watchdog.disarm(watch["id"])
         # Light wake-up on the unit's grant interrupt.
         yield from ctx.pe.execute(calibration.SOCLC_LOCK_WAKE_CYCLES)
         self.interrupt_handoffs += 1
@@ -172,10 +198,54 @@ class SoCLC:
         if lock.waiters:
             next_task, grant = lock.waiters.pop(0)
             self._grant(lock, next_task)
-            grant.set(lock_id)
+            dropped = False
+            if self.faults is not None:
+                for spec in self.faults.fire("soclc.interrupt"):
+                    if spec.kind == "drop":
+                        dropped = True
+            if dropped:
+                # The unit handed the lock over but the grant interrupt
+                # was lost in flight; the waiter's watchdog (if armed)
+                # notices that the cell already names it holder.
+                self.lost_interrupts += 1
+                self.kernel.trace.record(ctx.now, next_task.name,
+                                         "interrupt_lost", lock=lock_id,
+                                         unit="SoCLC")
+            else:
+                grant.set(lock_id)
         else:
             lock.holder = None
         yield from self.kernel.preemption_point(task)
+
+    def _arm_grant_watch(self, lock: _HardwareLock, task: Task,
+                         grant) -> dict:
+        """Watch one waiter's pending grant interrupt.
+
+        Returns a mutable cell holding the live watch id (re-arms swap
+        it out from inside the timeout callback).
+        """
+        cell: dict = {}
+        name = f"soclc.grant.{lock.lock_id}.{task.name}"
+        deadline = self.resilience.lock_grant_timeout_cycles
+
+        def check(_timeout) -> None:
+            if grant.is_set:
+                return
+            if lock.holder is task:
+                # The cell names us holder but the interrupt never
+                # arrived: redeliver it from the watchdog.
+                self.redelivered_interrupts += 1
+                self.kernel.trace.record(
+                    self.kernel.engine.now, task.name,
+                    "interrupt_redelivered", lock=lock.lock_id,
+                    unit="SoCLC")
+                grant.set(lock.lock_id)
+            else:
+                cell["id"] = self.watchdog.arm(name, deadline,
+                                               on_timeout=check)
+
+        cell["id"] = self.watchdog.arm(name, deadline, on_timeout=check)
+        return cell
 
     # -- IPCP in hardware ---------------------------------------------------------------
 

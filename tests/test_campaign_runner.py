@@ -105,6 +105,60 @@ class TestFaultIsolation:
         assert by_id["flaky/00000"].attempts == 2
         assert marker.exists()
 
+    def test_interrupted_worker_recorded_and_retried(self, tmp_path):
+        marker = tmp_path / "interrupted-once"
+        campaign = _campaign(
+            _honest(repeats=4),
+            ScenarioSpec(name="intr", generator="census",
+                         checker="chaos.interrupt_once",
+                         params={"m": 2, "n": 2,
+                                 "marker": str(marker)}))
+        run = CampaignRunner(campaign, workers=2, retries=2,
+                             backoff=0.01).run()
+        assert len(run.results) == campaign.count()
+        by_id = {r.scenario_id: r for r in run.results}
+        assert by_id["intr/00000"].verdict == "pass"
+        assert by_id["intr/00000"].attempts == 2
+        assert marker.exists()
+        assert [loss["scenario_id"] for loss in run.worker_losses] == \
+            ["intr/00000"]
+        assert run.manifest()["worker_losses"] == run.worker_losses
+        honest = [r for r in run.results
+                  if r.scenario_id.startswith("honest/")]
+        assert all(r.verdict == "pass" for r in honest)
+
+    def test_persistent_interrupt_exhausts_to_crash(self):
+        campaign = _campaign(
+            _honest(repeats=2),
+            ScenarioSpec(name="intr", generator="census",
+                         checker="chaos.interrupt",
+                         params={"m": 2, "n": 2}))
+        run = CampaignRunner(campaign, workers=2, retries=1,
+                             backoff=0.01).run()
+        by_id = {r.scenario_id: r for r in run.results}
+        assert by_id["intr/00000"].verdict == "crash"
+        # Initial worker plus every retry attempt reported itself lost.
+        assert len(run.worker_losses) == 2
+        assert all(loss["scenario_id"] == "intr/00000"
+                   for loss in run.worker_losses)
+
+    def test_sigterm_in_worker_is_a_recorded_loss(self):
+        campaign = _campaign(
+            _honest(repeats=2),
+            ScenarioSpec(name="term", generator="census",
+                         checker="chaos.interrupt",
+                         params={"m": 2, "n": 2, "sigterm": True}))
+        run = CampaignRunner(campaign, workers=2, retries=1,
+                             backoff=0.01).run()
+        by_id = {r.scenario_id: r for r in run.results}
+        assert by_id["term/00000"].verdict == "crash"
+        assert run.worker_losses
+        assert all(loss["scenario_id"] == "term/00000"
+                   for loss in run.worker_losses)
+        honest = [r for r in run.results
+                  if r.scenario_id.startswith("honest/")]
+        assert all(r.verdict == "pass" for r in honest)
+
     def test_per_task_timeout_keeps_the_shard_going(self):
         campaign = _campaign(
             ScenarioSpec(name="hang", generator="census",

@@ -1,0 +1,310 @@
+"""Unit tests for the fault-injection package (`repro.faults`).
+
+Plans round-trip and validate, the injector counts visits the way the
+docs promise, the health FSM walks HEALTHY/SUSPECT/FAILED/RECOVERING
+correctly, and the resilient wrappers fail over and fail back against
+real units driven by real fault plans.
+"""
+
+import pytest
+
+from repro.deadlock.dau import DAU
+from repro.deadlock.ddu import DDU
+from repro.deadlock.pdda import pdda_detect
+from repro.errors import ConfigurationError
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    HealthState,
+    ResiliencePolicy,
+    ResilientAvoider,
+    ResilientDetector,
+    UnitHealth,
+    install_fault_plan,
+)
+from repro.faults.injector import force_cell
+from repro.framework.builder import build_system
+from repro.rag.graph import RAG
+from repro.rag.matrix import CellState, StateMatrix
+
+
+def _plan(*specs, name="p") -> FaultPlan:
+    return FaultPlan(name=name, specs=tuple(specs))
+
+
+class TestFaultPlan:
+    def test_json_round_trip_preserves_hash(self):
+        plan = _plan(
+            FaultSpec("ddu.matrix", "stuck", at=3, duration=4,
+                      params={"row": 1, "col": 2, "value": "g"}),
+            FaultSpec("bus.bus", "timeout", master="PE1",
+                      params={"extra_cycles": 32}),
+            name="round-trip")
+        back = FaultPlan.from_json(plan.to_json())
+        assert back == plan
+        assert back.plan_hash() == plan.plan_hash()
+
+    def test_hash_changes_with_any_field(self):
+        a = _plan(FaultSpec("ddu.hang", "hang", at=1))
+        b = _plan(FaultSpec("ddu.hang", "hang", at=2))
+        assert a.plan_hash() != b.plan_hash()
+
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown fault site"):
+            _plan(FaultSpec("fpu.pipeline", "hang")).validate()
+
+    def test_kind_must_match_site(self):
+        with pytest.raises(ConfigurationError, match="supports kinds"):
+            _plan(FaultSpec("ddu.matrix", "hang")).validate()
+
+    def test_bus_sites_match_by_prefix(self):
+        _plan(FaultSpec("bus.anything", "error")).validate()
+        with pytest.raises(ConfigurationError, match="supports kinds"):
+            _plan(FaultSpec("bus.anything", "stuck")).validate()
+
+    def test_schedule_bounds_validated(self):
+        with pytest.raises(ConfigurationError, match="at must be"):
+            FaultSpec("ddu.hang", "hang", at=-1).validate()
+        with pytest.raises(ConfigurationError, match="duration"):
+            FaultSpec("ddu.hang", "hang", duration=0).validate()
+        with pytest.raises(ConfigurationError, match="name"):
+            FaultPlan(name="").validate()
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(ConfigurationError, match="not JSON"):
+            FaultPlan.from_json("{nope")
+        with pytest.raises(ConfigurationError, match="malformed"):
+            FaultPlan.from_dict({"specs": []})
+
+    def test_sites_sorted_and_unique(self):
+        plan = _plan(FaultSpec("ddu.hang", "hang"),
+                     FaultSpec("bus.bus", "error"),
+                     FaultSpec("ddu.hang", "hang", at=5))
+        assert plan.sites() == ("bus.bus", "ddu.hang")
+
+
+class TestFaultInjector:
+    def test_visit_window(self):
+        injector = FaultInjector(_plan(
+            FaultSpec("ddu.hang", "hang", at=2, duration=2)))
+        hits = [bool(injector.fire("ddu.hang")) for _ in range(5)]
+        assert hits == [False, False, True, True, False]
+        assert [r.visit for r in injector.records] == [2, 3]
+
+    def test_master_filter_counts_per_key(self):
+        injector = FaultInjector(_plan(
+            FaultSpec("bus.bus", "error", at=1, master="M2")))
+        # M1 traffic never matches and never advances M2's counter.
+        assert not injector.fire("bus.bus", "M1")
+        assert not injector.fire("bus.bus", "M2")      # M2 visit 0
+        assert not injector.fire("bus.bus", "M1")
+        hit = injector.fire("bus.bus", "M2")           # M2 visit 1
+        assert hit and hit[0].kind == "error"
+        record = injector.records[0]
+        assert (record.site, record.key, record.visit) == ("bus.bus", "M2", 1)
+
+    def test_unplanned_sites_count_total_visits_only(self):
+        injector = FaultInjector(_plan(FaultSpec("ddu.hang", "hang")))
+        injector.fire("dau.hang")
+        injector.fire("dau.hang")
+        assert injector.visits == 2
+        assert injector.visits_of("dau.hang") == 0     # no specs there
+        injector.fire("ddu.hang")
+        assert injector.visits == 3
+        assert injector.visits_of("ddu.hang") == 1
+
+    def test_invalid_plan_rejected_at_construction(self):
+        with pytest.raises(ConfigurationError):
+            FaultInjector(_plan(FaultSpec("nope", "hang")))
+
+
+class TestForceCell:
+    def test_grant_upset_moves_the_grant(self):
+        matrix = StateMatrix(2, 3)
+        matrix.set_grant(0, 0)
+        force_cell(matrix, 0, 2, "g")
+        assert matrix.get(0, 0) is CellState.EMPTY
+        assert matrix.get(0, 2) is CellState.GRANT
+
+    def test_request_and_clear_upsets(self):
+        matrix = StateMatrix(2, 2)
+        matrix.set_grant(1, 1)
+        force_cell(matrix, 1, 1, "r")
+        assert matrix.get(1, 1) is CellState.REQUEST
+        force_cell(matrix, 1, 1, ".")
+        assert matrix.get(1, 1) is CellState.EMPTY
+
+
+class TestUnitHealth:
+    def test_fail_threshold_path(self):
+        health = UnitHealth("ddu", fail_threshold=3)
+        assert health.anomaly("x") is HealthState.SUSPECT
+        assert health.anomaly("x") is HealthState.SUSPECT
+        assert health.anomaly("x") is HealthState.FAILED
+        assert health.failed and health.anomalies == 3
+
+    def test_clean_checks_recover_a_suspect(self):
+        health = UnitHealth("ddu", fail_threshold=3, recover_after=2)
+        health.anomaly("blip")
+        assert health.clean() is HealthState.SUSPECT   # streak 1 of 2
+        assert health.clean() is HealthState.HEALTHY
+
+    def test_clean_resets_the_anomaly_streak(self):
+        health = UnitHealth("ddu", fail_threshold=2)
+        health.anomaly("x")
+        health.clean()
+        health.anomaly("x")                            # streak restarts
+        assert health.state is HealthState.SUSPECT
+
+    def test_recovery_must_be_earned(self):
+        health = UnitHealth("ddu", fail_threshold=1, recover_after=2)
+        health.anomaly("dead")
+        assert health.begin_recovery() is HealthState.RECOVERING
+        # One clean probe is not enough; an anomaly drops straight back.
+        health.clean("probe")
+        assert health.anomaly("probe") is HealthState.FAILED
+        health.begin_recovery()
+        health.clean("probe")
+        assert health.clean("probe") is HealthState.HEALTHY
+        states = [t.state for t in health.transitions]
+        assert states == [HealthState.SUSPECT, HealthState.FAILED,
+                          HealthState.RECOVERING, HealthState.FAILED,
+                          HealthState.RECOVERING, HealthState.HEALTHY]
+
+    def test_begin_recovery_requires_failed(self):
+        health = UnitHealth("ddu")
+        assert health.begin_recovery() is HealthState.HEALTHY
+
+
+def _storm_specs(duration):
+    """Stuck cells forming q1 -> p2 -> q2 -> p1 -> q1: the unit reports
+    deadlock on *every* state, so every cross-check disagrees."""
+    cells = [(0, 1, "g"), (1, 1, "r"), (1, 0, "g"), (0, 0, "r")]
+    return tuple(FaultSpec("ddu.matrix", "stuck", at=0, duration=duration,
+                           params={"row": r, "col": c, "value": v})
+                 for r, c, v in cells)
+
+
+class TestResilientDetector:
+    def test_storm_forces_failover_then_failback(self):
+        ddu = DDU(2, 2)
+        ddu.faults = FaultInjector(_plan(*_storm_specs(duration=2)))
+        detector = ResilientDetector(ddu, ResiliencePolicy(
+            sample_every=1, fail_threshold=2, recover_after=2,
+            scrub_after=2))
+        rag = RAG(("p1", "p2"), ("q1", "q2"))      # deadlock-free
+        verdicts = [detector.detect(rag) for _ in range(8)]
+        # Never a wrong answer, before, during or after the fault.
+        assert all(v.deadlock is False for v in verdicts)
+        assert detector.failovers == 1
+        assert detector.failbacks == 1
+        assert detector.mode == "hardware"
+        assert "anomaly:verdict" in detector.event_log
+        assert detector.health.state is HealthState.HEALTHY
+
+    def test_hang_exhausts_retries_then_fails_over(self):
+        ddu = DDU(2, 2)
+        ddu.faults = FaultInjector(_plan(
+            FaultSpec("ddu.hang", "hang", at=0, duration=3)))
+        detector = ResilientDetector(ddu, ResiliencePolicy(
+            max_retries=1, sample_every=1, fail_threshold=2,
+            recover_after=2, scrub_after=10 ** 9))
+        outcome = detector.detect(RAG(("p1",), ("q1",)))
+        assert outcome.deadlock is False and not outcome.hardware
+        assert detector.mode == "software"
+        assert outcome.events.count("anomaly:hang") == 2
+        assert "retry" in outcome.events and "failover" in outcome.events
+
+    def test_force_failover_and_scrub_failback(self):
+        detector = ResilientDetector(DDU(3, 3), ResiliencePolicy(
+            sample_every=1, fail_threshold=2, recover_after=2,
+            scrub_after=2))
+        detector.force_failover("operator")
+        assert detector.mode == "software"
+        rag = RAG(("p1", "p2", "p3"), ("q1", "q2", "q3"))
+        detector.detect(rag)                       # software run 1
+        outcome = detector.detect(rag)             # run 2 -> scrub
+        assert "scrub" in outcome.events and "failback" in outcome.events
+        assert detector.mode == "hardware"
+        assert detector.detect(rag).hardware
+
+
+class TestResilientAvoider:
+    def _avoider(self, **policy):
+        processes, resources = ("p1", "p2"), ("q1", "q2")
+        dau = DAU(processes, resources,
+                  {p: i + 1 for i, p in enumerate(processes)})
+        return ResilientAvoider(dau, ResiliencePolicy(**policy))
+
+    def test_healthy_path_crosschecks_and_stays_hardware(self):
+        avoider = self._avoider(sample_every=1)
+        ops = [("request", "p1", "q1"), ("request", "p2", "q2"),
+               ("release", "p1", "q1"), ("release", "p2", "q2")]
+        for op, process, resource in ops:
+            outcome = avoider.decide("PE1", op, process, resource)
+            assert outcome.hardware
+        assert avoider.crosschecks == len(ops)
+        assert avoider.health.state is HealthState.HEALTHY
+        assert avoider.twin is None
+
+    def test_force_failover_scrub_restores_unit_state(self):
+        avoider = self._avoider(sample_every=1, fail_threshold=2,
+                                recover_after=2, scrub_after=2)
+        avoider.decide("PE1", "request", "p1", "q1")
+        avoider.force_failover("operator")
+        assert avoider.twin is not None
+        assert avoider.active_core is avoider.twin
+        # Decisions keep flowing in software mode; the second one scrubs
+        # the (healthy) unit and fails back, copying state home.
+        avoider.decide("PE1", "request", "p2", "q2")
+        outcome = avoider.decide("PE1", "release", "p1", "q1")
+        assert "failback" in outcome.events
+        assert avoider.mode == "hardware" and avoider.twin is None
+        assert avoider.active_core is avoider.dau
+        assert avoider.dau.rag.holder_of("q2") == "p2"
+        assert avoider.dau.rag.holder_of("q1") is None
+        assert not pdda_detect(avoider.dau.rag).deadlock
+
+    def test_dropped_commands_fail_over_without_losing_state(self):
+        avoider = self._avoider(max_retries=1, sample_every=1,
+                                fail_threshold=2, recover_after=2,
+                                scrub_after=10 ** 9)
+        avoider.dau.faults = FaultInjector(_plan(
+            FaultSpec("dau.command", "drop", at=1, duration=10)))
+        first = avoider.decide("PE1", "request", "p1", "q1")
+        assert first.hardware
+        second = avoider.decide("PE1", "request", "p2", "q2")
+        assert not second.hardware
+        assert second.decision.action.value == "granted"
+        assert avoider.mode == "software"
+        assert "anomaly:command" in second.events
+        # Both grants live in the twin: nothing was lost in the handoff.
+        assert avoider.active_core.rag.holder_of("q1") == "p1"
+        assert avoider.active_core.rag.holder_of("q2") == "p2"
+
+
+class TestInstallFaultPlan:
+    def test_rtos2_wiring(self):
+        system = build_system("RTOS2")
+        plan = _plan(FaultSpec("ddu.hang", "hang", at=10 ** 6))
+        injector = install_fault_plan(system, plan, ResiliencePolicy())
+        assert system.fault_injector is injector
+        assert system.fault_plan is plan
+        assert system.soc.bus.faults is injector
+        assert system.resource_service.faults is injector
+        assert system.resource_service.ddu.faults is injector
+        assert system.resource_service.resilient is not None
+
+    def test_rtos1_has_no_unit_to_arm(self):
+        system = build_system("RTOS1")
+        injector = install_fault_plan(system, _plan(), ResiliencePolicy())
+        assert system.fault_injector is injector
+        assert system.resource_service.resilient is None
+
+    def test_rtos6_and_rtos7_units_get_the_injector(self):
+        for preset, attr in (("RTOS6", "lock_manager"), ("RTOS7", "heap")):
+            system = build_system(preset)
+            injector = install_fault_plan(system, _plan(),
+                                          ResiliencePolicy())
+            assert getattr(system, attr).faults is injector

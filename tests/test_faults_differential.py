@@ -1,0 +1,120 @@
+"""Differential oracle: degraded mode === hardware mode, verdict for verdict.
+
+Graceful degradation (RTOS2 -> RTOS1, RTOS4 -> RTOS3) is only admissible
+because the software fallback is *indistinguishable* from the healthy
+hardware path in everything the RTOS acts on: detection verdicts and
+avoidance decision streams.  This suite pins a force-failed-over
+:class:`ResilientDetector`/:class:`ResilientAvoider` against the healthy
+hardware path over the same seeded states and op streams the bitmatrix
+equivalence suite uses (seed root 42 — the CI determinism job's root).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.campaign.spec import derive_seed
+from repro.deadlock.dau import DAU
+from repro.deadlock.ddu import DDU
+from repro.deadlock.pdda import pdda_detect
+from repro.faults import ResiliencePolicy, ResilientAvoider, ResilientDetector
+from repro.rag.generate import random_state
+
+SEED_ROOT = 42
+SIZES = [(1, 1), (1, 4), (4, 1), (2, 3), (5, 5), (8, 5), (5, 8),
+         (16, 16), (33, 7)]
+
+#: No scrubbing: a forced-failed-over wrapper must stay in software mode
+#: for the whole differential run instead of re-qualifying the unit.
+PINNED = dict(sample_every=1, fail_threshold=2, recover_after=2,
+              scrub_after=10 ** 9)
+
+
+def _seed(tag: str) -> int:
+    return derive_seed(SEED_ROOT, tag)
+
+
+def _random_rags():
+    for m, n in SIZES:
+        for grant in (0.5, 0.9):
+            tag = f"faults-diff/{m}x{n}/g{grant}"
+            yield tag, random_state(
+                m, n, grant_fraction=grant, request_fraction=0.4,
+                rng=random.Random(_seed(tag)))
+
+
+@pytest.mark.parametrize("tag,rag", list(_random_rags()),
+                         ids=[tag for tag, _ in _random_rags()])
+def test_detection_fallback_matches_hardware(tag, rag):
+    m, n = rag.num_resources, rag.num_processes
+    hardware = ResilientDetector(DDU(m, n), ResiliencePolicy(**PINNED))
+    fallback = ResilientDetector(DDU(m, n), ResiliencePolicy(**PINNED))
+    fallback.force_failover("differential")
+    assert fallback.mode == "software"
+    hw = hardware.detect(rag)
+    sw = fallback.detect(rag)
+    assert hw.hardware and not sw.hardware
+    assert hw.deadlock == sw.deadlock == pdda_detect(rag).deadlock
+    assert fallback.mode == "software"    # no silent fail-back
+
+
+def test_detection_fallback_matches_over_mutation_stream():
+    from repro.campaign.checkers import _mutate_rag
+    from repro.rag.graph import RAG
+    rng = random.Random(_seed("faults-diff/stream"))
+    processes = tuple(f"p{t + 1}" for t in range(6))
+    resources = tuple(f"q{s + 1}" for s in range(5))
+    rag = RAG(processes, resources)
+    hardware = ResilientDetector(DDU(5, 6), ResiliencePolicy(**PINNED))
+    fallback = ResilientDetector(DDU(5, 6), ResiliencePolicy(**PINNED))
+    fallback.force_failover("differential")
+    for _ in range(120):
+        _mutate_rag(rag, rng)
+        hw = hardware.detect(rag)
+        sw = fallback.detect(rag)
+        assert hw.deadlock == sw.deadlock == pdda_detect(rag).deadlock
+    assert hardware.mode == "hardware"
+    assert fallback.mode == "software"
+
+
+def _decision_key(decision):
+    return (decision.action, decision.granted_to, decision.resource,
+            decision.livelock, tuple(sorted(decision.ask_release)))
+
+
+@pytest.mark.parametrize("m,n", [(2, 3), (4, 4), (5, 8), (8, 5)])
+def test_avoidance_fallback_matches_hardware(m, n):
+    """The same op stream through the DAU and through the RTOS3 twin
+    produces the same decision stream and the same RAG evolution."""
+    rng = random.Random(_seed(f"faults-diff/avoid/{m}x{n}"))
+    processes = tuple(f"p{t + 1}" for t in range(n))
+    resources = tuple(f"q{s + 1}" for s in range(m))
+    priorities = {p: i + 1 for i, p in enumerate(processes)}
+    hardware = ResilientAvoider(DAU(processes, resources, priorities),
+                                ResiliencePolicy(**PINNED))
+    fallback = ResilientAvoider(DAU(processes, resources, priorities),
+                                ResiliencePolicy(**PINNED))
+    fallback.force_failover("differential")
+    assert fallback.mode == "software"
+    for step in range(100):
+        rag = hardware.active_core.rag
+        ops = []
+        for p in processes:
+            held = set(rag.held_by(p))
+            pending = set(rag.requests_of(p))
+            ops.extend(("request", p, q) for q in resources
+                       if q not in held and q not in pending)
+            ops.extend(("release", p, q) for q in sorted(held))
+        if not ops:
+            break
+        op, process, resource = rng.choice(ops)
+        hw = hardware.decide("PE1", op, process, resource)
+        sw = fallback.decide("PE1", op, process, resource)
+        assert hw.hardware and not sw.hardware
+        assert _decision_key(hw.decision) == _decision_key(sw.decision), \
+            (step, op, process, resource)
+        assert hardware.active_core.rag == fallback.active_core.rag, step
+    assert hardware.mode == "hardware"
+    assert fallback.mode == "software"

@@ -83,3 +83,38 @@ def test_trace_csv_export(kernel, base_system):
     assert lines[0].startswith("time,actor,kind")
     assert any(",t,run_start" in line for line in lines)
     assert any(",t,finish" in line for line in lines)
+
+def test_kick_racing_stale_expiry_does_not_resurrect(kernel):
+    """A kick leaves the old deadline event queued; when that stale
+    event fires it must be ignored (generation check), not kill the
+    freshly-kicked watch."""
+    watchdog = Watchdog(kernel)
+    watch_id = watchdog.arm("race", 1000)
+    # Kick one cycle before the first deadline: the event scheduled for
+    # t=1000 still carries generation 0 and must be a no-op.
+    kernel.engine.schedule(999, watchdog.kick, watch_id)
+    kernel.run(until=1500)
+    assert watchdog.is_active(watch_id)
+    assert watchdog.miss_count == 0
+    assert kernel.trace.count("deadline_missed") == 0
+    kernel.run(until=2100)               # the kicked deadline (t=1999)
+    assert watchdog.miss_count == 1
+    assert watchdog.timeouts[0].deadline == 1999
+
+
+def test_kick_after_fire_does_not_resurrect(kernel):
+    """Kicking a watch whose generation already fired is rejected and
+    must not schedule a new expiry for the dead watch."""
+    watchdog = Watchdog(kernel)
+    watch_id = watchdog.arm("late", 100)
+
+    def body(ctx):
+        yield from ctx.compute(200)          # miss recorded at t=100
+        with pytest.raises(RTOSError):
+            watchdog.kick(watch_id)
+        yield from ctx.compute(1000)         # nothing else may fire
+
+    kernel.create_task(body, "t", 1, "PE1")
+    kernel.run()
+    assert watchdog.miss_count == 1
+    assert not watchdog.is_active(watch_id)
