@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""Kill-and-resume soak harness for campaign crash consistency.
+
+Runs a campaign to completion once (the reference), then runs it again
+and SIGKILLs the whole runner process group mid-campaign — watching
+the write-ahead journal and pulling the trigger once enough scenario
+records have landed, so the kill provably interrupts a half-done run.
+After each kill the run is continued with ``campaign resume``; the
+next kill interrupts the *resume*.  After the final resume completes,
+the crashed-and-resumed run's result digest must equal the clean
+run's.
+
+Usage::
+
+    python scripts/chaos_kill_resume.py --out /tmp/chaos \\
+        --builtin faults --seed-root 42 --workers 4 --kills 2
+
+Exit codes: 0 digests equal; 1 mismatch or a step failed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+sys.path.insert(0, str(SRC))
+
+from repro.campaign.journal import JOURNAL_NAME  # noqa: E402
+from repro.campaign.store import load_results, results_digest  # noqa: E402
+
+
+def _cli(*argv: str) -> list:
+    return [sys.executable, "-m", "repro.campaign", *argv]
+
+
+def _env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def _journal_records(run_dir: Path) -> int:
+    """Completed-record lines currently in the journal (0 if absent)."""
+    journal = run_dir / JOURNAL_NAME
+    try:
+        text = journal.read_text(encoding="utf-8")
+    except FileNotFoundError:
+        return 0
+    return sum(1 for line in text.splitlines()
+               if line.startswith('{"record"') or '"type":"result"' in line)
+
+
+def run_to_completion(argv: list) -> int:
+    process = subprocess.run(argv, env=_env(), cwd=REPO)
+    return process.returncode
+
+
+def run_and_kill(argv: list, run_dir: Path, trigger: int,
+                 timeout: float) -> bool:
+    """Start the runner in its own process group; SIGKILL the group
+    once the journal holds ``trigger`` records.  Returns True when the
+    kill landed mid-run (False: the run finished first)."""
+    process = subprocess.Popen(argv, env=_env(), cwd=REPO,
+                               start_new_session=True,
+                               stdout=subprocess.DEVNULL,
+                               stderr=subprocess.DEVNULL)
+    deadline = time.time() + timeout
+    try:
+        while time.time() < deadline:
+            if process.poll() is not None:
+                return False              # finished before the trigger
+            if _journal_records(run_dir) >= trigger:
+                # Kill the whole group: runner AND its shard workers
+                # die instantly, mid-scenario, with no unwinding.
+                os.killpg(process.pid, signal.SIGKILL)
+                process.wait(timeout=30)
+                return True
+            time.sleep(0.002)
+    finally:
+        if process.poll() is None:
+            os.killpg(process.pid, signal.SIGKILL)
+            process.wait(timeout=30)
+    return True
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", required=True,
+                        help="scratch directory for both runs")
+    parser.add_argument("--builtin", default="faults")
+    parser.add_argument("--seed-root", default="42")
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--kills", type=int, default=2,
+                        help="SIGKILLs to deliver before the final "
+                             "resume (default: 2)")
+    parser.add_argument("--trigger", type=int, default=3,
+                        help="journaled records that arm each kill "
+                             "(default: 3)")
+    parser.add_argument("--timeout", type=float, default=600.0)
+    args = parser.parse_args()
+
+    out = Path(args.out)
+    clean_dir = out / "clean"
+    crashed_dir = out / "crashed"
+    common = ["--builtin", args.builtin, "--seed-root", args.seed_root,
+              "--workers", str(args.workers)]
+
+    print(f"[1/4] clean run -> {clean_dir}")
+    if run_to_completion(_cli("run", *common, "--out", str(clean_dir))):
+        print("clean run failed", file=sys.stderr)
+        return 1
+    clean_digest = results_digest(load_results(clean_dir))
+    print(f"      clean digest {clean_digest}")
+
+    print(f"[2/4] crash run -> {crashed_dir} ({args.kills} kill(s))")
+    interrupted = run_and_kill(
+        _cli("run", *common, "--out", str(crashed_dir)),
+        crashed_dir, args.trigger, args.timeout)
+    kills = 1
+    print(f"      kill #1 {'landed mid-run' if interrupted else 'missed (run finished)'} "
+          f"with {_journal_records(crashed_dir)} record(s) journaled")
+    while kills < args.kills and interrupted:
+        trigger = _journal_records(crashed_dir) + args.trigger
+        interrupted = run_and_kill(
+            _cli("resume", str(crashed_dir)), crashed_dir, trigger,
+            args.timeout)
+        kills += 1
+        print(f"      kill #{kills} "
+              f"{'landed mid-resume' if interrupted else 'missed (resume finished)'} "
+              f"with {_journal_records(crashed_dir)} record(s) journaled")
+
+    print("[3/4] final resume to completion")
+    status = run_to_completion(_cli("resume", str(crashed_dir)))
+    if status not in (0, 1):          # 1 = scenario failures, still diffable
+        print(f"resume failed with exit {status}", file=sys.stderr)
+        return 1
+
+    print("[4/4] digest comparison")
+    crashed_digest = results_digest(load_results(crashed_dir))
+    print(f"      clean   {clean_digest}")
+    print(f"      resumed {crashed_digest}")
+    if crashed_digest != clean_digest:
+        print("DIGEST MISMATCH: resumed run is not equivalent to an "
+              "uninterrupted run", file=sys.stderr)
+        return 1
+    print("kill-and-resume determinism holds")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -5,8 +5,8 @@
 #
 # Any ruff finding or test failure makes the script exit non-zero.
 # Set CHECK_BENCH=1 to also run the benchmark guards (observability
-# overhead + fault-hook overhead + matrix-kernel throughput — what
-# CI's benchmark job does).
+# overhead + fault-hook overhead + matrix-kernel throughput +
+# checkpoint overhead — what CI's benchmark job does).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -31,4 +31,6 @@ if [[ "${CHECK_BENCH:-0}" == "1" ]]; then
     PYTHONPATH=src python -m pytest -q benchmarks/test_bench_fault_overhead.py
     echo "== matrix kernel guard =="
     PYTHONPATH=src python -m pytest -q benchmarks/test_bench_matrix_kernels.py
+    echo "== checkpoint overhead guard =="
+    PYTHONPATH=src python -m pytest -q benchmarks/test_bench_checkpoint.py
 fi

@@ -1,4 +1,4 @@
-"""The campaign CLI: run, replay, diff.
+"""The campaign CLI: run, resume, replay, diff.
 
 Usage::
 
@@ -7,9 +7,16 @@ Usage::
         --workers 4 --seed-root 42 --out runs/claims-a
     python -m repro.campaign run --spec my_campaign.json \\
         --timeout 30 --baseline runs/claims-a --out runs/claims-b
+    python -m repro.campaign resume runs/claims-a         # after a crash
     python -m repro.campaign replay runs/claims-a pdda-oracle/00017
     python -m repro.campaign diff runs/claims-a runs/claims-b
     python -m repro.campaign list
+
+``run --out DIR`` keeps a write-ahead journal in DIR; if the runner is
+killed mid-campaign (even ``kill -9``), ``resume DIR`` skips every
+journaled-complete scenario, restores in-flight checkpoint-aware
+scenarios from their last mid-scenario checkpoint, and produces the
+same result digest as an uninterrupted run.
 
 Exit codes: 0 clean; 1 scenario failures, replay mismatch, or
 regressions against the baseline; 2 usage errors.
@@ -23,6 +30,7 @@ from pathlib import Path
 
 from repro.campaign.checkers import CHECKERS, GENERATORS
 from repro.campaign.diff import diff_manifests
+from repro.campaign.journal import RunJournal, journal_header
 from repro.campaign.presets import BUILTIN_CAMPAIGNS, builtin_campaign
 from repro.campaign.runner import CampaignRunner, replay_scenario
 from repro.campaign.spec import CampaignSpec
@@ -42,11 +50,27 @@ def _cmd_run(args: argparse.Namespace) -> int:
     observing = args.metrics or args.trace_out
     obs = Observability(label=f"campaign:{spec.name}",
                         enabled=bool(observing))
+    journal = None
+    checkpoint_dir = None
+    if args.out:
+        # A run with an output directory is crash-consistent: the
+        # journal header lands before the first scenario runs, and
+        # every record is fsync'd as it arrives — `resume` picks up
+        # from wherever a killed run stopped.
+        journal = RunJournal.create(args.out, journal_header(
+            spec.to_dict(), spec.spec_hash(), args.seed_root,
+            args.workers, args.timeout, args.retries))
+        checkpoint_dir = str(Path(args.out) / "checkpoints")
     runner = CampaignRunner(
         spec, seed_root=args.seed_root, workers=args.workers,
         task_timeout=args.timeout, retries=args.retries,
-        backoff=args.backoff, obs=obs)
-    run = runner.run()
+        backoff=args.backoff, obs=obs, journal=journal,
+        checkpoint_dir=checkpoint_dir)
+    try:
+        run = runner.run()
+    finally:
+        if journal is not None:
+            journal.close()
     print(run.render_summary())
     print(f"result digest: {results_digest(run.results)}")
     if args.out:
@@ -69,6 +93,36 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if diff.has_regressions:
             status = 1
     return status
+
+
+def _cmd_resume(args: argparse.Namespace) -> int:
+    """Finish a killed run: skip journaled scenarios, run the rest."""
+    directory = Path(args.run_dir)
+    header, completed = RunJournal.load(directory)
+    spec = CampaignSpec.from_dict(header["spec"])
+    if header.get("spec_hash") != spec.spec_hash():
+        print("error: journal spec_hash does not match its spec",
+              file=sys.stderr)
+        return 2
+    workers = args.workers if args.workers else int(header["workers"])
+    journal = RunJournal.append_to(directory)
+    runner = CampaignRunner(
+        spec, seed_root=header["seed_root"], workers=workers,
+        task_timeout=header.get("task_timeout"),
+        retries=int(header.get("retries", 1)), journal=journal,
+        checkpoint_dir=str(directory / "checkpoints"))
+    try:
+        run = runner.run(completed=completed)
+    finally:
+        journal.close()
+    print(f"resumed {spec.name!r}: {len(completed)} scenario(s) "
+          f"journaled complete, {len(run.results) - len(completed)} "
+          "re-run")
+    print(run.render_summary())
+    print(f"result digest: {results_digest(run.results)}")
+    results_path, manifest_path = write_run(directory, run)
+    print(f"wrote {results_path} and {manifest_path}")
+    return 1 if run.failures else 0
 
 
 def _cmd_replay(args: argparse.Namespace) -> int:
@@ -165,6 +219,15 @@ def main(argv=None) -> int:
                             help="write a merged Perfetto trace of all "
                                  "workers")
     run_parser.set_defaults(fn=_cmd_run)
+
+    resume_parser = sub.add_parser(
+        "resume", help="finish a killed run from its journal")
+    resume_parser.add_argument("run_dir",
+                               help="run directory with journal.jsonl")
+    resume_parser.add_argument("--workers", type=int, default=0,
+                               help="override the journaled worker "
+                                    "count (default: as journaled)")
+    resume_parser.set_defaults(fn=_cmd_resume)
 
     replay_parser = sub.add_parser(
         "replay", help="re-execute one scenario from a manifest")

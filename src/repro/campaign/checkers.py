@@ -623,15 +623,36 @@ def _mutate_rag(rag, rng: random.Random) -> None:
         rag.add_request(p, q)
 
 
+def _rng_state_payload(rng: random.Random) -> list:
+    """``random.Random.getstate()`` as a JSON-safe value."""
+    version, internal, gauss_next = rng.getstate()
+    return [version, list(internal), gauss_next]
+
+
+def _restore_rng(rng: random.Random, payload) -> None:
+    version, internal, gauss_next = payload
+    rng.setstate((version, tuple(internal), gauss_next))
+
+
 @checker("faults.detection-verdicts")
 def _check_fault_detection(census, params: Mapping[str, Any],
-                           rng: random.Random) -> CheckOutcome:
+                           rng: random.Random,
+                           checkpoint=None) -> CheckOutcome:
     """Injected DDU faults cost latency, never a wrong verdict.
 
     Drives a mutating RAG through a :class:`ResilientDetector` whose
     DDU hosts the scenario's fault model; the published verdict must
     match the software PDDA oracle on *every* invocation — before,
     during and after failover/fail-back.
+
+    Checkpoint-aware: with a :class:`ScenarioCheckpoint` (see
+    ``execute_scenario``), the full mid-scenario state — RAG, detector
+    (including its DDU and health FSM), fault injector visit counters,
+    and the scenario RNG — is saved every ``checkpoint_every`` events;
+    a crashed worker's retry restores it and finishes with *exactly*
+    the outcome of an uninterrupted run, fault history included.  The
+    ``crash_at_step`` chaos param hard-kills the worker at that event
+    on the first attempt only (a restored run never re-crashes).
     """
     from repro.faults import (
         FaultInjector,
@@ -641,20 +662,34 @@ def _check_fault_detection(census, params: Mapping[str, Any],
     )
     from repro.rag.graph import RAG
     processes, resources, priorities = census
-    rag = RAG(processes, resources)
     model = str(params.get("model", "cycle-storm"))
-    ddu = DDU(len(resources), len(processes),
-              backend=params.get("backend"))
-    injector = FaultInjector(FaultPlan(
-        name=f"detect-{model}",
-        specs=_fault_specs(model, params, rng,
-                           len(resources), len(processes))))
-    ddu.faults = injector
-    detector = ResilientDetector(ddu, ResiliencePolicy(
-        max_retries=1, sample_every=1, fail_threshold=2,
-        recover_after=2, scrub_after=3))
     events = int(params.get("events", 60))
-    for step in range(events):
+    crash_at = params.get("crash_at_step")
+    saved = checkpoint.load() if checkpoint is not None else None
+    if saved is not None:
+        rag = RAG.restore_state(saved["rag"])
+        detector = ResilientDetector.restore_state(saved["detector"])
+        injector = FaultInjector.restore_state(saved["injector"])
+        detector.ddu.faults = injector
+        _restore_rng(rng, saved["rng"])
+        start_step = int(saved["step"])
+    else:
+        rag = RAG(processes, resources)
+        ddu = DDU(len(resources), len(processes),
+                  backend=params.get("backend"))
+        injector = FaultInjector(FaultPlan(
+            name=f"detect-{model}",
+            specs=_fault_specs(model, params, rng,
+                               len(resources), len(processes))))
+        ddu.faults = injector
+        detector = ResilientDetector(ddu, ResiliencePolicy(
+            max_retries=1, sample_every=1, fail_threshold=2,
+            recover_after=2, scrub_after=3))
+        start_step = 0
+    for step in range(start_step, events):
+        if (crash_at is not None and saved is None
+                and step == int(crash_at)):
+            os._exit(81)
         _mutate_rag(rag, rng)
         outcome = detector.detect(rag)
         oracle = pdda_detect(rag).deadlock
@@ -663,6 +698,14 @@ def _check_fault_detection(census, params: Mapping[str, Any],
                 f"published verdict {outcome.deadlock} != oracle "
                 f"{oracle} at step {step} (mode={detector.mode})",
                 steps=step)
+        if checkpoint is not None and checkpoint.due(step + 1):
+            checkpoint.save({
+                "step": step + 1,
+                "rng": _rng_state_payload(rng),
+                "rag": rag.snapshot_state(),
+                "detector": detector.snapshot_state(),
+                "injector": injector.snapshot_state(),
+            })
     if not injector.records:
         return _failed(f"fault model {model!r} never fired")
     return _passed(
@@ -671,6 +714,10 @@ def _check_fault_detection(census, params: Mapping[str, Any],
                 f"{detector.failovers} failovers, "
                 f"{detector.failbacks} failbacks, "
                 f"mode={detector.mode}"))
+
+
+#: Opt in to mid-scenario checkpointing (see ``execute_scenario``).
+_check_fault_detection.accepts_checkpoint = True
 
 
 @checker("faults.avoidance-verdicts")

@@ -1,0 +1,170 @@
+"""The write-ahead scenario journal (crash-consistent campaign runs).
+
+A run directory with a journal survives losing the whole runner —
+``kill -9`` of the parent, power loss, a cluster preemption — without
+losing any *reported* scenario.  The journal is one append-only JSONL
+file:
+
+* line 1 is the ``run_start`` header: the full campaign spec, its
+  hash, the seed root and the runner knobs — everything ``resume``
+  needs to rebuild the exact same scenario expansion;
+* every following line is one completed scenario record, appended (and
+  fsync'd) by the **parent** runner the moment the record arrives from
+  a worker.  Workers never touch the journal, so there is exactly one
+  writer and no locking.
+
+Because each line is written with ``flush`` + ``fsync`` before the
+runner proceeds, a crash can lose at most the line being written — and
+a torn trailing line is detected and dropped on load.  ``campaign
+resume <run>`` then skips every journaled-complete scenario and
+re-runs only the rest; the result digest is identical to an
+uninterrupted run because verdicts depend only on the spec and the
+seed root (see :mod:`repro.campaign.runner`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Mapping, Optional, Union
+
+from repro.errors import ConfigurationError
+
+JOURNAL_NAME = "journal.jsonl"
+
+#: Header fields `resume` needs to reconstruct the run.
+HEADER_KEYS = ("spec", "spec_hash", "seed_root", "workers",
+               "task_timeout", "retries")
+
+
+def _canonical_line(data: Mapping[str, Any]) -> str:
+    return json.dumps(data, sort_keys=True, separators=(",", ":")) + "\n"
+
+
+class RunJournal:
+    """Single-writer, append-only journal for one campaign run."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._handle = None
+
+    # -- writing -------------------------------------------------------------
+
+    @classmethod
+    def create(cls, directory: Union[str, Path],
+               header: Mapping[str, Any]) -> "RunJournal":
+        """Start a fresh journal, truncating any previous one.
+
+        The header line is durable (fsync'd) before this returns, so a
+        crash at any later point leaves a resumable run directory.
+        """
+        for key in HEADER_KEYS:
+            if key not in header:
+                raise ConfigurationError(
+                    f"journal header is missing {key!r}")
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        journal = cls(directory / JOURNAL_NAME)
+        journal._handle = open(journal.path, "w", encoding="utf-8")
+        journal._append({"type": "run_start", **dict(header)})
+        return journal
+
+    @classmethod
+    def append_to(cls, directory: Union[str, Path]) -> "RunJournal":
+        """Re-open an existing journal for appending (the resume path)."""
+        journal = cls(Path(directory) / JOURNAL_NAME)
+        if not journal.path.exists():
+            raise ConfigurationError(f"no journal at {journal.path}")
+        journal._handle = open(journal.path, "a", encoding="utf-8")
+        return journal
+
+    def append_result(self, record: Mapping[str, Any]) -> None:
+        """Journal one completed scenario record, durably."""
+        self._append({"type": "result", "record": dict(record)})
+
+    def _append(self, data: Mapping[str, Any]) -> None:
+        if self._handle is None:
+            raise ConfigurationError("journal is not open for writing")
+        self._handle.write(_canonical_line(data))
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- reading -------------------------------------------------------------
+
+    @staticmethod
+    def load(directory: Union[str, Path]) -> tuple[dict, dict]:
+        """Read a journal back as ``(header, {scenario_id: record})``.
+
+        A torn trailing line (the write the crash interrupted) is
+        dropped; a torn line *before* valid lines means real corruption
+        and raises.  Duplicate records for one scenario keep the last —
+        a resume that crashed may legitimately re-journal a scenario.
+        """
+        path = Path(directory)
+        if path.is_dir():
+            path = path / JOURNAL_NAME
+        try:
+            text = path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            raise ConfigurationError(f"no journal at {path}") from None
+        header: Optional[dict] = None
+        records: dict = {}
+        lines = text.splitlines()
+        for number, line in enumerate(lines, start=1):
+            if not line.strip():
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError as exc:
+                if number == len(lines):
+                    break          # torn final line: the crash point
+                raise ConfigurationError(
+                    f"{path}:{number} is corrupt mid-journal: "
+                    f"{exc}") from exc
+            kind = entry.get("type")
+            if kind == "run_start":
+                if header is not None:
+                    raise ConfigurationError(
+                        f"{path}:{number} has a second run_start header")
+                header = entry
+            elif kind == "result":
+                record = entry.get("record", {})
+                scenario_id = record.get("scenario_id")
+                if not scenario_id:
+                    raise ConfigurationError(
+                        f"{path}:{number} result has no scenario_id")
+                records[scenario_id] = record
+            else:
+                raise ConfigurationError(
+                    f"{path}:{number} has unknown entry type {kind!r}")
+        if header is None:
+            raise ConfigurationError(
+                f"{path} has no run_start header; not a campaign journal")
+        return header, records
+
+
+def journal_header(spec_dict: Mapping[str, Any], spec_hash: str,
+                   seed_root: Union[int, str], workers: int,
+                   task_timeout: Optional[float],
+                   retries: int) -> dict:
+    """Build the ``run_start`` header for :meth:`RunJournal.create`."""
+    return {
+        "spec": dict(spec_dict),
+        "spec_hash": spec_hash,
+        "seed_root": seed_root,
+        "workers": workers,
+        "task_timeout": task_timeout,
+        "retries": retries,
+    }

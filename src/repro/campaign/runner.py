@@ -49,6 +49,13 @@ from repro.obs import Observability
 #: reproducibility.
 TIMING_FIELDS = ("duration", "start", "shard", "attempts")
 
+#: True when the platform has per-process interval timers.  Windows has
+#: neither ``SIGALRM`` nor ``setitimer``; there the per-task timeout
+#: degrades to a documented no-op — scenarios run unguarded, while
+#: worker-crash isolation and retry still apply — instead of an
+#: ``AttributeError`` inside every worker.
+HAS_SIGALRM = hasattr(signal, "SIGALRM") and hasattr(signal, "setitimer")
+
 #: Verdicts that count as scenario failures.
 FAILURE_VERDICTS = ("fail", "error", "timeout", "crash")
 
@@ -111,20 +118,44 @@ def _alarm_handler(signum, frame):  # pragma: no cover - fires in workers
     raise _ScenarioTimeout()
 
 
-def execute_scenario(scenario: Scenario) -> ScenarioResult:
+def execute_scenario(scenario: Scenario,
+                     checkpoint_dir: Optional[str] = None
+                     ) -> ScenarioResult:
     """Run one scenario in-process (the worker and replay path).
 
     Builds the scenario's private RNG from its derived seed, runs
     generator then checker, and maps any :class:`ReproError` (or other
     exception) to an ``"error"`` verdict — a checker bug must not take
     down a shard.
+
+    When ``checkpoint_dir`` is set and the checker opted in (an
+    ``accepts_checkpoint`` attribute), the checker is handed a
+    :class:`~repro.checkpoint.scenario.ScenarioCheckpoint` so it can
+    save mid-scenario state at its cadence and restore after a crash;
+    the checkpoint file is cleared once the scenario completes.
     """
     generate = lookup("generator", scenario.generator)
     check = lookup("checker", scenario.checker)
     rng = random.Random(scenario.seed)
+    checkpoint = None
+    if checkpoint_dir and getattr(check, "accepts_checkpoint", False):
+        from repro.checkpoint.scenario import (
+            DEFAULT_CADENCE,
+            ScenarioCheckpoint,
+        )
+        checkpoint = ScenarioCheckpoint(
+            checkpoint_dir, scenario.scenario_id,
+            cadence=int(scenario.params.get("checkpoint_every",
+                                            DEFAULT_CADENCE)))
     try:
         subject = generate(dict(scenario.params), rng)
-        outcome = check(subject, dict(scenario.params), rng)
+        if checkpoint is not None:
+            outcome = check(subject, dict(scenario.params), rng,
+                            checkpoint=checkpoint)
+        else:
+            outcome = check(subject, dict(scenario.params), rng)
+        if checkpoint is not None:
+            checkpoint.clear()
         verdict, ok = outcome.verdict, outcome.ok
         steps, cycles, detail = (outcome.steps, outcome.cycles,
                                  outcome.detail)
@@ -145,14 +176,18 @@ def execute_scenario(scenario: Scenario) -> ScenarioResult:
         steps=steps, cycles=cycles, detail=detail)
 
 
-def _run_with_timeout(scenario: Scenario,
-                      timeout: Optional[float]) -> ScenarioResult:
-    if timeout is None:
-        return execute_scenario(scenario)
+def _run_with_timeout(scenario: Scenario, timeout: Optional[float],
+                      checkpoint_dir: Optional[str] = None
+                      ) -> ScenarioResult:
+    if timeout is None or not HAS_SIGALRM:
+        # No-timeout fallback: without SIGALRM/setitimer (Windows) a
+        # hung scenario is only bounded by the operator; crash
+        # isolation and retry are unaffected.
+        return execute_scenario(scenario, checkpoint_dir=checkpoint_dir)
     signal.signal(signal.SIGALRM, _alarm_handler)
     signal.setitimer(signal.ITIMER_REAL, timeout)
     try:
-        return execute_scenario(scenario)
+        return execute_scenario(scenario, checkpoint_dir=checkpoint_dir)
     except _ScenarioTimeout:
         return ScenarioResult(
             scenario_id=scenario.scenario_id, seed=scenario.seed,
@@ -170,7 +205,8 @@ def _sigterm_handler(signum, frame):
 
 
 def _worker_main(shard: int, scenarios: list, timeout: Optional[float],
-                 out_queue, epoch: float) -> None:
+                 out_queue, epoch: float,
+                 checkpoint_dir: Optional[str] = None) -> None:
     """One shard: run scenarios serially, stream records, then a
     sentinel.  Runs in a child process.
 
@@ -186,7 +222,8 @@ def _worker_main(shard: int, scenarios: list, timeout: Optional[float],
             scenario = Scenario.from_dict(data)
             current = scenario.scenario_id
             started = time.time()
-            result = _run_with_timeout(scenario, timeout)
+            result = _run_with_timeout(scenario, timeout,
+                                       checkpoint_dir=checkpoint_dir)
             result.duration = time.time() - started
             result.start = started - epoch
             result.shard = shard
@@ -304,7 +341,9 @@ class CampaignRunner:
                  task_timeout: Optional[float] = None,
                  retries: int = 1,
                  backoff: float = 0.05,
-                 obs: Optional[Observability] = None) -> None:
+                 obs: Optional[Observability] = None,
+                 journal: Optional[Any] = None,
+                 checkpoint_dir: Optional[str] = None) -> None:
         if workers < 1:
             raise ReproError("need at least one worker")
         if retries < 0:
@@ -316,6 +355,13 @@ class CampaignRunner:
         self.task_timeout = task_timeout
         self.retries = retries
         self.backoff = backoff
+        #: Optional :class:`~repro.campaign.journal.RunJournal`; when
+        #: set, every completed record is journaled (fsync'd) by the
+        #: parent before the run proceeds.
+        self.journal = journal
+        #: Directory for checkpoint-aware checkers' mid-scenario
+        #: snapshots (usually ``<run>/checkpoints``).
+        self.checkpoint_dir = checkpoint_dir
         self.obs = obs if obs is not None else Observability(
             label=f"campaign:{spec.name}", enabled=False)
         metrics = self.obs.metrics
@@ -331,27 +377,51 @@ class CampaignRunner:
             "campaign.worker_losses",
             "workers lost to interrupt/SIGTERM")
         self._worker_losses: list = []
+        self._m_journaled = metrics.counter(
+            "checkpoint.journal_records",
+            "scenario records made durable in the run journal")
+        self._m_resume_skipped = metrics.counter(
+            "checkpoint.resume_skipped",
+            "scenarios skipped on resume (already journaled complete)")
         self._m_duration = metrics.histogram(
             "campaign.scenario_seconds", "wall seconds per scenario",
             bounds=(0.001, 0.005, 0.02, 0.05, 0.1, 0.5, 1, 5, 30))
 
     # -- public entry --------------------------------------------------------
 
-    def run(self) -> CampaignRun:
+    def run(self, completed: Optional[Mapping[str, Any]] = None
+            ) -> CampaignRun:
+        """Run the campaign; ``completed`` (the resume path) maps
+        scenario ids to already-journaled records to skip."""
         scenarios = self.spec.expand(self.seed_root)
         for scenario in scenarios:   # fail fast on unknown names
             lookup("generator", scenario.generator)
             lookup("checker", scenario.checker)
+        records: dict = {}
+        if completed:
+            known = {s.scenario_id for s in scenarios}
+            for scenario_id, record in completed.items():
+                if scenario_id not in known:
+                    raise ReproError(
+                        f"journaled scenario {scenario_id!r} is not in "
+                        "this campaign — spec mismatch on resume")
+                records[scenario_id] = dict(record)
+                self._m_resume_skipped.inc()
+        pending = [s for s in scenarios if s.scenario_id not in records]
         shard_map = {scenario.scenario_id: index % self.workers
-                     for index, scenario in enumerate(scenarios)}
+                     for index, scenario in enumerate(pending)}
         epoch = time.time()
         self._worker_losses: list = []
-        records = self._run_sharded(scenarios, shard_map, epoch)
-        missing = [scenario for scenario in scenarios
+        records.update(self._run_sharded(pending, shard_map, epoch))
+        missing = [scenario for scenario in pending
                    if scenario.scenario_id not in records]
         for scenario in missing:
-            records[scenario.scenario_id] = self._retry_scenario(
+            record = self._retry_scenario(
                 scenario, shard_map[scenario.scenario_id], epoch)
+            self._journal_record(record)
+            records[scenario.scenario_id] = record
+        for scenario_id, record in records.items():
+            shard_map.setdefault(scenario_id, record.get("shard", 0))
         results = [ScenarioResult.from_record(records[s.scenario_id])
                    for s in sorted(scenarios,
                                    key=lambda s: s.scenario_id)]
@@ -380,7 +450,8 @@ class CampaignRunner:
         for shard, work in shards.items():
             process = ctx.Process(
                 target=_worker_main,
-                args=(shard, work, self.task_timeout, out_queue, epoch),
+                args=(shard, work, self.task_timeout, out_queue, epoch,
+                      self.checkpoint_dir),
                 daemon=True)
             process.start()
             processes.append(process)
@@ -410,6 +481,7 @@ class CampaignRunner:
                             self._note_loss(payload)
                             open_shards.discard(payload["shard"])
                         else:
+                            self._journal_record(payload)
                             records[payload["scenario_id"]] = payload
                     open_shards -= dead
                 continue
@@ -422,6 +494,7 @@ class CampaignRunner:
                 self._note_loss(payload)
                 open_shards.discard(payload["shard"])
             else:
+                self._journal_record(payload)
                 records[payload["scenario_id"]] = payload
         for process in processes:
             process.join(timeout=1.0)
@@ -442,7 +515,7 @@ class CampaignRunner:
             process = ctx.Process(
                 target=_worker_main,
                 args=(shard, [scenario.to_dict()], self.task_timeout,
-                      retry_queue, epoch),
+                      retry_queue, epoch, self.checkpoint_dir),
                 daemon=True)
             process.start()
             record = None
@@ -473,6 +546,13 @@ class CampaignRunner:
     def _note_loss(self, payload: Mapping[str, Any]) -> None:
         self._worker_losses.append(dict(payload))
         self._m_losses.inc()
+
+    def _journal_record(self, record: Mapping[str, Any]) -> None:
+        """Make one record durable before the run proceeds (WAL)."""
+        if self.journal is None:
+            return
+        self.journal.append_result(record)
+        self._m_journaled.inc()
 
     # -- observability -------------------------------------------------------
 

@@ -1,0 +1,170 @@
+"""The versioned snapshot envelope shared by every stateful layer.
+
+A snapshot is a plain JSON-safe dict with a fixed shape::
+
+    {
+        "schema": "repro.checkpoint/1",
+        "schema_version": 1,
+        "kind": "deadlock.ddu",
+        "state": {...},            # layer-specific, JSON-safe
+        "state_hash": "<sha256>",  # over the canonical JSON of "state"
+    }
+
+``state_hash`` is a sha256 over the *canonical* JSON encoding of the
+``state`` payload (sorted keys, no whitespace) — the same convention the
+campaign store uses for ``spec_hash`` and ``results_digest``, so two
+snapshots are byte-comparable iff they describe the same state.  The
+``kind`` deliberately sits outside the hashed payload: a
+:class:`~repro.rag.bitmatrix.BitMatrix` and the
+:class:`~repro.rag.matrix.StateMatrix` it mirrors emit *identical*
+payloads and therefore identical hashes, which is what makes
+backend-conversion invariance checkable.
+
+Versioning/compat rules (documented in ``docs/checkpoint.md``):
+
+* ``schema_version`` is bumped whenever any layer's payload shape
+  changes incompatibly.  Readers accept any version ``<=`` their own
+  (older payloads must be upgraded in ``open_envelope`` call sites) and
+  refuse newer ones with :class:`~repro.errors.CheckpointError`.
+* Unknown *extra* keys inside ``state`` are an error — they would change
+  the hash — so forward-compatible additions require a version bump.
+
+File I/O is crash-consistent: :func:`write_snapshot` writes to a
+temporary sibling, fsyncs, then atomically renames, so a reader never
+observes a half-written snapshot (a SIGKILL mid-write leaves either the
+old file or nothing).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Optional
+
+from repro.errors import CheckpointError
+
+#: Bump on any incompatible payload-shape change.
+SCHEMA_VERSION = 1
+
+#: The schema tag embedded in every envelope.
+SCHEMA = f"repro.checkpoint/{SCHEMA_VERSION}"
+
+_ENVELOPE_KEYS = ("schema", "schema_version", "kind", "state", "state_hash")
+
+
+def canonical_json(payload: Any) -> str:
+    """Deterministic JSON encoding (sorted keys, no whitespace)."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def state_hash(state: Any) -> str:
+    """sha256 of the canonical JSON encoding of a state payload."""
+    return hashlib.sha256(canonical_json(state).encode()).hexdigest()
+
+
+def snapshot_envelope(kind: str, state: dict) -> dict:
+    """Wrap a JSON-safe state payload in a versioned, hashed envelope."""
+    try:
+        digest = state_hash(state)
+    except (TypeError, ValueError) as exc:
+        raise CheckpointError(
+            f"{kind}: snapshot payload is not JSON-safe: {exc}") from exc
+    return {
+        "schema": SCHEMA,
+        "schema_version": SCHEMA_VERSION,
+        "kind": kind,
+        "state": state,
+        "state_hash": digest,
+    }
+
+
+def envelope_kind(envelope: dict) -> str:
+    """The ``kind`` tag of an envelope (no validation beyond presence)."""
+    try:
+        return envelope["kind"]
+    except (TypeError, KeyError):
+        raise CheckpointError("not a checkpoint envelope: missing 'kind'") \
+            from None
+
+
+def open_envelope(envelope: dict, kind: Optional[str] = None) -> dict:
+    """Validate an envelope and return its state payload.
+
+    Checks shape, schema version (refusing versions newer than
+    :data:`SCHEMA_VERSION`), the recorded ``state_hash`` against a
+    recomputation (catching torn or tampered snapshots), and — when
+    ``kind`` is given — that the envelope describes that layer.
+    """
+    if not isinstance(envelope, dict):
+        raise CheckpointError(
+            f"not a checkpoint envelope: {type(envelope).__name__}")
+    missing = [key for key in _ENVELOPE_KEYS if key not in envelope]
+    if missing:
+        raise CheckpointError(
+            f"not a checkpoint envelope: missing {', '.join(missing)}")
+    version = envelope["schema_version"]
+    if not isinstance(version, int) or version < 1:
+        raise CheckpointError(f"bad schema_version {version!r}")
+    if version > SCHEMA_VERSION:
+        raise CheckpointError(
+            f"snapshot schema_version {version} is newer than this "
+            f"library's {SCHEMA_VERSION}; upgrade before restoring")
+    if kind is not None and envelope["kind"] != kind:
+        raise CheckpointError(
+            f"expected a {kind!r} snapshot, got {envelope['kind']!r}")
+    state = envelope["state"]
+    digest = state_hash(state)
+    if digest != envelope["state_hash"]:
+        raise CheckpointError(
+            f"{envelope['kind']}: state_hash mismatch "
+            f"(recorded {envelope['state_hash'][:12]}..., "
+            f"recomputed {digest[:12]}...) — snapshot is torn or corrupted")
+    return state
+
+
+# -- crash-consistent file I/O ------------------------------------------------
+
+
+def write_snapshot(path: "Path | str", envelope: dict) -> None:
+    """Atomically persist an envelope: tmp file + fsync + rename."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=str(target.parent), prefix=target.name + ".", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(canonical_json(envelope))
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, target)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def read_snapshot(path: "Path | str",
+                  kind: Optional[str] = None) -> Optional[dict]:
+    """Load an envelope from disk, validating it; ``None`` if absent.
+
+    A file that fails to parse or validate is treated as corrupt and
+    raises :class:`~repro.errors.CheckpointError` — callers decide
+    whether that means "start over" or "abort".
+    """
+    target = Path(path)
+    try:
+        text = target.read_text()
+    except FileNotFoundError:
+        return None
+    try:
+        envelope = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise CheckpointError(
+            f"{target}: snapshot file is not valid JSON: {exc}") from exc
+    open_envelope(envelope, kind=kind)
+    return envelope

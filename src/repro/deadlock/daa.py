@@ -125,6 +125,66 @@ class AvoidanceStats:
         self.decisions.append(decision)
 
 
+def decision_to_dict(decision: Decision) -> dict:
+    """JSON-safe form of a :class:`Decision` (checkpoint payloads)."""
+    return {
+        "event": decision.event,
+        "process": decision.process,
+        "resource": decision.resource,
+        "action": decision.action.value,
+        "deadlock_kind": decision.deadlock_kind.value,
+        "livelock": decision.livelock,
+        "granted_to": decision.granted_to,
+        "ask_release": [list(pair) for pair in decision.ask_release],
+        "detection_runs": decision.detection_runs,
+        "detection_passes": decision.detection_passes,
+        "cycles": decision.cycles,
+    }
+
+
+def decision_from_dict(data: dict) -> Decision:
+    """Inverse of :func:`decision_to_dict`."""
+    return Decision(
+        event=data["event"],
+        process=data["process"],
+        resource=data["resource"],
+        action=Action(data["action"]),
+        deadlock_kind=DeadlockKind(data["deadlock_kind"]),
+        livelock=data["livelock"],
+        granted_to=data["granted_to"],
+        ask_release=tuple(tuple(pair) for pair in data["ask_release"]),
+        detection_runs=data["detection_runs"],
+        detection_passes=data["detection_passes"],
+        cycles=data["cycles"],
+    )
+
+
+def stats_to_payload(stats: AvoidanceStats) -> dict:
+    """JSON-safe form of :class:`AvoidanceStats`."""
+    return {
+        "invocations": stats.invocations,
+        "total_cycles": stats.total_cycles,
+        "detection_runs": stats.detection_runs,
+        "rdl_events": stats.rdl_events,
+        "gdl_events": stats.gdl_events,
+        "livelock_events": stats.livelock_events,
+        "decisions": [decision_to_dict(d) for d in stats.decisions],
+    }
+
+
+def stats_from_payload(data: dict) -> AvoidanceStats:
+    """Inverse of :func:`stats_to_payload`."""
+    return AvoidanceStats(
+        invocations=data["invocations"],
+        total_cycles=data["total_cycles"],
+        detection_runs=data["detection_runs"],
+        rdl_events=data["rdl_events"],
+        gdl_events=data["gdl_events"],
+        livelock_events=data["livelock_events"],
+        decisions=[decision_from_dict(d) for d in data["decisions"]],
+    )
+
+
 class AvoidanceCore:
     """Algorithm 3 decision logic over a live RAG.
 
@@ -339,6 +399,29 @@ class AvoidanceCore:
             detection_runs=runs, detection_passes=passes,
         ), waiters_scanned=len(waiters))
 
+    # -- checkpoint protocol ------------------------------------------------------
+
+    def _core_snapshot_payload(self) -> dict:
+        """The decision-logic state shared by every implementation."""
+        return {
+            "processes": list(self.rag.processes),
+            "resources": list(self.rag.resources),
+            "priorities": sorted(
+                [p, pri] for p, pri in self.priorities.items()),
+            "livelock_threshold": self.livelock_threshold,
+            "rag": self.rag.snapshot_state(),
+            "giveup_counts": sorted(
+                [p, q, count]
+                for (p, q), count in self._giveup_counts.items()),
+            "stats": stats_to_payload(self.stats),
+        }
+
+    def _restore_core_payload(self, state: dict) -> None:
+        self.rag = RAG.restore_state(state["rag"])
+        self._giveup_counts = {
+            (p, q): count for p, q, count in state["giveup_counts"]}
+        self.stats = stats_from_payload(state["stats"])
+
     # -- bookkeeping -------------------------------------------------------------
 
     def _finish(self, decision: Decision, waiters_scanned: int) -> Decision:
@@ -375,3 +458,23 @@ class SoftwareDAA(AvoidanceCore):
                 + bookkeeping
                 + detect_cycles
                 + waiters_scanned * calibration.SW_DAA_WAITER_SCAN_CYCLES)
+
+    # -- checkpoint protocol ------------------------------------------------------
+
+    SNAPSHOT_KIND = "deadlock.software_daa"
+
+    def snapshot_state(self) -> dict:
+        """Versioned, hashed snapshot (see :mod:`repro.checkpoint`)."""
+        from repro.checkpoint.protocol import snapshot_envelope
+        return snapshot_envelope(self.SNAPSHOT_KIND,
+                                 self._core_snapshot_payload())
+
+    @classmethod
+    def restore_state(cls, envelope: dict) -> "SoftwareDAA":
+        from repro.checkpoint.protocol import open_envelope
+        state = open_envelope(envelope, kind=cls.SNAPSHOT_KIND)
+        core = cls(state["processes"], state["resources"],
+                   dict(map(tuple, state["priorities"])),
+                   livelock_threshold=state["livelock_threshold"])
+        core._restore_core_payload(state)
+        return core

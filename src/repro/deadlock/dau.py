@@ -192,6 +192,74 @@ class DAU(AvoidanceCore):
             raise ResourceProtocolError(f"unknown process {process!r}")
         return self.status[process]
 
+    # -- checkpoint protocol --------------------------------------------------------
+
+    SNAPSHOT_KIND = "deadlock.dau"
+
+    def snapshot_state(self) -> dict:
+        """Versioned, hashed snapshot of the whole unit.
+
+        Captures the DAA core (RAG, give-up counters, decision log), the
+        embedded DDU, every per-PE status register, and the command log —
+        the pending command/status ports of Section 4.3.2 — so a
+        restored unit answers the next ``write_command`` exactly as the
+        original would have.
+        """
+        from repro.checkpoint.protocol import snapshot_envelope
+        state = self._core_snapshot_payload()
+        state["ddu"] = self.ddu.snapshot_state()
+        state["status"] = {
+            p: {
+                "done": r.done,
+                "busy": r.busy,
+                "successful": r.successful,
+                "pending": r.pending,
+                "give_up": r.give_up,
+                "which_process": r.which_process,
+                "which_resource": r.which_resource,
+                "livelock": r.livelock,
+                "g_dl": r.g_dl,
+                "r_dl": r.r_dl,
+                "ask_release": [list(pair) for pair in r.ask_release],
+            }
+            for p, r in self.status.items()
+        }
+        state["command_log"] = [
+            {"pe": c.pe, "op": c.op, "process": c.process,
+             "resource": c.resource}
+            for c in self.command_log]
+        return snapshot_envelope(self.SNAPSHOT_KIND, state)
+
+    @classmethod
+    def restore_state(cls, envelope: dict,
+                      obs: Optional[Observability] = None) -> "DAU":
+        from repro.checkpoint.protocol import open_envelope
+        state = open_envelope(envelope, kind=cls.SNAPSHOT_KIND)
+        unit = cls(state["processes"], state["resources"],
+                   dict(map(tuple, state["priorities"])),
+                   livelock_threshold=state["livelock_threshold"],
+                   obs=obs)
+        unit._restore_core_payload(state)
+        unit.ddu = DDU.restore_state(state["ddu"], obs=unit.obs)
+        for p, fields in state["status"].items():
+            register = unit.status[p]
+            register.done = fields["done"]
+            register.busy = fields["busy"]
+            register.successful = fields["successful"]
+            register.pending = fields["pending"]
+            register.give_up = fields["give_up"]
+            register.which_process = fields["which_process"]
+            register.which_resource = fields["which_resource"]
+            register.livelock = fields["livelock"]
+            register.g_dl = fields["g_dl"]
+            register.r_dl = fields["r_dl"]
+            register.ask_release = tuple(
+                tuple(pair) for pair in fields["ask_release"])
+        unit.command_log = [
+            CommandRecord(c["pe"], c["op"], c["process"], c["resource"])
+            for c in state["command_log"]]
+        return unit
+
     def _publish(self, register: StatusRegister, decision: Decision) -> None:
         register.busy = False
         register.done = True

@@ -120,6 +120,31 @@ class FSMDAU:
                   for index in range(runs)]
         return [max(1, count - 1) for count in passes]
 
+    # -- checkpoint protocol ----------------------------------------------------
+
+    SNAPSHOT_KIND = "deadlock.dau_fsm"
+
+    def snapshot_state(self) -> dict:
+        """Versioned, hashed snapshot: the wrapped DAU + step counters."""
+        from repro.checkpoint.protocol import snapshot_envelope
+        return snapshot_envelope(self.SNAPSHOT_KIND, {
+            "core": self.core.snapshot_state(),
+            "total_steps": self.total_steps,
+            "commands": self.commands,
+            "max_steps_seen": self.max_steps_seen,
+        })
+
+    @classmethod
+    def restore_state(cls, envelope: dict) -> "FSMDAU":
+        from repro.checkpoint.protocol import open_envelope
+        state = open_envelope(envelope, kind=cls.SNAPSHOT_KIND)
+        fsm = cls.__new__(cls)
+        fsm.core = DAU.restore_state(state["core"])
+        fsm.total_steps = state["total_steps"]
+        fsm.commands = state["commands"]
+        fsm.max_steps_seen = state["max_steps_seen"]
+        return fsm
+
     # -- statistics -------------------------------------------------------------
 
     @property

@@ -259,6 +259,65 @@ class DDU:
         self._last_result = result
         return result
 
+    # -- checkpoint protocol ----------------------------------------------------
+
+    SNAPSHOT_KIND = "deadlock.ddu"
+
+    def snapshot_state(self) -> dict:
+        """Versioned, hashed snapshot of the register file and counters.
+
+        Captures the latched matrix, the status counters, and the
+        previous detection (which a ``ddu.status`` stale fault would
+        republish), so a restored unit answers the next command exactly
+        as the original would have.
+        """
+        from repro.checkpoint.protocol import snapshot_envelope
+        last = self._last_result
+        last_state = None
+        if last is not None:
+            last_state = {
+                "deadlock": last.deadlock,
+                "iterations": last.iterations,
+                "passes": last.passes,
+                "cycles": last.cycles,
+                "residual": last.residual.snapshot_state(),
+            }
+        return snapshot_envelope(self.SNAPSHOT_KIND, {
+            "m": self.m,
+            "n": self.n,
+            "backend": self.backend,
+            "matrix": self.matrix.snapshot_state(),
+            "invocations": self.invocations,
+            "busy_cycles": self.busy_cycles,
+            "last_result": last_state,
+        })
+
+    @classmethod
+    def restore_state(cls, envelope: dict,
+                      obs: Optional[Observability] = None) -> "DDU":
+        """Rebuild a DDU; the matrix is written to the register file
+        directly (bypassing :meth:`load`, which fires command-fault
+        hooks — restoring must not consume fault-plan visits)."""
+        from repro.checkpoint.protocol import open_envelope
+        state = open_envelope(envelope, kind=cls.SNAPSHOT_KIND)
+        unit = cls(state["m"], state["n"], obs=obs,
+                   backend=state["backend"])
+        unit.matrix = matrix_class(unit.backend).restore_state(
+            state["matrix"])
+        unit.invocations = state["invocations"]
+        unit.busy_cycles = state["busy_cycles"]
+        last = state["last_result"]
+        if last is not None:
+            unit._last_result = HardwareDetection(
+                deadlock=last["deadlock"],
+                iterations=last["iterations"],
+                passes=last["passes"],
+                cycles=last["cycles"],
+                residual=matrix_class(unit.backend).restore_state(
+                    last["residual"]),
+            )
+        return unit
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"<DDU {self.m}x{self.n} edges={self.matrix.edge_count} "
                 f"invocations={self.invocations}>")

@@ -53,3 +53,14 @@ class RTOSError(ReproError):
 
 class GenerationError(ReproError):
     """HDL/architecture generation failed (unknown component, bad size)."""
+
+
+class CheckpointError(ReproError):
+    """A snapshot could not be taken, validated, or restored.
+
+    Raised when a unit is not quiescent at snapshot time (live
+    simulation coroutines cannot be serialised), when an envelope's
+    ``state_hash`` does not match its payload (torn or corrupted
+    snapshot file), or when a snapshot's schema version is newer than
+    this library understands.
+    """

@@ -114,6 +114,48 @@ class UnitHealth:
             self._move(HealthState.RECOVERING, reason)
         return self.state
 
+    # -- checkpoint protocol ----------------------------------------------
+
+    SNAPSHOT_KIND = "faults.health"
+
+    def snapshot_state(self) -> dict:
+        """Versioned, hashed snapshot of the FSM + transition history."""
+        from repro.checkpoint.protocol import snapshot_envelope
+        return snapshot_envelope(self.SNAPSHOT_KIND, {
+            "unit": self.unit,
+            "fail_threshold": self.fail_threshold,
+            "recover_after": self.recover_after,
+            "state": self.state.value,
+            "anomalies": self.anomalies,
+            "anomaly_streak": self._anomaly_streak,
+            "clean_streak": self._clean_streak,
+            "transitions": [
+                {"at": t.at, "previous": t.previous.value,
+                 "state": t.state.value, "reason": t.reason}
+                for t in self.transitions],
+        })
+
+    @classmethod
+    def restore_state(cls, envelope: dict,
+                      clock: Optional[Callable[[], float]] = None,
+                      obs: Optional[Observability] = None) -> "UnitHealth":
+        from repro.checkpoint.protocol import open_envelope
+        state = open_envelope(envelope, kind=cls.SNAPSHOT_KIND)
+        health = cls(state["unit"], clock=clock,
+                     fail_threshold=state["fail_threshold"],
+                     recover_after=state["recover_after"], obs=obs)
+        health.state = HealthState(state["state"])
+        health.anomalies = state["anomalies"]
+        health._anomaly_streak = state["anomaly_streak"]
+        health._clean_streak = state["clean_streak"]
+        health.transitions = [
+            HealthTransition(at=t["at"],
+                             previous=HealthState(t["previous"]),
+                             state=HealthState(t["state"]),
+                             reason=t["reason"])
+            for t in state["transitions"]]
+        return health
+
     # -- plumbing ---------------------------------------------------------
 
     def _move(self, state: HealthState, reason: str) -> None:

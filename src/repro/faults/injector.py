@@ -83,6 +83,51 @@ class FaultInjector:
     def visits_of(self, site: str) -> int:
         return self._counters.get((site, ""), 0)
 
+    # -- checkpoint protocol ----------------------------------------------------
+
+    SNAPSHOT_KIND = "faults.injector"
+
+    def snapshot_state(self) -> dict:
+        """Versioned, hashed snapshot of the plan + visit counters.
+
+        Fault specs fire on absolute visit numbers, so restoring the
+        counters (and the activation log) makes a restored run replay
+        the exact same fault history from where it left off.
+        """
+        from repro.checkpoint.protocol import snapshot_envelope
+        return snapshot_envelope(self.SNAPSHOT_KIND, {
+            "plan": self.plan.to_dict(),
+            "plan_hash": self.plan.plan_hash(),
+            "counters": sorted(
+                [site, key, count]
+                for (site, key), count in self._counters.items()),
+            "visits": self.visits,
+            "records": [
+                {"site": r.site, "kind": r.kind, "visit": r.visit,
+                 "key": r.key}
+                for r in self.records],
+        })
+
+    @classmethod
+    def restore_state(cls, envelope: dict,
+                      obs: Optional[Observability] = None) -> "FaultInjector":
+        from repro.checkpoint.protocol import open_envelope
+        from repro.errors import CheckpointError
+        state = open_envelope(envelope, kind=cls.SNAPSHOT_KIND)
+        plan = FaultPlan.from_dict(state["plan"])
+        if plan.plan_hash() != state["plan_hash"]:
+            raise CheckpointError(
+                "fault plan hash mismatch in injector snapshot")
+        injector = cls(plan, obs=obs)
+        injector._counters = {
+            (site, key): count for site, key, count in state["counters"]}
+        injector.visits = state["visits"]
+        injector.records = [
+            InjectionRecord(site=r["site"], kind=r["kind"],
+                            visit=r["visit"], key=r["key"])
+            for r in state["records"]]
+        return injector
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"<FaultInjector plan={self.plan.name!r} "
                 f"visits={self.visits} injected={len(self.records)}>")

@@ -183,6 +183,35 @@ class _ResilientBase:
     def _fail_over(self, reason: str) -> None:
         raise NotImplementedError
 
+    # -- checkpoint plumbing ----------------------------------------------
+
+    def _base_snapshot_payload(self) -> dict:
+        import dataclasses
+        return {
+            "policy": dataclasses.asdict(self.policy),
+            "mode": self.mode,
+            "invocations": self.invocations,
+            "crosschecks": self.crosschecks,
+            "failovers": self.failovers,
+            "failbacks": self.failbacks,
+            "scrubs": self.scrubs,
+            "event_log": list(self.event_log),
+            "sw_runs": self._sw_runs,
+            "health": self.health.snapshot_state(),
+        }
+
+    def _restore_base_payload(self, state: dict) -> None:
+        self.mode = state["mode"]
+        self.invocations = state["invocations"]
+        self.crosschecks = state["crosschecks"]
+        self.failovers = state["failovers"]
+        self.failbacks = state["failbacks"]
+        self.scrubs = state["scrubs"]
+        self.event_log = list(state["event_log"])
+        self._sw_runs = state["sw_runs"]
+        self.health = UnitHealth.restore_state(state["health"],
+                                               obs=self.obs)
+
 
 class ResilientDetector(_ResilientBase):
     """RTOS2's DDU behind retry, cross-check, scrub and failover."""
@@ -264,6 +293,28 @@ class ResilientDetector(_ResilientBase):
 
     def _fail_over(self, reason: str) -> None:
         self._note_failover()
+
+    # -- checkpoint protocol ------------------------------------------------
+
+    SNAPSHOT_KIND = "faults.resilient_detector"
+
+    def snapshot_state(self) -> dict:
+        """Versioned, hashed snapshot: wrapper counters + health + DDU."""
+        from repro.checkpoint.protocol import snapshot_envelope
+        state = self._base_snapshot_payload()
+        state["ddu"] = self.ddu.snapshot_state()
+        return snapshot_envelope(self.SNAPSHOT_KIND, state)
+
+    @classmethod
+    def restore_state(cls, envelope: dict,
+                      obs: Optional[Observability] = None
+                      ) -> "ResilientDetector":
+        from repro.checkpoint.protocol import open_envelope
+        state = open_envelope(envelope, kind=cls.SNAPSHOT_KIND)
+        detector = cls(DDU.restore_state(state["ddu"]),
+                       policy=ResiliencePolicy(**state["policy"]), obs=obs)
+        detector._restore_base_payload(state)
+        return detector
 
     def _software_verdict(self, rag: RAG) -> bool:
         sw = pdda_detect(rag)
@@ -437,6 +488,33 @@ class ResilientAvoider(_ResilientBase):
         reference.rag = rag
         reference._giveup_counts = dict(giveups)
         return reference
+
+    # -- checkpoint protocol -------------------------------------------------
+
+    SNAPSHOT_KIND = "faults.resilient_avoider"
+
+    def snapshot_state(self) -> dict:
+        """Versioned, hashed snapshot: counters + health + DAU + twin."""
+        from repro.checkpoint.protocol import snapshot_envelope
+        state = self._base_snapshot_payload()
+        state["dau"] = self.dau.snapshot_state()
+        state["twin"] = (self.twin.snapshot_state()
+                         if self.twin is not None else None)
+        return snapshot_envelope(self.SNAPSHOT_KIND, state)
+
+    @classmethod
+    def restore_state(cls, envelope: dict,
+                      obs: Optional[Observability] = None
+                      ) -> "ResilientAvoider":
+        from repro.checkpoint.protocol import open_envelope
+        from repro.deadlock.dau import DAU
+        state = open_envelope(envelope, kind=cls.SNAPSHOT_KIND)
+        avoider = cls(DAU.restore_state(state["dau"]),
+                      policy=ResiliencePolicy(**state["policy"]), obs=obs)
+        avoider._restore_base_payload(state)
+        if state["twin"] is not None:
+            avoider.twin = SoftwareDAA.restore_state(state["twin"])
+        return avoider
 
     # -- software twin ------------------------------------------------------
 

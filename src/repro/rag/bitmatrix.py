@@ -38,7 +38,12 @@ from typing import Iterable, Optional, Union
 
 from repro.errors import ConfigurationError, ResourceProtocolError
 from repro.rag.graph import RAG
-from repro.rag.matrix import CellState, StateMatrix
+from repro.rag.matrix import (
+    CellState,
+    StateMatrix,
+    matrix_snapshot_state,
+    open_matrix_envelope,
+)
 
 #: The word-parallel integer-bitmask backend (the fast path).
 FAST_BACKEND = "bitmask"
@@ -158,6 +163,32 @@ class BitMatrix:
         clone._col_g = list(self._col_g)
         clone._edges = self._edges
         return clone
+
+    # -- checkpoint protocol -----------------------------------------------------
+
+    SNAPSHOT_KIND = "rag.bitmatrix"
+
+    def snapshot_state(self) -> dict:
+        """Versioned, hashed snapshot.
+
+        The payload is identical to the :class:`StateMatrix` payload for
+        the same state — ``state_hash`` is representation-independent,
+        so BitMatrix <-> StateMatrix conversions are hash-preserving.
+        """
+        return matrix_snapshot_state(self, self.SNAPSHOT_KIND)
+
+    @classmethod
+    def restore_state(cls, envelope: dict) -> "BitMatrix":
+        """Rebuild from a matrix snapshot of either backend kind."""
+        state = open_matrix_envelope(envelope)
+        matrix = cls.from_rows(state["rows"])
+        matrix.resource_names = list(state["resource_names"])
+        matrix.process_names = list(state["process_names"])
+        if len(matrix.process_names) != matrix.n:
+            from repro.errors import CheckpointError
+            raise CheckpointError(
+                "matrix snapshot: process_names length != n")
+        return matrix
 
     # -- cell access -------------------------------------------------------------
 

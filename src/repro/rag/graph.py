@@ -178,6 +178,32 @@ class RAG:
         clone._holder = dict(self._holder)
         return clone
 
+    # -- checkpoint protocol -----------------------------------------------------
+
+    SNAPSHOT_KIND = "rag.graph"
+
+    def snapshot_state(self) -> dict:
+        """Versioned, hashed snapshot (see :mod:`repro.checkpoint`)."""
+        from repro.checkpoint.protocol import snapshot_envelope
+        return snapshot_envelope(self.SNAPSHOT_KIND, {
+            "processes": list(self._processes),
+            "resources": list(self._resources),
+            "grants": [[q, p] for q, p in self.grant_edges()],
+            "requests": [[p, q] for p, q in self.request_edges()],
+        })
+
+    @classmethod
+    def restore_state(cls, envelope: dict) -> "RAG":
+        """Rebuild a RAG by replaying the snapshot through the protocol."""
+        from repro.checkpoint.protocol import open_envelope
+        state = open_envelope(envelope, kind=cls.SNAPSHOT_KIND)
+        rag = cls(state["processes"], state["resources"])
+        for q, p in state["grants"]:
+            rag.grant(q, p)
+        for p, q in state["requests"]:
+            rag.add_request(p, q)
+        return rag
+
     def successors(self, node: str) -> tuple[str, ...]:
         """Directed successors: p -> requested q; q -> holder p."""
         if node in self._proc_index:

@@ -43,12 +43,47 @@ class CellState(enum.IntEnum):
                 CellState.REQUEST: "r"}[self]
 
 
+#: Both matrix backends accept each other's snapshots: the payload is
+#: representation-independent (names + text rows), only the envelope
+#: ``kind`` differs — so converting between backends preserves
+#: ``state_hash``.
+MATRIX_SNAPSHOT_KINDS = ("rag.matrix", "rag.bitmatrix")
+
+
+def matrix_snapshot_state(matrix, kind: str) -> dict:
+    """Shared snapshot payload for any class speaking the cell protocol."""
+    from repro.checkpoint.protocol import snapshot_envelope
+    rows = [" ".join(matrix.get(s, t).symbol() for t in range(matrix.n))
+            for s in range(matrix.m)]
+    return snapshot_envelope(kind, {
+        "resource_names": list(matrix.resource_names),
+        "process_names": list(matrix.process_names),
+        "rows": rows,
+    })
+
+
+def open_matrix_envelope(envelope: dict) -> dict:
+    """Validate a matrix envelope of either backend kind."""
+    from repro.checkpoint.protocol import envelope_kind, open_envelope
+    from repro.errors import CheckpointError
+    kind = envelope_kind(envelope)
+    if kind not in MATRIX_SNAPSHOT_KINDS:
+        raise CheckpointError(
+            f"expected a matrix snapshot, got kind {kind!r}")
+    state = open_envelope(envelope)
+    if len(state["resource_names"]) != len(state["rows"]):
+        raise CheckpointError("matrix snapshot: resource_names length != m")
+    return state
+
+
 class StateMatrix:
     """An m x n matrix of :class:`CellState` cells.
 
     ``m`` is the number of resources (rows), ``n`` the number of
     processes (columns) — matching the paper's ``M_ij`` layout.
     """
+
+    SNAPSHOT_KIND = "rag.matrix"
 
     def __init__(self, num_resources: int, num_processes: int,
                  resource_names: Optional[Iterable[str]] = None,
@@ -168,6 +203,25 @@ class StateMatrix:
         clone._edge_count = self._edge_count
         clone._grant_cols = [set(cols) for cols in self._grant_cols]
         return clone
+
+    # -- checkpoint protocol -----------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Versioned, hashed snapshot (see :mod:`repro.checkpoint`)."""
+        return matrix_snapshot_state(self, self.SNAPSHOT_KIND)
+
+    @classmethod
+    def restore_state(cls, envelope: dict) -> "StateMatrix":
+        """Rebuild from a matrix snapshot of either backend kind."""
+        state = open_matrix_envelope(envelope)
+        matrix = cls.from_rows(state["rows"])
+        matrix.resource_names = list(state["resource_names"])
+        matrix.process_names = list(state["process_names"])
+        if len(matrix.process_names) != matrix.n:
+            from repro.errors import CheckpointError
+            raise CheckpointError(
+                "matrix snapshot: process_names length != n")
+        return matrix
 
     # -- cell access -------------------------------------------------------------
 

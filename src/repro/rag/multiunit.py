@@ -181,6 +181,37 @@ class MultiUnitSystem:
         clone._available = dict(self._available)
         return clone
 
+    # -- checkpoint protocol -------------------------------------------------------
+
+    SNAPSHOT_KIND = "rag.multiunit"
+
+    def snapshot_state(self) -> dict:
+        """Versioned, hashed snapshot (see :mod:`repro.checkpoint`)."""
+        from repro.checkpoint.protocol import snapshot_envelope
+        return snapshot_envelope(self.SNAPSHOT_KIND, {
+            "processes": list(self._processes),
+            "resources": [[q, units] for q, units in self._total.items()],
+            "allocation": [[p, q, self._allocation[p][q]]
+                           for p in self._processes for q in self._total
+                           if self._allocation[p][q]],
+            "requests": [[p, q, self._requests[p][q]]
+                         for p in self._processes for q in self._total
+                         if self._requests[p][q]],
+        })
+
+    @classmethod
+    def restore_state(cls, envelope: dict) -> "MultiUnitSystem":
+        """Rebuild by replaying the snapshot through the protocol."""
+        from repro.checkpoint.protocol import open_envelope
+        state = open_envelope(envelope, kind=cls.SNAPSHOT_KIND)
+        system = cls(state["processes"], dict(map(tuple, state["resources"])))
+        for p, q, units in state["allocation"]:
+            system.request(p, q, units)
+            system.grant(p, q, units)
+        for p, q, units in state["requests"]:
+            system.request(p, q, units)
+        return system
+
     # -- projection to the single-unit model --------------------------------------------
 
     def to_rag(self) -> RAG:

@@ -11,8 +11,10 @@ import json
 from typing import Union
 
 from repro.errors import ResourceProtocolError
+from repro.rag.bitmatrix import AnyStateMatrix, BitMatrix
 from repro.rag.graph import RAG
 from repro.rag.matrix import CellState, StateMatrix
+from repro.rag.multiunit import MultiUnitSystem
 
 
 def rag_to_dict(rag: RAG) -> dict:
@@ -53,13 +55,13 @@ _SYMBOLS = {CellState.EMPTY: ".", CellState.GRANT: "g",
             CellState.REQUEST: "r"}
 
 
-def matrix_to_rows(matrix: StateMatrix) -> list:
+def matrix_to_rows(matrix: AnyStateMatrix) -> list:
     """Compact text rows accepted by :meth:`StateMatrix.from_rows`."""
     return [" ".join(_SYMBOLS[matrix.get(s, t)] for t in range(matrix.n))
             for s in range(matrix.m)]
 
 
-def matrix_to_dict(matrix: StateMatrix) -> dict:
+def matrix_to_dict(matrix: AnyStateMatrix) -> dict:
     return {
         "resource_names": list(matrix.resource_names),
         "process_names": list(matrix.process_names),
@@ -86,20 +88,63 @@ def matrix_from_dict(data: dict) -> StateMatrix:
     return matrix
 
 
-def snapshot(state: Union[RAG, StateMatrix]) -> dict:
-    """Uniform snapshot entry point for either representation."""
+def multiunit_to_dict(system: MultiUnitSystem) -> dict:
+    """JSON-safe snapshot of a multi-unit allocation state."""
+    allocation = [[p, q, system.allocation_of(p, q)]
+                  for p in system.processes for q in system.resources
+                  if system.allocation_of(p, q)]
+    requests = [[p, q, system.outstanding_request(p, q)]
+                for p in system.processes for q in system.resources
+                if system.outstanding_request(p, q)]
+    return {
+        "processes": list(system.processes),
+        "resources": [[q, system.total_units(q)] for q in system.resources],
+        "allocation": allocation,
+        "requests": requests,
+    }
+
+
+def multiunit_from_dict(data: dict) -> MultiUnitSystem:
+    """Rebuild a multi-unit state by replaying through the protocol."""
+    try:
+        system = MultiUnitSystem(
+            data["processes"], dict(map(tuple, data["resources"])))
+        for p, q, units in data["allocation"]:
+            system.request(p, q, units)
+            system.grant(p, q, units)
+        for p, q, units in data["requests"]:
+            system.request(p, q, units)
+    except KeyError as missing:
+        raise ResourceProtocolError(
+            f"missing field {missing} in multiunit snapshot") from None
+    return system
+
+
+AnyRagState = Union[RAG, StateMatrix, BitMatrix, MultiUnitSystem]
+
+
+def snapshot(state: AnyRagState) -> dict:
+    """Uniform snapshot entry point for any RAG-layer representation."""
     if isinstance(state, RAG):
         return {"kind": "rag", **rag_to_dict(state)}
     if isinstance(state, StateMatrix):
         return {"kind": "matrix", **matrix_to_dict(state)}
+    if isinstance(state, BitMatrix):
+        return {"kind": "bitmatrix", **matrix_to_dict(state)}
+    if isinstance(state, MultiUnitSystem):
+        return {"kind": "multiunit", **multiunit_to_dict(state)}
     raise ResourceProtocolError(f"cannot snapshot {type(state).__name__}")
 
 
-def restore(data: dict) -> Union[RAG, StateMatrix]:
-    """Inverse of :func:`snapshot`: rebuild either representation."""
+def restore(data: dict) -> AnyRagState:
+    """Inverse of :func:`snapshot`: rebuild any representation."""
     kind = data.get("kind")
     if kind == "rag":
         return rag_from_dict(data)
     if kind == "matrix":
         return matrix_from_dict(data)
+    if kind == "bitmatrix":
+        return BitMatrix.from_matrix(matrix_from_dict(data))
+    if kind == "multiunit":
+        return multiunit_from_dict(data)
     raise ResourceProtocolError(f"unknown snapshot kind {kind!r}")

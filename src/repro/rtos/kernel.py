@@ -280,6 +280,124 @@ class Kernel:
               and scheduler.should_preempt(task)):
             task.preempt_pending = True
 
+    # -- checkpoint protocol -------------------------------------------------------
+
+    SNAPSHOT_KIND = "rtos.kernel"
+
+    @staticmethod
+    def _failure_text(exc: Any) -> str:
+        """Task failures snapshot (and restore) as text — exception
+        objects are not JSON-safe and need not round-trip as objects."""
+        if isinstance(exc, str):
+            return exc
+        return f"{type(exc).__name__}: {exc}"
+
+    def snapshot_state(self) -> dict:
+        """Versioned, hashed snapshot of the kernel at quiescence.
+
+        Delegates the quiescence check to the engine snapshot: live
+        task generators cannot be serialised, so the kernel is
+        snapshottable only once every spawned task has finished or
+        failed (the state every experiment driver and campaign checker
+        reaches after ``run()``).
+        """
+        from repro.checkpoint.protocol import snapshot_envelope
+        round_robin = next(iter(self.schedulers.values())).round_robin
+        return snapshot_envelope(self.SNAPSHOT_KIND, {
+            "quantum": self.quantum,
+            "round_robin": round_robin,
+            "service_overhead": self.service_overhead,
+            "context_switch_cycles": self.context_switch_cycles,
+            "strict_leak_check": self.strict_leak_check,
+            "isolate_task_failures": self.isolate_task_failures,
+            "pes": list(self.schedulers),
+            "engine": self.engine.snapshot_state(),
+            "dispatch_counts": sorted(
+                [pe, sched.dispatch_count]
+                for pe, sched in self.schedulers.items()),
+            "tasks": [self._task_payload(self.tasks[name])
+                      for name in sorted(self.tasks)],
+            "leaks": [[name, list(resources)]
+                      for name, resources in self.leaks],
+            "task_failures": [[name, self._failure_text(exc)]
+                              for name, exc in self.task_failures],
+        })
+
+    @staticmethod
+    def _task_payload(task: Task) -> dict:
+        stats = task.stats
+        return {
+            "name": task.name,
+            "base_priority": task.base_priority,
+            "priority": task.priority,
+            "priority_stack": list(task._priority_stack),
+            "pe": task.pe_name,
+            "start_time": task.start_time,
+            "state": task.state.value,
+            "held_resources": list(task.held_resources),
+            "stats": {
+                "activation_time": stats.activation_time,
+                "first_run_time": stats.first_run_time,
+                "finish_time": stats.finish_time,
+                "blocked_cycles": stats.blocked_cycles,
+                "lock_wait_cycles": stats.lock_wait_cycles,
+                "preemptions": stats.preemptions,
+                "context_switches": stats.context_switches,
+            },
+        }
+
+    @classmethod
+    def restore_state(cls, envelope: dict,
+                      soc: Optional[MPSoC] = None) -> "Kernel":
+        """Rebuild a kernel (and its engine clock) from a snapshot.
+
+        ``soc`` must be a *fresh* MPSoC matching the snapshot's PE
+        census; when omitted, a default one of the right size is built.
+        Finished tasks are restored as records (``fn=None``) without
+        respawning engine processes — new work is created on top with
+        :meth:`create_task` as usual.
+        """
+        from repro.checkpoint.protocol import open_envelope
+        from repro.errors import CheckpointError
+        from repro.mpsoc.soc import SoCConfig
+        state = open_envelope(envelope, kind=cls.SNAPSHOT_KIND)
+        if soc is None:
+            soc = MPSoC(SoCConfig(num_pes=len(state["pes"])))
+        kernel = cls(soc, quantum=state["quantum"],
+                     round_robin=state["round_robin"],
+                     service_overhead=state["service_overhead"],
+                     context_switch_cycles=state["context_switch_cycles"],
+                     strict_leak_check=state["strict_leak_check"])
+        if list(kernel.schedulers) != list(state["pes"]):
+            raise CheckpointError(
+                f"PE census mismatch: snapshot has {state['pes']}, "
+                f"SoC has {list(kernel.schedulers)}")
+        kernel.isolate_task_failures = state["isolate_task_failures"]
+        kernel.engine.apply_snapshot(state["engine"])
+        for pe, count in state["dispatch_counts"]:
+            kernel.schedulers[pe].dispatch_count = count
+        for record in state["tasks"]:
+            task = Task(record["name"], None, record["base_priority"],
+                        record["pe"], record["start_time"])
+            task.priority = record["priority"]
+            task._priority_stack = list(record["priority_stack"])
+            task.state = TaskState(record["state"])
+            task.held_resources = list(record["held_resources"])
+            stats = record["stats"]
+            task.stats.activation_time = stats["activation_time"]
+            task.stats.first_run_time = stats["first_run_time"]
+            task.stats.finish_time = stats["finish_time"]
+            task.stats.blocked_cycles = stats["blocked_cycles"]
+            task.stats.lock_wait_cycles = stats["lock_wait_cycles"]
+            task.stats.preemptions = stats["preemptions"]
+            task.stats.context_switches = stats["context_switches"]
+            kernel.tasks[task.name] = task
+        kernel.leaks = [(name, list(resources))
+                        for name, resources in state["leaks"]]
+        kernel.task_failures = [(name, text)
+                                for name, text in state["task_failures"]]
+        return kernel
+
     def notify_task(self, task: Task, notification: Any) -> None:
         """Deliver an asynchronous notification (resource give-up etc.)."""
         task.notifications.append(notification)

@@ -234,6 +234,74 @@ class Engine:
                 f"processes never finished: {still_running} (t={final})")
         return final
 
+    # -- checkpoint protocol -------------------------------------------------
+
+    SNAPSHOT_KIND = "sim.engine"
+
+    def is_quiescent(self) -> bool:
+        """True when nothing is pending: empty queue, no live process.
+
+        Generator coroutines cannot be serialised, so the engine is
+        snapshottable only between runs — at a *yield point* where every
+        process has either finished or not yet been spawned.  All the
+        experiment drivers and campaign checkers reach this state at the
+        end of every run()/run_until_complete() call.
+        """
+        return not self._queue and not any(p.is_alive for p in self._processes)
+
+    def snapshot_state(self) -> dict:
+        """Versioned, hashed snapshot of the engine clock and counters.
+
+        Raises :class:`~repro.errors.CheckpointError` when the engine is
+        not quiescent (see :meth:`is_quiescent`): in-flight coroutines
+        are replayed — not serialised — by the layers above (the
+        campaign journal plus deterministic seed derivation).
+        """
+        from repro.checkpoint.protocol import snapshot_envelope
+        from repro.errors import CheckpointError
+        if not self.is_quiescent():
+            alive = [p.name for p in self._processes if p.is_alive]
+            raise CheckpointError(
+                f"engine not quiescent: {len(self._queue)} queued event(s), "
+                f"live processes {alive}; snapshot at a yield point "
+                "(after run() drains)")
+        return snapshot_envelope(self.SNAPSHOT_KIND, {
+            "now": self.now,
+            "events_processed": self.events_processed,
+            "completed_processes": sorted(p.name for p in self._processes),
+        })
+
+    @classmethod
+    def restore_state(cls, envelope: dict) -> "Engine":
+        """A fresh engine resumed at the snapshot's clock and counters.
+
+        The completed-process census is restored as bookkeeping only;
+        new work is spawned onto the restored engine as usual.
+        """
+        engine = cls()
+        engine.apply_snapshot(envelope)
+        return engine
+
+    def apply_snapshot(self, envelope: dict) -> None:
+        """Apply a snapshot onto this (fresh, quiescent) engine in place.
+
+        Used when the engine is owned by a larger object — the kernel
+        restores its MPSoC's engine without replacing the instance every
+        other component already holds a reference to.
+        """
+        from repro.checkpoint.protocol import open_envelope
+        from repro.errors import CheckpointError
+        state = open_envelope(envelope, kind=self.SNAPSHOT_KIND)
+        if not self.is_quiescent():
+            raise CheckpointError(
+                "cannot apply a snapshot onto a non-quiescent engine")
+        self.now = state["now"]
+        self.events_processed = state["events_processed"]
+        for name in state["completed_processes"]:
+            proc = SimProcess(self, iter(()), name)
+            proc._done._is_set = True
+            self._processes.append(proc)
+
     # -- failure propagation ------------------------------------------------
 
     def _report_failure(self, proc: SimProcess, exc: BaseException) -> None:

@@ -94,6 +94,33 @@ class BlockAllocator:
                 repairs += 1
         return repairs
 
+    # -- checkpoint plumbing -------------------------------------------------------
+
+    def snapshot_payload(self) -> dict:
+        """JSON-safe owner table + mapping RAM (no envelope; the
+        :class:`~repro.socdmmu.dmmu.SoCDMMU` wraps it)."""
+        return {
+            "num_blocks": self.num_blocks,
+            "block_bytes": self.block_bytes,
+            "owner": list(self._owner),
+            "mappings": sorted(
+                [owner, sorted([virtual, physical]
+                               for virtual, physical in mapping.items())]
+                for owner, mapping in self._mappings.items()),
+            "next_virtual": sorted(
+                [owner, nxt] for owner, nxt in self._next_virtual.items()),
+        }
+
+    @classmethod
+    def from_payload(cls, data: dict) -> "BlockAllocator":
+        allocator = cls(data["num_blocks"], data["block_bytes"])
+        allocator._owner = list(data["owner"])
+        allocator._mappings = {
+            owner: {virtual: physical for virtual, physical in pairs}
+            for owner, pairs in data["mappings"]}
+        allocator._next_virtual = dict(map(tuple, data["next_virtual"]))
+        return allocator
+
     # -- commands (G_alloc / G_dealloc) ------------------------------------------
 
     def allocate(self, owner: str, num_blocks: int) -> list[int]:

@@ -166,6 +166,60 @@ class SoCDMMU:
             self._m_in_use.set(
                 self.allocator.used_blocks * self.allocator.block_bytes)
 
+    # -- checkpoint protocol -------------------------------------------------------
+
+    SNAPSHOT_KIND = "socdmmu"
+
+    def snapshot_state(self) -> dict:
+        """Versioned, hashed snapshot of the allocation tables + stats."""
+        from repro.checkpoint.protocol import snapshot_envelope
+        return snapshot_envelope(self.SNAPSHOT_KIND, {
+            "alloc_cycles": self.alloc_cycles,
+            "dealloc_cycles": self.dealloc_cycles,
+            "allocator": self.allocator.snapshot_payload(),
+            "handles": sorted(
+                [handle, owner, list(virtuals)]
+                for handle, (owner, virtuals) in self._handles.items()),
+            "next_handle": self._next_handle,
+            "stats": {
+                "malloc_calls": self.stats.malloc_calls,
+                "free_calls": self.stats.free_calls,
+                "mm_cycles": self.stats.mm_cycles,
+                "peak_in_use": self.stats.peak_in_use,
+                "failed_allocations": self.stats.failed_allocations,
+                "walk_lengths": list(self.stats.walk_lengths),
+            },
+            "audits": self.audits,
+            "audit_repairs": self.audit_repairs,
+        })
+
+    @classmethod
+    def restore_state(cls, envelope: dict, kernel: Kernel) -> "SoCDMMU":
+        """Rebuild the unit against a (restored) kernel."""
+        from repro.checkpoint.protocol import open_envelope
+        state = open_envelope(envelope, kind=cls.SNAPSHOT_KIND)
+        allocator_state = state["allocator"]
+        unit = cls(kernel,
+                   num_blocks=allocator_state["num_blocks"],
+                   block_bytes=allocator_state["block_bytes"],
+                   alloc_cycles=state["alloc_cycles"],
+                   dealloc_cycles=state["dealloc_cycles"])
+        unit.allocator = BlockAllocator.from_payload(allocator_state)
+        unit._handles = {
+            handle: (owner, list(virtuals))
+            for handle, owner, virtuals in state["handles"]}
+        unit._next_handle = state["next_handle"]
+        stats = state["stats"]
+        unit.stats.malloc_calls = stats["malloc_calls"]
+        unit.stats.free_calls = stats["free_calls"]
+        unit.stats.mm_cycles = stats["mm_cycles"]
+        unit.stats.peak_in_use = stats["peak_in_use"]
+        unit.stats.failed_allocations = stats["failed_allocations"]
+        unit.stats.walk_lengths = list(stats["walk_lengths"])
+        unit.audits = state["audits"]
+        unit.audit_repairs = state["audit_repairs"]
+        return unit
+
     # -- introspection ------------------------------------------------------------
 
     @property

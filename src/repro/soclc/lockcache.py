@@ -270,6 +270,91 @@ class SoCLC:
         lock = self._lock(lock_id)
         return lock.holder.name if lock.holder else None
 
+    # -- checkpoint protocol ------------------------------------------------------
+
+    SNAPSHOT_KIND = "soclc"
+
+    def snapshot_state(self) -> dict:
+        """Versioned, hashed snapshot of every lock cell + IPCP state.
+
+        Holders are recorded by task name (re-bound through the restored
+        kernel's task table).  Waiter queues hold live grant events tied
+        to blocked coroutines, so the unit must be quiescent — no waiter
+        enqueued — at snapshot time; campaign/experiment drivers reach
+        that state whenever the engine drains.
+        """
+        from repro.checkpoint.protocol import snapshot_envelope
+        from repro.errors import CheckpointError
+        waiting = {lock_id: [task.name for task, _ in lock.waiters]
+                   for lock_id, lock in self._locks.items() if lock.waiters}
+        if waiting:
+            raise CheckpointError(
+                f"SoCLC not quiescent: waiters pending on {sorted(waiting)}")
+        return snapshot_envelope(self.SNAPSHOT_KIND, {
+            "num_short_locks": self.num_short_locks,
+            "num_long_locks": self.num_long_locks,
+            "priority_inheritance": self.priority_inheritance,
+            "acquire_cycles": self.acquire_cycles,
+            "release_cycles": self.release_cycles,
+            "locks": [
+                {"lock_id": lock.lock_id, "kind": lock.kind,
+                 "ceiling": lock.ceiling,
+                 "holder": lock.holder.name if lock.holder else None,
+                 "boosted": lock.boosted,
+                 "acquired_at": lock.acquired_at}
+                for lock_id, lock in sorted(self._locks.items())],
+            "stats": {
+                "acquisitions": self.stats.acquisitions,
+                "contended_acquisitions": self.stats.contended_acquisitions,
+                "latencies": list(self.stats.latencies),
+                "delays": list(self.stats.delays),
+            },
+            "interrupt_handoffs": self.interrupt_handoffs,
+            "lost_interrupts": self.lost_interrupts,
+            "redelivered_interrupts": self.redelivered_interrupts,
+            "short_holder": getattr(self, "_short_holder", None),
+        })
+
+    @classmethod
+    def restore_state(cls, envelope: dict, kernel: Kernel) -> "SoCLC":
+        """Rebuild the unit against a (restored) kernel.
+
+        Lock holders are re-bound by name through ``kernel.tasks``; a
+        holder missing from the kernel is a checkpoint error.
+        """
+        from repro.checkpoint.protocol import open_envelope
+        from repro.errors import CheckpointError
+        state = open_envelope(envelope, kind=cls.SNAPSHOT_KIND)
+        unit = cls(kernel,
+                   num_short_locks=state["num_short_locks"],
+                   num_long_locks=state["num_long_locks"],
+                   priority_inheritance=state["priority_inheritance"],
+                   acquire_cycles=state["acquire_cycles"],
+                   release_cycles=state["release_cycles"])
+        for entry in state["locks"]:
+            unit.register_lock(entry["lock_id"], kind=entry["kind"],
+                               ceiling=entry["ceiling"])
+            lock = unit._locks[entry["lock_id"]]
+            holder = entry["holder"]
+            if holder is not None:
+                if holder not in kernel.tasks:
+                    raise CheckpointError(
+                        f"lock {entry['lock_id']!r} held by unknown task "
+                        f"{holder!r}")
+                lock.holder = kernel.tasks[holder]
+            lock.boosted = entry["boosted"]
+            lock.acquired_at = entry["acquired_at"]
+        stats = state["stats"]
+        unit.stats.acquisitions = stats["acquisitions"]
+        unit.stats.contended_acquisitions = stats["contended_acquisitions"]
+        unit.stats.latencies = list(stats["latencies"])
+        unit.stats.delays = list(stats["delays"])
+        unit.interrupt_handoffs = state["interrupt_handoffs"]
+        unit.lost_interrupts = state["lost_interrupts"]
+        unit.redelivered_interrupts = state["redelivered_interrupts"]
+        unit._short_holder = state["short_holder"]
+        return unit
+
     # -- short critical sections via the unit's short-lock cells ----------------
 
     def short_lock(self, ctx: TaskContext) -> Generator:

@@ -1,0 +1,205 @@
+"""Differential checkpoint tests: interrupted == uninterrupted.
+
+Two scenarios from the acceptance criteria, both at root-42 seeds:
+
+* **Table 5 workload**: replay the Jini application's grant/release
+  event sequence through an obs-instrumented DDU; snapshot DDU + RAG at
+  the midpoint, restore them in a *fresh process* (new interpreter, new
+  metrics registry), finish the replay there, and assert verdicts, step
+  counts, and the ``matrix.fastpath.*`` counters decompose exactly:
+  uninterrupted totals == counters-at-snapshot + fresh-process deltas.
+
+* **faults campaign scenario**: a ``crash_at_step`` worker that
+  ``os._exit``s mid-scenario, is retried, restores from its
+  mid-scenario checkpoint, and must produce the verdict/steps/cycles/
+  detail of an uninterrupted run.  The crash only fires on a run with
+  no checkpoint, so a passing retry *proves* the restore path ran — a
+  from-scratch re-execution would crash again and exhaust retries.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.campaign import CampaignRunner, CampaignSpec, ScenarioSpec
+from repro.apps.jini import run_jini_app
+from repro.deadlock.ddu import DDU
+from repro.framework.builder import build_system
+from repro.obs import Observability
+from repro.rag.graph import RAG
+from repro.rag.matrix import StateMatrix
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+SEED_ROOT = 42
+
+FASTPATH_COUNTERS = ("matrix.fastpath.detections",
+                     "matrix.fastpath.passes",
+                     "matrix.fastpath.cleared_edges")
+
+# -- Table 5 / Jini event-sequence replay --------------------------------------
+
+def _capture_jini_events():
+    """(actor, kind, resource) grant/release timeline of the Jini app."""
+    system = build_system("RTOS2")
+    run_jini_app("RTOS2", system=system)
+    kinds = ("resource_granted", "resource_released")
+    return [
+        (rec.actor, rec.kind, rec.details["resource"])
+        for rec in system.soc.trace.filter(
+            predicate=lambda r: r.kind in kinds)]
+
+def _census(events):
+    processes = sorted({actor for actor, _, _ in events})
+    resources = sorted({resource for _, _, resource in events})
+    return processes, resources
+
+def _apply_event(rag, actor, kind, resource):
+    if kind == "resource_granted":
+        rag.grant(resource, actor)
+    else:
+        rag.release(actor, resource)
+
+def _replay(ddu, rag, events):
+    """Apply events one at a time, detecting after each; verdict list."""
+    verdicts = []
+    for actor, kind, resource in events:
+        _apply_event(rag, actor, kind, resource)
+        ddu.load(StateMatrix.from_rag(rag))
+        result = ddu.detect()
+        verdicts.append([result.deadlock, result.iterations,
+                         result.passes, result.cycles])
+    return verdicts
+
+def _counters(obs):
+    return {name: obs.metrics.counter(name).value
+            for name in FASTPATH_COUNTERS}
+
+RESUME_SCRIPT = """\
+import json, sys
+from repro.deadlock.ddu import DDU
+from repro.rag.graph import RAG
+from repro.rag.matrix import StateMatrix
+from repro.obs import Observability
+
+payload = json.load(open(sys.argv[1]))
+obs = Observability(label="resumed", enabled=True)
+ddu = DDU.restore_state(payload["ddu"], obs=obs)
+rag = RAG.restore_state(payload["rag"])
+verdicts = []
+for actor, kind, resource in payload["events"]:
+    if kind == "resource_granted":
+        rag.grant(resource, actor)
+    else:
+        rag.release(actor, resource)
+    ddu.load(StateMatrix.from_rag(rag))
+    result = ddu.detect()
+    verdicts.append([result.deadlock, result.iterations,
+                     result.passes, result.cycles])
+counters = {name: obs.metrics.counter(name).value
+            for name in payload["counter_names"]}
+json.dump({"verdicts": verdicts, "counters": counters,
+           "final_hash": ddu.snapshot_state()["state_hash"]},
+          sys.stdout)
+"""
+
+class TestJiniMidpointRestore:
+    def test_fresh_process_restore_matches_uninterrupted(self, tmp_path):
+        events = _capture_jini_events()
+        assert len(events) >= 6, "Jini replay produced too few events"
+        processes, resources = _census(events)
+
+        # Uninterrupted reference run.
+        ref_obs = Observability(label="reference", enabled=True)
+        ref_ddu = DDU(len(resources), len(processes), obs=ref_obs)
+        ref_rag = RAG(processes, resources)
+        ref_verdicts = _replay(ref_ddu, ref_rag, events)
+        ref_counters = _counters(ref_obs)
+        ref_hash = ref_ddu.snapshot_state()["state_hash"]
+
+        # Interrupted run: stop at the midpoint and snapshot.
+        midpoint = len(events) // 2
+        part_obs = Observability(label="part1", enabled=True)
+        part_ddu = DDU(len(resources), len(processes), obs=part_obs)
+        part_rag = RAG(processes, resources)
+        part1_verdicts = _replay(part_ddu, part_rag, events[:midpoint])
+        counters_at_snapshot = _counters(part_obs)
+
+        payload = tmp_path / "midpoint.json"
+        payload.write_text(json.dumps({
+            "ddu": part_ddu.snapshot_state(),
+            "rag": part_rag.snapshot_state(),
+            "events": events[midpoint:],
+            "counter_names": list(FASTPATH_COUNTERS),
+        }))
+        script = tmp_path / "resume.py"
+        script.write_text(RESUME_SCRIPT)
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+        completed = subprocess.run(
+            [sys.executable, str(script), str(payload)],
+            env=env, capture_output=True, text=True, timeout=120)
+        assert completed.returncode == 0, completed.stderr
+        resumed = json.loads(completed.stdout)
+
+        # Verdicts and step counts decompose exactly.
+        assert part1_verdicts + resumed["verdicts"] == ref_verdicts
+        assert len(part1_verdicts) + len(resumed["verdicts"]) == len(events)
+        # Counters: fresh-process deltas start at zero, so snapshot-time
+        # values + fresh deltas must equal the uninterrupted totals.
+        for name in FASTPATH_COUNTERS:
+            assert counters_at_snapshot[name] + \
+                resumed["counters"][name] == ref_counters[name], name
+        # And the final register file is bit-identical.
+        assert resumed["final_hash"] == ref_hash
+
+    def test_jini_event_capture_is_deterministic(self):
+        assert _capture_jini_events() == _capture_jini_events()
+
+# -- faults-campaign scenario: crash, retry, restore ---------------------------
+
+def _fault_spec(crash: bool) -> CampaignSpec:
+    params = {"m": 4, "n": 4, "model": "cycle-storm", "events": 40,
+              "checkpoint_every": 8}
+    if crash:
+        params["crash_at_step"] = 20
+    return CampaignSpec(name="ckdiff", scenarios=(
+        ScenarioSpec(name="faults", generator="census",
+                     checker="faults.detection-verdicts", params=params),))
+
+def _outcome(record):
+    return {key: record[key]
+            for key in ("verdict", "ok", "steps", "cycles", "detail")}
+
+def _by_id(run, scenario_id):
+    return next(r.to_record() for r in run.results
+                if r.scenario_id == scenario_id)
+
+class TestFaultScenarioCrashRestore:
+    def test_crashed_scenario_restores_to_identical_outcome(self, tmp_path):
+        clean = CampaignRunner(_fault_spec(crash=False),
+                               seed_root=SEED_ROOT, workers=1).run()
+        crashed = CampaignRunner(
+            _fault_spec(crash=True), seed_root=SEED_ROOT, workers=1,
+            retries=2, backoff=0.0,
+            checkpoint_dir=str(tmp_path / "checkpoints")).run()
+        clean_record = _by_id(clean, "faults/00000")
+        crashed_record = _by_id(crashed, "faults/00000")
+        # The worker really died and was retried...
+        assert crashed_record["attempts"] == 2
+        # ...and the retry restored mid-scenario state: verdict, step
+        # count, cycle count and detail text all match the clean run.
+        assert _outcome(crashed_record) == _outcome(clean_record)
+        assert clean_record["verdict"] == "pass"
+
+    def test_crash_without_checkpoint_dir_exhausts_retries(self):
+        # Without a checkpoint directory the retry restarts from
+        # scratch, crashes again at the same step, and the scenario is
+        # reported as a crash — the checkpoint is what breaks the loop.
+        run = CampaignRunner(_fault_spec(crash=True),
+                             seed_root=SEED_ROOT, workers=1,
+                             retries=2, backoff=0.0).run()
+        record = _by_id(run, "faults/00000")
+        assert record["verdict"] == "crash"
+        assert not record["ok"]

@@ -1,0 +1,439 @@
+"""Checkpoint round-trips: restore(snapshot(x)) preserves state_hash.
+
+Every layer named by the acceptance criteria — Engine, Kernel,
+StateMatrix/BitMatrix, DDU, DAU, SoCLC, SoCDMMU, FaultInjector — plus
+the rest of the registry, driven into a non-trivial state first so the
+round-trip exercises real payloads, not empty constructors.
+"""
+
+import pytest
+
+from repro import checkpoint
+from repro.checkpoint.protocol import (
+    SCHEMA_VERSION,
+    open_envelope,
+    read_snapshot,
+    snapshot_envelope,
+    state_hash,
+    write_snapshot,
+)
+from repro.deadlock.daa import SoftwareDAA
+from repro.deadlock.dau import DAU
+from repro.deadlock.dau_fsm import FSMDAU
+from repro.deadlock.ddu import DDU
+from repro.errors import CheckpointError
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    ResilientAvoider,
+    ResilientDetector,
+    UnitHealth,
+)
+from repro.framework.builder import build_system
+from repro.rag.bitmatrix import BitMatrix
+from repro.rag.graph import RAG
+from repro.rag.matrix import StateMatrix
+from repro.rag.multiunit import MultiUnitSystem
+from repro.rtos.kernel import Kernel
+from repro.sim.engine import Engine
+
+ROWS = ["g r .", ". g r", "r . g"]          # 3x3 knot
+
+
+def roundtrip(unit, restore, **context):
+    """snapshot -> restore -> re-snapshot; assert equal state_hash."""
+    before = unit.snapshot_state()
+    clone = restore(before, **context)
+    after = clone.snapshot_state()
+    assert after["state_hash"] == before["state_hash"]
+    assert after["state"] == before["state"]
+    return clone
+
+
+# -- sim.Engine ----------------------------------------------------------------
+
+def _ticker(steps):
+    def proc():
+        for _ in range(steps):
+            yield 1.0
+    return proc()
+
+
+class TestEngine:
+    def test_roundtrip_preserves_hash(self):
+        engine = Engine()
+        engine.spawn(_ticker(3), name="a")
+        engine.spawn(_ticker(5), name="b")
+        engine.run()
+        clone = roundtrip(engine, Engine.restore_state)
+        assert clone.now == engine.now
+        assert clone.events_processed == engine.events_processed
+        assert clone.is_quiescent()
+
+    def test_refuses_snapshot_with_pending_events(self):
+        engine = Engine()
+        engine.spawn(_ticker(10), name="long")
+        engine.run(until=3.0)
+        assert not engine.is_quiescent()
+        with pytest.raises(CheckpointError, match="not quiescent"):
+            engine.snapshot_state()
+
+    def test_restored_engine_keeps_simulating(self):
+        engine = Engine()
+        engine.spawn(_ticker(4), name="a")
+        engine.run()
+        clone = Engine.restore_state(engine.snapshot_state())
+        clone.spawn(_ticker(2), name="later")
+        assert clone.run() == engine.now + 2.0
+
+
+# -- rtos.Kernel ---------------------------------------------------------------
+
+def _run_kernel():
+    system = build_system("RTOS5")
+    kernel = system.kernel
+
+    def worker(ctx):
+        yield from ctx.compute(100)
+
+    kernel.create_task(worker, "t1", 1, "PE1")
+    kernel.create_task(worker, "t2", 2, "PE2")
+    kernel.run()
+    return system, kernel
+
+
+class TestKernel:
+    def test_roundtrip_preserves_hash(self):
+        _, kernel = _run_kernel()
+        clone = roundtrip(kernel, Kernel.restore_state)
+        assert sorted(clone.tasks) == sorted(kernel.tasks)
+        assert clone.engine.now == kernel.engine.now
+
+    def test_task_stats_survive(self):
+        _, kernel = _run_kernel()
+        clone = Kernel.restore_state(kernel.snapshot_state())
+        for name, task in kernel.tasks.items():
+            restored = clone.tasks[name]
+            assert restored.state is task.state
+            assert restored.stats.finish_time == task.stats.finish_time
+            assert restored.stats.preemptions == task.stats.preemptions
+
+    def test_refuses_snapshot_mid_run(self):
+        system = build_system("RTOS5")
+        kernel = system.kernel
+
+        def worker(ctx):
+            yield from ctx.compute(10_000)
+
+        kernel.create_task(worker, "t", 1, "PE1")
+        kernel.engine.run(until=50.0)      # partial: task still alive
+        with pytest.raises(CheckpointError, match="not quiescent"):
+            kernel.snapshot_state()
+
+
+# -- rag matrices --------------------------------------------------------------
+
+class TestMatrices:
+    def test_statematrix_roundtrip(self):
+        matrix = StateMatrix.from_rows(ROWS)
+        roundtrip(matrix, StateMatrix.restore_state)
+
+    def test_bitmatrix_roundtrip(self):
+        matrix = BitMatrix.from_rows(ROWS)
+        roundtrip(matrix, BitMatrix.restore_state)
+
+    def test_backends_emit_identical_payloads(self):
+        # kind lives outside the hashed payload, so the two backends
+        # produce byte-identical state and state_hash for one state.
+        reference = StateMatrix.from_rows(ROWS).snapshot_state()
+        fast = BitMatrix.from_rows(ROWS).snapshot_state()
+        assert reference["state"] == fast["state"]
+        assert reference["state_hash"] == fast["state_hash"]
+        assert reference["kind"] != fast["kind"]
+
+    def test_cross_backend_restore(self):
+        # A BitMatrix snapshot restores into a StateMatrix and back.
+        fast = BitMatrix.from_rows(ROWS)
+        reference = StateMatrix.restore_state(fast.snapshot_state())
+        again = BitMatrix.restore_state(reference.snapshot_state())
+        assert again.snapshot_state()["state_hash"] == \
+            fast.snapshot_state()["state_hash"]
+
+
+# -- rag graph / multiunit -----------------------------------------------------
+
+class TestRagStates:
+    def test_rag_roundtrip(self):
+        rag = RAG(["p1", "p2"], ["q1", "q2"])
+        rag.grant("q1", "p1")
+        rag.add_request("p2", "q1")
+        clone = roundtrip(rag, RAG.restore_state)
+        assert sorted(clone.grant_edges()) == sorted(rag.grant_edges())
+        assert sorted(clone.request_edges()) == sorted(rag.request_edges())
+
+    def test_multiunit_roundtrip(self):
+        system = MultiUnitSystem(["p1", "p2"], {"q1": 2, "q2": 1})
+        system.request("p1", "q1", 2)
+        system.grant("p1", "q1", 2)
+        system.request("p2", "q1", 1)
+        clone = roundtrip(system, MultiUnitSystem.restore_state)
+        assert clone.available("q1") == system.available("q1")
+        assert clone.outstanding_request("p2", "q1") == 1
+
+
+# -- deadlock units ------------------------------------------------------------
+
+class TestDeadlockUnits:
+    def test_ddu_roundtrip_with_latched_result(self):
+        ddu = DDU(3, 3)
+        ddu.load(StateMatrix.from_rows(ROWS))
+        result = ddu.detect()
+        clone = roundtrip(ddu, DDU.restore_state)
+        assert clone.invocations == ddu.invocations
+        # The restored unit republishes the same latched verdict and
+        # answers the next detect() exactly as the original.
+        assert clone.detect().deadlock == result.deadlock
+
+    @pytest.mark.parametrize("backend", ["bitmask", "reference"])
+    def test_ddu_roundtrip_both_backends(self, backend):
+        ddu = DDU(3, 3, backend=backend)
+        ddu.load(StateMatrix.from_rows(ROWS))
+        ddu.detect()
+        roundtrip(ddu, DDU.restore_state)
+
+    def test_dau_roundtrip_with_pending_ports(self):
+        dau = DAU(["p1", "p2", "p3"], ["q1", "q2", "q3"],
+                  {"p1": 1, "p2": 2, "p3": 3})
+        dau.write_command("PE1", "request", "p1", "q1")
+        dau.write_command("PE2", "request", "p2", "q1")   # pending
+        clone = roundtrip(dau, DAU.restore_state)
+        assert clone.read_status("p2").pending
+
+    def test_fsmdau_roundtrip_preserves_step_accounting(self):
+        fsm = FSMDAU(["p1", "p2", "p3"], ["q1", "q2", "q3"],
+                     {"p1": 1, "p2": 2, "p3": 3})
+        fsm.write_command("PE1", "request", "p1", "q1")
+        fsm.write_command("PE2", "request", "p2", "q1")
+        clone = roundtrip(fsm, FSMDAU.restore_state)
+        assert clone.total_steps == fsm.total_steps
+        assert clone.max_steps_seen == fsm.max_steps_seen
+
+    def test_software_daa_roundtrip(self):
+        daa = SoftwareDAA(["p1", "p2", "p3"], ["q1", "q2", "q3"],
+                          {"p1": 1, "p2": 2, "p3": 3})
+        daa.request("p1", "q1")
+        daa.request("p2", "q1")
+        roundtrip(daa, SoftwareDAA.restore_state)
+
+
+# -- SoCLC / SoCDMMU -----------------------------------------------------------
+
+class TestHardwareOS:
+    def test_soclc_roundtrip(self):
+        system = build_system("RTOS6")
+        system.lock_manager.register_lock("L", kind="long", ceiling=1)
+        kernel = system.kernel
+
+        def body(ctx):
+            yield from ctx.lock("L")
+            yield from ctx.compute(50)
+            yield from ctx.unlock("L")
+
+        kernel.create_task(body, "t", 1, "PE1")
+        kernel.run()
+        soclc = system.lock_manager
+        restored_kernel = Kernel.restore_state(kernel.snapshot_state())
+        clone = roundtrip(soclc, type(soclc).restore_state,
+                          kernel=restored_kernel)
+        assert clone.stats.acquisitions == soclc.stats.acquisitions
+
+    def test_soclc_holder_rebinds_by_name(self):
+        system = build_system("RTOS6")
+        system.lock_manager.register_lock("L", kind="long", ceiling=1)
+        kernel = system.kernel
+
+        def body(ctx):
+            yield from ctx.compute(10)
+
+        kernel.create_task(body, "t", 1, "PE1")
+        kernel.run()
+        soclc = system.lock_manager
+        soclc._locks["L"].holder = kernel.tasks["t"]   # leaked holder
+        restored_kernel = Kernel.restore_state(kernel.snapshot_state())
+        clone = roundtrip(soclc, type(soclc).restore_state,
+                          kernel=restored_kernel)
+        assert clone.holder_name("L") == "t"
+        assert clone._locks["L"].holder is restored_kernel.tasks["t"]
+
+    def test_socdmmu_roundtrip(self):
+        system = build_system("RTOS7")
+        kernel = system.kernel
+        heap = system.heap
+
+        def body(ctx):
+            handle = yield from heap.malloc(ctx, 4096)
+            yield from ctx.compute(20)
+            yield from heap.free(ctx, handle)
+            yield from heap.malloc(ctx, 2048)     # left allocated
+
+        kernel.create_task(body, "t", 1, "PE1")
+        kernel.run()
+        restored_kernel = Kernel.restore_state(kernel.snapshot_state())
+        clone = roundtrip(heap, type(heap).restore_state,
+                          kernel=restored_kernel)
+        assert clone.stats.malloc_calls == heap.stats.malloc_calls
+        assert clone.allocator.free_blocks == heap.allocator.free_blocks
+
+
+# -- faults --------------------------------------------------------------------
+
+def _plan():
+    return FaultPlan(name="rt", specs=(
+        FaultSpec("ddu.matrix", "stuck", at=1, duration=2,
+                  params={"s": 0, "t": 0, "value": "g"}),
+        FaultSpec("ddu.hang", "hang", at=4),
+    ))
+
+
+class TestFaults:
+    def test_injector_roundtrip(self):
+        injector = FaultInjector(_plan())
+        for _ in range(3):
+            injector.fire("ddu.matrix")
+        clone = roundtrip(injector, FaultInjector.restore_state)
+        assert clone.visits == injector.visits
+        assert [r.visit for r in clone.records] == \
+            [r.visit for r in injector.records]
+
+    def test_restored_injector_continues_fault_history(self):
+        # The spec at ddu.hang visit 4 must fire on the restored clone
+        # exactly when it would have fired on the original.
+        injector = FaultInjector(_plan())
+        for _ in range(3):
+            injector.fire("ddu.hang")
+        clone = FaultInjector.restore_state(injector.snapshot_state())
+        assert not injector.fire("ddu.hang")     # visit 3
+        assert not clone.fire("ddu.hang")
+        assert injector.fire("ddu.hang")         # visit 4: armed
+        assert clone.fire("ddu.hang")
+
+    def test_health_roundtrip(self):
+        health = UnitHealth("ddu", fail_threshold=2, recover_after=3)
+        health.anomaly("test")
+        health.anomaly("test")           # -> FAILED
+        health.begin_recovery()
+        clone = roundtrip(health, UnitHealth.restore_state)
+        assert clone.state is health.state
+        assert len(clone.transitions) == len(health.transitions)
+
+    def test_resilient_detector_roundtrip(self):
+        detector = ResilientDetector(DDU(3, 3))
+        rag = RAG(["p1", "p2", "p3"], ["q1", "q2", "q3"])
+        rag.grant("q1", "p1")
+        rag.add_request("p2", "q1")
+        detector.detect(rag)
+        detector.force_failover("test")
+        detector.detect(rag)
+        clone = roundtrip(detector, ResilientDetector.restore_state)
+        assert clone.detect(rag).deadlock == detector.detect(rag).deadlock
+
+    def test_resilient_avoider_roundtrip(self):
+        avoider = ResilientAvoider(DAU(
+            ["p1", "p2"], ["q1", "q2"], {"p1": 1, "p2": 2}))
+        avoider.decide("PE1", "request", "p1", "q1")
+        avoider.decide("PE2", "request", "p2", "q1")
+        roundtrip(avoider, ResilientAvoider.restore_state)
+
+
+# -- generic registry dispatch -------------------------------------------------
+
+class TestRegistry:
+    def test_generic_snapshot_and_restore(self):
+        matrix = StateMatrix.from_rows(ROWS)
+        envelope = checkpoint.snapshot_state(matrix)
+        clone = checkpoint.restore_state(envelope)
+        assert isinstance(clone, StateMatrix)
+        assert clone.snapshot_state()["state_hash"] == \
+            envelope["state_hash"]
+
+    def test_context_kwargs_filtered_per_restorer(self):
+        # One heterogeneous context serves every kind: kwargs a given
+        # restorer does not accept are dropped silently.
+        _, kernel = _run_kernel()
+        matrix_env = BitMatrix.from_rows(ROWS).snapshot_state()
+        kernel_env = kernel.snapshot_state()
+        restored_kernel = checkpoint.restore_state(kernel_env,
+                                                   kernel=None, clock=None)
+        assert isinstance(restored_kernel, Kernel)
+        clone = checkpoint.restore_state(matrix_env, kernel=restored_kernel)
+        assert isinstance(clone, BitMatrix)
+
+    def test_unknown_kind_raises(self):
+        envelope = snapshot_envelope("no.such.layer", {"x": 1})
+        with pytest.raises(CheckpointError, match="no restorer"):
+            checkpoint.restore_state(envelope)
+
+    def test_object_without_protocol_raises(self):
+        with pytest.raises(CheckpointError, match="snapshot_state"):
+            checkpoint.snapshot_state(object())
+
+
+# -- envelope / protocol -------------------------------------------------------
+
+class TestProtocol:
+    def test_newer_schema_version_refused(self):
+        envelope = snapshot_envelope("rag.matrix", {"a": 1})
+        envelope["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(CheckpointError, match="newer"):
+            open_envelope(envelope)
+
+    def test_tampered_state_detected(self):
+        envelope = snapshot_envelope("rag.matrix", {"a": 1})
+        envelope["state"]["a"] = 2
+        with pytest.raises(CheckpointError, match="state_hash mismatch"):
+            open_envelope(envelope)
+
+    def test_kind_mismatch_detected(self):
+        envelope = snapshot_envelope("rag.matrix", {"a": 1})
+        with pytest.raises(CheckpointError, match="expected"):
+            open_envelope(envelope, kind="deadlock.ddu")
+
+    def test_missing_keys_detected(self):
+        with pytest.raises(CheckpointError, match="missing"):
+            open_envelope({"schema": "repro.checkpoint/1"})
+        with pytest.raises(CheckpointError):
+            open_envelope("not a dict")
+
+    def test_unserialisable_payload_refused(self):
+        with pytest.raises(CheckpointError, match="JSON-safe"):
+            snapshot_envelope("rag.matrix", {"fn": open})
+
+    def test_state_hash_is_canonical(self):
+        assert state_hash({"b": 1, "a": 2}) == state_hash({"a": 2, "b": 1})
+        assert state_hash({"a": 1}) != state_hash({"a": 2})
+
+    def test_write_read_snapshot_roundtrip(self, tmp_path):
+        envelope = snapshot_envelope("rag.matrix", {"a": [1, 2, 3]})
+        path = tmp_path / "nested" / "snap.json"
+        write_snapshot(path, envelope)
+        assert read_snapshot(path, kind="rag.matrix") == envelope
+        assert list(path.parent.glob("*.tmp")) == []   # no tmp litter
+
+    def test_read_missing_snapshot_is_none(self, tmp_path):
+        assert read_snapshot(tmp_path / "absent.json") is None
+
+    def test_corrupt_snapshot_file_raises(self, tmp_path):
+        path = tmp_path / "snap.json"
+        path.write_text("{ torn")
+        with pytest.raises(CheckpointError, match="not valid JSON"):
+            read_snapshot(path)
+
+    def test_truncated_snapshot_file_raises(self, tmp_path):
+        envelope = snapshot_envelope("rag.matrix", {"a": 1})
+        path = tmp_path / "snap.json"
+        write_snapshot(path, envelope)
+        text = path.read_text()
+        path.write_text(text[:len(text) // 2])
+        with pytest.raises(CheckpointError):
+            read_snapshot(path)
