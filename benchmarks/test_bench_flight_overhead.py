@@ -1,0 +1,123 @@
+"""Benchmark guard: the always-on flight recorder costs under 5% idle.
+
+The flight recorder is *enabled* in every campaign worker, so unlike
+the metrics/span guards its budget is the enabled-but-idle path: hook
+sites still branch on ``if flight.enabled:``, and the few events that
+do fire pay one ring append each.  There is no recorder-free build to
+diff against, so the bound is an over-counting extrapolation:
+
+* ``N`` — an upper bound on flight *guard* evaluations, taken as the
+  full instrumentation event count of an enabled Table 5 run (metric
+  updates plus span begin/end pairs).  The real flight hooks sit only
+  at fault-trip / health-transition / checkpoint-write sites, a tiny
+  subset of those events.
+* ``E`` — a generous per-run budget of events that actually *fire*:
+  one quarter of the ring capacity (a run that trips 64 faults is
+  already a forensics case, not an idle one).
+* ``c_guard`` / ``c_record`` — measured wall-clock costs of one false
+  guard branch and one enabled ring append.
+
+``N * c_guard + E * c_record`` must stay below 5% of the run's wall
+time.  The record is written to ``BENCH_flight_overhead.json`` at the
+repo root (CI uploads it and feeds it to the trend gate).
+"""
+
+import json
+import time
+from pathlib import Path
+
+from benchmarks.conftest import bench_once
+from repro.apps.jini import run_jini_app
+from repro.framework.builder import build_system
+from repro.obs import FlightRecorder, Observability
+
+RECORD_PATH = Path(__file__).resolve().parent.parent \
+    / "BENCH_flight_overhead.json"
+
+
+def _disabled_guard_cost(loops: int = 200_000) -> float:
+    """Seconds per ``if obs.flight.enabled:`` evaluation, disabled."""
+    obs = Observability(enabled=False)
+    sink = 0
+    start = time.perf_counter()
+    for _ in range(loops):
+        if obs.flight.enabled:
+            sink += 1
+    elapsed = time.perf_counter() - start
+    assert sink == 0
+    return elapsed / loops
+
+
+def _record_cost(loops: int = 50_000) -> float:
+    """Seconds per enabled ring append (no sink armed)."""
+    flight = FlightRecorder(clock=time.perf_counter)
+    flight.enable()
+    start = time.perf_counter()
+    for index in range(loops):
+        flight.record("bench_tick", actor="bench", index=index)
+    elapsed = time.perf_counter() - start
+    assert flight.recorded == loops
+    return elapsed / loops
+
+
+def _instrumented_event_count() -> int:
+    """Instrumentation events of one fully-enabled Table 5 run — a
+    strict over-count of flight guard-site visits."""
+    system = build_system("RTOS2")
+    system.soc.obs.enable()
+    run_jini_app(system=system)
+    obs = system.soc.obs
+    return obs.metrics.total_updates + 2 * len(obs.tracer.all_spans())
+
+
+def test_bench_flight_idle_overhead_under_5_percent(benchmark):
+    # Wall time of the production path: a plain uninstrumented run.
+    def clean_run():
+        start = time.perf_counter()
+        run_jini_app("RTOS2")
+        return time.perf_counter() - start
+
+    clean_seconds = bench_once(benchmark, clean_run)
+
+    guards = _instrumented_event_count()
+    fired = FlightRecorder().capacity // 4
+    guard_cost = _disabled_guard_cost()
+    record_cost = _record_cost()
+    overhead = guards * guard_cost + fired * record_cost
+
+    assert guards > 100              # the bound genuinely over-counts
+    assert overhead < 0.05 * clean_seconds, (
+        f"estimated flight-recorder overhead {overhead * 1e6:.0f}us "
+        f"({guards} guards x {guard_cost * 1e9:.1f}ns + {fired} "
+        f"records x {record_cost * 1e9:.1f}ns) exceeds 5% of the "
+        f"{clean_seconds * 1e3:.1f}ms run")
+
+    record = {
+        "benchmark": "flight_overhead",
+        "workload": "jini_rtos2",
+        "guard_sites": guards,
+        "fired_budget": fired,
+        "guard_cost_ns": guard_cost * 1e9,
+        "record_cost_ns": record_cost * 1e9,
+        "estimated_overhead_us": overhead * 1e6,
+        "clean_run_ms": clean_seconds * 1e3,
+        "overhead_fraction": overhead / clean_seconds,
+        "bound": 0.05,
+    }
+    RECORD_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    benchmark.extra_info["flight_overhead"] = record
+
+
+def test_bench_idle_recorder_allocates_nothing(benchmark):
+    """A clean run with the recorder disabled records zero events and
+    opens no sink — the other half of the zero-overhead contract."""
+    def run():
+        system = build_system("RTOS2")
+        run_jini_app(system=system)
+        return system.soc.obs.flight
+
+    flight = bench_once(benchmark, run)
+    assert not flight.enabled
+    assert flight.recorded == 0
+    assert len(flight) == 0
+    assert flight._sink is None

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Metrics dashboard: one instrumented run, three views of it.
+"""Metrics dashboard: one instrumented run, five views of it.
 
 Builds the DDU configuration (RTOS2), enables its observability hub,
 runs a workload that exercises the bus, the locks, the heap and the
@@ -8,17 +8,19 @@ detection unit, and then prints:
 1. the metric summary table (what ``--metrics`` shows on the CLI),
 2. a per-phase delta between two snapshots,
 3. the span tree of one task's service calls,
+4. the cycle-attribution profile (per-component cycle ledger),
+5. the flight recorder's tail (the black box's last events),
 
-and writes a Chrome/Perfetto trace.  Load the JSON at
-https://ui.perfetto.dev (or chrome://tracing) to see the same spans on
-a zoomable timeline.
+and writes a Chrome/Perfetto trace plus the profile as canonical JSON.
+Load the trace at https://ui.perfetto.dev (or chrome://tracing) to see
+the same spans on a zoomable timeline.
 
 Run with::
 
-    python examples/metrics_dashboard.py [--out TRACE.json]
+    python examples/metrics_dashboard.py [--out DIR]
 
-The trace goes to a temporary directory unless ``--out`` says
-otherwise, so running the example never litters the working tree.
+Artifacts go to a temporary directory unless ``--out`` names one, so
+running the example never litters the working tree.
 """
 
 import argparse
@@ -26,7 +28,7 @@ import tempfile
 from pathlib import Path
 
 from repro import build_system
-from repro.obs import write_chrome_trace
+from repro.obs import write_chrome_trace, write_profile
 
 
 def worker(ctx):
@@ -51,9 +53,10 @@ def rival(ctx):
 
 def main(argv=None) -> None:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--out", metavar="TRACE.json",
-                        help="where to write the Perfetto trace "
-                             "(default: a temporary directory)")
+    parser.add_argument("--out", metavar="DIR",
+                        help="directory for the artifacts: Perfetto "
+                             "trace + cycle profile (default: a "
+                             "temporary directory)")
     args = parser.parse_args(argv)
 
     system = build_system("RTOS2",
@@ -66,10 +69,16 @@ def main(argv=None) -> None:
     kernel.create_task(worker, "worker", 1, "PE1")
     kernel.create_task(rival, "rival", 2, "PE2")
 
-    # Snapshot mid-run to demonstrate per-phase deltas.
+    # Snapshot mid-run to demonstrate per-phase deltas; the flight
+    # recorder keeps the phase boundaries on its ring alongside any
+    # fault trips or health transitions the run produces.
     kernel.run(until=10_000)
+    obs.flight.record("phase_boundary", actor="dashboard",
+                      at=system.soc.engine.now, phase="halfway")
     halfway = obs.snapshot()
     kernel.run()
+    obs.flight.record("phase_boundary", actor="dashboard",
+                      at=system.soc.engine.now, phase="final")
     final = obs.snapshot()
 
     print(obs.summary(title=f"{system.name} — full run"))
@@ -83,13 +92,25 @@ def main(argv=None) -> None:
     print("\nworker's service-call spans:")
     print(obs.tracer.render_tree(actors=["worker"]))
 
-    if args.out:
-        out = Path(args.out)
-    else:
-        out = Path(tempfile.mkdtemp(prefix="repro_dashboard_")) \
-            / "metrics_dashboard_trace.json"
-    write_chrome_trace(str(out), obs)
-    print(f"\nwrote {out} — open it at https://ui.perfetto.dev")
+    # The cycle-attribution profile: where did the cycles go, per
+    # component and per operation, and how much of the timeline is
+    # covered by instrumented spans.
+    profile = obs.profile_report(label="metrics dashboard")
+    print("\ncycle attribution:")
+    print(profile.render())
+
+    print("\nflight recorder tail (the black box):")
+    print(obs.flight.render_tail())
+
+    out = Path(args.out) if args.out \
+        else Path(tempfile.mkdtemp(prefix="repro_dashboard_"))
+    out.mkdir(parents=True, exist_ok=True)
+    trace_path = out / "metrics_dashboard_trace.json"
+    profile_path = out / "metrics_dashboard.profile.json"
+    write_chrome_trace(str(trace_path), obs)
+    write_profile(profile_path, profile)
+    print(f"\nwrote {trace_path} — open it at https://ui.perfetto.dev")
+    print(f"wrote {profile_path} — canonical repro.profile/1 JSON")
 
 
 if __name__ == "__main__":

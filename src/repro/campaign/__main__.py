@@ -25,6 +25,7 @@ regressions against the baseline; 2 usage errors.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -52,6 +53,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                         enabled=bool(observing))
     journal = None
     checkpoint_dir = None
+    blackbox_dir = None
     if args.out:
         # A run with an output directory is crash-consistent: the
         # journal header lands before the first scenario runs, and
@@ -61,11 +63,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
             spec.to_dict(), spec.spec_hash(), args.seed_root,
             args.workers, args.timeout, args.retries))
         checkpoint_dir = str(Path(args.out) / "checkpoints")
+        blackbox_dir = str(Path(args.out) / "blackbox")
     runner = CampaignRunner(
         spec, seed_root=args.seed_root, workers=args.workers,
         task_timeout=args.timeout, retries=args.retries,
         backoff=args.backoff, obs=obs, journal=journal,
-        checkpoint_dir=checkpoint_dir)
+        checkpoint_dir=checkpoint_dir, blackbox_dir=blackbox_dir,
+        profile=bool(args.profile_out))
     try:
         run = runner.run()
     finally:
@@ -76,6 +80,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.out:
         results_path, manifest_path = write_run(args.out, run)
         print(f"wrote {results_path} and {manifest_path}")
+    if args.profile_out:
+        out = Path(args.profile_out)
+        out.mkdir(parents=True, exist_ok=True)
+        for scenario_id, profile in sorted(run.profiles.items()):
+            target = out / (scenario_id.replace("/", "__")
+                            + ".profile.json")
+            target.write_text(json.dumps(profile, sort_keys=True,
+                                         separators=(",", ":")) + "\n")
+        print(f"wrote {len(run.profiles)} profile(s) under {out}")
     if args.metrics:
         print()
         print(obs.summary())
@@ -110,7 +123,8 @@ def _cmd_resume(args: argparse.Namespace) -> int:
         spec, seed_root=header["seed_root"], workers=workers,
         task_timeout=header.get("task_timeout"),
         retries=int(header.get("retries", 1)), journal=journal,
-        checkpoint_dir=str(directory / "checkpoints"))
+        checkpoint_dir=str(directory / "checkpoints"),
+        blackbox_dir=str(directory / "blackbox"))
     try:
         run = runner.run(completed=completed)
     finally:
@@ -159,6 +173,36 @@ def _cmd_diff(args: argparse.Namespace) -> int:
                           cycle_drift_pct=args.cycle_drift)
     print(diff.render())
     return 1 if diff.has_regressions else 0
+
+
+def _cmd_trend(args: argparse.Namespace) -> int:
+    """Append the BENCH_* family to the history and gate on trends."""
+    from repro.obs.trend import (
+        append_history,
+        check_trends,
+        collect_bench_entries,
+        load_history,
+    )
+    history_path = Path(args.history)
+    entries = {}
+    if not args.check_only:
+        entries = collect_bench_entries(args.bench_dir)
+        if not entries:
+            print(f"no BENCH_*.json records under {args.bench_dir}",
+                  file=sys.stderr)
+            return 2
+        append_history(history_path, entries, run_id=args.run_id)
+    history = load_history(history_path)
+    if not history:
+        print(f"no history at {history_path}", file=sys.stderr)
+        return 2
+    if not args.check_only:
+        print(f"appended {len(entries)} metric(s) to {history_path} "
+              f"({len(history)} run(s) on record)")
+    report = check_trends(history, window=args.window,
+                          tolerance=args.tolerance)
+    print(report.render())
+    return 1 if report.has_regressions else 0
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
@@ -218,6 +262,12 @@ def main(argv=None) -> int:
     run_parser.add_argument("--trace-out", metavar="FILE",
                             help="write a merged Perfetto trace of all "
                                  "workers")
+    run_parser.add_argument("--profile-out", metavar="DIR",
+                            help="instrument every scenario and write "
+                                 "one cycle profile per scenario into "
+                                 "DIR (with --out they are also kept "
+                                 "under <out>/profiles, referenced "
+                                 "from the manifest)")
     run_parser.set_defaults(fn=_cmd_run)
 
     resume_parser = sub.add_parser(
@@ -243,6 +293,29 @@ def main(argv=None) -> int:
     diff_parser.add_argument("--cycle-drift", type=float, default=10.0,
                              help="cycle drift band in %% (default: 10)")
     diff_parser.set_defaults(fn=_cmd_diff)
+
+    trend_parser = sub.add_parser(
+        "trend", help="append BENCH_*.json to the perf history and "
+                      "gate on regressions against a rolling baseline")
+    trend_parser.add_argument("--bench-dir", default=".",
+                              help="directory holding BENCH_*.json "
+                                   "(default: .)")
+    trend_parser.add_argument("--history", default="BENCH_HISTORY.jsonl",
+                              help="append-only history file (default: "
+                                   "BENCH_HISTORY.jsonl)")
+    trend_parser.add_argument("--run-id", default="local",
+                              help="identifier recorded with this run "
+                                   "(e.g. a commit sha)")
+    trend_parser.add_argument("--window", type=int, default=5,
+                              help="baseline window in runs "
+                                   "(default: 5)")
+    trend_parser.add_argument("--tolerance", type=float, default=0.75,
+                              help="allowed fractional slip from the "
+                                   "baseline median (default: 0.75)")
+    trend_parser.add_argument("--check-only", action="store_true",
+                              help="gate the existing history without "
+                                   "appending a new run")
+    trend_parser.set_defaults(fn=_cmd_trend)
 
     list_parser = sub.add_parser(
         "list", help="list built-in campaigns, generators, checkers")

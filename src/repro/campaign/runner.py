@@ -39,10 +39,21 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Mapping, Optional, Union
 
+from pathlib import Path
+
 from repro.campaign.checkers import lookup
 from repro.campaign.spec import CampaignSpec, Scenario
 from repro.errors import ReproError
-from repro.obs import Observability
+from repro.obs import (
+    FlightRecorder,
+    Observability,
+    blackbox_to_perfetto,
+    build_profile,
+    clear_live_systems,
+    live_systems,
+    merge_profiles,
+    set_default_enabled,
+)
 
 #: Record fields that carry wall-clock or placement information; strip
 #: them (see :func:`strip_timing`) before comparing two runs for
@@ -206,7 +217,9 @@ def _sigterm_handler(signum, frame):
 
 def _worker_main(shard: int, scenarios: list, timeout: Optional[float],
                  out_queue, epoch: float,
-                 checkpoint_dir: Optional[str] = None) -> None:
+                 checkpoint_dir: Optional[str] = None,
+                 blackbox_dir: Optional[str] = None,
+                 profile: bool = False) -> None:
     """One shard: run scenarios serially, stream records, then a
     sentinel.  Runs in a child process.
 
@@ -214,24 +227,68 @@ def _worker_main(shard: int, scenarios: list, timeout: Optional[float],
     above) are *worker losses*, not verdicts: the shard reports which
     scenario it was interrupted on and exits; the parent records the
     loss and retries the unreported scenarios in fresh processes.
+
+    With ``blackbox_dir`` set the shard streams a flight-recorder black
+    box to ``<dir>/shard<N>.jsonl`` — flushed per event, so everything
+    up to (and excluding) a torn final line survives even ``SIGKILL``.
+    With ``profile`` set, every system a scenario builds is born
+    instrumented; the merged per-scenario profile streams back as a
+    ``("profile", ...)`` queue message ahead of the result record.
     """
     signal.signal(signal.SIGTERM, _sigterm_handler)
+    flight: Optional[FlightRecorder] = None
+    if blackbox_dir:
+        flight = FlightRecorder(clock=lambda: time.time() - epoch)
+        flight.enable()
+        flight.arm_sink(Path(blackbox_dir) / f"shard{shard}.jsonl")
     current: Optional[str] = None
     try:
         for data in scenarios:
             scenario = Scenario.from_dict(data)
             current = scenario.scenario_id
+            if flight is not None:
+                flight.record("scenario_start", actor=f"shard{shard}",
+                              scenario_id=current)
+            if profile:
+                clear_live_systems()
+                set_default_enabled(True)
             started = time.time()
-            result = _run_with_timeout(scenario, timeout,
-                                       checkpoint_dir=checkpoint_dir)
+            try:
+                result = _run_with_timeout(scenario, timeout,
+                                           checkpoint_dir=checkpoint_dir)
+            finally:
+                if profile:
+                    set_default_enabled(False)
             result.duration = time.time() - started
             result.start = started - epoch
             result.shard = shard
+            if profile:
+                captured = [build_profile(obs) for obs in live_systems()]
+                clear_live_systems()
+                merged = merge_profiles(captured, label=current)
+                merged.meta["scenario_id"] = current
+                merged.meta["verdict"] = result.verdict
+                out_queue.put(("profile", {"scenario_id": current,
+                                           "profile": merged.to_dict()}))
+            if flight is not None:
+                flight.record("scenario_end", actor=f"shard{shard}",
+                              scenario_id=current, verdict=result.verdict)
             out_queue.put(("result", result.to_record()))
         out_queue.put(("done", shard))
     except (KeyboardInterrupt, SystemExit):
+        if flight is not None:
+            flight.record("worker_lost", actor=f"shard{shard}",
+                          scenario_id=current or "")
         out_queue.put(("lost", {"shard": shard, "scenario_id": current,
                                 "at": time.time() - epoch}))
+    finally:
+        if flight is not None:
+            flight.close_sink()
+
+
+def profile_filename(scenario_id: str) -> str:
+    """Manifest-relative path of one scenario's profile artifact."""
+    return "profiles/" + scenario_id.replace("/", "__") + ".profile.json"
 
 
 class _WallClock:
@@ -259,6 +316,10 @@ class CampaignRun:
     #: was on, seconds since campaign start) — losses are retried, but
     #: the manifest keeps the evidence.
     worker_losses: list = field(default_factory=list)
+    #: {scenario_id: profile dict} when the run profiled (the store
+    #: writes these under ``<run>/profiles/`` for the manifest to
+    #: reference) — never part of the result records or their digest.
+    profiles: dict = field(default_factory=dict)
 
     @property
     def counts(self) -> dict:
@@ -292,6 +353,9 @@ class CampaignRun:
                                 "steps": r.steps, "cycles": r.cycles,
                                 "duration": r.duration}
                 for r in self.results},
+            **({"profiles": {scenario_id: profile_filename(scenario_id)
+                             for scenario_id in sorted(self.profiles)}}
+               if self.profiles else {}),
         }
 
     def render_summary(self) -> str:
@@ -343,7 +407,9 @@ class CampaignRunner:
                  backoff: float = 0.05,
                  obs: Optional[Observability] = None,
                  journal: Optional[Any] = None,
-                 checkpoint_dir: Optional[str] = None) -> None:
+                 checkpoint_dir: Optional[str] = None,
+                 blackbox_dir: Optional[str] = None,
+                 profile: bool = False) -> None:
         if workers < 1:
             raise ReproError("need at least one worker")
         if retries < 0:
@@ -362,8 +428,21 @@ class CampaignRunner:
         #: Directory for checkpoint-aware checkers' mid-scenario
         #: snapshots (usually ``<run>/checkpoints``).
         self.checkpoint_dir = checkpoint_dir
+        #: Directory for worker flight-recorder black boxes (usually
+        #: ``<run>/blackbox``); None disables the recorders.
+        self.blackbox_dir = blackbox_dir
+        #: When True, workers instrument every system a scenario builds
+        #: and stream back one merged profile per scenario.
+        self.profile = profile
+        self._profiles: dict = {}
         self.obs = obs if obs is not None else Observability(
             label=f"campaign:{spec.name}", enabled=False)
+        if blackbox_dir:
+            # The parent keeps its own black box for crash forensics:
+            # worker losses and crashes are trip events that dump it.
+            self.obs.flight.enable()
+            self.obs.flight.autodump_to(
+                Path(blackbox_dir) / "campaign.blackbox.json")
         metrics = self.obs.metrics
         self._m_scenarios = metrics.counter(
             "campaign.scenarios", "scenarios executed")
@@ -412,6 +491,7 @@ class CampaignRunner:
                      for index, scenario in enumerate(pending)}
         epoch = time.time()
         self._worker_losses: list = []
+        self._profiles = {}
         records.update(self._run_sharded(pending, shard_map, epoch))
         missing = [scenario for scenario in pending
                    if scenario.scenario_id not in records]
@@ -430,7 +510,8 @@ class CampaignRunner:
             workers=self.workers, task_timeout=self.task_timeout,
             retries=self.retries, results=results, shard_map=shard_map,
             duration=time.time() - epoch, obs=self.obs,
-            worker_losses=list(self._worker_losses))
+            worker_losses=list(self._worker_losses),
+            profiles=dict(self._profiles))
         self._observe(run)
         return run
 
@@ -451,7 +532,8 @@ class CampaignRunner:
             process = ctx.Process(
                 target=_worker_main,
                 args=(shard, work, self.task_timeout, out_queue, epoch,
-                      self.checkpoint_dir),
+                      self.checkpoint_dir, self.blackbox_dir,
+                      self.profile),
                 daemon=True)
             process.start()
             processes.append(process)
@@ -480,9 +562,14 @@ class CampaignRunner:
                         elif kind == "lost":
                             self._note_loss(payload)
                             open_shards.discard(payload["shard"])
+                        elif kind == "profile":
+                            self._profiles[payload["scenario_id"]] = \
+                                payload["profile"]
                         else:
                             self._journal_record(payload)
                             records[payload["scenario_id"]] = payload
+                    for shard in dead:
+                        self._note_crash(shard, epoch)
                     open_shards -= dead
                 continue
             if kind == "done":
@@ -493,6 +580,8 @@ class CampaignRunner:
                 # scenarios take the crash-retry path.
                 self._note_loss(payload)
                 open_shards.discard(payload["shard"])
+            elif kind == "profile":
+                self._profiles[payload["scenario_id"]] = payload["profile"]
             else:
                 self._journal_record(payload)
                 records[payload["scenario_id"]] = payload
@@ -512,22 +601,34 @@ class CampaignRunner:
             time.sleep(self.backoff * (2 ** attempt))
             self._m_retries.inc()
             retry_queue = ctx.Queue()
+            # No black box for the retry: re-arming shard<N>.jsonl
+            # would truncate the crash evidence the dead worker left.
             process = ctx.Process(
                 target=_worker_main,
                 args=(shard, [scenario.to_dict()], self.task_timeout,
-                      retry_queue, epoch, self.checkpoint_dir),
+                      retry_queue, epoch, self.checkpoint_dir, None,
+                      self.profile),
                 daemon=True)
             process.start()
             record = None
-            try:
-                kind, payload = retry_queue.get(
-                    timeout=max(self.task_timeout or 0, 1.0) * 2 + 5.0)
+            deadline = (time.time()
+                        + max(self.task_timeout or 0, 1.0) * 2 + 5.0)
+            while record is None and time.time() < deadline:
+                try:
+                    kind, payload = retry_queue.get(
+                        timeout=max(0.01, deadline - time.time()))
+                except queue_module.Empty:
+                    break
                 if kind == "result":
                     record = payload
+                elif kind == "profile":
+                    self._profiles[payload["scenario_id"]] = \
+                        payload["profile"]
                 elif kind == "lost":
                     self._note_loss(payload)
-            except queue_module.Empty:
-                record = None
+                    break
+                elif kind == "done":
+                    break
             process.join(timeout=1.0)
             if process.is_alive():  # pragma: no cover - defensive
                 process.terminate()
@@ -546,6 +647,33 @@ class CampaignRunner:
     def _note_loss(self, payload: Mapping[str, Any]) -> None:
         self._worker_losses.append(dict(payload))
         self._m_losses.inc()
+        if self.obs.flight.enabled:
+            self.obs.flight.mark(
+                "worker_lost", actor=f"shard{payload.get('shard')}",
+                scenario_id=payload.get("scenario_id") or "")
+        self._export_blackbox(payload.get("shard"))
+
+    def _note_crash(self, shard: int, epoch: float) -> None:
+        """A worker died without a sentinel: keep the evidence.
+
+        The dead worker's streamed black box (everything flushed before
+        the kill) is converted into a Perfetto trace next to the JSONL,
+        and the parent's own flight recorder trips a ``worker_crash``
+        auto-dump.
+        """
+        if self.obs.flight.enabled:
+            self.obs.flight.mark("worker_crash", actor=f"shard{shard}",
+                                 at=time.time() - epoch)
+        self._export_blackbox(shard)
+
+    def _export_blackbox(self, shard: Optional[int]) -> None:
+        if self.blackbox_dir is None or shard is None:
+            return
+        source = Path(self.blackbox_dir) / f"shard{shard}.jsonl"
+        if source.exists():
+            blackbox_to_perfetto(
+                source,
+                Path(self.blackbox_dir) / f"shard{shard}.blackbox.json")
 
     def _journal_record(self, record: Mapping[str, Any]) -> None:
         """Make one record durable before the run proceeds (WAL)."""

@@ -18,7 +18,12 @@ import json
 from pathlib import Path
 from typing import Iterable, Union
 
-from repro.campaign.runner import CampaignRun, ScenarioResult, strip_timing
+from repro.campaign.runner import (
+    CampaignRun,
+    ScenarioResult,
+    profile_filename,
+    strip_timing,
+)
 from repro.errors import ConfigurationError
 
 RESULTS_NAME = "results.jsonl"
@@ -41,6 +46,13 @@ def write_run(out_dir: Union[str, Path], run: CampaignRun
     results_path.write_text(results_to_jsonl(run.results))
     manifest_path.write_text(
         json.dumps(run.manifest(), indent=2, sort_keys=True) + "\n")
+    # Profiled runs keep one canonical-JSON profile per scenario at the
+    # manifest-relative paths the manifest's "profiles" map names.
+    for scenario_id, profile in run.profiles.items():
+        target = directory / profile_filename(scenario_id)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(json.dumps(profile, sort_keys=True,
+                                     separators=(",", ":")) + "\n")
     return results_path, manifest_path
 
 

@@ -71,6 +71,10 @@ class ScenarioCheckpoint:
         self.saves += 1
         if self._obs.enabled:
             self._m_saves.inc()
+        if self._obs.flight.enabled:
+            self._obs.flight.mark(
+                "checkpoint_write", actor=self.scenario_id,
+                saves=self.saves, path=str(self.path))
 
     def load(self) -> Optional[dict]:
         """The last saved state, or ``None`` when starting fresh."""

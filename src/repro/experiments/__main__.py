@@ -6,11 +6,13 @@ Usage::
     python -m repro.experiments table5 fig20     # a selection
     python -m repro.experiments --markdown report.md   # one document
     python -m repro.experiments table5 --metrics --trace-out /tmp/t.json
+    python -m repro.experiments table5 --profile-out /tmp/table5.json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -43,6 +45,9 @@ def main(argv=None) -> int:
     parser.add_argument("--trace-out", metavar="FILE",
                         help="write a Chrome/Perfetto trace_event JSON "
                              "covering every system the selection builds")
+    parser.add_argument("--profile-out", metavar="FILE",
+                        help="write a cycle-attribution profile set "
+                             "(one profile per instrumented system)")
     args = parser.parse_args(argv)
 
     if args.list:
@@ -57,7 +62,7 @@ def main(argv=None) -> int:
         print(f"available: {sorted(EXPERIMENTS)}", file=sys.stderr)
         return 2
 
-    observing = args.metrics or args.trace_out
+    observing = args.metrics or args.trace_out or args.profile_out
     if observing:
         obs_module.clear_live_systems()
         obs_module.set_default_enabled(True)
@@ -95,6 +100,17 @@ def main(argv=None) -> int:
     if args.trace_out:
         write_chrome_trace(args.trace_out, systems)
         print(f"\nwrote {args.trace_out} ({len(systems)} system(s))")
+    if args.profile_out:
+        from repro.obs import build_profile
+        profiles = [build_profile(system) for system in systems]
+        document = {"schema": "repro.profile-set/1",
+                    "experiments": wanted,
+                    "profiles": [p.to_dict() for p in profiles]}
+        Path(args.profile_out).write_text(
+            json.dumps(document, sort_keys=True,
+                       separators=(",", ":")) + "\n")
+        print(f"\nwrote {args.profile_out} "
+              f"({len(profiles)} profile(s))")
     return 0
 
 

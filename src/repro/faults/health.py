@@ -164,6 +164,11 @@ class UnitHealth:
         self.transitions.append(HealthTransition(
             at=self._clock(), previous=self.state, state=state,
             reason=reason))
+        if self.obs.flight.enabled:
+            self.obs.flight.mark(
+                "health_transition", actor=self.unit,
+                previous=self.state.value, state=state.value,
+                reason=reason)
         self.state = state
 
     @property

@@ -78,6 +78,10 @@ class FaultInjector:
                     site=site, kind=spec.kind, visit=hit_visit, key=key))
                 if self.obs.enabled:
                     self._m_injected.inc()
+                if self.obs.flight.enabled:
+                    self.obs.flight.mark(
+                        "fault_trip", actor=site, kind=spec.kind,
+                        visit=hit_visit, key=key or "")
         return tuple(active)
 
     def visits_of(self, site: str) -> int:

@@ -45,6 +45,21 @@ from repro.obs.export import (
     summary_table,
     write_chrome_trace,
 )
+from repro.obs.flight import (
+    DEFAULT_CAPACITY,
+    FlightRecorder,
+    blackbox_to_perfetto,
+    events_to_perfetto,
+    read_blackbox,
+)
+from repro.obs.profile import (
+    ProfileDiff,
+    ProfileReport,
+    build_profile,
+    merge_profiles,
+    read_profile,
+    write_profile,
+)
 from repro.sim.trace import Trace
 
 __all__ = [
@@ -59,6 +74,17 @@ __all__ = [
     "DEFAULT_BUCKETS",
     "Span",
     "SpanTracer",
+    "FlightRecorder",
+    "DEFAULT_CAPACITY",
+    "events_to_perfetto",
+    "read_blackbox",
+    "blackbox_to_perfetto",
+    "ProfileReport",
+    "ProfileDiff",
+    "build_profile",
+    "merge_profiles",
+    "read_profile",
+    "write_profile",
     "chrome_trace_document",
     "chrome_trace_events",
     "write_chrome_trace",
@@ -115,6 +141,11 @@ class Observability:
         self._frozen = False
         self.metrics = MetricsRegistry()
         self.tracer = SpanTracer(self.now, trace=trace)
+        self.flight = FlightRecorder(clock=self.now)
+        if self.enabled:
+            self.flight.enabled = True
+        if engine is not None and getattr(engine, "obs", None) is None:
+            engine.obs = self
 
     # -- clock -------------------------------------------------------------
 
@@ -131,9 +162,11 @@ class Observability:
                 "the shared NULL_OBS sentinel cannot be enabled; give "
                 "the component its own Observability instance")
         self.enabled = True
+        self.flight.enable()
 
     def disable(self) -> None:
         self.enabled = False
+        self.flight.disable()
 
     # -- spans -------------------------------------------------------------
 
@@ -163,6 +196,12 @@ class Observability:
     def snapshot(self) -> Snapshot:
         return self.metrics.snapshot(time=self.now())
 
+    # -- profiles ----------------------------------------------------------
+
+    def profile_report(self, label: Optional[str] = None) -> ProfileReport:
+        """Attribute this system's cycles to components (see profile.py)."""
+        return build_profile(self, label=label)
+
     # -- exports -----------------------------------------------------------
 
     def summary(self, title: Optional[str] = None) -> str:
@@ -188,6 +227,7 @@ class Observability:
 def _make_null() -> Observability:
     obs = Observability(enabled=False, label="null")
     obs._frozen = True
+    obs.flight._frozen = True
     return obs
 
 

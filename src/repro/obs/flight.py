@@ -1,0 +1,225 @@
+"""The always-on flight recorder: a bounded black box of recent events.
+
+A :class:`FlightRecorder` keeps the last ``capacity`` noteworthy events
+(fault trips, health-FSM transitions, checkpoint writes, scenario
+lifecycle) in a ring buffer.  It costs nothing when idle — the ring is
+allocated once, and every hook site guards with a single
+``if flight.enabled:`` branch, the same zero-overhead idiom as the
+metrics layer (held under 5% by ``benchmarks/test_bench_flight_overhead``).
+
+Two persistence modes:
+
+* **dump on trip** — :meth:`mark` records an event and, when an
+  auto-dump path is armed, immediately writes the whole ring as a
+  Perfetto-compatible trace: the "black box" for fault-plan trips,
+  health transitions and checkpoint writes;
+* **streaming sink** — :meth:`arm_sink` appends every event as one
+  JSONL line, flushed per line but *not* fsync'd.  A campaign worker
+  armed this way survives ``SIGKILL``: everything flushed before the
+  kill is in the page cache and readable afterwards via
+  :func:`read_blackbox`, which tolerates the torn final line.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from pathlib import Path
+from typing import Any, Callable, Iterable, Optional, Union
+
+from repro.errors import SimulationError
+
+#: Default ring capacity ("the final N events" after a crash).
+DEFAULT_CAPACITY = 256
+
+#: Event kinds that trigger an auto-dump when a dump path is armed.
+TRIP_KINDS = frozenset((
+    "fault_trip", "health_transition", "checkpoint_write",
+    "worker_crash", "worker_lost",
+))
+
+
+class FlightRecorder:
+    """Bounded ring of ``{time, actor, kind, data}`` events."""
+
+    __slots__ = ("enabled", "capacity", "recorded", "_clock", "_ring",
+                 "_sink", "_sink_path", "_autodump_path", "_frozen")
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY,
+                 clock: Optional[Callable[[], float]] = None) -> None:
+        if capacity < 1:
+            raise SimulationError("flight recorder needs capacity >= 1")
+        self.enabled = False
+        self.capacity = capacity
+        #: Events ever recorded (ring may have evicted older ones).
+        self.recorded = 0
+        self._clock = clock
+        self._ring: deque = deque(maxlen=capacity)
+        self._sink = None
+        self._sink_path: Optional[Path] = None
+        self._autodump_path: Optional[Path] = None
+        self._frozen = False
+
+    # -- switches ----------------------------------------------------------
+
+    def enable(self) -> None:
+        if self._frozen:
+            raise SimulationError(
+                "the shared NULL_OBS flight recorder cannot be enabled; "
+                "give the component its own Observability instance")
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    # -- recording ---------------------------------------------------------
+
+    def record(self, kind: str, /, actor: str = "", **data: Any) -> None:
+        """Append one event (call sites guard on ``enabled`` first).
+
+        ``kind`` is positional-only so the payload may carry its own
+        ``kind`` key (a fault spec's kind, say) without colliding.
+        """
+        event = {
+            "time": self._clock() if self._clock is not None else 0.0,
+            "actor": actor,
+            "kind": kind,
+            "data": data,
+        }
+        self._ring.append(event)
+        self.recorded += 1
+        if self._sink is not None:
+            self._sink.write(json.dumps(event, sort_keys=True) + "\n")
+            self._sink.flush()
+
+    def mark(self, kind: str, /, actor: str = "", **data: Any) -> None:
+        """Record an event and auto-dump the black box if armed."""
+        self.record(kind, actor=actor, **data)
+        if self._autodump_path is not None and kind in TRIP_KINDS:
+            self.dump(self._autodump_path)
+
+    # -- queries -----------------------------------------------------------
+
+    def events(self) -> list:
+        return list(self._ring)
+
+    def tail(self, n: int = 10) -> list:
+        """The most recent ``n`` events, oldest first."""
+        events = list(self._ring)
+        return events[-n:] if n < len(events) else events
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def render_tail(self, n: int = 10) -> str:
+        """Plain-text tail (the dashboard / post-mortem view)."""
+        lines = []
+        for event in self.tail(n):
+            extras = " ".join(f"{k}={v}" for k, v
+                              in sorted(event["data"].items()))
+            actor = f" {event['actor']}" if event["actor"] else ""
+            suffix = f" [{extras}]" if extras else ""
+            lines.append(f"t={event['time']:>10g} {event['kind']}"
+                         f"{actor}{suffix}")
+        return "\n".join(lines) if lines else "(flight recorder empty)"
+
+    # -- persistence -------------------------------------------------------
+
+    def arm_sink(self, path: Union[str, Path]) -> Path:
+        """Stream every future event to ``path`` as JSONL (black box)."""
+        self.close_sink()
+        self._sink_path = Path(path)
+        self._sink_path.parent.mkdir(parents=True, exist_ok=True)
+        self._sink = open(self._sink_path, "w", encoding="utf-8")
+        return self._sink_path
+
+    def close_sink(self) -> None:
+        if self._sink is not None:
+            self._sink.close()
+            self._sink = None
+
+    def autodump_to(self, path: Union[str, Path]) -> None:
+        """Arm a Perfetto dump at ``path`` for every TRIP_KINDS event."""
+        self._autodump_path = Path(path)
+
+    def to_perfetto(self) -> dict:
+        """The ring as a Chrome/Perfetto trace document."""
+        return events_to_perfetto(self.events())
+
+    def dump(self, path: Union[str, Path]) -> str:
+        """Write the ring as a Perfetto-loadable black-box trace."""
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        with open(target, "w", encoding="utf-8") as handle:
+            json.dump(self.to_perfetto(), handle, indent=1)
+            handle.write("\n")
+        return str(target)
+
+
+def events_to_perfetto(events: Iterable[dict]) -> dict:
+    """Flight events as Chrome/Perfetto instant events.
+
+    Every actor becomes a thread of one "flight" process; each event is
+    an instant (``"ph": "i"``) with its payload in ``args`` — loadable
+    at https://ui.perfetto.dev next to the span traces.
+    """
+    trace_events: list = [{
+        "ph": "M", "name": "process_name", "pid": 1, "ts": 0,
+        "args": {"name": "flight-recorder"},
+    }]
+    tids: dict = {}
+    for event in events:
+        actor = event.get("actor") or "(system)"
+        if actor not in tids:
+            tids[actor] = len(tids) + 1
+            trace_events.append({
+                "ph": "M", "name": "thread_name", "pid": 1,
+                "tid": tids[actor], "ts": 0, "args": {"name": actor},
+            })
+        trace_events.append({
+            "ph": "i", "s": "t", "name": event["kind"],
+            "cat": "flight", "ts": event.get("time", 0.0),
+            "pid": 1, "tid": tids[actor],
+            "args": dict(event.get("data", {})),
+        })
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ns",
+        "otherData": {"producer": "repro.obs.flight",
+                      "time_unit": "1 ts = 1 simulated cycle"},
+    }
+
+
+def read_blackbox(path: Union[str, Path]) -> list:
+    """Read a streamed black-box JSONL back into an event list.
+
+    A torn final line — the write a ``SIGKILL`` interrupted — is
+    dropped; a torn line earlier in the file means real corruption and
+    raises :class:`~repro.errors.SimulationError`.
+    """
+    text = Path(path).read_text(encoding="utf-8")
+    events: list = []
+    lines = text.splitlines()
+    for number, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            events.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            if number == len(lines):
+                break              # torn final line: the crash point
+            raise SimulationError(
+                f"{path}:{number} is corrupt mid-blackbox: {exc}") from exc
+    return events
+
+
+def blackbox_to_perfetto(path: Union[str, Path],
+                         out_path: Union[str, Path]) -> str:
+    """Convert a streamed black-box JSONL into a Perfetto trace file."""
+    document = events_to_perfetto(read_blackbox(path))
+    target = Path(out_path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with open(target, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=1)
+        handle.write("\n")
+    return str(target)

@@ -35,6 +35,15 @@ DEFAULT_BUCKETS: tuple = (
     100_000, 250_000, 500_000, 1_000_000,
 )
 
+#: Default cap on distinct label values per metric base name.
+DEFAULT_MAX_LABELS = 64
+
+#: Counter recording label values rejected by the cardinality cap.
+DROPPED_LABELS = "metrics.dropped_labels"
+
+#: The shared bucket updates for dropped label values land in.
+OVERFLOW_LABEL = "other"
+
 
 class Counter:
     """A monotonically increasing total."""
@@ -131,10 +140,14 @@ class Histogram:
         return self.total / self.count if self.count else 0.0
 
     def percentile(self, q: float) -> float:
-        """Bucket-resolution percentile (0 < q <= 100).
+        """Interpolated percentile (0 < q <= 100).
 
-        Returns the upper bound of the bucket containing the q-th
-        sample; the overflow bucket reports the observed maximum.
+        Linearly interpolates within the bucket containing the q-th
+        sample — between the previous bound (or the observed minimum
+        for the first bucket) and the bucket's upper bound — then
+        clamps to the observed [min, max].  The overflow bucket reports
+        the observed maximum.  At small sample counts this keeps a
+        lone 7 in a (1, 10] bucket from reporting as "10".
         """
         if not 0 < q <= 100:
             raise ValueError(f"percentile {q} out of (0, 100]")
@@ -143,11 +156,20 @@ class Histogram:
         rank = q / 100.0 * self.count
         seen = 0
         for index, bucket_count in enumerate(self.counts):
+            if not bucket_count:
+                continue
+            if seen + bucket_count >= rank:
+                if index >= len(self.bounds):
+                    return float(self.max_value)
+                hi = float(self.bounds[index])
+                lo = (float(self.bounds[index - 1]) if index
+                      else float(self.min_value))
+                lo = min(lo, hi)
+                position = (rank - seen) / bucket_count
+                value = lo + position * (hi - lo)
+                return max(float(self.min_value),
+                           min(value, float(self.max_value)))
             seen += bucket_count
-            if seen >= rank and bucket_count:
-                if index < len(self.bounds):
-                    return float(self.bounds[index])
-                return float(self.max_value)
         return float(self.max_value)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
@@ -211,10 +233,34 @@ class Snapshot:
 
 
 class MetricsRegistry:
-    """Named metrics, get-or-create, insertion-ordered."""
+    """Named metrics, get-or-create, insertion-ordered.
 
-    def __init__(self) -> None:
+    Metrics may carry one label value (``counter("rpc.calls",
+    label="tenant-a")`` registers ``rpc.calls[tenant-a]``).  Distinct
+    label values per base name are capped at ``max_labels``; past the
+    cap, new values collapse into a shared ``[other]`` bucket and the
+    ``metrics.dropped_labels`` counter increments — a runaway
+    per-tenant label set degrades, it cannot blow memory.
+    """
+
+    def __init__(self, max_labels: int = DEFAULT_MAX_LABELS) -> None:
         self._metrics: dict = {}
+        self.max_labels = max_labels
+        self._label_values: dict = {}
+
+    def _labeled(self, name: str, label: Optional[str]) -> str:
+        if label is None:
+            return name
+        values = self._label_values.setdefault(name, set())
+        if label not in values:
+            if len(values) >= self.max_labels:
+                self._get_or_create(
+                    DROPPED_LABELS, Counter,
+                    help="label values rejected by the cardinality cap",
+                ).inc()
+                return f"{name}[{OVERFLOW_LABEL}]"
+            values.add(label)
+        return f"{name}[{label}]"
 
     def _get_or_create(self, name: str, kind: type, **kwargs) -> Metric:
         metric = self._metrics.get(name)
@@ -228,16 +274,21 @@ class MetricsRegistry:
                 f"{type(metric).__name__}, not {kind.__name__}")
         return metric
 
-    def counter(self, name: str, help: str = "") -> Counter:
-        return self._get_or_create(name, Counter, help=help)
+    def counter(self, name: str, help: str = "",
+                label: Optional[str] = None) -> Counter:
+        return self._get_or_create(self._labeled(name, label), Counter,
+                                   help=help)
 
-    def gauge(self, name: str, help: str = "") -> Gauge:
-        return self._get_or_create(name, Gauge, help=help)
+    def gauge(self, name: str, help: str = "",
+              label: Optional[str] = None) -> Gauge:
+        return self._get_or_create(self._labeled(name, label), Gauge,
+                                   help=help)
 
     def histogram(self, name: str, help: str = "",
-                  bounds: Sequence = DEFAULT_BUCKETS) -> Histogram:
-        return self._get_or_create(name, Histogram, help=help,
-                                   bounds=bounds)
+                  bounds: Sequence = DEFAULT_BUCKETS,
+                  label: Optional[str] = None) -> Histogram:
+        return self._get_or_create(self._labeled(name, label), Histogram,
+                                   help=help, bounds=bounds)
 
     def get(self, name: str) -> Metric:
         try:

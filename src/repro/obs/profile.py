@@ -1,0 +1,452 @@
+"""Cycle-attribution profiling: where did the simulated cycles go?
+
+The paper's whole partitioning argument is a cycle ledger — Tables 5,
+7, 9 and 11/12 all compare *per-component* cycle costs across
+hardware/software splits.  :class:`ProfileReport` turns one
+instrumented run into that ledger: it folds the
+:class:`~repro.obs.spans.SpanTracer` span tree and the unit metric
+counters into per-component, per-operation cycle totals, so a
+profile-guided partitioner (ROADMAP item 2) can consume workload
+profiles as first-class, machine-readable artifacts.
+
+Attribution model
+-----------------
+
+Two complementary views are folded into one report:
+
+* **Timeline attribution** (``components[*].cycles``): every span's
+  *self time* — its duration minus its children's — is charged to the
+  component that serves the span's operation (``malloc`` to the
+  SoCDMMU or the software heap, ``detect`` to the DDU or the software
+  PDDA, ``use_peripheral`` to the peripheral, and so on).  Self times
+  are summed over actors, so concurrent activity can legitimately
+  attribute more than ``total_cycles`` actor-cycles in total.
+* **Unit meters** (``components[*].operations``): the cycle-valued
+  histograms the hardware models keep (``ddu.cycles``,
+  ``dau.decision_cycles``, ``deadlock.algorithm_cycles``,
+  ``lock.acquire_latency``, bus busy/stall counters) appear as named
+  operations with their own counts and metered cycle totals — the
+  exact quantities the paper tabulates.
+
+``attributed_fraction`` is the *coverage* of the run: the union of all
+span intervals, over all actors, divided by ``total_cycles``.  A run
+whose tasks spend their lives inside instrumented service calls (the
+Table 5 scenario, say) attributes >95% of its cycles; uninstrumented
+stretches show up honestly as ``unattributed_cycles``.
+
+Serialisation is canonical JSON (sorted keys, no whitespace — the
+same convention as the checkpoint envelopes), so profiles are
+byte-comparable and digest-stable.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Iterable, Mapping, Optional
+
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs import Observability
+
+#: Schema tag embedded in every serialised profile.
+PROFILE_SCHEMA = "repro.profile/1"
+
+#: Span names charged to the deadlock/avoidance *unit* (hardware or
+#: software, resolved per system from the unit invocation counters).
+_DETECTION_SPANS = ("detect",)
+_AVOIDANCE_PREFIX = "avoid."
+
+#: Span name -> component for everything that does not need resolution.
+_SPAN_COMPONENTS = {
+    "request": "kernel",
+    "release": "kernel",
+    "wait_grant": "blocked",
+    "acquire": "kernel",
+    "withdraw": "kernel",
+    "lock": "locks",
+    "unlock": "locks",
+    "use_peripheral": "peripheral",
+    "post": "ipc",
+    "pend": "ipc",
+    "send": "ipc",
+    "receive": "ipc",
+}
+
+#: Counter/histogram prefixes surfaced verbatim in ``counters`` (the
+#: fast-path and fault annotations ROADMAP item 2 wants alongside the
+#: cycle ledger).
+_ANNOTATION_PREFIXES = ("matrix.fastpath.", "faults.", "checkpoint.")
+
+
+def _component_for_span(name: str, detection: str, memory: str) -> str:
+    """Resolve one span name to its serving component."""
+    if name in _DETECTION_SPANS or name.startswith(_AVOIDANCE_PREFIX):
+        return detection
+    if name in ("malloc", "free"):
+        return memory
+    return _SPAN_COMPONENTS.get(name, "app")
+
+
+def _resolve_detection(counters: Mapping[str, float]) -> str:
+    """Which component ran the detection/avoidance algorithm?"""
+    if counters.get("dau.decisions", 0):
+        return "dau"
+    if counters.get("ddu.invocations", 0):
+        return "ddu"
+    if counters.get("deadlock.invocations", 0):
+        return "software.pdda"
+    return "detection"
+
+
+def _resolve_memory(counters: Mapping[str, float]) -> str:
+    """Which component served malloc/free?"""
+    if counters.get("socdmmu.mallocs", 0) or counters.get("socdmmu.frees", 0):
+        return "socdmmu"
+    if counters.get("heap.mallocs", 0) or counters.get("heap.frees", 0):
+        return "software.heap"
+    return "memory"
+
+
+def _interval_union(intervals: list) -> float:
+    """Total length of the union of ``(begin, end)`` intervals."""
+    if not intervals:
+        return 0.0
+    intervals.sort()
+    covered = 0.0
+    cur_begin, cur_end = intervals[0]
+    for begin, end in intervals[1:]:
+        if begin > cur_end:
+            covered += cur_end - cur_begin
+            cur_begin, cur_end = begin, end
+        else:
+            cur_end = max(cur_end, end)
+    return covered + (cur_end - cur_begin)
+
+
+class ProfileReport:
+    """A per-component, per-operation cycle ledger for one run."""
+
+    def __init__(self, label: str, total_cycles: float,
+                 components: Optional[dict] = None,
+                 counters: Optional[dict] = None,
+                 covered_cycles: float = 0.0,
+                 wall_seconds: float = 0.0,
+                 events_processed: int = 0,
+                 meta: Optional[dict] = None) -> None:
+        self.label = label
+        self.total_cycles = float(total_cycles)
+        #: {component: {"cycles": float,
+        #:              "operations": {op: {"count": n, "cycles": c}}}}
+        self.components: dict = components if components is not None else {}
+        #: Fast-path / fault / checkpoint counters, verbatim.
+        self.counters: dict = counters if counters is not None else {}
+        self.covered_cycles = float(covered_cycles)
+        self.wall_seconds = float(wall_seconds)
+        self.events_processed = int(events_processed)
+        self.meta: dict = meta if meta is not None else {}
+
+    # -- derived -----------------------------------------------------------
+
+    @property
+    def attributed_fraction(self) -> float:
+        """Span-coverage of the run's timeline (0..1)."""
+        if not self.total_cycles:
+            return 0.0
+        return min(1.0, self.covered_cycles / self.total_cycles)
+
+    @property
+    def unattributed_cycles(self) -> float:
+        return max(0.0, self.total_cycles - self.covered_cycles)
+
+    @property
+    def attributed_cycles(self) -> float:
+        """Sum of per-component self-time cycles (actor-cycles)."""
+        return sum(entry["cycles"] for entry in self.components.values())
+
+    def component_cycles(self, name: str) -> float:
+        entry = self.components.get(name)
+        return entry["cycles"] if entry else 0.0
+
+    # -- ledger assembly ---------------------------------------------------
+
+    def charge(self, component: str, cycles: float, operation: str,
+               count: int = 1, metered: bool = False) -> None:
+        """Add ``cycles`` of ``operation`` to ``component``'s ledger.
+
+        ``metered`` entries carry unit-histogram totals that already
+        live inside some span's timeline; they extend the operations
+        table without inflating the component's timeline cycles.
+        """
+        entry = self.components.setdefault(
+            component, {"cycles": 0.0, "operations": {}})
+        if not metered:
+            entry["cycles"] += cycles
+        op = entry["operations"].setdefault(
+            operation, {"count": 0, "cycles": 0.0})
+        op["count"] += count
+        op["cycles"] += cycles
+
+    # -- serialisation -----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": PROFILE_SCHEMA,
+            "label": self.label,
+            "total_cycles": self.total_cycles,
+            "covered_cycles": self.covered_cycles,
+            "attributed_fraction": self.attributed_fraction,
+            "unattributed_cycles": self.unattributed_cycles,
+            "wall_seconds": self.wall_seconds,
+            "events_processed": self.events_processed,
+            "components": self.components,
+            "counters": self.counters,
+            "meta": self.meta,
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON (sorted keys, no whitespace)."""
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "ProfileReport":
+        if payload.get("schema") != PROFILE_SCHEMA:
+            raise ConfigurationError(
+                f"not a {PROFILE_SCHEMA} profile: "
+                f"schema={payload.get('schema')!r}")
+        report = cls(
+            label=payload["label"],
+            total_cycles=payload["total_cycles"],
+            components={name: {"cycles": entry["cycles"],
+                               "operations": {
+                                   op: dict(stats) for op, stats
+                                   in entry["operations"].items()}}
+                        for name, entry in payload["components"].items()},
+            counters=dict(payload.get("counters", {})),
+            covered_cycles=payload.get("covered_cycles", 0.0),
+            wall_seconds=payload.get("wall_seconds", 0.0),
+            events_processed=payload.get("events_processed", 0),
+            meta=dict(payload.get("meta", {})),
+        )
+        return report
+
+    @classmethod
+    def from_json(cls, text: str) -> "ProfileReport":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(
+                f"profile is not valid JSON: {exc}") from exc
+        return cls.from_dict(payload)
+
+    # -- views -------------------------------------------------------------
+
+    def render(self) -> str:
+        """Human-readable per-component cycle table."""
+        title = (f"profile {self.label!r}: {self.total_cycles:g} cycles, "
+                 f"{self.attributed_fraction * 100:.1f}% attributed")
+        lines = [title, "=" * len(title)]
+        width = max([len(name) for name in self.components] + [9])
+        lines.append(f"{'component':<{width}s}  {'cycles':>12s}  "
+                     f"{'share':>6s}  operations")
+        for name in sorted(self.components,
+                           key=lambda n: -self.components[n]["cycles"]):
+            entry = self.components[name]
+            share = (entry["cycles"] / self.total_cycles * 100
+                     if self.total_cycles else 0.0)
+            ops = ", ".join(
+                f"{op}x{stats['count']}"
+                + (f" ({stats['cycles']:g}cy)" if stats["cycles"] else "")
+                for op, stats in sorted(entry["operations"].items()))
+            lines.append(f"{name:<{width}s}  {entry['cycles']:>12g}  "
+                         f"{share:>5.1f}%  {ops}")
+        if self.unattributed_cycles:
+            lines.append(f"{'(unattributed)':<{width}s}  "
+                         f"{self.unattributed_cycles:>12g}")
+        return "\n".join(lines)
+
+    def diff(self, baseline: "ProfileReport") -> "ProfileDiff":
+        """Per-component delta against an earlier profile."""
+        return ProfileDiff(baseline, self)
+
+
+class ProfileDiff:
+    """The ``profile diff`` view: what moved between two profiles."""
+
+    def __init__(self, baseline: ProfileReport,
+                 candidate: ProfileReport) -> None:
+        self.baseline = baseline
+        self.candidate = candidate
+        names = sorted(set(baseline.components) | set(candidate.components))
+        #: [(component, base cycles, new cycles, delta, ratio)]
+        self.rows = []
+        for name in names:
+            base = baseline.component_cycles(name)
+            new = candidate.component_cycles(name)
+            ratio = (new / base) if base else (float("inf") if new else 1.0)
+            self.rows.append((name, base, new, new - base, ratio))
+
+    @property
+    def total_delta(self) -> float:
+        return self.candidate.total_cycles - self.baseline.total_cycles
+
+    def regressions(self, threshold: float = 1.25) -> list:
+        """Components whose cycles grew by more than ``threshold``x."""
+        return [row for row in self.rows
+                if row[1] and row[4] > threshold]
+
+    def render(self) -> str:
+        title = (f"profile diff: {self.baseline.label!r} -> "
+                 f"{self.candidate.label!r} "
+                 f"({self.total_delta:+g} total cycles)")
+        lines = [title, "=" * len(title)]
+        width = max([len(row[0]) for row in self.rows] + [9])
+        lines.append(f"{'component':<{width}s}  {'before':>12s}  "
+                     f"{'after':>12s}  {'delta':>12s}  ratio")
+        for name, base, new, delta, ratio in self.rows:
+            if not base and not new:
+                continue
+            shown = "new" if ratio == float("inf") else f"{ratio:.2f}x"
+            lines.append(f"{name:<{width}s}  {base:>12g}  {new:>12g}  "
+                         f"{delta:>+12g}  {shown}")
+        return "\n".join(lines)
+
+
+def build_profile(obs: "Observability", label: Optional[str] = None,
+                  total_cycles: Optional[float] = None) -> ProfileReport:
+    """Fold one instrumented system into a :class:`ProfileReport`.
+
+    Works on any :class:`~repro.obs.Observability` — a live system's
+    hub, or the campaign runner's merged-span hub.  ``total_cycles``
+    defaults to the hub's clock (the engine's ``now``).
+    """
+    now = obs.now()
+    if total_cycles is None:
+        total_cycles = now
+    snapshot = obs.snapshot()
+    counters = snapshot.counters
+    histograms = snapshot.histograms
+
+    detection = _resolve_detection(counters)
+    memory = _resolve_memory(counters)
+
+    report = ProfileReport(
+        label=label if label is not None else obs.label,
+        total_cycles=total_cycles)
+
+    engine = obs.engine
+    if engine is not None:
+        report.wall_seconds = getattr(engine, "wall_seconds", 0.0)
+        report.events_processed = getattr(engine, "events_processed", 0)
+
+    # -- timeline attribution: span self-times ---------------------------
+    spans = obs.tracer.all_spans()
+    by_actor: dict = {}
+    for span in spans:
+        by_actor.setdefault(span.actor, []).append(span)
+    intervals = []
+    for actor_spans in by_actor.values():
+        # Children are one level deeper and nested inside the parent's
+        # interval; subtracting their time gives the parent's self time.
+        resolved = [(s, s.end if s.end is not None else max(now, s.begin))
+                    for s in actor_spans]
+        for span, end in resolved:
+            child_time = sum(
+                child_end - child.begin
+                for child, child_end in resolved
+                if child.depth == span.depth + 1
+                and child.begin >= span.begin and child_end <= end)
+            self_time = max(0.0, (end - span.begin) - child_time)
+            component = _component_for_span(span.name, detection, memory)
+            report.charge(component, self_time, span.name)
+            if span.depth == 0:
+                intervals.append((span.begin, end))
+    report.covered_cycles = min(total_cycles, _interval_union(intervals)) \
+        if total_cycles else _interval_union(intervals)
+
+    # -- unit meters: the histograms the hardware models keep ------------
+    def metered(component: str, operation: str, count: float,
+                cycles: float) -> None:
+        if count or cycles:
+            report.charge(component, cycles, operation,
+                          count=int(count), metered=True)
+
+    ddu_cycles = histograms.get("ddu.cycles")
+    if ddu_cycles is not None:
+        metered("ddu", "algorithm", counters.get("ddu.invocations", 0),
+                ddu_cycles.total)
+    dau_cycles = histograms.get("dau.decision_cycles")
+    if dau_cycles is not None:
+        metered("dau", "decision", counters.get("dau.decisions", 0),
+                dau_cycles.total)
+    sw_cycles = histograms.get("deadlock.algorithm_cycles")
+    if sw_cycles is not None:
+        metered("software.pdda" if detection != "software.pdda"
+                else detection, "algorithm",
+                counters.get("deadlock.invocations", 0), sw_cycles.total)
+    lock_latency = histograms.get("lock.acquire_latency")
+    if lock_latency is not None:
+        metered("locks", "acquire",
+                counters.get("lock.acquisitions", 0), lock_latency.total)
+    metered("bus", "transaction", counters.get("bus.transactions", 0),
+            counters.get("bus.busy_cycles", 0))
+    metered("bus", "stall", counters.get("bus.stalled_transactions", 0),
+            counters.get("bus.stall_cycles", 0))
+    metered("kernel", "context_switch",
+            counters.get("kernel.context_switches", 0), 0.0)
+    metered("kernel", "preemption",
+            counters.get("kernel.preemptions", 0), 0.0)
+    metered("sched", "dispatch", counters.get("sched.dispatches", 0), 0.0)
+    metered(memory, "malloc",
+            counters.get("socdmmu.mallocs", 0)
+            + counters.get("heap.mallocs", 0), 0.0)
+    metered(memory, "free",
+            counters.get("socdmmu.frees", 0)
+            + counters.get("heap.frees", 0), 0.0)
+
+    # -- annotations ------------------------------------------------------
+    for name, value in counters.items():
+        if value and name.startswith(_ANNOTATION_PREFIXES):
+            report.counters[name] = value
+    return report
+
+
+def merge_profiles(profiles: Iterable[ProfileReport],
+                   label: str = "merged") -> ProfileReport:
+    """Sum several profiles into one (a scenario that built N systems)."""
+    merged = ProfileReport(label=label, total_cycles=0.0)
+    labels = []
+    for profile in profiles:
+        labels.append(profile.label)
+        merged.total_cycles += profile.total_cycles
+        merged.covered_cycles += profile.covered_cycles
+        merged.wall_seconds += profile.wall_seconds
+        merged.events_processed += profile.events_processed
+        for component, entry in profile.components.items():
+            target = merged.components.setdefault(
+                component, {"cycles": 0.0, "operations": {}})
+            target["cycles"] += entry["cycles"]
+            for op, stats in entry["operations"].items():
+                slot = target["operations"].setdefault(
+                    op, {"count": 0, "cycles": 0.0})
+                slot["count"] += stats["count"]
+                slot["cycles"] += stats["cycles"]
+        for name, value in profile.counters.items():
+            merged.counters[name] = merged.counters.get(name, 0) + value
+    merged.meta["merged_from"] = labels
+    return merged
+
+
+def write_profile(path, profile: ProfileReport) -> str:
+    """Write one profile as canonical JSON (plus a trailing newline)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(profile.to_json())
+        handle.write("\n")
+    return str(path)
+
+
+def read_profile(path) -> ProfileReport:
+    """Read a profile written by :func:`write_profile` (or a campaign)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return ProfileReport.from_json(handle.read())

@@ -154,6 +154,9 @@ class Engine:
         #: profile_stats() can report wall time per simulated cycle.
         self.profiling = False
         self.wall_seconds = 0.0
+        #: Back-reference set by the first Observability built on this
+        #: engine; profile_report() folds its spans and counters.
+        self.obs: Optional[Any] = None
 
     # -- scheduling --------------------------------------------------------
 
@@ -222,6 +225,21 @@ class Engine:
             "wall_us_per_cycle": (self.wall_seconds * 1e6 / cycles
                                   if cycles else 0.0),
         }
+
+    def profile_report(self, label: Optional[str] = None):
+        """Cycle-attribution profile for this engine's observability.
+
+        Requires an :class:`~repro.obs.Observability` to have been
+        built on this engine (``MPSoC`` does this automatically); the
+        returned :class:`~repro.obs.profile.ProfileReport` attributes
+        ``self.now`` simulated cycles to named components.
+        """
+        if self.obs is None:
+            raise SimulationError(
+                "engine has no Observability attached; build one with "
+                "Observability(engine=engine) before profiling")
+        from repro.obs.profile import build_profile
+        return build_profile(self.obs, label=label)
 
     def run_until_complete(self, procs: Iterable[SimProcess],
                            until: Optional[float] = None) -> float:

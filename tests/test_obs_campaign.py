@@ -1,0 +1,150 @@
+"""Campaign-level observability: merged traces, per-scenario profiles,
+and metric-snapshot exactness across a checkpoint/restore boundary."""
+
+import json
+
+from repro.campaign import (
+    CampaignRunner,
+    CampaignSpec,
+    ScenarioSpec,
+    load_manifest,
+    write_run,
+)
+from repro.campaign.__main__ import main as campaign_main
+from repro.framework.builder import build_system
+from repro.obs import Observability, ProfileReport, chrome_trace_document
+
+
+def _campaign(repeats=8):
+    return CampaignSpec(name="t", scenarios=(
+        ScenarioSpec(name="honest", generator="rag.random",
+                     checker="pdda-vs-oracle",
+                     params={"m": 4, "n": 4}, repeats=repeats),))
+
+
+# -- multi-shard trace merging -------------------------------------------------
+
+def test_merged_trace_spans_equal_union_of_shards():
+    """4 workers: the merged Perfetto trace's span set must equal the
+    union of the per-shard span sets the shard map implies."""
+    campaign = _campaign(repeats=8)
+    obs = Observability(label="campaign:t", enabled=True)
+    run = CampaignRunner(campaign, workers=4, obs=obs).run()
+    assert len(run.results) == 8
+    assert set(run.shard_map.values()) == {0, 1, 2, 3}
+
+    document = chrome_trace_document(obs)
+    threads = {event["tid"]: event["args"]["name"]
+               for event in document["traceEvents"]
+               if event["ph"] == "M" and event["name"] == "thread_name"}
+    merged = {(threads[event["tid"]], event["name"])
+              for event in document["traceEvents"]
+              if event["ph"] == "X"}
+    expected = {(f"shard{shard}", scenario_id)
+                for scenario_id, shard in run.shard_map.items()}
+    assert merged == expected
+
+
+# -- per-scenario profile emission --------------------------------------------
+
+def test_campaign_profiles_reach_manifest_and_disk(tmp_path):
+    campaign = _campaign(repeats=4)
+    run = CampaignRunner(campaign, workers=2, profile=True).run()
+    # One profile per scenario, keyed by scenario id.
+    assert sorted(run.profiles) == [r.scenario_id for r in run.results]
+    manifest = run.manifest()
+    assert sorted(manifest["profiles"]) == sorted(run.profiles)
+    # write_run materialises them at the manifest-relative paths.
+    write_run(tmp_path, run)
+    for scenario_id, relative in manifest["profiles"].items():
+        payload = json.loads((tmp_path / relative).read_text())
+        profile = ProfileReport.from_dict(payload)
+        assert profile.meta["scenario_id"] == scenario_id
+    # Profiles never contaminate the result records or the manifest's
+    # required keys.
+    reloaded = load_manifest(tmp_path)
+    assert reloaded["profiles"] == manifest["profiles"]
+    record_keys = set(run.results[0].to_record())
+    assert "profile" not in record_keys
+
+
+def test_unprofiled_run_has_no_profiles_key():
+    run = CampaignRunner(_campaign(repeats=2), workers=1).run()
+    assert run.profiles == {}
+    assert "profiles" not in run.manifest()
+
+
+def test_profile_flag_does_not_change_digest():
+    from repro.campaign import results_digest
+    campaign = _campaign(repeats=4)
+    plain = CampaignRunner(campaign, seed_root=7, workers=2).run()
+    profiled = CampaignRunner(campaign, seed_root=7, workers=2,
+                              profile=True).run()
+    assert results_digest(plain.results) == \
+        results_digest(profiled.results)
+
+
+def test_cli_profile_out_references_manifest(tmp_path, capsys):
+    out = tmp_path / "run"
+    profiles = tmp_path / "profiles"
+    status = campaign_main([
+        "run", "--builtin", "smoke", "--workers", "2",
+        "--out", str(out), "--profile-out", str(profiles)])
+    assert status == 0
+    manifest = json.loads((out / "manifest.json").read_text())
+    assert manifest["profiles"]
+    assert len(manifest["profiles"]) == manifest["scenario_count"]
+    for relative in manifest["profiles"].values():
+        assert (out / relative).exists()
+    assert list(profiles.glob("*.profile.json"))
+
+
+# -- snapshot exactness across checkpoint/restore ------------------------------
+
+def _phase(kernel, names):
+    # Services-free on purpose: a kernel restored by Kernel.restore_state
+    # sits on a fresh default MPSoC without lock/resource services, so the
+    # phase workload sticks to compute (quantum preemption still drives
+    # the scheduler and context-switch counters on both kernels).
+    def body(ctx):
+        yield from ctx.compute(50)
+        yield from ctx.compute(30)
+
+    for index, name in enumerate(names):
+        kernel.create_task(body, name, index + 1, "PE1")
+    kernel.run()
+
+
+def test_snapshot_delta_exact_across_checkpoint_restore():
+    """Phase-B metric deltas measured with Snapshot.delta on a live
+    system must equal the from-zero counters of a system restored from
+    the phase-A checkpoint and run through the same phase B."""
+    from repro.rtos.kernel import Kernel
+
+    live = build_system("RTOS5")
+    live.soc.obs.enable()
+    _phase(live.kernel, ["a1", "a2"])                   # phase A
+    snap_a = live.soc.obs.snapshot()
+    envelope = live.kernel.snapshot_state()
+
+    restored_kernel = Kernel.restore_state(envelope)
+    restored_obs = restored_kernel.soc.obs
+    restored_obs.enable()
+    baseline = restored_obs.snapshot()                  # all zeros
+
+    _phase(live.kernel, ["b1", "b2", "b3"])             # phase B, live
+    _phase(restored_kernel, ["b1", "b2", "b3"])         # phase B, restored
+
+    delta = live.soc.obs.snapshot().delta(snap_a)
+    restored_delta = restored_obs.snapshot().delta(baseline)
+
+    for name in ("kernel.context_switches", "sched.dispatches"):
+        assert delta.counters[name] == \
+            restored_delta.counters[name], name
+    # Histogram contents subtract exactly too.
+    for name, state in restored_delta.histograms.items():
+        if name in delta.histograms:
+            assert delta.histograms[name].count == state.count, name
+            assert delta.histograms[name].counts == state.counts, name
+    # And the simulated clocks agree: restore resumed at phase A's end.
+    assert live.soc.engine.now == restored_kernel.engine.now

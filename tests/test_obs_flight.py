@@ -1,0 +1,218 @@
+"""Tests for the always-on flight recorder (repro.obs.flight)."""
+
+import json
+
+import pytest
+
+from repro.campaign import CampaignRunner, CampaignSpec, ScenarioSpec
+from repro.errors import SimulationError
+from repro.obs import (
+    NULL_OBS,
+    FlightRecorder,
+    Observability,
+    blackbox_to_perfetto,
+    events_to_perfetto,
+    read_blackbox,
+)
+
+
+# -- the ring ------------------------------------------------------------------
+
+def test_ring_keeps_only_the_last_capacity_events():
+    flight = FlightRecorder(capacity=3)
+    flight.enable()
+    for index in range(10):
+        flight.record("tick", actor="a", index=index)
+    assert len(flight) == 3
+    assert flight.recorded == 10
+    assert [e["data"]["index"] for e in flight.events()] == [7, 8, 9]
+    assert [e["data"]["index"] for e in flight.tail(2)] == [8, 9]
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(SimulationError):
+        FlightRecorder(capacity=0)
+
+
+def test_clock_stamps_events():
+    times = iter([5.0, 9.0])
+    flight = FlightRecorder(clock=lambda: next(times))
+    flight.enable()
+    flight.record("a")
+    flight.record("b")
+    assert [e["time"] for e in flight.events()] == [5.0, 9.0]
+
+
+def test_null_obs_flight_cannot_be_enabled():
+    with pytest.raises(SimulationError):
+        NULL_OBS.flight.enable()
+
+
+def test_observability_enable_enables_flight():
+    obs = Observability(label="t", enabled=False)
+    assert not obs.flight.enabled
+    obs.enable()
+    assert obs.flight.enabled
+    obs.disable()
+    assert not obs.flight.enabled
+
+
+def test_render_tail_is_readable():
+    flight = FlightRecorder()
+    assert flight.render_tail() == "(flight recorder empty)"
+    flight.enable()
+    flight.record("fault_trip", actor="ddu.step", kind="stuck_cell")
+    text = flight.render_tail()
+    assert "fault_trip" in text and "ddu.step" in text
+    assert "kind=stuck_cell" in text
+
+
+# -- trip auto-dump ------------------------------------------------------------
+
+def test_mark_autodumps_on_trip_kinds(tmp_path):
+    target = tmp_path / "bb.json"
+    flight = FlightRecorder()
+    flight.enable()
+    flight.autodump_to(target)
+    flight.record("scenario_start", actor="s")   # record() never dumps
+    assert not target.exists()
+    flight.mark("scenario_end", actor="s")       # not a trip kind
+    assert not target.exists()
+    flight.mark("fault_trip", actor="ddu.step", kind="dead_unit")
+    assert target.exists()
+    document = json.loads(target.read_text())
+    names = [e["name"] for e in document["traceEvents"]
+             if e["ph"] == "i"]
+    assert names == ["scenario_start", "scenario_end", "fault_trip"]
+
+
+def test_events_to_perfetto_shapes():
+    document = events_to_perfetto([
+        {"time": 10.0, "actor": "ddu", "kind": "fault_trip",
+         "data": {"kind": "x"}},
+        {"time": 12.0, "actor": "", "kind": "checkpoint_write",
+         "data": {}},
+    ])
+    instants = [e for e in document["traceEvents"] if e["ph"] == "i"]
+    assert len(instants) == 2
+    assert instants[0]["ts"] == 10.0 and instants[0]["s"] == "t"
+    threads = {e["args"]["name"] for e in document["traceEvents"]
+               if e["ph"] == "M" and e["name"] == "thread_name"}
+    assert threads == {"ddu", "(system)"}
+
+
+# -- streaming sink + torn-line tolerance --------------------------------------
+
+def test_sink_streams_and_reads_back(tmp_path):
+    path = tmp_path / "shard0.jsonl"
+    flight = FlightRecorder()
+    flight.enable()
+    flight.arm_sink(path)
+    flight.record("scenario_start", actor="shard0", scenario_id="x/0")
+    flight.record("scenario_end", actor="shard0", scenario_id="x/0")
+    flight.close_sink()
+    events = read_blackbox(path)
+    assert [e["kind"] for e in events] == ["scenario_start",
+                                           "scenario_end"]
+
+
+def test_read_blackbox_drops_torn_final_line_only(tmp_path):
+    path = tmp_path / "bb.jsonl"
+    good = json.dumps({"time": 1, "actor": "a", "kind": "k", "data": {}})
+    path.write_text(good + "\n" + good[: len(good) // 2])
+    assert len(read_blackbox(path)) == 1
+    # Corruption anywhere earlier is a real error.
+    path.write_text(good[: len(good) // 2] + "\n" + good + "\n")
+    with pytest.raises(SimulationError):
+        read_blackbox(path)
+
+
+def test_blackbox_to_perfetto(tmp_path):
+    source = tmp_path / "bb.jsonl"
+    flight = FlightRecorder()
+    flight.enable()
+    flight.arm_sink(source)
+    flight.record("worker_lost", actor="shard1")
+    flight.close_sink()
+    out = tmp_path / "bb.json"
+    blackbox_to_perfetto(source, out)
+    document = json.loads(out.read_text())
+    assert any(e.get("name") == "worker_lost"
+               for e in document["traceEvents"])
+
+
+# -- hook sites ----------------------------------------------------------------
+
+def test_health_transition_lands_in_flight_recorder():
+    from repro.faults.health import UnitHealth
+    obs = Observability(label="t", enabled=True)
+    health = UnitHealth("DDU", fail_threshold=2, obs=obs)
+    health.anomaly("parity")
+    health.anomaly("parity")
+    kinds = [e["kind"] for e in obs.flight.events()]
+    assert kinds.count("health_transition") == 2   # HEALTHY->SUSPECT->FAILED
+    last = obs.flight.events()[-1]
+    assert last["actor"] == "DDU"
+    assert last["data"]["state"] == "failed"
+
+
+def test_fault_trip_lands_in_flight_recorder():
+    from repro.faults.injector import FaultInjector
+    from repro.faults.plan import FaultPlan, FaultSpec
+    obs = Observability(label="t", enabled=True)
+    plan = FaultPlan(name="p", specs=(
+        FaultSpec(site="ddu.hang", kind="hang", at=1),))
+    injector = FaultInjector(plan, obs=obs)
+    injector.fire("ddu.hang")
+    injector.fire("ddu.hang")
+    trips = [e for e in obs.flight.events() if e["kind"] == "fault_trip"]
+    assert len(trips) == 1
+    assert trips[0]["actor"] == "ddu.hang"
+    assert trips[0]["data"]["kind"] == "hang"
+
+
+def test_checkpoint_write_lands_in_flight_recorder(tmp_path):
+    from repro.checkpoint.scenario import ScenarioCheckpoint
+    obs = Observability(label="t", enabled=True)
+    checkpoint = ScenarioCheckpoint(tmp_path, "s/00001", obs=obs)
+    checkpoint.save({"step": 16})
+    writes = [e for e in obs.flight.events()
+              if e["kind"] == "checkpoint_write"]
+    assert len(writes) == 1
+    assert writes[0]["actor"] == "s/00001"
+
+
+# -- campaign crash forensics --------------------------------------------------
+
+def test_sigkilled_worker_leaves_readable_blackbox(tmp_path):
+    """The acceptance case: a hard-killed worker's black box survives
+    and covers the final events (the scenario it died inside)."""
+    blackbox_dir = tmp_path / "blackbox"
+    campaign = CampaignSpec(name="t", scenarios=(
+        ScenarioSpec(name="ok", generator="rag.random",
+                     checker="pdda-vs-oracle",
+                     params={"m": 2, "n": 2}, repeats=2),
+        ScenarioSpec(name="boom", generator="census",
+                     checker="chaos.crash", params={"m": 2, "n": 2}),
+    ))
+    run = CampaignRunner(campaign, workers=1, retries=1, backoff=0.01,
+                         blackbox_dir=str(blackbox_dir)).run()
+    by_id = {r.scenario_id: r for r in run.results}
+    assert by_id["boom/00000"].verdict == "crash"
+    # The streamed JSONL survived the os._exit inside the worker.
+    events = read_blackbox(blackbox_dir / "shard0.jsonl")
+    kinds = [(e["kind"], e["data"].get("scenario_id")) for e in events]
+    assert ("scenario_start", "boom/00000") in kinds
+    # Every completed scenario has its start/end pair on record.
+    assert ("scenario_end", "ok/00000") in kinds
+    # The parent converted the dead shard's box into a Perfetto trace.
+    converted = blackbox_dir / "shard0.blackbox.json"
+    assert converted.exists()
+    document = json.loads(converted.read_text())
+    assert any(e.get("name") == "scenario_start"
+               for e in document["traceEvents"])
+    # ... and its own black box recorded the crash trip.
+    parent = json.loads(
+        (blackbox_dir / "campaign.blackbox.json").read_text())
+    assert any(e.get("name") == "worker_crash"
+               for e in parent["traceEvents"])

@@ -47,10 +47,43 @@ def test_histogram_buckets_and_stats():
     assert hist.min_value == 0.5
     assert hist.max_value == 5000
     assert hist.mean == pytest.approx(1021.5)
-    assert hist.percentile(50) == 10.0
+    assert hist.percentile(50) == 5.5           # interpolated inside (1, 10]
     assert hist.percentile(100) == 5000.0       # overflow reports the max
     with pytest.raises(ValueError):
         hist.percentile(0)
+
+
+def test_histogram_percentile_interpolates_at_small_counts():
+    # A lone sample must report as itself, not its bucket's upper bound.
+    hist = Histogram("h", bounds=(1, 10, 100))
+    hist.observe(7)
+    assert hist.percentile(50) == 7.0
+    assert hist.percentile(99) == 7.0
+    # Two samples in the first bucket interpolate from the observed min.
+    low = Histogram("l", bounds=(1, 10))
+    low.observe(0.5)
+    low.observe(1)
+    assert low.percentile(50) == 0.75
+    # Never below the observed minimum or above the observed maximum.
+    assert low.percentile(1) >= 0.5
+    assert low.percentile(100) <= 1.0
+
+
+def test_registry_label_cardinality_cap():
+    registry = MetricsRegistry(max_labels=2)
+    a = registry.counter("rpc.calls", label="tenant-a")
+    b = registry.counter("rpc.calls", label="tenant-b")
+    assert a is registry.counter("rpc.calls", label="tenant-a")
+    assert a is not b
+    assert "rpc.calls[tenant-a]" in registry
+    # The third distinct value hits the cap: shared overflow bucket.
+    c = registry.counter("rpc.calls", label="tenant-c")
+    d = registry.counter("rpc.calls", label="tenant-d")
+    assert c is d
+    assert c.name == "rpc.calls[other]"
+    assert registry.get("metrics.dropped_labels").value == 2
+    # Unlabeled metrics are untouched by the cap.
+    assert registry.counter("rpc.calls").name == "rpc.calls"
 
 
 def test_histogram_rejects_bad_bounds():
