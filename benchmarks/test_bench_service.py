@@ -1,0 +1,189 @@
+"""Benchmark guard: the service's batched plane beats sequential.
+
+Two claims, both recorded to ``BENCH_service.json`` at the repo root
+for the trend gate (``python -m repro.campaign trend``):
+
+* **kernel**: one :class:`~repro.rag.batch.BatchPlane` reduction over
+  N=64 seeded tenant matrices — *including* the packing cost — must
+  beat N sequential per-tenant :meth:`BitMatrix.reduce` calls by at
+  least ``MIN_BATCH_RATIO``x, after first proving the verdicts,
+  iteration counts and pass counts bit-identical;
+* **end to end**: a real :class:`DetectionService` on TCP, 64 tenants
+  driven by pipelined clients, reporting requests/sec and p99
+  grant/verdict latency (no floor — latency depends on the tick — but
+  throughput must clear a coarse sanity bar so a pathological
+  regression fails loudly).
+"""
+
+import asyncio
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from benchmarks.conftest import bench_once
+from repro.rag.batch import HAS_NUMPY, BatchPlane, batch_plane
+from repro.rag.bitmatrix import BitMatrix
+from repro.rag.generate import random_state, resolve_rng
+from repro.service import DetectionService, ServiceClient, ServiceConfig
+
+TENANTS = 64
+SIZE = 24
+MIN_BATCH_RATIO = 1.3
+MIN_REQUESTS_PER_SECOND = 2_000.0
+RECORD_PATH = Path(__file__).resolve().parent.parent \
+    / "BENCH_service.json"
+
+needs_numpy = pytest.mark.skipif(
+    not HAS_NUMPY, reason="vectorized batch plane needs numpy")
+
+
+def _population(count: int = TENANTS, size: int = SIZE) -> list:
+    return [BitMatrix.from_rag(random_state(
+        size, size, grant_fraction=0.65, request_fraction=0.35,
+        rng=resolve_rng(seed=9_000 + index)))
+        for index in range(count)]
+
+
+def _best_of(fn, repeats: int = 5) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _write_record(update: dict) -> None:
+    """Merge into BENCH_service.json so both tests contribute."""
+    record = {"benchmark": "service"}
+    if RECORD_PATH.exists():
+        try:
+            previous = json.loads(RECORD_PATH.read_text())
+            if previous.get("benchmark") == "service":
+                record = previous
+        except (ValueError, OSError):
+            pass
+    record.update(update)
+    RECORD_PATH.write_text(json.dumps(record, indent=2,
+                                      sort_keys=True) + "\n")
+
+
+@needs_numpy
+def test_bench_batched_plane_beats_sequential(benchmark):
+    matrices = _population()
+
+    # Bit-identical first: the speed claim is worthless otherwise.
+    plane = batch_plane(matrices, vectorized=True)
+    assert isinstance(plane, BatchPlane)
+    batched = plane.reduce_all()
+    verdicts = plane.deadlocked()
+    for index, matrix in enumerate(matrices):
+        solo = matrix.copy()
+        counts = solo.reduce()
+        assert counts == batched[index], f"tenant {index} counts"
+        assert (not solo.is_empty()) == verdicts[index], \
+            f"tenant {index} verdict"
+
+    def run_batched():
+        batch_plane(matrices, vectorized=True).reduce_all()
+
+    def run_sequential():
+        for matrix in matrices:
+            matrix.copy().reduce()
+
+    batched_s = bench_once(benchmark,
+                           lambda: _best_of(run_batched, repeats=5))
+    sequential_s = _best_of(run_sequential, repeats=5)
+    ratio = sequential_s / batched_s
+
+    _write_record({
+        "tenants": TENANTS,
+        "size": f"{SIZE}x{SIZE}",
+        "batched_seconds": batched_s,
+        "sequential_seconds": sequential_s,
+        "batch_ratio": ratio,
+        "min_batch_ratio": MIN_BATCH_RATIO,
+    })
+    benchmark.extra_info["service_batch"] = {"ratio": ratio}
+
+    assert ratio >= MIN_BATCH_RATIO, (
+        f"batched plane only {ratio:.2f}x over {TENANTS} sequential "
+        f"reductions (batched {batched_s * 1e3:.2f}ms incl. packing, "
+        f"sequential {sequential_s * 1e3:.2f}ms); the guard floor is "
+        f"{MIN_BATCH_RATIO}x")
+
+
+def test_bench_service_end_to_end(benchmark):
+    """64 tenants through a real server: requests/sec + p99 latency."""
+    ops_per_tenant = 30
+
+    async def drive() -> dict:
+        service = DetectionService(ServiceConfig(
+            shards=2, use_processes=False, tick_interval=0.001,
+            max_pending=100_000, max_pending_per_tenant=1_000))
+        await service.start(host="127.0.0.1", port=0)
+        client = await ServiceClient.connect_tcp("127.0.0.1",
+                                                 service.tcp_port)
+        try:
+            for index in range(TENANTS):
+                await client.attach(f"t{index}", seed=index,
+                                    m=16, n=16)
+
+            async def tenant_stream(index: int):
+                tenant = f"t{index}"
+                rng = resolve_rng(seed=5_000 + index)
+                held = set()
+                for step in range(ops_per_tenant):
+                    if step % 5 == 4:
+                        await client.detect(tenant)
+                        continue
+                    pair = (rng.randrange(1, 17), rng.randrange(1, 17))
+                    try:
+                        if pair in held:
+                            held.discard(pair)
+                            await client.release(
+                                tenant, f"p{pair[0]}", f"q{pair[1]}")
+                        else:
+                            held.add(pair)
+                            await client.claim(
+                                tenant, f"p{pair[0]}", f"q{pair[1]}")
+                    except Exception:
+                        pass        # violations still count as traffic
+
+            started = time.perf_counter()
+            await asyncio.gather(*(tenant_stream(index)
+                                   for index in range(TENANTS)))
+            elapsed = time.perf_counter() - started
+            stats = await client.stats()
+            total_ops = TENANTS * ops_per_tenant
+            return {
+                "tenants": TENANTS,
+                "ops": total_ops,
+                "seconds": elapsed,
+                "requests_per_second": total_ops / elapsed,
+                "p99_grant_latency_us":
+                    stats["grant_latency"].get("p99_us", 0.0),
+                "p99_verdict_latency_us":
+                    stats["verdict_latency"].get("p99_us", 0.0),
+                "mean_batch_size":
+                    (stats["requests"] / stats["batches"]
+                     if stats["batches"] else 0.0),
+            }
+        finally:
+            await client.close()
+            await service.stop()
+
+    result = bench_once(benchmark, lambda: asyncio.run(drive()))
+    _write_record({key: result[key] for key in (
+        "requests_per_second", "p99_grant_latency_us",
+        "p99_verdict_latency_us", "mean_batch_size")})
+    benchmark.extra_info["service_end_to_end"] = result
+
+    assert result["requests_per_second"] >= MIN_REQUESTS_PER_SECOND, (
+        f"service served only {result['requests_per_second']:.0f} "
+        f"requests/sec end to end; the sanity floor is "
+        f"{MIN_REQUESTS_PER_SECOND:.0f}")
+    assert result["p99_grant_latency_us"] > 0
+    assert result["p99_verdict_latency_us"] > 0

@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""A minimal service client: one tenant, one seeded stream, one histogram.
+
+Starts an in-process :class:`~repro.service.DetectionService` (two
+shards, batched reduction — the same server ``python -m repro.service``
+runs), then uses :class:`~repro.service.ServiceClient` over a loopback
+TCP socket to:
+
+1. ``attach`` an empty 12x12 tenant,
+2. replay a seeded claim/release/detect stream against it,
+3. snapshot the ``service.*`` metrics and print the
+   ``service.grant_latency_us`` histogram as ASCII bars, next to the
+   request counters and the final verdict.
+
+Run with::
+
+    python examples/service_client.py [--ops 200] [--seed 42]
+
+Point ``--connect HOST:PORT`` at an already-running
+``python -m repro.service`` to drive a real server instead (the
+histogram then comes from the wire ``stats`` percentiles, since the
+registry lives in the server process).
+"""
+
+import argparse
+import asyncio
+
+from repro.obs import Observability
+from repro.rag.generate import resolve_rng
+from repro.service import (DetectionService, ServiceConfig, ServiceClient,
+                           ServiceOpError)
+
+
+def parse_args():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--ops", type=int, default=200,
+                        help="operations in the seeded stream (default 200)")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--connect", metavar="HOST:PORT", default=None,
+                        help="drive an existing server instead of an "
+                             "in-process one")
+    return parser.parse_args()
+
+
+async def replay_stream(client, tenant, seed, ops):
+    """The seeded claim stream; returns (granted, blocked, refused)."""
+    granted = blocked = refused = 0
+    held = []
+    rng = resolve_rng(seed=seed ^ 0x5EED)
+    for step in range(ops):
+        if step % 10 == 9:
+            await client.detect(tenant)
+            continue
+        if held and rng.random() < 0.35:
+            process, resource = held.pop(rng.randrange(len(held)))
+            await client.release(tenant, process, resource)
+            continue
+        process = f"p{rng.randrange(1, 13)}"
+        resource = f"q{rng.randrange(1, 13)}"
+        try:
+            reply = await client.claim(tenant, process, resource)
+        except ServiceOpError:
+            refused += 1          # double claims etc. — part of the stream
+            continue
+        if reply["granted"]:
+            granted += 1
+            held.append((process, resource))
+        else:
+            blocked += 1
+    return granted, blocked, refused
+
+
+def print_histogram(state):
+    """ASCII bars for one HistogramState (bounds + overflow bucket)."""
+    peak = max(state.counts) or 1
+    labels = [f"<= {bound:g}" for bound in state.bounds] + ["overflow"]
+    width = max(len(label) for label in labels)
+    for label, count in zip(labels, state.counts):
+        if not count:
+            continue
+        bar = "#" * max(1, round(40 * count / peak))
+        print(f"  {label:>{width}}  {count:>6}  {bar}")
+    print(f"  {'count':>{width}}  {state.count:>6}  "
+          f"(mean {state.mean:.0f} us, max {state.max_value:g} us)")
+
+
+async def run_local(args):
+    obs = Observability(label="service", enabled=True)
+    service = DetectionService(ServiceConfig(shards=2, tick_interval=0.001),
+                               obs=obs)
+    await service.start(host="127.0.0.1", port=0)
+    try:
+        client = await ServiceClient.connect_tcp("127.0.0.1",
+                                                 service.tcp_port)
+        tenant = "example"
+        await client.attach(tenant, m=12, n=12)
+        granted, blocked, refused = await replay_stream(
+            client, tenant, args.seed, args.ops)
+        verdict = await client.detect(tenant)
+        await client.close()
+    finally:
+        await service.stop()
+
+    snapshot = obs.metrics.snapshot()
+    print(f"stream: {args.ops} ops (seed {args.seed}) -> "
+          f"{granted} granted, {blocked} blocked, {refused} refused")
+    print(f"verdict: deadlock={verdict['deadlock']} in "
+          f"{verdict['iterations']} iterations "
+          f"(op_seq {verdict['op_seq']})")
+    for name in ("service.requests", "service.detects", "service.batches"):
+        print(f"{name}: {snapshot.counters[name]:g}")
+    print("service.grant_latency_us:")
+    print_histogram(snapshot.histograms["service.grant_latency_us"])
+
+
+async def run_remote(args):
+    host, _, port = args.connect.rpartition(":")
+    client = await ServiceClient.connect_tcp(host or "127.0.0.1", int(port))
+    try:
+        tenant = f"example-{args.seed}"
+        await client.attach(tenant, m=12, n=12)
+        granted, blocked, refused = await replay_stream(
+            client, tenant, args.seed, args.ops)
+        verdict = await client.detect(tenant)
+        stats = await client.stats()
+        await client.detach(tenant)
+    finally:
+        await client.close()
+    print(f"stream: {args.ops} ops (seed {args.seed}) -> "
+          f"{granted} granted, {blocked} blocked, {refused} refused")
+    print(f"verdict: deadlock={verdict['deadlock']} in "
+          f"{verdict['iterations']} iterations "
+          f"(op_seq {verdict['op_seq']})")
+    print(f"server grant latency: {stats['grant_latency']}")
+
+
+def main():
+    args = parse_args()
+    asyncio.run(run_remote(args) if args.connect else run_local(args))
+
+
+if __name__ == "__main__":
+    main()

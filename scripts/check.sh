@@ -6,8 +6,8 @@
 # Any ruff finding or test failure makes the script exit non-zero.
 # Set CHECK_BENCH=1 to also run the benchmark guards (observability
 # overhead + fault-hook overhead + matrix-kernel throughput +
-# checkpoint overhead + flight-recorder idle overhead — what CI's
-# benchmark job does).
+# checkpoint overhead + flight-recorder idle overhead + service
+# batched-reduction throughput — what CI's benchmark job does).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -36,4 +36,6 @@ if [[ "${CHECK_BENCH:-0}" == "1" ]]; then
     PYTHONPATH=src python -m pytest -q benchmarks/test_bench_checkpoint.py
     echo "== flight-recorder idle overhead guard =="
     PYTHONPATH=src python -m pytest -q benchmarks/test_bench_flight_overhead.py
+    echo "== service batched-reduction guard =="
+    PYTHONPATH=src python -m pytest -q benchmarks/test_bench_service.py
 fi

@@ -1,0 +1,235 @@
+#!/usr/bin/env python
+"""Service soak: 1k tenants, a SIGKILLed shard, zero wrong verdicts.
+
+Starts a real server subprocess (``python -m repro.service`` with
+process-backed shards), attaches ``--tenants`` seeded tenants, and
+drives each through a seeded claim/release/detect stream while a local
+:class:`~repro.service.tenant.Tenant` oracle replays every *acked*
+mutation.  Midway, one worker shard is SIGKILLed by pid (taken from the
+``shards`` admin op).  The soak fails — exit 1 — if:
+
+* any detect verdict, iteration count, pass count or ``op_seq``
+  disagrees with the oracle's replay of the acked prefix;
+* any grant/blocked bit or promotion disagrees;
+* the rebalance is not clean: the stats must show exactly one shard
+  crash, every tenant of the dead shard rehomed to a live shard, and
+  the post-kill stream finishing without a single ``shard-lost`` error.
+
+Usage::
+
+    python scripts/service_soak.py [--tenants 1000] [--ops 10]
+                                   [--shards 4] [--seed 42] [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.rag.generate import resolve_rng                 # noqa: E402
+from repro.service import ServiceClient, ServiceOpError    # noqa: E402
+from repro.service.tenant import Tenant                    # noqa: E402
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--tenants", type=int, default=1000)
+    parser.add_argument("--ops", type=int, default=10,
+                        help="operations per tenant (default 10)")
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--clients", type=int, default=8,
+                        help="parallel client connections (default 8)")
+    parser.add_argument("--quick", action="store_true",
+                        help="100 tenants x 8 ops (smoke mode)")
+    args = parser.parse_args()
+    if args.quick:
+        args.tenants = min(args.tenants, 100)
+        args.ops = min(args.ops, 8)
+    return args
+
+
+def start_server(shards: int) -> tuple:
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.service", "--shards", str(shards),
+         "--port", "0"],
+        cwd=str(REPO), stdout=subprocess.PIPE, text=True,
+        env={**os.environ, "PYTHONPATH": str(REPO / "src")})
+    line = process.stdout.readline()
+    ready = json.loads(line)
+    assert ready.get("ready"), f"server not ready: {ready}"
+    return process, ready
+
+
+class SoakFailure(AssertionError):
+    pass
+
+
+async def drive_tenant(client: ServiceClient, tenant_id: str,
+                       seed: int, ops: int, errors: list) -> None:
+    """One tenant's stream, oracle-checked response by response."""
+    spec = {"seed": seed, "m": 12, "n": 12}
+    await client.attach(tenant_id, **spec)
+    oracle = Tenant.from_attach(tenant_id, spec)
+    rng = resolve_rng(seed=seed ^ 0x5EED)
+    for step in range(ops):
+        if step % 4 == 3:
+            reply = await client.detect(tenant_id)
+            solo = oracle.matrix.copy()
+            iterations, passes = solo.reduce()
+            expected = (not solo.is_empty(), iterations, passes,
+                        oracle.op_seq)
+            got = (reply["deadlock"], reply["iterations"],
+                   reply["passes"], reply["op_seq"])
+            if got != expected:
+                errors.append(f"{tenant_id} detect @ {step}: "
+                              f"service {got} != oracle {expected}")
+            continue
+        process = f"p{rng.randrange(1, 13)}"
+        resource = f"q{rng.randrange(1, 13)}"
+        op = {"process": process, "resource": resource}
+        kind = "release" if rng.random() < 0.4 else "claim"
+        try:
+            expected = (oracle.claim(dict(op)) if kind == "claim"
+                        else oracle.release(dict(op)))
+            code = None
+        except ServiceOpError as exc:
+            expected, code = None, exc.code
+        try:
+            reply = (await client.claim(tenant_id, process, resource)
+                     if kind == "claim"
+                     else await client.release(tenant_id, process,
+                                               resource))
+            got_code = None
+        except ServiceOpError as exc:
+            reply, got_code = None, exc.code
+        if got_code != code:
+            errors.append(f"{tenant_id} {kind} @ {step}: error "
+                          f"{got_code} != oracle {code}")
+        elif expected is not None:
+            key = "granted" if kind == "claim" else "promoted"
+            if (reply[key] != expected[key]
+                    or reply["op_seq"] != expected["op_seq"]):
+                errors.append(
+                    f"{tenant_id} {kind} @ {step}: {key} "
+                    f"{reply[key]!r}/{reply['op_seq']} != oracle "
+                    f"{expected[key]!r}/{expected['op_seq']}")
+
+
+async def soak(args: argparse.Namespace, port: int,
+               shard_pids: dict) -> dict:
+    clients = [await ServiceClient.connect_tcp("127.0.0.1", port)
+               for _ in range(args.clients)]
+    admin = clients[0]
+    errors: list = []
+    try:
+        # Phase 1: first half of the population, full streams.
+        half = args.tenants // 2
+        await asyncio.gather(*(
+            drive_tenant(clients[index % len(clients)], f"t{index}",
+                         args.seed * 1_000 + index, args.ops, errors)
+            for index in range(half)))
+
+        # SIGKILL the busiest shard mid-run.
+        shards = (await admin.shards())["shards"]
+        victim = max((shard for shard in shards if shard["alive"]),
+                     key=lambda shard: shard["tenants"])
+        victim_tenants = victim["tenants"]
+        os.kill(victim["pid"], signal.SIGKILL)
+        killed_at = time.perf_counter()
+
+        # Phase 2: the second half attaches and runs *through* the
+        # recovery; phase-1 tenants keep detecting.
+        await asyncio.gather(*(
+            drive_tenant(clients[index % len(clients)], f"t{index}",
+                         args.seed * 1_000 + index, args.ops, errors)
+            for index in range(half, args.tenants)))
+        recheck = [asyncio.ensure_future(
+            clients[index % len(clients)].detect(f"t{index}"))
+            for index in range(0, half, max(1, half // 50))]
+        for reply in await asyncio.gather(*recheck,
+                                          return_exceptions=True):
+            if isinstance(reply, Exception):
+                errors.append(f"post-kill detect failed: {reply}")
+
+        stats = await admin.stats()
+        shards_after = (await admin.shards())["shards"]
+        alive = [shard for shard in shards_after if shard["alive"]]
+        if stats["shard_crashes"] != 1:
+            errors.append(f"expected exactly 1 shard crash, stats say "
+                          f"{stats['shard_crashes']}")
+        if stats["rebalanced_tenants"] != victim_tenants:
+            errors.append(
+                f"rebalance not clean: {victim_tenants} tenants lived "
+                f"on the dead shard, {stats['rebalanced_tenants']} "
+                "were rehomed")
+        if len(alive) != args.shards - 1:
+            errors.append(f"expected {args.shards - 1} live shards, "
+                          f"found {len(alive)}")
+        homed = sum(shard["tenants"] for shard in alive)
+        if homed != stats["tenants"]:
+            errors.append(f"{stats['tenants']} tenants but only "
+                          f"{homed} homed on live shards")
+        return {
+            "tenants": args.tenants,
+            "ops_per_tenant": args.ops,
+            "requests": stats["requests"],
+            "detects": stats["detects"],
+            "batches": stats["batches"],
+            "shard_killed": victim["shard"],
+            "kill_to_done_s": time.perf_counter() - killed_at,
+            "rebalanced_tenants": stats["rebalanced_tenants"],
+            "journal_replayed": stats["journal_replayed"],
+            "p99_grant_us": stats["grant_latency"].get("p99_us"),
+            "p99_verdict_us": stats["verdict_latency"].get("p99_us"),
+            "errors": errors,
+        }
+    finally:
+        try:
+            await admin.shutdown()
+        except Exception:
+            pass
+        for client in clients:
+            await client.close()
+
+
+def main() -> int:
+    args = parse_args()
+    server, ready = start_server(args.shards)
+    try:
+        report = asyncio.run(soak(
+            args, ready["port"],
+            {shard["shard"]: shard["pid"]
+             for shard in ready["shards"]}))
+    finally:
+        server.terminate()
+        try:
+            server.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            server.kill()
+    errors = report.pop("errors")
+    print(json.dumps(report, indent=2))
+    if errors:
+        print(f"SOAK FAILED: {len(errors)} mismatch(es)",
+              file=sys.stderr)
+        for error in errors[:20]:
+            print(f"  {error}", file=sys.stderr)
+        return 1
+    print(f"soak OK: {report['tenants']} tenants, "
+          f"{report['requests']:g} requests, shard "
+          f"{report['shard_killed']} SIGKILLed and absorbed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

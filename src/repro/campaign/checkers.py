@@ -434,6 +434,155 @@ def _check_sim(system, params: Mapping[str, Any],
                    detail=f"{system.name} finished at {end:g}")
 
 
+# -- service checkers (the repro.service front end) ---------------------------
+
+@generator("service.population")
+def _gen_service_population(params: Mapping[str, Any],
+                            rng: random.Random):
+    """Attach specs for a tenant population, seeded from the scenario.
+
+    Returns a tuple of ``(tenant_id, spec)`` pairs; every tenant gets
+    its own derived seed, so the population is reproducible from the
+    campaign's seed root alone.
+    """
+    tenants = int(params.get("tenants", 6))
+    m = int(params.get("m", 8))
+    n = int(params.get("n", 8))
+    return tuple(
+        (f"t{i}", {"seed": rng.randrange(2 ** 31), "m": m, "n": n,
+                   "grant_fraction": params.get("grant_fraction", 0.6),
+                   "request_fraction": params.get("request_fraction",
+                                                  0.3)})
+        for i in range(tenants))
+
+
+@checker("service.vs-local")
+def _check_service(population, params: Mapping[str, Any],
+                   rng: random.Random) -> CheckOutcome:
+    """The service's every response matches a local oracle replay.
+
+    Spins a real :class:`~repro.service.server.DetectionService` (TCP,
+    in-process shards), attaches the generated population, and drives a
+    seeded claim/release/detect stream through a pipelined client.  A
+    local :class:`~repro.service.tenant.Tenant` twin replays the same
+    accepted mutation prefix, so every grant bit, promotion, ``op_seq``
+    and batched detect verdict (with iteration and pass counts, against
+    a per-tenant :meth:`BitMatrix.reduce`) must agree exactly.  With
+    ``params["migrate"]`` each tenant is live-migrated mid-stream;
+    with ``params["crash"]`` a shard is killed mid-stream — neither may
+    perturb a single response.
+    """
+    import asyncio
+
+    from repro.service import (
+        DetectionService,
+        ServiceClient,
+        ServiceConfig,
+        ServiceOpError,
+    )
+    from repro.service.tenant import Tenant
+
+    events = int(params.get("events", 30))
+    shards = int(params.get("shards", 2))
+    migrate = bool(params.get("migrate"))
+    crash = bool(params.get("crash"))
+    script_seed = rng.randrange(2 ** 31)
+
+    async def scenario() -> CheckOutcome:
+        service = DetectionService(ServiceConfig(
+            shards=shards, use_processes=False, tick_interval=0.001,
+            snapshot_every=8))
+        await service.start(host="127.0.0.1", port=0)
+        client = await ServiceClient.connect_tcp("127.0.0.1",
+                                                 service.tcp_port)
+        steps = 0
+        try:
+            oracles: dict = {}
+            for tenant_id, spec in population:
+                await client.attach(tenant_id, **spec)
+                oracles[tenant_id] = Tenant.from_attach(tenant_id, spec)
+            script = random.Random(script_seed)
+            for step in range(events):
+                for tenant_id, _spec in population:
+                    oracle = oracles[tenant_id]
+                    matrix = oracle.matrix
+                    if step and step % 5 == 0:
+                        reply = await client.detect(tenant_id)
+                        solo = matrix.copy()
+                        iterations, passes = solo.reduce()
+                        expected = (not solo.is_empty(), iterations,
+                                    passes, oracle.op_seq)
+                        got = (reply["deadlock"], reply["iterations"],
+                               reply["passes"], reply["op_seq"])
+                        steps += 1
+                        if got != expected:
+                            return _failed(
+                                f"{tenant_id} detect @ step {step}: "
+                                f"service {got} != oracle {expected}",
+                                steps=steps)
+                        continue
+                    process = f"p{script.randrange(1, matrix.n + 1)}"
+                    resource = f"q{script.randrange(1, matrix.m + 1)}"
+                    op = {"process": process, "resource": resource}
+                    kind = ("release" if script.random() < 0.4
+                            else "claim")
+                    try:
+                        expected = (oracle.claim(dict(op))
+                                    if kind == "claim"
+                                    else oracle.release(dict(op)))
+                        expected_code = None
+                    except ServiceOpError as exc:
+                        expected, expected_code = None, exc.code
+                    try:
+                        reply = (await client.claim(tenant_id, process,
+                                                    resource)
+                                 if kind == "claim"
+                                 else await client.release(
+                                     tenant_id, process, resource))
+                        got, got_code = reply, None
+                    except ServiceOpError as exc:
+                        got, got_code = None, exc.code
+                    steps += 1
+                    if got_code != expected_code:
+                        return _failed(
+                            f"{tenant_id} {kind} @ step {step}: "
+                            f"service error {got_code} != oracle "
+                            f"{expected_code}", steps=steps)
+                    if expected is not None:
+                        keys = (("granted", "op_seq")
+                                if kind == "claim"
+                                else ("promoted", "op_seq"))
+                        for key in keys:
+                            if got[key] != expected[key]:
+                                return _failed(
+                                    f"{tenant_id} {kind} @ step "
+                                    f"{step}: {key} {got[key]!r} != "
+                                    f"{expected[key]!r}", steps=steps)
+                if migrate and step == events // 2:
+                    for tenant_id, _spec in population:
+                        record = service.tenants[tenant_id]
+                        await client.migrate(
+                            tenant_id,
+                            (record.shard_id + 1) % shards)
+                if crash and step == events // 2 and shards > 1:
+                    await asyncio.sleep(0.01)
+                    victim = service.tenants[
+                        population[0][0]].shard_id
+                    service.shards[victim].crash()
+            stats = await client.stats()
+            return _passed(
+                steps=steps, cycles=float(stats["batches"]),
+                detail=(f"{len(population)} tenants x {events} events, "
+                        f"{stats['batches']:g} batches, "
+                        f"migrations={stats['migrations']:g}, "
+                        f"crashes={stats['shard_crashes']:g}"))
+        finally:
+            await client.close()
+            await service.stop()
+
+    return asyncio.run(scenario())
+
+
 # -- chaos checkers (fault injection for the runner itself) -------------------
 
 @checker("chaos.crash")

@@ -11,6 +11,9 @@
   path (see :mod:`repro.rag.bitmatrix`): oracle agreement at every
   size, plus backend-differential scenarios at 64x64, the largest size
   where the per-cell reference matrix is still quick enough to re-run.
+* ``service`` — the multi-tenant detection service against a local
+  per-tenant oracle, including mid-stream migration and shard-crash
+  scenarios (see :mod:`repro.service`).
 """
 
 from __future__ import annotations
@@ -203,12 +206,43 @@ def _faults() -> CampaignSpec:
     ))
 
 
+def _service() -> CampaignSpec:
+    """The multi-tenant detection service against a local oracle.
+
+    Every scenario drives a real :class:`DetectionService` (in-process
+    shards, batched detects) and compares each response — grants,
+    promotions, ``op_seq``, verdicts with iteration/pass counts —
+    against a local per-tenant replay; the ``migrating`` and
+    ``crashing`` scenarios interrupt the stream with live migrations
+    and a shard kill, which must not perturb a single response.
+    """
+    return CampaignSpec(name="service", scenarios=(
+        ScenarioSpec(name="steady", generator="service.population",
+                     checker="service.vs-local",
+                     params={"tenants": [4, 8], "m": 8, "n": 8,
+                             "events": 25}, repeats=2),
+        ScenarioSpec(name="wide", generator="service.population",
+                     checker="service.vs-local",
+                     params={"tenants": 6, "m": [16, 32], "n": 16,
+                             "events": 20}),
+        ScenarioSpec(name="migrating", generator="service.population",
+                     checker="service.vs-local",
+                     params={"tenants": 6, "m": 8, "n": 8,
+                             "events": 24, "migrate": True}, repeats=2),
+        ScenarioSpec(name="crashing", generator="service.population",
+                     checker="service.vs-local",
+                     params={"tenants": 6, "m": 8, "n": 8,
+                             "events": 24, "crash": True}, repeats=2),
+    ))
+
+
 BUILTIN_CAMPAIGNS = {
     "smoke": _smoke,
     "claims": _claims,
     "chaos": _chaos,
     "faults": _faults,
     "kernels-large": _kernels_large,
+    "service": _service,
 }
 
 

@@ -64,3 +64,12 @@ class CheckpointError(ReproError):
     snapshot file), or when a snapshot's schema version is newer than
     this library understands.
     """
+
+
+class ServiceError(ReproError):
+    """The deadlock-detection service hit a protocol or capacity fault.
+
+    Raised by :mod:`repro.service` for malformed wire messages, unknown
+    tenants, admission rejections, backpressure, and shard losses that
+    cannot be recovered transparently.
+    """

@@ -36,6 +36,7 @@ DEFAULT_CAPACITY = 256
 TRIP_KINDS = frozenset((
     "fault_trip", "health_transition", "checkpoint_write",
     "worker_crash", "worker_lost",
+    "tenant_admission_rejected", "shard_rebalance", "tenant_migration",
 ))
 
 

@@ -31,16 +31,17 @@ HISTORY_NAME = "BENCH_HISTORY.jsonl"
 #: Name fragments marking a lower-is-better metric.
 _LOWER_IS_BETTER = (
     "seconds", "_ms", "_us", "_ns", "overhead", "cost", "cycles",
-    "duration",
+    "duration", "latency",
 )
 
 #: Name fragments marking a higher-is-better metric.
-_HIGHER_IS_BETTER = ("speedup", "throughput", "per_second", "fraction_ok")
+_HIGHER_IS_BETTER = ("speedup", "throughput", "per_second", "fraction_ok",
+                     "ratio")
 
 #: Name fragments that are configuration, not measurements.
-_IGNORED = ("bound", "min_speedup", "cadence", "iterations", "passes",
-            "visits", "events", "count", "size", "state", "workload",
-            "benchmark")
+_IGNORED = ("bound", "min_speedup", "min_batch_ratio", "cadence",
+            "iterations", "passes", "visits", "events", "count", "size",
+            "state", "workload", "benchmark", "tenants")
 
 
 def metric_direction(name: str) -> Optional[str]:

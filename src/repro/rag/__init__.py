@@ -32,6 +32,14 @@ from repro.rag.bitmatrix import (
     matrix_from_rag,
     resolve_backend,
 )
+from repro.rag.batch import (
+    HAS_NUMPY,
+    MAX_PACKED_SIDE,
+    BatchPlane,
+    PythonBatchPlane,
+    batch_plane,
+    batched_reduce,
+)
 from repro.rag.classic import (
     BankersAvoider,
     graph_reduction_detect,
@@ -72,6 +80,12 @@ __all__ = [
     "matrix_class",
     "matrix_from_rag",
     "resolve_backend",
+    "HAS_NUMPY",
+    "MAX_PACKED_SIDE",
+    "BatchPlane",
+    "PythonBatchPlane",
+    "batch_plane",
+    "batched_reduce",
     "holt_detect",
     "graph_reduction_detect",
     "leibfried_detect",

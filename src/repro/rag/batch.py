@@ -1,0 +1,260 @@
+"""Batched terminal reduction: many tenant matrices per vector op.
+
+:class:`~repro.rag.bitmatrix.BitMatrix` collapses one Algorithm-1 pass
+to O(m + n) Python-int mask tests.  A multi-tenant service (see
+:mod:`repro.service`) holds *thousands* of small matrices and wants one
+verdict per tenant per tick — running the per-tenant kernel N times
+re-pays the interpreter dispatch cost N times per pass.
+
+:class:`BatchPlane` packs N tenant matrices into four shared NumPy
+``uint64`` planes — ``row_r[N, M]`` / ``row_g[N, M]`` hold each
+tenant's per-row request/grant words, ``col_r[N, T]`` / ``col_g[N, T]``
+the column transposes — so a single sweep of vectorized mask ops runs
+one Algorithm-1 pass for *every* tenant at once:
+
+* terminal flags (Equation 4)   — ``(plane == 0) ^ (other == 0)``
+  elementwise over the whole batch;
+* clearing terminal rows/cols (Definition 12) — zero the flagged words
+  and mask the flagged bits out of the transposes with one
+  ``&= ~mask`` broadcast per plane.
+
+Tenants converge at different pass counts, so per-tenant ``iterations``
+/ ``passes`` counters advance under an ``active`` mask with exactly the
+semantics of :meth:`BitMatrix.reduce`: both terminal on-sets are taken
+against the same pre-clear snapshot, and the final no-terminal pass is
+counted.  ``tests/test_batch_differential.py`` holds the batched plane
+bit-identical to the per-tenant kernel over randomized ensembles.
+
+Tenant matrices may have *different* shapes: every tenant is packed
+into the ensemble's (max m, max n) envelope, and the padding is inert —
+an all-empty row or column has both planes zero, so its terminal flag
+(an XOR) is never raised and no pass ever touches it.
+
+When NumPy is unavailable the same API is served by
+:class:`PythonBatchPlane`, which simply runs the per-tenant kernel in a
+loop — slower, but bit-identical by construction; the service and the
+benchmarks gate on :data:`HAS_NUMPY`.
+
+Word width caps the packing at 64 rows x 64 columns per tenant — the
+"dense ensembles of small RAGs" regime the batched reducer exists for.
+Larger tenants fall back to the per-tenant kernel via
+:func:`batch_plane`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.rag.bitmatrix import AnyStateMatrix, BitMatrix
+from repro.rag.graph import RAG
+
+try:  # NumPy is optional: the service degrades to the Python plane.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised only without numpy
+    _np = None
+
+#: True when the vectorized NumPy plane is available in this process.
+HAS_NUMPY = _np is not None
+
+#: Widest tenant matrix one uint64 word per row/column can pack.
+MAX_PACKED_SIDE = 64
+
+
+def _dims(source) -> tuple[int, int]:
+    if isinstance(source, RAG):
+        return source.num_resources, source.num_processes
+    return source.m, source.n
+
+
+def _as_bitmatrix(source) -> BitMatrix:
+    if isinstance(source, BitMatrix):
+        return source
+    if isinstance(source, RAG):
+        return BitMatrix.from_rag(source)
+    return BitMatrix.from_matrix(source)
+
+
+class PythonBatchPlane:
+    """The batched API served by the per-tenant kernel in a loop.
+
+    The fallback for NumPy-less processes and for tenants wider than
+    :data:`MAX_PACKED_SIDE`; bit-identical to :class:`BatchPlane` by
+    construction (it *is* the per-tenant kernel).
+    """
+
+    vectorized = False
+
+    def __init__(self, matrices: Sequence[AnyStateMatrix]) -> None:
+        if not matrices:
+            raise ConfigurationError("batch plane needs at least 1 tenant")
+        self._matrices = [_as_bitmatrix(m).copy() for m in matrices]
+
+    @property
+    def count(self) -> int:
+        return len(self._matrices)
+
+    def reduce_all(self) -> list[tuple[int, int]]:
+        """Per-tenant ``(iterations, passes)``, semantics of
+        :meth:`BitMatrix.reduce`."""
+        return [matrix.reduce() for matrix in self._matrices]
+
+    def residual(self, index: int) -> BitMatrix:
+        return self._matrices[index].copy()
+
+    def residuals(self) -> list[BitMatrix]:
+        return [matrix.copy() for matrix in self._matrices]
+
+    def deadlocked(self) -> list[bool]:
+        """Per-tenant verdict: surviving edges mean deadlock."""
+        return [not matrix.is_empty() for matrix in self._matrices]
+
+
+class BatchPlane:
+    """N tenant matrices packed into shared uint64 planes."""
+
+    vectorized = True
+
+    def __init__(self, matrices: Sequence[AnyStateMatrix]) -> None:
+        if _np is None:
+            raise ConfigurationError(
+                "BatchPlane needs numpy; use PythonBatchPlane "
+                "(or batch_plane(), which picks automatically)")
+        if not matrices:
+            raise ConfigurationError("batch plane needs at least 1 tenant")
+        sources = [_as_bitmatrix(m) for m in matrices]
+        for matrix in sources:
+            if matrix.m > MAX_PACKED_SIDE or matrix.n > MAX_PACKED_SIDE:
+                raise ConfigurationError(
+                    f"tenant matrix {matrix.m}x{matrix.n} exceeds the "
+                    f"{MAX_PACKED_SIDE}x{MAX_PACKED_SIDE} packing limit")
+        self._sources = sources
+        count = len(sources)
+        self._m = max(matrix.m for matrix in sources)
+        self._n = max(matrix.n for matrix in sources)
+        shape_rows = (count, self._m)
+        shape_cols = (count, self._n)
+        self._row_r = _np.zeros(shape_rows, dtype=_np.uint64)
+        self._row_g = _np.zeros(shape_rows, dtype=_np.uint64)
+        self._col_r = _np.zeros(shape_cols, dtype=_np.uint64)
+        self._col_g = _np.zeros(shape_cols, dtype=_np.uint64)
+        for i, matrix in enumerate(sources):
+            for s in range(matrix.m):
+                self._row_r[i, s] = matrix._row_r[s]
+                self._row_g[i, s] = matrix._row_g[s]
+            for t in range(matrix.n):
+                self._col_r[i, t] = matrix._col_r[t]
+                self._col_g[i, t] = matrix._col_g[t]
+        self._row_bits = _np.uint64(1) << _np.arange(self._m,
+                                                     dtype=_np.uint64)
+        self._col_bits = _np.uint64(1) << _np.arange(self._n,
+                                                     dtype=_np.uint64)
+
+    @property
+    def count(self) -> int:
+        return len(self._sources)
+
+    def reduce_all(self) -> list[tuple[int, int]]:
+        """One vectorized Algorithm-1 sweep over every tenant.
+
+        Returns per-tenant ``(iterations, passes)`` with the exact
+        semantics of :meth:`BitMatrix.reduce`: terminal on-sets are
+        computed against the pre-clear snapshot each pass, and the
+        final pass that finds no terminals is counted.
+        """
+        np = _np
+        row_r, row_g = self._row_r, self._row_g
+        col_r, col_g = self._col_r, self._col_g
+        count = self.count
+        iterations = np.zeros(count, dtype=np.int64)
+        passes = np.zeros(count, dtype=np.int64)
+        active = np.ones(count, dtype=bool)
+        while True:
+            # Equation 4 for every row/column of every tenant at once;
+            # an all-empty (padding) row has both planes zero and XORs
+            # to False, so it never reads as terminal.
+            term_rows = (row_r == 0) ^ (row_g == 0)
+            term_cols = (col_r == 0) ^ (col_g == 0)
+            any_term = term_rows.any(axis=1) | term_cols.any(axis=1)
+            passes += active
+            iterations += active & any_term
+            active &= any_term
+            if not active.any():
+                break
+            # Definition 12, batch-wide: zero every terminal row/column
+            # word and strip its bit from the transposed plane.  A cell
+            # in both a terminal row and a terminal column is cleared
+            # by either path — same outcome as the sequential kernel.
+            row_clear = np.bitwise_or.reduce(
+                np.where(term_rows, self._row_bits, np.uint64(0)), axis=1)
+            col_clear = np.bitwise_or.reduce(
+                np.where(term_cols, self._col_bits, np.uint64(0)), axis=1)
+            row_r[term_rows] = 0
+            row_g[term_rows] = 0
+            row_r &= ~col_clear[:, None]
+            row_g &= ~col_clear[:, None]
+            col_r[term_cols] = 0
+            col_g[term_cols] = 0
+            col_r &= ~row_clear[:, None]
+            col_g &= ~row_clear[:, None]
+        return [(int(iterations[i]), int(passes[i]))
+                for i in range(count)]
+
+    def residual(self, index: int) -> BitMatrix:
+        """Tenant ``index``'s current plane as a standalone BitMatrix."""
+        source = self._sources[index]
+        matrix = BitMatrix(source.m, source.n,
+                           resource_names=source.resource_names,
+                           process_names=source.process_names)
+        edges = 0
+        for s in range(source.m):
+            r_word = int(self._row_r[index, s])
+            g_word = int(self._row_g[index, s])
+            matrix._row_r[s] = r_word
+            matrix._row_g[s] = g_word
+            edges += r_word.bit_count() + g_word.bit_count()
+        for t in range(source.n):
+            matrix._col_r[t] = int(self._col_r[index, t])
+            matrix._col_g[t] = int(self._col_g[index, t])
+        matrix._edges = edges
+        return matrix
+
+    def residuals(self) -> list[BitMatrix]:
+        return [self.residual(i) for i in range(self.count)]
+
+    def deadlocked(self) -> list[bool]:
+        """Per-tenant verdict: surviving edges mean deadlock."""
+        survived = ((self._row_r | self._row_g) != 0).any(axis=1)
+        return [bool(survived[i]) for i in range(self.count)]
+
+
+def batch_plane(matrices: Sequence[AnyStateMatrix],
+                vectorized: Optional[bool] = None):
+    """The right plane for an ensemble: vectorized when it can be.
+
+    ``vectorized=None`` (the default) picks :class:`BatchPlane` when
+    NumPy is importable and every tenant fits the 64x64 packing limit,
+    else :class:`PythonBatchPlane`.  Forcing ``vectorized=True`` raises
+    :class:`~repro.errors.ConfigurationError` when either condition
+    fails.
+    """
+    if vectorized is None:
+        fits = all(_dims(m)[0] <= MAX_PACKED_SIDE
+                   and _dims(m)[1] <= MAX_PACKED_SIDE for m in matrices)
+        vectorized = HAS_NUMPY and fits and bool(matrices)
+    return BatchPlane(matrices) if vectorized \
+        else PythonBatchPlane(matrices)
+
+
+def batched_reduce(matrices: Sequence[AnyStateMatrix],
+                   vectorized: Optional[bool] = None
+                   ) -> list[tuple[bool, int, int, BitMatrix]]:
+    """Reduce an ensemble; per-tenant ``(deadlock, iterations, passes,
+    residual)`` — the batch analogue of running
+    :func:`repro.deadlock.pdda.terminal_reduction` per tenant."""
+    plane = batch_plane(matrices, vectorized=vectorized)
+    counts = plane.reduce_all()
+    verdicts = plane.deadlocked()
+    residuals = plane.residuals()
+    return [(verdicts[i], counts[i][0], counts[i][1], residuals[i])
+            for i in range(plane.count)]

@@ -1,0 +1,160 @@
+"""A small asyncio client for the detection service.
+
+:class:`ServiceClient` speaks the newline-delimited JSON protocol over
+TCP or a Unix socket, pipelines requests (every request carries an
+``id``; a background reader task matches responses back to futures),
+and wraps the common operations as coroutines.  Responses come back as
+plain dicts; ``raise_errors=True`` (the default) turns ``ok: false``
+responses into :class:`~repro.service.protocol.ServiceOpError` so call
+sites read naturally::
+
+    client = await ServiceClient.connect_tcp("127.0.0.1", port)
+    await client.attach("t0", seed=7, m=16, n=16)
+    reply = await client.claim("t0", "P0", "R3")
+    verdict = await client.detect("t0")
+    await client.close()
+
+The client also keeps a per-op round-trip latency list (seconds) in
+:attr:`rtt` — the example and the benchmark read it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Optional
+
+from repro.errors import ServiceError
+from repro.service.protocol import (
+    ServiceOpError,
+    decode_line,
+    encode_message,
+)
+
+
+class ServiceClient:
+    """One pipelined connection to a :class:`DetectionService`."""
+
+    def __init__(self, reader: "asyncio.StreamReader",
+                 writer: "asyncio.StreamWriter",
+                 raise_errors: bool = True) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._raise_errors = raise_errors
+        self._next_id = 0
+        self._pending: dict[int, "asyncio.Future"] = {}
+        #: Round-trip seconds per op name, e.g. ``rtt["claim"]``.
+        self.rtt: dict[str, list] = {}
+        self._reader_task = asyncio.create_task(self._read_loop())
+
+    @classmethod
+    async def connect_tcp(cls, host: str, port: int,
+                          raise_errors: bool = True) -> "ServiceClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer, raise_errors=raise_errors)
+
+    @classmethod
+    async def connect_unix(cls, path: str,
+                           raise_errors: bool = True) -> "ServiceClient":
+        reader, writer = await asyncio.open_unix_connection(path)
+        return cls(reader, writer, raise_errors=raise_errors)
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                response = decode_line(line)
+                future = self._pending.pop(response.get("id"), None)
+                if future is not None and not future.done():
+                    future.set_result(response)
+        except (ConnectionResetError, BrokenPipeError, ServiceError,
+                asyncio.CancelledError):
+            pass
+        finally:
+            lost = ServiceError("connection to service lost")
+            for future in self._pending.values():
+                if not future.done():
+                    future.set_exception(lost)
+            self._pending.clear()
+
+    async def request(self, op: str, **fields: Any) -> dict:
+        """Send one request; await its matched response."""
+        if self._reader_task.done():
+            raise ServiceError("connection to service lost")
+        self._next_id += 1
+        request_id = self._next_id
+        message = {"op": op, "id": request_id, **fields}
+        future = asyncio.get_running_loop().create_future()
+        self._pending[request_id] = future
+        loop = asyncio.get_running_loop()
+        started = loop.time()
+        self._writer.write(encode_message(message))
+        await self._writer.drain()
+        response = await future
+        self.rtt.setdefault(op, []).append(loop.time() - started)
+        if self._raise_errors and not response.get("ok"):
+            raise ServiceOpError(response.get("error", "internal"),
+                                 response.get("detail", ""))
+        return response
+
+    # -- tenant ops ----------------------------------------------------
+
+    async def attach(self, tenant: str, **spec: Any) -> dict:
+        return await self.request("attach", tenant=tenant, **spec)
+
+    async def claim(self, tenant: str, process: str,
+                    resource: str) -> dict:
+        return await self.request("claim", tenant=tenant,
+                                  process=process, resource=resource)
+
+    async def release(self, tenant: str, process: str,
+                      resource: str) -> dict:
+        return await self.request("release", tenant=tenant,
+                                  process=process, resource=resource)
+
+    async def detect(self, tenant: str) -> dict:
+        return await self.request("detect", tenant=tenant)
+
+    async def detach(self, tenant: str) -> dict:
+        return await self.request("detach", tenant=tenant)
+
+    # -- admin ops -----------------------------------------------------
+
+    async def ping(self) -> dict:
+        return await self.request("ping")
+
+    async def stats(self) -> dict:
+        return await self.request("stats")
+
+    async def shards(self) -> dict:
+        return await self.request("shards")
+
+    async def migrate(self, tenant: str, shard: int) -> dict:
+        return await self.request("migrate", tenant=tenant, shard=shard)
+
+    async def rebalance(self) -> dict:
+        return await self.request("rebalance")
+
+    async def shutdown(self) -> dict:
+        return await self.request("shutdown")
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def close(self) -> None:
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except asyncio.CancelledError:
+            pass
+        try:
+            self._writer.close()
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+
+    async def __aenter__(self) -> "ServiceClient":
+        return self
+
+    async def __aexit__(self, *_exc: Any) -> None:
+        await self.close()

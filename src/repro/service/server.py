@@ -1,0 +1,864 @@
+"""The asyncio front end: multiplex tenants over a pool of shards.
+
+:class:`DetectionService` accepts newline-delimited JSON connections
+(TCP and/or Unix socket), applies admission control and bounded-queue
+backpressure, and coalesces accepted tenant operations into *ticks*:
+every ``tick_interval`` seconds the queue is drained, grouped by shard,
+and shipped as one ``batch`` command per shard, whose detects are
+answered by a single batched :class:`~repro.rag.batch.BatchPlane`
+reduction (see :mod:`repro.service.shard`).
+
+Shards run either in-process (tests, campaign scenarios) or as
+``multiprocessing`` worker processes (the deployment the soak
+SIGKILLs).  The front end is the durability domain:
+
+* it builds every tenant itself on ``attach`` (seeded through the
+  ``resolve_rng`` contract) and keeps the attach-time snapshot
+  envelope;
+* every *acked* mutation is journaled per tenant, and the snapshot is
+  refreshed from the shard every ``snapshot_every`` mutations (the
+  journal truncates at the refresh point);
+* when a shard dies — EOF on its pipe, a send failure, or a hung batch
+  past ``shard_timeout`` — its tenants are restored on surviving
+  shards from snapshot + journal replay, and the batch that was
+  in flight is re-dispatched, so clients see latency, never a wrong
+  verdict;
+* live migration (``migrate`` / ``rebalance``) quiesces one tenant,
+  moves its snapshot between shards, verifies ``state_hash`` equality
+  after restore, and releases the held operations — digest-equivalent
+  by construction.
+
+Everything observable lands in ``service.*`` metrics on the hub, and
+admission rejections, migrations and rebalances are flight-recorder
+trips (see :data:`repro.obs.flight.TRIP_KINDS`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.errors import ServiceError
+from repro.obs import Observability
+from repro.service.protocol import (
+    ADMIN_OPS,
+    MUTATING_OPS,
+    PROTOCOL_VERSION,
+    ServiceOpError,
+    decode_line,
+    encode_message,
+    error_response,
+    ok_response,
+    validate_request,
+)
+from repro.service.shard import ShardCore, shard_main
+from repro.service.tenant import Tenant
+
+
+@dataclass
+class ServiceConfig:
+    """Knobs for one service instance (all bounded, all observable)."""
+
+    #: Worker shards in the pool.
+    shards: int = 2
+    #: True: shards are multiprocessing workers (SIGKILL-able);
+    #: False: in-process cores (tests, campaign scenarios).
+    use_processes: bool = False
+    #: Seconds between queue drains; one drain = one batch per shard.
+    tick_interval: float = 0.002
+    #: Admission control: the tenant table's hard cap.
+    max_tenants: int = 4096
+    #: Bounded queue: total queued + in-flight operations.
+    max_pending: int = 4096
+    #: Bounded queue: per-tenant outstanding operations.
+    max_pending_per_tenant: int = 128
+    #: Acked mutations between snapshot refreshes (journal truncation).
+    snapshot_every: int = 64
+    #: A batch unanswered this long marks the shard dead.
+    shard_timeout: float = 30.0
+    #: Forwarded to :func:`repro.rag.batch.batch_plane` (None = auto).
+    vectorized: Optional[bool] = None
+
+
+class _ShardLost(ServiceError):
+    """Internal: the shard died before answering (recovery re-routes)."""
+
+
+class _QueuedOp:
+    """One accepted tenant operation waiting for its tick."""
+
+    __slots__ = ("message", "future", "enqueued")
+
+    def __init__(self, message: dict, future: "asyncio.Future",
+                 enqueued: float) -> None:
+        self.message = message
+        self.future = future
+        self.enqueued = enqueued
+
+
+class _TenantRecord:
+    """Front-end bookkeeping for one tenant."""
+
+    __slots__ = ("tenant_id", "shard_id", "snapshot", "journal",
+                 "outstanding", "inflight", "migrating", "held")
+
+    def __init__(self, tenant_id: str, shard_id: int,
+                 snapshot: dict) -> None:
+        self.tenant_id = tenant_id
+        self.shard_id = shard_id
+        #: Last known-good envelope (attach-time, then refreshed).
+        self.snapshot = snapshot
+        #: Acked mutations since the snapshot (crash-replay source).
+        self.journal: list = []
+        #: Queued + dispatched, not yet answered (backpressure).
+        self.outstanding = 0
+        #: Dispatched to a shard, not yet answered (migration gate).
+        self.inflight = 0
+        self.migrating = False
+        #: Ops parked while a migration is in progress.
+        self.held: list = []
+
+
+class ShardHandle:
+    """One shard: either an in-process core or a worker process."""
+
+    def __init__(self, service: "DetectionService", shard_id: int) -> None:
+        self.service = service
+        self.shard_id = shard_id
+        self.alive = True
+        self.core: Optional[ShardCore] = None
+        self.process = None
+        self.conn = None
+        #: FIFO of (command, future, context) awaiting a reply.
+        self._pending: deque = deque()
+        self._oldest_sent: Optional[float] = None
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self.process.pid if self.process is not None else None
+
+    def start(self) -> None:
+        config = self.service.config
+        if config.use_processes:
+            ctx = multiprocessing.get_context()
+            parent_conn, child_conn = ctx.Pipe()
+            self.process = ctx.Process(
+                target=shard_main,
+                args=(child_conn, self.shard_id, config.vectorized),
+                daemon=True, name=f"repro-service-shard-{self.shard_id}")
+            self.process.start()
+            child_conn.close()
+            self.conn = parent_conn
+            asyncio.get_running_loop().add_reader(
+                self.conn.fileno(), self._on_readable)
+        else:
+            self.core = ShardCore(self.shard_id,
+                                  vectorized=config.vectorized)
+
+    def tenant_count(self) -> int:
+        return sum(1 for record in self.service.tenants.values()
+                   if record.shard_id == self.shard_id)
+
+    # -- request/reply -------------------------------------------------
+
+    def request(self, command: str, payload: Any,
+                context: Any = None) -> "asyncio.Future":
+        """Send one command; the future resolves to (kind, reply)."""
+        loop = asyncio.get_running_loop()
+        future = loop.create_future()
+        if not self.alive:
+            future.set_exception(_ShardLost(
+                f"shard {self.shard_id} is down"))
+            return future
+        if self.core is not None:
+            future.set_result(self.core.handle(command, payload))
+            return future
+        self._pending.append((command, future, context))
+        if self._oldest_sent is None:
+            self._oldest_sent = time.monotonic()
+        try:
+            self.conn.send((command, payload))
+        except (BrokenPipeError, OSError):
+            self.mark_dead()
+        return future
+
+    def _on_readable(self) -> None:
+        try:
+            while self.conn.poll():
+                kind, reply = self.conn.recv()
+                if self._pending:
+                    _command, future, _context = self._pending.popleft()
+                    if not future.done():
+                        future.set_result((kind, reply))
+                self._oldest_sent = (time.monotonic() if self._pending
+                                     else None)
+        except (EOFError, OSError):
+            self.mark_dead()
+
+    def check_hang(self) -> None:
+        """Declare the shard dead when a batch is long unanswered."""
+        if (self.alive and self._oldest_sent is not None
+                and time.monotonic() - self._oldest_sent
+                > self.service.config.shard_timeout):
+            self.crash()
+
+    # -- death ---------------------------------------------------------
+
+    def crash(self) -> None:
+        """Hard-stop the shard (tests and hang handling); triggers
+        the same recovery path as an external SIGKILL."""
+        if self.process is not None and self.process.is_alive():
+            self.process.kill()
+        if self.core is not None and self.alive:
+            self.core = None
+            self.mark_dead()
+
+    def mark_dead(self) -> None:
+        if not self.alive:
+            return
+        self.alive = False
+        self.core = None
+        if self.conn is not None:
+            try:
+                asyncio.get_running_loop().remove_reader(
+                    self.conn.fileno())
+            except (ValueError, OSError, RuntimeError):
+                pass
+            try:
+                self.conn.close()
+            except OSError:
+                pass
+        undelivered = list(self._pending)
+        self._pending.clear()
+        self._oldest_sent = None
+        for _command, future, _context in undelivered:
+            if not future.done():
+                future.set_exception(_ShardLost(
+                    f"shard {self.shard_id} died"))
+        self.service._on_shard_dead(self, undelivered)
+
+    def stop(self) -> None:
+        """Orderly shutdown (no recovery)."""
+        self.alive = False
+        if self.conn is not None:
+            try:
+                asyncio.get_running_loop().remove_reader(
+                    self.conn.fileno())
+            except (ValueError, OSError, RuntimeError):
+                pass
+            try:
+                self.conn.send(("stop", None))
+            except (BrokenPipeError, OSError):
+                pass
+            try:
+                self.conn.close()
+            except OSError:
+                pass
+        if self.process is not None:
+            self.process.join(timeout=2.0)
+            if self.process.is_alive():
+                self.process.kill()
+                self.process.join(timeout=2.0)
+
+
+class DetectionService:
+    """The multi-tenant deadlock-detection service."""
+
+    def __init__(self, config: Optional[ServiceConfig] = None,
+                 obs: Optional[Observability] = None) -> None:
+        self.config = config or ServiceConfig()
+        if self.config.shards < 1:
+            raise ServiceError("service needs at least one shard")
+        self.obs = obs if obs is not None else Observability(
+            label="service", enabled=True)
+        self.tenants: dict[str, _TenantRecord] = {}
+        self.shards: list[ShardHandle] = []
+        self._queue: list = []          # _QueuedOp, arrival order
+        self._queued_ops = 0
+        self._tick_task = None
+        self._servers: list = []
+        self._draining = False
+        self._started = False
+        metrics = self.obs.metrics
+        self._c_requests = metrics.counter(
+            "service.requests", "tenant operations accepted")
+        self._c_granted = metrics.counter(
+            "service.granted", "claims granted immediately")
+        self._c_blocked = metrics.counter(
+            "service.blocked", "claims queued behind a holder")
+        self._c_detects = metrics.counter(
+            "service.detects", "detect verdicts served")
+        self._c_deadlocks = metrics.counter(
+            "service.deadlocks", "detect verdicts that found deadlock")
+        self._c_errors = metrics.counter(
+            "service.errors", "operations answered with an error")
+        self._c_admission = metrics.counter(
+            "service.admission_rejected", "attaches refused at capacity")
+        self._c_backpressure = metrics.counter(
+            "service.backpressure_rejected",
+            "operations refused by the bounded queue")
+        self._c_batches = metrics.counter(
+            "service.batches", "shard batches shipped")
+        self._c_migrations = metrics.counter(
+            "service.migrations", "live tenant migrations completed")
+        self._c_crashes = metrics.counter(
+            "service.shard_crashes", "shards lost and recovered")
+        self._c_rebalanced = metrics.counter(
+            "service.rebalanced_tenants",
+            "tenants restored after a shard loss")
+        self._c_replayed = metrics.counter(
+            "service.journal_replayed",
+            "journaled mutations replayed during recovery")
+        self._g_tenants = metrics.gauge(
+            "service.tenants", "live tenants")
+        self._g_pending = metrics.gauge(
+            "service.pending", "queued + in-flight operations")
+        self._g_shards = metrics.gauge(
+            "service.shards_alive", "shards alive")
+        self._h_batch = metrics.histogram(
+            "service.batch_size", "operations per shard batch")
+        self._h_grant = metrics.histogram(
+            "service.grant_latency_us",
+            "claim accept-to-answer latency (us)")
+        self._h_verdict = metrics.histogram(
+            "service.verdict_latency_us",
+            "detect accept-to-answer latency (us)")
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def start(self, host: Optional[str] = None,
+                    port: Optional[int] = None,
+                    unix_path: Optional[str] = None) -> None:
+        """Spin up shards, listeners, and the tick loop."""
+        if self._started:
+            raise ServiceError("service already started")
+        self._started = True
+        for shard_id in range(self.config.shards):
+            handle = ShardHandle(self, shard_id)
+            handle.start()
+            self.shards.append(handle)
+        self._g_shards.set(len(self.shards))
+        if host is not None:
+            self._servers.append(await asyncio.start_server(
+                self._handle_connection, host=host, port=port or 0))
+        if unix_path is not None:
+            self._servers.append(await asyncio.start_unix_server(
+                self._handle_connection, path=unix_path))
+        self._tick_task = asyncio.create_task(self._tick_loop())
+
+    @property
+    def tcp_port(self) -> Optional[int]:
+        for server in self._servers:
+            for sock in server.sockets:
+                name = sock.getsockname()
+                if isinstance(name, tuple):
+                    return name[1]
+        return None
+
+    async def stop(self) -> None:
+        """Drain: refuse new work, flush the queue, stop shards."""
+        self._draining = True
+        if self._tick_task is not None:
+            # One final drain so already-accepted ops are answered.
+            self._run_tick()
+            self._tick_task.cancel()
+            try:
+                await self._tick_task
+            except asyncio.CancelledError:
+                pass
+        deadline = time.monotonic() + 2.0
+        while (any(record.inflight for record in self.tenants.values())
+               and time.monotonic() < deadline):
+            await asyncio.sleep(0.005)
+        for server in self._servers:
+            server.close()
+            await server.wait_closed()
+        self._servers.clear()
+        for queued in self._queue:
+            if not queued.future.done():
+                queued.future.set_result(error_response(
+                    queued.message, "shutting-down"))
+        self._queue.clear()
+        for handle in self.shards:
+            handle.stop()
+
+    # -- connection handling -------------------------------------------
+
+    async def _handle_connection(self, reader, writer) -> None:
+        lock = asyncio.Lock()
+        tasks: set = set()
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                try:
+                    message = decode_line(line)
+                    op = validate_request(message)
+                except ServiceOpError as exc:
+                    await self._write(writer, lock, error_response(
+                        None, exc.code, exc.detail))
+                    continue
+                if op in ADMIN_OPS:
+                    response = await self._admin(op, message)
+                    await self._write(writer, lock, response)
+                    if op == "shutdown":
+                        break
+                    continue
+                future = self.submit(message)
+                task = asyncio.create_task(
+                    self._reply_when_done(writer, lock, future))
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            for task in tasks:
+                task.cancel()
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _reply_when_done(self, writer, lock, future) -> None:
+        try:
+            response = await future
+        except asyncio.CancelledError:
+            return
+        try:
+            await self._write(writer, lock, response)
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+
+    async def _write(self, writer, lock, response: dict) -> None:
+        async with lock:
+            writer.write(encode_message(response))
+            await writer.drain()
+
+    # -- admission / submission ----------------------------------------
+
+    def submit(self, message: dict) -> "asyncio.Future":
+        """Queue one validated tenant op; resolves to its response."""
+        loop = asyncio.get_running_loop()
+        future = loop.create_future()
+        op = message["op"]
+        tenant_id = message["tenant"]
+        if self._draining:
+            future.set_result(error_response(message, "shutting-down"))
+            return future
+        record = self.tenants.get(tenant_id)
+        if op == "attach":
+            return self._submit_attach(message, future)
+        if record is None:
+            self._c_errors.inc()
+            future.set_result(error_response(
+                message, "unknown-tenant",
+                f"tenant {tenant_id!r} is not attached"))
+            return future
+        if (self._queued_ops >= self.config.max_pending
+                or record.outstanding
+                >= self.config.max_pending_per_tenant):
+            self._c_backpressure.inc()
+            future.set_result(error_response(
+                message, "backpressure",
+                "bounded queue full; back off and retry"))
+            return future
+        queued = _QueuedOp(message, future, time.monotonic())
+        record.outstanding += 1
+        self._queued_ops += 1
+        self._g_pending.set(self._queued_ops)
+        self._c_requests.inc()
+        if record.migrating:
+            record.held.append(queued)
+        else:
+            self._queue.append(queued)
+        return future
+
+    def _submit_attach(self, message: dict,
+                       future: "asyncio.Future") -> "asyncio.Future":
+        tenant_id = message["tenant"]
+        if tenant_id in self.tenants:
+            self._c_errors.inc()
+            future.set_result(error_response(
+                message, "duplicate-tenant",
+                f"tenant {tenant_id!r} is already attached"))
+            return future
+        if len(self.tenants) >= self.config.max_tenants:
+            self._c_admission.inc()
+            if self.obs.flight.enabled:
+                self.obs.flight.mark(
+                    "tenant_admission_rejected", actor="service",
+                    tenant=tenant_id, tenants=len(self.tenants),
+                    max_tenants=self.config.max_tenants)
+            future.set_result(error_response(
+                message, "admission-rejected",
+                f"tenant table full ({self.config.max_tenants})"))
+            return future
+        try:
+            tenant = Tenant.from_attach(tenant_id, message)
+        except ServiceOpError as exc:
+            self._c_errors.inc()
+            future.set_result(error_response(message, exc.code,
+                                             exc.detail))
+            return future
+        handle = self._least_loaded_shard()
+        if handle is None:
+            future.set_result(error_response(
+                message, "internal", "no shard alive"))
+            return future
+        envelope = tenant.snapshot_state()
+        record = _TenantRecord(tenant_id, handle.shard_id, envelope)
+        self.tenants[tenant_id] = record
+        self._g_tenants.set(len(self.tenants))
+        self._c_requests.inc()
+        record.outstanding += 1
+        self._queued_ops += 1
+        queued = _QueuedOp(message, future, time.monotonic())
+        self._queue.append(queued)
+        return future
+
+    def _least_loaded_shard(self) -> Optional[ShardHandle]:
+        alive = [handle for handle in self.shards if handle.alive]
+        if not alive:
+            return None
+        return min(alive, key=lambda handle: (handle.tenant_count(),
+                                              handle.shard_id))
+
+    # -- the tick loop -------------------------------------------------
+
+    async def _tick_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.config.tick_interval)
+            for handle in self.shards:
+                handle.check_hang()
+            if self._queue:
+                self._run_tick()
+
+    def _run_tick(self) -> None:
+        """Drain the queue into one command stream per shard."""
+        queue, self._queue = self._queue, []
+        streams: dict[int, list] = {}
+        for queued in queue:
+            record = self.tenants.get(queued.message["tenant"])
+            if record is None:
+                # Detached (or dropped by a failed attach) in between.
+                self._settle(queued, error_response(
+                    queued.message, "unknown-tenant"))
+                continue
+            stream = streams.setdefault(record.shard_id, [])
+            if queued.message["op"] == "attach":
+                stream.append(("restore", record.snapshot, [queued]))
+            else:
+                if stream and stream[-1][0] == "batch":
+                    stream[-1][2].append(queued)
+                else:
+                    stream.append(("batch", None, [queued]))
+                record.inflight += 1
+        for shard_id, stream in streams.items():
+            handle = self._shard(shard_id)
+            for command, payload, batch in stream:
+                if command == "batch":
+                    ops = [queued.message for queued in batch]
+                    self._c_batches.inc()
+                    self._h_batch.observe(len(ops))
+                    future = handle.request("batch", ops, context=batch)
+                    asyncio.ensure_future(
+                        self._finish_batch(batch, future))
+                else:
+                    future = handle.request(command, payload,
+                                            context=batch)
+                    asyncio.ensure_future(
+                        self._finish_attach(batch[0], future))
+
+    def _shard(self, shard_id: int) -> ShardHandle:
+        return self.shards[shard_id]
+
+    async def _finish_attach(self, queued: _QueuedOp, future) -> None:
+        record = self.tenants.get(queued.message["tenant"])
+        try:
+            kind, reply = await future
+        except _ShardLost:
+            # Recovery re-restores from the snapshot; the attach op is
+            # requeued by _on_shard_dead, nothing to do here.
+            return
+        if kind != "ok":
+            if record is not None:
+                self.tenants.pop(record.tenant_id, None)
+                self._g_tenants.set(len(self.tenants))
+            self._c_errors.inc()
+            self._settle(queued, error_response(
+                queued.message, "internal", str(reply)))
+            return
+        matrix_state = record.snapshot["state"]["matrix"]["state"]
+        self._settle(queued, ok_response(
+            queued.message, attached=True,
+            m=len(matrix_state["resource_names"]),
+            n=len(matrix_state["process_names"]),
+            shard=record.shard_id,
+            state_hash=record.snapshot["state_hash"]))
+
+    async def _finish_batch(self, batch: list, future) -> None:
+        try:
+            kind, replies = await future
+        except _ShardLost:
+            return                     # recovery requeues the batch
+        if kind != "results":
+            for queued in batch:
+                self._c_errors.inc()
+                self._settle(queued, error_response(
+                    queued.message, "internal", str(replies)))
+            return
+        refresh: set = set()
+        for queued, response in zip(batch, replies):
+            message = queued.message
+            record = self.tenants.get(message["tenant"])
+            if record is not None:
+                record.inflight = max(0, record.inflight - 1)
+            if response.get("ok"):
+                op = message["op"]
+                if op in MUTATING_OPS and record is not None:
+                    record.journal.append(message)
+                    if (len(record.journal)
+                            >= self.config.snapshot_every):
+                        refresh.add(record.tenant_id)
+                    if op == "claim":
+                        if response.get("granted"):
+                            self._c_granted.inc()
+                        else:
+                            self._c_blocked.inc()
+                        self._h_grant.observe(
+                            (time.monotonic() - queued.enqueued) * 1e6)
+                elif op == "detect":
+                    self._c_detects.inc()
+                    if response.get("deadlock"):
+                        self._c_deadlocks.inc()
+                    self._h_verdict.observe(
+                        (time.monotonic() - queued.enqueued) * 1e6)
+                elif op == "detach" and record is not None:
+                    self.tenants.pop(record.tenant_id, None)
+                    self._g_tenants.set(len(self.tenants))
+            else:
+                self._c_errors.inc()
+            self._settle(queued, response)
+        for tenant_id in refresh:
+            asyncio.ensure_future(self._refresh_snapshot(tenant_id))
+
+    def _settle(self, queued: _QueuedOp, response: dict) -> None:
+        record = self.tenants.get(queued.message["tenant"])
+        if record is not None:
+            record.outstanding = max(0, record.outstanding - 1)
+        self._queued_ops = max(0, self._queued_ops - 1)
+        self._g_pending.set(self._queued_ops)
+        if not queued.future.done():
+            queued.future.set_result(response)
+
+    async def _refresh_snapshot(self, tenant_id: str) -> None:
+        record = self.tenants.get(tenant_id)
+        if record is None or record.migrating:
+            return
+        handle = self._shard(record.shard_id)
+        journal_mark = len(record.journal)
+        try:
+            kind, envelope = await handle.request("snapshot", tenant_id)
+        except _ShardLost:
+            return
+        if kind != "snapshot":
+            return                     # keep the older snapshot
+        record.snapshot = envelope
+        del record.journal[:journal_mark]
+
+    # -- shard loss recovery -------------------------------------------
+
+    def _on_shard_dead(self, handle: ShardHandle,
+                       undelivered: list) -> None:
+        self._c_crashes.inc()
+        self._g_shards.set(sum(1 for h in self.shards if h.alive))
+        moved = [record for record in self.tenants.values()
+                 if record.shard_id == handle.shard_id]
+        if self.obs.flight.enabled:
+            self.obs.flight.mark(
+                "shard_rebalance", actor="service",
+                shard=handle.shard_id, tenants=len(moved))
+        # Re-queue the operations that died with the shard, in order,
+        # ahead of everything queued since.
+        requeue: list = []
+        for _command, _future, context in undelivered:
+            if context:
+                requeue.extend(context)
+        for record in moved:
+            record.inflight = 0
+            target = self._least_loaded_shard()
+            if target is None:
+                for queued in requeue:
+                    self._settle(queued, error_response(
+                        queued.message, "shard-lost",
+                        "no shard alive to recover onto"))
+                return
+            record.shard_id = target.shard_id
+            self._c_rebalanced.inc()
+            target.request("restore", record.snapshot)
+            if record.journal:
+                replay = [dict(op) for op in record.journal]
+                self._c_replayed.inc(len(replay))
+                target.request("batch", replay)
+        self._queue[:0] = requeue
+
+    # -- migration -----------------------------------------------------
+
+    async def migrate(self, tenant_id: str, target_shard: int) -> dict:
+        """Move one tenant live; digest-equivalent before and after."""
+        record = self.tenants.get(tenant_id)
+        if record is None:
+            raise ServiceOpError("unknown-tenant",
+                                 f"tenant {tenant_id!r} is not attached")
+        if not (0 <= target_shard < len(self.shards)):
+            raise ServiceOpError("bad-request",
+                                 f"no shard {target_shard}")
+        target = self._shard(target_shard)
+        if not target.alive:
+            raise ServiceOpError("shard-lost",
+                                 f"shard {target_shard} is down")
+        if record.shard_id == target_shard:
+            return {"tenant": tenant_id, "shard": target_shard,
+                    "moved": False}
+        if record.migrating:
+            raise ServiceOpError("bad-request",
+                                 f"tenant {tenant_id!r} is already "
+                                 "migrating")
+        record.migrating = True
+        try:
+            # Quiesce: park queued ops, wait out dispatched ones.
+            still_queued = [queued for queued in self._queue
+                            if queued.message["tenant"] == tenant_id]
+            if still_queued:
+                self._queue = [queued for queued in self._queue
+                               if queued.message["tenant"] != tenant_id]
+                record.held.extend(still_queued)
+            while record.inflight:
+                await asyncio.sleep(self.config.tick_interval)
+            source = self._shard(record.shard_id)
+            kind, envelope = await source.request("snapshot", tenant_id)
+            if kind != "snapshot":
+                raise ServiceOpError("internal",
+                                     f"snapshot failed: {envelope}")
+            kind, reply = await target.request("restore", envelope)
+            if kind != "ok":
+                raise ServiceOpError("internal",
+                                     f"restore failed: {reply}")
+            if reply["state_hash"] != envelope["state_hash"]:
+                raise ServiceOpError(
+                    "internal",
+                    "migration digest mismatch: "
+                    f"{reply['state_hash'][:12]} != "
+                    f"{envelope['state_hash'][:12]}")
+            await source.request("drop", tenant_id)
+            record.snapshot = envelope
+            record.journal = []
+            source_shard = record.shard_id
+            record.shard_id = target_shard
+            self._c_migrations.inc()
+            if self.obs.flight.enabled:
+                self.obs.flight.mark(
+                    "tenant_migration", actor="service",
+                    tenant=tenant_id, source=source_shard,
+                    target=target_shard,
+                    state_hash=envelope["state_hash"][:12])
+            return {"tenant": tenant_id, "shard": target_shard,
+                    "moved": True,
+                    "state_hash": envelope["state_hash"]}
+        except _ShardLost as exc:
+            raise ServiceOpError("shard-lost", str(exc)) from exc
+        finally:
+            record.migrating = False
+            if record.held:
+                self._queue.extend(record.held)
+                record.held = []
+
+    async def rebalance(self) -> dict:
+        """Even tenant counts across live shards via live migrations."""
+        moves = 0
+        while True:
+            alive = [handle for handle in self.shards if handle.alive]
+            if len(alive) < 2:
+                break
+            counts = sorted(alive, key=lambda h: h.tenant_count())
+            emptiest, fullest = counts[0], counts[-1]
+            if fullest.tenant_count() - emptiest.tenant_count() <= 1:
+                break
+            tenant_id = next(
+                record.tenant_id for record in self.tenants.values()
+                if record.shard_id == fullest.shard_id
+                and not record.migrating)
+            await self.migrate(tenant_id, emptiest.shard_id)
+            moves += 1
+        return {"moves": moves}
+
+    # -- admin ---------------------------------------------------------
+
+    async def _admin(self, op: str, message: dict) -> dict:
+        try:
+            if op == "ping":
+                return ok_response(message, protocol=PROTOCOL_VERSION,
+                                   server="repro.service")
+            if op == "stats":
+                return ok_response(message, **self.stats())
+            if op == "shards":
+                return ok_response(message, shards=[
+                    {"shard": handle.shard_id, "alive": handle.alive,
+                     "pid": handle.pid,
+                     "tenants": handle.tenant_count()}
+                    for handle in self.shards])
+            if op == "migrate":
+                result = await self.migrate(str(message.get("tenant")),
+                                            int(message.get("shard", -1)))
+                return ok_response(message, **result)
+            if op == "rebalance":
+                return ok_response(message, **(await self.rebalance()))
+            if op == "shutdown":
+                asyncio.get_running_loop().call_soon(
+                    asyncio.ensure_future, self.stop())
+                return ok_response(message, stopping=True)
+            raise ServiceOpError("bad-request", f"unknown admin {op!r}")
+        except ServiceOpError as exc:
+            self._c_errors.inc()
+            return error_response(message, exc.code, exc.detail)
+
+    def stats(self) -> dict:
+        """The ``stats`` payload: population, counters, latencies."""
+        def _percentiles(histogram) -> dict:
+            if histogram.count == 0:
+                return {"count": 0}
+            return {"count": histogram.count,
+                    "mean_us": histogram.mean,
+                    "p50_us": histogram.percentile(50),
+                    "p99_us": histogram.percentile(99)}
+        return {
+            "tenants": len(self.tenants),
+            "pending": self._queued_ops,
+            "shards": [{"shard": handle.shard_id,
+                        "alive": handle.alive,
+                        "tenants": handle.tenant_count()}
+                       for handle in self.shards],
+            "requests": self._c_requests.value,
+            "granted": self._c_granted.value,
+            "blocked": self._c_blocked.value,
+            "detects": self._c_detects.value,
+            "deadlocks": self._c_deadlocks.value,
+            "errors": self._c_errors.value,
+            "admission_rejected": self._c_admission.value,
+            "backpressure_rejected": self._c_backpressure.value,
+            "batches": self._c_batches.value,
+            "migrations": self._c_migrations.value,
+            "shard_crashes": self._c_crashes.value,
+            "rebalanced_tenants": self._c_rebalanced.value,
+            "journal_replayed": self._c_replayed.value,
+            "grant_latency": _percentiles(self._h_grant),
+            "verdict_latency": _percentiles(self._h_verdict),
+        }

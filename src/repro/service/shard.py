@@ -1,0 +1,162 @@
+"""Worker shards: apply op batches, reduce detects through one plane.
+
+A :class:`ShardCore` owns a slice of the tenant population and speaks a
+tiny command protocol — ``batch`` / ``snapshot`` / ``restore`` /
+``drop`` / ``ping`` / ``stop``.  The front end groups each tick's
+operations by shard and ships one ``batch`` per shard; the core applies
+mutations *in arrival order* and then answers every ``detect`` in the
+batch from a single :class:`~repro.rag.batch.BatchPlane` reduction over
+the distinct tenants that asked — the batched-kernel win the service
+exists for.  A verdict therefore reflects every mutation accepted
+earlier in the same tick (*tick-consistent detection*); it carries the
+tenant's ``op_seq`` so callers know exactly which prefix it covers.
+
+:func:`shard_main` wraps the core behind a
+:class:`multiprocessing.connection.Connection` for process-backed
+shards (the deployment the soak SIGKILLs); the server can also run
+cores in-process for tests and campaign scenarios.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.errors import ReproError
+from repro.rag.batch import batch_plane
+from repro.service.protocol import ServiceOpError, error_response, ok_response
+from repro.service.tenant import Tenant
+
+
+class ShardCore:
+    """The shard state machine, transport-agnostic and synchronous."""
+
+    def __init__(self, shard_id: int,
+                 vectorized: Optional[bool] = None) -> None:
+        self.shard_id = shard_id
+        self.vectorized = vectorized
+        self.tenants: dict[str, Tenant] = {}
+        self.ops_applied = 0
+        self.batches = 0
+        self.detect_batches = 0
+
+    # -- command handlers ----------------------------------------------
+
+    def handle(self, command: str, payload: Any) -> tuple[str, Any]:
+        """Dispatch one command; always returns a reply tuple."""
+        try:
+            if command == "batch":
+                return "results", self.handle_batch(payload)
+            if command == "snapshot":
+                return "snapshot", self.snapshot_tenant(payload)
+            if command == "restore":
+                return "ok", self.restore_tenant(payload)
+            if command == "drop":
+                self.tenants.pop(payload, None)
+                return "ok", {"tenants": len(self.tenants)}
+            if command == "ping":
+                return "ok", {"shard": self.shard_id,
+                              "tenants": len(self.tenants),
+                              "ops": self.ops_applied,
+                              "batches": self.batches}
+            raise ReproError(f"unknown shard command {command!r}")
+        except ReproError as exc:
+            return "error", str(exc)
+
+    def handle_batch(self, ops: list) -> list:
+        """Apply one tick's ops in order; batch the detects at the end."""
+        self.batches += 1
+        responses: list = [None] * len(ops)
+        detect_slots: dict[str, list[int]] = {}
+        for index, op in enumerate(ops):
+            name = op["op"]
+            tenant = self.tenants.get(op.get("tenant", ""))
+            try:
+                if tenant is None:
+                    raise ServiceOpError(
+                        "unknown-tenant",
+                        f"tenant {op.get('tenant')!r} not on shard "
+                        f"{self.shard_id}")
+                if name == "detect":
+                    detect_slots.setdefault(tenant.tenant_id,
+                                            []).append(index)
+                elif name == "claim":
+                    responses[index] = ok_response(op, **tenant.claim(op))
+                    self.ops_applied += 1
+                elif name == "release":
+                    responses[index] = ok_response(op,
+                                                   **tenant.release(op))
+                    self.ops_applied += 1
+                elif name == "detach":
+                    self.tenants.pop(tenant.tenant_id)
+                    responses[index] = ok_response(op, detached=True)
+                else:
+                    raise ServiceOpError("bad-request",
+                                         f"shard cannot apply {name!r}")
+            except ServiceOpError as exc:
+                responses[index] = error_response(op, exc.code,
+                                                  exc.detail)
+        if detect_slots:
+            self._run_detects(ops, responses, detect_slots)
+        return responses
+
+    def _run_detects(self, ops: list, responses: list,
+                     detect_slots: dict) -> None:
+        """One batched reduction answers every detect in the tick."""
+        tenant_ids = sorted(detect_slots)
+        tenants = [self.tenants[tid] for tid in tenant_ids]
+        plane = batch_plane([tenant.matrix for tenant in tenants],
+                            vectorized=self.vectorized)
+        counts = plane.reduce_all()
+        verdicts = plane.deadlocked()
+        self.detect_batches += 1
+        for position, tenant in enumerate(tenants):
+            payload = tenant.detect_payload(
+                verdicts[position], counts[position][0],
+                counts[position][1], plane.residual(position),
+                batched=len(tenants))
+            for index in detect_slots[tenant.tenant_id]:
+                responses[index] = ok_response(ops[index], **payload)
+
+    # -- tenant movement -----------------------------------------------
+
+    def snapshot_tenant(self, tenant_id: str) -> dict:
+        tenant = self.tenants.get(tenant_id)
+        if tenant is None:
+            raise ServiceOpError("unknown-tenant",
+                                 f"tenant {tenant_id!r} not on shard "
+                                 f"{self.shard_id}")
+        return tenant.snapshot_state()
+
+    def restore_tenant(self, envelope: dict) -> dict:
+        tenant = Tenant.restore_state(envelope)
+        self.tenants[tenant.tenant_id] = tenant
+        return {"tenant": tenant.tenant_id,
+                "state_hash": envelope["state_hash"],
+                "tenants": len(self.tenants)}
+
+
+def shard_main(conn, shard_id: int,
+               vectorized: Optional[bool] = None) -> None:
+    """Run a :class:`ShardCore` over a duplex Connection until EOF.
+
+    The loop is deliberately boring: one request, one reply, FIFO — the
+    front end relies on reply ordering to match futures to commands.
+    A SIGKILL here is exactly the crash the parent's snapshot+journal
+    recovery absorbs.
+    """
+    core = ShardCore(shard_id, vectorized=vectorized)
+    while True:
+        try:
+            command, payload = conn.recv()
+        except (EOFError, OSError):
+            return
+        if command == "stop":
+            try:
+                conn.send(("ok", {"stopped": True}))
+            except (BrokenPipeError, OSError):
+                pass
+            return
+        try:
+            conn.send(core.handle(command, payload))
+        except (BrokenPipeError, OSError):
+            return

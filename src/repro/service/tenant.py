@@ -1,0 +1,206 @@
+"""Per-tenant state: one (tasks x resources) RAG instance.
+
+A :class:`Tenant` wraps a :class:`~repro.rag.bitmatrix.BitMatrix` (the
+fast backend, always — the batched reducer packs straight from its bit
+planes) plus the operation counters the service reports.  Grant policy
+is deliberately simple and *derivable from the matrix alone* so a
+snapshot needs no auxiliary queue state:
+
+* ``claim(p, q)`` grants immediately iff resource ``q`` is free,
+  otherwise records the request edge (the claim is *blocked*);
+* ``release(p, q)`` frees the grant and promotes the **lowest-index**
+  waiting process — deterministic, so a migrated tenant and its
+  unmigrated twin promote identically.
+
+``op_seq`` counts accepted mutations; detect verdicts echo it so an
+oracle can replay exactly the prefix a verdict reflects (the soak and
+the campaign checker do).
+
+Snapshots use the :mod:`repro.checkpoint` envelope protocol (kind
+``service.tenant``) and nest the matrix's own envelope, so the
+migration differential can compare ``state_hash`` before and after a
+shard move.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional
+
+from repro.checkpoint.protocol import open_envelope, snapshot_envelope
+from repro.errors import ResourceProtocolError
+from repro.rag.bitmatrix import BitMatrix
+from repro.rag.generate import random_state, resolve_rng
+from repro.rag.matrix import CellState
+from repro.service.protocol import ServiceOpError
+
+#: Widest tenant the batched reducer packs (one uint64 word per side).
+MAX_TENANT_SIDE = 64
+
+SNAPSHOT_KIND = "service.tenant"
+
+
+def _build_matrix(spec: Mapping[str, Any]) -> BitMatrix:
+    """Tenant matrix from an attach request (rows > seed > empty)."""
+    rows = spec.get("rows")
+    if rows is not None:
+        matrix = BitMatrix.from_rows(rows)
+    else:
+        m = int(spec.get("m", 8))
+        n = int(spec.get("n", 8))
+        if not (1 <= m <= MAX_TENANT_SIDE and 1 <= n <= MAX_TENANT_SIDE):
+            raise ServiceOpError(
+                "bad-request",
+                f"tenant dims {m}x{n} outside 1..{MAX_TENANT_SIDE}")
+        if spec.get("seed") is not None:
+            rag = random_state(
+                m, n,
+                grant_fraction=float(spec.get("grant_fraction", 0.6)),
+                request_fraction=float(spec.get("request_fraction", 0.3)),
+                rng=resolve_rng(seed=int(spec["seed"])))
+            matrix = BitMatrix.from_rag(rag)
+        else:
+            matrix = BitMatrix(m, n)
+    if matrix.m > MAX_TENANT_SIDE or matrix.n > MAX_TENANT_SIDE:
+        raise ServiceOpError(
+            "bad-request",
+            f"tenant matrix {matrix.m}x{matrix.n} exceeds "
+            f"{MAX_TENANT_SIDE}x{MAX_TENANT_SIDE}")
+    return matrix
+
+
+class Tenant:
+    """One tenant's matrix plus its service-side counters."""
+
+    __slots__ = ("tenant_id", "matrix", "op_seq", "grants", "blocked",
+                 "releases", "detects")
+
+    def __init__(self, tenant_id: str, matrix: BitMatrix) -> None:
+        self.tenant_id = tenant_id
+        self.matrix = matrix
+        #: Accepted mutations so far (claims + releases), echoed by
+        #: detect verdicts so oracles can replay the exact prefix.
+        self.op_seq = 0
+        self.grants = 0
+        self.blocked = 0
+        self.releases = 0
+        self.detects = 0
+
+    @classmethod
+    def from_attach(cls, tenant_id: str,
+                    spec: Mapping[str, Any]) -> "Tenant":
+        return cls(tenant_id, _build_matrix(spec))
+
+    # -- op handlers ---------------------------------------------------
+
+    def _indices(self, op: Mapping[str, Any]) -> tuple[int, int, str, str]:
+        process = op.get("process")
+        resource = op.get("resource")
+        try:
+            t = self.matrix.process_names.index(process)
+        except ValueError:
+            raise ServiceOpError(
+                "bad-request",
+                f"unknown process {process!r} for tenant "
+                f"{self.tenant_id!r}") from None
+        try:
+            s = self.matrix.resource_names.index(resource)
+        except ValueError:
+            raise ServiceOpError(
+                "bad-request",
+                f"unknown resource {resource!r} for tenant "
+                f"{self.tenant_id!r}") from None
+        return s, t, process, resource
+
+    def claim(self, op: Mapping[str, Any]) -> dict:
+        s, t, process, resource = self._indices(op)
+        cell = self.matrix.get(s, t)
+        if cell is CellState.GRANT:
+            raise ServiceOpError(
+                "protocol-violation",
+                f"{process} already holds {resource}")
+        if cell is CellState.REQUEST:
+            raise ServiceOpError(
+                "protocol-violation",
+                f"{process} already waits for {resource}")
+        free = self.matrix.row_bwo(s)[1] == 0
+        try:
+            if free:
+                self.matrix.set_grant(s, t)
+            else:
+                self.matrix.set_request(s, t)
+        except ResourceProtocolError as exc:
+            raise ServiceOpError("protocol-violation", str(exc)) from exc
+        self.op_seq += 1
+        if free:
+            self.grants += 1
+        else:
+            self.blocked += 1
+        return {"granted": free, "blocked": not free,
+                "op_seq": self.op_seq}
+
+    def release(self, op: Mapping[str, Any]) -> dict:
+        s, t, process, resource = self._indices(op)
+        if self.matrix.get(s, t) is not CellState.GRANT:
+            raise ServiceOpError(
+                "protocol-violation",
+                f"{process} does not hold {resource}")
+        self.matrix.clear(s, t)
+        promoted: Optional[str] = None
+        waiters = self.matrix._row_r[s]
+        if waiters:
+            # Deterministic promotion: the lowest-index waiter wins.
+            low = (waiters & -waiters).bit_length() - 1
+            self.matrix.clear(s, low)
+            self.matrix.set_grant(s, low)
+            promoted = self.matrix.process_names[low]
+        self.op_seq += 1
+        self.releases += 1
+        return {"released": True, "promoted": promoted,
+                "op_seq": self.op_seq}
+
+    def detect_payload(self, deadlock: bool, iterations: int,
+                       passes: int, residual: BitMatrix,
+                       batched: int) -> dict:
+        """Assemble a detect response from a (batched) reduction."""
+        self.detects += 1
+        processes = [residual.process_names[t] for t in range(residual.n)
+                     if residual.column_bwo(t) != (0, 0)]
+        return {"deadlock": deadlock, "iterations": iterations,
+                "passes": passes, "deadlocked_processes": processes,
+                "op_seq": self.op_seq, "batched": batched}
+
+    # -- checkpoint protocol -------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Versioned envelope; nests the matrix's own envelope.
+
+        Only *recoverable* state is captured: the matrix plus the
+        counters journal replay reconstructs.  The ``detects`` tally is
+        deliberately excluded — detect is a read-only query, never
+        journaled, so including it would make a crash-recovered
+        tenant's digest diverge from its uninterrupted twin even though
+        every observable response matched.
+        """
+        return snapshot_envelope(SNAPSHOT_KIND, {
+            "tenant": self.tenant_id,
+            "matrix": self.matrix.snapshot_state(),
+            "op_seq": self.op_seq,
+            "grants": self.grants,
+            "blocked": self.blocked,
+            "releases": self.releases,
+        })
+
+    @classmethod
+    def restore_state(cls, envelope: dict) -> "Tenant":
+        state = open_envelope(envelope, kind=SNAPSHOT_KIND)
+        tenant = cls(state["tenant"],
+                     BitMatrix.restore_state(state["matrix"]))
+        tenant.op_seq = int(state["op_seq"])
+        tenant.grants = int(state["grants"])
+        tenant.blocked = int(state["blocked"])
+        tenant.releases = int(state["releases"])
+        return tenant
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<Tenant {self.tenant_id} "
+                f"{self.matrix.m}x{self.matrix.n} ops={self.op_seq}>")

@@ -1,0 +1,141 @@
+"""Differential suite: the batched plane === the per-tenant kernel.
+
+Every case builds an ensemble of seeded states, reduces it once through
+:class:`~repro.rag.batch.BatchPlane` (or the Python fallback) and once
+through per-tenant :meth:`BitMatrix.reduce`, and demands bit-identical
+iterations, passes, verdicts and residual cells — the same contract
+``tests/test_bitmatrix_equiv.py`` holds between BitMatrix and the
+cell-object reference.  The parametrized ensembles cover > 100 seeded
+cases plus the structured adversaries (chains, cycles, worst cases) and
+mixed-shape packing.
+"""
+
+import pytest
+
+from repro.rag.batch import (
+    HAS_NUMPY,
+    MAX_PACKED_SIDE,
+    BatchPlane,
+    PythonBatchPlane,
+    batch_plane,
+    batched_reduce,
+)
+from repro.rag.bitmatrix import BitMatrix
+from repro.rag.generate import (
+    chain_state,
+    cycle_state,
+    deadlock_free_state,
+    random_state,
+    worst_case_state,
+)
+
+needs_numpy = pytest.mark.skipif(not HAS_NUMPY,
+                                 reason="numpy not installed")
+
+#: (m, n, grant_fraction, request_fraction) shape mix per ensemble.
+SHAPES = ((3, 3, 0.5, 0.3), (5, 8, 0.6, 0.3), (8, 5, 0.8, 0.5),
+          (16, 16, 0.7, 0.4), (32, 24, 0.9, 0.5), (1, 1, 0.6, 0.3))
+
+
+def _ensemble(seed_root: int) -> list:
+    states = []
+    for offset, (m, n, grants, requests) in enumerate(SHAPES):
+        states.append(random_state(
+            m, n, grant_fraction=grants, request_fraction=requests,
+            seed=seed_root * 100 + offset))
+    return states
+
+
+def _assert_matches_per_tenant(states, vectorized) -> None:
+    plane = batch_plane(states, vectorized=vectorized)
+    batch_counts = plane.reduce_all()
+    batch_verdicts = plane.deadlocked()
+    for index, state in enumerate(states):
+        solo = BitMatrix.from_rag(state) if not isinstance(
+            state, BitMatrix) else state.copy()
+        solo_counts = solo.reduce()
+        assert batch_counts[index] == solo_counts, (
+            f"tenant {index}: batched {batch_counts[index]} != "
+            f"per-tenant {solo_counts}")
+        assert batch_verdicts[index] == (not solo.is_empty())
+        residual = plane.residual(index)
+        assert residual == solo, f"tenant {index}: residual cells differ"
+        assert residual.edge_count == solo.edge_count
+
+
+@needs_numpy
+@pytest.mark.parametrize("seed_root", range(18))
+def test_vectorized_matches_per_tenant_random(seed_root):
+    """18 ensembles x 6 shapes = 108 seeded random cases."""
+    _assert_matches_per_tenant(_ensemble(seed_root), vectorized=True)
+
+
+@pytest.mark.parametrize("seed_root", range(4))
+def test_python_fallback_matches_per_tenant(seed_root):
+    _assert_matches_per_tenant(_ensemble(seed_root), vectorized=False)
+
+
+@needs_numpy
+def test_structured_adversaries_match():
+    """Chains (deepest reduction), cycles (irreducible), worst cases."""
+    states = [chain_state(2), chain_state(17), chain_state(32),
+              cycle_state(2), cycle_state(9), cycle_state(24),
+              worst_case_state(12, 31), worst_case_state(31, 12),
+              deadlock_free_state(10, 10, seed=7)]
+    _assert_matches_per_tenant(states, vectorized=True)
+
+
+@needs_numpy
+def test_mixed_shapes_pack_inertly():
+    """Padding rows/columns never read as terminal or leak edges."""
+    states = [random_state(2, 11, seed=1), random_state(11, 2, seed=2),
+              random_state(7, 7, seed=3), cycle_state(3)]
+    results = batched_reduce(states, vectorized=True)
+    for (deadlock, iterations, passes, residual), state in zip(results,
+                                                               states):
+        solo = BitMatrix.from_rag(state)
+        solo_iters, solo_passes = solo.reduce()
+        assert (iterations, passes) == (solo_iters, solo_passes)
+        assert deadlock == (not solo.is_empty())
+        assert residual == solo
+        assert (residual.m, residual.n) == (state.num_resources,
+                                            state.num_processes)
+
+
+@needs_numpy
+def test_vectorized_and_fallback_agree():
+    states = _ensemble(99)
+    fast = batched_reduce(states, vectorized=True)
+    slow = batched_reduce(states, vectorized=False)
+    for (fd, fi, fp, fres), (sd, si, sp, sres) in zip(fast, slow):
+        assert (fd, fi, fp) == (sd, si, sp)
+        assert fres == sres
+
+
+@needs_numpy
+def test_oversize_tenant_rejected_and_falls_back():
+    from repro.errors import ConfigurationError
+    big = worst_case_state(MAX_PACKED_SIDE + 1, 4)
+    with pytest.raises(ConfigurationError):
+        BatchPlane([big])
+    plane = batch_plane([big])          # auto-fallback
+    assert isinstance(plane, PythonBatchPlane)
+    (iterations, passes), = plane.reduce_all()
+    solo = BitMatrix.from_rag(big)
+    assert (iterations, passes) == solo.reduce()
+
+
+def test_empty_ensemble_rejected():
+    from repro.errors import ConfigurationError
+    with pytest.raises(ConfigurationError):
+        batch_plane([])
+
+
+@needs_numpy
+def test_residuals_are_independent_copies():
+    states = [cycle_state(4)]
+    plane = BatchPlane(states)
+    plane.reduce_all()
+    first = plane.residual(0)
+    first.clear_row(0)
+    assert plane.residual(0).edge_count == 8  # plane unaffected

@@ -1,0 +1,297 @@
+"""Unit tests for the service's transport-free layers.
+
+Covers the wire protocol helpers, the :class:`Tenant` state machine
+(grant policy, deterministic promotion, protocol violations, checkpoint
+round-trips) and the :class:`ShardCore` command loop — in particular
+*tick-consistent detection*: every detect in a batch is answered from
+one batched reduction that reflects all mutations accepted earlier in
+the same batch.
+"""
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service.protocol import (
+    ADMIN_OPS,
+    ERROR_CODES,
+    TENANT_OPS,
+    ServiceOpError,
+    decode_line,
+    encode_message,
+    error_response,
+    ok_response,
+    validate_request,
+)
+from repro.service.shard import ShardCore
+from repro.service.tenant import Tenant
+
+
+# ---------------------------------------------------------------------------
+# protocol
+
+
+def test_encode_decode_round_trip():
+    message = {"op": "claim", "tenant": "t", "id": 7,
+               "process": "p1", "resource": "q1"}
+    assert decode_line(encode_message(message)) == message
+
+
+def test_encode_is_one_line():
+    line = encode_message({"op": "ping", "note": "a\nb"})
+    assert line.endswith(b"\n")
+    assert line.count(b"\n") == 1
+
+
+def test_decode_rejects_bad_json():
+    with pytest.raises(ServiceOpError) as excinfo:
+        decode_line(b"{nope\n")
+    assert excinfo.value.code == "bad-request"
+
+
+def test_decode_rejects_non_object():
+    with pytest.raises(ServiceOpError):
+        decode_line(b"[1, 2]\n")
+
+
+def test_validate_unknown_op():
+    with pytest.raises(ServiceOpError) as excinfo:
+        validate_request({"op": "frobnicate"})
+    assert excinfo.value.code == "bad-request"
+
+
+def test_validate_tenant_ops_need_tenant():
+    for op in sorted(TENANT_OPS):
+        with pytest.raises(ServiceOpError):
+            validate_request({"op": op})
+    for op in sorted(ADMIN_OPS):
+        assert validate_request({"op": op}) == op
+
+
+def test_responses_echo_id():
+    request = {"op": "detect", "tenant": "t", "id": "abc"}
+    assert ok_response(request, deadlock=False)["id"] == "abc"
+    assert error_response(request, "backpressure")["id"] == "abc"
+    assert "id" not in ok_response({"op": "ping"})
+
+
+def test_error_codes_are_validated():
+    with pytest.raises(ServiceError):
+        error_response(None, "no-such-code")
+    with pytest.raises(ServiceError):
+        ServiceOpError("no-such-code")
+    assert "backpressure" in ERROR_CODES
+
+
+# ---------------------------------------------------------------------------
+# tenant
+
+
+def _claim(tenant, process, resource):
+    return tenant.claim({"process": process, "resource": resource})
+
+
+def _release(tenant, process, resource):
+    return tenant.release({"process": process, "resource": resource})
+
+
+def test_tenant_attach_dims():
+    tenant = Tenant.from_attach("t", {"m": 3, "n": 5})
+    assert (tenant.matrix.m, tenant.matrix.n) == (3, 5)
+    assert tenant.op_seq == 0
+
+
+def test_tenant_attach_rejects_oversize():
+    with pytest.raises(ServiceOpError) as excinfo:
+        Tenant.from_attach("t", {"m": 65, "n": 4})
+    assert excinfo.value.code == "bad-request"
+
+
+def test_tenant_attach_seeded_is_deterministic():
+    a = Tenant.from_attach("a", {"seed": 11, "m": 8, "n": 8})
+    b = Tenant.from_attach("b", {"seed": 11, "m": 8, "n": 8})
+    state_a = a.matrix.snapshot_state()["state_hash"]
+    state_b = b.matrix.snapshot_state()["state_hash"]
+    assert state_a == state_b
+
+
+def test_tenant_attach_rows():
+    tenant = Tenant.from_attach("t", {"rows": ["g r", ". .", "r g"]})
+    assert (tenant.matrix.m, tenant.matrix.n) == (3, 2)
+
+
+def test_claim_grants_free_resource():
+    tenant = Tenant.from_attach("t", {"m": 2, "n": 2})
+    reply = _claim(tenant, "p1", "q1")
+    assert reply == {"granted": True, "blocked": False, "op_seq": 1}
+
+
+def test_claim_blocks_on_held_resource():
+    tenant = Tenant.from_attach("t", {"m": 2, "n": 2})
+    _claim(tenant, "p1", "q1")
+    reply = _claim(tenant, "p2", "q1")
+    assert reply["granted"] is False and reply["blocked"] is True
+    assert tenant.blocked == 1
+
+
+def test_double_claim_is_protocol_violation():
+    tenant = Tenant.from_attach("t", {"m": 2, "n": 2})
+    _claim(tenant, "p1", "q1")
+    with pytest.raises(ServiceOpError) as excinfo:
+        _claim(tenant, "p1", "q1")
+    assert excinfo.value.code == "protocol-violation"
+
+
+def test_release_promotes_lowest_index_waiter():
+    tenant = Tenant.from_attach("t", {"m": 1, "n": 4})
+    _claim(tenant, "p3", "q1")
+    _claim(tenant, "p4", "q1")
+    _claim(tenant, "p2", "q1")
+    reply = _release(tenant, "p3", "q1")
+    assert reply["promoted"] == "p2"      # lowest index, not FIFO
+    reply = _release(tenant, "p2", "q1")
+    assert reply["promoted"] == "p4"
+
+
+def test_release_without_grant_is_violation():
+    tenant = Tenant.from_attach("t", {"m": 2, "n": 2})
+    with pytest.raises(ServiceOpError) as excinfo:
+        _release(tenant, "p1", "q1")
+    assert excinfo.value.code == "protocol-violation"
+
+
+def test_unknown_names_rejected():
+    tenant = Tenant.from_attach("t", {"m": 2, "n": 2})
+    with pytest.raises(ServiceOpError):
+        _claim(tenant, "nope", "q1")
+    with pytest.raises(ServiceOpError):
+        _claim(tenant, "p1", "nope")
+
+
+def test_tenant_snapshot_round_trip():
+    tenant = Tenant.from_attach("t", {"seed": 5, "m": 8, "n": 8})
+    _release(tenant, *_first_grant(tenant))
+    envelope = tenant.snapshot_state()
+    twin = Tenant.restore_state(envelope)
+    assert twin.tenant_id == "t"
+    assert twin.op_seq == tenant.op_seq
+    assert twin.snapshot_state()["state_hash"] == envelope["state_hash"]
+
+
+def _first_grant(tenant):
+    matrix = tenant.matrix
+    for s in range(matrix.m):
+        grants = matrix._row_g[s]
+        if grants:
+            t = (grants & -grants).bit_length() - 1
+            return matrix.process_names[t], matrix.resource_names[s]
+    raise AssertionError("seeded tenant has no grant")
+
+
+# ---------------------------------------------------------------------------
+# shard core
+
+
+def _attach_op(tenant_id, **spec):
+    return {"op": "attach", "tenant": tenant_id, **spec}
+
+
+def test_shard_batch_applies_in_order_then_detects():
+    core = ShardCore(0)
+    tenant = Tenant.from_attach("t", {"m": 2, "n": 2})
+    core.restore_tenant(tenant.snapshot_state())
+    ops = [
+        {"op": "claim", "tenant": "t", "process": "p1", "resource": "q1"},
+        {"op": "claim", "tenant": "t", "process": "p2", "resource": "q2"},
+        {"op": "detect", "tenant": "t"},
+        {"op": "claim", "tenant": "t", "process": "p1", "resource": "q2"},
+        {"op": "claim", "tenant": "t", "process": "p2", "resource": "q1"},
+        {"op": "detect", "tenant": "t"},
+    ]
+    kind, replies = core.handle("batch", ops)
+    assert kind == "results"
+    assert replies[0]["granted"] and replies[1]["granted"]
+    # Tick-consistent: BOTH detects see the full batch's mutations —
+    # the cycle closed by ops 3-4 — and echo the final op_seq.
+    assert replies[2]["deadlock"] is True
+    assert replies[5]["deadlock"] is True
+    assert replies[2]["op_seq"] == replies[5]["op_seq"] == 4
+    assert core.detect_batches == 1
+
+
+def test_shard_batch_one_reduction_for_many_tenants():
+    core = ShardCore(0)
+    ops = []
+    for i in range(6):
+        tenant = Tenant.from_attach(f"t{i}", {"seed": 100 + i,
+                                              "m": 8, "n": 8})
+        core.restore_tenant(tenant.snapshot_state())
+        ops.append({"op": "detect", "tenant": f"t{i}"})
+    kind, replies = core.handle("batch", ops)
+    assert kind == "results"
+    assert core.detect_batches == 1
+    assert all(reply["batched"] == 6 for reply in replies)
+
+
+def test_shard_batch_per_op_errors_do_not_poison_batch():
+    core = ShardCore(0)
+    tenant = Tenant.from_attach("t", {"m": 2, "n": 2})
+    core.restore_tenant(tenant.snapshot_state())
+    ops = [
+        {"op": "claim", "tenant": "ghost", "process": "p1",
+         "resource": "q1"},
+        {"op": "claim", "tenant": "t", "process": "p1", "resource": "q1"},
+        {"op": "release", "tenant": "t", "process": "p2",
+         "resource": "q1"},
+        {"op": "detect", "tenant": "t"},
+    ]
+    kind, replies = core.handle("batch", ops)
+    assert kind == "results"
+    assert replies[0]["error"] == "unknown-tenant"
+    assert replies[1]["granted"] is True
+    assert replies[2]["error"] == "protocol-violation"
+    assert replies[3]["ok"] is True and replies[3]["op_seq"] == 1
+
+
+def test_shard_detect_matches_per_tenant_reduce():
+    from repro.rag.bitmatrix import BitMatrix
+    from repro.rag.generate import random_state, resolve_rng
+    core = ShardCore(0)
+    expected = {}
+    ops = []
+    for i in range(8):
+        rag = random_state(10, 10, rng=resolve_rng(seed=500 + i))
+        matrix = BitMatrix.from_rag(rag)
+        tenant = Tenant(f"t{i}", matrix.copy())
+        core.restore_tenant(tenant.snapshot_state())
+        solo = matrix.copy()
+        iterations, passes = solo.reduce()
+        expected[f"t{i}"] = (not solo.is_empty(), iterations, passes)
+        ops.append({"op": "detect", "tenant": f"t{i}"})
+    _kind, replies = core.handle("batch", ops)
+    for op, reply in zip(ops, replies):
+        deadlock, iterations, passes = expected[op["tenant"]]
+        assert reply["deadlock"] == deadlock
+        assert reply["iterations"] == iterations
+        assert reply["passes"] == passes
+
+
+def test_shard_snapshot_restore_drop():
+    core = ShardCore(0)
+    tenant = Tenant.from_attach("t", {"seed": 9, "m": 6, "n": 6})
+    envelope = tenant.snapshot_state()
+    kind, reply = core.handle("restore", envelope)
+    assert kind == "ok" and reply["state_hash"] == envelope["state_hash"]
+    kind, snap = core.handle("snapshot", "t")
+    assert kind == "snapshot"
+    assert snap["state_hash"] == envelope["state_hash"]
+    kind, reply = core.handle("drop", "t")
+    assert kind == "ok" and reply["tenants"] == 0
+    kind, detail = core.handle("snapshot", "t")
+    assert kind == "error" and "not on shard" in detail
+
+
+def test_shard_unknown_command_is_error_reply():
+    core = ShardCore(3)
+    kind, detail = core.handle("explode", None)
+    assert kind == "error"
+    assert "explode" in detail

@@ -1,0 +1,165 @@
+"""Differential migration tests: migrated == unmigrated.
+
+The service moves live tenants between shards with the PR-5 snapshot
+protocol; these tests hold that move to the same standard as the
+checkpoint differential suite (``test_checkpoint_differential.py``):
+interrupt a seeded claim/release stream at its midpoint, migrate the
+tenant from shard A to shard B (or SIGKILL-equivalently crash A), finish
+the stream, and require the **entire observable trajectory** — every
+grant/blocked bit, every promotion, every verdict with its iteration and
+pass counts, and the final snapshot ``state_hash`` — to be
+position-for-position identical to a run that never moved.
+"""
+
+import asyncio
+
+from repro.rag.generate import resolve_rng
+from repro.service import (
+    DetectionService,
+    ServiceClient,
+    ServiceConfig,
+    ServiceOpError,
+)
+
+SEED_ROOT = 42
+
+
+def _scripted_ops(seed, m, n, count):
+    """A deterministic claim/release/detect stream for an m x n tenant."""
+    rng = resolve_rng(seed=seed)
+    held = set()
+    ops = []
+    for step in range(count):
+        if step % 5 == 4:
+            ops.append(("detect",))
+            continue
+        if held and rng.random() < 0.35:
+            pair = sorted(held)[rng.randrange(len(held))]
+            held.discard(pair)
+            ops.append(("release", f"p{pair[0]}", f"q{pair[1]}"))
+            continue
+        pair = (rng.randrange(1, n + 1), rng.randrange(1, m + 1))
+        if pair in held:
+            ops.append(("detect",))
+            continue
+        held.add(pair)
+        ops.append(("claim", f"p{pair[0]}", f"q{pair[1]}"))
+    ops.append(("detect",))
+    return ops
+
+
+async def _drive(client, tenant, ops):
+    """Apply ops; returns the trajectory of observable responses."""
+    trajectory = []
+    for op in ops:
+        try:
+            if op[0] == "detect":
+                reply = await client.detect(tenant)
+                trajectory.append((
+                    "detect", reply["deadlock"], reply["iterations"],
+                    reply["passes"],
+                    tuple(reply["deadlocked_processes"]),
+                    reply["op_seq"]))
+            elif op[0] == "claim":
+                reply = await client.claim(tenant, op[1], op[2])
+                trajectory.append(("claim", reply["granted"],
+                                   reply["op_seq"]))
+            else:
+                reply = await client.release(tenant, op[1], op[2])
+                trajectory.append(("release", reply["promoted"],
+                                   reply["op_seq"]))
+        except ServiceOpError as exc:
+            # Protocol violations (double-claim against a promoted
+            # holder, release of a never-granted pair) are part of the
+            # observable trajectory too — they must match exactly.
+            trajectory.append(("error", op[0], exc.code))
+    return trajectory
+
+
+async def _final_hash(service, tenant):
+    record = service.tenants[tenant]
+    handle = service.shards[record.shard_id]
+    _kind, envelope = await handle.request("snapshot", tenant)
+    return envelope["state_hash"]
+
+
+async def _run_stream(seed, interrupt=None):
+    """Run a scripted stream; ``interrupt(service, client)`` fires at
+    the midpoint.  Returns (trajectory, final state_hash)."""
+    service = DetectionService(ServiceConfig(
+        shards=2, use_processes=False, tick_interval=0.001,
+        snapshot_every=8))
+    await service.start(host="127.0.0.1", port=0)
+    client = await ServiceClient.connect_tcp("127.0.0.1",
+                                             service.tcp_port)
+    try:
+        await client.attach("t", seed=seed, m=10, n=10)
+        ops = _scripted_ops(seed * 31 + 7, 10, 10, 40)
+        midpoint = len(ops) // 2
+        trajectory = await _drive(client, "t", ops[:midpoint])
+        if interrupt is not None:
+            await interrupt(service, client)
+        trajectory += await _drive(client, "t", ops[midpoint:])
+        return trajectory, await _final_hash(service, "t")
+    finally:
+        await client.close()
+        await service.stop()
+
+
+def _differential(interrupt, seeds=range(SEED_ROOT, SEED_ROOT + 6)):
+    async def scenario():
+        for seed in seeds:
+            plain = await _run_stream(seed)
+            moved = await _run_stream(seed, interrupt=interrupt)
+            assert moved[0] == plain[0], f"trajectory diverged @ seed {seed}"
+            assert moved[1] == plain[1], f"state_hash diverged @ seed {seed}"
+    asyncio.run(scenario())
+
+
+def test_migration_midstream_is_invisible():
+    """Snapshot on shard A, restore on shard B, finish the stream."""
+    async def interrupt(service, client):
+        source = service.tenants["t"].shard_id
+        reply = await client.migrate("t", 1 - source)
+        assert reply["moved"] is True
+    _differential(interrupt)
+
+
+def test_double_migration_round_trip_is_invisible():
+    """A -> B -> A: two digest-checked moves change nothing."""
+    async def interrupt(service, client):
+        source = service.tenants["t"].shard_id
+        await client.migrate("t", 1 - source)
+        await client.migrate("t", source)
+    _differential(interrupt, seeds=(SEED_ROOT,))
+
+
+def test_shard_crash_midstream_is_invisible():
+    """Crash the tenant's shard instead of migrating: snapshot +
+    journal replay must reconstruct the same trajectory."""
+    async def interrupt(service, client):
+        await asyncio.sleep(0.01)   # let pending snapshot refresh land
+        service.shards[service.tenants["t"].shard_id].crash()
+    _differential(interrupt, seeds=range(SEED_ROOT, SEED_ROOT + 3))
+
+
+def test_migration_digest_verified_on_the_wire():
+    """The migrate reply's state_hash equals a fresh source snapshot."""
+    async def scenario():
+        service = DetectionService(ServiceConfig(
+            shards=2, use_processes=False, tick_interval=0.001))
+        await service.start(host="127.0.0.1", port=0)
+        client = await ServiceClient.connect_tcp("127.0.0.1",
+                                                 service.tcp_port)
+        try:
+            await client.attach("t", seed=9, m=8, n=8)
+            await client.claim("t", "p1", "q1")
+            record = service.tenants["t"]
+            handle = service.shards[record.shard_id]
+            _kind, envelope = await handle.request("snapshot", "t")
+            reply = await client.migrate("t", 1 - record.shard_id)
+            assert reply["state_hash"] == envelope["state_hash"]
+        finally:
+            await client.close()
+            await service.stop()
+    asyncio.run(scenario())
