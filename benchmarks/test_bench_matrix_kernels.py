@@ -1,11 +1,13 @@
-"""Benchmark guard: the bitmask matrix kernel is >= 5x the reference.
+"""Benchmark guard: the bitmask matrix kernel is >= 50x the reference.
 
 The whole point of :class:`repro.rag.bitmatrix.BitMatrix` is that a
 terminal-reduction pass costs O(m + n) mask tests instead of the
 reference matrix's O(m * n) cell walk.  This guard measures both
 backends on the same 64x64 worst-case chain — the deepest reduction
 that size admits — demands bit-identical iteration/pass counts and
-residuals, and fails the build if the speedup ever drops below 5x.
+residuals, and fails the build if the speedup ever drops below 50x
+(measured ~320x locally; the floor leaves headroom for slow CI
+runners while still catching an order-of-magnitude regression).
 
 The measured record is written to ``BENCH_matrix_kernels.json`` at the
 repo root (CI uploads it as an artifact) so the speedup trend is
@@ -16,13 +18,13 @@ import json
 import time
 from pathlib import Path
 
-from benchmarks.conftest import bench_once
+from benchmarks.conftest import backend_stamp, bench_once
 from repro.deadlock.pdda import pdda_detect, terminal_reduction
 from repro.rag.bitmatrix import FAST_BACKEND, REFERENCE_BACKEND
 from repro.rag.generate import random_state, worst_case_state
 
 SIZE = 64
-MIN_SPEEDUP = 5.0
+MIN_SPEEDUP = 50.0
 RECORD_PATH = Path(__file__).resolve().parent.parent \
     / "BENCH_matrix_kernels.json"
 
@@ -37,7 +39,7 @@ def _best_of(fn, repeats: int = 5) -> float:
     return best
 
 
-def test_bench_reduction_speedup_at_least_5x(benchmark):
+def test_bench_reduction_speedup_at_least_50x(benchmark):
     state = worst_case_state(SIZE, SIZE)
 
     fast = terminal_reduction(state, backend=FAST_BACKEND)
@@ -66,6 +68,7 @@ def test_bench_reduction_speedup_at_least_5x(benchmark):
         "reference_seconds": reference_s,
         "speedup": speedup,
         "min_speedup": MIN_SPEEDUP,
+        **backend_stamp(SIZE),
     }
     RECORD_PATH.write_text(json.dumps(record, indent=2) + "\n")
     benchmark.extra_info["matrix_kernels"] = record

@@ -180,6 +180,14 @@ async def soak(args: argparse.Namespace, port: int,
         if homed != stats["tenants"]:
             errors.append(f"{stats['tenants']} tenants but only "
                           f"{homed} homed on live shards")
+        # Incremental-reduction health: how much per-tick work the
+        # dirty-tenant tracking actually saved on the live shards.
+        def tally(key):
+            return sum(shard.get(key, 0) for shard in alive)
+
+        dirty = tally("dirty_tenants")
+        skipped = tally("skipped_detects")
+        considered = dirty + skipped
         return {
             "tenants": args.tenants,
             "ops_per_tenant": args.ops,
@@ -190,6 +198,13 @@ async def soak(args: argparse.Namespace, port: int,
             "kill_to_done_s": time.perf_counter() - killed_at,
             "rebalanced_tenants": stats["rebalanced_tenants"],
             "journal_replayed": stats["journal_replayed"],
+            "detect_batches": tally("detect_batches"),
+            "dirty_tenants_reduced": dirty,
+            "clean_detects_skipped": skipped,
+            "dirty_fraction": (dirty / considered) if considered else None,
+            "plane_repacks": tally("repacks"),
+            "plane_grows": tally("plane_grows"),
+            "unpacked_fallbacks": tally("unpacked_fallbacks"),
             "p99_grant_us": stats["grant_latency"].get("p99_us"),
             "p99_verdict_us": stats["verdict_latency"].get("p99_us"),
             "errors": errors,
@@ -225,9 +240,14 @@ def main() -> int:
         for error in errors[:20]:
             print(f"  {error}", file=sys.stderr)
         return 1
+    fraction = report["dirty_fraction"]
+    dirtiness = (f"{fraction:.1%} of considered tenants dirty"
+                 if fraction is not None else "no detects observed")
     print(f"soak OK: {report['tenants']} tenants, "
           f"{report['requests']:g} requests, shard "
-          f"{report['shard_killed']} SIGKILLed and absorbed")
+          f"{report['shard_killed']} SIGKILLed and absorbed; "
+          f"{dirtiness} across {report['plane_repacks']} plane "
+          f"repack(s)")
     return 0
 
 

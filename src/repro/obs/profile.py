@@ -76,7 +76,8 @@ _SPAN_COMPONENTS = {
 #: Counter/histogram prefixes surfaced verbatim in ``counters`` (the
 #: fast-path and fault annotations ROADMAP item 2 wants alongside the
 #: cycle ledger).
-_ANNOTATION_PREFIXES = ("matrix.fastpath.", "faults.", "checkpoint.")
+_ANNOTATION_PREFIXES = ("matrix.fastpath.", "matrix.batch.", "faults.",
+                        "checkpoint.")
 
 
 def _component_for_span(name: str, detection: str, memory: str) -> str:

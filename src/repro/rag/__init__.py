@@ -24,8 +24,10 @@ from repro.rag.bitmatrix import (
     BACKEND_ENV_VAR,
     BACKENDS,
     FAST_BACKEND,
+    NATIVE_BACKEND,
     REFERENCE_BACKEND,
     BitMatrix,
+    NativeBitMatrix,
     as_backend_matrix,
     default_backend,
     matrix_class,
@@ -34,11 +36,13 @@ from repro.rag.bitmatrix import (
 )
 from repro.rag.batch import (
     HAS_NUMPY,
-    MAX_PACKED_SIDE,
+    PLANE_WORD_BITS,
     BatchPlane,
+    PlaneAccumulator,
     PythonBatchPlane,
     batch_plane,
     batched_reduce,
+    plane_words,
 )
 from repro.rag.classic import (
     BankersAvoider,
@@ -74,15 +78,19 @@ __all__ = [
     "BACKENDS",
     "BACKEND_ENV_VAR",
     "FAST_BACKEND",
+    "NATIVE_BACKEND",
     "REFERENCE_BACKEND",
+    "NativeBitMatrix",
     "as_backend_matrix",
     "default_backend",
     "matrix_class",
     "matrix_from_rag",
     "resolve_backend",
     "HAS_NUMPY",
-    "MAX_PACKED_SIDE",
+    "PLANE_WORD_BITS",
+    "plane_words",
     "BatchPlane",
+    "PlaneAccumulator",
     "PythonBatchPlane",
     "batch_plane",
     "batched_reduce",

@@ -26,9 +26,11 @@ surveys run 64x64-128x128 matrices.
 either representation), so every consumer — PDDA, the DDU/DAU models,
 serialization, the experiments — can hold either type.  The *backend
 knob* at the bottom picks which one the hot paths build:
-``"bitmask"`` (the default) or ``"reference"``; set
+``"bitmask"`` (the default), ``"reference"``, or ``"native"``; set
 ``REPRO_MATRIX_BACKEND=reference`` to force the cell-object oracle
-process-wide.
+process-wide, or ``REPRO_MATRIX_BACKEND=native`` to run whole-matrix
+reductions through the compiled kernel in :mod:`repro.rag.native`
+(graceful degradation to the pure-Python sweep when no kernel loads).
 """
 
 from __future__ import annotations
@@ -49,7 +51,10 @@ from repro.rag.matrix import (
 FAST_BACKEND = "bitmask"
 #: The per-cell :class:`StateMatrix` oracle.
 REFERENCE_BACKEND = "reference"
-BACKENDS = (FAST_BACKEND, REFERENCE_BACKEND)
+#: The bitmask backend with compiled whole-matrix reductions
+#: (:class:`NativeBitMatrix`; falls back to pure Python per matrix).
+NATIVE_BACKEND = "native"
+BACKENDS = (FAST_BACKEND, REFERENCE_BACKEND, NATIVE_BACKEND)
 #: Environment escape hatch: ``REPRO_MATRIX_BACKEND=reference``.
 BACKEND_ENV_VAR = "REPRO_MATRIX_BACKEND"
 
@@ -154,9 +159,9 @@ class BitMatrix:
         return StateMatrix.from_matrix(self)
 
     def copy(self) -> "BitMatrix":
-        clone = BitMatrix(self.m, self.n,
-                          resource_names=self.resource_names,
-                          process_names=self.process_names)
+        clone = type(self)(self.m, self.n,
+                           resource_names=self.resource_names,
+                           process_names=self.process_names)
         clone._row_r = list(self._row_r)
         clone._row_g = list(self._row_g)
         clone._col_r = list(self._col_r)
@@ -389,6 +394,28 @@ class BitMatrix:
         return f"<BitMatrix {self.m}x{self.n} edges={self._edges}>"
 
 
+class NativeBitMatrix(BitMatrix):
+    """A :class:`BitMatrix` whose Algorithm-1 sweep runs compiled code.
+
+    Selected by ``REPRO_MATRIX_BACKEND=native``.  Everything except
+    :meth:`reduce` is inherited: cell mutation stays on the Python-int
+    planes, and only the whole-matrix reduction — the hot loop PDDA and
+    the DDU model spend their time in — drops into the kernel from
+    :mod:`repro.rag.native` (numba when importable, else a
+    ctypes-loaded C kernel).  When no kernel can be loaded the
+    reduction silently degrades to the inherited pure-Python sweep:
+    same bits, same ``(iterations, passes)``, held identical by
+    ``tests/test_native_backend.py`` and the ``pdda-backends-agree``
+    campaign checker.
+    """
+
+    def reduce(self) -> tuple[int, int]:
+        from repro.rag import native
+        if not native.available():
+            return super().reduce()
+        return native.reduce_matrix(self)
+
+
 #: Either state-matrix representation; both speak the same protocol.
 AnyStateMatrix = Union[StateMatrix, BitMatrix]
 
@@ -419,8 +446,12 @@ def resolve_backend(backend: Optional[str] = None) -> str:
 
 def matrix_class(backend: Optional[str] = None):
     """The matrix type the given backend builds."""
-    return (BitMatrix if resolve_backend(backend) == FAST_BACKEND
-            else StateMatrix)
+    resolved = resolve_backend(backend)
+    if resolved == FAST_BACKEND:
+        return BitMatrix
+    if resolved == NATIVE_BACKEND:
+        return NativeBitMatrix
+    return StateMatrix
 
 
 def matrix_from_rag(rag: RAG, backend: Optional[str] = None) -> AnyStateMatrix:
@@ -438,6 +469,6 @@ def as_backend_matrix(source: Union[RAG, AnyStateMatrix],
     cls = matrix_class(backend)
     if isinstance(source, RAG):
         return cls.from_rag(source)
-    if isinstance(source, cls):
+    if type(source) is cls:
         return source.copy()
     return cls.from_matrix(source)

@@ -1,0 +1,401 @@
+"""Optional native reduction kernel behind ``REPRO_MATRIX_BACKEND=native``.
+
+The pure-Python :meth:`BitMatrix.reduce` already collapses one
+Algorithm-1 pass to O(m + n) big-int mask tests, but each test still
+pays interpreter dispatch.  This module provides the same sweep as a
+compiled kernel over packed ``uint64`` word planes (the
+:mod:`repro.rag.batch` layout for a single matrix), selected at import
+time from whatever the host actually has:
+
+1. **numba** — an ``@njit`` kernel, when numba is importable (CI
+   installs it in the native-backend job);
+2. **cext** — a ~60-line C kernel compiled once with the system C
+   compiler (``cc``/``gcc``/``$CC``), cached under a source-hash
+   filename and loaded via :mod:`ctypes`;
+3. **nothing** — :func:`available` returns False and
+   :class:`~repro.rag.bitmatrix.NativeBitMatrix` silently degrades to
+   the pure-Python kernel, bit-identical by the differential suites.
+
+Environment knobs:
+
+* ``REPRO_NATIVE_DISABLE=1`` — never load a native kernel;
+* ``REPRO_NATIVE_IMPL=numba|cext`` — force one implementation (fail to
+  "unavailable" rather than falling through to the other);
+* ``REPRO_NATIVE_CACHE=<dir>`` — where the compiled ``.so`` cache
+  lives (default: ``$TMPDIR/repro-native``).
+
+This module deliberately imports nothing from :mod:`repro.rag` — the
+kernel works on plain word arrays, so there is no import cycle with
+:mod:`repro.rag.bitmatrix`.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+import threading
+from pathlib import Path
+from typing import Optional
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised only without numpy
+    _np = None
+
+ENV_DISABLE = "REPRO_NATIVE_DISABLE"
+ENV_IMPL = "REPRO_NATIVE_IMPL"
+ENV_CACHE = "REPRO_NATIVE_CACHE"
+
+_IMPL_NAMES = ("numba", "cext")
+
+# The Algorithm-1 sweep over one matrix's packed word planes.  Row s
+# spans words [s*wn, (s+1)*wn); column t spans [t*wm, (t+1)*wm).
+# Terminal flags are computed for every row/column against the
+# pre-clear snapshot, then all flagged spans clear at once — exactly
+# the BitMatrix.reduce contract, including the counted final
+# no-terminal pass.
+_C_SOURCE = r"""
+#include <stdint.h>
+
+void repro_reduce(uint64_t *row_r, uint64_t *row_g,
+                  uint64_t *col_r, uint64_t *col_g,
+                  int64_t m, int64_t n, int64_t wn, int64_t wm,
+                  uint8_t *term_rows, uint8_t *term_cols,
+                  uint64_t *row_clear, uint64_t *col_clear,
+                  int64_t *out)
+{
+    int64_t iterations = 0, passes = 0;
+    for (;;) {
+        passes += 1;
+        int any_term = 0;
+        for (int64_t s = 0; s < m; s++) {
+            uint64_t r = 0, g = 0;
+            for (int64_t j = 0; j < wn; j++) {
+                r |= row_r[s * wn + j];
+                g |= row_g[s * wn + j];
+            }
+            uint8_t flag = (r == 0) != (g == 0);
+            term_rows[s] = flag;
+            any_term |= flag;
+        }
+        for (int64_t t = 0; t < n; t++) {
+            uint64_t r = 0, g = 0;
+            for (int64_t j = 0; j < wm; j++) {
+                r |= col_r[t * wm + j];
+                g |= col_g[t * wm + j];
+            }
+            uint8_t flag = (r == 0) != (g == 0);
+            term_cols[t] = flag;
+            any_term |= flag;
+        }
+        if (!any_term)
+            break;
+        iterations += 1;
+        for (int64_t j = 0; j < wm; j++) row_clear[j] = 0;
+        for (int64_t j = 0; j < wn; j++) col_clear[j] = 0;
+        for (int64_t s = 0; s < m; s++)
+            if (term_rows[s])
+                row_clear[s >> 6] |= (uint64_t)1 << (s & 63);
+        for (int64_t t = 0; t < n; t++)
+            if (term_cols[t])
+                col_clear[t >> 6] |= (uint64_t)1 << (t & 63);
+        for (int64_t s = 0; s < m; s++) {
+            if (term_rows[s]) {
+                for (int64_t j = 0; j < wn; j++) {
+                    row_r[s * wn + j] = 0;
+                    row_g[s * wn + j] = 0;
+                }
+            } else {
+                for (int64_t j = 0; j < wn; j++) {
+                    row_r[s * wn + j] &= ~col_clear[j];
+                    row_g[s * wn + j] &= ~col_clear[j];
+                }
+            }
+        }
+        for (int64_t t = 0; t < n; t++) {
+            if (term_cols[t]) {
+                for (int64_t j = 0; j < wm; j++) {
+                    col_r[t * wm + j] = 0;
+                    col_g[t * wm + j] = 0;
+                }
+            } else {
+                for (int64_t j = 0; j < wm; j++) {
+                    col_r[t * wm + j] &= ~row_clear[j];
+                    col_g[t * wm + j] &= ~row_clear[j];
+                }
+            }
+        }
+    }
+    out[0] = iterations;
+    out[1] = passes;
+}
+"""
+
+_lock = threading.Lock()
+_loaded = False
+_impl: Optional[str] = None
+_kernel = None          # callable(row_r, row_g, col_r, col_g) -> (it, p)
+
+
+# -- implementation builders --------------------------------------------
+
+def _build_numba():
+    """An @njit kernel mirroring the C sweep, or None."""
+    if _np is None:
+        return None
+    try:
+        import numba
+    except ImportError:
+        return None
+    np = _np
+
+    @numba.njit(cache=False)
+    def _sweep(row_r, row_g, col_r, col_g,
+               term_rows, term_cols, row_clear, col_clear):
+        m, wn = row_r.shape
+        n, wm = col_r.shape
+        one = np.uint64(1)
+        zero = np.uint64(0)
+        iterations = 0
+        passes = 0
+        while True:
+            passes += 1
+            any_term = False
+            for s in range(m):
+                r = zero
+                g = zero
+                for j in range(wn):
+                    r |= row_r[s, j]
+                    g |= row_g[s, j]
+                flag = (r == zero) != (g == zero)
+                term_rows[s] = 1 if flag else 0
+                any_term = any_term or flag
+            for t in range(n):
+                r = zero
+                g = zero
+                for j in range(wm):
+                    r |= col_r[t, j]
+                    g |= col_g[t, j]
+                flag = (r == zero) != (g == zero)
+                term_cols[t] = 1 if flag else 0
+                any_term = any_term or flag
+            if not any_term:
+                break
+            iterations += 1
+            for j in range(wm):
+                row_clear[j] = zero
+            for j in range(wn):
+                col_clear[j] = zero
+            for s in range(m):
+                if term_rows[s]:
+                    row_clear[s >> 6] |= one << np.uint64(s & 63)
+            for t in range(n):
+                if term_cols[t]:
+                    col_clear[t >> 6] |= one << np.uint64(t & 63)
+            for s in range(m):
+                if term_rows[s]:
+                    for j in range(wn):
+                        row_r[s, j] = zero
+                        row_g[s, j] = zero
+                else:
+                    for j in range(wn):
+                        row_r[s, j] &= ~col_clear[j]
+                        row_g[s, j] &= ~col_clear[j]
+            for t in range(n):
+                if term_cols[t]:
+                    for j in range(wm):
+                        col_r[t, j] = zero
+                        col_g[t, j] = zero
+                else:
+                    for j in range(wm):
+                        col_r[t, j] &= ~row_clear[j]
+                        col_g[t, j] &= ~row_clear[j]
+        return iterations, passes
+
+    def kernel(row_r, row_g, col_r, col_g):
+        m, wn = row_r.shape
+        n, wm = col_r.shape
+        term_rows = np.zeros(m, dtype=np.uint8)
+        term_cols = np.zeros(n, dtype=np.uint8)
+        row_clear = np.zeros(wm, dtype=np.uint64)
+        col_clear = np.zeros(wn, dtype=np.uint64)
+        return _sweep(row_r, row_g, col_r, col_g,
+                      term_rows, term_cols, row_clear, col_clear)
+
+    try:
+        # Force a compile now so a broken numba install surfaces as
+        # "unavailable" instead of an exception on the hot path.
+        probe = np.zeros((1, 1), dtype=np.uint64)
+        kernel(probe.copy(), probe.copy(), probe.copy(), probe.copy())
+    except Exception:
+        return None
+    return kernel
+
+
+def _build_cext():
+    """Compile-and-load the C kernel via ctypes, or None."""
+    if _np is None:
+        return None
+    compiler = (shutil.which(os.environ.get("CC", ""))
+                or shutil.which("cc") or shutil.which("gcc"))
+    if compiler is None:
+        return None
+    np = _np
+    digest = hashlib.sha256(_C_SOURCE.encode("utf-8")).hexdigest()[:16]
+    cache_dir = Path(os.environ.get(ENV_CACHE)
+                     or Path(tempfile.gettempdir()) / "repro-native")
+    so_path = cache_dir / f"repro_reduce_{digest}.so"
+    try:
+        if not so_path.exists():
+            cache_dir.mkdir(parents=True, exist_ok=True)
+            source = cache_dir / f"repro_reduce_{digest}.c"
+            source.write_text(_C_SOURCE, encoding="utf-8")
+            # Compile to a pid-suffixed temp name, then atomically
+            # rename: concurrent processes race benignly.
+            scratch = cache_dir / f".repro_reduce_{digest}.{os.getpid()}.so"
+            subprocess.run(
+                [compiler, "-O2", "-shared", "-fPIC",
+                 "-o", str(scratch), str(source)],
+                check=True, capture_output=True)
+            os.replace(scratch, so_path)
+        lib = ctypes.CDLL(str(so_path))
+    except (OSError, subprocess.CalledProcessError):
+        return None
+    fn = lib.repro_reduce
+    u64p = ctypes.POINTER(ctypes.c_uint64)
+    u8p = ctypes.POINTER(ctypes.c_uint8)
+    i64p = ctypes.POINTER(ctypes.c_int64)
+    fn.argtypes = [u64p, u64p, u64p, u64p,
+                   ctypes.c_int64, ctypes.c_int64,
+                   ctypes.c_int64, ctypes.c_int64,
+                   u8p, u8p, u64p, u64p, i64p]
+    fn.restype = None
+
+    def kernel(row_r, row_g, col_r, col_g):
+        m, wn = row_r.shape
+        n, wm = col_r.shape
+        term_rows = np.zeros(m, dtype=np.uint8)
+        term_cols = np.zeros(n, dtype=np.uint8)
+        row_clear = np.zeros(wm, dtype=np.uint64)
+        col_clear = np.zeros(wn, dtype=np.uint64)
+        out = np.zeros(2, dtype=np.int64)
+        fn(row_r.ctypes.data_as(u64p), row_g.ctypes.data_as(u64p),
+           col_r.ctypes.data_as(u64p), col_g.ctypes.data_as(u64p),
+           m, n, wn, wm,
+           term_rows.ctypes.data_as(u8p), term_cols.ctypes.data_as(u8p),
+           row_clear.ctypes.data_as(u64p),
+           col_clear.ctypes.data_as(u64p),
+           out.ctypes.data_as(i64p))
+        return int(out[0]), int(out[1])
+
+    return kernel
+
+
+_BUILDERS = {"numba": _build_numba, "cext": _build_cext}
+
+
+def _load() -> None:
+    global _loaded, _impl, _kernel
+    if _loaded:
+        return
+    with _lock:
+        if _loaded:
+            return
+        impl, kernel = None, None
+        if os.environ.get(ENV_DISABLE, "") not in ("1", "true", "yes"):
+            forced = os.environ.get(ENV_IMPL, "").strip().lower()
+            order = (forced,) if forced in _IMPL_NAMES else _IMPL_NAMES
+            for name in order:
+                kernel = _BUILDERS[name]()
+                if kernel is not None:
+                    impl = name
+                    break
+        _impl, _kernel = impl, kernel
+        _loaded = True
+
+
+def reset() -> None:
+    """Forget the loaded kernel; the next call re-reads the env knobs."""
+    global _loaded, _impl, _kernel
+    with _lock:
+        _loaded = False
+        _impl = None
+        _kernel = None
+
+
+def available() -> bool:
+    """True when a compiled kernel is loaded (numba or cext)."""
+    _load()
+    return _kernel is not None
+
+
+def impl_name() -> Optional[str]:
+    """``"numba"``, ``"cext"``, or None when no kernel loaded."""
+    _load()
+    return _impl
+
+
+def reduce_words(row_r, row_g, col_r, col_g) -> tuple[int, int]:
+    """Run the kernel over C-contiguous uint64 word planes, in place.
+
+    ``row_r``/``row_g`` are ``(m, wn)``, ``col_r``/``col_g`` are
+    ``(n, wm)``.  Returns ``(iterations, passes)``.
+    """
+    _load()
+    if _kernel is None:
+        raise RuntimeError("no native kernel available "
+                           "(check native.available() first)")
+    return _kernel(row_r, row_g, col_r, col_g)
+
+
+_WORD_MASK = (1 << 64) - 1
+
+
+def reduce_matrix(matrix) -> tuple[int, int]:
+    """Reduce one BitMatrix-shaped object with the native kernel.
+
+    Marshals the Python-int planes into word arrays, runs the kernel,
+    writes the reduced planes back, and recomputes the edge count —
+    the caller sees exactly a :meth:`BitMatrix.reduce`.
+    """
+    np = _np
+    m, n = matrix.m, matrix.n
+    wn = max(1, (n + 63) >> 6)
+    wm = max(1, (m + 63) >> 6)
+    row_r = np.zeros((m, wn), dtype=np.uint64)
+    row_g = np.zeros((m, wn), dtype=np.uint64)
+    col_r = np.zeros((n, wm), dtype=np.uint64)
+    col_g = np.zeros((n, wm), dtype=np.uint64)
+    for j in range(wn):
+        shift = j * 64
+        row_r[:, j] = [(v >> shift) & _WORD_MASK for v in matrix._row_r]
+        row_g[:, j] = [(v >> shift) & _WORD_MASK for v in matrix._row_g]
+    for j in range(wm):
+        shift = j * 64
+        col_r[:, j] = [(v >> shift) & _WORD_MASK for v in matrix._col_r]
+        col_g[:, j] = [(v >> shift) & _WORD_MASK for v in matrix._col_g]
+    iterations, passes = reduce_words(row_r, row_g, col_r, col_g)
+    edges = 0
+    for s in range(m):
+        r_word = 0
+        g_word = 0
+        for j in range(wn - 1, -1, -1):
+            r_word = (r_word << 64) | int(row_r[s, j])
+            g_word = (g_word << 64) | int(row_g[s, j])
+        matrix._row_r[s] = r_word
+        matrix._row_g[s] = g_word
+        edges += r_word.bit_count() + g_word.bit_count()
+    for t in range(n):
+        r_word = 0
+        g_word = 0
+        for j in range(wm - 1, -1, -1):
+            r_word = (r_word << 64) | int(col_r[t, j])
+            g_word = (g_word << 64) | int(col_g[t, j])
+        matrix._col_r[t] = r_word
+        matrix._col_g[t] = g_word
+    matrix._edges = edges
+    return iterations, passes

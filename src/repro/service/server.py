@@ -157,7 +157,8 @@ class ShardHandle:
                 self.conn.fileno(), self._on_readable)
         else:
             self.core = ShardCore(self.shard_id,
-                                  vectorized=config.vectorized)
+                                  vectorized=config.vectorized,
+                                  obs=self.service.obs)
 
     def tenant_count(self) -> int:
         return sum(1 for record in self.service.tenants.values()
@@ -810,11 +811,31 @@ class DetectionService:
             if op == "stats":
                 return ok_response(message, **self.stats())
             if op == "shards":
-                return ok_response(message, shards=[
-                    {"shard": handle.shard_id, "alive": handle.alive,
-                     "pid": handle.pid,
-                     "tenants": handle.tenant_count()}
-                    for handle in self.shards])
+                entries = []
+                for handle in self.shards:
+                    entry = {"shard": handle.shard_id,
+                             "alive": handle.alive,
+                             "pid": handle.pid,
+                             "tenants": handle.tenant_count()}
+                    if handle.alive:
+                        # Surface the shard core's reduction tallies
+                        # (repacks, dirty/skipped detects) so soaks can
+                        # verify the incremental tick path end-to-end.
+                        try:
+                            kind, reply = await handle.request("ping",
+                                                               None)
+                        except _ShardLost:
+                            kind, reply = "error", None
+                        if kind == "ok" and isinstance(reply, dict):
+                            entry.update({
+                                key: reply[key] for key in (
+                                    "ops", "batches", "detect_batches",
+                                    "dirty_tenants", "skipped_detects",
+                                    "repacks", "plane_grows",
+                                    "unpacked_fallbacks")
+                                if key in reply})
+                    entries.append(entry)
+                return ok_response(message, shards=entries)
             if op == "migrate":
                 result = await self.migrate(str(message.get("tenant")),
                                             int(message.get("shard", -1)))

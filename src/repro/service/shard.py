@@ -1,15 +1,36 @@
-"""Worker shards: apply op batches, reduce detects through one plane.
+"""Worker shards: apply op batches, reduce detects incrementally.
 
 A :class:`ShardCore` owns a slice of the tenant population and speaks a
 tiny command protocol — ``batch`` / ``snapshot`` / ``restore`` /
 ``drop`` / ``ping`` / ``stop``.  The front end groups each tick's
 operations by shard and ships one ``batch`` per shard; the core applies
 mutations *in arrival order* and then answers every ``detect`` in the
-batch from a single :class:`~repro.rag.batch.BatchPlane` reduction over
-the distinct tenants that asked — the batched-kernel win the service
-exists for.  A verdict therefore reflects every mutation accepted
-earlier in the same tick (*tick-consistent detection*); it carries the
-tenant's ``op_seq`` so callers know exactly which prefix it covers.
+batch — the batched-kernel win the service exists for.  A verdict
+reflects every mutation accepted earlier in the same tick
+(*tick-consistent detection*); it carries the tenant's ``op_seq`` so
+callers know exactly which prefix it covers.
+
+Detection is **incremental** rather than repack-everything:
+
+* each tenant is packed *once* into a persistent
+  :class:`~repro.rag.batch.PlaneAccumulator` slot (on its first
+  detect), and every accepted claim/release afterwards refreshes just
+  the touched row/column word spans in place
+  (``Tenant.touched`` → :meth:`PlaneAccumulator.update`);
+* verdicts are cached per tenant keyed on object identity and
+  ``op_seq`` — a detect for a tenant that has not mutated since its
+  last verdict is answered from the cache without touching the plane
+  at all;
+* only *dirty* tenants (mutated, or never reduced) enter each tick's
+  reduction, which runs on a scratch copy of their slots.
+
+The ``matrix.batch.repacks`` / ``matrix.batch.dirty_tenants`` /
+``matrix.batch.skipped`` observability counters (plus per-shard tallies
+in the ``ping`` reply) attribute the win; the profiler annotates them
+via its ``matrix.batch.`` prefix.  Without NumPy the shard degrades to
+a per-tick :class:`~repro.rag.batch.PythonBatchPlane` over the dirty
+tenants — the same caching still applies, and the degradation is
+signalled through ``matrix.batch.unpacked_fallbacks``.
 
 :func:`shard_main` wraps the core behind a
 :class:`multiprocessing.connection.Connection` for process-backed
@@ -22,22 +43,72 @@ from __future__ import annotations
 from typing import Any, Optional
 
 from repro.errors import ReproError
-from repro.rag.batch import batch_plane
+from repro.obs import NULL_OBS
+from repro.rag.batch import HAS_NUMPY, PlaneAccumulator, batch_plane
+from repro.rag.bitmatrix import BitMatrix
 from repro.service.protocol import ServiceOpError, error_response, ok_response
 from repro.service.tenant import Tenant
+
+
+class _CachedVerdict:
+    """One tenant's last reduction, valid while its ``op_seq`` holds.
+
+    ``tenant`` is kept for an *identity* check: restore/migration
+    replaces the Tenant object, so a stale cache entry can never match
+    a rebuilt tenant even if the op_seq coincides.
+    """
+
+    __slots__ = ("tenant", "op_seq", "deadlock", "iterations", "passes",
+                 "residual", "batched")
+
+    def __init__(self, tenant: Tenant, deadlock: bool, iterations: int,
+                 passes: int, residual: BitMatrix, batched: int) -> None:
+        self.tenant = tenant
+        self.op_seq = tenant.op_seq
+        self.deadlock = deadlock
+        self.iterations = iterations
+        self.passes = passes
+        self.residual = residual
+        self.batched = batched
+
+    def valid_for(self, tenant: Tenant) -> bool:
+        return self.tenant is tenant and self.op_seq == tenant.op_seq
 
 
 class ShardCore:
     """The shard state machine, transport-agnostic and synchronous."""
 
     def __init__(self, shard_id: int,
-                 vectorized: Optional[bool] = None) -> None:
+                 vectorized: Optional[bool] = None, obs=None) -> None:
         self.shard_id = shard_id
         self.vectorized = vectorized
+        self.obs = obs if obs is not None else NULL_OBS
         self.tenants: dict[str, Tenant] = {}
         self.ops_applied = 0
         self.batches = 0
+        #: Reductions actually run (cache hits answer without one).
         self.detect_batches = 0
+        #: Tenants that re-entered a reduction because they mutated.
+        self.dirty_reduced = 0
+        #: Detect queries answered from the cached verdict.
+        self.detects_skipped = 0
+        #: Ensembles served sequentially because NumPy is absent.
+        self.unpacked_fallbacks = 0
+        # Persistent plane: only when the vectorized path is usable.
+        self._plane = (PlaneAccumulator()
+                       if HAS_NUMPY and vectorized is not False else None)
+        self._slots: dict[str, int] = {}
+        self._verdicts: dict[str, _CachedVerdict] = {}
+        metrics = self.obs.metrics
+        self._c_repacks = metrics.counter(
+            "matrix.batch.repacks",
+            "full tenant packs into a persistent batch plane")
+        self._c_dirty = metrics.counter(
+            "matrix.batch.dirty_tenants",
+            "tenants re-reduced because their RAG mutated")
+        self._c_skipped = metrics.counter(
+            "matrix.batch.skipped",
+            "detects answered from the cached verdict, no reduction")
 
     # -- command handlers ----------------------------------------------
 
@@ -51,13 +122,24 @@ class ShardCore:
             if command == "restore":
                 return "ok", self.restore_tenant(payload)
             if command == "drop":
-                self.tenants.pop(payload, None)
+                if self.tenants.pop(payload, None) is not None:
+                    self._forget(payload)
                 return "ok", {"tenants": len(self.tenants)}
             if command == "ping":
-                return "ok", {"shard": self.shard_id,
-                              "tenants": len(self.tenants),
-                              "ops": self.ops_applied,
-                              "batches": self.batches}
+                return "ok", {
+                    "shard": self.shard_id,
+                    "tenants": len(self.tenants),
+                    "ops": self.ops_applied,
+                    "batches": self.batches,
+                    "detect_batches": self.detect_batches,
+                    "dirty_tenants": self.dirty_reduced,
+                    "skipped_detects": self.detects_skipped,
+                    "repacks": (self._plane.repacks
+                                if self._plane is not None else 0),
+                    "plane_grows": (self._plane.grows
+                                    if self._plane is not None else 0),
+                    "unpacked_fallbacks": self.unpacked_fallbacks,
+                }
             raise ReproError(f"unknown shard command {command!r}")
         except ReproError as exc:
             return "error", str(exc)
@@ -82,12 +164,15 @@ class ShardCore:
                 elif name == "claim":
                     responses[index] = ok_response(op, **tenant.claim(op))
                     self.ops_applied += 1
+                    self._sync_touched(tenant)
                 elif name == "release":
                     responses[index] = ok_response(op,
                                                    **tenant.release(op))
                     self.ops_applied += 1
+                    self._sync_touched(tenant)
                 elif name == "detach":
                     self.tenants.pop(tenant.tenant_id)
+                    self._forget(tenant.tenant_id)
                     responses[index] = ok_response(op, detached=True)
                 else:
                     raise ServiceOpError("bad-request",
@@ -99,23 +184,104 @@ class ShardCore:
             self._run_detects(ops, responses, detect_slots)
         return responses
 
+    # -- incremental plane maintenance ---------------------------------
+
+    def _sync_touched(self, tenant: Tenant) -> None:
+        """Drain a tenant's mutated cells into its persistent slot.
+
+        One claim touches one cell; one release touches at most two
+        (the freed cell and the promoted waiter) — each becomes four
+        word-span writes instead of a full repack.  Tenants without a
+        slot yet (never detected) just drop the backlog: their first
+        detect packs the current matrix wholesale.
+        """
+        touched = tenant.touched
+        if not touched:
+            return
+        if self._plane is not None:
+            slot = self._slots.get(tenant.tenant_id)
+            if slot is not None:
+                matrix = tenant.matrix
+                for s, t in touched:
+                    self._plane.update(slot, matrix, s, t)
+        touched.clear()
+
+    def _forget(self, tenant_id: str) -> None:
+        """Invalidate all per-tenant reduction state (detach/replace)."""
+        self._verdicts.pop(tenant_id, None)
+        slot = self._slots.pop(tenant_id, None)
+        if slot is not None and self._plane is not None:
+            self._plane.remove(slot)
+
+    # -- detection -----------------------------------------------------
+
     def _run_detects(self, ops: list, responses: list,
                      detect_slots: dict) -> None:
-        """One batched reduction answers every detect in the tick."""
+        """Answer every detect; reduce only the dirty tenants."""
         tenant_ids = sorted(detect_slots)
-        tenants = [self.tenants[tid] for tid in tenant_ids]
+        fresh = [tid for tid in tenant_ids
+                 if not (cached := self._verdicts.get(tid))
+                 or not cached.valid_for(self.tenants[tid])]
+        skipped = len(tenant_ids) - len(fresh)
+        if skipped:
+            self.detects_skipped += skipped
+            self._c_skipped.inc(skipped)
+        if fresh:
+            self.detect_batches += 1
+            self.dirty_reduced += len(fresh)
+            self._c_dirty.inc(len(fresh))
+            if self._plane is not None:
+                self._reduce_incremental(fresh)
+            else:
+                self._reduce_per_tick(fresh)
+        for tid in tenant_ids:
+            tenant = self.tenants[tid]
+            cached = self._verdicts[tid]
+            payload = tenant.detect_payload(
+                cached.deadlock, cached.iterations, cached.passes,
+                cached.residual, batched=cached.batched)
+            for index in detect_slots[tid]:
+                responses[index] = ok_response(ops[index], **payload)
+
+    def _reduce_incremental(self, fresh: list) -> None:
+        """Reduce dirty tenants on a scratch copy of their slots."""
+        slots = []
+        for tid in fresh:
+            tenant = self.tenants[tid]
+            slot = self._slots.get(tid)
+            if slot is None:
+                slot = self._plane.add(tenant.matrix)
+                self._slots[tid] = slot
+                self._c_repacks.inc()
+                # The pack reflects the matrix as of now; any backlog
+                # of touched cells is already in it.
+                tenant.touched.clear()
+            slots.append(slot)
+        reduction = self._plane.reduce(slots)
+        batched = len(fresh)
+        for position, tid in enumerate(fresh):
+            tenant = self.tenants[tid]
+            iterations, passes = reduction.counts(position)
+            self._verdicts[tid] = _CachedVerdict(
+                tenant, reduction.deadlocked(position), iterations,
+                passes, reduction.residual(position, tenant.matrix),
+                batched)
+
+    def _reduce_per_tick(self, fresh: list) -> None:
+        """No persistent plane (no NumPy, or vectorization forced off):
+        build a throwaway plane over the dirty tenants."""
+        tenants = [self.tenants[tid] for tid in fresh]
         plane = batch_plane([tenant.matrix for tenant in tenants],
-                            vectorized=self.vectorized)
+                            vectorized=self.vectorized, obs=self.obs)
+        if self.vectorized is None and not plane.vectorized:
+            self.unpacked_fallbacks += 1
         counts = plane.reduce_all()
         verdicts = plane.deadlocked()
-        self.detect_batches += 1
         for position, tenant in enumerate(tenants):
-            payload = tenant.detect_payload(
-                verdicts[position], counts[position][0],
+            self._verdicts[tenant.tenant_id] = _CachedVerdict(
+                tenant, verdicts[position], counts[position][0],
                 counts[position][1], plane.residual(position),
-                batched=len(tenants))
-            for index in detect_slots[tenant.tenant_id]:
-                responses[index] = ok_response(ops[index], **payload)
+                len(tenants))
 
     # -- tenant movement -----------------------------------------------
 
@@ -129,6 +295,9 @@ class ShardCore:
 
     def restore_tenant(self, envelope: dict) -> dict:
         tenant = Tenant.restore_state(envelope)
+        # A rebuilt tenant is a new object: wipe the old slot and
+        # cached verdict so nothing stale can ever answer for it.
+        self._forget(tenant.tenant_id)
         self.tenants[tenant.tenant_id] = tenant
         return {"tenant": tenant.tenant_id,
                 "state_hash": envelope["state_hash"],

@@ -33,8 +33,10 @@ from repro.rag.generate import random_state, resolve_rng
 from repro.rag.matrix import CellState
 from repro.service.protocol import ServiceOpError
 
-#: Widest tenant the batched reducer packs (one uint64 word per side).
-MAX_TENANT_SIDE = 64
+#: Admission sanity bound on tenant dimensions.  No longer a packing
+#: limit — the multi-word planes pack any width into ceil(side/64)
+#: uint64 words — just a guard against absurd attach requests.
+MAX_TENANT_SIDE = 512
 
 SNAPSHOT_KIND = "service.tenant"
 
@@ -72,7 +74,7 @@ class Tenant:
     """One tenant's matrix plus its service-side counters."""
 
     __slots__ = ("tenant_id", "matrix", "op_seq", "grants", "blocked",
-                 "releases", "detects")
+                 "releases", "detects", "touched")
 
     def __init__(self, tenant_id: str, matrix: BitMatrix) -> None:
         self.tenant_id = tenant_id
@@ -84,6 +86,9 @@ class Tenant:
         self.blocked = 0
         self.releases = 0
         self.detects = 0
+        #: ``(s, t)`` cells mutated since the shard last drained them
+        #: into its persistent plane (incremental repack avoidance).
+        self.touched: list[tuple[int, int]] = []
 
     @classmethod
     def from_attach(cls, tenant_id: str,
@@ -131,6 +136,7 @@ class Tenant:
         except ResourceProtocolError as exc:
             raise ServiceOpError("protocol-violation", str(exc)) from exc
         self.op_seq += 1
+        self.touched.append((s, t))
         if free:
             self.grants += 1
         else:
@@ -145,6 +151,7 @@ class Tenant:
                 "protocol-violation",
                 f"{process} does not hold {resource}")
         self.matrix.clear(s, t)
+        self.touched.append((s, t))
         promoted: Optional[str] = None
         waiters = self.matrix._row_r[s]
         if waiters:
@@ -153,6 +160,7 @@ class Tenant:
             self.matrix.clear(s, low)
             self.matrix.set_grant(s, low)
             promoted = self.matrix.process_names[low]
+            self.touched.append((s, low))
         self.op_seq += 1
         self.releases += 1
         return {"released": True, "promoted": promoted,

@@ -6,19 +6,24 @@ through per-tenant :meth:`BitMatrix.reduce`, and demands bit-identical
 iterations, passes, verdicts and residual cells — the same contract
 ``tests/test_bitmatrix_equiv.py`` holds between BitMatrix and the
 cell-object reference.  The parametrized ensembles cover > 100 seeded
-cases plus the structured adversaries (chains, cycles, worst cases) and
-mixed-shape packing.
+cases plus the structured adversaries (chains, cycles, worst cases),
+mixed-shape packing, multi-word (65x65 / 100x100 / 128x128) planes,
+and the persistent :class:`~repro.rag.batch.PlaneAccumulator` under
+seeded random op streams.
 """
+
+import random
 
 import pytest
 
 from repro.rag.batch import (
     HAS_NUMPY,
-    MAX_PACKED_SIDE,
+    PLANE_WORD_BITS,
     BatchPlane,
     PythonBatchPlane,
     batch_plane,
     batched_reduce,
+    plane_words,
 )
 from repro.rag.bitmatrix import BitMatrix
 from repro.rag.generate import (
@@ -28,6 +33,9 @@ from repro.rag.generate import (
     random_state,
     worst_case_state,
 )
+from repro.rag.matrix import CellState
+
+SEED_ROOT = 42
 
 needs_numpy = pytest.mark.skipif(not HAS_NUMPY,
                                  reason="numpy not installed")
@@ -113,16 +121,92 @@ def test_vectorized_and_fallback_agree():
 
 
 @needs_numpy
-def test_oversize_tenant_rejected_and_falls_back():
-    from repro.errors import ConfigurationError
-    big = worst_case_state(MAX_PACKED_SIDE + 1, 4)
-    with pytest.raises(ConfigurationError):
-        BatchPlane([big])
-    plane = batch_plane([big])          # auto-fallback
+@pytest.mark.parametrize("m,n", [(65, 65), (100, 100), (128, 128),
+                                 (65, 4), (4, 65), (128, 24)])
+def test_multiword_planes_match_per_tenant(m, n):
+    """Sides past one word pack into ceil(side/64) words, same bits.
+
+    The old single-word plane rejected anything wider than 64; these
+    ensembles must now ride the vectorized kernel (no fallback) and
+    stay bit-identical to per-tenant reduction.
+    """
+    states = [random_state(m, n, grant_fraction=0.7,
+                           request_fraction=0.4,
+                           seed=SEED_ROOT * 1000 + m * 7 + n + index)
+              for index in range(4)]
+    states.append(worst_case_state(m, n))
+    plane = batch_plane(states)
+    assert plane.vectorized, "wide tenants must not fall back"
+    assert plane.words_per_row == plane_words(n)
+    assert plane.words_per_column == plane_words(m)
+    _assert_matches_per_tenant(states, vectorized=True)
+
+
+@needs_numpy
+@pytest.mark.parametrize("side", [65, 100, 128])
+def test_multiword_random_op_streams(side):
+    """Drive a wide matrix through a seeded op stream; after every few
+    mutations the batched reduction of a copy must equal the solo
+    kernel's — the multi-word analogue of the service tick."""
+    rng = random.Random(SEED_ROOT * side)
+    matrix = BitMatrix(side, side)
+    for step in range(120):
+        s = rng.randrange(side)
+        t = rng.randrange(side)
+        cell = matrix.get(s, t)
+        if cell is CellState.EMPTY:
+            if matrix.row_bwo(s)[1] == 0:
+                matrix.set_grant(s, t)
+            else:
+                matrix.set_request(s, t)
+        else:
+            matrix.clear(s, t)
+        if step % 10 == 9:
+            plane = BatchPlane([matrix])
+            (iterations, passes), = plane.reduce_all()
+            solo = matrix.copy()
+            assert (iterations, passes) == solo.reduce()
+            assert plane.residual(0) == solo
+
+
+def test_word_width_unbounded():
+    """There is no packing width limit anymore, only word growth."""
+    assert plane_words(1) == 1
+    assert plane_words(64) == 1
+    assert plane_words(65) == 2
+    assert plane_words(128) == 2
+    assert plane_words(129) == 3
+    assert PLANE_WORD_BITS == 64
+
+
+@needs_numpy
+def test_fallback_is_observable():
+    """An automatic drop to the sequential plane must leave a trace:
+    the ``matrix.batch.unpacked_fallbacks`` counter and a flight
+    event.  (With numpy importable the automatic path never falls
+    back, so force the decision by faking HAS_NUMPY off.)"""
+    from repro.obs import Observability
+    import repro.rag.batch as batch_module
+
+    obs = Observability(label="fallback-test")
+    obs.flight.enable()
+    original = batch_module.HAS_NUMPY
+    batch_module.HAS_NUMPY = False
+    try:
+        plane = batch_module.batch_plane(
+            [cycle_state(4)], obs=obs)
+    finally:
+        batch_module.HAS_NUMPY = original
     assert isinstance(plane, PythonBatchPlane)
-    (iterations, passes), = plane.reduce_all()
-    solo = BitMatrix.from_rag(big)
-    assert (iterations, passes) == solo.reduce()
+    counter = obs.metrics.counter(
+        "matrix.batch.unpacked_fallbacks", "")
+    assert counter.value == 1
+    kinds = [event["kind"] for event in obs.flight.events()]
+    assert "batch_unpacked_fallback" in kinds
+    # An explicit vectorized=False is a deliberate choice: no signal.
+    batch_module.batch_plane([cycle_state(4)], vectorized=False,
+                             obs=obs)
+    assert counter.value == 1
 
 
 def test_empty_ensemble_rejected():
@@ -139,3 +223,89 @@ def test_residuals_are_independent_copies():
     first = plane.residual(0)
     first.clear_row(0)
     assert plane.residual(0).edge_count == 8  # plane unaffected
+
+
+# -- the persistent accumulator (the service tick path) -----------------
+
+@needs_numpy
+def test_accumulator_matches_batch_plane():
+    """add() + reduce() must equal a fresh BatchPlane reduction, and
+    the persistent planes must survive the reduction untouched."""
+    from repro.rag.batch import PlaneAccumulator
+
+    matrices = [BitMatrix.from_rag(state) for state in _ensemble(7)]
+    acc = PlaneAccumulator()
+    slots = [acc.add(matrix) for matrix in matrices]
+    assert acc.repacks == len(matrices)
+    reduction = acc.reduce(slots)
+    for position, matrix in enumerate(matrices):
+        solo = matrix.copy()
+        counts = solo.reduce()
+        assert reduction.counts(position) == counts
+        assert reduction.deadlocked(position) == (not solo.is_empty())
+        assert reduction.residual(position, matrix) == solo
+    # Scratch semantics: reducing the same slots again gives the same
+    # answer — the persistent planes were not consumed.
+    again = acc.reduce(slots)
+    for position in range(len(matrices)):
+        assert again.counts(position) == reduction.counts(position)
+
+
+@needs_numpy
+@pytest.mark.parametrize("side", [12, 65, 100])
+def test_accumulator_incremental_updates(side):
+    """In-place row/column refreshes track a seeded op stream exactly —
+    no repack between mutations, including across the word boundary."""
+    from repro.rag.batch import PlaneAccumulator
+
+    acc = PlaneAccumulator()
+    matrix = BitMatrix(side, side)
+    slot = acc.add(matrix)
+    rng = random.Random(SEED_ROOT * 31 + side)
+    for step in range(150):
+        s = rng.randrange(side)
+        t = rng.randrange(side)
+        cell = matrix.get(s, t)
+        if cell is CellState.EMPTY:
+            if matrix.row_bwo(s)[1] == 0:
+                matrix.set_grant(s, t)
+            else:
+                matrix.set_request(s, t)
+        else:
+            matrix.clear(s, t)
+        acc.update(slot, matrix, s, t)
+        if step % 15 == 14:
+            reduction = acc.reduce([slot])
+            solo = matrix.copy()
+            assert reduction.counts(0) == solo.reduce()
+            assert reduction.residual(0, matrix) == solo
+    assert acc.repacks == 1, "updates must never trigger a repack"
+
+
+@needs_numpy
+def test_accumulator_slot_recycling_and_growth():
+    """remove() recycles slots zeroed; geometry grows for wider
+    late-comers without disturbing existing tenants."""
+    from repro.rag.batch import PlaneAccumulator
+
+    acc = PlaneAccumulator()
+    small = BitMatrix.from_rag(cycle_state(4))
+    slot_a = acc.add(small)
+    acc.remove(slot_a)
+    replacement = BitMatrix.from_rag(chain_state(3))
+    slot_b = acc.add(replacement)
+    assert slot_b == slot_a, "freed slot should be recycled"
+    reduction = acc.reduce([slot_b])
+    solo = replacement.copy()
+    assert reduction.counts(0) == solo.reduce()
+    assert reduction.residual(0, replacement) == solo
+    # A 100-wide tenant forces envelope + word growth; the recycled
+    # small tenant must still reduce identically afterwards.
+    wide = BitMatrix.from_rag(worst_case_state(100, 100))
+    slot_c = acc.add(wide)
+    assert acc.grows >= 1
+    reduction = acc.reduce([slot_b, slot_c])
+    solo_small, solo_wide = replacement.copy(), wide.copy()
+    assert reduction.counts(0) == solo_small.reduce()
+    assert reduction.counts(1) == solo_wide.reduce()
+    assert reduction.residual(1, wide) == solo_wide

@@ -23,8 +23,10 @@ from repro.errors import ConfigurationError, ResourceProtocolError
 from repro.rag.bitmatrix import (
     BACKENDS,
     FAST_BACKEND,
+    NATIVE_BACKEND,
     REFERENCE_BACKEND,
     BitMatrix,
+    NativeBitMatrix,
     as_backend_matrix,
     default_backend,
     matrix_class,
@@ -137,13 +139,14 @@ class TestStateAgreement:
                        backend=backend)
             unit.load(rag)
             results[backend] = unit.detect()
-        fast = results[FAST_BACKEND]
         ref = results[REFERENCE_BACKEND]
-        assert fast.deadlock == ref.deadlock
-        assert fast.iterations == ref.iterations
-        assert fast.passes == ref.passes
-        assert fast.cycles == ref.cycles
-        assert fast.residual == ref.residual
+        for backend in (FAST_BACKEND, NATIVE_BACKEND):
+            got = results[backend]
+            assert got.deadlock == ref.deadlock, backend
+            assert got.iterations == ref.iterations, backend
+            assert got.passes == ref.passes, backend
+            assert got.cycles == ref.cycles, backend
+            assert got.residual == ref.residual, backend
 
 
 def test_one_by_one_cases():
@@ -284,6 +287,8 @@ def test_backend_knob(monkeypatch):
     assert resolve_backend(REFERENCE_BACKEND) == REFERENCE_BACKEND
     assert matrix_class(FAST_BACKEND) is BitMatrix
     assert matrix_class(REFERENCE_BACKEND) is StateMatrix
+    assert matrix_class(NATIVE_BACKEND) is NativeBitMatrix
+    assert issubclass(NativeBitMatrix, BitMatrix)
     with pytest.raises(ConfigurationError):
         resolve_backend("simd")
 

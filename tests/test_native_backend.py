@@ -1,0 +1,157 @@
+"""The native reduction kernel === the pure-Python sweep, bit for bit.
+
+``REPRO_MATRIX_BACKEND=native`` routes whole-matrix reductions through
+:mod:`repro.rag.native` — numba when importable, else a C kernel
+compiled at first use with the system compiler.  Either way (and when
+*neither* loads), every verdict, count and residual must match
+:meth:`BitMatrix.reduce` exactly; this suite grinds that over seeded
+random states (root 42), multi-word widths, and the degraded-path
+combinations of the env knobs.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.deadlock.pdda import pdda_detect
+from repro.rag import native
+from repro.rag.bitmatrix import (
+    NATIVE_BACKEND,
+    BitMatrix,
+    NativeBitMatrix,
+)
+from repro.rag.generate import (
+    chain_state,
+    cycle_state,
+    deadlock_free_state,
+    random_state,
+    worst_case_state,
+)
+
+SEED_ROOT = 42
+
+needs_kernel = pytest.mark.skipif(
+    not native.available(),
+    reason="no native kernel (numba missing and no C compiler)")
+
+
+def _cases():
+    rng = random.Random(SEED_ROOT)
+    for m, n in [(1, 1), (4, 7), (16, 16), (33, 7), (64, 64),
+                 (65, 65), (100, 40), (128, 128)]:
+        yield random_state(m, n, grant_fraction=0.7,
+                           request_fraction=0.4,
+                           rng=random.Random(rng.randrange(2 ** 31)))
+    yield cycle_state(9)
+    yield chain_state(17)
+    yield worst_case_state(70, 70)
+    yield deadlock_free_state(12, 12, rng=random.Random(7))
+
+
+@needs_kernel
+def test_native_reduce_matches_python():
+    for rag in _cases():
+        python = BitMatrix.from_rag(rag)
+        compiled = NativeBitMatrix.from_rag(rag)
+        expected = python.reduce()
+        got = compiled.reduce()
+        assert got == expected, (rag.num_resources, rag.num_processes)
+        assert compiled == python, "residual planes diverged"
+        assert compiled.edge_count == python.edge_count
+
+
+@needs_kernel
+def test_native_backend_through_pdda():
+    """The backend knob end-to-end: pdda_detect(backend='native')."""
+    for rag in (cycle_state(6), chain_state(9),
+                random_state(65, 65, seed=SEED_ROOT)):
+        fast = pdda_detect(rag)
+        compiled = pdda_detect(rag, backend=NATIVE_BACKEND)
+        assert isinstance(compiled.residual, NativeBitMatrix)
+        assert compiled.deadlock == fast.deadlock == rag.has_cycle()
+        assert compiled.iterations == fast.iterations
+        assert compiled.passes == fast.passes
+        assert compiled.software_cycles == fast.software_cycles
+        assert compiled.residual == fast.residual
+
+
+@needs_kernel
+def test_native_random_op_stream_differential():
+    """Mutate twins in lockstep, reduce both every few steps."""
+    from repro.rag.matrix import CellState
+
+    side = 70  # two words per column
+    rng = random.Random(SEED_ROOT * 101)
+    python = BitMatrix(side, side)
+    compiled = NativeBitMatrix(side, side)
+    for step in range(200):
+        s, t = rng.randrange(side), rng.randrange(side)
+        for matrix in (python, compiled):
+            cell = matrix.get(s, t)
+            if cell is CellState.EMPTY:
+                if matrix.row_bwo(s)[1] == 0:
+                    matrix.set_grant(s, t)
+                else:
+                    matrix.set_request(s, t)
+            else:
+                matrix.clear(s, t)
+        if step % 25 == 24:
+            a = python.copy()
+            b = compiled.copy()
+            assert type(b) is NativeBitMatrix
+            assert a.reduce() == b.reduce()
+            assert a == b
+
+
+def test_copy_preserves_native_type():
+    matrix = NativeBitMatrix.from_rag(cycle_state(4))
+    clone = matrix.copy()
+    assert type(clone) is NativeBitMatrix
+    assert clone == matrix
+    clone.clear_row(0)
+    assert clone != matrix  # no aliasing
+
+
+def test_disabled_kernel_degrades_gracefully(monkeypatch):
+    """With the kernel vetoed, NativeBitMatrix is just BitMatrix —
+    same answers, no errors, no import-time dependency."""
+    monkeypatch.setenv(native.ENV_DISABLE, "1")
+    native.reset()
+    try:
+        assert not native.available()
+        assert native.impl_name() is None
+        rag = cycle_state(5)
+        python = BitMatrix.from_rag(rag)
+        degraded = NativeBitMatrix.from_rag(rag)
+        assert degraded.reduce() == python.reduce()
+        assert degraded == python
+    finally:
+        monkeypatch.delenv(native.ENV_DISABLE)
+        native.reset()
+
+
+def test_forced_unavailable_impl_degrades(monkeypatch):
+    """Forcing numba on a host without it must mean 'unavailable',
+    never a crash or a silent switch to the other impl."""
+    try:
+        import numba  # noqa: F401
+        pytest.skip("numba installed; the forced impl would load")
+    except ImportError:
+        pass
+    monkeypatch.setenv(native.ENV_IMPL, "numba")
+    native.reset()
+    try:
+        assert native.impl_name() is None
+        matrix = NativeBitMatrix.from_rag(chain_state(6))
+        oracle = BitMatrix.from_rag(chain_state(6))
+        assert matrix.reduce() == oracle.reduce()
+    finally:
+        monkeypatch.delenv(native.ENV_IMPL)
+        native.reset()
+
+
+@needs_kernel
+def test_impl_name_is_reported():
+    assert native.impl_name() in ("numba", "cext")

@@ -101,9 +101,17 @@ def test_tenant_attach_dims():
 
 
 def test_tenant_attach_rejects_oversize():
+    from repro.service.tenant import MAX_TENANT_SIDE
     with pytest.raises(ServiceOpError) as excinfo:
-        Tenant.from_attach("t", {"m": 65, "n": 4})
+        Tenant.from_attach("t", {"m": MAX_TENANT_SIDE + 1, "n": 4})
     assert excinfo.value.code == "bad-request"
+
+
+def test_tenant_attach_accepts_multiword_dims():
+    """65..512-wide tenants are admissible now — the multi-word plane
+    packs them; only absurd sizes are rejected."""
+    tenant = Tenant.from_attach("t", {"m": 65, "n": 128})
+    assert (tenant.matrix.m, tenant.matrix.n) == (65, 128)
 
 
 def test_tenant_attach_seeded_is_deterministic():
@@ -295,3 +303,157 @@ def test_shard_unknown_command_is_error_reply():
     kind, detail = core.handle("explode", None)
     assert kind == "error"
     assert "explode" in detail
+
+
+# ---------------------------------------------------------------------------
+# incremental tick reduction
+
+
+def _detect(core, tenant_id):
+    _kind, replies = core.handle("batch",
+                                 [{"op": "detect", "tenant": tenant_id}])
+    return replies[0]
+
+
+def test_shard_clean_detect_skips_reduction():
+    """A tenant that has not mutated since its last verdict is
+    answered from the cache — no new reduction, same payload."""
+    core = ShardCore(0)
+    tenant = Tenant.from_attach("t", {"seed": 3, "m": 8, "n": 8})
+    core.restore_tenant(tenant.snapshot_state())
+    first = _detect(core, "t")
+    assert core.detect_batches == 1
+    again = _detect(core, "t")
+    assert core.detect_batches == 1, "clean detect must not re-reduce"
+    assert core.detects_skipped == 1
+    for key in ("deadlock", "iterations", "passes",
+                "deadlocked_processes", "op_seq", "batched"):
+        assert again[key] == first[key]
+
+
+def test_shard_mutation_dirties_the_verdict():
+    core = ShardCore(0)
+    tenant = Tenant.from_attach("t", {"m": 2, "n": 2})
+    core.restore_tenant(tenant.snapshot_state())
+    assert _detect(core, "t")["deadlock"] is False
+    assert core.detect_batches == 1
+    # Close a 2-cycle; the cached verdict must be abandoned.
+    ops = [
+        {"op": "claim", "tenant": "t", "process": "p1", "resource": "q1"},
+        {"op": "claim", "tenant": "t", "process": "p2", "resource": "q2"},
+        {"op": "claim", "tenant": "t", "process": "p1", "resource": "q2"},
+        {"op": "claim", "tenant": "t", "process": "p2", "resource": "q1"},
+    ]
+    core.handle("batch", ops)
+    reply = _detect(core, "t")
+    assert reply["deadlock"] is True
+    assert reply["op_seq"] == 4
+    assert core.detect_batches == 2
+    assert core.dirty_reduced == 2
+
+
+def test_shard_only_dirty_tenants_reduced():
+    """Of 4 tenants, mutate 1: the next all-tenant detect tick reduces
+    only that one and serves the other 3 from cache."""
+    core = ShardCore(0)
+    for i in range(4):
+        tenant = Tenant.from_attach(f"t{i}", {"m": 8, "n": 8})
+        core.restore_tenant(tenant.snapshot_state())
+    detect_all = [{"op": "detect", "tenant": f"t{i}"} for i in range(4)]
+    core.handle("batch", detect_all)
+    assert core.dirty_reduced == 4
+    core.handle("batch", [{"op": "claim", "tenant": "t2",
+                           "process": "p1", "resource": "q1"}])
+    _kind, replies = core.handle("batch", detect_all)
+    assert core.dirty_reduced == 5          # only t2 re-entered
+    assert core.detects_skipped == 3
+    assert replies[2]["op_seq"] == 1
+    # Every reply is still correct against a solo reduction.
+    for i, reply in enumerate(replies):
+        solo = core.tenants[f"t{i}"].matrix.copy()
+        iterations, passes = solo.reduce()
+        assert (reply["deadlock"], reply["iterations"],
+                reply["passes"]) == (not solo.is_empty(), iterations,
+                                     passes)
+
+
+def test_shard_restore_invalidates_cache_and_slot():
+    """Migration/crash-recovery replaces the Tenant object; the stale
+    verdict and plane slot must never answer for the twin."""
+    core = ShardCore(0)
+    tenant = Tenant.from_attach("t", {"m": 2, "n": 2})
+    core.restore_tenant(tenant.snapshot_state())
+    _detect(core, "t")
+    # Build a deadlocked twin out-of-band and restore over the top.
+    twin = Tenant.from_attach("t", {"m": 2, "n": 2})
+    for process, resource in (("p1", "q1"), ("p2", "q2"),
+                              ("p1", "q2"), ("p2", "q1")):
+        twin.claim({"process": process, "resource": resource})
+    core.restore_tenant(twin.snapshot_state())
+    reply = _detect(core, "t")
+    assert reply["deadlock"] is True
+    assert reply["op_seq"] == 4
+
+
+def test_shard_detach_frees_plane_slot():
+    core = ShardCore(0)
+    tenant = Tenant.from_attach("t", {"seed": 1, "m": 8, "n": 8})
+    core.restore_tenant(tenant.snapshot_state())
+    _detect(core, "t")
+    core.handle("batch", [{"op": "detach", "tenant": "t"}])
+    assert "t" not in core.tenants
+    kind, reply = core.handle("ping", None)
+    assert kind == "ok" and reply["tenants"] == 0
+    # Reattach and detect again: a fresh pack, not a stale slot.
+    fresh = Tenant.from_attach("t", {"m": 2, "n": 2})
+    core.restore_tenant(fresh.snapshot_state())
+    assert _detect(core, "t")["deadlock"] is False
+
+
+def test_shard_ping_reports_reduction_tallies():
+    core = ShardCore(2)
+    tenant = Tenant.from_attach("t", {"seed": 2, "m": 8, "n": 8})
+    core.restore_tenant(tenant.snapshot_state())
+    _detect(core, "t")
+    _detect(core, "t")
+    kind, reply = core.handle("ping", None)
+    assert kind == "ok"
+    assert reply["detect_batches"] == 1
+    assert reply["dirty_tenants"] == 1
+    assert reply["skipped_detects"] == 1
+    from repro.rag.batch import HAS_NUMPY
+    assert reply["repacks"] == (1 if HAS_NUMPY else 0)
+    assert reply["unpacked_fallbacks"] == (0 if HAS_NUMPY else 2)
+
+
+def test_shard_obs_counters_attribute_the_win():
+    from repro.obs import Observability
+    obs = Observability(label="shard-test")
+    core = ShardCore(0, obs=obs)
+    for i in range(3):
+        tenant = Tenant.from_attach(f"t{i}", {"seed": 60 + i,
+                                              "m": 8, "n": 8})
+        core.restore_tenant(tenant.snapshot_state())
+    detect_all = [{"op": "detect", "tenant": f"t{i}"} for i in range(3)]
+    core.handle("batch", detect_all)
+    core.handle("batch", detect_all)
+    metrics = obs.metrics
+    assert metrics.counter("matrix.batch.dirty_tenants", "").value == 3
+    assert metrics.counter("matrix.batch.skipped", "").value == 3
+    from repro.rag.batch import HAS_NUMPY
+    if HAS_NUMPY:
+        assert metrics.counter("matrix.batch.repacks", "").value == 3
+
+
+def test_shard_vectorized_false_still_incremental():
+    """Forcing the sequential plane keeps the caching semantics."""
+    core = ShardCore(0, vectorized=False)
+    tenant = Tenant.from_attach("t", {"seed": 8, "m": 8, "n": 8})
+    core.restore_tenant(tenant.snapshot_state())
+    first = _detect(core, "t")
+    again = _detect(core, "t")
+    assert core.detect_batches == 1
+    assert again["iterations"] == first["iterations"]
+    solo = core.tenants["t"].matrix.copy()
+    iterations, passes = solo.reduce()
+    assert (first["iterations"], first["passes"]) == (iterations, passes)
