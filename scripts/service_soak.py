@@ -15,10 +15,19 @@ mutation.  Midway, one worker shard is SIGKILLed by pid (taken from the
   crash, every tenant of the dead shard rehomed to a live shard, and
   the post-kill stream finishing without a single ``shard-lost`` error.
 
+With ``--chaos KIND[,KIND...]`` every client connection runs through a
+:class:`~repro.service.chaos.ChaosTransport` injecting the named wire
+faults (see :data:`~repro.service.chaos.NET_FAULT_KINDS`), and the
+drivers switch to the retrying
+:class:`~repro.service.client.ResilientServiceClient` — the oracle
+checks are unchanged, so the soak doubles as an exactly-once proof
+under packet loss, duplication and resets.
+
 Usage::
 
     python scripts/service_soak.py [--tenants 1000] [--ops 10]
                                    [--shards 4] [--seed 42] [--quick]
+                                   [--chaos drop,duplicate,reset]
 """
 
 from __future__ import annotations
@@ -37,8 +46,42 @@ REPO = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO / "src"))
 
 from repro.rag.generate import resolve_rng                 # noqa: E402
-from repro.service import ServiceClient, ServiceOpError    # noqa: E402
+from repro.service import (                                # noqa: E402
+    NET_FAULT_KINDS,
+    ChaosTransport,
+    NetFaultPlan,
+    NetFaultSpec,
+    ResilientServiceClient,
+    RetryPolicy,
+    ServiceClient,
+    ServiceOpError,
+)
 from repro.service.tenant import Tenant                    # noqa: E402
+
+#: Soak-grade chaos table: rarer than the campaign checker's (the soak
+#: pushes thousands of lines per connection), but every kind still
+#: fires many times over a 100-tenant run.
+_CHAOS_TABLE = {
+    "delay": NetFaultSpec("delay", direction="both", at=5, every=17,
+                          params={"delay_s": 0.002}),
+    "drop": NetFaultSpec("drop", direction="s2c", at=7, every=41),
+    "duplicate": NetFaultSpec("duplicate", direction="c2s", at=3,
+                              every=23),
+    "reorder": NetFaultSpec("reorder", direction="s2c", at=11,
+                            every=53),
+    "truncate": NetFaultSpec("truncate", direction="s2c", at=9,
+                             every=61),
+    "corrupt": NetFaultSpec("corrupt", direction="s2c", at=13,
+                            every=67, params={"span": 6}),
+    "reset": NetFaultSpec("reset", direction="c2s", at=43, every=131),
+    "slow_loris": NetFaultSpec("slow_loris", direction="s2c", at=19,
+                               every=97, params={"pause_s": 0.01}),
+}
+
+_CHAOS_POLICY = RetryPolicy(
+    deadline_ms=8000.0, request_timeout_s=0.5, max_attempts=12,
+    backoff_base_s=0.005, backoff_cap_s=0.05, fail_threshold=8,
+    recover_after=1, cooldown_s=0.02)
 
 
 def parse_args() -> argparse.Namespace:
@@ -52,7 +95,18 @@ def parse_args() -> argparse.Namespace:
                         help="parallel client connections (default 8)")
     parser.add_argument("--quick", action="store_true",
                         help="100 tenants x 8 ops (smoke mode)")
+    parser.add_argument("--chaos", default=None, metavar="KINDS",
+                        help="comma-separated wire fault kinds to "
+                             "inject between clients and server "
+                             f"(any of: {', '.join(NET_FAULT_KINDS)})")
     args = parser.parse_args()
+    if args.chaos:
+        args.chaos = [kind.strip() for kind in args.chaos.split(",")
+                      if kind.strip()]
+        unknown = [kind for kind in args.chaos
+                   if kind not in _CHAOS_TABLE]
+        if unknown:
+            parser.error(f"unknown chaos kind(s): {', '.join(unknown)}")
     if args.quick:
         args.tenants = min(args.tenants, 100)
         args.ops = min(args.ops, 8)
@@ -128,9 +182,25 @@ async def drive_tenant(client: ServiceClient, tenant_id: str,
 
 async def soak(args: argparse.Namespace, port: int,
                shard_pids: dict) -> dict:
-    clients = [await ServiceClient.connect_tcp("127.0.0.1", port)
-               for _ in range(args.clients)]
-    admin = clients[0]
+    proxy = None
+    # The admin connection always talks straight to the server: stats
+    # and the shard-pid lookup must not be lost to injected faults.
+    admin = await ServiceClient.connect_tcp("127.0.0.1", port)
+    if args.chaos:
+        plan = NetFaultPlan(
+            name="soak-chaos", seed=args.seed,
+            specs=[_CHAOS_TABLE[kind] for kind in args.chaos])
+        proxy = ChaosTransport(plan, target_host="127.0.0.1",
+                               target_port=port)
+        await proxy.start()
+        clients = [
+            ResilientServiceClient.tcp(
+                "127.0.0.1", proxy.listen_port, policy=_CHAOS_POLICY,
+                seed=args.seed + index, tag=f"soak{index}")
+            for index in range(args.clients)]
+    else:
+        clients = [await ServiceClient.connect_tcp("127.0.0.1", port)
+                   for _ in range(args.clients)]
     errors: list = []
     try:
         # Phase 1: first half of the population, full streams.
@@ -188,7 +258,24 @@ async def soak(args: argparse.Namespace, port: int,
         dirty = tally("dirty_tenants")
         skipped = tally("skipped_detects")
         considered = dirty + skipped
+        chaos_report = {}
+        if proxy is not None:
+            chaos_report = {
+                "chaos_kinds": list(args.chaos),
+                "chaos_plan_hash": plan.plan_hash()[:12],
+                "net_faults_fired": {
+                    kind: count
+                    for kind, count in sorted(proxy.fired.items())
+                    if count},
+                "client_reconnects": sum(
+                    max(0, client.connects - 1) for client in clients),
+                "server_deduped": stats.get("deduped"),
+                "deadline_exceeded": stats.get("deadline_exceeded"),
+            }
+            if not chaos_report["net_faults_fired"]:
+                errors.append("chaos proxy injected no faults at all")
         return {
+            **chaos_report,
             "tenants": args.tenants,
             "ops_per_tenant": args.ops,
             "requests": stats["requests"],
@@ -216,6 +303,9 @@ async def soak(args: argparse.Namespace, port: int,
             pass
         for client in clients:
             await client.close()
+        await admin.close()
+        if proxy is not None:
+            await proxy.stop()
 
 
 def main() -> int:
@@ -243,11 +333,19 @@ def main() -> int:
     fraction = report["dirty_fraction"]
     dirtiness = (f"{fraction:.1%} of considered tenants dirty"
                  if fraction is not None else "no detects observed")
+    chaos_note = ""
+    if report.get("chaos_kinds"):
+        fired = sum(report["net_faults_fired"].values())
+        chaos_note = (f"; {fired} wire fault(s) "
+                      f"({'+'.join(report['chaos_kinds'])}) absorbed "
+                      f"by {report['client_reconnects']} reconnect(s) "
+                      f"and {report['server_deduped']:g} server "
+                      "dedup(s)")
     print(f"soak OK: {report['tenants']} tenants, "
           f"{report['requests']:g} requests, shard "
           f"{report['shard_killed']} SIGKILLed and absorbed; "
           f"{dirtiness} across {report['plane_repacks']} plane "
-          f"repack(s)")
+          f"repack(s){chaos_note}")
     return 0
 
 

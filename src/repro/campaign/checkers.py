@@ -594,6 +594,201 @@ def _check_service(population, params: Mapping[str, Any],
     return asyncio.run(scenario())
 
 
+def _net_chaos_specs(kinds: tuple) -> tuple:
+    """One periodic :class:`NetFaultSpec` bundle per named wire fault.
+
+    Every kind fires *periodically* (``every``) rather than once:
+    chaos-transport visit counters restart per connection, so a
+    one-shot spec at a small visit would bite every reconnect attempt
+    and livelock a retrying client.  The periods are co-prime-ish so
+    mixed plans interleave rather than pile onto the same visit.
+    """
+    from repro.service import NetFaultSpec
+    table = {
+        "delay": NetFaultSpec("delay", direction="both", at=2, every=5,
+                              params={"delay_s": 0.01}),
+        "drop": NetFaultSpec("drop", direction="s2c", at=3, every=7),
+        "duplicate": NetFaultSpec("duplicate", direction="c2s", at=1,
+                                  every=4),
+        "reorder": NetFaultSpec("reorder", direction="s2c", at=6,
+                                every=31),
+        "truncate": NetFaultSpec("truncate", direction="s2c", at=4,
+                                 every=9),
+        "corrupt": NetFaultSpec("corrupt", direction="s2c", at=5,
+                                every=11, params={"span": 6}),
+        "reset": NetFaultSpec("reset", direction="c2s", at=17,
+                              every=29),
+        "slow_loris": NetFaultSpec("slow_loris", direction="s2c", at=2,
+                                   every=13, params={"pause_s": 0.02}),
+    }
+    try:
+        return tuple(table[kind] for kind in kinds)
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"unknown chaos kind {exc.args[0]!r}; known: "
+            f"{sorted(table)}") from None
+
+
+@checker("service.chaos-vs-local")
+def _check_service_chaos(population, params: Mapping[str, Any],
+                         rng: random.Random) -> CheckOutcome:
+    """Under wire chaos, every *answered* request matches the oracle.
+
+    Same oracle-replay discipline as ``service.vs-local``, but the
+    client talks through a :class:`~repro.service.chaos.ChaosTransport`
+    misbehaving per ``params["chaos"]`` (fault kind names, see
+    :func:`_net_chaos_specs`), and it is the
+    :class:`~repro.service.client.ResilientServiceClient` doing the
+    talking: timeouts, reconnects and idempotent retries are *expected*
+    — what must never happen is a response that diverges from the local
+    :class:`~repro.service.tenant.Tenant` twin.  The closing
+    ``migrate`` round-trip compares every tenant's ``state_hash``
+    against the oracle's: the exactly-once proof that no retried
+    mutation applied twice, even with ``params["crash"]`` killing a
+    shard mid-stream (journal replay must dedup too).
+
+    Digest-deterministic: steps count logical operations, and the
+    detail line carries only plan-derived values — never retry or
+    timing tallies, which vary run to run.
+    """
+    import asyncio
+
+    from repro.service import (
+        ChaosTransport,
+        DetectionService,
+        NetFaultPlan,
+        ResilientServiceClient,
+        RetryPolicy,
+        ServiceConfig,
+        ServiceOpError,
+    )
+    from repro.service.tenant import Tenant
+
+    kinds = tuple(params.get("chaos", ("drop",)))
+    events = int(params.get("events", 10))
+    shards = int(params.get("shards", 2))
+    crash = bool(params.get("crash"))
+    plan = NetFaultPlan(name=f"wire-{'+'.join(kinds)}",
+                        seed=rng.randrange(2 ** 31),
+                        specs=_net_chaos_specs(kinds))
+    script_seed = rng.randrange(2 ** 31)
+    policy = RetryPolicy(deadline_ms=4000.0, request_timeout_s=0.4,
+                         max_attempts=14, backoff_base_s=0.004,
+                         backoff_cap_s=0.04, fail_threshold=8,
+                         recover_after=1, cooldown_s=0.02)
+
+    async def scenario() -> CheckOutcome:
+        service = DetectionService(ServiceConfig(
+            shards=shards, use_processes=False, tick_interval=0.001,
+            snapshot_every=8))
+        await service.start(host="127.0.0.1", port=0)
+        proxy = ChaosTransport(plan, target_port=service.tcp_port)
+        await proxy.start()
+        client = ResilientServiceClient.tcp(
+            "127.0.0.1", proxy.listen_port, policy=policy,
+            seed=plan.seed, tag="chaos-client")
+        steps = 0
+        try:
+            oracles: dict = {}
+            for tenant_id, spec in population:
+                await client.attach(tenant_id, **spec)
+                oracles[tenant_id] = Tenant.from_attach(tenant_id, spec)
+            script = random.Random(script_seed)
+            for step in range(events):
+                for tenant_id, _spec in population:
+                    oracle = oracles[tenant_id]
+                    matrix = oracle.matrix
+                    if step and step % 5 == 0:
+                        reply = await client.detect(tenant_id)
+                        solo = matrix.copy()
+                        iterations, passes = solo.reduce()
+                        expected = (not solo.is_empty(), iterations,
+                                    passes, oracle.op_seq)
+                        got = (reply["deadlock"], reply["iterations"],
+                               reply["passes"], reply["op_seq"])
+                        steps += 1
+                        if got != expected:
+                            return _failed(
+                                f"{tenant_id} detect @ step {step}: "
+                                f"service {got} != oracle {expected}",
+                                steps=steps)
+                        continue
+                    process = f"p{script.randrange(1, matrix.n + 1)}"
+                    resource = f"q{script.randrange(1, matrix.m + 1)}"
+                    op = {"process": process, "resource": resource}
+                    kind = ("release" if script.random() < 0.4
+                            else "claim")
+                    try:
+                        expected = (oracle.claim(dict(op))
+                                    if kind == "claim"
+                                    else oracle.release(dict(op)))
+                        expected_code = None
+                    except ServiceOpError as exc:
+                        expected, expected_code = None, exc.code
+                    try:
+                        reply = await client.request(
+                            kind, tenant=tenant_id, process=process,
+                            resource=resource)
+                        got, got_code = reply, None
+                    except ServiceOpError as exc:
+                        got, got_code = None, exc.code
+                    steps += 1
+                    if got_code != expected_code:
+                        return _failed(
+                            f"{tenant_id} {kind} @ step {step}: "
+                            f"service error {got_code} != oracle "
+                            f"{expected_code}", steps=steps)
+                    if expected is not None:
+                        keys = (("granted", "op_seq")
+                                if kind == "claim"
+                                else ("promoted", "op_seq"))
+                        for key in keys:
+                            if got[key] != expected[key]:
+                                return _failed(
+                                    f"{tenant_id} {kind} @ step "
+                                    f"{step}: {key} {got[key]!r} != "
+                                    f"{expected[key]!r}", steps=steps)
+                if crash and step == events // 2 and shards > 1:
+                    await asyncio.sleep(0.01)
+                    victim = service.tenants[
+                        population[0][0]].shard_id
+                    service.shards[victim].crash()
+            # Exactly-once differential: the migrate round-trip
+            # re-hashes each tenant server-side; it must equal the
+            # oracle twin that saw every mutation exactly once.
+            alive = [handle.shard_id for handle in service.shards
+                     if handle.alive]
+            for tenant_id, _spec in population:
+                record = service.tenants[tenant_id]
+                target = next((s for s in alive
+                               if s != record.shard_id),
+                              record.shard_id)
+                reply = await client.request(
+                    "migrate", tenant=tenant_id, shard=target)
+                steps += 1
+                expected_hash = oracles[tenant_id].snapshot_state()[
+                    "state_hash"]
+                if reply["state_hash"] != expected_hash:
+                    return _failed(
+                        f"{tenant_id} state_hash diverged after chaos: "
+                        f"{reply['state_hash'][:12]} != oracle "
+                        f"{expected_hash[:12]}", steps=steps)
+            if not any(proxy.fired[kind] for kind in kinds):
+                return _failed(
+                    f"chaos plan {plan.name!r} never fired", steps=steps)
+            return _passed(
+                steps=steps,
+                detail=(f"{len(population)} tenants x {events} events "
+                        f"under {'+'.join(kinds)}, "
+                        f"plan={plan.plan_hash()[:12]}, crash={crash}"))
+        finally:
+            await client.close()
+            await proxy.stop()
+            await service.stop()
+
+    return asyncio.run(scenario())
+
+
 # -- chaos checkers (fault injection for the runner itself) -------------------
 
 @checker("chaos.crash")

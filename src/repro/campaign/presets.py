@@ -14,6 +14,10 @@
 * ``service`` — the multi-tenant detection service against a local
   per-tenant oracle, including mid-stream migration and shard-crash
   scenarios (see :mod:`repro.service`).
+* ``service-chaos`` — the same oracle discipline with a deterministic
+  fault-injecting proxy on the wire and the resilient client doing the
+  talking: all eight wire fault kinds, mixed storms, and a shard crash
+  under chaos (see :mod:`repro.service.chaos`).
 """
 
 from __future__ import annotations
@@ -251,6 +255,60 @@ def _service() -> CampaignSpec:
     ))
 
 
+def _service_chaos() -> CampaignSpec:
+    """The service behind a misbehaving wire (see ``service.chaos.*``).
+
+    Every scenario puts a :class:`~repro.service.chaos.ChaosTransport`
+    between a :class:`ResilientServiceClient` and a real service, and
+    cross-checks every answered request — plus each tenant's closing
+    ``state_hash`` — against the local oracle twin: retries, reconnects
+    and dedups are expected; a single divergent response fails the
+    scenario.  Covers all eight wire fault kinds individually, three
+    mixed plans, the full all-kinds storm, and a shard crash *under*
+    chaos (journal replay must dedup retried mutations too).
+    """
+    kinds = ["delay", "drop", "duplicate", "reorder", "truncate",
+             "corrupt", "reset", "slow_loris"]
+    return CampaignSpec(name="service-chaos", scenarios=(
+        # One scenario per fault kind (x2 repeats = 16 scenarios).
+        ScenarioSpec(name="kind", generator="service.population",
+                     checker="service.chaos-vs-local",
+                     params={"tenants": 3, "m": 8, "n": 8, "events": 10,
+                             "chaos": [[kind] for kind in kinds]},
+                     repeats=2),
+        ScenarioSpec(name="mixed-loss", generator="service.population",
+                     checker="service.chaos-vs-local",
+                     params={"tenants": 3, "m": 8, "n": 8, "events": 10,
+                             "chaos": [["drop", "duplicate", "delay"]]},
+                     repeats=2),
+        ScenarioSpec(name="mixed-mangle", generator="service.population",
+                     checker="service.chaos-vs-local",
+                     params={"tenants": 3, "m": 8, "n": 8, "events": 10,
+                             "chaos": [["truncate", "corrupt",
+                                        "slow_loris"]]},
+                     repeats=2),
+        ScenarioSpec(name="mixed-disconnect",
+                     generator="service.population",
+                     checker="service.chaos-vs-local",
+                     params={"tenants": 3, "m": 8, "n": 8, "events": 10,
+                             "chaos": [["reset", "delay",
+                                        "slow_loris"]]},
+                     repeats=2),
+        ScenarioSpec(name="all-kinds", generator="service.population",
+                     checker="service.chaos-vs-local",
+                     params={"tenants": 3, "m": 8, "n": 8, "events": 12,
+                             "chaos": [kinds]},
+                     repeats=2),
+        ScenarioSpec(name="crash-under-chaos",
+                     generator="service.population",
+                     checker="service.chaos-vs-local",
+                     params={"tenants": 4, "m": 8, "n": 8, "events": 12,
+                             "chaos": [["drop", "reset"]],
+                             "crash": True},
+                     repeats=2),
+    ))
+
+
 BUILTIN_CAMPAIGNS = {
     "smoke": _smoke,
     "claims": _claims,
@@ -258,6 +316,7 @@ BUILTIN_CAMPAIGNS = {
     "faults": _faults,
     "kernels-large": _kernels_large,
     "service": _service,
+    "service-chaos": _service_chaos,
 }
 
 

@@ -37,6 +37,7 @@ TRIP_KINDS = frozenset((
     "fault_trip", "health_transition", "checkpoint_write",
     "worker_crash", "worker_lost",
     "tenant_admission_rejected", "shard_rebalance", "tenant_migration",
+    "circuit_open", "circuit_close", "request_retried",
 ))
 
 

@@ -28,10 +28,13 @@ from repro.errors import ConfigurationError
 
 HISTORY_NAME = "BENCH_HISTORY.jsonl"
 
-#: Name fragments marking a lower-is-better metric.
+#: Name fragments marking a lower-is-better metric.  ``retry`` covers
+#: the resilient client's retry rate under a reference chaos plan;
+#: ``chaos`` covers wire-chaos recovery metrics — for both, creeping
+#: upward means the wire (or the retry loop) got worse.
 _LOWER_IS_BETTER = (
     "seconds", "_ms", "_us", "_ns", "overhead", "cost", "cycles",
-    "duration", "latency",
+    "duration", "latency", "retry", "chaos",
 )
 
 #: Name fragments marking a higher-is-better metric.

@@ -18,7 +18,11 @@ Layering:
   behind a ``multiprocessing`` pipe);
 * :mod:`repro.service.server` — admission control, tick batching,
   journal-backed crash recovery, live migration;
-* :mod:`repro.service.client` — a pipelined asyncio client.
+* :mod:`repro.service.client` — a pipelined asyncio client, plus the
+  retrying/reconnecting :class:`ResilientServiceClient`;
+* :mod:`repro.service.chaos` — a deterministic fault-injecting wire
+  proxy (:class:`ChaosTransport`) driven by replayable
+  :class:`NetFaultPlan`\\ s.
 
 ``python -m repro.service`` starts a server.
 """
@@ -26,6 +30,7 @@ Layering:
 from repro.service.protocol import (
     ADMIN_OPS,
     ERROR_CODES,
+    MAX_LINE_BYTES,
     MUTATING_OPS,
     PROTOCOL_VERSION,
     TENANT_OPS,
@@ -36,13 +41,32 @@ from repro.service.protocol import (
     ok_response,
     validate_request,
 )
-from repro.service.tenant import MAX_TENANT_SIDE, SNAPSHOT_KIND, Tenant
+from repro.service.tenant import (
+    IDEM_WINDOW,
+    MAX_TENANT_SIDE,
+    SNAPSHOT_KIND,
+    Tenant,
+)
 from repro.service.shard import ShardCore, shard_main
 from repro.service.server import DetectionService, ServiceConfig, ShardHandle
-from repro.service.client import ServiceClient
+from repro.service.client import (
+    CircuitOpenError,
+    IDEMPOTENT_OPS,
+    RETRYABLE_CODES,
+    ResilientServiceClient,
+    RetryPolicy,
+    ServiceClient,
+)
+from repro.service.chaos import (
+    NET_FAULT_KINDS,
+    ChaosTransport,
+    NetFaultPlan,
+    NetFaultSpec,
+)
 
 __all__ = [
     "PROTOCOL_VERSION",
+    "MAX_LINE_BYTES",
     "TENANT_OPS",
     "ADMIN_OPS",
     "MUTATING_OPS",
@@ -56,10 +80,20 @@ __all__ = [
     "Tenant",
     "MAX_TENANT_SIDE",
     "SNAPSHOT_KIND",
+    "IDEM_WINDOW",
     "ShardCore",
     "shard_main",
     "DetectionService",
     "ServiceConfig",
     "ShardHandle",
     "ServiceClient",
+    "ResilientServiceClient",
+    "RetryPolicy",
+    "CircuitOpenError",
+    "RETRYABLE_CODES",
+    "IDEMPOTENT_OPS",
+    "ChaosTransport",
+    "NetFaultPlan",
+    "NetFaultSpec",
+    "NET_FAULT_KINDS",
 ]

@@ -1,0 +1,465 @@
+"""Wire-level chaos: a deterministic fault-injecting NDJSON proxy.
+
+:class:`ChaosTransport` sits between a client and any TCP/Unix service
+endpoint and misbehaves *on schedule*: a :class:`NetFaultPlan` is the
+wire-side sibling of :class:`repro.faults.plan.FaultPlan` — a named,
+JSON-round-trippable bundle of :class:`NetFaultSpec`\\ s that hashes
+canonically (:meth:`NetFaultPlan.plan_hash`), so a chaos campaign
+scenario can be replayed from its plan alone.
+
+Time is counted in **visits**, exactly like the hardware fault plans:
+one visit is one wire line observed per connection per direction
+(``c2s`` = client-to-server requests, ``s2c`` = responses).  A spec is
+active for visits ``at <= v < at + duration``, or periodically every
+``every`` visits from ``at`` — periodic resets are how a scenario
+injects repeated connection loss without livelocking a reconnecting
+client (each incarnation makes progress before the next cut).
+
+The eight fault kinds (:data:`NET_FAULT_KINDS`):
+
+===========  ==========================================================
+kind         effect on the visited line
+===========  ==========================================================
+delay        hold the line for ``delay_s`` (default 0.05) seconds
+drop         swallow the line entirely
+duplicate    forward the line twice
+reorder      hold the line; emit it *after* the next line
+truncate     forward only a prefix — a torn line, framing preserved
+corrupt      overwrite a span with ``0xFF`` (never decodable, so the
+             receiver can *never* mistake it for a real answer)
+reset        abort the TCP connection (both halves)
+slow_loris   half-write: a few bytes, a stall, then the rest
+===========  ==========================================================
+
+``corrupt`` deliberately writes invalid UTF-8 rather than flipping
+random bits: a bit-flip could, with tiny probability, yield valid JSON
+that matches a pending request id — a *forged* response the oracle
+could never distinguish from a wrong answer.  Guaranteed-undecodable
+garbage keeps the chaos layer falsifiable: any decodable line that
+reaches a peer really was sent by the other peer.
+
+Randomness (truncate points, corrupt spans) comes from a per-connection
+:class:`random.Random` seeded from ``(plan seed, connection index,
+direction)``, so a scenario's byte stream is reproducible.
+
+Everything observable lands in ``service.chaos.*`` metrics and
+``net_fault`` flight events.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import json
+from dataclasses import dataclass, field
+from random import Random
+from typing import Any, Mapping, Optional
+
+from repro.errors import ConfigurationError, ServiceError
+from repro.obs import NULL_OBS, Observability
+from repro.service.protocol import MAX_LINE_BYTES
+
+#: The eight wire fault kinds.
+NET_FAULT_KINDS = ("delay", "drop", "duplicate", "reorder", "truncate",
+                   "corrupt", "reset", "slow_loris")
+
+#: Spec ``direction`` values (``both`` matches either pump).
+DIRECTIONS = ("c2s", "s2c", "both")
+
+
+@dataclass(frozen=True)
+class NetFaultSpec:
+    """One scheduled wire fault on one traffic direction."""
+
+    kind: str
+    #: ``c2s`` (requests), ``s2c`` (responses) or ``both``.
+    direction: str = "both"
+    #: First active visit (0-based, per connection per direction).
+    at: int = 0
+    #: Consecutive active visits per activation.
+    duration: int = 1
+    #: Periodic re-activation every N visits from ``at`` (None = once).
+    every: Optional[int] = None
+    #: Kind knobs: ``delay_s`` / ``pause_s`` (seconds), ``span``
+    #: (corrupt bytes), ``keep`` (truncate prefix bytes).
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def validate(self) -> None:
+        if self.kind not in NET_FAULT_KINDS:
+            raise ConfigurationError(
+                f"unknown net fault kind {self.kind!r}; known: "
+                f"{list(NET_FAULT_KINDS)}")
+        if self.direction not in DIRECTIONS:
+            raise ConfigurationError(
+                f"direction must be one of {DIRECTIONS}, "
+                f"not {self.direction!r}")
+        if self.at < 0:
+            raise ConfigurationError(f"{self.kind}: at must be >= 0")
+        if self.duration < 1:
+            raise ConfigurationError(
+                f"{self.kind}: duration must be >= 1")
+        if self.every is not None and self.every < 1:
+            raise ConfigurationError(
+                f"{self.kind}: every must be >= 1")
+
+    def matches(self, direction: str) -> bool:
+        return self.direction == "both" or self.direction == direction
+
+    def active_at(self, visit: int) -> bool:
+        if visit < self.at:
+            return False
+        offset = visit - self.at
+        if self.every is not None:
+            offset %= self.every
+        return offset < self.duration
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "direction": self.direction,
+            "at": self.at,
+            "duration": self.duration,
+            "every": self.every,
+            "params": dict(self.params),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "NetFaultSpec":
+        try:
+            spec = cls(kind=data["kind"],
+                       direction=data.get("direction", "both"),
+                       at=int(data.get("at", 0)),
+                       duration=int(data.get("duration", 1)),
+                       every=(int(data["every"])
+                              if data.get("every") is not None else None),
+                       params=dict(data.get("params", {})))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigurationError(
+                f"malformed net fault spec: {exc}") from exc
+        spec.validate()
+        return spec
+
+
+@dataclass(frozen=True)
+class NetFaultPlan:
+    """A named, seeded, ordered bundle of wire fault specs."""
+
+    name: str
+    specs: tuple = ()
+    #: Root seed for the per-connection RNGs (truncate/corrupt points).
+    seed: int = 0
+
+    def validate(self) -> None:
+        if not self.name:
+            raise ConfigurationError("net fault plan needs a name")
+        for spec in self.specs:
+            spec.validate()
+
+    def kinds(self) -> tuple[str, ...]:
+        return tuple(sorted({spec.kind for spec in self.specs}))
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "seed": self.seed,
+                "specs": [spec.to_dict() for spec in self.specs]}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "NetFaultPlan":
+        try:
+            plan = cls(name=data["name"],
+                       seed=int(data.get("seed", 0)),
+                       specs=tuple(NetFaultSpec.from_dict(item)
+                                   for item in data.get("specs", ())))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigurationError(
+                f"malformed net fault plan: {exc}") from exc
+        plan.validate()
+        return plan
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "NetFaultPlan":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(
+                f"net fault plan is not JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+    def plan_hash(self) -> str:
+        """sha256 fingerprint of the canonical JSON form."""
+        canonical = json.dumps(self.to_dict(), sort_keys=True,
+                               separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def _derive_rng(seed: int, connection: int, direction: str) -> Random:
+    """Stable per-(connection, direction) RNG from the plan seed."""
+    digest = hashlib.sha256(
+        f"{seed}:{connection}:{direction}".encode("utf-8")).digest()
+    return Random(int.from_bytes(digest[:8], "big"))
+
+
+class _Abort(Exception):
+    """Internal: a reset fault fired; tear the connection down."""
+
+
+class ChaosTransport:
+    """A line-framed chaos proxy in front of one service endpoint.
+
+    Listens on TCP, forwards to a TCP or Unix endpoint, and applies the
+    plan's faults per line.  Start/stop::
+
+        proxy = ChaosTransport(plan, target_port=service.tcp_port)
+        await proxy.start()
+        client = await ServiceClient.connect_tcp("127.0.0.1",
+                                                 proxy.listen_port)
+        ...
+        await proxy.stop()
+    """
+
+    def __init__(self, plan: NetFaultPlan,
+                 target_host: str = "127.0.0.1",
+                 target_port: Optional[int] = None,
+                 target_unix: Optional[str] = None,
+                 obs: Optional[Observability] = None) -> None:
+        plan.validate()
+        if (target_port is None) == (target_unix is None):
+            raise ServiceError(
+                "chaos proxy needs exactly one of target_port / "
+                "target_unix")
+        self.plan = plan
+        self.target_host = target_host
+        self.target_port = target_port
+        self.target_unix = target_unix
+        self.obs = obs if obs is not None else NULL_OBS
+        self._server = None
+        self._connections = 0
+        self._tasks: set = set()
+        #: Faults applied, per kind (also mirrored into metrics).
+        self.fired: dict[str, int] = {kind: 0 for kind in NET_FAULT_KINDS}
+        metrics = self.obs.metrics
+        self._c_connections = metrics.counter(
+            "service.chaos.connections", "connections proxied")
+        self._c_lines = metrics.counter(
+            "service.chaos.lines", "wire lines forwarded")
+        self._c_kind = {
+            kind: metrics.counter(
+                f"service.chaos.{kind}", f"{kind} faults applied")
+            for kind in NET_FAULT_KINDS}
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def start(self, host: str = "127.0.0.1",
+                    port: int = 0) -> None:
+        if self._server is not None:
+            raise ServiceError("chaos proxy already started")
+        self._server = await asyncio.start_server(
+            self._handle, host=host, port=port, limit=MAX_LINE_BYTES)
+
+    @property
+    def listen_port(self) -> Optional[int]:
+        if self._server is None:
+            return None
+        for sock in self._server.sockets:
+            name = sock.getsockname()
+            if isinstance(name, tuple):
+                return name[1]
+        return None
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._tasks):
+            task.cancel()
+        for task in list(self._tasks):
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        self._tasks.clear()
+
+    # -- proxying ------------------------------------------------------
+
+    async def _handle(self, client_reader, client_writer) -> None:
+        connection = self._connections
+        self._connections += 1
+        if self.obs.enabled:
+            self._c_connections.inc()
+        try:
+            if self.target_unix is not None:
+                upstream = await asyncio.open_unix_connection(
+                    self.target_unix, limit=MAX_LINE_BYTES)
+            else:
+                upstream = await asyncio.open_connection(
+                    self.target_host, self.target_port,
+                    limit=MAX_LINE_BYTES)
+        except OSError:
+            client_writer.close()
+            return
+        server_reader, server_writer = upstream
+        pumps = [
+            asyncio.create_task(self._pump(
+                client_reader, server_writer, "c2s", connection)),
+            asyncio.create_task(self._pump(
+                server_reader, client_writer, "s2c", connection)),
+        ]
+        for task in pumps:
+            self._tasks.add(task)
+            task.add_done_callback(self._tasks.discard)
+        try:
+            # Wait for BOTH pumps: each closes its own writer on exit,
+            # which EOFs the peer and ends the other pump — so a clean
+            # client close still lets in-flight responses (and a held
+            # reordered line) drain instead of being cancelled mid-wire.
+            await asyncio.wait(pumps, return_when=asyncio.ALL_COMPLETED)
+        finally:
+            for task in pumps:
+                task.cancel()
+            for writer in (client_writer, server_writer):
+                try:
+                    writer.close()
+                except (ConnectionResetError, BrokenPipeError, OSError):
+                    pass
+
+    def _fired(self, kind: str, direction: str, connection: int,
+               visit: int) -> None:
+        self.fired[kind] += 1
+        if self.obs.enabled:
+            self._c_kind[kind].inc()
+        if self.obs.flight.enabled:
+            self.obs.flight.mark(
+                "net_fault", actor="chaos", fault=kind,
+                direction=direction, connection=connection, visit=visit)
+
+    async def _pump(self, reader, writer, direction: str,
+                    connection: int) -> None:
+        rng = _derive_rng(self.plan.seed, connection, direction)
+        visit = 0
+        held: Optional[bytes] = None
+        aborted = False
+        specs = [spec for spec in self.plan.specs
+                 if spec.matches(direction)]
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ValueError, ConnectionResetError, OSError):
+                    raise _Abort() from None
+                if not line:
+                    break
+                active = [spec for spec in specs
+                          if spec.active_at(visit)]
+                this_visit = visit
+                visit += 1
+                emit = [line]
+                slow: Optional[float] = None
+                for spec in active:
+                    kind = spec.kind
+                    if kind == "delay":
+                        self._fired(kind, direction, connection,
+                                    this_visit)
+                        await asyncio.sleep(float(
+                            spec.params.get("delay_s", 0.05)))
+                    elif kind == "drop":
+                        self._fired(kind, direction, connection,
+                                    this_visit)
+                        emit = []
+                    elif kind == "duplicate":
+                        self._fired(kind, direction, connection,
+                                    this_visit)
+                        emit = [chunk for chunk in emit
+                                for _ in range(2)]
+                    elif kind == "reorder" and held is None and emit:
+                        self._fired(kind, direction, connection,
+                                    this_visit)
+                        held = emit.pop(0)
+                    elif kind == "truncate":
+                        self._fired(kind, direction, connection,
+                                    this_visit)
+                        emit = [self._truncate(chunk, spec, rng)
+                                for chunk in emit]
+                    elif kind == "corrupt":
+                        self._fired(kind, direction, connection,
+                                    this_visit)
+                        emit = [self._corrupt(chunk, spec, rng)
+                                for chunk in emit]
+                    elif kind == "reset":
+                        self._fired(kind, direction, connection,
+                                    this_visit)
+                        raise _Abort()
+                    elif kind == "slow_loris":
+                        self._fired(kind, direction, connection,
+                                    this_visit)
+                        slow = float(spec.params.get("pause_s", 0.05))
+                if held is not None and emit:
+                    # The reordered line rides out *behind* this one.
+                    emit.append(held)
+                    held = None
+                for chunk in emit:
+                    if self.obs.enabled:
+                        self._c_lines.inc()
+                    if slow is not None:
+                        split = max(1, len(chunk) // 2)
+                        writer.write(chunk[:split])
+                        await writer.drain()
+                        await asyncio.sleep(slow)
+                        writer.write(chunk[split:])
+                    else:
+                        writer.write(chunk)
+                    await writer.drain()
+        except (_Abort, asyncio.CancelledError,
+                ConnectionResetError, BrokenPipeError, OSError):
+            held = None                  # torn down, nothing to flush
+            aborted = True
+        finally:
+            if held is not None:
+                # EOF with a reordered line still held: flush it so a
+                # reorder at the stream tail never becomes a drop.
+                try:
+                    writer.write(held)
+                    await writer.drain()
+                except (ConnectionResetError, BrokenPipeError, OSError):
+                    pass
+            # Graceful EOF half-closes so in-flight replies on the
+            # other pump still drain; an abort tears the socket down.
+            try:
+                if not aborted and writer.can_write_eof():
+                    writer.write_eof()
+                else:
+                    writer.close()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    @staticmethod
+    def _truncate(line: bytes, spec: NetFaultSpec, rng: Random) -> bytes:
+        """A torn line: a strict prefix, framing newline preserved."""
+        body = line.rstrip(b"\n")
+        if len(body) < 2:
+            return line
+        keep = spec.params.get("keep")
+        cut = (min(int(keep), len(body) - 1) if keep is not None
+               else rng.randrange(1, len(body)))
+        return body[:cut] + b"\n"
+
+    @staticmethod
+    def _corrupt(line: bytes, spec: NetFaultSpec, rng: Random) -> bytes:
+        """Overwrite a span with 0xFF: guaranteed undecodable, so the
+        receiver can never mistake it for a forged-but-valid answer."""
+        body = bytearray(line.rstrip(b"\n"))
+        if not body:
+            return line
+        span = min(int(spec.params.get("span", 4)), len(body))
+        start = rng.randrange(0, len(body) - span + 1)
+        body[start:start + span] = b"\xff" * span
+        return bytes(body) + b"\n"
+
+    async def __aenter__(self) -> "ChaosTransport":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *_exc: Any) -> None:
+        await self.stop()

@@ -27,6 +27,16 @@ Admin/introspection ops (answered immediately, never queued): ``ping``,
 ``stats``, ``shards``, ``migrate`` (``tenant``, ``shard``),
 ``rebalance``, ``shutdown``.
 
+Protocol v2 adds two optional request fields for resilient clients:
+
+* ``deadline_ms`` — a relative per-request budget; the server sheds an
+  op it cannot dispatch within the budget with ``deadline-exceeded``
+  instead of serving a stale answer (shedding only happens *before*
+  dispatch, so a shed mutation was definitely not applied);
+* ``idem`` — an idempotency key on ``claim``/``release`` (and
+  ``attach``); a retry carrying the same key is answered from the
+  per-tenant dedup window instead of being applied twice.
+
 Error codes are stable strings (:data:`ERROR_CODES`); ``backpressure``
 and ``admission-rejected`` are the bounded-queue / capacity responses a
 well-behaved client backs off on.
@@ -40,7 +50,15 @@ from typing import Any, Optional
 from repro.errors import ServiceError
 
 #: Bumped on any incompatible wire change; echoed by ``ping``.
-PROTOCOL_VERSION = 1
+#: v2: optional ``deadline_ms``/``idem`` request fields (both ignored
+#: harmlessly by a v1 server, so v1 clients interoperate unchanged).
+PROTOCOL_VERSION = 2
+
+#: Longest accepted wire line (requests *and* responses).  Anything
+#: longer is a framing error: the line is refused with ``bad-request``
+#: and the connection is closed, because the remainder of the oversized
+#: line would otherwise be misparsed as new messages.
+MAX_LINE_BYTES = 1_048_576
 
 #: Ops that mutate or read one tenant and ride the per-tick batches.
 TENANT_OPS = frozenset(("attach", "claim", "release", "detect", "detach"))
@@ -62,6 +80,7 @@ ERROR_CODES = frozenset((
     "protocol-violation",   # op violates the resource protocol
     "shard-lost",           # shard died and the op could not be replayed
     "shutting-down",        # server is draining
+    "deadline-exceeded",    # op shed: could not dispatch within deadline_ms
     "internal",             # unexpected server-side failure
 ))
 
@@ -84,12 +103,27 @@ def encode_message(message: dict) -> bytes:
 
 
 def decode_line(line: bytes) -> dict:
-    """Parse one wire line; raises :class:`ServiceOpError` on bad JSON."""
+    """Parse one wire line; raises :class:`ServiceOpError` on bad input.
+
+    Every malformed shape a hostile or chaos-mangled peer can produce —
+    truncated JSON, corrupt (non-UTF-8) bytes, oversized lines, scalars
+    instead of objects — maps to the stable ``bad-request`` code; the
+    caller decides whether the connection can keep its framing.
+    """
+    if len(line) > MAX_LINE_BYTES:
+        raise ServiceOpError(
+            "bad-request",
+            f"line of {len(line)} bytes exceeds {MAX_LINE_BYTES}")
     try:
         message = json.loads(line)
     except json.JSONDecodeError as exc:
         raise ServiceOpError("bad-request",
                              f"request is not valid JSON: {exc}") from exc
+    except (UnicodeDecodeError, ValueError) as exc:
+        # json.loads raises a bare UnicodeDecodeError (not a
+        # JSONDecodeError) on corrupt UTF-8 — chaos bit-flips land here.
+        raise ServiceOpError("bad-request",
+                             f"request is not decodable: {exc}") from exc
     if not isinstance(message, dict):
         raise ServiceOpError(
             "bad-request",
@@ -98,7 +132,7 @@ def decode_line(line: bytes) -> dict:
 
 
 def validate_request(message: dict) -> str:
-    """Check the ``op``/``tenant`` shape; returns the op name."""
+    """Check the ``op``/``tenant``/v2-field shape; returns the op name."""
     op = message.get("op")
     if not isinstance(op, str):
         raise ServiceOpError("bad-request", "request needs a string 'op'")
@@ -111,6 +145,21 @@ def validate_request(message: dict) -> str:
         if not isinstance(tenant, str) or not tenant:
             raise ServiceOpError(
                 "bad-request", f"op {op!r} needs a non-empty 'tenant'")
+    deadline_ms = message.get("deadline_ms")
+    if deadline_ms is not None:
+        if (isinstance(deadline_ms, bool)
+                or not isinstance(deadline_ms, (int, float))
+                or deadline_ms <= 0):
+            raise ServiceOpError(
+                "bad-request",
+                f"'deadline_ms' must be a positive number, "
+                f"got {deadline_ms!r}")
+    idem = message.get("idem")
+    if idem is not None:
+        if not isinstance(idem, str) or not idem or len(idem) > 256:
+            raise ServiceOpError(
+                "bad-request",
+                "'idem' must be a non-empty string of <= 256 chars")
     return op
 
 

@@ -46,6 +46,7 @@ from repro.errors import ServiceError
 from repro.obs import Observability
 from repro.service.protocol import (
     ADMIN_OPS,
+    MAX_LINE_BYTES,
     MUTATING_OPS,
     PROTOCOL_VERSION,
     ServiceOpError,
@@ -80,6 +81,9 @@ class ServiceConfig:
     snapshot_every: int = 64
     #: A batch unanswered this long marks the shard dead.
     shard_timeout: float = 30.0
+    #: ``stop()`` waits this long for dispatched ops to settle before
+    #: closing connections (was a hard-coded 2.0s).
+    drain_timeout: float = 2.0
     #: Forwarded to :func:`repro.rag.batch.batch_plane` (None = auto).
     vectorized: Optional[bool] = None
 
@@ -104,7 +108,8 @@ class _TenantRecord:
     """Front-end bookkeeping for one tenant."""
 
     __slots__ = ("tenant_id", "shard_id", "snapshot", "journal",
-                 "outstanding", "inflight", "migrating", "held")
+                 "outstanding", "inflight", "migrating", "held",
+                 "attach_idem", "attach_response")
 
     def __init__(self, tenant_id: str, shard_id: int,
                  snapshot: dict) -> None:
@@ -121,6 +126,12 @@ class _TenantRecord:
         self.migrating = False
         #: Ops parked while a migration is in progress.
         self.held: list = []
+        #: The ``idem`` key the creating attach carried (if any), plus
+        #: the recorded response payload once it was acked — a retried
+        #: attach with the same key replays the answer instead of
+        #: hitting ``duplicate-tenant``.
+        self.attach_idem: Optional[str] = None
+        self.attach_response: Optional[dict] = None
 
 
 class ShardHandle:
@@ -279,6 +290,7 @@ class DetectionService:
         self.tenants: dict[str, _TenantRecord] = {}
         self.shards: list[ShardHandle] = []
         self._queue: list = []          # _QueuedOp, arrival order
+        self._connections: set = set()  # live client writers (drain)
         self._queued_ops = 0
         self._tick_task = None
         self._servers: list = []
@@ -314,6 +326,12 @@ class DetectionService:
         self._c_replayed = metrics.counter(
             "service.journal_replayed",
             "journaled mutations replayed during recovery")
+        self._c_deduped = metrics.counter(
+            "service.deduped",
+            "retried mutations answered from the idempotency window")
+        self._c_deadline = metrics.counter(
+            "service.deadline_exceeded",
+            "operations shed before dispatch (deadline_ms expired)")
         self._g_tenants = metrics.gauge(
             "service.tenants", "live tenants")
         self._g_pending = metrics.gauge(
@@ -345,10 +363,12 @@ class DetectionService:
         self._g_shards.set(len(self.shards))
         if host is not None:
             self._servers.append(await asyncio.start_server(
-                self._handle_connection, host=host, port=port or 0))
+                self._handle_connection, host=host, port=port or 0,
+                limit=MAX_LINE_BYTES))
         if unix_path is not None:
             self._servers.append(await asyncio.start_unix_server(
-                self._handle_connection, path=unix_path))
+                self._handle_connection, path=unix_path,
+                limit=MAX_LINE_BYTES))
         self._tick_task = asyncio.create_task(self._tick_loop())
 
     @property
@@ -371,7 +391,7 @@ class DetectionService:
                 await self._tick_task
             except asyncio.CancelledError:
                 pass
-        deadline = time.monotonic() + 2.0
+        deadline = time.monotonic() + self.config.drain_timeout
         while (any(record.inflight for record in self.tenants.values())
                and time.monotonic() < deadline):
             await asyncio.sleep(0.005)
@@ -384,6 +404,22 @@ class DetectionService:
                 queued.future.set_result(error_response(
                     queued.message, "shutting-down"))
         self._queue.clear()
+        # Graceful connection drain: every accepted op has been settled
+        # (answered or refused ``shutting-down``) by now, so give each
+        # live connection a moment to flush its response lines, then
+        # close — clients see complete answers, never a mid-line cut.
+        for writer in list(self._connections):
+            try:
+                await asyncio.wait_for(writer.drain(),
+                                       self.config.drain_timeout)
+            except (ConnectionResetError, BrokenPipeError, OSError,
+                    asyncio.TimeoutError):
+                pass
+            try:
+                writer.close()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+        self._connections.clear()
         for handle in self.shards:
             handle.stop()
 
@@ -392,9 +428,19 @@ class DetectionService:
     async def _handle_connection(self, reader, writer) -> None:
         lock = asyncio.Lock()
         tasks: set = set()
+        self._connections.add(writer)
         try:
             while True:
-                line = await reader.readline()
+                try:
+                    line = await reader.readline()
+                except ValueError:
+                    # Oversized line: the stream limit fired and the
+                    # framing is lost — refuse and drop the connection
+                    # (other clients' handlers are unaffected).
+                    await self._write(writer, lock, error_response(
+                        None, "bad-request",
+                        f"line exceeds {MAX_LINE_BYTES} bytes"))
+                    break
                 if not line:
                     break
                 if not line.strip():
@@ -420,6 +466,7 @@ class DetectionService:
         except (ConnectionResetError, BrokenPipeError):
             pass
         finally:
+            self._connections.discard(writer)
             for task in tasks:
                 task.cancel()
             try:
@@ -485,7 +532,24 @@ class DetectionService:
     def _submit_attach(self, message: dict,
                        future: "asyncio.Future") -> "asyncio.Future":
         tenant_id = message["tenant"]
-        if tenant_id in self.tenants:
+        existing = self.tenants.get(tenant_id)
+        if existing is not None:
+            idem = message.get("idem")
+            if idem is not None and idem == existing.attach_idem:
+                # A retried attach whose first try's ack was lost on
+                # the wire: replay the recorded answer — or, if the
+                # original is still in flight, ask for a later retry.
+                if existing.attach_response is not None:
+                    self._c_deduped.inc()
+                    future.set_result(ok_response(
+                        message, deduped=True,
+                        **existing.attach_response))
+                else:
+                    self._c_backpressure.inc()
+                    future.set_result(error_response(
+                        message, "backpressure",
+                        "attach still in flight; retry"))
+                return future
             self._c_errors.inc()
             future.set_result(error_response(
                 message, "duplicate-tenant",
@@ -516,6 +580,7 @@ class DetectionService:
             return future
         envelope = tenant.snapshot_state()
         record = _TenantRecord(tenant_id, handle.shard_id, envelope)
+        record.attach_idem = message.get("idem")
         self.tenants[tenant_id] = record
         self._g_tenants.set(len(self.tenants))
         self._c_requests.inc()
@@ -546,7 +611,16 @@ class DetectionService:
         """Drain the queue into one command stream per shard."""
         queue, self._queue = self._queue, []
         streams: dict[int, list] = {}
+        now = time.monotonic()
         for queued in queue:
+            deadline_ms = queued.message.get("deadline_ms")
+            if (deadline_ms is not None
+                    and now - queued.enqueued > deadline_ms / 1000.0):
+                # Shed *before* dispatch only: a shed mutation was
+                # definitely never applied, so the client may retry it
+                # with the same idempotency key at no risk.
+                self._shed(queued)
+                continue
             record = self.tenants.get(queued.message["tenant"])
             if record is None:
                 # Detached (or dropped by a failed attach) in between.
@@ -581,6 +655,23 @@ class DetectionService:
     def _shard(self, shard_id: int) -> ShardHandle:
         return self.shards[shard_id]
 
+    def _shed(self, queued: _QueuedOp) -> None:
+        """Answer ``deadline-exceeded`` for an op that sat out its
+        budget in the queue (never dispatched)."""
+        message = queued.message
+        self._c_deadline.inc()
+        self._c_errors.inc()
+        if message["op"] == "attach":
+            # The tenant record was provisionally created at submit
+            # time; drop it exactly like a failed attach would.
+            record = self.tenants.get(message["tenant"])
+            if record is not None and record.attach_response is None:
+                self.tenants.pop(record.tenant_id, None)
+                self._g_tenants.set(len(self.tenants))
+        self._settle(queued, error_response(
+            message, "deadline-exceeded",
+            f"not dispatched within {message.get('deadline_ms')}ms"))
+
     async def _finish_attach(self, queued: _QueuedOp, future) -> None:
         record = self.tenants.get(queued.message["tenant"])
         try:
@@ -598,12 +689,14 @@ class DetectionService:
                 queued.message, "internal", str(reply)))
             return
         matrix_state = record.snapshot["state"]["matrix"]["state"]
-        self._settle(queued, ok_response(
-            queued.message, attached=True,
-            m=len(matrix_state["resource_names"]),
-            n=len(matrix_state["process_names"]),
-            shard=record.shard_id,
-            state_hash=record.snapshot["state_hash"]))
+        payload = {"attached": True,
+                   "m": len(matrix_state["resource_names"]),
+                   "n": len(matrix_state["process_names"]),
+                   "shard": record.shard_id,
+                   "state_hash": record.snapshot["state_hash"]}
+        if record.attach_idem is not None:
+            record.attach_response = dict(payload)
+        self._settle(queued, ok_response(queued.message, **payload))
 
     async def _finish_batch(self, batch: list, future) -> None:
         try:
@@ -624,7 +717,15 @@ class DetectionService:
                 record.inflight = max(0, record.inflight - 1)
             if response.get("ok"):
                 op = message["op"]
-                if op in MUTATING_OPS and record is not None:
+                if (op in MUTATING_OPS and record is not None
+                        and response.get("deduped")):
+                    # Replayed from the idempotency window: nothing was
+                    # applied, so journaling it again would double-apply
+                    # on crash replay.  (Defense in depth — the tenant
+                    # dedups journal replay too, since journaled
+                    # messages carry their ``idem`` keys.)
+                    self._c_deduped.inc()
+                elif op in MUTATING_OPS and record is not None:
                     record.journal.append(message)
                     if (len(record.journal)
                             >= self.config.snapshot_every):
@@ -727,8 +828,19 @@ class DetectionService:
             raise ServiceOpError("shard-lost",
                                  f"shard {target_shard} is down")
         if record.shard_id == target_shard:
+            # Already there — e.g. a retried migrate whose first reply
+            # was lost in flight.  Still answer with the live digest so
+            # the caller can verify state regardless of which attempt
+            # actually moved the tenant.
+            while record.inflight:
+                await asyncio.sleep(self.config.tick_interval)
+            kind, envelope = await target.request("snapshot", tenant_id)
+            if kind != "snapshot":
+                raise ServiceOpError("internal",
+                                     f"snapshot failed: {envelope}")
             return {"tenant": tenant_id, "shard": target_shard,
-                    "moved": False}
+                    "moved": False,
+                    "state_hash": envelope["state_hash"]}
         if record.migrating:
             raise ServiceOpError("bad-request",
                                  f"tenant {tenant_id!r} is already "
@@ -829,9 +941,10 @@ class DetectionService:
                         if kind == "ok" and isinstance(reply, dict):
                             entry.update({
                                 key: reply[key] for key in (
-                                    "ops", "batches", "detect_batches",
-                                    "dirty_tenants", "skipped_detects",
-                                    "repacks", "plane_grows",
+                                    "ops", "deduped", "batches",
+                                    "detect_batches", "dirty_tenants",
+                                    "skipped_detects", "repacks",
+                                    "plane_grows",
                                     "unpacked_fallbacks")
                                 if key in reply})
                     entries.append(entry)
@@ -880,6 +993,8 @@ class DetectionService:
             "shard_crashes": self._c_crashes.value,
             "rebalanced_tenants": self._c_rebalanced.value,
             "journal_replayed": self._c_replayed.value,
+            "deduped": self._c_deduped.value,
+            "deadline_exceeded": self._c_deadline.value,
             "grant_latency": _percentiles(self._h_grant),
             "verdict_latency": _percentiles(self._h_verdict),
         }

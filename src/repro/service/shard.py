@@ -85,6 +85,9 @@ class ShardCore:
         self.obs = obs if obs is not None else NULL_OBS
         self.tenants: dict[str, Tenant] = {}
         self.ops_applied = 0
+        #: Mutations answered from a tenant's idempotency window
+        #: instead of re-applied (retried over a lossy wire).
+        self.deduped = 0
         self.batches = 0
         #: Reductions actually run (cache hits answer without one).
         self.detect_batches = 0
@@ -130,6 +133,7 @@ class ShardCore:
                     "shard": self.shard_id,
                     "tenants": len(self.tenants),
                     "ops": self.ops_applied,
+                    "deduped": self.deduped,
                     "batches": self.batches,
                     "detect_batches": self.detect_batches,
                     "dirty_tenants": self.dirty_reduced,
@@ -161,15 +165,17 @@ class ShardCore:
                 if name == "detect":
                     detect_slots.setdefault(tenant.tenant_id,
                                             []).append(index)
-                elif name == "claim":
-                    responses[index] = ok_response(op, **tenant.claim(op))
-                    self.ops_applied += 1
-                    self._sync_touched(tenant)
-                elif name == "release":
-                    responses[index] = ok_response(op,
-                                                   **tenant.release(op))
-                    self.ops_applied += 1
-                    self._sync_touched(tenant)
+                elif name in ("claim", "release"):
+                    result = (tenant.claim(op) if name == "claim"
+                              else tenant.release(op))
+                    responses[index] = ok_response(op, **result)
+                    if result.get("deduped"):
+                        # Idempotent replay: answered from the dedup
+                        # window, nothing mutated, nothing to sync.
+                        self.deduped += 1
+                    else:
+                        self.ops_applied += 1
+                        self._sync_touched(tenant)
                 elif name == "detach":
                     self.tenants.pop(tenant.tenant_id)
                     self._forget(tenant.tenant_id)

@@ -16,6 +16,17 @@ snapshot needs no auxiliary queue state:
 oracle can replay exactly the prefix a verdict reflects (the soak and
 the campaign checker do).
 
+Mutations may carry an ``idem`` idempotency key (protocol v2): the
+tenant keeps a bounded window of the last :data:`IDEM_WINDOW` applied
+keys with their recorded responses, and a retry carrying a seen key is
+answered from the window *without touching the matrix* — the
+exactly-once contract resilient clients rely on when a response line is
+lost to the network.  The window rides along with the tenant: it lives
+in the snapshot envelope as an **unhashed sibling** (``"idem"``), so it
+survives migration and shard-crash restore, while ``state_hash`` stays
+a pure function of the matrix + counters — a chaos-disturbed run hashes
+identically to its undisturbed twin.
+
 Snapshots use the :mod:`repro.checkpoint` envelope protocol (kind
 ``service.tenant``) and nest the matrix's own envelope, so the
 migration differential can compare ``state_hash`` before and after a
@@ -39,6 +50,12 @@ from repro.service.protocol import ServiceOpError
 MAX_TENANT_SIDE = 512
 
 SNAPSHOT_KIND = "service.tenant"
+
+#: Bounded per-tenant dedup window: the most recent applied
+#: idempotency keys (and their recorded responses) a retry can still be
+#: answered from.  A retry older than this re-applies — clients bound
+#: their retry budgets far below it.
+IDEM_WINDOW = 128
 
 
 def _build_matrix(spec: Mapping[str, Any]) -> BitMatrix:
@@ -74,7 +91,8 @@ class Tenant:
     """One tenant's matrix plus its service-side counters."""
 
     __slots__ = ("tenant_id", "matrix", "op_seq", "grants", "blocked",
-                 "releases", "detects", "touched")
+                 "releases", "detects", "touched", "idem_seen",
+                 "deduped")
 
     def __init__(self, tenant_id: str, matrix: BitMatrix) -> None:
         self.tenant_id = tenant_id
@@ -89,6 +107,11 @@ class Tenant:
         #: ``(s, t)`` cells mutated since the shard last drained them
         #: into its persistent plane (incremental repack avoidance).
         self.touched: list[tuple[int, int]] = []
+        #: Bounded ``idem -> recorded response`` window (insertion
+        #: ordered; oldest evicted past :data:`IDEM_WINDOW`).
+        self.idem_seen: dict[str, dict] = {}
+        #: Mutations answered from the window instead of re-applied.
+        self.deduped = 0
 
     @classmethod
     def from_attach(cls, tenant_id: str,
@@ -116,7 +139,31 @@ class Tenant:
                 f"{self.tenant_id!r}") from None
         return s, t, process, resource
 
+    # -- idempotent-retry dedup ----------------------------------------
+
+    def _idem_hit(self, op: Mapping[str, Any]) -> Optional[dict]:
+        """The recorded response for a replayed idempotency key, if any."""
+        idem = op.get("idem")
+        if not idem:
+            return None
+        recorded = self.idem_seen.get(idem)
+        if recorded is None:
+            return None
+        self.deduped += 1
+        return {**recorded, "deduped": True}
+
+    def _idem_record(self, op: Mapping[str, Any], response: dict) -> None:
+        idem = op.get("idem")
+        if not idem:
+            return
+        self.idem_seen[idem] = dict(response)
+        while len(self.idem_seen) > IDEM_WINDOW:
+            self.idem_seen.pop(next(iter(self.idem_seen)))
+
     def claim(self, op: Mapping[str, Any]) -> dict:
+        replayed = self._idem_hit(op)
+        if replayed is not None:
+            return replayed
         s, t, process, resource = self._indices(op)
         cell = self.matrix.get(s, t)
         if cell is CellState.GRANT:
@@ -141,10 +188,15 @@ class Tenant:
             self.grants += 1
         else:
             self.blocked += 1
-        return {"granted": free, "blocked": not free,
-                "op_seq": self.op_seq}
+        response = {"granted": free, "blocked": not free,
+                    "op_seq": self.op_seq}
+        self._idem_record(op, response)
+        return response
 
     def release(self, op: Mapping[str, Any]) -> dict:
+        replayed = self._idem_hit(op)
+        if replayed is not None:
+            return replayed
         s, t, process, resource = self._indices(op)
         if self.matrix.get(s, t) is not CellState.GRANT:
             raise ServiceOpError(
@@ -163,8 +215,10 @@ class Tenant:
             self.touched.append((s, low))
         self.op_seq += 1
         self.releases += 1
-        return {"released": True, "promoted": promoted,
-                "op_seq": self.op_seq}
+        response = {"released": True, "promoted": promoted,
+                    "op_seq": self.op_seq}
+        self._idem_record(op, response)
+        return response
 
     def detect_payload(self, deadlock: bool, iterations: int,
                        passes: int, residual: BitMatrix,
@@ -188,8 +242,15 @@ class Tenant:
         journaled, so including it would make a crash-recovered
         tenant's digest diverge from its uninterrupted twin even though
         every observable response matched.
+
+        The dedup window travels as an *unhashed sibling* key
+        (``"idem"``) of the envelope: it must survive migration and
+        crash restore (a retry may land after the move), but it must
+        not perturb ``state_hash`` — a run whose mutations were retried
+        through chaos hashes identically to the undisturbed run that
+        never needed a key.
         """
-        return snapshot_envelope(SNAPSHOT_KIND, {
+        envelope = snapshot_envelope(SNAPSHOT_KIND, {
             "tenant": self.tenant_id,
             "matrix": self.matrix.snapshot_state(),
             "op_seq": self.op_seq,
@@ -197,6 +258,10 @@ class Tenant:
             "blocked": self.blocked,
             "releases": self.releases,
         })
+        if self.idem_seen:
+            envelope["idem"] = [[key, dict(response)]
+                                for key, response in self.idem_seen.items()]
+        return envelope
 
     @classmethod
     def restore_state(cls, envelope: dict) -> "Tenant":
@@ -207,6 +272,8 @@ class Tenant:
         tenant.grants = int(state["grants"])
         tenant.blocked = int(state["blocked"])
         tenant.releases = int(state["releases"])
+        for key, response in envelope.get("idem", ()):
+            tenant.idem_seen[str(key)] = dict(response)
         return tenant
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

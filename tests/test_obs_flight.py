@@ -86,6 +86,20 @@ def test_mark_autodumps_on_trip_kinds(tmp_path):
     assert names == ["scenario_start", "scenario_end", "fault_trip"]
 
 
+def test_resilience_events_are_trip_kinds(tmp_path):
+    """Circuit transitions and retry storms arm the black box."""
+    from repro.obs.flight import TRIP_KINDS
+    assert {"circuit_open", "circuit_close",
+            "request_retried"} <= TRIP_KINDS
+    target = tmp_path / "bb.json"
+    flight = FlightRecorder()
+    flight.enable()
+    flight.autodump_to(target)
+    flight.mark("request_retried", actor="client", op="claim",
+                attempt=1)
+    assert target.exists()
+
+
 def test_events_to_perfetto_shapes():
     document = events_to_perfetto([
         {"time": 10.0, "actor": "ddu", "kind": "fault_trip",

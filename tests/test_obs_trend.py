@@ -33,10 +33,16 @@ def test_metric_directions():
     assert metric_direction("BENCH_x.guard_cost_ns") == "lower"
     assert metric_direction("BENCH_x.wall_seconds") == "lower"
     assert metric_direction("profile.t5.total_cycles") == "lower"
+    # Resilience metrics: a creeping retry rate or chaos recovery cost
+    # means the wire (or the retry loop) regressed.
+    assert metric_direction("BENCH_service.chaos_retry_rate") == "lower"
+    assert metric_direction("BENCH_service.chaos_wall_seconds") == "lower"
     # Configuration values never gate.
     assert metric_direction("BENCH_x.bound") is None
     assert metric_direction("BENCH_x.min_speedup") is None
     assert metric_direction("BENCH_x.iterations") is None
+    assert metric_direction("BENCH_x.resilient_overhead_bound") is None
+    assert metric_direction("BENCH_x.retry_count") is None
 
 
 # -- ingest --------------------------------------------------------------------

@@ -1,0 +1,200 @@
+"""Seeded fuzzing of the wire protocol and the server accept loop.
+
+Every mangled line a chaotic or hostile peer can produce must map to a
+*stable* outcome: :func:`decode_line` / :func:`validate_request` either
+succeed or raise :class:`ServiceOpError` with a code from
+:data:`ERROR_CODES` (never a bare ``UnicodeDecodeError`` or
+``KeyError``), and a garbage-spewing connection must never take down
+another client's handler.
+
+The generators are seeded ``random.Random`` instances, so a failure
+reproduces byte-identically.
+"""
+
+import asyncio
+import json
+import random
+
+import pytest
+
+from repro.service import (
+    DetectionService,
+    ServiceClient,
+    ServiceConfig,
+)
+from repro.service.protocol import (
+    ERROR_CODES,
+    MAX_LINE_BYTES,
+    ServiceOpError,
+    decode_line,
+    encode_message,
+    validate_request,
+)
+
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+_VALID = encode_message({"op": "claim", "tenant": "t0", "process": "p1",
+                         "resource": "q1", "id": 7, "idem": "k1",
+                         "deadline_ms": 250.0})
+
+
+def _mangle(rng: random.Random, line: bytes) -> bytes:
+    """One of the shapes chaos produces on a real wire."""
+    choice = rng.randrange(5)
+    if choice == 0:                      # truncate mid-JSON
+        cut = rng.randrange(1, len(line))
+        return line[:cut] + b"\n"
+    if choice == 1:                      # corrupt a span with 0xFF
+        start = rng.randrange(len(line) - 2)
+        span = rng.randrange(1, min(8, len(line) - start))
+        return line[:start] + b"\xff" * span + line[start + span:]
+    if choice == 2:                      # swap two bytes
+        data = bytearray(line)
+        a = rng.randrange(len(data) - 1)
+        b = rng.randrange(len(data) - 1)
+        data[a], data[b] = data[b], data[a]
+        return bytes(data)
+    if choice == 3:                      # a JSON scalar, not an object
+        scalar = rng.choice([b"42", b'"text"', b"null", b"true",
+                             b"[1,2,3]", b"3.5"])
+        return scalar + b"\n"
+    return bytes(rng.randrange(256)      # pure noise
+                 for _ in range(rng.randrange(1, 40))) + b"\n"
+
+
+def test_decode_line_fuzz_never_leaks_raw_exceptions():
+    rng = random.Random(20260808)
+    outcomes = {"ok": 0, "refused": 0}
+    for _trial in range(500):
+        line = _mangle(rng, _VALID)
+        try:
+            message = decode_line(line)
+        except ServiceOpError as exc:
+            assert exc.code == "bad-request"
+            assert exc.code in ERROR_CODES
+            outcomes["refused"] += 1
+        else:
+            # A lucky mangle can still be valid JSON — fine, as long
+            # as it decoded to a dict like the contract promises.
+            assert isinstance(message, dict)
+            outcomes["ok"] += 1
+    # The generator must actually produce hostile input.
+    assert outcomes["refused"] > 300
+
+
+def test_decode_line_refuses_oversized_lines():
+    with pytest.raises(ServiceOpError) as excinfo:
+        decode_line(b"x" * (MAX_LINE_BYTES + 1))
+    assert excinfo.value.code == "bad-request"
+
+
+def test_validate_request_fuzz_never_leaks_raw_exceptions():
+    rng = random.Random(4242)
+    ops = [None, 5, True, "", "ping", "claim", "attach", "gamma-ray",
+           ["claim"]]
+    tenants = [None, "", "t0", 3, False, ["t"]]
+    deadlines = [None, -1, 0, 0.0, "soon", True, 250.0, 1]
+    idems = [None, "", "k1", 300 * "x", 7, b"k1"]
+    accepted = 0
+    for _trial in range(400):
+        message = {"op": rng.choice(ops)}
+        if rng.random() < 0.8:
+            message["tenant"] = rng.choice(tenants)
+        if rng.random() < 0.5:
+            message["deadline_ms"] = rng.choice(deadlines)
+        if rng.random() < 0.5:
+            message["idem"] = rng.choice(idems)
+        try:
+            op = validate_request(message)
+        except ServiceOpError as exc:
+            assert exc.code in ERROR_CODES
+        else:
+            assert isinstance(op, str)
+            accepted += 1
+    assert accepted > 0                  # some drawn shapes are valid
+
+
+def test_garbage_connection_cannot_break_a_healthy_client():
+    """Client A spews seeded garbage; client B's session is untouched."""
+    async def scenario():
+        service = DetectionService(ServiceConfig(
+            shards=2, use_processes=False, tick_interval=0.002))
+        await service.start(host="127.0.0.1", port=0)
+        rng = random.Random(7)
+        garbage_reader, garbage_writer = await asyncio.open_connection(
+            "127.0.0.1", service.tcp_port)
+        healthy = await ServiceClient.connect_tcp(
+            "127.0.0.1", service.tcp_port)
+        try:
+            await healthy.attach("t0", m=4, n=4)
+            held = False
+            for round_index in range(30):
+                garbage_writer.write(_mangle(rng, _VALID))
+                await garbage_writer.drain()
+                if round_index % 3 == 0:
+                    if held:
+                        await healthy.release("t0", "p1", "q1")
+                    else:
+                        assert (await healthy.claim(
+                            "t0", "p1", "q1"))["granted"]
+                    held = not held
+            # Every answer the garbage client got is a well-formed
+            # refusal with a stable code.
+            garbage_writer.write_eof()
+            while True:
+                try:
+                    line = await asyncio.wait_for(
+                        garbage_reader.readline(), 1.0)
+                except asyncio.TimeoutError:
+                    break
+                if not line:
+                    break
+                response = json.loads(line)
+                if response.get("ok") is False:
+                    assert response["error"] in ERROR_CODES
+            # The healthy session still works end to end.
+            verdict = await healthy.detect("t0")
+            assert verdict["deadlock"] is False
+            stats = await healthy.stats()
+            assert stats["tenants"] == 1
+        finally:
+            try:
+                garbage_writer.close()
+            except OSError:
+                pass
+            await healthy.close()
+            await service.stop()
+    _run(scenario())
+
+
+def test_oversized_line_drops_only_the_offending_connection():
+    async def scenario():
+        service = DetectionService(ServiceConfig(
+            shards=2, use_processes=False, tick_interval=0.002))
+        await service.start(host="127.0.0.1", port=0)
+        healthy = await ServiceClient.connect_tcp(
+            "127.0.0.1", service.tcp_port)
+        reader, writer = await asyncio.open_connection(
+            "127.0.0.1", service.tcp_port, limit=4 * MAX_LINE_BYTES)
+        try:
+            writer.write(b"{" * (MAX_LINE_BYTES + 10) + b"\n")
+            await writer.drain()
+            line = await asyncio.wait_for(reader.readline(), 5.0)
+            response = json.loads(line)
+            assert response["ok"] is False
+            assert response["error"] == "bad-request"
+            # The framing is gone, so the connection must be closed...
+            assert await asyncio.wait_for(reader.read(), 5.0) == b""
+            # ...but the other client is still being served.
+            assert (await healthy.ping())["ok"] is True
+        finally:
+            try:
+                writer.close()
+            except OSError:
+                pass
+            await healthy.close()
+            await service.stop()
+    _run(scenario())

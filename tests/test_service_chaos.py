@@ -1,0 +1,278 @@
+"""Tests for the wire chaos layer (repro.service.chaos).
+
+The proxy tests run against a trivial NDJSON echo server, so every
+assertion is about the *wire* transformation alone: what goes in, what
+comes out, in which order, and what the ``fired`` ledger says.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError, ServiceError
+from repro.obs import Observability
+from repro.service import (
+    NET_FAULT_KINDS,
+    ChaosTransport,
+    NetFaultPlan,
+    NetFaultSpec,
+)
+from repro.service.chaos import _derive_rng
+
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+# -- specs and plans -----------------------------------------------------------
+
+def test_spec_validation_rejects_nonsense():
+    for bad in (
+        NetFaultSpec("gamma-ray"),
+        NetFaultSpec("drop", direction="sideways"),
+        NetFaultSpec("drop", at=-1),
+        NetFaultSpec("drop", duration=0),
+        NetFaultSpec("drop", every=0),
+    ):
+        with pytest.raises(ConfigurationError):
+            bad.validate()
+
+
+def test_spec_periodic_activation():
+    spec = NetFaultSpec("drop", at=2, duration=1, every=3)
+    active = [visit for visit in range(12) if spec.active_at(visit)]
+    assert active == [2, 5, 8, 11]
+    once = NetFaultSpec("drop", at=4, duration=2)
+    assert [v for v in range(10) if once.active_at(v)] == [4, 5]
+
+
+def test_plan_roundtrips_and_hashes_canonically():
+    plan = NetFaultPlan(name="p", seed=9, specs=(
+        NetFaultSpec("drop", direction="s2c", at=3, every=7),
+        NetFaultSpec("corrupt", at=1, params={"span": 6}),
+    ))
+    clone = NetFaultPlan.from_json(plan.to_json())
+    assert clone == plan
+    assert clone.plan_hash() == plan.plan_hash()
+    assert clone.kinds() == ("corrupt", "drop")
+    shifted = NetFaultPlan(name="p", seed=9, specs=(
+        NetFaultSpec("drop", direction="s2c", at=4, every=7),
+        NetFaultSpec("corrupt", at=1, params={"span": 6}),
+    ))
+    assert shifted.plan_hash() != plan.plan_hash()
+
+
+def test_plan_from_dict_rejects_malformed():
+    with pytest.raises(ConfigurationError):
+        NetFaultPlan.from_dict({"name": "p", "specs": [{"kind": "nope"}]})
+    with pytest.raises(ConfigurationError):
+        NetFaultPlan.from_json("{not json")
+    with pytest.raises(ConfigurationError):
+        NetFaultPlan(name="", specs=()).validate()
+
+
+def test_derived_rng_is_stable_per_connection_and_direction():
+    a = _derive_rng(7, 0, "c2s").random()
+    assert a == _derive_rng(7, 0, "c2s").random()
+    assert a != _derive_rng(7, 1, "c2s").random()
+    assert a != _derive_rng(7, 0, "s2c").random()
+
+
+def test_proxy_needs_exactly_one_target():
+    plan = NetFaultPlan(name="p")
+    with pytest.raises(ServiceError):
+        ChaosTransport(plan)
+    with pytest.raises(ServiceError):
+        ChaosTransport(plan, target_port=1, target_unix="/tmp/x")
+
+
+# -- the proxy against an echo server ------------------------------------------
+
+async def _echo(reader, writer):
+    try:
+        while True:
+            line = await reader.readline()
+            if not line:
+                break
+            writer.write(line)
+            await writer.drain()
+    except (ConnectionResetError, BrokenPipeError, OSError):
+        pass
+    finally:
+        try:
+            writer.close()
+        except OSError:
+            pass
+
+
+async def _through_proxy(plan, lines, obs=None, settle=0.3):
+    """Send ``lines`` through proxy -> echo; return the echoed lines."""
+    server = await asyncio.start_server(_echo, "127.0.0.1", 0)
+    proxy = ChaosTransport(plan,
+                           target_port=server.sockets[0].getsockname()[1],
+                           obs=obs)
+    await proxy.start()
+    reader, writer = await asyncio.open_connection(
+        "127.0.0.1", proxy.listen_port)
+    got = []
+    try:
+        writer.write(b"".join(lines))
+        await writer.drain()
+        if writer.can_write_eof():
+            writer.write_eof()       # clean close must drain responses
+        while True:
+            try:
+                line = await asyncio.wait_for(reader.readline(), settle)
+            except (asyncio.TimeoutError, ConnectionResetError, OSError):
+                break
+            if not line:
+                break
+            got.append(line)
+    finally:
+        try:
+            writer.close()
+        except OSError:
+            pass
+        await proxy.stop()
+        server.close()
+        await server.wait_closed()
+    return got, proxy
+
+
+_LINES = [json.dumps({"n": index}).encode() + b"\n" for index in range(3)]
+
+
+def test_drop_swallows_exactly_the_scheduled_line():
+    plan = NetFaultPlan(name="p", specs=(
+        NetFaultSpec("drop", direction="s2c", at=1),))
+    got, proxy = _run(_through_proxy(plan, _LINES))
+    assert got == [_LINES[0], _LINES[2]]
+    assert proxy.fired["drop"] == 1
+
+
+def test_duplicate_forwards_twice():
+    plan = NetFaultPlan(name="p", specs=(
+        NetFaultSpec("duplicate", direction="s2c", at=0),))
+    got, proxy = _run(_through_proxy(plan, _LINES))
+    assert got == [_LINES[0], _LINES[0], _LINES[1], _LINES[2]]
+    assert proxy.fired["duplicate"] == 1
+
+
+def test_reorder_swaps_with_the_next_line():
+    plan = NetFaultPlan(name="p", specs=(
+        NetFaultSpec("reorder", direction="s2c", at=0),))
+    got, _proxy = _run(_through_proxy(plan, _LINES))
+    assert got == [_LINES[1], _LINES[0], _LINES[2]]
+
+
+def test_reorder_at_stream_tail_is_not_a_drop():
+    plan = NetFaultPlan(name="p", specs=(
+        NetFaultSpec("reorder", direction="s2c", at=2),))
+    got, _proxy = _run(_through_proxy(plan, _LINES))
+    # Nothing rides behind the held line, so EOF flushes it.
+    assert sorted(got) == sorted(_LINES)
+
+
+def test_truncate_tears_the_line_but_keeps_framing():
+    plan = NetFaultPlan(name="p", specs=(
+        NetFaultSpec("truncate", direction="s2c", at=0,
+                     params={"keep": 3}),))
+    got, _proxy = _run(_through_proxy(plan, _LINES))
+    assert got[0] == _LINES[0][:3] + b"\n"
+    assert got[1:] == _LINES[1:]
+
+
+def test_corrupt_is_never_decodable():
+    plan = NetFaultPlan(name="p", seed=5, specs=(
+        NetFaultSpec("corrupt", direction="s2c", at=0,
+                     params={"span": 4}),))
+    got, _proxy = _run(_through_proxy(plan, _LINES))
+    assert len(got) == 3
+    assert b"\xff" * 4 in got[0]
+    with pytest.raises(UnicodeDecodeError):
+        got[0].decode("utf-8")
+    assert got[1:] == _LINES[1:]
+
+
+def test_reset_aborts_the_connection():
+    plan = NetFaultPlan(name="p", specs=(
+        NetFaultSpec("reset", direction="c2s", at=1),))
+
+    async def scenario():
+        server = await asyncio.start_server(_echo, "127.0.0.1", 0)
+        proxy = ChaosTransport(
+            plan, target_port=server.sockets[0].getsockname()[1])
+        await proxy.start()
+        reader, writer = await asyncio.open_connection(
+            "127.0.0.1", proxy.listen_port)
+        try:
+            writer.write(_LINES[0])
+            await writer.drain()
+            assert await asyncio.wait_for(reader.readline(),
+                                          2.0) == _LINES[0]
+            writer.write(_LINES[1])          # the visit that resets
+            await writer.drain()
+            try:
+                line = await asyncio.wait_for(reader.readline(), 2.0)
+            except (ConnectionResetError, OSError):
+                line = b""
+            assert line == b""               # connection torn down
+        finally:
+            try:
+                writer.close()
+            except OSError:
+                pass
+            await proxy.stop()
+            server.close()
+            await server.wait_closed()
+        return proxy
+
+    proxy = _run(scenario())
+    assert proxy.fired["reset"] == 1
+
+
+def test_slow_loris_still_delivers_the_whole_line():
+    plan = NetFaultPlan(name="p", specs=(
+        NetFaultSpec("slow_loris", direction="s2c", at=0,
+                     params={"pause_s": 0.01}),))
+    got, proxy = _run(_through_proxy(plan, _LINES))
+    assert got == _LINES
+    assert proxy.fired["slow_loris"] == 1
+
+
+def test_delay_holds_then_delivers_in_order():
+    plan = NetFaultPlan(name="p", specs=(
+        NetFaultSpec("delay", direction="s2c", at=0,
+                     params={"delay_s": 0.02}),))
+    got, _proxy = _run(_through_proxy(plan, _LINES))
+    assert got == _LINES
+
+
+def test_periodic_drop_fires_on_schedule():
+    lines = [json.dumps({"n": index}).encode() + b"\n"
+             for index in range(6)]
+    plan = NetFaultPlan(name="p", specs=(
+        NetFaultSpec("drop", direction="s2c", at=0, every=2),))
+    got, proxy = _run(_through_proxy(plan, lines))
+    assert got == [lines[1], lines[3], lines[5]]
+    assert proxy.fired["drop"] == 3
+
+
+def test_chaos_metrics_and_flight_events_land():
+    obs = Observability(enabled=True)
+    obs.flight.enable()
+    plan = NetFaultPlan(name="p", specs=(
+        NetFaultSpec("drop", direction="s2c", at=0),))
+    _got, _proxy = _run(_through_proxy(plan, _LINES, obs=obs))
+    assert obs.metrics.get("service.chaos.drop").value == 1
+    assert obs.metrics.get("service.chaos.connections").value == 1
+    faults = [event for event in obs.flight.events()
+              if event["kind"] == "net_fault"]
+    assert faults and faults[0]["data"]["fault"] == "drop"
+
+
+def test_fired_ledger_covers_all_kinds():
+    proxy = ChaosTransport(NetFaultPlan(name="p"), target_port=1)
+    assert sorted(proxy.fired) == sorted(NET_FAULT_KINDS)
+    assert not any(proxy.fired.values())

@@ -44,7 +44,7 @@ def test_ping_and_stats():
         service, client = await _started()
         try:
             reply = await client.ping()
-            assert reply["protocol"] == 1
+            assert reply["protocol"] == 2
             stats = await client.stats()
             assert stats["tenants"] == 0
             assert len(stats["shards"]) == 2
