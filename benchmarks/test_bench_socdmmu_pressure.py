@@ -1,0 +1,175 @@
+"""Benchmark guards for the SoCDMMU's memory-pressure machinery.
+
+Two claims ride on the CoW extension (see ``docs/memory_pressure.md``):
+
+* **Sharing saves cycles.**  CoW-forking a handle to ``P`` peers costs
+  per-block table updates (:data:`~repro.calibration.SOCDMMU_SHARE_CYCLES`)
+  plus one block copy per *actual* write
+  (:data:`~repro.calibration.SOCDMMU_COW_COPY_CYCLES`); the eager
+  alternative pays a full allocation *and* a full copy per peer up
+  front.  At the reference workload (8-block handle, 4 peers, 25% of
+  blocks written) the modelled savings must stay above
+  :data:`MIN_SAVINGS_RATIO`.
+* **The non-shared fast path is untaxed.**  A malloc/free pair that
+  never shares must cost exactly the Table 11/12 calibration — command
+  cycles plus four bus transactions — with the CoW bookkeeping adding
+  less than :data:`OVERHEAD_BOUND` (it adds zero modelled cycles; the
+  guard fails if the refcount machinery ever leaks into the fast
+  path's cycle model).
+
+The record lands in ``BENCH_socdmmu_pressure.json`` at the repo root;
+the trend gate tracks its numeric keys (``cow_savings_ratio`` is
+higher-is-better via the ``savings`` fragment, the cycle totals are
+deterministic lower-is-better series).
+"""
+
+import json
+import time
+from dataclasses import replace
+from pathlib import Path
+
+from benchmarks.conftest import bench_once
+from repro import calibration
+from repro.framework.builder import build_system
+from repro.framework.config import preset
+from repro.socdmmu.allocator import BlockAllocator
+
+RECORD_PATH = Path(__file__).resolve().parent.parent \
+    / "BENCH_socdmmu_pressure.json"
+
+#: Reference sharing workload: one parent handle of 8 blocks forked to
+#: 4 peers, 25% of each fork's blocks written (the fork/CoW RSS shape).
+HANDLE_BLOCKS = 8
+PEERS = 4
+WRITES_PER_FORK = 2
+
+MIN_SAVINGS_RATIO = 2.0
+OVERHEAD_BOUND = 0.05
+FAST_PATH_PAIRS = 64
+
+
+def _pressure_system():
+    return build_system(replace(preset("RTOS7"), socdmmu_blocks=64,
+                                socdmmu_block_bytes=4096))
+
+
+def _run_driver(system, body) -> float:
+    """Run ``body(ctx, heap)`` as the only task; returns mm_cycles."""
+    system.kernel.create_task(
+        lambda ctx: body(ctx, system.heap), "driver", 1, "PE1")
+    system.kernel.run(until=10_000_000)
+    assert system.kernel.finished("driver"), "bench driver never finished"
+    return float(system.heap.stats.mm_cycles)
+
+
+def _cow_body(ctx, heap):
+    """Fork-based sharing: table updates now, copies only on write."""
+    block_bytes = heap.allocator.block_bytes
+    parent = yield from heap.malloc(ctx, HANDLE_BLOCKS * block_bytes)
+    forks = []
+    for _ in range(PEERS):
+        forks.append((yield from heap.fork_handle(ctx, parent)))
+    for fork in forks:
+        for block in range(WRITES_PER_FORK):
+            yield from heap.write_fault(ctx, fork, block)
+    for fork in forks:
+        yield from heap.free(ctx, fork)
+    yield from heap.free(ctx, parent)
+
+
+def _eager_body(ctx, heap):
+    """Eager duplication: a private allocation per peer up front."""
+    block_bytes = heap.allocator.block_bytes
+    handles = [(yield from heap.malloc(ctx,
+                                       HANDLE_BLOCKS * block_bytes))]
+    for _ in range(PEERS):
+        handles.append((yield from heap.malloc(
+            ctx, HANDLE_BLOCKS * block_bytes)))
+    for handle in handles:
+        yield from heap.free(ctx, handle)
+
+
+def _fast_path_body(ctx, heap):
+    """Non-shared malloc/free churn (the Table 11/12 fast path)."""
+    block_bytes = heap.allocator.block_bytes
+    for _ in range(FAST_PATH_PAIRS):
+        handle = yield from heap.malloc(ctx, block_bytes)
+        yield from heap.free(ctx, handle)
+
+
+def _allocator_churn_ops_per_second(ops: int = 20_000,
+                                    repeats: int = 3) -> float:
+    """Datapath wall-clock: allocate/deallocate pairs per second."""
+    best = 0.0
+    for _ in range(repeats):
+        allocator = BlockAllocator(64, 4096)
+        start = time.perf_counter()
+        for index in range(ops):
+            virtual = allocator.allocate("bench", 1)[0]
+            allocator.deallocate("bench", virtual)
+        elapsed = time.perf_counter() - start
+        best = max(best, ops / elapsed)
+    return best
+
+
+def test_bench_cow_savings_and_fast_path_guard(benchmark):
+    def measure():
+        cow = _run_driver(_pressure_system(), _cow_body)
+        eager_mm = _run_driver(_pressure_system(), _eager_body)
+        # The eager scheme also pays the data movement CoW defers: one
+        # block copy per peer block, whether or not it is ever written.
+        eager = eager_mm + (PEERS * HANDLE_BLOCKS
+                            * calibration.SOCDMMU_COW_COPY_CYCLES)
+        fast = _run_driver(_pressure_system(), _fast_path_body)
+        return cow, eager, fast
+
+    cow_cycles, eager_cycles, fast_cycles = bench_once(benchmark, measure)
+
+    savings = eager_cycles / cow_cycles
+    assert savings >= MIN_SAVINGS_RATIO, (
+        f"CoW sharing saves only {savings:.2f}x over eager copies "
+        f"({cow_cycles:g} vs {eager_cycles:g} cycles); the sharing "
+        f"fast path regressed")
+
+    system = _pressure_system()
+    transaction = system.kernel.soc.bus.timing.transaction_cycles(1)
+    expected_pair = (calibration.SOCDMMU_ALLOC_CYCLES
+                     + calibration.SOCDMMU_DEALLOC_CYCLES
+                     + 4 * transaction)
+    pair_cycles = fast_cycles / FAST_PATH_PAIRS
+    overhead = pair_cycles / expected_pair - 1.0
+    assert overhead < OVERHEAD_BOUND, (
+        f"non-shared malloc/free pair costs {pair_cycles:g} cycles vs "
+        f"the calibrated {expected_pair:g} — the CoW machinery taxes "
+        f"the fast path by {overhead * 100:.1f}% (bound "
+        f"{OVERHEAD_BOUND * 100:.0f}%)")
+
+    record = {
+        "benchmark": "socdmmu_pressure",
+        "workload": (f"{HANDLE_BLOCKS}-block handle, {PEERS} peers, "
+                     f"{WRITES_PER_FORK} writes/fork"),
+        "cow_run_cycles": cow_cycles,
+        "eager_copy_cycles": eager_cycles,
+        "cow_savings_ratio": savings,
+        "fast_path_pair_cycles": pair_cycles,
+        "fast_path_expected_cycles": float(expected_pair),
+        "fast_path_overhead_fraction": overhead,
+        "share_cost_cycles": float(calibration.SOCDMMU_SHARE_CYCLES),
+        "cow_copy_cost_cycles": float(calibration.SOCDMMU_COW_COPY_CYCLES),
+        "churn_ops_per_second": _allocator_churn_ops_per_second(),
+        "bound": OVERHEAD_BOUND,
+        "min_savings_bound": MIN_SAVINGS_RATIO,
+    }
+    RECORD_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    benchmark.extra_info["socdmmu_pressure"] = record
+
+
+def test_bench_cow_workload_is_deterministic(benchmark):
+    """The same CoW workload costs the same modelled cycles every run —
+    the worst-case-determinism side of the Tables 11-12 extension."""
+    def run():
+        return _run_driver(_pressure_system(), _cow_body)
+
+    first = bench_once(benchmark, run)
+    assert first == _run_driver(_pressure_system(), _cow_body), (
+        "CoW workload cycle cost is not deterministic")

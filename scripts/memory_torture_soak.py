@@ -1,0 +1,215 @@
+#!/usr/bin/env python3
+"""Memory-pressure soak: SIGKILL the torture campaign mid-exhaustion.
+
+Three phases (see docs/memory_pressure.md):
+
+1. A clean ``memory-pressure`` campaign run — the reference digest.
+2. The same campaign SIGKILLed (whole process group, no unwinding)
+   once enough scenario records have landed in the write-ahead
+   journal, then ``campaign resume``d — possibly killed again
+   mid-resume — until it completes.  The resumed digest must equal
+   the clean one: CoW refcounts, OOM-ladder state and degradation
+   mode all restore through the checkpoint protocol.
+3. A direct allocator churn soak: millions of seeded
+   alloc/share/write-fault/free ops with periodic derived-table
+   corruption, auditing and verifying as it goes — the no-wrong-state
+   invariant at a scale the unit tests don't reach.
+
+Usage::
+
+    python scripts/memory_torture_soak.py --out /tmp/pressure --kills 2
+    python scripts/memory_torture_soak.py --quick     # CI-sized
+
+Exit codes: 0 all phases hold; 1 digest mismatch or invariant broken.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import random
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+sys.path.insert(0, str(SRC))
+
+from repro.campaign.journal import JOURNAL_NAME  # noqa: E402
+from repro.campaign.store import load_results, results_digest  # noqa: E402
+from repro.errors import AllocationError  # noqa: E402
+from repro.socdmmu.allocator import BlockAllocator  # noqa: E402
+
+
+def _cli(*argv: str) -> list:
+    return [sys.executable, "-m", "repro.campaign", *argv]
+
+
+def _env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def _journal_records(run_dir: Path) -> int:
+    journal = run_dir / JOURNAL_NAME
+    try:
+        text = journal.read_text(encoding="utf-8")
+    except FileNotFoundError:
+        return 0
+    return sum(1 for line in text.splitlines()
+               if line.startswith('{"record"') or '"type":"result"' in line)
+
+
+def run_to_completion(argv: list) -> int:
+    return subprocess.run(argv, env=_env(), cwd=REPO).returncode
+
+
+def run_and_kill(argv: list, run_dir: Path, trigger: int,
+                 timeout: float) -> bool:
+    """SIGKILL the runner's process group once the journal holds
+    ``trigger`` records; True when the kill landed mid-run."""
+    process = subprocess.Popen(argv, env=_env(), cwd=REPO,
+                               start_new_session=True,
+                               stdout=subprocess.DEVNULL,
+                               stderr=subprocess.DEVNULL)
+    deadline = time.time() + timeout
+    try:
+        while time.time() < deadline:
+            if process.poll() is not None:
+                return False
+            if _journal_records(run_dir) >= trigger:
+                os.killpg(process.pid, signal.SIGKILL)
+                process.wait(timeout=30)
+                return True
+            time.sleep(0.002)
+    finally:
+        if process.poll() is None:
+            os.killpg(process.pid, signal.SIGKILL)
+            process.wait(timeout=30)
+    return True
+
+
+def churn_soak(ops: int, seed: int, num_blocks: int = 48,
+               audit_every: int = 997) -> int:
+    """Grind the CoW datapath; returns violations found (want 0)."""
+    rng = random.Random(f"memory-torture|{seed}")
+    allocator = BlockAllocator(num_blocks, 1024)
+    owners = tuple(f"t{i}" for i in range(6))
+    violations = 0
+    copies = shares = refusals = repairs = 0
+    for index in range(ops):
+        owner = rng.choice(owners)
+        mapping = allocator._mappings.get(owner, {})
+        roll = rng.random()
+        try:
+            if roll < 0.35 or not mapping:
+                allocator.allocate(owner, rng.randint(1, 3))
+            elif roll < 0.55:
+                allocator.share(owner, rng.choice(sorted(mapping)),
+                                rng.choice(owners))
+                shares += 1
+            elif roll < 0.75:
+                copies += allocator.write_fault(
+                    owner, rng.choice(sorted(mapping)))
+            else:
+                allocator.deallocate(owner, rng.choice(sorted(mapping)))
+        except AllocationError:
+            refusals += 1
+        if index % audit_every == audit_every - 1:
+            # Corrupt the derived tables, then prove the audit heals
+            # them completely and idempotently.
+            block = rng.randrange(num_blocks)
+            if rng.random() < 0.5:
+                allocator.corrupt(block, rng.choice((None, "<ghost>")))
+            else:
+                allocator.corrupt_refcount(block, rng.randint(0, 5))
+            repairs += allocator.audit()
+            if allocator.verify() or allocator.audit() != 0:
+                violations += 1
+    for owner in owners:
+        allocator.deallocate_all(owner)
+    if allocator.free_blocks != num_blocks or allocator.verify():
+        violations += 1
+    print(f"      {ops} ops: {shares} shares, {copies} CoW copies, "
+          f"{refusals} refusals, {repairs} audit repairs, "
+          f"{violations} violation(s)")
+    return violations
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="/tmp/memory-torture",
+                        help="scratch directory for both campaign runs")
+    parser.add_argument("--seed-root", default="42")
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--kills", type=int, default=2)
+    parser.add_argument("--trigger", type=int, default=3,
+                        help="journaled records that arm each kill")
+    parser.add_argument("--churn-ops", type=int, default=500_000)
+    parser.add_argument("--timeout", type=float, default=900.0)
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized: one kill, 100k churn ops")
+    args = parser.parse_args()
+    if args.quick:
+        args.kills = min(args.kills, 1)
+        args.churn_ops = min(args.churn_ops, 100_000)
+
+    out = Path(args.out)
+    clean_dir = out / "clean"
+    crashed_dir = out / "crashed"
+    common = ["--builtin", "memory-pressure", "--seed-root",
+              args.seed_root, "--workers", str(args.workers)]
+
+    print(f"[1/4] clean memory-pressure run -> {clean_dir}")
+    if run_to_completion(_cli("run", *common, "--out", str(clean_dir))):
+        print("clean run failed", file=sys.stderr)
+        return 1
+    clean_digest = results_digest(load_results(clean_dir))
+    print(f"      clean digest {clean_digest}")
+
+    print(f"[2/4] crash run -> {crashed_dir} ({args.kills} kill(s))")
+    interrupted = run_and_kill(
+        _cli("run", *common, "--out", str(crashed_dir)),
+        crashed_dir, args.trigger, args.timeout)
+    kills = 1
+    print(f"      kill #1 "
+          f"{'landed mid-run' if interrupted else 'missed (run finished)'} "
+          f"with {_journal_records(crashed_dir)} record(s) journaled")
+    while kills < args.kills and interrupted:
+        trigger = _journal_records(crashed_dir) + args.trigger
+        interrupted = run_and_kill(
+            _cli("resume", str(crashed_dir)), crashed_dir, trigger,
+            args.timeout)
+        kills += 1
+        print(f"      kill #{kills} "
+              f"{'landed mid-resume' if interrupted else 'missed'} "
+              f"with {_journal_records(crashed_dir)} record(s) journaled")
+
+    print("[3/4] final resume, then digest comparison")
+    status = run_to_completion(_cli("resume", str(crashed_dir)))
+    if status not in (0, 1):
+        print(f"resume failed with exit {status}", file=sys.stderr)
+        return 1
+    crashed_digest = results_digest(load_results(crashed_dir))
+    print(f"      clean   {clean_digest}")
+    print(f"      resumed {crashed_digest}")
+    if crashed_digest != clean_digest:
+        print("DIGEST MISMATCH: resumed memory-pressure run is not "
+              "equivalent to an uninterrupted one", file=sys.stderr)
+        return 1
+
+    print(f"[4/4] allocator churn soak ({args.churn_ops} ops)")
+    if churn_soak(args.churn_ops, seed=int(args.seed_root)):
+        print("CHURN VIOLATION: derived tables diverged from the "
+              "mapping RAM", file=sys.stderr)
+        return 1
+    print("memory-pressure soak holds: digests equal, tables clean")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -242,6 +242,15 @@ SOCDMMU_ALLOC_CYCLES = 36
 #: SoCDMMU: deterministic cycles per deallocation command (G_dealloc).
 SOCDMMU_DEALLOC_CYCLES = 25
 
+#: SoCDMMU: cycles per block for a share/fork table update (refcount
+#: bump + one mapping-RAM write; no data movement).
+SOCDMMU_SHARE_CYCLES = 12
+
+#: SoCDMMU: cycles to copy one G_block on a CoW write fault (burst DMA
+#: of the block plus the table update).  Paying this lazily — only for
+#: blocks actually written — is the whole point of sharing.
+SOCDMMU_COW_COPY_CYCLES = 420
+
 # --------------------------------------------------------------------------
 # Synthesis / area models (fitted to Tables 1 and 2)
 # --------------------------------------------------------------------------

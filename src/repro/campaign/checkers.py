@@ -31,7 +31,7 @@ from repro.deadlock.dau import DAU
 from repro.deadlock.ddu import DDU
 from repro.deadlock.pdda import pdda_detect
 from repro.deadlock.recovery import apply_plan, plan_recovery
-from repro.errors import ConfigurationError
+from repro.errors import AllocationError, ConfigurationError
 from repro.framework.builder import build_system
 from repro.rag.bitmatrix import (
     FAST_BACKEND,
@@ -923,6 +923,22 @@ def _fault_specs(model: str, params: Mapping[str, Any],
     if model == "socdmmu-steal":
         return (FaultSpec("socdmmu.table", "steal", at=at,
                           duration=duration),)
+    if model == "socdmmu-refcount":
+        return tuple(
+            FaultSpec("socdmmu.refcount",
+                      rng.choice(("inflate", "deflate")),
+                      at=at + index * 3, duration=duration,
+                      params={"block": rng.randrange(max(1, m)),
+                              "delta": rng.randint(1, 3)})
+            for index in range(int(params.get("count", 3))))
+    if model == "socdmmu-exhaust":
+        return (FaultSpec("socdmmu.exhaust", "ghost", at=at,
+                          duration=max(duration, 2),
+                          params={"blocks": int(params.get(
+                              "ghost_blocks", 2))}),)
+    if model == "socdmmu-mixed":
+        return (_fault_specs("socdmmu-refcount", params, rng, m, n)
+                + _fault_specs("socdmmu-exhaust", params, rng, m, n))
     raise ConfigurationError(f"unknown fault model {model!r}")
 
 
@@ -1313,3 +1329,479 @@ def _check_degrade(system, params: Mapping[str, Any],
         detail=(f"{system.name} finished at {end:g} with "
                 f"{len(injector.records)} injections; "
                 f"events={sorted(observed)}"))
+
+
+# -- memory-pressure checkers (the SoCDMMU under stress) ----------------------
+
+def _pressure_policy(params: Mapping[str, Any]):
+    """The campaign-tuned OOM-ladder policy (small, fast thresholds)."""
+    from repro.faults import ResiliencePolicy
+    return ResiliencePolicy(
+        max_retries=2, sample_every=1, fail_threshold=2,
+        recover_after=2, scrub_after=3,
+        audit_every=int(params.get("audit_every", 1)))
+
+
+@generator("preset.pressure")
+def _gen_preset_pressure(params: Mapping[str, Any], rng: random.Random):
+    """A small-pool RTOS7 tuned for memory pressure.
+
+    ``blocks``/``block_kb`` shrink the SoCDMMU pool so exhaustion is
+    reachable in a few dozen allocations; ``model`` optionally installs
+    a seeded ``socdmmu-refcount`` / ``socdmmu-exhaust`` /
+    ``socdmmu-mixed`` (or table leak/steal) fault plan.  Resilience —
+    audits, the OOM ladder, the health FSM — is armed unless
+    ``resilience`` is false.
+    """
+    from dataclasses import replace
+    from repro.faults import FaultPlan, install_fault_plan
+    from repro.framework.config import preset
+    blocks = int(params.get("blocks", 24))
+    block_bytes = int(params.get("block_kb", 4)) * 1024
+    config = replace(preset("RTOS7"), socdmmu_blocks=blocks,
+                     socdmmu_block_bytes=block_bytes)
+    system = build_system(config)
+    model = str(params.get("model", "none"))
+    specs = () if model == "none" else _fault_specs(
+        model, params, rng, blocks, system.config.num_pes)
+    plan = FaultPlan(name=f"memory-pressure-{model}", specs=specs)
+    policy = (_pressure_policy(params)
+              if params.get("resilience", True) else None)
+    install_fault_plan(system, plan, policy=policy)
+    return system
+
+
+@checker("memory.cow-storm")
+def _check_cow_storm(system, params: Mapping[str, Any],
+                     rng: random.Random, checkpoint=None) -> CheckOutcome:
+    """A shadow-model CoW/fragmentation grind never reaches a wrong state.
+
+    Drives the :class:`BlockAllocator` datapath directly — alloc,
+    share, write-fault, free, teardown — against an independent shadow
+    model (physical block -> set of (owner, virtual) references).  On
+    every operation the allocator's answers must match the shadow
+    exactly: an allocation may only hand out blocks the shadow says are
+    free (no double-grant), refcounts must equal the shadow's reference
+    counts, and every ``corrupt_every`` ops a seeded refcount/owner
+    corruption followed by an audit must leave ``verify()`` empty with
+    no block lost.  The teardown sweep must return the pool to fully
+    free.
+
+    Checkpoint-aware: the allocator payload, the shadow model, and the
+    scenario RNG round-trip through the campaign checkpoint, so a
+    killed worker resumes mid-storm with an identical trajectory
+    (``crash_at_step`` hard-kills the first attempt, as in
+    ``faults.detection-verdicts``).
+    """
+    from repro.socdmmu.allocator import BlockAllocator
+    allocator = system.heap.allocator
+    ops = int(params.get("ops", 3000))
+    owners = [f"t{i}" for i in range(int(params.get("owners", 5)))]
+    hold_max = int(params.get("hold_max", 0))  # 0 = no occupancy floor
+    corrupt_every = int(params.get("corrupt_every", 0))
+    crash_at = params.get("crash_at_step")
+    saved = checkpoint.load() if checkpoint is not None else None
+    if saved is not None:
+        system.heap.allocator = allocator = BlockAllocator.from_payload(
+            saved["allocator"])
+        refs = {int(physical): {tuple(ref) for ref in ref_list}
+                for physical, ref_list in saved["refs"]}
+        _restore_rng(rng, saved["rng"])
+        start_op = int(saved["op"])
+        counts = dict(saved["counts"])
+    else:
+        refs = {}
+        start_op = 0
+        counts = {"allocs": 0, "shares": 0, "copies": 0, "frees": 0,
+                  "repairs": 0}
+
+    def shadow_free() -> int:
+        return allocator.num_blocks - len(refs)
+
+    def live_refs() -> list:
+        return sorted(ref for ref_set in refs.values()
+                      for ref in ref_set)
+
+    def mismatch(op: int, what: str) -> CheckOutcome:
+        return _failed(f"op {op}: {what}", steps=op)
+
+    for op in range(start_op, ops):
+        if (crash_at is not None and saved is None
+                and op == int(crash_at)):
+            os._exit(82)
+        live = live_refs()
+        choice = rng.random()
+        want_alloc = hold_max and len(refs) < hold_max
+        if not live or choice < 0.35 or want_alloc:
+            owner = rng.choice(owners)
+            blocks = rng.randint(1, 3)
+            if shadow_free() < blocks:
+                try:
+                    allocator.allocate(owner, blocks)
+                except AllocationError:
+                    continue
+                return mismatch(op, f"allocate({blocks}) succeeded with "
+                                    f"{shadow_free()} shadow-free blocks")
+            virtuals = allocator.allocate(owner, blocks)
+            counts["allocs"] += 1
+            for virtual in virtuals:
+                physical = allocator.translate(owner, virtual)
+                if physical in refs:
+                    return mismatch(
+                        op, f"double-grant: physical {physical} handed "
+                            f"to {owner} while referenced by "
+                            f"{sorted(refs[physical])}")
+                if allocator.refcount_of(physical) != 1:
+                    return mismatch(
+                        op, f"fresh block {physical} has refcount "
+                            f"{allocator.refcount_of(physical)}")
+                refs[physical] = {(owner, virtual)}
+        elif choice < 0.55:
+            owner, virtual = rng.choice(live)
+            new_owner = rng.choice(owners)
+            physical = allocator.translate(owner, virtual)
+            new_virtual = allocator.share(owner, virtual, new_owner)
+            counts["shares"] += 1
+            refs[physical].add((new_owner, new_virtual))
+            if allocator.translate(new_owner, new_virtual) != physical:
+                return mismatch(op, "share mapped the wrong physical")
+            if allocator.refcount_of(physical) != len(refs[physical]):
+                return mismatch(
+                    op, f"refcount[{physical}] is "
+                        f"{allocator.refcount_of(physical)}, shadow says "
+                        f"{len(refs[physical])}")
+        elif choice < 0.75:
+            owner, virtual = rng.choice(live)
+            physical = allocator.translate(owner, virtual)
+            shared = len(refs[physical]) > 1
+            if shared and shadow_free() == 0:
+                try:
+                    allocator.write_fault(owner, virtual)
+                except AllocationError:
+                    continue
+                return mismatch(op, "CoW copy succeeded with no free block")
+            copied = allocator.write_fault(owner, virtual)
+            if copied != shared:
+                return mismatch(
+                    op, f"write_fault copied={copied}, shadow shared="
+                        f"{shared} for physical {physical}")
+            if copied:
+                counts["copies"] += 1
+                target = allocator.translate(owner, virtual)
+                if target in refs:
+                    return mismatch(
+                        op, f"CoW copy landed on referenced block {target}")
+                refs[physical].discard((owner, virtual))
+                refs[target] = {(owner, virtual)}
+        else:
+            owner, virtual = rng.choice(live)
+            physical = allocator.translate(owner, virtual)
+            allocator.deallocate(owner, virtual)
+            counts["frees"] += 1
+            refs[physical].discard((owner, virtual))
+            if not refs[physical]:
+                del refs[physical]
+                if allocator.owner_of(physical) is not None:
+                    return mismatch(
+                        op, f"last free left block {physical} owned by "
+                            f"{allocator.owner_of(physical)!r}")
+        if corrupt_every and (op + 1) % corrupt_every == 0:
+            block = rng.randrange(allocator.num_blocks)
+            if rng.random() < 0.5:
+                allocator.corrupt_refcount(block, rng.randint(0, 5))
+            else:
+                allocator.corrupt(block, rng.choice([None, "<ghost>"]
+                                                    + owners))
+            counts["repairs"] += allocator.audit()
+            violations = allocator.verify()
+            if violations:
+                return mismatch(op, f"verify after audit: {violations}")
+        if allocator.free_blocks != shadow_free():
+            return mismatch(
+                op, f"{allocator.free_blocks} free blocks, shadow says "
+                    f"{shadow_free()}")
+        if checkpoint is not None and checkpoint.due(op + 1):
+            checkpoint.save({
+                "op": op + 1,
+                "rng": _rng_state_payload(rng),
+                "allocator": allocator.snapshot_payload(),
+                "refs": sorted(
+                    [physical, sorted(list(ref) for ref in ref_set)]
+                    for physical, ref_set in refs.items()),
+                "counts": dict(counts),
+            })
+    for owner in owners:
+        allocator.deallocate_all(owner)
+    allocator.audit()
+    if allocator.verify():
+        return _failed(f"teardown verify: {allocator.verify()}", steps=ops)
+    if allocator.free_blocks != allocator.num_blocks:
+        return _failed(
+            f"teardown lost blocks: {allocator.free_blocks} free of "
+            f"{allocator.num_blocks}", steps=ops)
+    return _passed(
+        steps=ops,
+        detail=(f"{counts['allocs']} allocs, {counts['shares']} shares, "
+                f"{counts['copies']} copies, {counts['frees']} frees, "
+                f"{counts['repairs']} repairs"))
+
+
+#: Opt in to mid-scenario checkpointing (see ``execute_scenario``).
+_check_cow_storm.accepts_checkpoint = True
+
+
+def _pressure_victim(ctx, size_bytes: int, die: bool):
+    """Malloc, then terminate holding the handle.
+
+    ``die=True`` raises (the kernel's fault-isolation teardown reclaims
+    the handle immediately); ``die=False`` finishes normally still
+    holding it, which only the OOM ladder's lazy terminated-owner sweep
+    can recover.
+    """
+    yield from ctx.malloc(size_bytes)
+    yield from ctx.compute(200.0)
+    if die:
+        raise RuntimeError("victim dies holding G_blocks")
+
+
+def _pressure_driver(ctx, heap, report: list):
+    """The scripted exhaustion ladder: fill, reclaim, degrade, fail back.
+
+    Runs the whole OOM story in one deterministic task: CoW warm-up,
+    fill the pool, recover one allocation by reclaiming the dead
+    victim's blocks, drive two persistent-exhaustion ladders into
+    failover, free the hogs, churn the software fallback until scrubs
+    fail the unit back, and end with a clean hardware allocation.
+    Failures are appended to ``report`` (checked after the run).
+    """
+    allocator = heap.allocator
+    block_bytes = allocator.block_bytes
+    policy = heap.resilience
+
+    def expect(condition: bool, message: str) -> None:
+        if not condition:
+            report.append(f"at {ctx.now:g}: {message}")
+
+    yield from ctx.sleep(4000.0)  # let both victims terminate
+    # The crashed victim's handle was reclaimed by the kernel's
+    # fault-isolation teardown the moment it died.
+    teardown_reclaimed = heap.reclaimed_blocks
+    expect(teardown_reclaimed > 0,
+           "kernel teardown never reclaimed the crashed victim")
+    # CoW warm-up: fork + split + free while there is still room.
+    parent = yield from heap.malloc(ctx, 2 * block_bytes)
+    fork = yield from heap.fork_handle(ctx, parent)
+    copied = yield from heap.write_fault(ctx, fork, 0)
+    expect(copied, "write fault on a forked handle made no copy")
+    yield from heap.free(ctx, fork)
+    yield from heap.free(ctx, parent)
+    # Fill the pool (the ghost model may cost recovered OOMs here).
+    hogs = []
+    while allocator.free_blocks > 0:
+        span = min(4, allocator.free_blocks)
+        handle = yield from heap.malloc(ctx, span * block_bytes)
+        hogs.append(handle)
+    expect(allocator.free_blocks == 0, "fill loop left free blocks")
+    # Reclaim-then-retry: the ladder's lazy sweep recovers the handle
+    # the *finished* victim still holds.
+    reclaim_handle = yield from heap.malloc(ctx, block_bytes)
+    expect(heap.reclaimed_blocks > teardown_reclaimed,
+           "OOM ladder never swept the finished victim's blocks")
+    expect(heap.oom_recoveries > 0, "reclaim-retry never recovered")
+    hogs.append(reclaim_handle)
+    while allocator.free_blocks > 0:
+        handle = yield from heap.malloc(ctx, block_bytes)
+        hogs.append(handle)
+    # Persistent exhaustion: two failed ladders trip the health FSM.
+    soft = []
+    soft.append((yield from heap.malloc(ctx, block_bytes)))
+    soft.append((yield from heap.malloc(ctx, block_bytes)))
+    expect(heap.mode == "software",
+           f"unit still {heap.mode!r} after persistent exhaustion")
+    expect(heap.failovers == 1, f"failovers == {heap.failovers}")
+    # Free the hogs (hardware frees still work while degraded) ...
+    for handle in hogs:
+        yield from heap.free(ctx, handle)
+    # ... then churn the fallback until scrub probes fail the unit back.
+    for _ in range(2 * max(1, policy.scrub_after)):
+        soft.append((yield from heap.malloc(ctx, block_bytes)))
+    expect(heap.mode == "hardware",
+           f"unit never failed back (mode={heap.mode!r}, "
+           f"scrubs={heap.scrubs})")
+    expect(heap.failbacks == 1, f"failbacks == {heap.failbacks}")
+    final = yield from heap.malloc(ctx, block_bytes)
+    yield from heap.free(ctx, final)
+    for address in soft:
+        yield from heap.free(ctx, address)
+
+
+@checker("memory.exhaustion-recovery")
+def _check_exhaustion(system, params: Mapping[str, Any],
+                      rng: random.Random) -> CheckOutcome:
+    """Exhaustion always ends in recovery, never in a wrong state.
+
+    One scripted driver task walks the whole OOM ladder (see
+    :func:`_pressure_driver`) on a small pool while a victim task dies
+    holding G_blocks; optional ``socdmmu-*`` fault models ghost free
+    blocks and skew refcounts along the way.  Afterwards: every OOM was
+    recovered (reclaim-retry, a served fallback, or a failover that
+    failed back), the tables verify clean, no block is lost, and the
+    software fallback holds nothing.
+    """
+    kernel = system.kernel
+    heap = system.heap
+    kernel.isolate_task_failures = True
+    horizon = float(params.get("horizon", 6_000_000))
+    victim_blocks = int(params.get("victim_blocks", 2))
+    report: list = []
+    victim_bytes = victim_blocks * heap.allocator.block_bytes
+    kernel.create_task(
+        lambda ctx: _pressure_victim(ctx, victim_bytes, die=True),
+        "victim-dead", 1, "PE1")
+    kernel.create_task(
+        lambda ctx: _pressure_victim(ctx, victim_bytes, die=False),
+        "victim-lazy", 2, "PE1")
+    kernel.create_task(
+        lambda ctx: _pressure_driver(ctx, heap, report),
+        "driver", 3, "PE2")
+    end = kernel.run(until=horizon)
+    if not kernel.finished("driver"):
+        return _failed("the driver never finished", cycles=end)
+    if report:
+        return _failed("; ".join(report), cycles=end)
+    if heap.oom_events == 0:
+        return _failed("the scenario never exhausted the pool", cycles=end)
+    recoveries = heap.oom_recoveries + heap.software_served
+    if recoveries == 0:
+        return _failed(f"{heap.oom_events} OOMs, none recovered",
+                       cycles=end)
+    if heap.failovers != heap.failbacks:
+        return _failed(
+            f"{heap.failovers} failovers vs {heap.failbacks} failbacks",
+            cycles=end)
+    violations = heap.allocator.verify()
+    if violations:
+        return _failed(f"tables verify dirty: {violations}", cycles=end)
+    if heap.allocator.used_blocks != 0:
+        return _failed(
+            f"{heap.allocator.used_blocks} blocks still owned after "
+            "teardown", cycles=end)
+    fallback = heap._fallback
+    if fallback is not None and fallback.in_use_bytes:
+        return _failed(
+            f"software fallback still holds {fallback.in_use_bytes} "
+            "bytes", cycles=end)
+    injector = system.fault_injector
+    fired = len(injector.records) if injector is not None else 0
+    if str(params.get("model", "none")) != "none" and fired == 0:
+        return _failed("the fault model never fired", cycles=end)
+    return _passed(
+        steps=heap.stats.malloc_calls, cycles=end,
+        detail=(f"{heap.oom_events} OOMs, {heap.oom_recoveries} "
+                f"recovered, {heap.reclaimed_blocks} blocks reclaimed, "
+                f"{heap.failovers} failover(s), {heap.scrubs} scrubs, "
+                f"{heap.audit_repairs} repairs, {fired} injections"))
+
+
+def _vs_software_driver(ctx, heap, script: list, trace: list):
+    """Run one seeded alloc/free script, recording per-op outcomes.
+
+    Appends ``("ok"|"oom", mm_cycle_delta)`` per op so two heap
+    services can be compared op-for-op.  Held allocations are tracked
+    by script slot; a final sweep frees everything.
+    """
+    held: dict[int, int] = {}
+    for op, slot, size_bytes in script:
+        before = heap.stats.mm_cycles
+        if op == "malloc":
+            try:
+                held[slot] = yield from heap.malloc(ctx, size_bytes)
+            except AllocationError:
+                trace.append(("oom", heap.stats.mm_cycles - before))
+                continue
+            trace.append(("ok", heap.stats.mm_cycles - before))
+        else:
+            address = held.pop(slot, None)
+            if address is None:
+                trace.append(("skip", 0.0))
+                continue
+            yield from heap.free(ctx, address)
+            trace.append(("ok", heap.stats.mm_cycles - before))
+    for slot in sorted(held):
+        yield from heap.free(ctx, held[slot])
+
+
+@checker("memory.vs-software")
+def _check_vs_software(system, params: Mapping[str, Any],
+                       rng: random.Random) -> CheckOutcome:
+    """SoCDMMU and SoftwareHeap agree on outcomes; the unit is flat.
+
+    The same seeded malloc/free script runs against the RTOS7 unit and
+    a freshly built RTOS5 software heap.  Both must produce the same
+    per-op success pattern and end empty; the SoCDMMU's per-malloc
+    management cost must be *constant* (the Tables 11-12 determinism
+    claim) and its worst case no slower than the software heap's worst
+    case.
+    """
+    ops = int(params.get("ops", 80))
+    block_bytes = system.heap.allocator.block_bytes
+    # Bound the live set so both heaps can always serve the script; the
+    # exhaustion differential is memory.exhaustion-recovery's job.
+    slots = int(params.get("slots", 8))
+    script, live = [], set()
+    for _ in range(ops):
+        slot = rng.randrange(slots)
+        if slot in live:
+            script.append(("free", slot, 0))
+            live.discard(slot)
+        else:
+            script.append(("malloc", slot,
+                           rng.randint(1, 3) * block_bytes))
+            live.add(slot)
+    traces = {}
+    for label, target in (("hardware", system),
+                          ("software", build_system("RTOS5"))):
+        trace: list = []
+        target.kernel.create_task(
+            lambda ctx, heap=target.heap, t=trace:
+                _vs_software_driver(ctx, heap, script, t),
+            "driver", 1, "PE1")
+        end = target.kernel.run(until=float(params.get(
+            "horizon", 4_000_000)))
+        if not target.kernel.finished("driver"):
+            return _failed(f"{label} driver never finished", cycles=end)
+        traces[label] = trace
+    hw, sw = traces["hardware"], traces["software"]
+    pattern_hw = [kind for kind, _ in hw]
+    pattern_sw = [kind for kind, _ in sw]
+    if pattern_hw != pattern_sw:
+        first = next(i for i, (a, b) in enumerate(
+            zip(pattern_hw, pattern_sw)) if a != b)
+        return _failed(
+            f"outcome divergence at op {first}: hardware "
+            f"{pattern_hw[first]} vs software {pattern_sw[first]}")
+    hw_mallocs = [delta for (kind, delta), (op, _s, _b) in zip(hw, script)
+                  if kind == "ok" and op == "malloc"]
+    sw_mallocs = [delta for (kind, delta), (op, _s, _b) in zip(sw, script)
+                  if kind == "ok" and op == "malloc"]
+    if not hw_mallocs:
+        return _failed("script produced no successful mallocs")
+    if max(hw_mallocs) != min(hw_mallocs):
+        return _failed(
+            f"SoCDMMU malloc cost varies: {min(hw_mallocs)} .. "
+            f"{max(hw_mallocs)} cycles")
+    if max(hw_mallocs) > max(sw_mallocs):
+        return _failed(
+            f"SoCDMMU worst case {max(hw_mallocs)} cycles exceeds the "
+            f"software heap's {max(sw_mallocs)}")
+    hw_heap, sw_heap = system.heap, None
+    if hw_heap.allocator.used_blocks != 0:
+        return _failed(
+            f"{hw_heap.allocator.used_blocks} blocks leaked by the "
+            "hardware run")
+    return _passed(
+        steps=len(script),
+        cycles=float(sum(delta for _, delta in hw)),
+        detail=(f"{len(hw_mallocs)} mallocs agree; unit flat at "
+                f"{max(hw_mallocs):g} cycles vs software worst "
+                f"{max(sw_mallocs):g}"))

@@ -18,6 +18,11 @@
   fault-injecting proxy on the wire and the resilient client doing the
   talking: all eight wire fault kinds, mixed storms, and a shard crash
   under chaos (see :mod:`repro.service.chaos`).
+* ``memory-pressure`` — the SoCDMMU ground down: shadow-model CoW
+  storms and fragmentation churn, exhaustion-and-recovery through the
+  full OOM ladder (reclaim-retry, RTOS7 -> RTOS5 degradation, scrubbed
+  fail-back) under injected refcount/ghost faults, and a SoCDMMU vs
+  SoftwareHeap differential (see ``docs/memory_pressure.md``).
 """
 
 from __future__ import annotations
@@ -309,6 +314,46 @@ def _service_chaos() -> CampaignSpec:
     ))
 
 
+def _memory_pressure() -> CampaignSpec:
+    """The SoCDMMU under adversarial memory pressure.
+
+    ``cow-storm`` and ``fragmentation`` grind the allocator datapath
+    against an independent shadow model (no double-grant, refcounts
+    exact, audits lose no block); ``exhaustion-*`` walk the whole OOM
+    ladder — reclaim-retry off a dead task, failover to the software
+    heap, scrub-probed fail-back — with and without injected
+    refcount/ghost faults; ``vs-software`` holds the SoCDMMU and the
+    RTOS5 software heap to the same seeded script op-for-op.
+    """
+    return CampaignSpec(name="memory-pressure", scenarios=(
+        ScenarioSpec(name="cow-storm", generator="preset.pressure",
+                     checker="memory.cow-storm",
+                     params={"blocks": [24, 48], "block_kb": 4,
+                             "ops": 4000, "owners": 6}, repeats=3),
+        ScenarioSpec(name="fragmentation", generator="preset.pressure",
+                     checker="memory.cow-storm",
+                     params={"blocks": 16, "block_kb": 4, "ops": 2500,
+                             "owners": 4, "hold_max": 12,
+                             "corrupt_every": 97}, repeats=3),
+        ScenarioSpec(name="exhaustion-recovery",
+                     generator="preset.pressure",
+                     checker="memory.exhaustion-recovery",
+                     params={"blocks": [12, 20], "block_kb": 4,
+                             "model": "none"}, repeats=2),
+        ScenarioSpec(name="exhaustion-faulted",
+                     generator="preset.pressure",
+                     checker="memory.exhaustion-recovery",
+                     params={"blocks": 16, "block_kb": 4,
+                             "model": ["socdmmu-refcount",
+                                       "socdmmu-exhaust",
+                                       "socdmmu-mixed"]}, repeats=2),
+        ScenarioSpec(name="vs-software", generator="preset.pressure",
+                     checker="memory.vs-software",
+                     params={"blocks": 64, "block_kb": 4, "ops": 120},
+                     repeats=2),
+    ))
+
+
 BUILTIN_CAMPAIGNS = {
     "smoke": _smoke,
     "claims": _claims,
@@ -317,6 +362,7 @@ BUILTIN_CAMPAIGNS = {
     "kernels-large": _kernels_large,
     "service": _service,
     "service-chaos": _service_chaos,
+    "memory-pressure": _memory_pressure,
 }
 
 

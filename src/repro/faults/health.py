@@ -57,7 +57,8 @@ class ResiliencePolicy:
     #: Waiter-side deadline on a SoCLC grant interrupt.
     lock_grant_timeout_cycles: float = \
         calibration.FAULT_LOCK_GRANT_TIMEOUT_CYCLES
-    #: Audit the SoCDMMU table every Nth free (mallocs always audit).
+    #: Audit the SoCDMMU tables every Nth command — mallocs, frees and
+    #: CoW commands each keep their own cadence counter.
     audit_every: int = 1
 
 

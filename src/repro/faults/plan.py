@@ -30,6 +30,8 @@ Site               Kinds                  Params
 ``bus.<name>``     error, timeout         extra_cycles (master filters)
 ``soclc.interrupt``  drop                 —
 ``socdmmu.table``  leak, steal            block
+``socdmmu.refcount``  inflate, deflate    block, delta
+``socdmmu.exhaust``  ghost                blocks
 =================  =====================  ==============================
 """
 
@@ -55,6 +57,8 @@ KNOWN_SITES: dict[str, tuple[str, ...]] = {
     "bus.": ("error", "timeout"),
     "soclc.interrupt": ("drop",),
     "socdmmu.table": ("leak", "steal"),
+    "socdmmu.refcount": ("inflate", "deflate"),
+    "socdmmu.exhaust": ("ghost",),
 }
 
 

@@ -38,6 +38,7 @@ TRIP_KINDS = frozenset((
     "worker_crash", "worker_lost",
     "tenant_admission_rejected", "shard_rebalance", "tenant_migration",
     "circuit_open", "circuit_close", "request_retried",
+    "socdmmu_oom", "socdmmu_degrade", "socdmmu_failback",
 ))
 
 

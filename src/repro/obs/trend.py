@@ -37,9 +37,12 @@ _LOWER_IS_BETTER = (
     "duration", "latency", "retry", "chaos",
 )
 
-#: Name fragments marking a higher-is-better metric.
+#: Name fragments marking a higher-is-better metric.  ``savings``
+#: covers the SoCDMMU memory-pressure record's CoW cycle savings
+#: (``BENCH_socdmmu_pressure.cow_savings_ratio``) — sharing getting
+#: cheaper relative to eager copies is the direction we want.
 _HIGHER_IS_BETTER = ("speedup", "throughput", "per_second", "fraction_ok",
-                     "ratio")
+                     "ratio", "savings")
 
 #: Name fragments that are configuration, not measurements.
 _IGNORED = ("bound", "min_speedup", "min_batch_ratio", "cadence",

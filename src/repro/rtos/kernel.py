@@ -132,6 +132,12 @@ class Kernel:
                 for resource in list(task.held_resources):
                     yield from self.resource_service.release(
                         ctx, resource)
+            # Heap teardown: a failed task's handles would otherwise
+            # leak G_blocks forever (the SoCDMMU exposes reclaim_task;
+            # the plain software heap has no per-task ledger).
+            reclaim = getattr(self.heap_service, "reclaim_task", None)
+            if reclaim is not None:
+                reclaim(task.name)
             scheduler.yield_running(task, TaskState.FAILED)
             task.stats.finish_time = self.engine.now
             return

@@ -164,6 +164,44 @@ class SoftwareHeap:
             self._m_free_list.set(len(self._free))
         self._mutex.release(task)
 
+    # -- checkpoint plumbing -----------------------------------------------------
+
+    def snapshot_payload(self) -> dict:
+        """JSON-safe free list + allocation table + stats (no envelope;
+        the owning service wraps it — the SoCDMMU checkpoints its
+        degraded-mode fallback heap through this)."""
+        return {
+            "base": self.base,
+            "size_bytes": self.size_bytes,
+            "free": [[addr, size] for addr, size in self._free],
+            "allocated": sorted(
+                [addr, size] for addr, size in self._allocated.items()),
+            "in_use": self._in_use,
+            "stats": {
+                "malloc_calls": self.stats.malloc_calls,
+                "free_calls": self.stats.free_calls,
+                "mm_cycles": self.stats.mm_cycles,
+                "peak_in_use": self.stats.peak_in_use,
+                "failed_allocations": self.stats.failed_allocations,
+                "walk_lengths": list(self.stats.walk_lengths),
+            },
+        }
+
+    @classmethod
+    def from_payload(cls, kernel: Kernel, data: dict) -> "SoftwareHeap":
+        heap = cls(kernel, base=data["base"], size_bytes=data["size_bytes"])
+        heap._free = [(addr, size) for addr, size in data["free"]]
+        heap._allocated = {addr: size for addr, size in data["allocated"]}
+        heap._in_use = data["in_use"]
+        stats = data["stats"]
+        heap.stats.malloc_calls = stats["malloc_calls"]
+        heap.stats.free_calls = stats["free_calls"]
+        heap.stats.mm_cycles = stats["mm_cycles"]
+        heap.stats.peak_in_use = stats["peak_in_use"]
+        heap.stats.failed_allocations = stats["failed_allocations"]
+        heap.stats.walk_lengths = list(stats["walk_lengths"])
+        return heap
+
     @property
     def in_use_bytes(self) -> int:
         return self._in_use

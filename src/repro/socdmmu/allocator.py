@@ -6,6 +6,16 @@ per-block owner table plus a per-PE virtual-to-physical mapping — the
 operations are O(1)-ish table updates in hardware; this class is the
 functional model the :class:`repro.socdmmu.dmmu.SoCDMMU` front-end
 charges deterministic cycles for.
+
+Copy-on-write sharing (the G_alloc_ex/G_alloc_rw side of the command
+set): :meth:`share` maps one physical block into a second owner's
+virtual space and bumps the per-block refcount table;
+:meth:`write_fault` gives a writer its private copy once a block is
+shared.  The mapping RAM stays the single authoritative copy — the
+owner table *and* the refcount table are derived state that fault
+injection can corrupt and an :meth:`audit` sweep rebuilds.  The owner
+table names the lexicographically smallest owner referencing a block,
+a deterministic rule the audit can recompute from the mappings alone.
 """
 
 from __future__ import annotations
@@ -26,9 +36,11 @@ class BlockAllocator:
             raise ConfigurationError("block size must be positive")
         self.num_blocks = num_blocks
         self.block_bytes = block_bytes
-        #: physical block -> owner id (None = free)
+        #: physical block -> owner id (None = free); derived state.
         self._owner: list[Optional[str]] = [None] * num_blocks
-        #: owner id -> {virtual block -> physical block}
+        #: physical block -> reference count; derived state (absent = 0).
+        self._refcount: dict[int, int] = {}
+        #: owner id -> {virtual block -> physical block} (authoritative).
         self._mappings: dict[str, dict[int, int]] = {}
         #: owner id -> next virtual block number to hand out
         self._next_virtual: dict[str, int] = {}
@@ -43,6 +55,11 @@ class BlockAllocator:
     def used_blocks(self) -> int:
         return self.num_blocks - self.free_blocks
 
+    @property
+    def shared_blocks(self) -> int:
+        """Physical blocks currently referenced more than once."""
+        return sum(1 for count in self._refcount.values() if count > 1)
+
     def blocks_for(self, size_bytes: int) -> int:
         if size_bytes <= 0:
             raise AllocationError("allocation size must be positive")
@@ -52,6 +69,11 @@ class BlockAllocator:
         if not 0 <= physical_block < self.num_blocks:
             raise AllocationError(f"bad block index {physical_block}")
         return self._owner[physical_block]
+
+    def refcount_of(self, physical_block: int) -> int:
+        if not 0 <= physical_block < self.num_blocks:
+            raise AllocationError(f"bad block index {physical_block}")
+        return self._refcount.get(physical_block, 0)
 
     def holdings(self, owner: str) -> list[int]:
         """Physical blocks currently owned by ``owner``."""
@@ -66,6 +88,12 @@ class BlockAllocator:
                 f"{owner}: virtual block {virtual_block} not mapped"
             ) from None
 
+    def _references(self, physical: int) -> list[str]:
+        """Owners whose mapping RAM references ``physical`` (sorted,
+        with multiplicity collapsed)."""
+        return sorted({owner for owner, mapping in self._mappings.items()
+                       if physical in mapping.values()})
+
     # -- fault backdoor / audit ---------------------------------------------------
 
     def corrupt(self, physical_block: int, owner: Optional[str]) -> None:
@@ -74,25 +102,68 @@ class BlockAllocator:
             raise AllocationError(f"bad block index {physical_block}")
         self._owner[physical_block] = owner
 
-    def audit(self) -> int:
-        """Rebuild the owner table from the mapping RAM; returns repairs.
+    def corrupt_refcount(self, physical_block: int, count: int) -> None:
+        """Skew one refcount-table entry (fault injection backdoor)."""
+        if not 0 <= physical_block < self.num_blocks:
+            raise AllocationError(f"bad block index {physical_block}")
+        if count <= 0:
+            self._refcount.pop(physical_block, None)
+        else:
+            self._refcount[physical_block] = count
 
-        The per-owner virtual-to-physical mapping is the authoritative
-        copy (it is what translation reads); the flat owner table is
-        the derived bitmap that upsets corrupt.  An audit sweep makes
-        the table agree with the mappings again.
-        """
+    def _derive_tables(self) -> tuple[dict, dict]:
+        """Recompute owner + refcount tables from the mapping RAM."""
         owned: dict[int, str] = {}
+        counts: dict[int, int] = {}
         for owner, mapping in self._mappings.items():
             for physical in mapping.values():
-                owned[physical] = owner
+                counts[physical] = counts.get(physical, 0) + 1
+                holder = owned.get(physical)
+                if holder is None or owner < holder:
+                    owned[physical] = owner
+        return owned, counts
+
+    def audit(self) -> int:
+        """Rebuild owner + refcount tables from the mapping RAM.
+
+        The per-owner virtual-to-physical mapping is the authoritative
+        copy (it is what translation reads); the flat owner table and
+        the refcount table are the derived state that upsets corrupt.
+        An audit sweep makes both agree with the mappings again; the
+        return value counts the entries repaired.
+        """
+        owned, counts = self._derive_tables()
         repairs = 0
         for block in range(self.num_blocks):
             want = owned.get(block)
             if self._owner[block] != want:
                 self._owner[block] = want
                 repairs += 1
+        if self._refcount != counts:
+            skewed = set(self._refcount) ^ set(counts)
+            skewed.update(block for block in set(self._refcount) & set(counts)
+                          if self._refcount[block] != counts[block])
+            repairs += len(skewed)
+            self._refcount = counts
         return repairs
+
+    def verify(self) -> list[str]:
+        """Derived-table violations (empty right after an audit)."""
+        owned, counts = self._derive_tables()
+        violations = []
+        for block in range(self.num_blocks):
+            want = owned.get(block)
+            if self._owner[block] != want:
+                violations.append(
+                    f"owner[{block}] is {self._owner[block]!r}, "
+                    f"mappings say {want!r}")
+        for block in sorted(set(self._refcount) | set(counts)):
+            have = self._refcount.get(block, 0)
+            want = counts.get(block, 0)
+            if have != want:
+                violations.append(
+                    f"refcount[{block}] is {have}, mappings say {want}")
+        return violations
 
     # -- checkpoint plumbing -------------------------------------------------------
 
@@ -103,6 +174,9 @@ class BlockAllocator:
             "num_blocks": self.num_blocks,
             "block_bytes": self.block_bytes,
             "owner": list(self._owner),
+            "refcounts": sorted(
+                [physical, count]
+                for physical, count in self._refcount.items()),
             "mappings": sorted(
                 [owner, sorted([virtual, physical]
                                for virtual, physical in mapping.items())]
@@ -119,9 +193,17 @@ class BlockAllocator:
             owner: {virtual: physical for virtual, physical in pairs}
             for owner, pairs in data["mappings"]}
         allocator._next_virtual = dict(map(tuple, data["next_virtual"]))
+        if "refcounts" in data:
+            allocator._refcount = {physical: count
+                                   for physical, count in data["refcounts"]}
+        else:
+            # Pre-CoW payload (SoCDMMU payload_version 1): every mapped
+            # block was private, so the refcounts derive exactly.
+            _owned, counts = allocator._derive_tables()
+            allocator._refcount = counts
         return allocator
 
-    # -- commands (G_alloc / G_dealloc) ------------------------------------------
+    # -- commands (G_alloc / G_dealloc / G_share / write fault) --------------------
 
     def allocate(self, owner: str, num_blocks: int) -> list[int]:
         """G_alloc: claim ``num_blocks`` blocks; returns virtual numbers.
@@ -138,20 +220,74 @@ class BlockAllocator:
         virtuals = []
         for physical in free[:num_blocks]:
             self._owner[physical] = owner
+            self._refcount[physical] = 1
             virtual = self._next_virtual.get(owner, 0)
             self._next_virtual[owner] = virtual + 1
             mapping[virtual] = physical
             virtuals.append(virtual)
         return virtuals
 
-    def deallocate(self, owner: str, virtual_block: int) -> None:
-        """G_dealloc: return one block."""
+    def share(self, owner: str, virtual_block: int, new_owner: str) -> int:
+        """Map ``owner``'s block into ``new_owner``'s space (refcount++).
+
+        Returns ``new_owner``'s virtual number for the shared physical
+        block.  No data moves; a later :meth:`write_fault` splits the
+        sharing.
+        """
         physical = self.translate(owner, virtual_block)
-        self._owner[physical] = None
+        mapping = self._mappings.setdefault(new_owner, {})
+        virtual = self._next_virtual.get(new_owner, 0)
+        self._next_virtual[new_owner] = virtual + 1
+        mapping[virtual] = physical
+        self._refcount[physical] = self._refcount.get(physical, 0) + 1
+        if new_owner < (self._owner[physical] or new_owner):
+            self._owner[physical] = new_owner
+        elif self._owner[physical] is None:
+            self._owner[physical] = new_owner
+        return virtual
+
+    def write_fault(self, owner: str, virtual_block: int) -> bool:
+        """First write to a shared block: give ``owner`` a private copy.
+
+        Returns True when a copy was made (the block was shared), False
+        when the block was already private.  The copy needs one free
+        block; exhaustion raises :class:`AllocationError` — the
+        front-end's OOM ladder handles that.
+        """
+        physical = self.translate(owner, virtual_block)
+        if self._refcount.get(physical, 1) <= 1:
+            return False
+        target = next((b for b, who in enumerate(self._owner)
+                       if who is None), None)
+        if target is None:
+            raise AllocationError(
+                f"no free block for a CoW copy of physical {physical}")
+        self._refcount[physical] -= 1
+        self._mappings[owner][virtual_block] = target
+        self._owner[target] = owner
+        self._refcount[target] = 1
+        remaining = self._references(physical)
+        self._owner[physical] = remaining[0] if remaining else None
+        if not remaining:
+            self._refcount.pop(physical, None)
+        return True
+
+    def deallocate(self, owner: str, virtual_block: int) -> None:
+        """G_dealloc: drop one reference; the block frees at refcount 0."""
+        physical = self.translate(owner, virtual_block)
         del self._mappings[owner][virtual_block]
+        count = self._refcount.get(physical, 1) - 1
+        if count <= 0:
+            self._owner[physical] = None
+            self._refcount.pop(physical, None)
+        else:
+            self._refcount[physical] = count
+            remaining = self._references(physical)
+            self._owner[physical] = remaining[0] if remaining else None
 
     def deallocate_all(self, owner: str) -> int:
-        """Release everything an owner holds; returns the block count."""
+        """Release everything an owner maps; returns the references
+        dropped (a shared block only frees when its last sharer goes)."""
         mapping = self._mappings.get(owner, {})
         count = 0
         for virtual in list(mapping):

@@ -11,16 +11,35 @@ Byte-sized requests are rounded up to whole blocks; the standard
 software API mapping ("porting SoCDMMU functionality to an RTOS so the
 user can access it using standard memory management APIs", Section
 2.3.2) is exactly this adapter.
+
+Beyond the paper's four-PE snapshot, the front-end carries the
+memory-pressure machinery (see ``docs/memory_pressure.md``):
+
+* **Copy-on-write sharing** — :meth:`fork_handle` CoW-duplicates a
+  handle for another task (refcounted G_blocks, no data movement),
+  :meth:`malloc_shared` allocates and forks in one call, and
+  :meth:`write_fault` splits sharing with a private copy on first
+  write.
+* **A recoverable OOM ladder** — with resilience enabled, a refused
+  G_alloc retries with backpressure (the command port is released
+  while the requester backs off), audits the tables (reclaiming
+  fault-ghosted blocks), reclaims handles of dead tasks, and — on
+  persistent exhaustion — degrades RTOS7 -> RTOS5 style to an internal
+  :class:`SoftwareHeap`, failing back once scrub probes show the unit
+  can allocate again (the PR-4 health-FSM discipline).
+* **Task-teardown reclamation** — :meth:`reclaim_task` releases every
+  handle a killed/failed task still holds (the kernel calls it from
+  its fault-isolation path), so dead tasks no longer leak G_blocks.
 """
 
 from __future__ import annotations
 
-from typing import Generator
+from typing import Generator, Optional
 
 from repro import calibration
 from repro.errors import AllocationError
-from repro.rtos.kernel import Kernel, TaskContext
-from repro.rtos.memory import HeapStats
+from repro.rtos.kernel import Kernel, TaskContext, TaskState
+from repro.rtos.memory import HeapStats, SoftwareHeap
 from repro.socdmmu.allocator import BlockAllocator
 from repro.sim.process import SimResource
 
@@ -42,8 +61,29 @@ class SoCDMMU:
         #: Fault injector hook (:mod:`repro.faults`).
         self.faults = None
         self.resilience = None
+        self.health = None
         self.audits = 0
         self.audit_repairs = 0
+        # -- CoW accounting ----------------------------------------------
+        self.cow_shares = 0
+        self.cow_write_faults = 0
+        self.cow_copies = 0
+        # -- OOM ladder / degradation state -------------------------------
+        #: "hardware" (the unit serves) or "software" (degraded to the
+        #: fallback heap after persistent exhaustion).
+        self.mode = "hardware"
+        self.oom_events = 0
+        self.oom_retries = 0
+        self.oom_recoveries = 0
+        self.failovers = 0
+        self.failbacks = 0
+        self.scrubs = 0
+        self.software_served = 0
+        self.reclaimed_blocks = 0
+        self._software_since_scrub = 0
+        #: (engine time, event kind) breadcrumbs, resilient-wrapper style.
+        self.event_log: list[tuple[float, str]] = []
+        self._fallback: Optional[SoftwareHeap] = None
         #: handle -> (owner, virtual block numbers)
         self._handles: dict[int, tuple[str, list[int]]] = {}
         self._next_handle = 0x2000_0000
@@ -59,13 +99,48 @@ class SoCDMMU:
             bounds=(1, 2, 4, 8, 16, 32, 64, 128, 256))
         self._m_in_use = metrics.gauge(
             "socdmmu.in_use_bytes", "bytes currently allocated")
+        self._m_shares = metrics.counter(
+            "socdmmu.cow.shares", "blocks shared (refcount bumps)")
+        self._m_write_faults = metrics.counter(
+            "socdmmu.cow.write_faults", "CoW write faults taken")
+        self._m_copies = metrics.counter(
+            "socdmmu.cow.copies", "private copies made on write faults")
+        self._m_shared = metrics.gauge(
+            "socdmmu.cow.shared_blocks", "blocks referenced more than once")
+        self._m_oom = metrics.counter(
+            "socdmmu.oom.events", "allocations that hit an empty pool")
+        self._m_oom_recoveries = metrics.counter(
+            "socdmmu.oom.recoveries", "OOMs recovered by reclaim-and-retry")
+        self._m_failovers = metrics.counter(
+            "socdmmu.oom.failovers", "degradations to the software heap")
+        self._m_failbacks = metrics.counter(
+            "socdmmu.oom.failbacks", "returns to hardware after scrub")
+        self._m_reclaimed = metrics.counter(
+            "socdmmu.reclaimed_blocks", "block references reclaimed from "
+            "dead tasks")
 
     # -- resilience ---------------------------------------------------------------
 
     def enable_resilience(self, policy=None) -> None:
-        """Audit the owner table against the mapping RAM on commands."""
-        from repro.faults.health import ResiliencePolicy
+        """Arm audits, the OOM ladder, and the health FSM."""
+        from repro.faults.health import ResiliencePolicy, UnitHealth
         self.resilience = policy if policy is not None else ResiliencePolicy()
+        if self.health is None:
+            self.health = UnitHealth(
+                "socdmmu", clock=lambda: self.kernel.engine.now,
+                fail_threshold=self.resilience.fail_threshold,
+                recover_after=self.resilience.recover_after,
+                obs=self.kernel.obs)
+
+    def _note(self, event: str) -> None:
+        self.event_log.append((self.kernel.engine.now, event))
+
+    def _audit_due(self, calls: int) -> bool:
+        """Cadence check *as if* the call were already counted — the
+        Nth command audits, not the first (historical off-by-one)."""
+        if self.resilience is None:
+            return False
+        return (calls + 1) % max(1, self.resilience.audit_every) == 0
 
     def _apply_table_faults(self) -> None:
         num_blocks = self.allocator.num_blocks
@@ -86,6 +161,45 @@ class SoCDMMU:
                     self.allocator.corrupt(block, ghost)
                     break
 
+    def _apply_refcount_faults(self) -> None:
+        """Skew the refcount table (``socdmmu.refcount`` site)."""
+        num_blocks = self.allocator.num_blocks
+        for spec in self.faults.fire("socdmmu.refcount"):
+            start = int(spec.params.get("block", 0)) % num_blocks
+            delta = max(1, int(spec.params.get("delta", 1)))
+            for offset in range(num_blocks):
+                block = (start + offset) % num_blocks
+                count = self.allocator.refcount_of(block)
+                if count > 0:
+                    if spec.kind == "inflate":
+                        self.allocator.corrupt_refcount(block, count + delta)
+                    else:  # deflate
+                        self.allocator.corrupt_refcount(
+                            block, max(0, count - delta))
+                    break
+
+    def _apply_exhaust_faults(self) -> None:
+        """Ghost-grab free blocks (``socdmmu.exhaust`` site).
+
+        Fires *after* the command audit so the grab actually starves
+        the allocation — the OOM ladder's reclaim audit then repairs
+        it, which is the reclaim-then-retry path under test.
+        """
+        num_blocks = self.allocator.num_blocks
+        for spec in self.faults.fire("socdmmu.exhaust"):
+            want = int(spec.params.get("blocks", num_blocks))
+            ghosted = 0
+            for block in range(num_blocks):
+                if self.allocator.owner_of(block) is None:
+                    self.allocator.corrupt(block, "<ghost>")
+                    ghosted += 1
+                    if ghosted >= want:
+                        break
+
+    def _fire_faults(self) -> None:
+        self._apply_table_faults()
+        self._apply_refcount_faults()
+
     def _audit(self) -> Generator:
         self.audits += 1
         yield calibration.SOCDMMU_AUDIT_CYCLES
@@ -95,6 +209,170 @@ class SoCDMMU:
             self.audit_repairs += repairs
             self.kernel.trace.record(self.kernel.engine.now, "socdmmu",
                                      "table_repaired", repairs=repairs)
+            self._refresh_gauges()
+
+    def _refresh_gauges(self) -> None:
+        """Re-derive the usage gauges (audits can reclaim ghost blocks,
+        failed allocations must still read correctly)."""
+        in_use = self.allocator.used_blocks * self.allocator.block_bytes
+        self.stats.peak_in_use = max(self.stats.peak_in_use, in_use)
+        if self.kernel.obs.enabled:
+            self._m_in_use.set(in_use)
+            self._m_shared.set(self.allocator.shared_blocks)
+
+    # -- task teardown / reclamation ------------------------------------------------
+
+    def reclaim_task(self, name: str) -> int:
+        """Release every handle a dead task still holds.
+
+        The kernel calls this when a task is killed or fails under
+        fault isolation; the OOM ladder also sweeps terminated owners
+        lazily.  Models one G_dealloc_all command: a table sweep, not a
+        per-handle walk.  Returns the block references released.
+        """
+        handles = [handle for handle, (owner, _virtuals)
+                   in self._handles.items() if owner == name]
+        if not handles:
+            return 0
+        for handle in handles:
+            del self._handles[handle]
+        blocks = self.allocator.deallocate_all(name)
+        self.reclaimed_blocks += blocks
+        self.stats.mm_cycles += self.dealloc_cycles
+        self.kernel.trace.record(self.kernel.engine.now, "socdmmu",
+                                 "handles_reclaimed", task=name,
+                                 handles=len(handles), blocks=blocks)
+        if self.kernel.obs.enabled:
+            self._m_reclaimed.inc(blocks)
+        self._refresh_gauges()
+        return blocks
+
+    def _reclaim_terminated(self) -> int:
+        """Sweep handles whose owning task already finished or failed."""
+        dead = {owner for _handle, (owner, _virtuals) in self._handles.items()
+                if (task := self.kernel.tasks.get(owner)) is not None
+                and task.state in (TaskState.FINISHED, TaskState.FAILED)}
+        return sum(self.reclaim_task(owner) for owner in sorted(dead))
+
+    # -- the OOM ladder ---------------------------------------------------------------
+
+    def _record_oom(self, owner: str, blocks: int) -> None:
+        self.stats.failed_allocations += 1
+        self.oom_events += 1
+        self._note("oom")
+        if self.kernel.obs.enabled:
+            self._m_failed.inc()
+            self._m_oom.inc()
+        self._refresh_gauges()
+        if self.kernel.obs.flight.enabled:
+            self.kernel.obs.flight.mark(
+                "socdmmu_oom", actor="socdmmu", owner=owner, blocks=blocks,
+                free_blocks=self.allocator.free_blocks)
+
+    def _recover_allocation(self, owner: str, blocks: int):
+        """Refused G_alloc: backoff + reclaim + retry, then degrade.
+
+        Enters holding the command port and returns holding it.
+        Returns the allocated virtual numbers, or ``None`` when the
+        request must be served by the software fallback.  Without a
+        resilience policy the refusal propagates unchanged.
+        """
+        self._record_oom(owner, blocks)
+        policy = self.resilience
+        if policy is None:
+            self._port.release(owner)
+            raise AllocationError(
+                f"SoCDMMU pool exhausted: {blocks} blocks requested, "
+                f"{self.allocator.free_blocks} free")
+        for attempt in range(1, policy.max_retries + 1):
+            # Backpressure: release the port so other PEs can free or
+            # tear down while this requester backs off.
+            self._port.release(owner)
+            yield policy.retry_backoff_cycles * attempt
+            self.oom_retries += 1
+            self._note("oom-retry")
+            yield from self._port.acquire(owner)
+            yield from self._audit()          # reclaims ghosted blocks
+            self._reclaim_terminated()
+            try:
+                virtuals = self.allocator.allocate(owner, blocks)
+            except AllocationError:
+                continue
+            self.oom_recoveries += 1
+            self._note("oom-recovered")
+            if self.kernel.obs.enabled:
+                self._m_oom_recoveries.inc()
+            return virtuals
+        # Persistent exhaustion: an anomaly for the health FSM; once it
+        # trips FAILED the unit degrades and later requests skip the
+        # hardware path entirely until a scrub probe brings it back.
+        self.health.anomaly("oom")
+        if self.health.failed and self.mode == "hardware":
+            self._fail_over()
+        return None
+
+    def _fail_over(self) -> None:
+        self.mode = "software"
+        self.failovers += 1
+        self._software_since_scrub = 0
+        self._note("failover")
+        self.kernel.trace.record(self.kernel.engine.now, "socdmmu",
+                                 "degraded", mode="software")
+        if self.kernel.obs.enabled:
+            self._m_failovers.inc()
+        if self.kernel.obs.flight.enabled:
+            self.kernel.obs.flight.mark("socdmmu_degrade", actor="socdmmu",
+                                        reason="persistent-oom")
+
+    def _fail_back(self) -> None:
+        self.mode = "hardware"
+        self.failbacks += 1
+        self._note("failback")
+        self.kernel.trace.record(self.kernel.engine.now, "socdmmu",
+                                 "failed_back", mode="hardware")
+        if self.kernel.obs.enabled:
+            self._m_failbacks.inc()
+        if self.kernel.obs.flight.enabled:
+            self.kernel.obs.flight.mark("socdmmu_failback", actor="socdmmu")
+
+    def _ensure_fallback(self) -> SoftwareHeap:
+        if self._fallback is None:
+            self._fallback = SoftwareHeap(self.kernel)
+        return self._fallback
+
+    def _software_malloc(self, ctx: TaskContext,
+                         size_bytes: int) -> Generator:
+        """Serve one allocation from the degraded-mode software heap."""
+        policy = self.resilience
+        if (self.mode == "software" and policy is not None
+                and self.health is not None):
+            self._software_since_scrub += 1
+            if self._software_since_scrub >= max(1, policy.scrub_after):
+                self._software_since_scrub = 0
+                yield from self._scrub()
+        self.software_served += 1
+        address = yield from self._ensure_fallback().malloc(ctx, size_bytes)
+        return address
+
+    def _scrub(self) -> Generator:
+        """Audit + reclaim, then probe whether the unit can allocate."""
+        self.scrubs += 1
+        self._note("scrub")
+        yield calibration.FAULT_SCRUB_OVERHEAD_CYCLES
+        self.stats.mm_cycles += calibration.FAULT_SCRUB_OVERHEAD_CYCLES
+        yield from self._audit()
+        self._reclaim_terminated()
+        self.health.begin_recovery("scrub")
+        try:
+            probe = self.allocator.allocate("<probe>", 1)
+        except AllocationError:
+            self.health.anomaly("probe-oom")
+            return
+        for virtual in probe:
+            self.allocator.deallocate("<probe>", virtual)
+        from repro.faults.health import HealthState
+        if self.health.clean("probe") is HealthState.HEALTHY:
+            self._fail_back()
 
     # -- the heap-service interface ------------------------------------------------
 
@@ -102,10 +380,13 @@ class SoCDMMU:
         """G_alloc via the command port; returns an opaque handle."""
         blocks = self.allocator.blocks_for(size_bytes)
         owner = ctx.task.name
+        if self.mode == "software":
+            address = yield from self._software_malloc(ctx, size_bytes)
+            return address
         yield from self._port.acquire(owner)
         if self.faults is not None:
-            self._apply_table_faults()
-            if self.resilience is not None:
+            self._fire_faults()
+            if self._audit_due(self.stats.malloc_calls):
                 yield from self._audit()
         # Command write, deterministic unit time, result read.
         yield from ctx.pe.bus_write()
@@ -115,14 +396,20 @@ class SoCDMMU:
                 + 2 * self.kernel.soc.bus.timing.transaction_cycles(1))
         self.stats.mm_cycles += cost
         self.stats.malloc_calls += 1
+        if self.faults is not None:
+            self._apply_exhaust_faults()
         try:
             virtuals = self.allocator.allocate(owner, blocks)
         except AllocationError:
-            self.stats.failed_allocations += 1
-            if self.kernel.obs.enabled:
-                self._m_failed.inc()
+            virtuals = yield from self._recover_allocation(owner, blocks)
+        if virtuals is None:
+            # Degrade this request (and, if the FSM tripped, the unit).
             self._port.release(owner)
-            raise
+            self._note("oom-fallback")
+            address = yield from self._software_malloc(ctx, size_bytes)
+            return address
+        if self.health is not None:
+            self.health.clean("alloc")
         self._port.release(owner)
         handle = self._next_handle
         self._next_handle += blocks * self.allocator.block_bytes
@@ -138,6 +425,9 @@ class SoCDMMU:
     def free(self, ctx: TaskContext, handle: int) -> Generator:
         """G_dealloc via the command port."""
         if handle not in self._handles:
+            if self._fallback is not None:
+                yield from self._fallback.free(ctx, handle)
+                return
             raise AllocationError(f"free of unknown handle {handle:#x}")
         owner, virtuals = self._handles[handle]
         if owner != ctx.task.name:
@@ -145,10 +435,8 @@ class SoCDMMU:
                 f"{ctx.task.name} freed a handle owned by {owner}")
         yield from self._port.acquire(owner)
         if self.faults is not None:
-            self._apply_table_faults()
-            if (self.resilience is not None
-                    and self.stats.free_calls
-                    % max(1, self.resilience.audit_every) == 0):
+            self._fire_faults()
+            if self._audit_due(self.stats.free_calls):
                 yield from self._audit()
         yield from ctx.pe.bus_write()
         yield self.dealloc_cycles
@@ -165,15 +453,156 @@ class SoCDMMU:
             self._m_frees.inc()
             self._m_in_use.set(
                 self.allocator.used_blocks * self.allocator.block_bytes)
+            self._m_shared.set(self.allocator.shared_blocks)
+
+    # -- CoW commands ----------------------------------------------------------------
+
+    def fork_handle(self, ctx: TaskContext, handle: int,
+                    new_owner: Optional[str] = None) -> Generator:
+        """CoW-duplicate a handle: share every block into ``new_owner``.
+
+        Only the handle's owner may fork it (the fork parent hands the
+        duplicate to the child).  Costs one command round-trip plus a
+        per-block table update — no data moves.
+        """
+        if handle not in self._handles:
+            raise AllocationError(f"fork of unknown handle {handle:#x}")
+        owner, virtuals = self._handles[handle]
+        if owner != ctx.task.name:
+            raise AllocationError(
+                f"{ctx.task.name} forked a handle owned by {owner}")
+        target = new_owner if new_owner is not None else owner
+        yield from self._port.acquire(owner)
+        if self.faults is not None:
+            self._fire_faults()
+            if self._audit_due(self.cow_shares + self.cow_write_faults):
+                yield from self._audit()
+        yield from ctx.pe.bus_write()
+        unit_cycles = len(virtuals) * calibration.SOCDMMU_SHARE_CYCLES
+        yield unit_cycles
+        yield from ctx.pe.bus_read()
+        cost = (unit_cycles
+                + 2 * self.kernel.soc.bus.timing.transaction_cycles(1))
+        self.stats.mm_cycles += cost
+        new_virtuals = [self.allocator.share(owner, virtual, target)
+                        for virtual in virtuals]
+        self.cow_shares += len(virtuals)
+        new_handle = self._next_handle
+        self._next_handle += len(virtuals) * self.allocator.block_bytes
+        self._handles[new_handle] = (target, new_virtuals)
+        self._port.release(owner)
+        if self.kernel.obs.enabled:
+            self._m_shares.inc(len(virtuals))
+            self._m_shared.set(self.allocator.shared_blocks)
+        return new_handle
+
+    def malloc_shared(self, ctx: TaskContext, size_bytes: int,
+                      peers: tuple = ()) -> Generator:
+        """G_alloc once, then fork the handle to each named peer.
+
+        Returns ``{owner: handle, peer: handle, ...}``.  When the OOM
+        ladder degraded the allocation to the software heap, sharing is
+        unavailable and each peer gets a private software allocation
+        (an eager copy — the graceful-degradation semantics).
+        """
+        owner = ctx.task.name
+        handle = yield from self.malloc(ctx, size_bytes)
+        handles = {owner: handle}
+        if handle in self._handles:
+            for peer in peers:
+                handles[peer] = yield from self.fork_handle(
+                    ctx, handle, peer)
+        else:
+            self._note("cow-degraded")
+            for peer in peers:
+                handles[peer] = yield from self._software_malloc(
+                    ctx, size_bytes)
+        return handles
+
+    def write_fault(self, ctx: TaskContext, handle: int,
+                    block_index: int = 0) -> Generator:
+        """First write to a shared block: split it with a private copy.
+
+        ``block_index`` selects the block within the handle.  Returns
+        True when a copy was made, False when the block was already
+        private.  A copy needs one free block; exhaustion runs the same
+        reclaim-and-retry ladder as G_alloc (a copy cannot be served by
+        the software fallback — the shared data lives in the unit).
+        """
+        if handle not in self._handles:
+            raise AllocationError(f"write fault on unknown handle "
+                                  f"{handle:#x}")
+        owner, virtuals = self._handles[handle]
+        if owner != ctx.task.name:
+            raise AllocationError(
+                f"{ctx.task.name} wrote a handle owned by {owner}")
+        if not 0 <= block_index < len(virtuals):
+            raise AllocationError(
+                f"handle {handle:#x} has {len(virtuals)} blocks, "
+                f"not {block_index + 1}")
+        virtual = virtuals[block_index]
+        yield from self._port.acquire(owner)
+        if self.faults is not None:
+            self._fire_faults()
+            if self._audit_due(self.cow_shares + self.cow_write_faults):
+                yield from self._audit()
+        yield from ctx.pe.bus_write()
+        policy = self.resilience
+        attempt = 0
+        while True:
+            try:
+                copied = self.allocator.write_fault(owner, virtual)
+                break
+            except AllocationError:
+                self._record_oom(owner, 1)
+                if policy is None or attempt >= policy.max_retries:
+                    self._port.release(owner)
+                    raise
+                attempt += 1
+                self._port.release(owner)
+                yield policy.retry_backoff_cycles * attempt
+                self.oom_retries += 1
+                yield from self._port.acquire(owner)
+                yield from self._audit()
+                self._reclaim_terminated()
+        unit_cycles = (calibration.SOCDMMU_COW_COPY_CYCLES if copied
+                       else calibration.SOCDMMU_SHARE_CYCLES)
+        yield unit_cycles
+        yield from ctx.pe.bus_read()
+        cost = (unit_cycles
+                + 2 * self.kernel.soc.bus.timing.transaction_cycles(1))
+        self.stats.mm_cycles += cost
+        self.cow_write_faults += 1
+        if copied:
+            self.cow_copies += 1
+            if attempt:
+                self.oom_recoveries += 1
+                self._note("oom-recovered")
+                if self.kernel.obs.enabled:
+                    self._m_oom_recoveries.inc()
+        self._port.release(owner)
+        if self.kernel.obs.enabled:
+            self._m_write_faults.inc()
+            if copied:
+                self._m_copies.inc()
+            self._m_shared.set(self.allocator.shared_blocks)
+        self._refresh_gauges()
+        return copied
 
     # -- checkpoint protocol -------------------------------------------------------
 
     SNAPSHOT_KIND = "socdmmu"
+    #: Payload shape version: 2 added the CoW state (refcount table,
+    #: share counters) and the OOM/degradation ladder.  Version-1
+    #: payloads (pre-CoW) still restore, with the refcounts derived
+    #: from the mapping RAM.
+    PAYLOAD_VERSION = 2
 
     def snapshot_state(self) -> dict:
         """Versioned, hashed snapshot of the allocation tables + stats."""
         from repro.checkpoint.protocol import snapshot_envelope
         return snapshot_envelope(self.SNAPSHOT_KIND, {
+            "payload_version": self.PAYLOAD_VERSION,
             "alloc_cycles": self.alloc_cycles,
             "dealloc_cycles": self.dealloc_cycles,
             "allocator": self.allocator.snapshot_payload(),
@@ -191,13 +620,47 @@ class SoCDMMU:
             },
             "audits": self.audits,
             "audit_repairs": self.audit_repairs,
+            "cow": {
+                "shares": self.cow_shares,
+                "write_faults": self.cow_write_faults,
+                "copies": self.cow_copies,
+            },
+            "oom": {
+                "mode": self.mode,
+                "events": self.oom_events,
+                "retries": self.oom_retries,
+                "recoveries": self.oom_recoveries,
+                "failovers": self.failovers,
+                "failbacks": self.failbacks,
+                "scrubs": self.scrubs,
+                "software_served": self.software_served,
+                "reclaimed_blocks": self.reclaimed_blocks,
+                "software_since_scrub": self._software_since_scrub,
+            },
+            "health": (self.health.snapshot_state()
+                       if self.health is not None else None),
+            "fallback": (self._fallback.snapshot_payload()
+                         if self._fallback is not None else None),
+            "events": [[at, kind] for at, kind in self.event_log],
         })
 
     @classmethod
     def restore_state(cls, envelope: dict, kernel: Kernel) -> "SoCDMMU":
-        """Rebuild the unit against a (restored) kernel."""
+        """Rebuild the unit against a (restored) kernel.
+
+        Accepts payload versions 1 (pre-CoW) and 2.  The resilience
+        policy and fault injector are re-attached by the caller (as for
+        every other unit); the health FSM, degradation mode, and the
+        fallback heap's contents are restored from the snapshot.
+        """
         from repro.checkpoint.protocol import open_envelope
+        from repro.errors import CheckpointError
         state = open_envelope(envelope, kind=cls.SNAPSHOT_KIND)
+        version = state.get("payload_version", 1)
+        if version > cls.PAYLOAD_VERSION:
+            raise CheckpointError(
+                f"socdmmu payload_version {version} is newer than this "
+                f"library's {cls.PAYLOAD_VERSION}; upgrade before restoring")
         allocator_state = state["allocator"]
         unit = cls(kernel,
                    num_blocks=allocator_state["num_blocks"],
@@ -218,6 +681,31 @@ class SoCDMMU:
         unit.stats.walk_lengths = list(stats["walk_lengths"])
         unit.audits = state["audits"]
         unit.audit_repairs = state["audit_repairs"]
+        if version >= 2:
+            cow = state["cow"]
+            unit.cow_shares = cow["shares"]
+            unit.cow_write_faults = cow["write_faults"]
+            unit.cow_copies = cow["copies"]
+            oom = state["oom"]
+            unit.mode = oom["mode"]
+            unit.oom_events = oom["events"]
+            unit.oom_retries = oom["retries"]
+            unit.oom_recoveries = oom["recoveries"]
+            unit.failovers = oom["failovers"]
+            unit.failbacks = oom["failbacks"]
+            unit.scrubs = oom["scrubs"]
+            unit.software_served = oom["software_served"]
+            unit.reclaimed_blocks = oom["reclaimed_blocks"]
+            unit._software_since_scrub = oom["software_since_scrub"]
+            if state["health"] is not None:
+                from repro.faults.health import UnitHealth
+                unit.health = UnitHealth.restore_state(
+                    state["health"], clock=lambda: kernel.engine.now,
+                    obs=kernel.obs)
+            if state["fallback"] is not None:
+                unit._fallback = SoftwareHeap.from_payload(
+                    kernel, state["fallback"])
+            unit.event_log = [(at, kind) for at, kind in state["events"]]
         return unit
 
     # -- introspection ------------------------------------------------------------

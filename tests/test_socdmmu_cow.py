@@ -1,0 +1,528 @@
+"""Tests for the SoCDMMU memory-pressure machinery (see
+``docs/memory_pressure.md``): copy-on-write sharing, the recoverable
+OOM ladder, task-teardown reclamation, and the audit-cadence fix."""
+
+import pytest
+from dataclasses import replace
+
+from repro.errors import AllocationError, CheckpointError, SimulationError
+from repro.faults.health import HealthState, ResiliencePolicy
+from repro.faults.install import install_fault_plan
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.framework.builder import build_system
+from repro.framework.config import preset
+from repro.socdmmu.allocator import BlockAllocator
+from repro.socdmmu.dmmu import SoCDMMU
+
+
+def _system(blocks=16, block_kb=4):
+    return build_system(replace(preset("RTOS7"), socdmmu_blocks=blocks,
+                                socdmmu_block_bytes=block_kb * 1024))
+
+
+def _run_task(system, body, name="bench"):
+    result = {}
+
+    def task(ctx):
+        result["value"] = yield from body(ctx)
+
+    system.kernel.create_task(task, name, 1, "PE1")
+    system.kernel.run()
+    return result.get("value")
+
+
+def _policy(**overrides):
+    defaults = dict(max_retries=1, sample_every=1, fail_threshold=2,
+                    recover_after=2, scrub_after=2, audit_every=10)
+    defaults.update(overrides)
+    return ResiliencePolicy(**defaults)
+
+
+# -- BlockAllocator CoW datapath -----------------------------------------------------
+
+
+def test_share_bumps_refcount_and_maps_both_owners():
+    allocator = BlockAllocator(8, 1024)
+    virtual = allocator.allocate("a", 1)[0]
+    physical = allocator.translate("a", virtual)
+    peer_virtual = allocator.share("a", virtual, "b")
+    assert allocator.translate("b", peer_virtual) == physical
+    assert allocator.refcount_of(physical) == 2
+    assert allocator.shared_blocks == 1
+    assert allocator.free_blocks == 7          # no data moved
+    assert allocator.verify() == []
+
+
+def test_owner_table_names_smallest_referencing_owner():
+    allocator = BlockAllocator(8, 1024)
+    virtual = allocator.allocate("m", 1)[0]
+    physical = allocator.translate("m", virtual)
+    allocator.share("m", virtual, "a")          # "a" < "m"
+    assert allocator.owner_of(physical) == "a"
+    allocator.deallocate("a", 0)
+    assert allocator.owner_of(physical) == "m"
+
+
+def test_write_fault_splits_shared_block():
+    allocator = BlockAllocator(8, 1024)
+    virtual = allocator.allocate("a", 1)[0]
+    physical = allocator.translate("a", virtual)
+    peer_virtual = allocator.share("a", virtual, "b")
+    assert allocator.write_fault("b", peer_virtual) is True
+    copy = allocator.translate("b", peer_virtual)
+    assert copy != physical
+    assert allocator.refcount_of(physical) == 1
+    assert allocator.refcount_of(copy) == 1
+    assert allocator.shared_blocks == 0
+    assert allocator.verify() == []
+
+
+def test_write_fault_on_private_block_is_a_noop():
+    allocator = BlockAllocator(4, 1024)
+    virtual = allocator.allocate("a", 1)[0]
+    physical = allocator.translate("a", virtual)
+    assert allocator.write_fault("a", virtual) is False
+    assert allocator.translate("a", virtual) == physical
+    assert allocator.free_blocks == 3
+
+
+def test_write_fault_needs_a_free_block():
+    allocator = BlockAllocator(2, 1024)
+    first = allocator.allocate("a", 1)[0]
+    allocator.allocate("c", 1)
+    shared = allocator.share("a", first, "b")
+    assert allocator.free_blocks == 0
+    with pytest.raises(AllocationError):
+        allocator.write_fault("b", shared)
+    # The failed split left the sharing intact.
+    assert allocator.refcount_of(allocator.translate("b", shared)) == 2
+    assert allocator.verify() == []
+
+
+def test_deallocate_shared_block_frees_only_at_refcount_zero():
+    allocator = BlockAllocator(4, 1024)
+    virtual = allocator.allocate("a", 1)[0]
+    physical = allocator.translate("a", virtual)
+    shared = allocator.share("a", virtual, "b")
+    allocator.deallocate("a", virtual)
+    assert allocator.owner_of(physical) == "b"   # still referenced
+    assert allocator.refcount_of(physical) == 1
+    allocator.deallocate("b", shared)
+    assert allocator.owner_of(physical) is None
+    assert allocator.free_blocks == 4
+
+
+def test_audit_repairs_owner_and_refcount_corruption():
+    allocator = BlockAllocator(8, 1024)
+    virtual = allocator.allocate("a", 1)[0]
+    physical = allocator.translate("a", virtual)
+    allocator.share("a", virtual, "b")
+    allocator.corrupt(physical, None)                 # leaked entry
+    allocator.corrupt_refcount(physical, 7)           # skewed count
+    violations = allocator.verify()
+    assert any("owner" in v for v in violations)
+    assert any("refcount" in v for v in violations)
+    assert allocator.audit() >= 2
+    assert allocator.verify() == []
+    assert allocator.refcount_of(physical) == 2
+    assert allocator.audit() == 0                     # idempotent
+
+
+def test_allocator_payload_roundtrip_keeps_refcounts():
+    allocator = BlockAllocator(8, 1024)
+    virtual = allocator.allocate("a", 2)[0]
+    allocator.share("a", virtual, "b")
+    payload = allocator.snapshot_payload()
+    restored = BlockAllocator.from_payload(payload)
+    assert restored.snapshot_payload() == payload
+    assert restored.shared_blocks == 1
+
+
+def test_allocator_v1_payload_derives_refcounts():
+    allocator = BlockAllocator(8, 1024)
+    allocator.allocate("a", 3)
+    payload = allocator.snapshot_payload()
+    del payload["refcounts"]                          # pre-CoW shape
+    restored = BlockAllocator.from_payload(payload)
+    assert restored.verify() == []
+    assert sum(restored.refcount_of(b) for b in range(8)) == 3
+
+
+# -- front-end CoW commands -----------------------------------------------------------
+
+
+def test_fork_handle_shares_then_write_fault_copies():
+    system = _system(blocks=16)
+    heap = system.heap
+
+    def body(ctx):
+        parent = yield from heap.malloc(ctx, 2 * heap.allocator.block_bytes)
+        fork = yield from heap.fork_handle(ctx, parent)
+        copied = yield from heap.write_fault(ctx, fork, 0)
+        again = yield from heap.write_fault(ctx, fork, 0)
+        yield from heap.free(ctx, fork)
+        yield from heap.free(ctx, parent)
+        return copied, again
+
+    copied, again = _run_task(system, body)
+    assert copied is True and again is False
+    assert heap.cow_shares == 2
+    assert heap.cow_write_faults == 2
+    assert heap.cow_copies == 1
+    assert heap.in_use_bytes == 0
+    assert heap.allocator.verify() == []
+
+
+def test_malloc_shared_hands_each_peer_a_handle():
+    system = _system(blocks=16)
+    heap = system.heap
+
+    def body(ctx):
+        handles = yield from heap.malloc_shared(
+            ctx, heap.allocator.block_bytes, peers=("peer-a", "peer-b"))
+        return handles
+
+    handles = _run_task(system, body)
+    assert set(handles) == {"bench", "peer-a", "peer-b"}
+    assert heap.allocator.shared_blocks == 1
+    assert heap.allocator.used_blocks == 1            # one physical block
+    for peer in ("peer-a", "peer-b"):
+        assert heap.reclaim_task(peer) == 1
+    assert heap.reclaim_task("bench") == 1
+    assert heap.allocator.free_blocks == 16
+
+
+def test_fork_requires_ownership():
+    system = _system()
+    heap = system.heap
+    kernel = system.kernel
+    handles = []
+
+    def owner(ctx):
+        handles.append((yield from heap.malloc(ctx, 1024)))
+
+    def thief(ctx):
+        yield from ctx.sleep(500)
+        yield from heap.fork_handle(ctx, handles[0])
+
+    kernel.create_task(owner, "owner", 1, "PE1")
+    kernel.create_task(thief, "thief", 1, "PE2")
+    with pytest.raises(SimulationError):
+        kernel.run()
+
+
+# -- satellite 1: audit cadence ------------------------------------------------------
+
+
+def test_audit_runs_on_the_nth_command_not_the_first():
+    system = _system()
+    heap = system.heap
+    install_fault_plan(system, FaultPlan("empty"),
+                       policy=_policy(audit_every=3))
+    audits_seen = []
+
+    def body(ctx):
+        handles = []
+        for _ in range(3):
+            handles.append((yield from heap.malloc(ctx, 1024)))
+            audits_seen.append(heap.audits)
+        for handle in handles:
+            yield from heap.free(ctx, handle)
+            audits_seen.append(heap.audits)
+
+    _run_task(system, body)
+    # Mallocs: no audit on #1/#2, one on #3; frees keep their own
+    # cadence counter and audit on free #3.
+    assert audits_seen == [0, 0, 1, 1, 1, 2]
+
+
+def test_cow_commands_share_an_audit_cadence():
+    system = _system()
+    heap = system.heap
+    install_fault_plan(system, FaultPlan("empty"),
+                       policy=_policy(audit_every=2))
+
+    def body(ctx):
+        parent = yield from heap.malloc(ctx, 1024)
+        yield from heap.fork_handle(ctx, parent)     # CoW command 1
+        before = heap.audits
+        yield from heap.fork_handle(ctx, parent)     # CoW command 2
+        return before
+
+    before = _run_task(system, body)
+    assert before == 0
+    assert heap.audits == 1
+
+
+# -- satellite 2: task-teardown reclamation ------------------------------------------
+
+
+def test_failed_task_handles_are_reclaimed_at_teardown():
+    system = _system(blocks=8)
+    heap = system.heap
+    kernel = system.kernel
+    kernel.isolate_task_failures = True
+
+    def doomed(ctx):
+        yield from heap.malloc(ctx, 2 * heap.allocator.block_bytes)
+        raise RuntimeError("boom")
+
+    kernel.create_task(doomed, "doomed", 1, "PE1")
+    kernel.run()
+    assert [name for name, _exc in kernel.task_failures] == ["doomed"]
+    assert heap.reclaimed_blocks == 2
+    assert heap.allocator.free_blocks == 8
+    assert heap._handles == {}
+    assert heap.allocator.verify() == []
+
+
+def test_reclaim_task_is_a_noop_for_strangers():
+    system = _system()
+    assert system.heap.reclaim_task("never-existed") == 0
+    assert system.heap.reclaimed_blocks == 0
+
+
+# -- satellite 3: gauges on the failure paths ----------------------------------------
+
+
+def test_failed_allocation_still_updates_usage_gauges():
+    system = _system(blocks=4)
+    heap = system.heap
+    system.soc.obs.enabled = True
+    kernel = system.kernel
+    kernel.isolate_task_failures = True
+    block = heap.allocator.block_bytes
+
+    def hog(ctx):
+        yield from heap.malloc(ctx, 3 * block)
+        yield from heap.malloc(ctx, 2 * block)       # refused
+
+    kernel.create_task(hog, "hog", 1, "PE1")
+    kernel.run()
+    assert heap.stats.failed_allocations == 1
+    assert heap.stats.peak_in_use == 3 * block
+    # The gauge was refreshed on the failure path (then teardown
+    # reclaimed the hog, refreshing it again to zero).
+    gauge = kernel.obs.metrics.gauge("socdmmu.in_use_bytes")
+    assert gauge.value == 0
+    assert heap.reclaimed_blocks == 3
+
+
+# -- the OOM ladder ------------------------------------------------------------------
+
+
+def test_oom_reclaims_finished_owners_and_retries():
+    system = _system(blocks=8)
+    heap = system.heap
+    heap.enable_resilience(_policy())
+    kernel = system.kernel
+    pool = heap.allocator.num_blocks * heap.allocator.block_bytes
+
+    def hog(ctx):
+        yield from heap.malloc(ctx, pool)            # holds until death
+
+    def late(ctx):
+        yield from ctx.sleep(5000)
+        handle = yield from heap.malloc(ctx, heap.allocator.block_bytes)
+        yield from heap.free(ctx, handle)
+
+    kernel.create_task(hog, "hog", 1, "PE1")
+    kernel.create_task(late, "late", 2, "PE1")
+    kernel.run()
+    assert kernel.finished("hog", "late")
+    assert heap.oom_events == 1
+    assert heap.oom_retries == 1
+    assert heap.oom_recoveries == 1
+    assert heap.reclaimed_blocks == heap.allocator.num_blocks
+    assert heap.mode == "hardware"                   # never degraded
+    assert [kind for _at, kind in heap.event_log] == [
+        "oom", "oom-retry", "oom-recovered"]
+
+
+def test_persistent_exhaustion_degrades_then_fails_back():
+    system = _system(blocks=8)
+    heap = system.heap
+    heap.enable_resilience(_policy(max_retries=1, fail_threshold=2,
+                                   recover_after=2, scrub_after=2))
+    block = heap.allocator.block_bytes
+    pool = heap.allocator.num_blocks * block
+
+    def body(ctx):
+        hog = yield from heap.malloc(ctx, pool)
+        # Two refused allocations: nothing is reclaimable (the hog is
+        # this very task), so the ladder trips the health FSM.
+        yield from heap.malloc(ctx, block)
+        assert heap.mode == "hardware"               # SUSPECT, not FAILED
+        yield from heap.malloc(ctx, block)
+        assert heap.mode == "software"
+        yield from heap.free(ctx, hog)               # hardware path still frees
+        # Scrub probes run every scrub_after software mallocs; two
+        # clean probes (recover_after) bring the unit back.
+        for _ in range(6):
+            if heap.mode == "hardware":
+                break
+            yield from heap.malloc(ctx, 512)
+        final = yield from heap.malloc(ctx, block)
+        yield from heap.free(ctx, final)
+
+    _run_task(system, body)
+    assert heap.failovers == 1
+    assert heap.failbacks == 1
+    assert heap.scrubs == 2
+    assert heap.oom_events == 2
+    assert heap.software_served > 0
+    assert heap.health.state is HealthState.HEALTHY
+    kinds = [kind for _at, kind in heap.event_log]
+    assert kinds.index("failover") < kinds.index("scrub") \
+        < kinds.index("failback")
+    assert heap.in_use_bytes == 0
+
+
+def test_write_fault_exhaustion_runs_the_reclaim_ladder():
+    system = _system(blocks=4)
+    heap = system.heap
+    heap.enable_resilience(_policy())
+    kernel = system.kernel
+    block = heap.allocator.block_bytes
+
+    def hog(ctx):
+        yield from heap.malloc(ctx, 2 * block)       # fills the pool...
+
+    def sharer(ctx):
+        yield from ctx.sleep(5000)
+        parent = yield from heap.malloc(ctx, block)
+        fork = yield from heap.fork_handle(ctx, parent)   # no block moves
+        filler = yield from heap.malloc(ctx, block)       # pool now full
+        # The split's copy finds no free block; the ladder sweeps the
+        # dead hog's two blocks and the copy lands.
+        copied = yield from heap.write_fault(ctx, fork, 0)
+        assert copied is True
+        yield from heap.free(ctx, fork)
+        yield from heap.free(ctx, filler)
+        yield from heap.free(ctx, parent)
+
+    kernel.create_task(hog, "hog", 1, "PE1")
+    kernel.create_task(sharer, "sharer", 2, "PE1")
+    kernel.run()
+    assert kernel.finished("sharer")
+    assert heap.oom_events == 1
+    assert heap.oom_recoveries == 1
+    assert heap.reclaimed_blocks == 2
+    assert heap.allocator.free_blocks == 4
+    assert heap.allocator.verify() == []
+
+
+def test_exhaustion_without_resilience_still_raises():
+    system = _system(blocks=4)
+    heap = system.heap
+
+    def body(ctx):
+        yield from heap.malloc(
+            ctx, heap.allocator.num_blocks * heap.allocator.block_bytes)
+        yield from heap.malloc(ctx, 1)
+
+    with pytest.raises(SimulationError):
+        _run_task(system, body)
+    assert heap.stats.failed_allocations == 1
+    assert heap.mode == "hardware"
+    assert heap.software_served == 0
+
+
+# -- fault sites ---------------------------------------------------------------------
+
+
+def test_exhaust_fault_ghosts_are_reclaimed_by_the_ladder():
+    system = _system(blocks=8)
+    heap = system.heap
+    plan = FaultPlan("ghosts", (FaultSpec(
+        "socdmmu.exhaust", "ghost", at=0, duration=1,
+        params={"blocks": 8}),))
+    install_fault_plan(system, plan, policy=_policy())
+
+    def body(ctx):
+        handle = yield from heap.malloc(ctx, 1024)
+        yield from heap.free(ctx, handle)
+
+    _run_task(system, body)
+    assert heap.oom_events == 1
+    assert heap.oom_recoveries == 1
+    assert heap.audit_repairs >= 8                   # every ghost repaired
+    assert heap.allocator.free_blocks == 8
+    assert heap.allocator.verify() == []
+
+
+def test_refcount_fault_is_repaired_on_the_next_audit():
+    system = _system(blocks=8)
+    heap = system.heap
+    plan = FaultPlan("skew", (FaultSpec(
+        "socdmmu.refcount", "inflate", at=1, duration=1,
+        params={"block": 0, "delta": 3}),))
+    install_fault_plan(system, plan, policy=_policy(audit_every=1))
+
+    def body(ctx):
+        first = yield from heap.malloc(ctx, 1024)    # fault visit 0: no-op
+        second = yield from heap.malloc(ctx, 1024)   # visit 1: inflates
+        yield from heap.free(ctx, first)
+        yield from heap.free(ctx, second)
+
+    _run_task(system, body)
+    assert heap.audit_repairs >= 1
+    assert heap.allocator.verify() == []
+    assert heap.allocator.free_blocks == 8
+
+
+# -- checkpoint protocol -------------------------------------------------------------
+
+
+def _mid_torture_heap():
+    system = _system(blocks=16)
+    heap = system.heap
+    heap.enable_resilience(_policy())
+
+    def body(ctx):
+        parent = yield from heap.malloc(ctx, 3 * heap.allocator.block_bytes)
+        fork = yield from heap.fork_handle(ctx, parent)
+        yield from heap.write_fault(ctx, fork, 1)
+        yield from heap.free(ctx, fork)
+        yield from heap.fork_handle(ctx, parent, "peer")
+
+    _run_task(system, body)
+    return heap
+
+
+def test_snapshot_restore_is_an_identity():
+    heap = _mid_torture_heap()
+    envelope = heap.snapshot_state()
+    fresh = build_system("RTOS7")
+    restored = SoCDMMU.restore_state(envelope, fresh.kernel)
+    assert restored.snapshot_state() == envelope
+    assert restored.cow_shares == heap.cow_shares
+    assert restored.cow_copies == heap.cow_copies
+    assert restored.allocator.shared_blocks == heap.allocator.shared_blocks
+    assert restored.allocator.verify() == []
+
+
+def test_v1_payload_still_restores():
+    from repro.checkpoint.protocol import open_envelope, snapshot_envelope
+    heap = _mid_torture_heap()
+    state = open_envelope(heap.snapshot_state(), kind="socdmmu")
+    state["payload_version"] = 1
+    for key in ("cow", "oom", "health", "fallback", "events"):
+        del state[key]
+    del state["allocator"]["refcounts"]               # pre-CoW allocator
+    restored = SoCDMMU.restore_state(
+        snapshot_envelope("socdmmu", state), build_system("RTOS7").kernel)
+    assert restored.mode == "hardware"
+    assert restored.cow_shares == 0
+    assert restored.allocator.verify() == []          # refcounts derived
+    assert restored.stats.malloc_calls == heap.stats.malloc_calls
+
+
+def test_newer_payload_version_is_rejected():
+    from repro.checkpoint.protocol import open_envelope, snapshot_envelope
+    heap = _mid_torture_heap()
+    state = open_envelope(heap.snapshot_state(), kind="socdmmu")
+    state["payload_version"] = SoCDMMU.PAYLOAD_VERSION + 1
+    with pytest.raises(CheckpointError):
+        SoCDMMU.restore_state(snapshot_envelope("socdmmu", state),
+                              build_system("RTOS7").kernel)

@@ -1,0 +1,142 @@
+"""Differential check: a mid-torture SoCDMMU checkpoint restored in a
+*fresh process* is byte-identical, and continuing the same op stream
+from the checkpoint converges on the same final state as the process
+that never stopped.
+
+The op stream is derived from a seed, so parent and child re-derive
+identical remaining work — the same discipline the campaign runner's
+crash/resume machinery relies on.
+"""
+
+import json
+import os
+import random
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.errors import AllocationError
+from repro.socdmmu.allocator import BlockAllocator
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+ROOT_SEED = 42
+NUM_BLOCKS = 24
+TOTAL_OPS = 400
+SPLIT_AT = 173
+OWNERS = ("a", "b", "c", "d")
+
+
+def apply_ops(allocator, seed, start, stop):
+    """Apply ops ``[start, stop)`` of the seeded torture stream.
+
+    The rng is re-seeded per op index so any process can replay any
+    slice of the stream without threading rng state around.
+    """
+    for index in range(start, stop):
+        rng = random.Random(f"{ROOT_SEED}|{seed}|{index}")
+        owner = rng.choice(OWNERS)
+        mapping = allocator._mappings.get(owner, {})
+        roll = rng.random()
+        try:
+            if roll < 0.4 or not mapping:
+                allocator.allocate(owner, rng.randint(1, 2))
+            elif roll < 0.6:
+                allocator.share(owner, rng.choice(sorted(mapping)),
+                                rng.choice(OWNERS))
+            elif roll < 0.8:
+                allocator.write_fault(owner, rng.choice(sorted(mapping)))
+            else:
+                allocator.deallocate(owner, rng.choice(sorted(mapping)))
+        except AllocationError:
+            pass                             # pool full: legal refusal
+
+
+_CHILD_SCRIPT = """
+import json, sys
+from repro.checkpoint.protocol import state_hash
+from repro.socdmmu.allocator import BlockAllocator
+from tests.test_socdmmu_differential import SPLIT_AT, TOTAL_OPS, apply_ops
+
+request = json.load(sys.stdin)
+allocator = BlockAllocator.from_payload(request["payload"])
+restored_hash = state_hash(allocator.snapshot_payload())
+apply_ops(allocator, request["seed"], SPLIT_AT, TOTAL_OPS)
+json.dump({"restored_hash": restored_hash,
+           "final_hash": state_hash(allocator.snapshot_payload())},
+          sys.stdout)
+"""
+
+
+def _run_child(payload: dict, seed: int) -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, (str(REPO_ROOT / "src"), str(REPO_ROOT),
+                      env.get("PYTHONPATH"))))
+    proc = subprocess.run(
+        [sys.executable, "-c", _CHILD_SCRIPT],
+        input=json.dumps({"payload": payload, "seed": seed}),
+        capture_output=True, text=True, env=env, cwd=REPO_ROOT, timeout=60)
+    assert proc.returncode == 0, proc.stderr
+    return json.loads(proc.stdout)
+
+
+def test_fresh_process_restore_is_byte_identical_and_converges():
+    from repro.checkpoint.protocol import state_hash
+
+    seed = 7
+    allocator = BlockAllocator(NUM_BLOCKS, 1024)
+    apply_ops(allocator, seed, 0, SPLIT_AT)
+    checkpoint = allocator.snapshot_payload()
+    mid_hash = state_hash(checkpoint)
+
+    # The parent process keeps going without restoring.
+    apply_ops(allocator, seed, SPLIT_AT, TOTAL_OPS)
+    final_hash = state_hash(allocator.snapshot_payload())
+    assert final_hash != mid_hash        # the tail actually did work
+
+    child = _run_child(checkpoint, seed)
+    assert child["restored_hash"] == mid_hash
+    assert child["final_hash"] == final_hash
+
+
+def test_full_unit_envelope_restores_in_a_fresh_process():
+    """The SoCDMMU's versioned envelope (tables + CoW + ladder state)
+    round-trips through a process boundary with the hash intact."""
+    from repro.checkpoint.protocol import state_hash
+    from repro.framework.builder import build_system
+
+    system = build_system("RTOS7")
+    heap = system.heap
+    heap.enable_resilience()
+
+    def body(ctx):
+        parent = yield from heap.malloc(ctx, 3 * heap.allocator.block_bytes)
+        fork = yield from heap.fork_handle(ctx, parent)
+        yield from heap.write_fault(ctx, fork, 0)
+        yield from heap.free(ctx, fork)
+
+    system.kernel.create_task(body, "bench", 1, "PE1")
+    system.kernel.run()
+    envelope = heap.snapshot_state()
+
+    script = """
+import json, sys
+from repro.framework.builder import build_system
+from repro.socdmmu.dmmu import SoCDMMU
+
+envelope = json.load(sys.stdin)
+restored = SoCDMMU.restore_state(envelope, build_system("RTOS7").kernel)
+json.dump({"hash": restored.snapshot_state()["state_hash"],
+           "violations": restored.allocator.verify()}, sys.stdout)
+"""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, (str(REPO_ROOT / "src"), env.get("PYTHONPATH"))))
+    proc = subprocess.run(
+        [sys.executable, "-c", script], input=json.dumps(envelope),
+        capture_output=True, text=True, env=env, cwd=REPO_ROOT, timeout=60)
+    assert proc.returncode == 0, proc.stderr
+    reply = json.loads(proc.stdout)
+    assert reply["hash"] == envelope["state_hash"]
+    assert reply["violations"] == []
